@@ -1,0 +1,513 @@
+(* Benchmark harness reproducing every table and figure of the paper's
+   evaluation (§4):
+
+     fig7    throughput delta, ledgered vs plain (TPC-C-like, TPC-E-like)
+     fig8    per-row DML latency vs index count, regular vs ledger tables
+     fig9    ledger verification time vs transaction count
+     fabric  RDBMS-vs-blockchain comparison (§4.1 narrative numbers)
+     decomp  §4.1.2 overhead decomposition (hash vs history-insert cost)
+
+   Absolute numbers differ from the paper (OCaml mini-engine vs SQL Server
+   on 72 cores); EXPERIMENTS.md records shape agreement. Run a single
+   experiment with e.g. `dune exec bench/main.exe -- fig8`. *)
+
+open Relation
+open Sql_ledger
+
+let vi = Value.int
+let vs s = Value.String s
+
+let deterministic_clock () =
+  let t = ref 1_000_000.0 in
+  fun () ->
+    t := !t +. 0.001;
+    !t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel helper: estimated wall time per run, in nanoseconds. *)
+
+let ns_per_run name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) () in
+  let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) analyzed [] with
+  | [ result ] -> (
+      match Analyze.OLS.estimates result with
+      | Some [ ns ] -> ns
+      | _ -> nan)
+  | _ -> nan
+
+let us_per_run name f = ns_per_run name f /. 1000.0
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: user workload throughput *)
+
+let fig7 () =
+  print_endline "=== Figure 7: throughput of SQL Ledger vs plain tables ===";
+  print_endline "paper: TPC-C -30.6%, TPC-E -6.9% (SQL Server, 72 cores)\n";
+  let tpcc_txns = 3000 and tpce_txns = 4000 in
+  let run_tpcc ~commit_cost_us ledgered =
+    let db =
+      Database.create ~block_size:100_000 ~commit_cost_us
+        ~clock:(deterministic_clock ())
+        ~name:(Printf.sprintf "fig7-tpcc-%b-%.0f" ledgered commit_cost_us)
+        ()
+    in
+    let cfg = { Workload.Tpcc.default_config with ledgered } in
+    let t = Workload.Tpcc.setup db cfg in
+    let prng = Workload.Prng.create 42 in
+    Workload.Runner.measure ~transactions:tpcc_txns (fun () ->
+        ignore (Workload.Tpcc.run t ~prng ~transactions:tpcc_txns))
+  in
+  let run_tpce ~commit_cost_us ledgered =
+    let db =
+      Database.create ~block_size:100_000 ~commit_cost_us
+        ~clock:(deterministic_clock ())
+        ~name:(Printf.sprintf "fig7-tpce-%b-%.0f" ledgered commit_cost_us)
+        ()
+    in
+    let cfg = { Workload.Tpce.default_config with ledgered } in
+    let t = Workload.Tpce.setup db cfg in
+    let prng = Workload.Prng.create 42 in
+    Workload.Runner.measure ~transactions:tpce_txns (fun () ->
+        ignore (Workload.Tpce.run t ~prng ~transactions:tpce_txns))
+  in
+  let report name baseline ledgered paper =
+    Printf.printf "%-10s %14.0f %14.0f %+11.1f%% %12s\n" name
+      baseline.Workload.Runner.tps ledgered.Workload.Runner.tps
+      (Workload.Runner.throughput_delta_pct ~baseline ~ledgered)
+      paper
+  in
+  let round ~commit_cost_us label =
+    Printf.printf "-- %s --\n" label;
+    Printf.printf "%-10s %14s %14s %12s %12s\n" "Workload" "plain (tps)"
+      "ledger (tps)" "delta" "paper";
+    (* One throwaway run warms caches so the configurations compare
+       fairly. *)
+    ignore (run_tpcc ~commit_cost_us true);
+    report "TPC-C"
+      (run_tpcc ~commit_cost_us false)
+      (run_tpcc ~commit_cost_us true)
+      "-30.6%";
+    ignore (run_tpce ~commit_cost_us true);
+    report "TPC-E"
+      (run_tpce ~commit_cost_us false)
+      (run_tpce ~commit_cost_us true)
+      "-6.9%";
+    print_newline ()
+  in
+  (* Raw: the bare in-memory engine. Its per-transaction baseline is a few
+     microseconds — orders of magnitude below a durable production commit —
+     which inflates the *relative* ledger overhead. *)
+  round ~commit_cost_us:0.0 "raw in-memory engine";
+  (* Calibrated: charge every commit the ~125 us the paper itself measures
+     for the (excluded) commit path (§4.1.2), restoring a realistic
+     baseline against which the hashing overhead is amortised. *)
+  round ~commit_cost_us:125.0
+    "with the paper's 125 us durable-commit cost applied"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: DML latency, 260-byte rows, varying index count *)
+
+(* id INT (4 B) + 8 x VARCHAR(32) at full width = 260 bytes of payload. *)
+let wide_columns =
+  Column.make "id" Datatype.Int
+  :: List.init 8 (fun i ->
+         Column.make (Printf.sprintf "c%d" i) (Datatype.Varchar 32))
+
+let wide_row prng id =
+  Array.init 9 (fun c ->
+      if c = 0 then vi id else vs (Workload.Prng.alnum_string prng 32))
+
+let fig8 () =
+  print_endline "=== Figure 8: DML latency (260-byte rows) ===";
+  print_endline
+    "paper overheads: insert ~+12us/row, delete ~+30us/row, update ~+42us/row\n";
+  let index_counts = [ 0; 1; 3; 5 ] in
+  let preload = 4000 in
+  let cell ~ledgered ~indices op =
+    let db =
+      Database.create ~block_size:1_000_000 ~clock:(deterministic_clock ())
+        ~name:(Printf.sprintf "fig8-%b-%d-%s" ledgered indices op)
+        ()
+    in
+    let table =
+      Workload.Wtable.create db ~ledgered ~name:"t" ~columns:wide_columns
+        ~key:[ "id" ]
+    in
+    for i = 1 to indices do
+      Database.create_index db ~table:"t"
+        ~name:(Printf.sprintf "i%d" i)
+        ~columns:[ Printf.sprintf "c%d" (i - 1) ]
+    done;
+    let prng = Workload.Prng.create 7 in
+    let (), _ =
+      Database.with_txn db ~user:"bench" (fun txn ->
+          for i = 1 to preload do
+            Workload.Wtable.insert txn table (wide_row prng i)
+          done)
+    in
+    (* Measure inside a single long transaction: the paper's numbers
+       exclude commit cost (§4.1.2). *)
+    let txn = Database.begin_txn db ~user:"bench" in
+    let next_id = ref preload in
+    let us =
+      match op with
+      | "insert" ->
+          us_per_run "insert" (fun () ->
+              incr next_id;
+              Workload.Wtable.insert txn table (wide_row prng !next_id))
+      | "update" ->
+          let k = ref 0 in
+          us_per_run "update" (fun () ->
+              k := (!k mod preload) + 1;
+              Workload.Wtable.update txn table ~key:[| vi !k |]
+                (wide_row prng !k))
+      | "delete" ->
+          (* delete+reinsert pair, minus the insert cost *)
+          let insert_us =
+            us_per_run "insert-ref" (fun () ->
+                incr next_id;
+                Workload.Wtable.insert txn table (wide_row prng !next_id))
+          in
+          let k = ref 0 in
+          let pair_us =
+            us_per_run "delete+insert" (fun () ->
+                k := (!k mod preload) + 1;
+                Workload.Wtable.delete txn table ~key:[| vi !k |];
+                Workload.Wtable.insert txn table (wide_row prng !k))
+          in
+          Float.max 0.0 (pair_us -. insert_us)
+      | _ -> assert false
+    in
+    ignore (Txn.commit txn);
+    us
+  in
+  Printf.printf "%-8s %-9s" "op" "table";
+  List.iter
+    (fun n -> Printf.printf " %9s" (Printf.sprintf "%d idx" n))
+    index_counts;
+  print_newline ();
+  List.iter
+    (fun op ->
+      List.iter
+        (fun ledgered ->
+          Printf.printf "%-8s %-9s" op
+            (if ledgered then "ledger" else "regular");
+          List.iter
+            (fun indices ->
+              Printf.printf " %7.1fus" (cell ~ledgered ~indices op))
+            index_counts;
+          print_newline ())
+        [ false; true ])
+    [ "insert"; "update"; "delete" ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: verification time vs number of transactions *)
+
+let fig9 () =
+  print_endline "=== Figure 9: ledger verification time ===";
+  print_endline
+    "paper: linear in transaction count (5 rows/txn, 260-byte rows)\n";
+  let sweep = [ 200; 500; 1000; 2000; 4000 ] in
+  Printf.printf "%14s %16s %20s\n" "transactions" "verify time (s)"
+    "us per row version";
+  let points =
+    List.map
+      (fun txns ->
+        let db =
+          Database.create ~block_size:100_000 ~clock:(deterministic_clock ())
+            ~name:(Printf.sprintf "fig9-%d" txns)
+            ()
+        in
+        let table =
+          Database.create_ledger_table db ~name:"t" ~columns:wide_columns
+            ~key:[ "id" ] ()
+        in
+        let prng = Workload.Prng.create 9 in
+        (* Each transaction updates five rows (the paper's setup). *)
+        let next = ref 0 in
+        for _ = 1 to txns do
+          let (), _ =
+            Database.with_txn db ~user:"bench" (fun txn ->
+                for _ = 1 to 5 do
+                  incr next;
+                  Txn.insert txn table (wide_row prng !next)
+                done)
+          in
+          ()
+        done;
+        let digest = Option.get (Database.generate_digest db) in
+        Database.checkpoint db;
+        let elapsed =
+          Workload.Runner.time (fun () ->
+              let report = Verifier.verify db ~digests:[ digest ] in
+              assert (Verifier.ok report))
+        in
+        Printf.printf "%14d %16.3f %20.2f\n" txns elapsed
+          (elapsed *. 1e6 /. float_of_int (txns * 5));
+        (float_of_int txns, elapsed))
+      sweep
+  in
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+  let slope = ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx)) in
+  Printf.printf "\nfitted: %.1f us per transaction (linear, as in the paper)\n"
+    (slope *. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Blockchain comparison (§4.1 narrative) *)
+
+let fabric () =
+  print_endline "=== SQL Ledger vs permissioned blockchain (§4.1) ===";
+  print_endline
+    "paper: >20x Fabric's throughput even against *simpler* Fabric txns;\n\
+    \       Fabric latency in the 100s of ms\n";
+  (* Fabric's published numbers are for simple asset operations, so the
+     like-for-like workload is a simple ledgered transaction (one insert,
+     commit); the TPC-C mix is reported alongside as the heavy case. *)
+  let simple =
+    let db =
+      Database.create ~block_size:100_000 ~clock:(deterministic_clock ())
+        ~name:"fabric-simple" ()
+    in
+    let table =
+      Database.create_ledger_table db ~name:"assets" ~columns:wide_columns
+        ~key:[ "id" ] ()
+    in
+    let prng = Workload.Prng.create 4 in
+    let n = 20_000 in
+    let i = ref 0 in
+    Workload.Runner.measure ~transactions:n (fun () ->
+        for _ = 1 to n do
+          incr i;
+          let (), _ =
+            Database.with_txn db ~user:"client" (fun txn ->
+                Txn.insert txn table (wide_row prng !i))
+          in
+          ()
+        done)
+  in
+  let tpcc =
+    let db =
+      Database.create ~block_size:100_000 ~clock:(deterministic_clock ())
+        ~name:"fabric-tpcc" ()
+    in
+    let t = Workload.Tpcc.setup db Workload.Tpcc.default_config in
+    let prng = Workload.Prng.create 4 in
+    Workload.Runner.measure ~transactions:4000 (fun () ->
+        ignore (Workload.Tpcc.run t ~prng ~transactions:4000))
+  in
+  let fabric_sat = Fabric_sim.saturation_tps () in
+  let fr = Fabric_sim.simulate ~offered_tps:fabric_sat ~txns:20_000 () in
+  Printf.printf "%-32s %14s %16s\n" "system / workload" "tps" "avg latency";
+  Printf.printf "%-32s %14.0f %16s\n" "SQL Ledger, simple txns"
+    simple.Workload.Runner.tps "microseconds";
+  Printf.printf "%-32s %14.0f %16s\n" "SQL Ledger, TPC-C-like mix"
+    tpcc.Workload.Runner.tps "microseconds";
+  Printf.printf "%-32s %14.0f %13.0f ms\n" "Fabric-like pipeline (simple)"
+    fr.Fabric_sim.achieved_tps fr.Fabric_sim.avg_latency_ms;
+  Printf.printf
+    "\nsimple-vs-simple throughput ratio: %.1fx on one core (paper: >20x on 72)\n"
+    (simple.Workload.Runner.tps /. fr.Fabric_sim.achieved_tps)
+
+(* ------------------------------------------------------------------ *)
+(* §4.1.2 decomposition: where the ledger overhead goes *)
+
+let decomp () =
+  print_endline "=== §4.1.2 overhead decomposition (260-byte rows) ===";
+  print_endline
+    "paper: insert = hash (~12us); delete = hash + history insert (~30us);\n\
+    \       update = 2x hash + history insert (~42us)\n";
+  let schema = Schema.make wide_columns in
+  let ext_schema = System_columns.extend_schema schema in
+  let prng = Workload.Prng.create 77 in
+  let row =
+    System_columns.set_start ext_schema
+      (Array.append (wide_row prng 1)
+         [| Value.Null; Value.Null; Value.Null; Value.Null |])
+      ~txn_id:1 ~seq:0
+  in
+  let serialize_us =
+    us_per_run "serialize row" (fun () -> Row_codec.serialize ext_schema row)
+  in
+  let hash_us =
+    us_per_run "serialize+hash row" (fun () -> Row_codec.hash ext_schema row)
+  in
+  let sha_us =
+    let payload = String.make 300 'x' in
+    us_per_run "sha256 300B" (fun () ->
+        Ledger_crypto.Sha256.digest_string payload)
+  in
+  let merkle_us =
+    let leaf = Ledger_crypto.Sha256.digest_string "leaf" in
+    let acc = ref Merkle.Streaming.empty in
+    us_per_run "merkle add_leaf" (fun () ->
+        acc := Merkle.Streaming.add_leaf !acc leaf)
+  in
+  let history =
+    Storage.Table_store.create ~name:"h" ~table_id:0 ~schema:ext_schema
+      ~key_ordinals:[ 0 ]
+  in
+  let next = ref 0 in
+  let history_us =
+    us_per_run "history insert" (fun () ->
+        incr next;
+        let r = Array.copy row in
+        r.(0) <- vi !next;
+        Storage.Table_store.insert history r)
+  in
+  Printf.printf "%-28s %8.2f us\n" "row serialization" serialize_us;
+  Printf.printf "%-28s %8.2f us\n" "row serialization + SHA-256" hash_us;
+  Printf.printf "%-28s %8.2f us\n" "SHA-256 alone (300 B)" sha_us;
+  Printf.printf "%-28s %8.2f us\n" "Merkle tree append" merkle_us;
+  Printf.printf "%-28s %8.2f us\n" "history-table insert" history_us;
+  let h = hash_us +. merkle_us in
+  Printf.printf "\npredicted per-row overheads (paper model):\n";
+  Printf.printf "  insert  = hash             = %6.2f us (paper ~12)\n" h;
+  Printf.printf "  delete  = hash + history   = %6.2f us (paper ~30)\n"
+    (h +. history_us);
+  Printf.printf "  update  = 2*hash + history = %6.2f us (paper ~42)\n"
+    ((2.0 *. h) +. history_us)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations over the design choices DESIGN.md calls out *)
+
+let ablation () =
+  print_endline "=== Ablations ===";
+
+  (* 1. Block size: the paper picks 100K txns/block to amortise block cost
+     and keep external verification block-granular; the cost of the choice
+     is receipt proof length and block-close latency. *)
+  print_endline "\n-- block size (2000 txns, 1 row each) --";
+  Printf.printf "%10s %8s %14s %16s %14s\n" "block size" "blocks"
+    "digest (us)" "verify time (s)" "proof steps";
+  List.iter
+    (fun block_size ->
+      let db =
+        Database.create ~block_size ~clock:(deterministic_clock ())
+          ~name:(Printf.sprintf "abl-bs-%d" block_size)
+          ()
+      in
+      let table =
+        Database.create_ledger_table db ~name:"t" ~columns:wide_columns
+          ~key:[ "id" ] ()
+      in
+      let prng = Workload.Prng.create 11 in
+      for i = 1 to 2000 do
+        let (), _ =
+          Database.with_txn db ~user:"a" (fun txn ->
+              Txn.insert txn table (wide_row prng i))
+        in
+        ()
+      done;
+      let digest_us =
+        let t0 = Unix.gettimeofday () in
+        let d = Option.get (Database.generate_digest db) in
+        let dt = (Unix.gettimeofday () -. t0) *. 1e6 in
+        ignore d;
+        dt
+      in
+      Database.checkpoint db;
+      let d = Option.get (Database.generate_digest db) in
+      let verify_s =
+        Workload.Runner.time (fun () ->
+            assert (Verifier.ok (Verifier.verify db ~digests:[ d ])))
+      in
+      let proof_steps =
+        match Receipt.generate db ~txn_id:2 with
+        | Ok r -> Merkle.Proof.length r.Receipt.proof
+        | Error _ -> -1
+      in
+      let blocks = List.length (Database_ledger.blocks (Database.ledger db)) in
+      Printf.printf "%10d %8d %14.1f %16.3f %14d\n" block_size blocks
+        digest_us verify_s proof_steps)
+    [ 10; 100; 1000; 100_000 ];
+
+  (* 2. Parallel verification (the paper leans on parallel query
+     execution): domains vs tables. *)
+  Printf.printf
+    "\n-- parallel verification (8 tables x 500 txns; host has %d core(s)) --\n"
+    (Domain.recommended_domain_count ());
+  let db =
+    Database.create ~block_size:100_000 ~clock:(deterministic_clock ())
+      ~name:"abl-par" ()
+  in
+  let tables =
+    List.init 8 (fun i ->
+        Database.create_ledger_table db
+          ~name:(Printf.sprintf "t%d" i)
+          ~columns:wide_columns ~key:[ "id" ] ())
+  in
+  let prng = Workload.Prng.create 3 in
+  List.iter
+    (fun table ->
+      for i = 1 to 500 do
+        let (), _ =
+          Database.with_txn db ~user:"a" (fun txn ->
+              Txn.insert txn table (wide_row prng i))
+        in
+        ()
+      done)
+    tables;
+  let d = Option.get (Database.generate_digest db) in
+  Database.checkpoint db;
+  Printf.printf "%6s %16s %9s\n" "jobs" "verify time (s)" "speedup";
+  let base = ref 0.0 in
+  List.iter
+    (fun jobs ->
+      let t =
+        Workload.Runner.time (fun () ->
+            assert (Verifier.ok (Verifier.verify ~jobs db ~digests:[ d ])))
+      in
+      if jobs = 1 then base := t;
+      Printf.printf "%6d %16.3f %8.2fx\n" jobs t (!base /. t))
+    [ 1; 2; 4; 8 ];
+
+  (* 3. Streaming Merkle state (§3.2.1): O(log N) space. *)
+  print_endline "\n-- streaming Merkle accumulator state --";
+  Printf.printf "%12s %14s\n" "leaves" "pending nodes";
+  List.iter
+    (fun n ->
+      let leaf = Ledger_crypto.Sha256.digest_string "x" in
+      let acc = ref Merkle.Streaming.empty in
+      for _ = 1 to n do
+        acc := Merkle.Streaming.add_leaf !acc leaf
+      done;
+      Printf.printf "%12d %14d\n" n
+        (List.length (Merkle.Streaming.levels !acc)))
+    [ 100; 10_000; 1_000_000 ]
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("fabric", fabric);
+    ("decomp", decomp); ("ablation", ablation);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          f ();
+          print_newline ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (available: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested

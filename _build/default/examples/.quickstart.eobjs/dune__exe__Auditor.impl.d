@@ -1,0 +1,1 @@
+examples/auditor.ml: Column Database Datatype Digest Format List Option Printf Receipt Relation Result Sql_ledger String Tamper Txn Types Value Verifier

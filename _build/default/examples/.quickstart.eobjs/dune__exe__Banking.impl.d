@@ -1,0 +1,1 @@
+examples/banking.ml: Array Column Database Datatype Digest Format Ledger_table Merkle Printf Receipt Relation Sql_ledger Sqlexec Trusted_store Txn Types Value Verifier

@@ -1,0 +1,1 @@
+examples/disaster_recovery.ml: Array Column Database Datatype Digest Filename Format Fun List Option Printf Relation Replica Result Sql_ledger Sqlexec Sys Trusted_store Txn Value Verifier Wal_replay

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Column Database Datatype Digest Format Ledger_table Option Relation Sql_ledger Sqlexec Storage Txn Value Verifier

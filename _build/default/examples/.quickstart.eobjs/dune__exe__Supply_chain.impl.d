@@ -1,0 +1,1 @@
+examples/supply_chain.ml: Column Database Datatype Digest Format List Option Printf Relation Sql_ledger Sqlexec Tamper Tamper_recovery Trusted_store Txn Value Verifier

@@ -1,0 +1,142 @@
+(* A small core-banking system of record: accounts and transfers on ledger
+   tables, periodic digests to a WORM store, savepoints for business rules,
+   receipts for large deposits, and a full audit at the end.
+
+     dune exec examples/banking.exe
+*)
+
+open Relation
+open Sql_ledger
+module WS = Trusted_store.Worm_store
+module DM = Trusted_store.Digest_manager
+
+let vi = Value.int
+let vs s = Value.String s
+
+type bank = {
+  db : Database.t;
+  accounts : Ledger_table.t;
+  transfers : Ledger_table.t;
+  dm : DM.t;
+  mutable next_transfer : int;
+}
+
+let create_bank () =
+  let db =
+    Database.create ~block_size:8 ~signing_seed:"bank-hsm-seed" ~name:"bank" ()
+  in
+  let accounts =
+    Database.create_ledger_table db ~name:"accounts"
+      ~columns:
+        [
+          Column.make "owner" (Datatype.Varchar 40);
+          Column.make "balance" Datatype.Int;
+        ]
+      ~key:[ "owner" ] ()
+  in
+  (* Transfers are append-only: a payment record must never change. *)
+  let transfers =
+    Database.create_ledger_table db ~kind:`Append_only ~name:"transfers"
+      ~columns:
+        [
+          Column.make "transfer_id" Datatype.Int;
+          Column.make "from_owner" (Datatype.Varchar 40);
+          Column.make "to_owner" (Datatype.Varchar 40);
+          Column.make "amount" Datatype.Int;
+        ]
+      ~key:[ "transfer_id" ] ()
+  in
+  let store = WS.create ~hmac_key:"bank-escrow-key" () in
+  let dm = DM.create ~store () in
+  { db; accounts; transfers; dm; next_transfer = 1 }
+
+let open_account bank ~owner ~initial =
+  ignore
+    (Database.with_txn bank.db ~user:"branch" (fun txn ->
+         Txn.insert txn bank.accounts [| vs owner; vi initial |]))
+
+let balance bank owner =
+  match Ledger_table.find bank.accounts ~key:[| vs owner |] with
+  | Some row -> ( match row.(1) with Value.Int b -> b | _ -> 0)
+  | None -> failwith ("no account: " ^ owner)
+
+(* A transfer uses a savepoint: the fee posting is optional and rolled back
+   for premium customers, exercising partial rollback (§3.2.1). *)
+let transfer bank ~user ~from_owner ~to_owner ~amount ~premium =
+  let id = bank.next_transfer in
+  bank.next_transfer <- id + 1;
+  let _, entry =
+    Database.with_txn bank.db ~user (fun txn ->
+        let from_balance = balance bank from_owner in
+        if from_balance < amount then failwith "insufficient funds";
+        Txn.update txn bank.accounts ~key:[| vs from_owner |]
+          [| vs from_owner; vi (from_balance - amount) |];
+        let to_balance = balance bank to_owner in
+        Txn.update txn bank.accounts ~key:[| vs to_owner |]
+          [| vs to_owner; vi (to_balance + amount) |];
+        Txn.insert txn bank.transfers
+          [| vi id; vs from_owner; vs to_owner; vi amount |];
+        (* Fee: provisionally charge, then waive for premium customers. *)
+        let before_fee = Txn.savepoint txn in
+        let b = balance bank from_owner in
+        Txn.update txn bank.accounts ~key:[| vs from_owner |]
+          [| vs from_owner; vi (b - 1) |];
+        if premium then Txn.rollback_to txn before_fee)
+  in
+  entry
+
+let () =
+  let bank = create_bank () in
+  open_account bank ~owner:"ada" ~initial:1000;
+  open_account bank ~owner:"grace" ~initial:250;
+  open_account bank ~owner:"edsger" ~initial:0;
+
+  ignore (transfer bank ~user:"teller-1" ~from_owner:"ada" ~to_owner:"grace" ~amount:200 ~premium:true);
+  (match DM.upload bank.dm bank.db with
+  | DM.Uploaded d -> Printf.printf "digest for block %d escrowed\n" d.Digest.block_id
+  | _ -> print_endline "digest upload skipped");
+
+  ignore (transfer bank ~user:"teller-2" ~from_owner:"grace" ~to_owner:"edsger" ~amount:100 ~premium:false);
+  let big = transfer bank ~user:"teller-1" ~from_owner:"ada" ~to_owner:"edsger" ~amount:500 ~premium:true in
+  (match DM.upload bank.dm bank.db with
+  | DM.Uploaded d -> Printf.printf "digest for block %d escrowed\n" d.Digest.block_id
+  | _ -> print_endline "digest upload skipped");
+
+  Printf.printf "\nbalances: ada=%d grace=%d edsger=%d\n" (balance bank "ada")
+    (balance bank "grace") (balance bank "edsger");
+  assert (balance bank "ada" = 300) (* premium: fees waived *);
+  assert (balance bank "grace" = 349) (* 250 + 200 - 100 - 1 fee *);
+
+  (* Edsger wants proof of the 500 deposit that survives even if the bank
+     later destroys its ledger. *)
+  (match Receipt.generate bank.db ~txn_id:big.Types.txn_id with
+  | Ok receipt ->
+      (match Receipt.verify receipt with
+      | Ok () ->
+          Printf.printf
+            "\nreceipt for transaction %d verifies independently (%d-step \
+             Merkle proof, signed block root)\n"
+            big.Types.txn_id
+            (Merkle.Proof.length receipt.Receipt.proof)
+      | Error e -> failwith e)
+  | Error e -> failwith e);
+
+  (* Quarterly audit: all escrowed digests against the live database. *)
+  let digests =
+    match
+      DM.digests_for_incarnation bank.dm
+        ~db_id:(Database.database_id bank.db)
+        ~create_time:(Database.create_time bank.db)
+    with
+    | Ok ds -> ds
+    | Error e -> failwith e
+  in
+  let report = Verifier.verify bank.db ~digests in
+  Format.printf "\naudit: %a@." Verifier.pp_report report;
+
+  (* The full movement history of grace's account, for the auditors. *)
+  print_endline "\naccount history (grace):";
+  Format.printf "%a@." Sqlexec.Rel.pp
+    (Database.query bank.db
+       "SELECT owner, balance, operation, transaction_id \
+        FROM accounts__ledger_view WHERE owner = 'grace'")

@@ -1,0 +1,107 @@
+(* Disaster recovery end to end: write-ahead logging, a streaming geo-
+   secondary with the §3.6 digest gate, a primary crash, log-based rebuild,
+   and failover — with every recovered instance still verifying against the
+   digests issued before the disaster.
+
+     dune exec examples/disaster_recovery.exe
+*)
+
+open Relation
+open Sql_ledger
+module DM = Trusted_store.Digest_manager
+module WS = Trusted_store.Worm_store
+
+let vi = Value.int
+let vs s = Value.String s
+
+let () =
+  let wal_path = Filename.temp_file "dr-primary" ".wal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove wal_path with Sys_error _ -> ())
+  @@ fun () ->
+  (* --- primary region --- *)
+  let primary =
+    Database.create ~block_size:4 ~wal_path ~signing_seed:"dr" ~name:"orders" ()
+  in
+  let orders =
+    Database.create_ledger_table primary ~name:"orders"
+      ~columns:
+        [
+          Column.make "order_id" Datatype.Int;
+          Column.make "customer" (Datatype.Varchar 32);
+          Column.make "status" (Datatype.Varchar 16);
+        ]
+      ~key:[ "order_id" ] ()
+  in
+  (* --- secondary region: a streaming replica fed from the WAL --- *)
+  let replica = Replica.create () in
+  (* --- digest escrow, gated on the secondary's replication point --- *)
+  let store = WS.create ~hmac_key:"escrow" () in
+  let dm =
+    DM.create ~replicated_upto:(fun () -> Replica.replicated_upto replica) ~store ()
+  in
+
+  (* Normal operation: orders flow, the log ships, digests go out. *)
+  for i = 1 to 8 do
+    ignore
+      (Database.with_txn primary ~user:"web" (fun txn ->
+           Txn.insert txn orders
+             [| vi i; vs (Printf.sprintf "cust%02d" i); vs "placed" |]))
+  done;
+  (match DM.upload dm primary with
+  | DM.Deferred_replication_lag ->
+      print_endline "digest deferred: the secondary has not caught up (§3.6 gate)"
+  | _ -> failwith "expected deferral");
+  (match Replica.feed_from_file replica ~wal_path with
+  | Ok () -> print_endline "log shipped to the secondary"
+  | Error e -> failwith e);
+  let escrowed =
+    match DM.upload dm primary with
+    | DM.Uploaded d ->
+        Printf.printf "digest for block %d escrowed (secondary is caught up)\n"
+          d.Digest.block_id;
+        d
+    | _ -> failwith "expected upload"
+  in
+  ignore (Replica.feed_from_file replica ~wal_path);
+
+  (* A few more orders that will be lost if they don't reach the
+     secondary... but they are in the WAL. *)
+  ignore
+    (Database.with_txn primary ~user:"web" (fun txn ->
+         Txn.update txn orders ~key:[| vi 3 |] [| vi 3; vs "cust03"; vs "shipped" |]));
+
+  print_endline "\n*** primary region lost ***\n";
+
+  (* Path A: rebuild from the surviving WAL (same-region recovery). *)
+  (match Wal_replay.replay_file ~wal_path () with
+  | Error e -> failwith e
+  | Ok rebuilt ->
+      let report = Verifier.verify rebuilt ~digests:[ escrowed ] in
+      Format.printf "rebuilt from WAL: %a@." Verifier.pp_report report;
+      assert (Verifier.ok report);
+      let r =
+        Database.query rebuilt "SELECT status FROM orders WHERE order_id = 3"
+      in
+      Printf.printf "order 3 after WAL rebuild: %s (the post-digest update survived)\n"
+        (Value.to_string (List.hd r.Sqlexec.Rel.rows).(0)));
+
+  (* Path B: promote the geo-secondary (cross-region failover). *)
+  let promoted = Result.get_ok (Replica.promote replica) in
+  let report = Verifier.verify promoted ~digests:[ escrowed ] in
+  Format.printf "@.promoted secondary: %a@." Verifier.pp_report report;
+  assert (Verifier.ok report);
+  let r =
+    Database.query promoted "SELECT status FROM orders WHERE order_id = 3"
+  in
+  Printf.printf
+    "order 3 on the promoted secondary: %s (the unshipped tail is lost —\n\
+     which is exactly why the §3.6 gate never digested it)\n"
+    (Value.to_string (List.hd r.Sqlexec.Rel.rows).(0));
+  (* Business continues on the new primary. *)
+  let orders' = Database.ledger_table promoted "orders" in
+  ignore
+    (Database.with_txn promoted ~user:"web" (fun txn ->
+         Txn.insert txn orders' [| vi 100; vs "cust99"; vs "placed" |]));
+  let d = Option.get (Database.generate_digest promoted) in
+  assert (Verifier.ok (Verifier.verify promoted ~digests:[ escrowed; d ]));
+  print_endline "\nnew primary verified; business continues"

@@ -1,0 +1,376 @@
+(* Classic B+tree. Interior nodes hold separator keys and children; all
+   bindings live in the leaves. Separator keys.(i) is the minimum key of the
+   subtree kids.(i + 1), so a lookup descends into the rightmost child whose
+   separator is <= the probe. Node arrays are copied on modification; with
+   the default order of 32 this keeps rebalancing code simple without
+   measurable cost. *)
+
+type ('k, 'v) leaf = { mutable keys : 'k array; mutable vals : 'v array }
+
+type ('k, 'v) interior = {
+  mutable keys : 'k array;
+  mutable kids : ('k, 'v) node array;
+}
+
+and ('k, 'v) node = Leaf of ('k, 'v) leaf | Node of ('k, 'v) interior
+
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  order : int;
+  mutable root : ('k, 'v) node;
+  mutable size : int;
+}
+
+let create ?(order = 32) ~cmp () =
+  if order < 4 then invalid_arg "Btree.create: order must be >= 4";
+  { cmp; order; root = Leaf { keys = [||]; vals = [||] }; size = 0 }
+
+let length t = t.size
+
+(* Index of the child to descend into: number of separators <= key. *)
+let child_index cmp keys key =
+  let n = Array.length keys in
+  let rec go lo hi =
+    (* Invariant: separators < lo are <= key; separators >= hi are > key. *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cmp keys.(mid) key <= 0 then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+(* Position of [key] in a leaf's key array: [Found i] or [Insert_at i]. *)
+type position = Found of int | Insert_at of int
+
+let leaf_position cmp keys key =
+  let n = Array.length keys in
+  let rec go lo hi =
+    if lo >= hi then Insert_at lo
+    else
+      let mid = (lo + hi) / 2 in
+      let c = cmp keys.(mid) key in
+      if c = 0 then Found mid
+      else if c < 0 then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 n
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr i out (i + 1) (n - i);
+  out
+
+let array_remove arr i =
+  let n = Array.length arr in
+  let out = Array.sub arr 0 (n - 1) in
+  Array.blit arr (i + 1) out i (n - 1 - i);
+  out
+
+let find t key =
+  let rec go = function
+    | Leaf { keys; vals } -> (
+        match leaf_position t.cmp keys key with
+        | Found i -> Some vals.(i)
+        | Insert_at _ -> None)
+    | Node { keys; kids } -> go kids.(child_index t.cmp keys key)
+  in
+  go t.root
+
+let mem t key = find t key <> None
+
+let min_key = function
+  | Leaf { keys; _ } -> if Array.length keys = 0 then None else Some keys.(0)
+  | Node _ -> None (* only called on leaves via leftmost descent *)
+
+let rec leftmost = function
+  | Leaf _ as l -> l
+  | Node { kids; _ } -> leftmost kids.(0)
+
+let subtree_min node =
+  match min_key (leftmost node) with
+  | Some k -> k
+  | None -> failwith "Btree: empty subtree"
+
+(* insert: returns [Some (sep, right)] if the node split, where [sep] is the
+   minimum key of [right]. *)
+let insert t key value =
+  let max_leaf = t.order - 1 in
+  let replaced = ref None in
+  let rec go node =
+    match node with
+    | Leaf lf -> (
+        match leaf_position t.cmp lf.keys key with
+        | Found i ->
+            replaced := Some lf.vals.(i);
+            let vals = Array.copy lf.vals in
+            vals.(i) <- value;
+            lf.vals <- vals;
+            None
+        | Insert_at i ->
+            lf.keys <- array_insert lf.keys i key;
+            lf.vals <- array_insert lf.vals i value;
+            t.size <- t.size + 1;
+            if Array.length lf.keys > max_leaf then begin
+              let n = Array.length lf.keys in
+              let mid = n / 2 in
+              let rkeys = Array.sub lf.keys mid (n - mid) in
+              let rvals = Array.sub lf.vals mid (n - mid) in
+              lf.keys <- Array.sub lf.keys 0 mid;
+              lf.vals <- Array.sub lf.vals 0 mid;
+              Some (rkeys.(0), Leaf { keys = rkeys; vals = rvals })
+            end
+            else None)
+    | Node nd -> (
+        let i = child_index t.cmp nd.keys key in
+        match go nd.kids.(i) with
+        | None -> None
+        | Some (sep, right) ->
+            nd.keys <- array_insert nd.keys i sep;
+            nd.kids <- array_insert nd.kids (i + 1) right;
+            if Array.length nd.kids > t.order then begin
+              (* Split interior node: middle separator moves up. *)
+              let nk = Array.length nd.keys in
+              let mid = nk / 2 in
+              let up = nd.keys.(mid) in
+              let rkeys = Array.sub nd.keys (mid + 1) (nk - mid - 1) in
+              let rkids =
+                Array.sub nd.kids (mid + 1) (Array.length nd.kids - mid - 1)
+              in
+              nd.keys <- Array.sub nd.keys 0 mid;
+              nd.kids <- Array.sub nd.kids 0 (mid + 1);
+              Some (up, Node { keys = rkeys; kids = rkids })
+            end
+            else None)
+  in
+  (match go t.root with
+  | None -> ()
+  | Some (sep, right) ->
+      t.root <- Node { keys = [| sep |]; kids = [| t.root; right |] });
+  !replaced
+
+(* Deletion. Returns [true] when the child underflowed and needs fixing by
+   the parent. Minimum fill: leaves hold >= (order-1)/2 entries, interior
+   nodes >= order/2 children; the root is exempt. *)
+let remove t key =
+  let min_leaf = (t.order - 1) / 2 in
+  let min_kids = t.order / 2 in
+  let removed = ref None in
+  let underflow = function
+    | Leaf { keys; _ } -> Array.length keys < min_leaf
+    | Node { kids; _ } -> Array.length kids < min_kids
+  in
+  let rec go node =
+    match node with
+    | Leaf lf -> (
+        match leaf_position t.cmp lf.keys key with
+        | Insert_at _ -> false
+        | Found i ->
+            removed := Some lf.vals.(i);
+            lf.keys <- array_remove lf.keys i;
+            lf.vals <- array_remove lf.vals i;
+            t.size <- t.size - 1;
+            Array.length lf.keys < min_leaf)
+    | Node nd ->
+        let i = child_index t.cmp nd.keys key in
+        let child_underflowed = go nd.kids.(i) in
+        if not child_underflowed then begin
+          (* The separator may have pointed at the removed key. *)
+          if i > 0 && !removed <> None then
+            nd.keys.(i - 1) <- subtree_min nd.kids.(i);
+          false
+        end
+        else begin
+          fix_child nd i;
+          underflow (Node nd)
+        end
+  and fix_child nd i =
+    let borrow_from_left l r =
+      match (l, r) with
+      | Leaf ll, Leaf rl ->
+          let n = Array.length ll.keys in
+          let k = ll.keys.(n - 1) and v = ll.vals.(n - 1) in
+          ll.keys <- array_remove ll.keys (n - 1);
+          ll.vals <- array_remove ll.vals (n - 1);
+          rl.keys <- array_insert rl.keys 0 k;
+          rl.vals <- array_insert rl.vals 0 v;
+          nd.keys.(i - 1) <- k
+      | Node ln, Node rn ->
+          let nk = Array.length ln.keys in
+          let moved_kid = ln.kids.(Array.length ln.kids - 1) in
+          let new_sep = ln.keys.(nk - 1) in
+          ln.keys <- array_remove ln.keys (nk - 1);
+          ln.kids <- array_remove ln.kids (Array.length ln.kids - 1);
+          rn.keys <- array_insert rn.keys 0 nd.keys.(i - 1);
+          rn.kids <- array_insert rn.kids 0 moved_kid;
+          nd.keys.(i - 1) <- new_sep
+      | _ -> assert false
+    in
+    let borrow_from_right l r =
+      match (l, r) with
+      | Leaf ll, Leaf rl ->
+          let k = rl.keys.(0) and v = rl.vals.(0) in
+          rl.keys <- array_remove rl.keys 0;
+          rl.vals <- array_remove rl.vals 0;
+          ll.keys <- array_insert ll.keys (Array.length ll.keys) k;
+          ll.vals <- array_insert ll.vals (Array.length ll.vals) v;
+          nd.keys.(i) <- rl.keys.(0)
+      | Node ln, Node rn ->
+          let moved_kid = rn.kids.(0) in
+          let new_sep = rn.keys.(0) in
+          ln.keys <- array_insert ln.keys (Array.length ln.keys) nd.keys.(i);
+          ln.kids <- array_insert ln.kids (Array.length ln.kids) moved_kid;
+          rn.keys <- array_remove rn.keys 0;
+          rn.kids <- array_remove rn.kids 0;
+          nd.keys.(i) <- new_sep
+      | _ -> assert false
+    in
+    let merge left_idx =
+      (* Merge kids.(left_idx + 1) into kids.(left_idx). *)
+      let sep = nd.keys.(left_idx) in
+      (match (nd.kids.(left_idx), nd.kids.(left_idx + 1)) with
+      | Leaf ll, Leaf rl ->
+          ll.keys <- Array.append ll.keys rl.keys;
+          ll.vals <- Array.append ll.vals rl.vals
+      | Node ln, Node rn ->
+          ln.keys <- Array.concat [ ln.keys; [| sep |]; rn.keys ];
+          ln.kids <- Array.append ln.kids rn.kids
+      | _ -> assert false);
+      nd.keys <- array_remove nd.keys left_idx;
+      nd.kids <- array_remove nd.kids (left_idx + 1)
+    in
+    let can_lend = function
+      | Leaf { keys; _ } -> Array.length keys > min_leaf
+      | Node { kids; _ } -> Array.length kids > min_kids
+    in
+    if i > 0 && can_lend nd.kids.(i - 1) then
+      borrow_from_left nd.kids.(i - 1) nd.kids.(i)
+    else if i < Array.length nd.kids - 1 && can_lend nd.kids.(i + 1) then
+      borrow_from_right nd.kids.(i) nd.kids.(i + 1)
+    else if i > 0 then merge (i - 1)
+    else merge i;
+    (* Refresh separators that might be stale after restructuring. *)
+    for j = 0 to Array.length nd.keys - 1 do
+      nd.keys.(j) <- subtree_min nd.kids.(j + 1)
+    done
+  in
+  ignore (go t.root : bool);
+  (* Collapse a root that lost all separators. *)
+  (match t.root with
+  | Node { kids; _ } when Array.length kids = 1 -> t.root <- kids.(0)
+  | _ -> ());
+  !removed
+
+let iter f t =
+  let rec go = function
+    | Leaf { keys; vals } ->
+        Array.iteri (fun i k -> f k vals.(i)) keys
+    | Node { kids; _ } -> Array.iter go kids
+  in
+  go t.root
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun k v -> acc := f !acc k v) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc k v -> (k, v) :: acc) [] t)
+
+let range t ?lo ?hi () =
+  let keep k =
+    (match lo with Some l -> t.cmp l k <= 0 | None -> true)
+    && match hi with Some h -> t.cmp k h <= 0 | None -> true
+  in
+  let out = ref [] in
+  let rec go = function
+    | Leaf { keys; vals } ->
+        Array.iteri (fun i k -> if keep k then out := (k, vals.(i)) :: !out) keys
+    | Node { keys; kids } ->
+        (* Prune subtrees entirely outside the range. *)
+        let n = Array.length kids in
+        for i = 0 to n - 1 do
+          let sub_lo = if i = 0 then None else Some keys.(i - 1) in
+          let sub_hi = if i = n - 1 then None else Some keys.(i) in
+          let overlaps =
+            (match (hi, sub_lo) with
+            | Some h, Some sl -> t.cmp sl h <= 0
+            | _ -> true)
+            &&
+            match (lo, sub_hi) with
+            | Some l, Some sh -> t.cmp l sh <= 0
+            | _ -> true
+          in
+          if overlaps then go kids.(i)
+        done
+  in
+  go t.root;
+  List.rev !out
+
+let min_binding t =
+  match leftmost t.root with
+  | Leaf { keys; vals } ->
+      if Array.length keys = 0 then None else Some (keys.(0), vals.(0))
+  | Node _ -> assert false
+
+let max_binding t =
+  let rec rightmost = function
+    | Leaf { keys; vals } ->
+        let n = Array.length keys in
+        if n = 0 then None else Some (keys.(n - 1), vals.(n - 1))
+    | Node { kids; _ } -> rightmost kids.(Array.length kids - 1)
+  in
+  rightmost t.root
+
+let clear t =
+  t.root <- Leaf { keys = [||]; vals = [||] };
+  t.size <- 0
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let min_leaf = (t.order - 1) / 2 in
+  let min_kids = t.order / 2 in
+  let count = ref 0 in
+  let rec go ~is_root node =
+    match node with
+    | Leaf { keys; vals } ->
+        if Array.length keys <> Array.length vals then
+          fail "leaf keys/vals length mismatch";
+        if (not is_root) && Array.length keys < min_leaf then
+          fail "leaf underfull: %d < %d" (Array.length keys) min_leaf;
+        if Array.length keys > t.order - 1 then fail "leaf overfull";
+        for i = 1 to Array.length keys - 1 do
+          if t.cmp keys.(i - 1) keys.(i) >= 0 then fail "leaf keys unsorted"
+        done;
+        count := !count + Array.length keys
+    | Node { keys; kids } ->
+        if Array.length kids <> Array.length keys + 1 then
+          fail "interior arity mismatch";
+        if (not is_root) && Array.length kids < min_kids then
+          fail "interior underfull";
+        if Array.length kids > t.order then fail "interior overfull";
+        for i = 1 to Array.length keys - 1 do
+          if t.cmp keys.(i - 1) keys.(i) >= 0 then
+            fail "interior keys unsorted"
+        done;
+        (* A separator need not equal the right subtree's minimum after
+           deletions; the search invariant is max(left) < sep <= min(right). *)
+        let rec sub_min = function
+          | Leaf { keys; _ } -> keys.(0)
+          | Node { kids; _ } -> sub_min kids.(0)
+        in
+        let rec sub_max = function
+          | Leaf { keys; _ } -> keys.(Array.length keys - 1)
+          | Node { kids; _ } -> sub_max kids.(Array.length kids - 1)
+        in
+        Array.iteri
+          (fun i sep ->
+            if t.cmp (sub_max kids.(i)) sep >= 0 then
+              fail "separator <= max of left subtree";
+            if t.cmp sep (sub_min kids.(i + 1)) > 0 then
+              fail "separator > min of right subtree")
+          keys;
+        Array.iter (go ~is_root:false) kids
+  in
+  go ~is_root:true t.root;
+  if !count <> t.size then fail "size mismatch: %d <> %d" !count t.size

@@ -1,0 +1,43 @@
+(** In-memory B+tree.
+
+    Backs clustered indexes (primary key → row) and non-clustered indexes
+    (key → primary key) of the storage engine. Ordered iteration drives
+    clustered-order scans, which verification query 5 (paper §3.4.2) relies
+    on when comparing base tables against their non-clustered indexes. *)
+
+type ('k, 'v) t
+
+val create : ?order:int -> cmp:('k -> 'k -> int) -> unit -> ('k, 'v) t
+(** [order] is the maximum number of children of an interior node (default
+    32, minimum 4). *)
+
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val insert : ('k, 'v) t -> 'k -> 'v -> 'v option
+(** Insert or replace; returns the previous binding if any. *)
+
+val remove : ('k, 'v) t -> 'k -> 'v option
+(** Remove; returns the removed binding if any. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** In ascending key order. *)
+
+val fold : ('acc -> 'k -> 'v -> 'acc) -> 'acc -> ('k, 'v) t -> 'acc
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+
+val range : ('k, 'v) t -> ?lo:'k -> ?hi:'k -> unit -> ('k * 'v) list
+(** Bindings with [lo <= k <= hi] (either bound optional), ascending. *)
+
+val min_binding : ('k, 'v) t -> ('k * 'v) option
+val max_binding : ('k, 'v) t -> ('k * 'v) option
+
+val clear : ('k, 'v) t -> unit
+
+val check_invariants : ('k, 'v) t -> unit
+(** Raises [Failure] if a structural invariant is violated (node fill
+    factors, key ordering, separator correctness). Test hook. *)

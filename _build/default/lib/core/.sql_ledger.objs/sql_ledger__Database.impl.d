@@ -1,0 +1,1 @@
+lib/core/database.ml: Aries Array Column Database_ledger Datatype Ledger_crypto Ledger_table List Printf Relation Row Schema Sjson Sqlexec Storage String System_columns Txn Types Unix Value

@@ -1,0 +1,1 @@
+lib/core/database.mli: Database_ledger Digest Ledger_table Relation Sjson Sqlexec Storage Txn Types

@@ -1,0 +1,1 @@
+lib/core/database_ledger.ml: Aries Array Column Datatype Digest Float Ledger_crypto List Merkle Option Relation Row Schema Sjson Sqlexec Storage Types Unix Value

@@ -1,0 +1,1 @@
+lib/core/database_ledger.mli: Aries Digest Ledger_crypto Relation Sjson Storage Types

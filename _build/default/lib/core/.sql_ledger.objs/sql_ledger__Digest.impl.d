@@ -1,0 +1,1 @@
+lib/core/digest.ml: Float Format Ledger_crypto List Sjson String

@@ -1,0 +1,1 @@
+lib/core/digest.mli: Format Sjson

@@ -1,0 +1,1 @@
+lib/core/dml.ml: Array Column Database Format Ledger_table List Option Printf Relation Row Schema Sqlexec Storage String Txn Types Value

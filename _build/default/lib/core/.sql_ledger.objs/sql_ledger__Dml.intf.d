@@ -1,0 +1,1 @@
+lib/core/dml.mli: Database Format Sqlexec

@@ -1,0 +1,1 @@
+lib/core/durable.ml: Database Database_ledger Filename Snapshot Sys Unix Wal_replay

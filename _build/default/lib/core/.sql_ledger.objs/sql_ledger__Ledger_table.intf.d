@@ -1,0 +1,1 @@
+lib/core/ledger_table.mli: Relation Storage Types

@@ -1,0 +1,1 @@
+lib/core/receipt.ml: Database Database_ledger Digest Ledger_crypto List Merkle Printf Sjson String Types

@@ -1,0 +1,1 @@
+lib/core/receipt.mli: Database Digest Ledger_crypto Merkle Sjson Types

@@ -1,0 +1,1 @@
+lib/core/replica.ml: Aries Database Database_ledger Float Hashtbl Sjson Types Unix Wal_replay

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Aries Array Column Database Database_ledger Fun In_channel Ledger_table List Printf Relation Schema Sjson Storage Types Unix Value

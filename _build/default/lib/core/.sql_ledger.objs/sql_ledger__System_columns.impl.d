@@ -1,0 +1,1 @@
+lib/core/system_columns.ml: Array Column Datatype List Relation Schema Types Value

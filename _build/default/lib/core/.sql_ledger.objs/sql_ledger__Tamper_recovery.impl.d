@@ -1,0 +1,1 @@
+lib/core/tamper_recovery.ml: Array Database Fun Ledger_table List Relation Row Storage Verifier

@@ -1,0 +1,1 @@
+lib/core/tamper_recovery.mli: Database Relation Verifier

@@ -1,0 +1,1 @@
+lib/core/truncation.ml: Database Database_ledger Ledger_table List Relation Row Storage System_columns Txn Types Value Verifier

@@ -1,0 +1,1 @@
+lib/core/truncation.mli: Database Digest Verifier

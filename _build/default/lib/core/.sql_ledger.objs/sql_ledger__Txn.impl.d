@@ -1,0 +1,1 @@
+lib/core/txn.ml: Aries Array Database_ledger Ledger_table List Merkle Relation Row Sjson Storage Types Value

@@ -1,0 +1,1 @@
+lib/core/txn.mli: Database_ledger Ledger_table Relation Storage Types

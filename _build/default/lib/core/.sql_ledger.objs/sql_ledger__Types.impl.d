@@ -1,0 +1,1 @@
+lib/core/types.ml: Ledger_crypto List Printf Relation Sjson

@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Array Database Database_ledger Digest Domain Format Ledger_crypto Ledger_table List Merkle Option Printf Relation Row Sjson Sqlexec Storage String System_columns Types Value

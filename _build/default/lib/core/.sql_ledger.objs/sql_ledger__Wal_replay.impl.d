@@ -1,0 +1,1 @@
+lib/core/wal_replay.ml: Aries Array Database Database_ledger Hashtbl In_channel Ledger_table List Option Printf Relation Result Row Sjson Snapshot Storage Types Unix Value

@@ -1,0 +1,1 @@
+lib/core/wal_replay.mli: Aries Database Sjson

@@ -1,0 +1,154 @@
+(** The Database Ledger (paper §2.2, §3.3): a blockchain over transaction
+    entries, physically stored in two system tables.
+
+    Commit entries are first appended to an in-memory queue (mirrored by the
+    COMMIT WAL record, §3.3.2) and flushed to the
+    "database_ledger_transactions" system table at checkpoints. A block
+    closes when it reaches [block_size] transactions or when a digest is
+    generated, whichever comes first; closing computes the Merkle root over
+    the block's entry hashes and chains it to the previous block's hash. *)
+
+type t
+
+val create :
+  ?block_size:int ->
+  ?wal_path:string ->
+  ?signing_seed:string ->
+  ?commit_cost_us:float ->
+  database_id:string ->
+  db_create_time:float ->
+  unit ->
+  t
+(** [block_size] defaults to 100_000 (the paper's block size).
+    [signing_seed], when given, enables per-block Lamport signatures for
+    receipts (§5.1). [commit_cost_us] (default 0) simulates the durable
+    commit latency of a production engine — the paper measures ~125 us for
+    SQL Server's commit path (§4.1.2) — so throughput comparisons can be
+    calibrated against a realistic baseline. *)
+
+val block_size : t -> int
+val database_id : t -> string
+val db_create_time : t -> float
+val wal : t -> Aries.Wal.t
+
+val attach_wal : t -> string -> unit
+(** Close the current log and start a fresh file-backed one (truncating).
+    Callers must persist a snapshot first — the old log's history is gone. *)
+
+val next_txn_id : t -> int
+(** Allocate a fresh transaction id (also logs BEGIN). *)
+
+val log_abort : t -> txn_id:int -> unit
+
+val append_commit :
+  t ->
+  txn_id:int ->
+  commit_ts:float ->
+  user:string ->
+  table_roots:(int * string) list ->
+  Types.txn_entry
+(** Assign the transaction to the current block, append its entry to the
+    in-memory queue and write the COMMIT WAL record. Closes the block when
+    it becomes full. *)
+
+val checkpoint : t -> unit
+(** Flush queued entries to the transactions system table and log a
+    CHECKPOINT record. *)
+
+val close_current_block : t -> unit
+(** Force-close the current block if it contains transactions. *)
+
+val generate_digest : t -> time:float -> Digest.t option
+(** Close the current block (if non-empty) and return a digest of the
+    latest block; [None] when no transaction was ever committed. *)
+
+val entry_hash : Types.txn_entry -> string
+(** Raw 32-byte hash of a transaction entry — LEDGERHASH over (txn_id,
+    block_id, ordinal, commit_ts, user, table_roots JSON), exactly what the
+    verification queries recompute. *)
+
+val block_hash : Types.block -> string
+(** Raw hash of a block — LEDGERHASH over (block_id, prev_hash hex,
+    txn_root hex, txn_count, closed_ts). *)
+
+val blocks : t -> Types.block list
+(** Closed blocks in block-id order, read back from the system table. *)
+
+val entries : t -> Types.txn_entry list
+(** All transaction entries (flushed ∪ queued), in (block, ordinal) order. *)
+
+val entries_of_block : t -> block_id:int -> Types.txn_entry list
+
+val find_entry : t -> txn_id:int -> Types.txn_entry option
+
+val queue_length : t -> int
+val last_commit_ts : t -> float
+val current_block_id : t -> int
+
+val block_signature :
+  t -> block_id:int -> (Ledger_crypto.Lamport.public_key * Ledger_crypto.Lamport.signature) option
+(** Signature over the block's hash under the block's one-time key; [None]
+    when the ledger has no signing seed or the block is not closed. *)
+
+(** {1 System-table access (verification reads these through SQL)} *)
+
+val transactions_table_columns : string list
+val blocks_table_columns : string list
+
+val transactions_rows : t -> Relation.Row.t list
+(** Rows of "database_ledger_transactions" (flushed ∪ queued). *)
+
+val blocks_rows : t -> Relation.Row.t list
+
+(** {1 Raw tamper surface} *)
+
+val raw_blocks_table : t -> Storage.Table_store.t
+val raw_transactions_table : t -> Storage.Table_store.t
+(** Direct access for the tamper toolkit; queued entries are not reachable
+    here, matching the reality that an attacker edits storage, not the
+    process's memory. *)
+
+val with_create_time : t -> float -> t
+(** Same ledger, different database create time — used when a restore
+    starts a new incarnation (§3.6). *)
+
+val unsafe_copy : t -> t
+(** Deep copy for database backups. The copy gets a fresh in-memory WAL (a
+    backup does not carry the live log). *)
+
+(** {1 Replay support (used by {!Wal_replay})} *)
+
+val replay_commit : t -> Types.txn_entry -> unit
+(** Re-enqueue a committed entry during log replay without re-logging. *)
+
+val note_txn_id : t -> int -> unit
+(** Advance the transaction-id allocator past a replayed id. *)
+
+val replay_block_close : t -> unit
+(** Close the current block during replay without re-logging. *)
+
+(** {1 Snapshot support} *)
+
+val to_snapshot : t -> Sjson.t
+(** Full internal state as JSON (includes the signing seed if any: snapshots
+    are backups, not public artifacts). *)
+
+val of_snapshot : ?wal_path:string -> Sjson.t -> (t, string) result
+(** [wal_path] attaches a fresh file-backed log (truncating). *)
+
+(** {1 Recovery} *)
+
+val recover :
+  ?block_size:int ->
+  ?wal_path:string ->
+  ?signing_seed:string ->
+  database_id:string ->
+  db_create_time:float ->
+  analysis:Aries.Recovery.analysis ->
+  flushed:Relation.Row.t list ->
+  blocks:Relation.Row.t list ->
+  unit ->
+  t
+(** Rebuild the ledger after a crash: [flushed]/[blocks] are the surviving
+    system-table rows; [analysis] supplies the commits whose entries were
+    still queued (paper §3.3.2, analysis phase). *)

@@ -1,0 +1,74 @@
+module Hex = Ledger_crypto.Hex
+
+type t = {
+  database_id : string;
+  db_create_time : float;
+  block_id : int;
+  block_hash : string;
+  digest_time : float;
+  last_commit_ts : float;
+}
+
+let to_json d =
+  Sjson.Obj
+    [
+      ("database_id", Sjson.String d.database_id);
+      ("db_create_time", Sjson.Float d.db_create_time);
+      ("block_id", Sjson.Int d.block_id);
+      ("hash", Sjson.String (Hex.encode d.block_hash));
+      ("digest_time", Sjson.Float d.digest_time);
+      ("last_commit_ts", Sjson.Float d.last_commit_ts);
+    ]
+
+let float_member name json =
+  match Sjson.member name json with
+  | Sjson.Float f -> f
+  | Sjson.Int i -> float_of_int i
+  | _ -> failwith ("digest field " ^ name ^ " must be a number")
+
+let of_json json =
+  try
+    let hash_hex = Sjson.get_string (Sjson.member "hash" json) in
+    if not (Hex.is_hex hash_hex) then failwith "digest hash is not hex";
+    Ok
+      {
+        database_id = Sjson.get_string (Sjson.member "database_id" json);
+        db_create_time = float_member "db_create_time" json;
+        block_id = Sjson.get_int (Sjson.member "block_id" json);
+        block_hash = Hex.decode hash_hex;
+        digest_time = float_member "digest_time" json;
+        last_commit_ts = float_member "last_commit_ts" json;
+      }
+  with
+  | Failure e | Invalid_argument e -> Error ("malformed digest: " ^ e)
+
+let to_string d = Sjson.to_string ~pretty:true (to_json d)
+
+let of_string s =
+  match Sjson.of_string s with
+  | exception Sjson.Parse_error e -> Error e
+  | json -> of_json json
+
+let list_to_json ds = Sjson.List (List.map to_json ds)
+
+let list_of_json = function
+  | Sjson.List items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match of_json item with
+            | Ok d -> go (d :: acc) rest
+            | Error e -> Error e)
+      in
+      go [] items
+  | _ -> Error "expected a JSON array of digests"
+
+let equal a b =
+  String.equal a.database_id b.database_id
+  && Float.equal a.db_create_time b.db_create_time
+  && a.block_id = b.block_id
+  && String.equal a.block_hash b.block_hash
+
+let pp fmt d =
+  Format.fprintf fmt "digest{db=%s block=%d hash=%s}" d.database_id d.block_id
+    (Hex.encode d.block_hash)

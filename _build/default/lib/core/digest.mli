@@ -1,0 +1,32 @@
+(** Database Digests (paper §2.2, §2.4).
+
+    A digest captures the whole ledger state in the hash of the latest
+    block. It is exchanged as a JSON document carrying the block id, the
+    block hash, the generation time, the commit timestamp of the last
+    transaction in the block, and the database identity (id and create
+    time — the latter distinguishes database "incarnations" after a
+    point-in-time restore, §3.6). *)
+
+type t = {
+  database_id : string;
+  db_create_time : float;
+  block_id : int;
+  block_hash : string;  (** raw 32-byte hash *)
+  digest_time : float;
+  last_commit_ts : float;
+}
+
+val to_json : t -> Sjson.t
+val of_json : Sjson.t -> (t, string) result
+val to_string : t -> string
+(** Pretty JSON document. *)
+
+val of_string : string -> (t, string) result
+
+val list_to_json : t list -> Sjson.t
+(** JSON array, the shape OPENJSON consumes in verification query 1. *)
+
+val list_of_json : Sjson.t -> (t list, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

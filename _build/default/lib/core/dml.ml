@@ -1,0 +1,202 @@
+open Relation
+module Ast = Sqlexec.Ast
+module Executor = Sqlexec.Executor
+module Table_store = Storage.Table_store
+
+type result = Rows of Sqlexec.Rel.t | Affected of int
+
+let err fmt = Printf.ksprintf (fun s -> raise (Executor.Exec_error s)) fmt
+
+(* Evaluate an expression against one row of the target table by running a
+   one-row probe query through the executor, so DML expressions get exactly
+   the SELECT expression semantics (functions, 3VL, CASE, ...). *)
+let eval_against db ~table_name ~columns ~row expr =
+  let catalog = Database.catalog db in
+  let probe_catalog =
+    {
+      Executor.lookup_table =
+        (fun name ->
+          if String.equal (String.lowercase_ascii name) "__dml_probe" then
+            Some (columns, [ row ])
+          else catalog.Executor.lookup_table name);
+      functions = catalog.Executor.functions;
+    }
+  in
+  let probe =
+    Ast.select
+      ~from:(Ast.Table { name = "__dml_probe"; alias = Some table_name })
+      [ Ast.Expr (expr, Some "v") ]
+  in
+  match (Executor.execute probe_catalog probe).Sqlexec.Rel.rows with
+  | [ out ] -> out.(0)
+  | _ -> err "internal: single-row evaluation"
+
+let const_value db expr =
+  eval_against db ~table_name:"__const" ~columns:[] ~row:[||] expr
+
+type target = Ledger of Ledger_table.t | Regular of Table_store.t
+
+let find_target db name =
+  match Database.find_ledger_table db name with
+  | Some lt -> Ledger lt
+  | None -> (
+      match Database.regular_table db name with
+      | store -> Regular store
+      | exception Types.Ledger_error _ -> err "unknown table %s" name)
+
+let column_names_of = function
+  | Ledger lt ->
+      let schema = Ledger_table.schema lt in
+      List.map
+        (fun i -> (Schema.column schema i).Column.name)
+        (Ledger_table.user_ordinals lt)
+  | Regular store ->
+      List.map
+        (fun (c : Column.t) -> c.name)
+        (Schema.columns (Table_store.schema store))
+
+let current_user_rows = function
+  | Ledger lt ->
+      List.map (Ledger_table.user_row lt) (Ledger_table.current_rows lt)
+  | Regular store -> Table_store.scan store
+
+(* Extract the primary key of a user row. For ledger tables the key ordinals
+   index the stored row; map them back through the user-column ordinals. *)
+let key_of target row =
+  match target with
+  | Ledger lt ->
+      let schema = Ledger_table.schema lt in
+      let user_ords = Ledger_table.user_ordinals lt in
+      Table_store.key_ordinals (Ledger_table.main lt)
+      |> List.map (fun stored_ord ->
+             match
+               List.mapi (fun i o -> (i, o)) user_ords
+               |> List.find_opt (fun (_, o) -> o = stored_ord)
+             with
+             | Some (i, _) -> row.(i)
+             | None ->
+                 Types.errorf "key column %s is not a user column"
+                   (Schema.column schema stored_ord).Column.name)
+      |> Array.of_list
+  | Regular store -> Table_store.primary_key store row
+
+let filter_rows db ~table_name ~columns where rows =
+  match where with
+  | None -> rows
+  | Some cond ->
+      List.filter
+        (fun row ->
+          match eval_against db ~table_name ~columns ~row cond with
+          | Value.Bool true -> true
+          | _ -> false)
+        rows
+
+let execute_statement db ~user statement =
+  match statement with
+  | Ast.Select q -> Rows (Executor.execute (Database.catalog db) q)
+  | Ast.Insert { table; columns; rows } ->
+      let target = find_target db table in
+      let table_columns = column_names_of target in
+      let build_row values_exprs =
+        let values = List.map (const_value db) values_exprs in
+        match columns with
+        | None ->
+            if List.length values <> List.length table_columns then
+              err "INSERT arity mismatch: table %s has %d columns" table
+                (List.length table_columns);
+            Array.of_list values
+        | Some names ->
+            if List.length names <> List.length values then
+              err "INSERT column/value count mismatch";
+            let assoc =
+              List.map2 (fun n v -> (String.lowercase_ascii n, v)) names values
+            in
+            Array.of_list
+              (List.map
+                 (fun c ->
+                   Option.value
+                     (List.assoc_opt (String.lowercase_ascii c) assoc)
+                     ~default:Value.Null)
+                 table_columns)
+      in
+      let built = List.map build_row rows in
+      let (), _ =
+        Database.with_txn db ~user (fun txn ->
+            List.iter
+              (fun row ->
+                match target with
+                | Ledger lt -> Txn.insert txn lt row
+                | Regular store -> Txn.plain_insert txn store row)
+              built)
+      in
+      Affected (List.length built)
+  | Ast.Update { table; assignments; where } ->
+      let target = find_target db table in
+      let table_columns = column_names_of target in
+      let resolved =
+        List.map
+          (fun (c, e) ->
+            let key = String.lowercase_ascii c in
+            let rec index i = function
+              | [] -> err "no column %s in %s" c table
+              | n :: _ when String.equal (String.lowercase_ascii n) key -> i
+              | _ :: rest -> index (i + 1) rest
+            in
+            (index 0 table_columns, e))
+          assignments
+      in
+      let victims =
+        filter_rows db ~table_name:table ~columns:table_columns where
+          (current_user_rows target)
+      in
+      let (), _ =
+        Database.with_txn db ~user (fun txn ->
+            List.iter
+              (fun row ->
+                let key = key_of target row in
+                let updated =
+                  List.fold_left
+                    (fun acc (i, e) ->
+                      Row.set acc i
+                        (eval_against db ~table_name:table
+                           ~columns:table_columns ~row e))
+                    row resolved
+                in
+                match target with
+                | Ledger lt -> Txn.update txn lt ~key updated
+                | Regular store ->
+                    let new_key = Table_store.primary_key store updated in
+                    if Row.equal key new_key then
+                      Txn.plain_update txn store updated
+                    else begin
+                      Txn.plain_delete txn store ~key;
+                      Txn.plain_insert txn store updated
+                    end)
+              victims)
+      in
+      Affected (List.length victims)
+  | Ast.Delete { table; where } ->
+      let target = find_target db table in
+      let table_columns = column_names_of target in
+      let victims =
+        filter_rows db ~table_name:table ~columns:table_columns where
+          (current_user_rows target)
+      in
+      let (), _ =
+        Database.with_txn db ~user (fun txn ->
+            List.iter
+              (fun row ->
+                let key = key_of target row in
+                match target with
+                | Ledger lt -> Txn.delete txn lt ~key
+                | Regular store -> Txn.plain_delete txn store ~key)
+              victims)
+      in
+      Affected (List.length victims)
+
+let execute db ~user text =
+  execute_statement db ~user (Sqlexec.Parser.parse_statement text)
+
+let pp_result fmt = function
+  | Rows rel -> Sqlexec.Rel.pp fmt rel
+  | Affected n -> Format.fprintf fmt "%d row(s) affected" n

@@ -1,0 +1,22 @@
+(** SQL DML over ledger (and regular) tables.
+
+    Routes INSERT / UPDATE / DELETE statements through ledgered
+    transactions, so data modified via SQL text gets exactly the same
+    history capture and hashing as the programmatic {!Txn} API — ledger
+    protection "without any application changes" (§2.1). *)
+
+type result =
+  | Rows of Sqlexec.Rel.t   (** a SELECT's result set *)
+  | Affected of int         (** rows touched by a DML statement *)
+
+val execute : Database.t -> user:string -> string -> result
+(** Parse and run one statement. DML statements execute in their own
+    transaction (one commit per statement, rolled back on error). Raises
+    {!Sqlexec.Parser.Parse_error}, {!Sqlexec.Executor.Exec_error} or
+    {!Types.Ledger_error}. *)
+
+val execute_statement :
+  Database.t -> user:string -> Sqlexec.Ast.statement -> result
+(** Pre-parsed variant. *)
+
+val pp_result : Format.formatter -> result -> unit

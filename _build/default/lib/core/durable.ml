@@ -1,0 +1,56 @@
+type t = { dd_dir : string; dd_db : Database.t }
+
+let snapshot_path dir = Filename.concat dir "snapshot.json"
+let wal_path dir = Filename.concat dir "wal.jsonl"
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let db t = t.dd_db
+let dir t = t.dd_dir
+
+let persist_snapshot db_ path = Snapshot.save_to_file db_ ~path
+
+let open_dir ?block_size ?signing_seed ?clock ~dir ~name () =
+  mkdir_p dir;
+  let snap = snapshot_path dir in
+  let wal = wal_path dir in
+  let have_snap = Sys.file_exists snap in
+  let have_wal = Sys.file_exists wal in
+  if have_wal || have_snap then begin
+    (* Recover: snapshot (if any) plus the log tail. The log may be absent
+       or empty after a compact-crash; replay then needs the snapshot. *)
+    let result =
+      if have_wal then
+        Wal_replay.replay_file ?clock
+          ?snapshot_path:(if have_snap then Some snap else None)
+          ~wal_path:wal ()
+      else Snapshot.load_from_file ?clock ~path:snap ()
+    in
+    match result with
+    | Error e -> Error ("recovery of " ^ dir ^ " failed: " ^ e)
+    | Ok recovered ->
+        (* Re-home onto durable storage: fresh snapshot, fresh log. *)
+        persist_snapshot recovered snap;
+        Database_ledger.attach_wal (Database.ledger recovered) wal;
+        Ok { dd_dir = dir; dd_db = recovered }
+  end
+  else begin
+    let db_ =
+      Database.create ?block_size ?signing_seed ?clock ~wal_path:wal ~name ()
+    in
+    Ok { dd_dir = dir; dd_db = db_ }
+  end
+
+let checkpoint t =
+  Database.checkpoint t.dd_db;
+  persist_snapshot t.dd_db (snapshot_path t.dd_dir)
+
+let compact t =
+  checkpoint t;
+  Database_ledger.attach_wal (Database.ledger t.dd_db) (wal_path t.dd_dir);
+  (* The snapshot must record the restarted (empty) log position. *)
+  persist_snapshot t.dd_db (snapshot_path t.dd_dir)

@@ -1,0 +1,41 @@
+(** Durable on-disk databases: a directory holding a snapshot and the WAL.
+
+    This packages the recovery machinery into the shape a production
+    deployment uses — checkpoint images plus a redo log:
+
+    - [open_dir] creates the database on first use, and on every later open
+      recovers it from [snapshot.json] + the [wal.jsonl] tail, exactly as a
+      restarted server would (§3.3.2). Pre-crash digests verify the
+      recovered instance.
+    - [checkpoint] persists a fresh snapshot; the WAL keeps growing and
+      recovery replays only the tail past the snapshot.
+    - [compact] persists a snapshot and truncates the WAL — bounded log
+      growth at the cost of losing the ability to replay further back.
+
+    A crash between [compact]'s two steps can leave a snapshot newer than
+    the log; recovery handles that (an empty tail replays to the
+    snapshot). *)
+
+type t
+
+val open_dir :
+  ?block_size:int ->
+  ?signing_seed:string ->
+  ?clock:(unit -> float) ->
+  dir:string ->
+  name:string ->
+  unit ->
+  (t, string) result
+(** Open (recovering if state exists) or create the database in [dir]. *)
+
+val db : t -> Database.t
+
+val checkpoint : t -> unit
+(** Flush the ledger queue and persist a snapshot. *)
+
+val compact : t -> unit
+(** {!checkpoint}, then restart the WAL from empty. *)
+
+val dir : t -> string
+val snapshot_path : string -> string
+val wal_path : string -> string

@@ -1,0 +1,195 @@
+open Relation
+module Table_store = Storage.Table_store
+
+type kind = Append_only | Updateable
+
+type t = {
+  mutable lt_name : string;
+  lt_table_id : int;
+  lt_kind : kind;
+  main : Table_store.t;
+  history : Table_store.t option;
+  (* user_ordinals is on the per-row DML and scan paths; memoise it per
+     schema value (schemas are immutable, changes install a new one). *)
+  mutable ordinals_cache : (Schema.t * int list) option;
+}
+
+let create ~name ~table_id ~schema ~key_ordinals ~kind =
+  let extended = System_columns.extend_schema schema in
+  let main =
+    Table_store.create ~name ~table_id ~schema:extended ~key_ordinals
+  in
+  let history =
+    match kind with
+    | Append_only -> None
+    | Updateable ->
+        (* History rows are keyed by their deleting (txn, seq) pair, which
+           is globally unique and lets one user key accumulate many
+           versions. *)
+        let e_txn, e_seq =
+          let _, _, a, b = System_columns.ordinals extended in
+          (a, b)
+        in
+        Some
+          (Table_store.create ~name:(name ^ "__history") ~table_id
+             ~schema:extended
+             ~key_ordinals:[ e_txn; e_seq ])
+  in
+  {
+    lt_name = name;
+    lt_table_id = table_id;
+    lt_kind = kind;
+    main;
+    history;
+    ordinals_cache = None;
+  }
+
+let name t = t.lt_name
+let rename t new_name = t.lt_name <- new_name
+let table_id t = t.lt_table_id
+let kind t = t.lt_kind
+let schema t = Table_store.schema t.main
+let user_ordinals t =
+  let schema = Table_store.schema t.main in
+  match t.ordinals_cache with
+  | Some (s, ords) when s == schema -> ords
+  | _ ->
+      let ords =
+        Schema.columns schema
+        |> List.mapi (fun i (c : Column.t) -> (i, c.name))
+        |> List.filter (fun (_, n) -> not (List.mem n System_columns.names))
+        |> List.map fst
+      in
+      t.ordinals_cache <- Some (schema, ords);
+      ords
+
+let user_arity t = List.length (user_ordinals t)
+
+let main t = t.main
+let history t = t.history
+let row_count t = Table_store.row_count t.main
+
+let history_count t =
+  match t.history with Some h -> Table_store.row_count h | None -> 0
+
+let hash_created t row =
+  let schema = schema t in
+  Row_codec.hash schema (System_columns.mask_end schema row)
+
+let hash_deleted t row = Row_codec.hash (schema t) row
+
+let extend_user_row t user_row =
+  let ordinals = user_ordinals t in
+  if Array.length user_row <> List.length ordinals then
+    invalid_arg
+      (Printf.sprintf "%s: expected %d user values, got %d" t.lt_name
+         (List.length ordinals) (Array.length user_row));
+  let out = Array.make (Schema.arity (schema t)) Value.Null in
+  List.iteri (fun i ord -> out.(ord) <- user_row.(i)) ordinals;
+  out
+
+let user_row t stored =
+  (* Until a schema change interleaves columns, the user columns are the
+     contiguous prefix before the four system columns — a blit, not a
+     gather. Scans over ledger tables hit this per row. *)
+  let ords = user_ordinals t in
+  let n = List.length ords in
+  let is_prefix =
+    let rec go i = function
+      | [] -> true
+      | o :: rest -> o = i && go (i + 1) rest
+    in
+    go 0 ords
+  in
+  if is_prefix then Array.sub stored 0 n else Row.project stored ords
+
+let insert_version t ~txn_id ~seq user_row =
+  let row =
+    System_columns.set_start (schema t) (extend_user_row t user_row) ~txn_id
+      ~seq
+  in
+  Table_store.insert t.main row;
+  (row, hash_created t row)
+
+let delete_version t ~txn_id ~seq ~key =
+  match t.history with
+  | None ->
+      Types.errorf "%s is an append-only ledger table: deletes and updates are not allowed"
+        t.lt_name
+  | Some history ->
+      let row = Table_store.delete t.main ~key in
+      let row = System_columns.set_end (schema t) row ~txn_id ~seq in
+      Table_store.insert history row;
+      (row, hash_deleted t row)
+
+let find t ~key = Table_store.find t.main ~key
+let current_rows t = Table_store.scan t.main
+
+let history_rows t =
+  match t.history with Some h -> Table_store.scan h | None -> []
+
+let versions t =
+  let schema = schema t in
+  let creation row =
+    let txn, seq = System_columns.get_start schema row in
+    {
+      Types.v_txn_id = txn;
+      v_seq = seq;
+      v_op = Types.Insert;
+      v_hash = hash_created t row;
+      v_row = row;
+    }
+  in
+  let deletion row =
+    match System_columns.get_end schema row with
+    | None -> Types.errorf "%s: history row without deletion columns" t.lt_name
+    | Some (txn, seq) ->
+        {
+          Types.v_txn_id = txn;
+          v_seq = seq;
+          v_op = Types.Delete;
+          v_hash = hash_deleted t row;
+          v_row = row;
+        }
+  in
+  let current = List.map creation (current_rows t) in
+  let hist = history_rows t in
+  current
+  @ List.map creation hist
+  @ List.map deletion hist
+
+let undo_insert t ~key = ignore (Table_store.delete t.main ~key : Row.t)
+
+let undo_delete t row =
+  match t.history with
+  | None -> Types.errorf "%s: no history table to undo a delete" t.lt_name
+  | Some history ->
+      let hkey = Table_store.primary_key history row in
+      ignore (Table_store.delete history ~key:hkey : Row.t);
+      let schema = schema t in
+      let restored = System_columns.mask_end schema row in
+      (* mask_end copies only when needed; ensure we do not share arrays *)
+      let restored =
+        if restored == row then Array.copy row else restored
+      in
+      Table_store.insert t.main restored
+
+let unsafe_assemble ~name ~table_id ~kind ~main ~history =
+  {
+    lt_name = name;
+    lt_table_id = table_id;
+    lt_kind = kind;
+    main;
+    history;
+    ordinals_cache = None;
+  }
+
+let unsafe_copy t =
+  {
+    lt_name = t.lt_name;
+    lt_table_id = t.lt_table_id;
+    lt_kind = t.lt_kind;
+    main = Table_store.deep_copy t.main;
+    history = Option.map Table_store.deep_copy t.history;
+    ordinals_cache = None;
+  }

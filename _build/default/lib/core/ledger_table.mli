@@ -1,0 +1,116 @@
+(** Ledger tables (paper §2.1, §3.1, §3.2).
+
+    An updateable ledger table is a pair of physical tables: the main table
+    holding current row versions and a history table (same extended schema)
+    holding superseded versions. Append-only ledger tables have no history
+    table and reject updates and deletes. Both carry the four hidden system
+    columns tracking the creating and deleting (transaction, sequence)
+    pairs.
+
+    This module owns version hashing. It does not assign transaction ids or
+    maintain Merkle trees — that is {!Txn}'s job; functions here take the
+    already-assigned (txn_id, seq) and return the hashes that the caller
+    must fold into the transaction's per-table tree. *)
+
+type kind = Append_only | Updateable
+
+type t
+
+val create :
+  name:string ->
+  table_id:int ->
+  schema:Relation.Schema.t ->
+  key_ordinals:int list ->
+  kind:kind ->
+  t
+(** [schema]/[key_ordinals] describe the user-visible columns; the system
+    columns are appended internally. Raises [Invalid_argument] on reserved
+    column names. *)
+
+val name : t -> string
+val rename : t -> string -> unit
+(** Logical drop (§3.5.2) renames rather than deletes. *)
+
+val table_id : t -> int
+val kind : t -> kind
+val schema : t -> Relation.Schema.t
+(** The extended schema (user + system columns). *)
+
+val user_ordinals : t -> int list
+(** Ordinals of the non-system (user) columns in schema order, including
+    columns added later and hidden (dropped) ones. *)
+
+val user_arity : t -> int
+(** Number of user columns (length of {!user_ordinals}). *)
+
+val main : t -> Storage.Table_store.t
+val history : t -> Storage.Table_store.t option
+
+val row_count : t -> int
+val history_count : t -> int
+
+(** {1 Version hashing} *)
+
+val hash_created : t -> Relation.Row.t -> string
+(** Hash of a stored row as of its creation: deletion columns masked to
+    NULL. *)
+
+val hash_deleted : t -> Relation.Row.t -> string
+(** Hash of a deleted version, deletion columns included. *)
+
+(** {1 Version-level DML (called by Txn)} *)
+
+val extend_user_row : t -> Relation.Row.t -> Relation.Row.t
+(** Build a full stored row from user-column values (in {!user_ordinals}
+    order); system columns are NULL. Raises [Invalid_argument] on arity
+    mismatch. *)
+
+val user_row : t -> Relation.Row.t -> Relation.Row.t
+(** Project a stored row back to its user-column values. *)
+
+val insert_version :
+  t -> txn_id:int -> seq:int -> Relation.Row.t -> Relation.Row.t * string
+(** Store a new current version of the given user row; returns the stored
+    row and its creation hash. Raises [Storage.Table_store.Duplicate_key]. *)
+
+val delete_version :
+  t -> txn_id:int -> seq:int -> key:Relation.Row.t -> Relation.Row.t * string
+(** Delete the current version with the given primary key: stamp its
+    deletion columns, move it to the history table, and return the moved row
+    with its deletion hash. Raises {!Types.Ledger_error} for append-only
+    tables and [Storage.Table_store.Not_found_key] when absent. *)
+
+val find : t -> key:Relation.Row.t -> Relation.Row.t option
+val current_rows : t -> Relation.Row.t list
+val history_rows : t -> Relation.Row.t list
+
+(** {1 Verification and view support} *)
+
+val versions : t -> Types.version list
+(** Every row-version operation recorded in the table: an INSERT per stored
+    version (main and history) and a DELETE per history version, each with
+    its (transaction, sequence) and recomputed hash. Unordered. *)
+
+val undo_insert : t -> key:Relation.Row.t -> unit
+(** Rollback helper: remove a version previously added by
+    {!insert_version}. *)
+
+val undo_delete : t -> Relation.Row.t -> unit
+(** Rollback helper: move a version back from history to the main table and
+    clear its deletion columns. The argument is the row returned by
+    {!delete_version}. *)
+
+val unsafe_assemble :
+  name:string ->
+  table_id:int ->
+  kind:kind ->
+  main:Storage.Table_store.t ->
+  history:Storage.Table_store.t option ->
+  t
+(** Rebuild a handle around already-populated stores (snapshot loading).
+    The caller is responsible for the stores carrying a correctly extended
+    schema. *)
+
+val unsafe_copy : t -> t
+(** Deep copy (backup support). "Unsafe" only in that the copy shares the
+    table id with the original. *)

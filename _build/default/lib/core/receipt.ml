@@ -1,0 +1,193 @@
+module Hex = Ledger_crypto.Hex
+module Lamport = Ledger_crypto.Lamport
+
+type t = {
+  entry : Types.txn_entry;
+  proof : Merkle.Proof.t;
+  block : Types.block;
+  public_key : Lamport.public_key option;
+  signature : Lamport.signature option;
+}
+
+let generate db ~txn_id =
+  let dbl = Database.ledger db in
+  match Database_ledger.find_entry dbl ~txn_id with
+  | None -> Error (Printf.sprintf "transaction %d is not in the ledger" txn_id)
+  | Some entry ->
+      let blocks = Database_ledger.blocks dbl in
+      (match
+         List.find_opt
+           (fun (b : Types.block) -> b.block_id = entry.block_id)
+           blocks
+       with
+      | None ->
+          Error
+            (Printf.sprintf
+               "transaction %d is in the open block; generate a digest to \
+                close it first"
+               txn_id)
+      | Some block ->
+          let entries = Database_ledger.entries_of_block dbl ~block_id:block.block_id in
+          let leaves = List.map Database_ledger.entry_hash entries in
+          let tree = Merkle.Tree.of_leaves leaves in
+          if not (String.equal (Merkle.Tree.root tree) block.txn_root) then
+            Error "ledger is internally inconsistent; run verification"
+          else begin
+            let proof = Merkle.Tree.proof tree entry.ordinal in
+            let pk, signature =
+              match Database_ledger.block_signature dbl ~block_id:block.block_id with
+              | Some (pk, s) -> (Some pk, Some s)
+              | None -> (None, None)
+            in
+            Ok { entry; proof; block; public_key = pk; signature }
+          end)
+
+let verify ?digest ?expected_fingerprint r =
+  let entry_hash = Database_ledger.entry_hash r.entry in
+  if r.entry.block_id <> r.block.block_id then
+    Error "receipt entry and block disagree on the block id"
+  else if
+    not
+      (Merkle.Proof.verify ~root:r.block.txn_root ~leaf:entry_hash r.proof)
+  then Error "Merkle proof does not connect the transaction to the block root"
+  else begin
+    let block_hash = Database_ledger.block_hash r.block in
+    let check_digest () =
+      match digest with
+      | None -> Ok ()
+      | Some (d : Digest.t) ->
+          if d.block_id <> r.block.block_id then
+            Error "digest covers a different block"
+          else if not (String.equal d.block_hash block_hash) then
+            Error "digest hash does not match the receipt's block"
+          else Ok ()
+    in
+    let check_signature () =
+      match (r.public_key, r.signature) with
+      | None, None -> Ok ()
+      | Some pk, Some s ->
+          if not (Lamport.verify pk ~msg:block_hash s) then
+            Error "block signature is invalid"
+          else (
+            match expected_fingerprint with
+            | Some fp when not (String.equal fp (Lamport.fingerprint pk)) ->
+                Error "signing key does not match the expected fingerprint"
+            | _ -> Ok ())
+      | _ -> Error "receipt has a key without a signature (or vice versa)"
+    in
+    match check_digest () with
+    | Error _ as e -> e
+    | Ok () -> check_signature ()
+  end
+
+let to_json r =
+  let e = r.entry in
+  let b = r.block in
+  Sjson.Obj
+    ([
+       ( "entry",
+         Sjson.Obj
+           [
+             ("txn_id", Sjson.Int e.txn_id);
+             ("block_id", Sjson.Int e.block_id);
+             ("ordinal", Sjson.Int e.ordinal);
+             ("commit_ts", Sjson.Float e.commit_ts);
+             ("user", Sjson.String e.user);
+             ("table_roots", Types.table_roots_to_json e.table_roots);
+           ] );
+       ("proof", Merkle.Proof.to_json r.proof);
+       ( "block",
+         Sjson.Obj
+           [
+             ("block_id", Sjson.Int b.block_id);
+             ("prev_hash", Sjson.String (Hex.encode b.prev_hash));
+             ("txn_root", Sjson.String (Hex.encode b.txn_root));
+             ("txn_count", Sjson.Int b.txn_count);
+             ("closed_ts", Sjson.Float b.closed_ts);
+           ] );
+     ]
+    @ (match r.public_key with
+      | Some pk ->
+          [
+            ( "public_key",
+              Sjson.String (Hex.encode (Lamport.public_key_to_string pk)) );
+          ]
+      | None -> [])
+    @
+    match r.signature with
+    | Some s ->
+        [ ("signature", Sjson.String (Hex.encode (Lamport.signature_to_string s))) ]
+    | None -> [])
+
+let float_member name json =
+  match Sjson.member name json with
+  | Sjson.Float f -> f
+  | Sjson.Int i -> float_of_int i
+  | _ -> failwith ("receipt field " ^ name ^ " must be a number")
+
+let of_json json =
+  try
+    let ej = Sjson.member "entry" json in
+    let table_roots =
+      match Sjson.member "table_roots" ej with
+      | Sjson.List _ as l -> (
+          match Types.table_roots_of_string (Sjson.to_string l) with
+          | Ok r -> r
+          | Error e -> failwith e)
+      | _ -> failwith "missing table_roots"
+    in
+    let entry : Types.txn_entry =
+      {
+        txn_id = Sjson.get_int (Sjson.member "txn_id" ej);
+        block_id = Sjson.get_int (Sjson.member "block_id" ej);
+        ordinal = Sjson.get_int (Sjson.member "ordinal" ej);
+        commit_ts = float_member "commit_ts" ej;
+        user = Sjson.get_string (Sjson.member "user" ej);
+        table_roots;
+      }
+    in
+    let proof =
+      match Merkle.Proof.of_json (Sjson.member "proof" json) with
+      | Some p -> p
+      | None -> failwith "malformed proof"
+    in
+    let bj = Sjson.member "block" json in
+    let hex_field name =
+      let s = Sjson.get_string (Sjson.member name bj) in
+      if s = "" then "" else Hex.decode s
+    in
+    let block : Types.block =
+      {
+        block_id = Sjson.get_int (Sjson.member "block_id" bj);
+        prev_hash = hex_field "prev_hash";
+        txn_root = hex_field "txn_root";
+        txn_count = Sjson.get_int (Sjson.member "txn_count" bj);
+        closed_ts = float_member "closed_ts" bj;
+      }
+    in
+    let public_key =
+      match Sjson.member "public_key" json with
+      | Sjson.String s -> (
+          match Lamport.public_key_of_string (Hex.decode s) with
+          | Some pk -> Some pk
+          | None -> failwith "malformed public key")
+      | _ -> None
+    in
+    let signature =
+      match Sjson.member "signature" json with
+      | Sjson.String s -> (
+          match Lamport.signature_of_string (Hex.decode s) with
+          | Some sg -> Some sg
+          | None -> failwith "malformed signature")
+      | _ -> None
+    in
+    Ok { entry; proof; block; public_key; signature }
+  with
+  | Failure e | Invalid_argument e -> Error ("malformed receipt: " ^ e)
+
+let to_string r = Sjson.to_string ~pretty:true (to_json r)
+
+let of_string s =
+  match Sjson.of_string s with
+  | exception Sjson.Parse_error e -> Error e
+  | json -> of_json json

@@ -1,0 +1,38 @@
+(** Transaction receipts for non-repudiation (paper §5.1).
+
+    A receipt proves that a transaction is part of the ledger even if the
+    ledger is later tampered with or destroyed: it carries the transaction
+    entry, the Merkle proof connecting the entry's hash to the block's
+    transaction-tree root, the block header, and a signature over the block
+    hash under the block's one-time key. One signing operation per block
+    covers receipts for every transaction in it. *)
+
+type t = {
+  entry : Types.txn_entry;
+  proof : Merkle.Proof.t;
+  block : Types.block;
+  public_key : Ledger_crypto.Lamport.public_key option;
+  signature : Ledger_crypto.Lamport.signature option;
+}
+
+val generate : Database.t -> txn_id:int -> (t, string) result
+(** The transaction must already be in a closed block (generate a digest
+    first to close the current block). Includes a signature when the
+    database was created with a signing seed. *)
+
+val verify :
+  ?digest:Digest.t ->
+  ?expected_fingerprint:string ->
+  t ->
+  (unit, string) result
+(** Standalone verification, requiring no database: recomputes the entry
+    hash, replays the Merkle proof against the block's transaction root, and
+    recomputes the block hash. When present, the signature is checked
+    against the included public key; [expected_fingerprint] additionally
+    pins that key. [digest] anchors the block hash to an externally stored
+    digest of the same block. *)
+
+val to_json : t -> Sjson.t
+val of_json : Sjson.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result

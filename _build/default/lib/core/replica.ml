@@ -1,0 +1,94 @@
+module LR = Aries.Log_record
+
+type t = {
+  clock : unit -> float;
+  mutable db : Database.t option;
+  mutable last_lsn : Aries.Wal.lsn;
+  mutable last_commit_ts : float;
+  pending : (int, Sjson.t) Hashtbl.t;  (* txn_id -> buffered DATA payload *)
+}
+
+let create ?(clock = Unix.gettimeofday) () =
+  { clock; db = None; last_lsn = 0; last_commit_ts = 0.; pending = Hashtbl.create 16 }
+
+let database t = t.db
+let replicated_upto t = t.last_commit_ts
+let last_lsn t = t.last_lsn
+
+let apply_record t record =
+  match (record, t.db) with
+  | LR.Ddl { payload }, None ->
+      if Sjson.member "ddl" payload = Sjson.String "create_database" then begin
+        t.db <- Some (Wal_replay.shell_of_header ~clock:t.clock payload);
+        Ok ()
+      end
+      else Error "replica stream does not start with a creation record"
+  | _, None -> Error "replica has no database yet"
+  | LR.Ddl { payload }, Some db ->
+      if Sjson.member "ddl" payload = Sjson.String "create_database" then Ok ()
+      else Database.apply_structural_ddl db payload
+  | LR.Data { txn_id; ops }, Some _ ->
+      (* Buffer until the COMMIT arrives: the replica never exposes
+         uncommitted state. *)
+      Hashtbl.replace t.pending txn_id ops;
+      Ok ()
+  | LR.Commit c, Some db ->
+      let result =
+        match Hashtbl.find_opt t.pending c.LR.txn_id with
+        | Some ops -> Wal_replay.apply_committed_ops db ~txn_id:c.LR.txn_id ops
+        | None -> Ok ()
+      in
+      Hashtbl.remove t.pending c.LR.txn_id;
+      (match result with
+      | Ok () ->
+          Database_ledger.replay_commit (Database.ledger db)
+            {
+              Types.txn_id = c.LR.txn_id;
+              block_id = c.LR.block_id;
+              ordinal = c.LR.ordinal;
+              commit_ts = c.LR.commit_ts;
+              user = c.LR.user;
+              table_roots = c.LR.table_roots;
+            };
+          t.last_commit_ts <- Float.max t.last_commit_ts c.LR.commit_ts;
+          Ok ()
+      | Error _ as e -> e)
+  | LR.Abort { txn_id }, Some db ->
+      Hashtbl.remove t.pending txn_id;
+      Database_ledger.note_txn_id (Database.ledger db) txn_id;
+      Ok ()
+  | LR.Begin { txn_id }, Some db ->
+      Database_ledger.note_txn_id (Database.ledger db) txn_id;
+      Ok ()
+  | LR.Block_close _, Some db ->
+      Database_ledger.replay_block_close (Database.ledger db);
+      Ok ()
+  | LR.Checkpoint _, Some db ->
+      Database_ledger.checkpoint (Database.ledger db);
+      Ok ()
+
+let feed t records =
+  let rec go = function
+    | [] -> Ok ()
+    | (lsn, _) :: rest when lsn <= t.last_lsn -> go rest
+    | (lsn, record) :: rest -> (
+        match apply_record t record with
+        | Ok () ->
+            t.last_lsn <- lsn;
+            go rest
+        | Error _ as e -> e)
+  in
+  go records
+
+let feed_from_file t ~wal_path =
+  match Aries.Wal.load wal_path with
+  | Error e -> Error e
+  | Ok records -> feed t records
+
+let promote t =
+  match t.db with
+  | None -> Error "replica never received a creation record"
+  | Some db ->
+      Hashtbl.reset t.pending;
+      Database.refresh_counters db;
+      Ok db

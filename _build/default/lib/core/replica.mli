@@ -1,0 +1,39 @@
+(** Streaming log-shipping replica (paper §3.6).
+
+    Geographic secondaries in Azure SQL Database apply the primary's log
+    asynchronously; §3.6 gates digest issuance on the secondary's
+    replication point so a geo-failover can never lose digested data. This
+    module is that secondary: it consumes the primary's WAL records
+    incrementally and maintains a full, verifiable copy.
+
+    DATA records are buffered until their COMMIT arrives, so the replica
+    only ever exposes committed state; {!replicated_upto} reports the last
+    applied commit timestamp — exactly the probe
+    {!Trusted_store.Digest_manager} expects for its replication gate. A
+    failover is {!promote}: the replica's database continues as the new
+    primary (minus any unshipped tail, which is the data loss the paper's
+    digest gate protects against). *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+
+val feed : t -> (Aries.Wal.lsn * Aries.Log_record.t) list -> (unit, string) result
+(** Apply new records (LSNs at or below the last fed LSN are skipped, so
+    overlapping batches are safe). *)
+
+val feed_from_file : t -> wal_path:string -> (unit, string) result
+(** Re-read the primary's log file and apply everything new. *)
+
+val database : t -> Database.t option
+(** The replica database; [None] until the creation record arrived. *)
+
+val replicated_upto : t -> float
+(** Commit timestamp of the last applied transaction (0 when none) — plug
+    this into {!Trusted_store.Digest_manager.create}. *)
+
+val last_lsn : t -> Aries.Wal.lsn
+
+val promote : t -> (Database.t, string) result
+(** Failover: return the replica database as the new primary. Pending
+    uncommitted buffers are discarded. Errors when nothing was ever fed. *)

@@ -1,0 +1,33 @@
+(** Whole-database snapshots as JSON files.
+
+    A snapshot is the substrate for the paper's backup-based workflows: the
+    "earlier backups of the database" that §3.7's recovery from tampering
+    assumes, and the restore operations of §3.6. A snapshot captures every
+    table (ledger and regular, including history tables and system tables),
+    the Database Ledger state, and the allocator counters; loading it yields
+    an independent database equal to the original.
+
+    The format is self-describing JSON. It is *not* integrity-protected by
+    itself — a restored snapshot must be verified against trusted digests,
+    exactly as the paper requires of restored backups. *)
+
+val save : Database.t -> Sjson.t
+(** Serialise the full database state. The snapshot records the WAL position
+    at which it was taken ([wal_lsn]) so that {!Wal_replay} can resume the
+    log from that point. *)
+
+val wal_lsn : Sjson.t -> int
+(** WAL position recorded in a snapshot (0 when absent). *)
+
+val save_to_file : Database.t -> path:string -> unit
+
+val load :
+  ?clock:(unit -> float) -> ?wal_path:string -> Sjson.t ->
+  (Database.t, string) result
+(** Reconstruct a database. [clock] defaults to the wall clock; [wal_path]
+    attaches a fresh file-backed WAL (truncating) so the loaded database
+    continues durably. *)
+
+val load_from_file :
+  ?clock:(unit -> float) -> ?wal_path:string -> path:string -> unit ->
+  (Database.t, string) result

@@ -1,0 +1,103 @@
+(* The four hidden system columns of §3.1, appended to every Ledger and
+   History table:
+
+   - the transaction that created the row version and the sequence number of
+     the creating operation within that transaction;
+   - the transaction that deleted the row version and the sequence number of
+     the deleting operation (NULL while the version is current).
+
+   Row-version hashes are computed over the extended schema. A version is
+   hashed at creation time with the deletion columns still NULL — and NULL
+   columns are skipped by the serialization format — so the creation hash of
+   a version can be recomputed later from a history row by masking the
+   deletion columns back to NULL. The deleting transaction hashes the full
+   row including the deletion columns. *)
+
+open Relation
+
+let start_txn = "_ledger_start_txn_id"
+let start_seq = "_ledger_start_seq"
+let end_txn = "_ledger_end_txn_id"
+let end_seq = "_ledger_end_seq"
+
+let names = [ start_txn; start_seq; end_txn; end_seq ]
+
+let columns =
+  [
+    Column.make ~hidden:true start_txn Datatype.Bigint;
+    Column.make ~hidden:true start_seq Datatype.Bigint;
+    Column.make ~nullable:true ~hidden:true end_txn Datatype.Bigint;
+    Column.make ~nullable:true ~hidden:true end_seq Datatype.Bigint;
+  ]
+
+(** Extend a user schema with the system columns. Raises [Invalid_argument]
+    if the user schema already uses a reserved name. *)
+let extend_schema user_schema =
+  List.iter
+    (fun name ->
+      if Schema.ordinal user_schema name <> None then
+        invalid_arg ("reserved column name: " ^ name))
+    names;
+  List.fold_left Schema.add_column user_schema columns
+
+(* [ordinals] sits on the row-hashing hot path; memoise per schema value
+   (schemas are immutable). The cache is a short identity-keyed list,
+   trimmed so long-running processes creating many tables stay bounded. *)
+let ordinals_cache : (Schema.t * (int * int * int * int)) list ref = ref []
+
+let compute_ordinals schema =
+  match List.map (Schema.ordinal schema) names with
+  | [ Some a; Some b; Some c; Some d ] -> (a, b, c, d)
+  | _ -> invalid_arg "System_columns.ordinals: schema not extended"
+
+let ordinals schema =
+  match List.find_opt (fun (s, _) -> s == schema) !ordinals_cache with
+  | Some (_, o) -> o
+  | None ->
+      let o = compute_ordinals schema in
+      let kept =
+        if List.length !ordinals_cache >= 64 then
+          List.filteri (fun i _ -> i < 32) !ordinals_cache
+        else !ordinals_cache
+      in
+      ordinals_cache := (schema, o) :: kept;
+      o
+
+(** Mask the deletion columns to NULL — recovers the byte string that was
+    hashed when the version was created. *)
+let mask_end schema row =
+  let _, _, e_txn, e_seq = ordinals schema in
+  if Value.is_null row.(e_txn) && Value.is_null row.(e_seq) then row
+  else begin
+    let out = Array.copy row in
+    out.(e_txn) <- Value.Null;
+    out.(e_seq) <- Value.Null;
+    out
+  end
+
+let get_start schema row =
+  let s_txn, s_seq, _, _ = ordinals schema in
+  match (row.(s_txn), row.(s_seq)) with
+  | Value.Int t, Value.Int s -> (t, s)
+  | _ -> Types.errorf "row version missing creation transaction columns"
+
+let get_end schema row =
+  let _, _, e_txn, e_seq = ordinals schema in
+  match (row.(e_txn), row.(e_seq)) with
+  | Value.Int t, Value.Int s -> Some (t, s)
+  | Value.Null, Value.Null -> None
+  | _ -> Types.errorf "row version has inconsistent deletion columns"
+
+let set_start schema row ~txn_id ~seq =
+  let s_txn, s_seq, _, _ = ordinals schema in
+  let out = Array.copy row in
+  out.(s_txn) <- Value.Int txn_id;
+  out.(s_seq) <- Value.Int seq;
+  out
+
+let set_end schema row ~txn_id ~seq =
+  let _, _, e_txn, e_seq = ordinals schema in
+  let out = Array.copy row in
+  out.(e_txn) <- Value.Int txn_id;
+  out.(e_seq) <- Value.Int seq;
+  out

@@ -1,0 +1,111 @@
+open Relation
+module Table_store = Storage.Table_store
+
+type row_diff = {
+  table : string;
+  key : Row.t;
+  in_backup : Row.t option;
+  in_current : Row.t option;
+}
+
+let diff_store ~table ~(backup : Table_store.t) ~(current : Table_store.t) =
+  let diffs = ref [] in
+  Table_store.iter
+    (fun brow ->
+      let key = Table_store.primary_key backup brow in
+      match Table_store.find current ~key with
+      | None ->
+          diffs := { table; key; in_backup = Some brow; in_current = None } :: !diffs
+      | Some crow ->
+          if not (Row.equal brow crow) then
+            diffs :=
+              { table; key; in_backup = Some brow; in_current = Some crow }
+              :: !diffs)
+    backup;
+  Table_store.iter
+    (fun crow ->
+      let key = Table_store.primary_key current crow in
+      if Table_store.find backup ~key = None then
+        diffs := { table; key; in_backup = None; in_current = Some crow } :: !diffs)
+    current;
+  List.rev !diffs
+
+let stores_of db table =
+  let lt = Database.ledger_table db table in
+  (Ledger_table.main lt, Ledger_table.history lt)
+
+let diff_table ~backup ~current ~table =
+  let bmain, bhist = stores_of backup table in
+  let cmain, chist = stores_of current table in
+  diff_store ~table ~backup:bmain ~current:cmain
+  @
+  match (bhist, chist) with
+  | Some bh, Some ch ->
+      diff_store ~table:(table ^ "__history") ~backup:bh ~current:ch
+  | _ -> []
+
+let repair_store ~(backup : Table_store.t) ~(current : Table_store.t) =
+  let repaired = ref 0 in
+  (* Remove rows that exist only in the tampered copy, then restore every
+     backup row byte-for-byte. *)
+  let extra = ref [] in
+  Table_store.iter
+    (fun crow ->
+      let key = Table_store.primary_key current crow in
+      if Table_store.find backup ~key = None then extra := key :: !extra)
+    current;
+  List.iter
+    (fun key ->
+      if Table_store.Raw.delete_row current ~key then incr repaired)
+    !extra;
+  Table_store.iter
+    (fun brow ->
+      let key = Table_store.primary_key backup brow in
+      match Table_store.find current ~key with
+      | Some crow when Row.equal brow crow -> ()
+      | Some _ ->
+          if Table_store.Raw.delete_row current ~key then begin
+            Table_store.Raw.insert_row current (Array.copy brow);
+            incr repaired
+          end
+      | None ->
+          Table_store.Raw.insert_row current (Array.copy brow);
+          incr repaired)
+    backup;
+  (* Restore schema metadata (defeats the metadata-swap attack) and rebuild
+     non-clustered indexes so index-only tampering is also cleaned up. *)
+  Table_store.set_schema current (Table_store.schema backup);
+  Table_store.migrate current ~schema:(Table_store.schema backup) ~f:Fun.id;
+  !repaired
+
+let repair_from_backup ~backup ~current ~table =
+  let bmain, bhist = stores_of backup table in
+  let cmain, chist = stores_of current table in
+  let n = repair_store ~backup:bmain ~current:cmain in
+  n
+  +
+  match (bhist, chist) with
+  | Some bh, Some ch -> repair_store ~backup:bh ~current:ch
+  | _ -> 0
+
+type advice = Repair_in_place of string list | Restore_and_replay
+
+let assess (report : Verifier.report) =
+  let tables = ref [] in
+  let structural = ref false in
+  List.iter
+    (fun v ->
+      match v with
+      | Verifier.Table_root_mismatch { table; _ }
+      | Verifier.Orphan_row_version { table; _ }
+      | Verifier.Index_mismatch { table; _ } ->
+          if not (List.mem table !tables) then tables := table :: !tables
+      | Verifier.Digest_block_missing _ | Verifier.Digest_mismatch _
+      | Verifier.Digest_foreign _ | Verifier.Chain_gap _
+      | Verifier.Chain_broken _ | Verifier.Genesis_prev_not_null _
+      | Verifier.Block_root_mismatch _ | Verifier.Block_count_mismatch _
+      | Verifier.Orphan_transaction _ ->
+          structural := true)
+    report.Verifier.violations;
+  if !structural || !tables = [] then Restore_and_replay
+  else Repair_in_place (List.rev !tables)

@@ -1,0 +1,38 @@
+(** Recovery from detected tampering (paper §3.7).
+
+    The paper distinguishes tampered data that does not influence later
+    transactions (category 1: repair in place from a verified backup) from
+    data that does (category 2: restore the backup and re-execute later
+    transactions). This module implements the mechanics of both paths; the
+    categorisation itself is the operator's call. *)
+
+type row_diff = {
+  table : string;
+  key : Relation.Row.t;
+  in_backup : Relation.Row.t option;  (** [None]: row was maliciously added *)
+  in_current : Relation.Row.t option; (** [None]: row was maliciously deleted *)
+}
+
+val diff_table : backup:Database.t -> current:Database.t -> table:string -> row_diff list
+(** Rows of a ledger table (main and history) differing between a verified
+    backup and the current database — the repair worklist. *)
+
+val repair_from_backup :
+  backup:Database.t -> current:Database.t -> table:string -> int
+(** Category-1 repair: restore every differing stored row of [table] from
+    the backup (writing directly to storage, i.e. restoring the original
+    bytes). Returns the number of rows repaired. After repairing all
+    affected tables, verification succeeds again because the original
+    hashed bytes are back in place. *)
+
+type advice =
+  | Repair_in_place of string list
+      (** verification failed only with row-level divergences in these
+          tables; restore their bytes from a verified backup *)
+  | Restore_and_replay
+      (** ledger structure itself (blocks/entries/chain) is damaged, or
+          tampered data may have influenced later transactions: restore the
+          latest verifiable backup and re-execute subsequent transactions *)
+
+val assess : Verifier.report -> advice
+(** Conservative classification of a failed verification report. *)

@@ -1,0 +1,129 @@
+open Relation
+module Table_store = Storage.Table_store
+
+type summary = {
+  horizon_block : int;
+  max_truncated_txn : int;
+  transactions_removed : int;
+  blocks_removed : int;
+  history_rows_removed : int;
+  rows_reanchored : int;
+}
+
+let truncate db ~digests ~upto_block ~user =
+  let report = Verifier.verify db ~digests in
+  if not (Verifier.ok report) then Error report
+  else begin
+    let dbl = Database.ledger db in
+    let blocks = Database_ledger.blocks dbl in
+    let horizon =
+      match
+        List.find_opt (fun (b : Types.block) -> b.block_id = upto_block) blocks
+      with
+      | Some b -> b
+      | None -> Types.errorf "block %d is not a closed block" upto_block
+    in
+    let old_entries =
+      List.filter
+        (fun (e : Types.txn_entry) -> e.block_id <= upto_block)
+        (Database_ledger.entries dbl)
+    in
+    let max_truncated_txn =
+      List.fold_left
+        (fun acc (e : Types.txn_entry) -> max acc e.txn_id)
+        0 old_entries
+    in
+    let horizon_hash = Database_ledger.block_hash horizon in
+    (* 1. Re-anchor current rows whose creation evidence is being removed:
+       a ledgered rewrite under a fresh transaction. The superseded version
+       is dropped outright — it is exactly the evidence being truncated —
+       so the rewrite bypasses the history table. *)
+    let rows_reanchored = ref 0 in
+    List.iter
+      (fun lt ->
+        let main = Ledger_table.main lt in
+        let stale =
+          List.filter
+            (fun row ->
+              let txn, _ =
+                System_columns.get_start (Ledger_table.schema lt) row
+              in
+              txn <= max_truncated_txn)
+            (Ledger_table.current_rows lt)
+        in
+        if stale <> [] then begin
+          let (), _ =
+            Database.with_txn db ~user (fun txn ->
+                List.iter
+                  (fun row ->
+                    let key = Table_store.primary_key main row in
+                    ignore (Table_store.delete main ~key : Row.t);
+                    Txn.insert txn lt (Ledger_table.user_row lt row);
+                    incr rows_reanchored)
+                  stale)
+          in
+          ()
+        end)
+      (Database.ledger_tables db);
+    (* 2. Remove fully-old history rows. *)
+    let history_rows_removed = ref 0 in
+    List.iter
+      (fun lt ->
+        match Ledger_table.history lt with
+        | None -> ()
+        | Some h ->
+            let schema = Ledger_table.schema lt in
+            List.iter
+              (fun row ->
+                let s_txn, _ = System_columns.get_start schema row in
+                let fully_old =
+                  s_txn <= max_truncated_txn
+                  &&
+                  match System_columns.get_end schema row with
+                  | Some (e_txn, _) -> e_txn <= max_truncated_txn
+                  | None -> false
+                in
+                if fully_old then begin
+                  let key = Table_store.primary_key h row in
+                  ignore (Table_store.delete h ~key : Row.t);
+                  incr history_rows_removed
+                end)
+              (Table_store.scan h))
+      (Database.ledger_tables db);
+    (* 3. Remove old transaction entries and blocks. Flush the queue first
+       so that entry removal is uniform over the system table. *)
+    Database_ledger.checkpoint dbl;
+    let txn_table = Database_ledger.raw_transactions_table dbl in
+    let transactions_removed = ref 0 in
+    List.iter
+      (fun (e : Types.txn_entry) ->
+        let key = [| Value.Int e.txn_id |] in
+        if Table_store.find txn_table ~key <> None then begin
+          ignore (Table_store.delete txn_table ~key : Row.t);
+          incr transactions_removed
+        end)
+      old_entries;
+    let blocks_table = Database_ledger.raw_blocks_table dbl in
+    let blocks_removed = ref 0 in
+    List.iter
+      (fun (b : Types.block) ->
+        if b.block_id <= upto_block then begin
+          ignore
+            (Table_store.delete blocks_table ~key:[| Value.Int b.block_id |]
+              : Row.t);
+          incr blocks_removed
+        end)
+      blocks;
+    (* 4. Record the truncation in the ledger. *)
+    Database.record_truncation db ~horizon_block:upto_block ~horizon_hash
+      ~max_txn:max_truncated_txn;
+    Ok
+      {
+        horizon_block = upto_block;
+        max_truncated_txn;
+        transactions_removed = !transactions_removed;
+        blocks_removed = !blocks_removed;
+        history_rows_removed = !history_rows_removed;
+        rows_reanchored = !rows_reanchored;
+      }
+  end

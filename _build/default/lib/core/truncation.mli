@@ -1,0 +1,36 @@
+(** Ledger truncation (paper §5.2).
+
+    Deletes old historical data, transaction entries and blocks up to a
+    horizon block while keeping the remaining ledger verifiable:
+
+    + verification runs first — truncation refuses to proceed over
+      inconsistent data;
+    + every current row whose creation evidence would be truncated is
+      re-anchored by a ledgered rewrite, moving its digest into a fresh
+      transaction (the paper's "dummy update");
+    + fully-old history rows (created and deleted at or below the horizon)
+      are removed;
+    + transaction entries and blocks at or below the horizon are removed;
+    + a truncation record (horizon block id + hash + highest truncated
+      transaction id) is written to the ledgered metadata table so the
+      operation is audited and the first surviving block's previous-hash
+      link stays checkable. *)
+
+type summary = {
+  horizon_block : int;
+  max_truncated_txn : int;
+  transactions_removed : int;
+  blocks_removed : int;
+  history_rows_removed : int;
+  rows_reanchored : int;
+}
+
+val truncate :
+  Database.t ->
+  digests:Digest.t list ->
+  upto_block:int ->
+  user:string ->
+  (summary, Verifier.report) result
+(** Returns [Error report] (and changes nothing) when pre-verification
+    fails. Raises {!Types.Ledger_error} when [upto_block] is not a closed
+    block. *)

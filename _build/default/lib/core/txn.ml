@@ -1,0 +1,222 @@
+open Relation
+module Table_store = Storage.Table_store
+
+type undo_op =
+  | Undo_ledger_insert of Ledger_table.t * Row.t  (* key *)
+  | Undo_ledger_delete of Ledger_table.t * Row.t  (* moved history row *)
+  | Undo_plain_insert of Table_store.t * Row.t    (* key *)
+  | Undo_plain_update of Table_store.t * Row.t    (* previous row *)
+  | Undo_plain_delete of Table_store.t * Row.t    (* deleted row *)
+
+type state = Active | Committed | Aborted
+
+type t = {
+  txn_id : int;
+  txn_user : string;
+  ledger : Database_ledger.t;
+  clock : unit -> float;
+  mutable seq : int;
+  mutable trees : (int * Merkle.Streaming.t) list;  (* table_id -> tree *)
+  mutable undo : undo_op list;  (* newest first *)
+  mutable redo : Sjson.t list;  (* newest first; logged at commit *)
+  mutable state : state;
+}
+
+type savepoint = {
+  sp_seq : int;
+  sp_trees : (int * Merkle.Streaming.t) list;
+  sp_undo_len : int;
+  sp_redo : Sjson.t list;
+}
+
+let id t = t.txn_id
+let user t = t.txn_user
+let is_active t = t.state = Active
+let operation_count t = t.seq
+
+let begin_txn ~ledger ~user ~clock =
+  {
+    txn_id = Database_ledger.next_txn_id ledger;
+    txn_user = user;
+    ledger;
+    clock;
+    seq = 0;
+    trees = [];
+    undo = [];
+    redo = [];
+    state = Active;
+  }
+
+let require_active t =
+  match t.state with
+  | Active -> ()
+  | Committed -> Types.errorf "transaction %d already committed" t.txn_id
+  | Aborted -> Types.errorf "transaction %d already aborted" t.txn_id
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
+
+let tagged_row row =
+  Sjson.List (List.map Value.to_tagged_json (Array.to_list row))
+
+let log_redo t fields = t.redo <- Sjson.Obj fields :: t.redo
+
+let add_leaf t table_id leaf =
+  let tree =
+    match List.assoc_opt table_id t.trees with
+    | Some tree -> tree
+    | None -> Merkle.Streaming.empty
+  in
+  t.trees <-
+    (table_id, Merkle.Streaming.add_leaf tree leaf)
+    :: List.remove_assoc table_id t.trees
+
+let insert t lt user_row =
+  require_active t;
+  let seq = next_seq t in
+  let stored, hash =
+    Ledger_table.insert_version lt ~txn_id:t.txn_id ~seq user_row
+  in
+  add_leaf t (Ledger_table.table_id lt) hash;
+  log_redo t
+    [
+      ("op", Sjson.String "li");
+      ("tid", Sjson.Int (Ledger_table.table_id lt));
+      ("seq", Sjson.Int seq);
+      ("row", tagged_row user_row);
+    ];
+  t.undo <-
+    Undo_ledger_insert (lt, Table_store.primary_key (Ledger_table.main lt) stored)
+    :: t.undo
+
+let delete t lt ~key =
+  require_active t;
+  let seq = next_seq t in
+  let moved, hash = Ledger_table.delete_version lt ~txn_id:t.txn_id ~seq ~key in
+  add_leaf t (Ledger_table.table_id lt) hash;
+  log_redo t
+    [
+      ("op", Sjson.String "ld");
+      ("tid", Sjson.Int (Ledger_table.table_id lt));
+      ("seq", Sjson.Int seq);
+      ("key", tagged_row key);
+    ];
+  t.undo <- Undo_ledger_delete (lt, moved) :: t.undo
+
+let update t lt ~key new_user_row =
+  require_active t;
+  (* Hash order per §4.1.2: the version before the update, then after. *)
+  delete t lt ~key;
+  insert t lt new_user_row
+
+let plain_insert t store row =
+  require_active t;
+  Table_store.insert store row;
+  log_redo t
+    [
+      ("op", Sjson.String "pi");
+      ("tid", Sjson.Int (Table_store.table_id store));
+      ("row", tagged_row row);
+    ];
+  t.undo <- Undo_plain_insert (store, Table_store.primary_key store row) :: t.undo
+
+let plain_update t store row =
+  require_active t;
+  let key = Table_store.primary_key store row in
+  (match Table_store.find store ~key with
+  | None ->
+      raise
+        (Table_store.Not_found_key (Table_store.name store))
+  | Some old_row ->
+      Table_store.update store row;
+      log_redo t
+        [
+          ("op", Sjson.String "pu");
+          ("tid", Sjson.Int (Table_store.table_id store));
+          ("row", tagged_row row);
+        ];
+      t.undo <- Undo_plain_update (store, old_row) :: t.undo)
+
+let plain_delete t store ~key =
+  require_active t;
+  let old_row = Table_store.delete store ~key in
+  log_redo t
+    [
+      ("op", Sjson.String "pd");
+      ("tid", Sjson.Int (Table_store.table_id store));
+      ("key", tagged_row key);
+    ];
+  t.undo <- Undo_plain_delete (store, old_row) :: t.undo
+
+let apply_undo = function
+  | Undo_ledger_insert (lt, key) -> Ledger_table.undo_insert lt ~key
+  | Undo_ledger_delete (lt, moved) -> Ledger_table.undo_delete lt moved
+  | Undo_plain_insert (store, key) ->
+      ignore (Table_store.delete store ~key : Row.t)
+  | Undo_plain_update (store, old_row) -> Table_store.update store old_row
+  | Undo_plain_delete (store, old_row) -> Table_store.insert store old_row
+
+let savepoint t =
+  require_active t;
+  {
+    sp_seq = t.seq;
+    sp_trees = t.trees;
+    sp_undo_len = List.length t.undo;
+    sp_redo = t.redo;
+  }
+
+let rollback_to t sp =
+  require_active t;
+  let excess = List.length t.undo - sp.sp_undo_len in
+  if excess < 0 then
+    Types.errorf "savepoint is no longer valid (outer rollback occurred)";
+  let rec drop n ops =
+    if n = 0 then ops
+    else
+      match ops with
+      | [] -> assert false
+      | op :: rest ->
+          apply_undo op;
+          drop (n - 1) rest
+  in
+  t.undo <- drop excess t.undo;
+  t.trees <- sp.sp_trees;
+  t.redo <- sp.sp_redo;
+  t.seq <- sp.sp_seq
+
+let rollback t =
+  require_active t;
+  List.iter apply_undo t.undo;
+  t.undo <- [];
+  t.redo <- [];
+  t.trees <- [];
+  t.state <- Aborted;
+  Database_ledger.log_abort t.ledger ~txn_id:t.txn_id
+
+let commit t =
+  require_active t;
+  let table_roots =
+    List.map (fun (tid, tree) -> (tid, Merkle.Streaming.root tree)) t.trees
+  in
+  (* Log the transaction's logical redo before its COMMIT record, so replay
+     sees the data of every committed transaction (write-ahead). *)
+  if t.redo <> [] then
+    ignore
+      (Aries.Wal.append
+         (Database_ledger.wal t.ledger)
+         (Aries.Log_record.Data
+            { txn_id = t.txn_id; ops = Sjson.List (List.rev t.redo) })
+        : int);
+  let entry =
+    Database_ledger.append_commit t.ledger ~txn_id:t.txn_id
+      ~commit_ts:(t.clock ()) ~user:t.txn_user ~table_roots
+  in
+  t.state <- Committed;
+  entry
+
+let table_root t lt =
+  match List.assoc_opt (Ledger_table.table_id lt) t.trees with
+  | Some tree -> Merkle.Streaming.root tree
+  | None -> Merkle.Streaming.empty_root

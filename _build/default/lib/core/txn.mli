@@ -1,0 +1,65 @@
+(** Transactions over ledger tables (paper §3.2).
+
+    Every DML operation stamps the affected row versions with the
+    transaction id and a per-transaction operation sequence number, hashes
+    them, and appends the hashes to a per-table streaming Merkle tree. On
+    commit the tree roots are recorded as the transaction's entry in the
+    Database Ledger. Savepoints snapshot the O(log N) Merkle state
+    (§3.2.1), the sequence counter and the undo position, enabling partial
+    rollbacks.
+
+    The engine executes transactions one at a time (changes apply in place
+    with an undo log); concurrency control is out of scope for this
+    reproduction and orthogonal to the ledger design. *)
+
+type t
+
+type savepoint
+
+val id : t -> int
+val user : t -> string
+val is_active : t -> bool
+
+val begin_txn : ledger:Database_ledger.t -> user:string -> clock:(unit -> float) -> t
+
+(** {1 DML on ledger tables} *)
+
+val insert : t -> Ledger_table.t -> Relation.Row.t -> unit
+(** Insert a user row. Raises {!Types.Ledger_error} when the transaction is
+    not active, [Invalid_argument]/[Storage.Table_store.Duplicate_key] on
+    bad rows. *)
+
+val update : t -> Ledger_table.t -> key:Relation.Row.t -> Relation.Row.t -> unit
+(** Replace the row with the given primary key by a new user row (the old
+    version moves to history; the new row may change the key). Hashes the
+    version before and after, in that order. *)
+
+val delete : t -> Ledger_table.t -> key:Relation.Row.t -> unit
+
+(** {1 DML on regular (non-ledger) tables} *)
+
+val plain_insert : t -> Storage.Table_store.t -> Relation.Row.t -> unit
+val plain_update : t -> Storage.Table_store.t -> Relation.Row.t -> unit
+val plain_delete : t -> Storage.Table_store.t -> key:Relation.Row.t -> unit
+
+(** {1 Savepoints and rollback} *)
+
+val savepoint : t -> savepoint
+val rollback_to : t -> savepoint -> unit
+(** Undo every change made after the savepoint and restore the Merkle
+    state. A savepoint may be rolled back to repeatedly; rolling back to an
+    outer savepoint invalidates inner ones. *)
+
+val rollback : t -> unit
+(** Abort: undo everything, log ABORT. *)
+
+val commit : t -> Types.txn_entry
+(** Compute the per-table Merkle roots, append the entry to the Database
+    Ledger and return it. *)
+
+val table_root : t -> Ledger_table.t -> string
+(** Current Merkle root of this transaction's updates to the given table
+    (before commit); [Merkle.Streaming.empty_root] when untouched. *)
+
+val operation_count : t -> int
+(** Sequence numbers consumed so far. *)

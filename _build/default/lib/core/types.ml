@@ -1,0 +1,73 @@
+(* Shared vocabulary of the SQL Ledger core. *)
+
+(** A transaction entry of the Database Ledger (§3.3.1): one row of the
+    "database_ledger_transactions" system table. *)
+type txn_entry = {
+  txn_id : int;
+  block_id : int;  (** block this transaction was assigned to *)
+  ordinal : int;   (** position within the block *)
+  commit_ts : float;
+  user : string;
+  table_roots : (int * string) list;
+      (** (ledger table id → Merkle root over row versions written there),
+          sorted by table id; roots are raw 32-byte hashes *)
+}
+
+(** A closed block of the Database Ledger blockchain: one row of the
+    "database_ledger_blocks" system table. *)
+type block = {
+  block_id : int;
+  prev_hash : string;  (** raw hash of the previous block; "" for block 0 *)
+  txn_root : string;   (** Merkle root over the block's transaction entries *)
+  txn_count : int;
+  closed_ts : float;
+}
+
+type operation = Insert | Delete
+
+let operation_to_string = function Insert -> "INSERT" | Delete -> "DELETE"
+
+(** One row version as exposed by ledger views and consumed by verification
+    invariant 4: the version's creating or deleting operation. *)
+type version = {
+  v_txn_id : int;
+  v_seq : int;
+  v_op : operation;
+  v_hash : string;  (** raw 32-byte row-version hash *)
+  v_row : Relation.Row.t;  (** full stored row (extended schema) *)
+}
+
+exception Ledger_error of string
+
+let errorf fmt = Printf.ksprintf (fun s -> raise (Ledger_error s)) fmt
+
+(* Canonical JSON for per-table Merkle roots, stored in the transactions
+   system table and covered by the entry hash. *)
+let table_roots_to_json roots =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) roots in
+  Sjson.List
+    (List.map
+       (fun (tid, root) ->
+         Sjson.Obj
+           [
+             ("table_id", Sjson.Int tid);
+             ("root", Sjson.String (Ledger_crypto.Hex.encode root));
+           ])
+       sorted)
+
+let table_roots_to_string roots = Sjson.to_string (table_roots_to_json roots)
+
+let table_roots_of_string s =
+  match Sjson.of_string s with
+  | exception Sjson.Parse_error e -> Error e
+  | Sjson.List items -> (
+      try
+        Ok
+          (List.map
+             (fun item ->
+               ( Sjson.get_int (Sjson.member "table_id" item),
+                 Ledger_crypto.Hex.decode
+                   (Sjson.get_string (Sjson.member "root" item)) ))
+             items)
+      with Invalid_argument e -> Error e)
+  | _ -> Error "table_roots: expected a JSON array"

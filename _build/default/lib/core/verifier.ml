@@ -1,0 +1,533 @@
+open Relation
+module Hex = Ledger_crypto.Hex
+module Table_store = Storage.Table_store
+
+type violation =
+  | Digest_block_missing of { block_id : int }
+  | Digest_mismatch of { block_id : int; expected : string; computed : string }
+  | Digest_foreign of { database_id : string }
+  | Chain_gap of { block_id : int; missing : int }
+  | Chain_broken of {
+      block_id : int;
+      recorded_prev : string;
+      computed_prev : string;
+    }
+  | Genesis_prev_not_null of { recorded : string }
+  | Block_root_mismatch of { block_id : int; recorded : string; computed : string }
+  | Block_count_mismatch of { block_id : int; recorded : int; actual : int }
+  | Orphan_transaction of { txn_id : int; block_id : int }
+  | Table_root_mismatch of {
+      txn_id : int;
+      table : string;
+      recorded : string option;
+      computed : string option;
+    }
+  | Orphan_row_version of { table : string; txn_id : int }
+  | Index_mismatch of { table : string; index : string }
+
+type report = {
+  violations : violation list;
+  blocks_checked : int;
+  transactions_checked : int;
+  versions_checked : int;
+  verified_upto_block : int option;
+}
+
+let ok r = r.violations = []
+
+(* Shared shorthand for recomputing a block hash inside a SQL query —
+   identical, argument for argument, to Database_ledger.block_hash. *)
+let block_hash_sql alias =
+  Printf.sprintf
+    "LEDGERHASH(%s.block_id, %s.prev_hash, %s.txn_root, %s.txn_count, %s.closed_ts)"
+    alias alias alias alias alias
+
+let entry_hash_sql alias =
+  Printf.sprintf
+    "LEDGERHASH(%s.txn_id, %s.block_id, %s.ordinal, %s.commit_ts, %s.username, %s.table_roots)"
+    alias alias alias alias alias alias
+
+let get_cell rel row name =
+  match Sqlexec.Rel.resolve rel ~table:None ~column:name with
+  | Ok i -> row.(i)
+  | Error e -> Types.errorf "verifier internal: %s" e
+
+let as_int_opt = function Value.Int i -> Some i | _ -> None
+
+let as_string_exn what = function
+  | Value.String s -> s
+  | v -> Types.errorf "verifier internal: %s is %s" what (Value.to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant 1: supplied digests match recomputed block hashes. *)
+
+let check_digests db digests =
+  let violations = ref [] in
+  let local, foreign =
+    List.partition
+      (fun (d : Digest.t) ->
+        String.equal d.database_id (Database.database_id db))
+      digests
+  in
+  List.iter
+    (fun (d : Digest.t) ->
+      violations := Digest_foreign { database_id = d.database_id } :: !violations)
+    foreign;
+  if local <> [] then begin
+    let json = Sjson.to_string (Digest.list_to_json local) in
+    let sql =
+      Printf.sprintf
+        "SELECT d.block_id AS digest_block, d.hash AS expected, \
+         b.block_id AS found_block, %s AS computed \
+         FROM OPENJSON('%s') d \
+         LEFT JOIN database_ledger_blocks b ON d.block_id = b.block_id"
+        (block_hash_sql "b")
+        (* single quotes in JSON strings need doubling for the SQL lexer *)
+        (String.concat "''" (String.split_on_char '\'' json))
+    in
+    let rel = Database.query db sql in
+    List.iter
+      (fun row ->
+        let block_id =
+          match as_int_opt (get_cell rel row "digest_block") with
+          | Some i -> i
+          | None -> Types.errorf "digest without block id"
+        in
+        match get_cell rel row "found_block" with
+        | Value.Null ->
+            violations := Digest_block_missing { block_id } :: !violations
+        | _ ->
+            let expected = as_string_exn "digest hash" (get_cell rel row "expected") in
+            let computed = as_string_exn "block hash" (get_cell rel row "computed") in
+            if not (String.equal expected computed) then
+              violations :=
+                Digest_mismatch { block_id; expected; computed } :: !violations)
+      rel.Sqlexec.Rel.rows
+  end;
+  !violations
+
+(* ------------------------------------------------------------------ *)
+(* Invariant 2: the block chain links hold. *)
+
+let check_chain db =
+  let horizons = Database.truncation_horizons db in
+  let violations = ref [] in
+  let sql =
+    Printf.sprintf
+      "SELECT b.block_id AS bid, b.prev_hash AS recorded_prev, \
+       LAG(b.block_id) OVER (ORDER BY b.block_id) AS prev_id, \
+       LAG(%s) OVER (ORDER BY b.block_id) AS computed_prev \
+       FROM database_ledger_blocks b ORDER BY b.block_id"
+      (block_hash_sql "b")
+  in
+  let rel = Database.query db sql in
+  let count = ref 0 in
+  List.iter
+    (fun row ->
+      incr count;
+      let block_id =
+        Option.get (as_int_opt (get_cell rel row "bid"))
+      in
+      let recorded_prev =
+        as_string_exn "prev_hash" (get_cell rel row "recorded_prev")
+      in
+      match get_cell rel row "prev_id" with
+      | Value.Null ->
+          (* First block present: block 0 with a null prev, or the first
+             survivor of a recorded truncation (§5.2), whose prev link is
+             anchored by the ledgered horizon hash. *)
+          if block_id = 0 then begin
+            if recorded_prev <> "" then
+              violations :=
+                Genesis_prev_not_null { recorded = recorded_prev } :: !violations
+          end
+          else begin
+            match
+              List.find_opt (fun (h, _, _) -> h = block_id - 1) horizons
+            with
+            | Some (_, horizon_hash, _) ->
+                if not (String.equal recorded_prev (Hex.encode horizon_hash))
+                then
+                  violations :=
+                    Chain_broken
+                      {
+                        block_id;
+                        recorded_prev;
+                        computed_prev = Hex.encode horizon_hash;
+                      }
+                    :: !violations
+            | None ->
+                violations := Chain_gap { block_id; missing = 0 } :: !violations
+          end
+      | Value.Int prev_id ->
+          if prev_id <> block_id - 1 then
+            violations :=
+              Chain_gap { block_id; missing = block_id - 1 } :: !violations
+          else begin
+            let computed_prev =
+              as_string_exn "computed prev" (get_cell rel row "computed_prev")
+            in
+            if not (String.equal recorded_prev computed_prev) then
+              violations :=
+                Chain_broken { block_id; recorded_prev; computed_prev }
+                :: !violations
+          end
+      | v -> Types.errorf "unexpected prev_id %s" (Value.to_string v))
+    rel.Sqlexec.Rel.rows;
+  (!violations, !count)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant 3: per-block transaction Merkle roots. *)
+
+let check_block_roots db =
+  let violations = ref [] in
+  let open_block = Database_ledger.current_block_id (Database.ledger db) in
+  let sql =
+    Printf.sprintf
+      "SELECT tr.block_id AS tbid, b.block_id AS bbid, \
+       b.txn_root AS recorded, tr.computed AS computed, \
+       b.txn_count AS recorded_count, tr.cnt AS actual_count \
+       FROM (SELECT t.block_id AS block_id, \
+             MERKLETREEAGG(%s ORDER BY t.ordinal) AS computed, \
+             COUNT(*) AS cnt \
+             FROM database_ledger_transactions t GROUP BY t.block_id) tr \
+       FULL JOIN database_ledger_blocks b ON tr.block_id = b.block_id"
+      (entry_hash_sql "t")
+  in
+  let rel = Database.query db sql in
+  let txns = ref 0 in
+  List.iter
+    (fun row ->
+      match (get_cell rel row "tbid", get_cell rel row "bbid") with
+      | Value.Int tbid, Value.Null ->
+          (* Transactions in the still-open block are expected to have no
+             closed block yet; anything older is an orphan. *)
+          if tbid < open_block then
+            List.iter
+              (fun (e : Types.txn_entry) ->
+                violations :=
+                  Orphan_transaction { txn_id = e.txn_id; block_id = tbid }
+                  :: !violations)
+              (Database_ledger.entries_of_block (Database.ledger db)
+                 ~block_id:tbid)
+          else begin
+            match as_int_opt (get_cell rel row "actual_count") with
+            | Some n -> txns := !txns + n
+            | None -> ()
+          end
+      | Value.Null, Value.Int bbid ->
+          (* A block with no transactions at all: its recorded root must be
+             the empty root and count 0. *)
+          let recorded = as_string_exn "txn_root" (get_cell rel row "recorded") in
+          let empty = Hex.encode Merkle.Streaming.empty_root in
+          if not (String.equal recorded empty) then
+            violations :=
+              Block_root_mismatch { block_id = bbid; recorded; computed = empty }
+              :: !violations
+      | Value.Int bid, Value.Int _ ->
+          let recorded = as_string_exn "txn_root" (get_cell rel row "recorded") in
+          let computed = as_string_exn "computed root" (get_cell rel row "computed") in
+          (match as_int_opt (get_cell rel row "actual_count") with
+          | Some n -> txns := !txns + n
+          | None -> ());
+          if not (String.equal recorded computed) then
+            violations :=
+              Block_root_mismatch { block_id = bid; recorded; computed }
+              :: !violations;
+          (match
+             ( as_int_opt (get_cell rel row "recorded_count"),
+               as_int_opt (get_cell rel row "actual_count") )
+           with
+          | Some r, Some a when r <> a ->
+              violations :=
+                Block_count_mismatch { block_id = bid; recorded = r; actual = a }
+                :: !violations
+          | _ -> ())
+      | _ -> Types.errorf "verifier internal: block roots join")
+    rel.Sqlexec.Rel.rows;
+  (!violations, !txns)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant 4: per-transaction, per-table row-version Merkle roots. *)
+
+let check_table_roots db lt =
+  let max_truncated_txn =
+    List.fold_left
+      (fun acc (_, _, m) -> max acc m)
+      0
+      (Database.truncation_horizons db)
+  in
+  let violations = ref [] in
+  let table = Ledger_table.name lt in
+  let table_id = Ledger_table.table_id lt in
+  let sql =
+    Printf.sprintf
+      "SELECT v.txn_id AS vtxn, s.txn_id AS stxn, \
+       v.computed AS computed, s.table_roots AS roots, v.cnt AS cnt \
+       FROM (SELECT txn_id, MERKLETREEAGG(row_hash ORDER BY seq) AS computed, \
+             COUNT(*) AS cnt FROM %s__versions GROUP BY txn_id) v \
+       FULL JOIN database_ledger_transactions s ON v.txn_id = s.txn_id"
+      table
+  in
+  let rel = Database.query db sql in
+  let versions = ref 0 in
+  List.iter
+    (fun row ->
+      let recorded_root roots_json =
+        match Types.table_roots_of_string roots_json with
+        | Error e -> Types.errorf "corrupt table_roots: %s" e
+        | Ok roots ->
+            List.assoc_opt table_id roots |> Option.map Hex.encode
+      in
+      match (get_cell rel row "vtxn", get_cell rel row "stxn") with
+      | Value.Int txn_id, _ when txn_id <= max_truncated_txn ->
+          (* Evidence for this transaction was truncated (§5.2); its
+             surviving creation leaves are unverifiable by design. *)
+          ()
+      | Value.Int txn_id, Value.Null ->
+          violations := Orphan_row_version { table; txn_id } :: !violations
+      | Value.Null, Value.Int txn_id ->
+          (* Transaction recorded in the system table but no surviving row
+             versions in this table: a violation only if the entry claims a
+             root for the table. *)
+          let roots_json = as_string_exn "table_roots" (get_cell rel row "roots") in
+          (match recorded_root roots_json with
+          | Some recorded ->
+              violations :=
+                Table_root_mismatch
+                  { txn_id; table; recorded = Some recorded; computed = None }
+                :: !violations
+          | None -> ())
+      | Value.Int txn_id, Value.Int _ ->
+          (match as_int_opt (get_cell rel row "cnt") with
+          | Some n -> versions := !versions + n
+          | None -> ());
+          let computed = as_string_exn "computed" (get_cell rel row "computed") in
+          let roots_json = as_string_exn "table_roots" (get_cell rel row "roots") in
+          (match recorded_root roots_json with
+          | Some recorded ->
+              if not (String.equal recorded computed) then
+                violations :=
+                  Table_root_mismatch
+                    {
+                      txn_id;
+                      table;
+                      recorded = Some recorded;
+                      computed = Some computed;
+                    }
+                  :: !violations
+          | None ->
+              violations :=
+                Table_root_mismatch
+                  { txn_id; table; recorded = None; computed = Some computed }
+                :: !violations)
+      | _ -> Types.errorf "verifier internal: table roots join")
+    rel.Sqlexec.Rel.rows;
+  (!violations, !versions)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant 5: non-clustered indexes are equivalent to their base table. *)
+
+let pair_hash key pk =
+  match
+    Sqlexec.Builtins.ledgerhash (Array.to_list key @ Array.to_list pk)
+  with
+  | Value.String hex -> Hex.decode hex
+  | _ -> assert false
+
+let check_indexes_of_store store =
+  let violations = ref [] in
+  let table = Table_store.name store in
+  List.iter
+    (fun ({ Table_store.index_name; key_ordinals } : Table_store.index) ->
+      let base_pairs =
+        Table_store.fold
+          (fun acc row ->
+            let key = Row.project row key_ordinals in
+            let pk = Table_store.primary_key store row in
+            (Array.append key pk, pk) :: acc)
+          [] store
+        |> List.sort (fun (a, _) (b, _) -> Row.compare a b)
+      in
+      let index_pairs = Table_store.index_scan store ~index_name in
+      let root pairs =
+        Merkle.Streaming.(
+          root
+            (add_leaves empty (List.map (fun (k, pk) -> pair_hash k pk) pairs)))
+      in
+      if not (String.equal (root base_pairs) (root index_pairs)) then
+        violations := Index_mismatch { table; index = index_name } :: !violations)
+    (Table_store.indexes store);
+  !violations
+
+let check_indexes lt =
+  check_indexes_of_store (Ledger_table.main lt)
+  @
+  match Ledger_table.history lt with
+  | Some h -> check_indexes_of_store h
+  | None -> []
+
+(* ------------------------------------------------------------------ *)
+
+let verify ?tables ?(jobs = 1) db ~digests =
+  let selected lt =
+    match tables with
+    | None -> true
+    | Some names ->
+        List.exists
+          (fun n ->
+            String.equal (String.lowercase_ascii n)
+              (String.lowercase_ascii (Ledger_table.name lt)))
+          names
+  in
+  let v1 = check_digests db digests in
+  let v2, blocks_checked = check_chain db in
+  let v3, transactions_checked = check_block_roots db in
+  let per_table lt =
+    let v4, versions = check_table_roots db lt in
+    let v5 = check_indexes lt in
+    (v4 @ v5, versions)
+  in
+  let targets = List.filter selected (Database.ledger_tables db) in
+  let table_results =
+    if jobs <= 1 || List.length targets <= 1 then List.map per_table targets
+    else begin
+      (* Warm the per-schema memo caches before spawning so the domains
+         only read shared state. *)
+      List.iter
+        (fun lt ->
+          ignore (Ledger_table.user_ordinals lt : int list);
+          ignore (System_columns.ordinals (Ledger_table.schema lt)))
+        targets;
+      (* Round-robin the tables over the domains. *)
+      let buckets = Array.make (min jobs (List.length targets)) [] in
+      List.iteri
+        (fun i lt ->
+          let b = i mod Array.length buckets in
+          buckets.(b) <- lt :: buckets.(b))
+        targets;
+      let domains =
+        Array.map
+          (fun bucket -> Domain.spawn (fun () -> List.map per_table bucket))
+          buckets
+      in
+      Array.to_list domains |> List.concat_map Domain.join
+    end
+  in
+  let v45, versions_checked =
+    List.fold_left
+      (fun (acc, count) (vs, versions) -> (acc @ vs, count + versions))
+      ([], 0) table_results
+  in
+  let verified_upto_block =
+    List.fold_left
+      (fun acc (d : Digest.t) ->
+        if String.equal d.database_id (Database.database_id db) then
+          match acc with
+          | None -> Some d.block_id
+          | Some b -> Some (max b d.block_id)
+        else acc)
+      None digests
+  in
+  {
+    violations = v1 @ v2 @ v3 @ v45;
+    blocks_checked;
+    transactions_checked;
+    versions_checked;
+    verified_upto_block;
+  }
+
+let verify_digest_chain db ~older ~newer =
+  let violations = ref [] in
+  if newer.Digest.block_id < older.Digest.block_id then
+    violations :=
+      Chain_gap { block_id = newer.Digest.block_id; missing = older.Digest.block_id }
+      :: !violations
+  else begin
+    let blocks = Database_ledger.blocks (Database.ledger db) in
+    let find id =
+      List.find_opt (fun (b : Types.block) -> b.block_id = id) blocks
+    in
+    let check_digest (d : Digest.t) =
+      match find d.block_id with
+      | None ->
+          violations := Digest_block_missing { block_id = d.block_id } :: !violations
+      | Some b ->
+          let computed = Database_ledger.block_hash b in
+          if not (String.equal computed d.block_hash) then
+            violations :=
+              Digest_mismatch
+                {
+                  block_id = d.block_id;
+                  expected = Hex.encode d.block_hash;
+                  computed = Hex.encode computed;
+                }
+              :: !violations
+    in
+    check_digest older;
+    check_digest newer;
+    (* Recompute every link between the two digests. *)
+    for id = older.Digest.block_id + 1 to newer.Digest.block_id do
+      match (find (id - 1), find id) with
+      | Some prev, Some b ->
+          let computed_prev = Database_ledger.block_hash prev in
+          if not (String.equal b.prev_hash computed_prev) then
+            violations :=
+              Chain_broken
+                {
+                  block_id = id;
+                  recorded_prev = Hex.encode b.prev_hash;
+                  computed_prev = Hex.encode computed_prev;
+                }
+              :: !violations
+      | _ -> violations := Chain_gap { block_id = id; missing = id - 1 } :: !violations
+    done
+  end;
+  if !violations = [] then Ok () else Error !violations
+
+(* ------------------------------------------------------------------ *)
+
+let violation_to_string = function
+  | Digest_block_missing { block_id } ->
+      Printf.sprintf "digest references missing block %d" block_id
+  | Digest_mismatch { block_id; expected; computed } ->
+      Printf.sprintf "digest mismatch on block %d: expected %s, computed %s"
+        block_id expected computed
+  | Digest_foreign { database_id } ->
+      Printf.sprintf "digest belongs to another database (%s)" database_id
+  | Chain_gap { block_id; missing } ->
+      Printf.sprintf "block chain gap at block %d (missing block %d)" block_id
+        missing
+  | Chain_broken { block_id; _ } ->
+      Printf.sprintf "block %d: previous-block hash link broken" block_id
+  | Genesis_prev_not_null { recorded } ->
+      Printf.sprintf "block 0 has non-null previous hash %s" recorded
+  | Block_root_mismatch { block_id; _ } ->
+      Printf.sprintf "block %d: transaction Merkle root mismatch" block_id
+  | Block_count_mismatch { block_id; recorded; actual } ->
+      Printf.sprintf "block %d: recorded %d transactions, found %d" block_id
+        recorded actual
+  | Orphan_transaction { txn_id; block_id } ->
+      Printf.sprintf "transaction %d references missing block %d" txn_id
+        block_id
+  | Table_root_mismatch { txn_id; table; _ } ->
+      Printf.sprintf "transaction %d: row-version root mismatch in table %s"
+        txn_id table
+  | Orphan_row_version { table; txn_id } ->
+      Printf.sprintf "table %s has row versions from unrecorded transaction %d"
+        table txn_id
+  | Index_mismatch { table; index } ->
+      Printf.sprintf "index %s on %s diverges from the base table" index table
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "verification: %s (%d blocks, %d transactions, %d row versions checked%s)"
+    (if ok r then "OK"
+     else Printf.sprintf "%d violation(s)" (List.length r.violations))
+    r.blocks_checked r.transactions_checked r.versions_checked
+    (match r.verified_upto_block with
+    | Some b -> Printf.sprintf "; anchored up to block %d" b
+    | None -> "; no digest anchor");
+  List.iter
+    (fun v -> Format.fprintf fmt "@.  - %s" (violation_to_string v))
+    r.violations

@@ -1,0 +1,49 @@
+(** Full database recovery by redo-log replay (paper §3.3.2, completed).
+
+    Every committed transaction's row operations and every structural
+    change are logged ahead of commit, so a crashed database is rebuilt
+    from its WAL alone — or from the latest snapshot plus the WAL tail,
+    the classic checkpoint + redo architecture. Replay reproduces the
+    *identical* ledger: the same row versions with the same (transaction,
+    sequence) stamps, the same transaction entries, the same block
+    boundaries (block closes are logged), hence the same hashes — old
+    digests verify the recovered database.
+
+    Two deliberate properties:
+    - Uncommitted tails (a DATA record without its COMMIT) are discarded,
+      giving transaction atomicity across crashes.
+    - Raw tampering bypasses the WAL by definition, so replay resurrects
+      the *untampered* state — a WAL-based variant of the §3.7 recovery
+      from tampering.
+
+    Limitation: ledger truncation (§5.2) compacts history outside the
+    transaction path; take a fresh snapshot after truncating (the WAL
+    before a truncation no longer reproduces the post-truncation state). *)
+
+val replay :
+  ?clock:(unit -> float) ->
+  ?snapshot:Sjson.t ->
+  records:(Aries.Wal.lsn * Aries.Log_record.t) list ->
+  unit ->
+  (Database.t, string) result
+(** Rebuild a database. Without [snapshot], the log must start with the
+    database's creation record; with it, replay resumes from the snapshot's
+    recorded WAL position. *)
+
+val replay_file :
+  ?clock:(unit -> float) ->
+  ?snapshot_path:string ->
+  wal_path:string ->
+  unit ->
+  (Database.t, string) result
+
+(** {1 Streaming building blocks (used by {!Replica})} *)
+
+val apply_committed_ops :
+  Database.t -> txn_id:int -> Sjson.t -> (unit, string) result
+(** Apply one DATA payload (a JSON list of row operations) for a
+    transaction known to be committed. *)
+
+val shell_of_header : clock:(unit -> float) -> Sjson.t -> Database.t
+(** Reconstruct the empty database shell from a creation record's payload.
+    Raises [Failure] on a malformed payload. *)

@@ -1,0 +1,11 @@
+(** Hexadecimal encoding of binary strings. *)
+
+val encode : string -> string
+(** Lowercase hex, two characters per byte. *)
+
+val decode : string -> string
+(** Inverse of {!encode}; accepts upper- or lowercase. Raises
+    [Invalid_argument] on odd length or non-hex characters. *)
+
+val is_hex : string -> bool
+(** Whether {!decode} would succeed. *)

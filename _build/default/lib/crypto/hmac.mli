@@ -1,0 +1,11 @@
+(** HMAC-SHA-256 (RFC 2104).
+
+    Used by the trusted digest store to authenticate stored digests with a
+    customer-held key — one of the out-of-band digest-protection options
+    described in §2.4 of the paper. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte raw HMAC-SHA-256 tag of [msg]. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time comparison of [tag] against [mac ~key msg]. *)

@@ -1,0 +1,91 @@
+(* A secret key is 256 pairs of 32-byte preimages, derived from a seed with
+   SHA-256 so that keys need not be stored in full. The public key hashes
+   each preimage. Signing message bit i (of the message digest) reveals
+   preimage [i][bit]. *)
+
+let bits = 256
+let chunk = 32
+
+type secret_key = { sk : string array array }
+(* sk.(i).(b) for i < 256, b < 2 *)
+
+type public_key = { pk : string array array }
+type signature = { reveal : string array }
+
+let derive_preimage ~seed i b =
+  Sha256.digest_concat
+    [ "lamport-sk"; seed; string_of_int i; string_of_int b ]
+
+let generate ~seed =
+  let sk =
+    Array.init bits (fun i ->
+        [| derive_preimage ~seed i 0; derive_preimage ~seed i 1 |])
+  in
+  let pk =
+    Array.map (fun pair -> Array.map Sha256.digest_string pair) sk
+  in
+  ({ sk }, { pk })
+
+let public_key_of_secret { sk } =
+  { pk = Array.map (fun pair -> Array.map Sha256.digest_string pair) sk }
+
+let msg_bits msg =
+  let d = Sha256.digest_string msg in
+  Array.init bits (fun i ->
+      let byte = Char.code d.[i / 8] in
+      (byte lsr (7 - (i mod 8))) land 1)
+
+let sign { sk } msg =
+  let bs = msg_bits msg in
+  { reveal = Array.mapi (fun i b -> sk.(i).(b)) bs }
+
+let verify { pk } ~msg { reveal } =
+  Array.length reveal = bits
+  &&
+  let bs = msg_bits msg in
+  let ok = ref true in
+  Array.iteri
+    (fun i b ->
+      if not (String.equal (Sha256.digest_string reveal.(i)) pk.(i).(b)) then
+        ok := false)
+    bs;
+  !ok
+
+let fingerprint { pk } =
+  let t = Sha256.init () in
+  Array.iter
+    (fun pair ->
+      Sha256.feed_string t pair.(0);
+      Sha256.feed_string t pair.(1))
+    pk;
+  Sha256.get t
+
+let public_key_to_string { pk } =
+  let buf = Buffer.create (bits * 2 * chunk) in
+  Array.iter
+    (fun pair ->
+      Buffer.add_string buf pair.(0);
+      Buffer.add_string buf pair.(1))
+    pk;
+  Buffer.contents buf
+
+let public_key_of_string s =
+  if String.length s <> bits * 2 * chunk then None
+  else
+    Some
+      {
+        pk =
+          Array.init bits (fun i ->
+              [|
+                String.sub s (i * 2 * chunk) chunk;
+                String.sub s ((i * 2 * chunk) + chunk) chunk;
+              |]);
+      }
+
+let signature_to_string { reveal } = String.concat "" (Array.to_list reveal)
+
+let signature_of_string s =
+  if String.length s <> bits * chunk then None
+  else
+    Some
+      { reveal = Array.init bits (fun i -> String.sub s (i * chunk) chunk) }

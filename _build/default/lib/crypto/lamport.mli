@@ -1,0 +1,34 @@
+(** Lamport one-time signatures over SHA-256.
+
+    The paper signs one Merkle root per 100K-transaction block so that a
+    single asymmetric signing operation amortises over every receipt in the
+    block (§5.1). The concrete scheme is unspecified; this repository
+    substitutes Lamport one-time signatures, which are built purely from
+    SHA-256 (no bignum dependency) and are safe for exactly this one-message-
+    per-key usage pattern: SQL Ledger derives a fresh key pair per block. *)
+
+type secret_key
+type public_key
+
+type signature
+(** 256 revealed 32-byte preimages (8 KiB). *)
+
+val generate : seed:string -> secret_key * public_key
+(** Deterministically derive a key pair from [seed]. The caller must never
+    sign two distinct messages under the same seed. *)
+
+val public_key_of_secret : secret_key -> public_key
+
+val sign : secret_key -> string -> signature
+(** Sign a message (the message is hashed internally). *)
+
+val verify : public_key -> msg:string -> signature -> bool
+
+val fingerprint : public_key -> string
+(** 32-byte commitment to the public key, suitable for publishing in a block
+    header; the full key is distributed with receipts. *)
+
+val public_key_to_string : public_key -> string
+val public_key_of_string : string -> public_key option
+val signature_to_string : signature -> string
+val signature_of_string : string -> signature option

@@ -1,0 +1,38 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    Implemented from scratch because the sealed build environment ships no
+    cryptographic library. Validated against the FIPS / NIST short-message
+    test vectors in the test suite. *)
+
+type t
+(** Mutable hashing context. *)
+
+val init : unit -> t
+(** Fresh context. *)
+
+val feed_bytes : t -> ?off:int -> ?len:int -> bytes -> unit
+(** Absorb a byte range. Raises [Invalid_argument] on an invalid range, or if
+    the context was already finalised. *)
+
+val feed_string : t -> ?off:int -> ?len:int -> string -> unit
+(** Absorb a substring. Same errors as {!feed_bytes}. *)
+
+val get : t -> string
+(** Finalise and return the 32-byte raw digest. The context must not be fed
+    afterwards; calling [get] again returns the same digest. *)
+
+val digest_string : string -> string
+(** [digest_string s] is the 32-byte raw digest of [s]. *)
+
+val digest_bytes : bytes -> string
+(** Digest of a byte buffer. *)
+
+val digest_concat : string list -> string
+(** Digest of the concatenation of the given strings, without building the
+    concatenation. *)
+
+val hex_of_string : string -> string
+(** Convenience: digest then hex-encode. *)
+
+val digest_size : int
+(** 32. *)

@@ -1,0 +1,122 @@
+type config = {
+  endorsement_rtt_ms : float;
+  endorsement_parallelism : int;
+  ordering_batch_size : int;
+  batch_timeout_ms : float;
+  consensus_latency_ms : float;
+  validation_per_txn_ms : float;
+  validation_parallelism : int;
+}
+
+let default =
+  {
+    endorsement_rtt_ms = 30.0;
+    endorsement_parallelism = 150;
+    ordering_batch_size = 500;
+    batch_timeout_ms = 250.0;
+    consensus_latency_ms = 20.0;
+    validation_per_txn_ms = 0.3;
+    validation_parallelism = 1;  (* block validation is sequential per peer *)
+  }
+
+type result = {
+  offered_tps : float;
+  completed : int;
+  achieved_tps : float;
+  avg_latency_ms : float;
+  p50_latency_ms : float;
+  p99_latency_ms : float;
+}
+
+(* A deterministic pipeline simulation. Stage queues are modelled with
+   "next free at" clocks: endorsement has N parallel slots, ordering cuts
+   blocks by size or timeout, validation drains blocks sequentially. *)
+let simulate ?(config = default) ~offered_tps ~txns () =
+  if offered_tps <= 0. || txns <= 0 then
+    invalid_arg "Fabric_sim.simulate: positive load required";
+  let interarrival = 1000.0 /. offered_tps in
+  (* Endorsement: earliest-free-slot queue. *)
+  let slots = Array.make config.endorsement_parallelism 0.0 in
+  let endorsement_done = Array.make txns 0.0 in
+  for i = 0 to txns - 1 do
+    let arrival = float_of_int i *. interarrival in
+    (* pick the earliest-free endorsement slot *)
+    let best = ref 0 in
+    for s = 1 to config.endorsement_parallelism - 1 do
+      if slots.(s) < slots.(!best) then best := s
+    done;
+    let start = Float.max arrival slots.(!best) in
+    let finish = start +. config.endorsement_rtt_ms in
+    slots.(!best) <- finish;
+    endorsement_done.(i) <- finish
+  done;
+  (* Ordering: txns join the current batch as they are endorsed; the batch
+     is cut when it fills or when the oldest waiting txn has waited
+     batch_timeout_ms, whichever comes first. *)
+  let blocks = ref [] in
+  let batch = ref [] in
+  let batch_first = ref nan in
+  let cut at =
+    if !batch <> [] then begin
+      blocks := (at, List.rev !batch) :: !blocks;
+      batch := [];
+      batch_first := nan
+    end
+  in
+  Array.iter
+    (fun t ->
+      if !batch <> [] && t > !batch_first +. config.batch_timeout_ms then
+        cut (!batch_first +. config.batch_timeout_ms);
+      if !batch = [] then batch_first := t;
+      batch := t :: !batch;
+      if List.length !batch >= config.ordering_batch_size then cut t)
+    endorsement_done;
+  cut (!batch_first +. config.batch_timeout_ms);
+  let blocks = List.rev !blocks in
+  (* Consensus + validation: blocks ordered sequentially; validation drains
+     per transaction. *)
+  let validator_free = ref 0.0 in
+  let latencies = ref [] in
+  List.iter
+    (fun (cut_at, batch) ->
+      let ordered_at = cut_at +. config.consensus_latency_ms in
+      let start = Float.max ordered_at !validator_free in
+      let n = List.length batch in
+      let finish =
+        start
+        +. (float_of_int n *. config.validation_per_txn_ms
+           /. float_of_int config.validation_parallelism)
+      in
+      validator_free := finish;
+      List.iter
+        (fun endorsed_at ->
+          let submitted = endorsed_at -. config.endorsement_rtt_ms in
+          latencies := (finish -. submitted) :: !latencies)
+        batch)
+    blocks;
+  let lat = Array.of_list (List.rev !latencies) in
+  Array.sort Float.compare lat;
+  let n = Array.length lat in
+  let total_time = Float.max 1.0 !validator_free in
+  let sum = Array.fold_left ( +. ) 0.0 lat in
+  let pct p = lat.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+  {
+    offered_tps;
+    completed = n;
+    achieved_tps = float_of_int n /. (total_time /. 1000.0);
+    avg_latency_ms = sum /. float_of_int n;
+    p50_latency_ms = pct 0.50;
+    p99_latency_ms = pct 0.99;
+  }
+
+let saturation_tps ?(config = default) () =
+  (* The pipeline bottleneck: endorsement slots vs validation drain. *)
+  let endorsement_cap =
+    float_of_int config.endorsement_parallelism
+    /. (config.endorsement_rtt_ms /. 1000.0)
+  in
+  let validation_cap =
+    float_of_int config.validation_parallelism
+    /. (config.validation_per_txn_ms /. 1000.0)
+  in
+  Float.min endorsement_cap validation_cap

@@ -1,0 +1,41 @@
+(** Latency model of a permissioned-blockchain pipeline — the stand-in for
+    the Hyperledger Fabric comparison in the paper's evaluation (§4.1).
+
+    The paper cites Fabric's published numbers [Androulaki et al., EuroSys
+    2018]: a few thousand transactions per second at end-to-end latencies in
+    the hundreds of milliseconds, against which SQL Ledger's 70K+ tps and
+    microsecond-scale DML overheads are contrasted. We cannot run Fabric in
+    this environment, so this module simulates its execute-order-validate
+    pipeline with parameters calibrated to those published numbers. The
+    simulation is a deterministic discrete-event model: endorsement
+    round-trips, batching at the ordering service, and per-transaction
+    validation/commit at the peers. *)
+
+type config = {
+  endorsement_rtt_ms : float;     (** client → endorsers → client *)
+  endorsement_parallelism : int;  (** concurrent endorsement slots *)
+  ordering_batch_size : int;      (** transactions per block *)
+  batch_timeout_ms : float;       (** block cut deadline *)
+  consensus_latency_ms : float;   (** ordering round (Raft/Kafka) *)
+  validation_per_txn_ms : float;  (** VSCC/MVCC + commit per txn *)
+  validation_parallelism : int;
+}
+
+val default : config
+(** Calibrated to Fabric v1.x published results: ~3K tps saturation,
+    ~100–500 ms latency. *)
+
+type result = {
+  offered_tps : float;
+  completed : int;
+  achieved_tps : float;
+  avg_latency_ms : float;
+  p50_latency_ms : float;
+  p99_latency_ms : float;
+}
+
+val simulate : ?config:config -> offered_tps:float -> txns:int -> unit -> result
+(** Push [txns] arrivals at the offered rate through the pipeline. *)
+
+val saturation_tps : ?config:config -> unit -> float
+(** Approximate maximum sustainable throughput of the pipeline. *)

@@ -1,0 +1,1 @@
+lib/merkle/proof.ml: Ledger_crypto List Option Sjson Streaming String

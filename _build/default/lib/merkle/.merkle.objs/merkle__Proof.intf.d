@@ -1,0 +1,1 @@
+lib/merkle/proof.mli: Sjson

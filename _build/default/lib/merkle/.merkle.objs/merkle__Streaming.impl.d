@@ -1,0 +1,1 @@
+lib/merkle/streaming.ml: Ledger_crypto List

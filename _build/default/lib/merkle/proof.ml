@@ -1,0 +1,50 @@
+module Hex = Ledger_crypto.Hex
+
+type step = Sibling_left of string | Sibling_right of string
+type t = step list
+
+let root_from_leaf ~leaf proof =
+  List.fold_left
+    (fun acc step ->
+      match step with
+      | Sibling_left h -> Streaming.combine h acc
+      | Sibling_right h -> Streaming.combine acc h)
+    leaf proof
+
+let verify ~root ~leaf proof = String.equal (root_from_leaf ~leaf proof) root
+
+let to_json proof =
+  Sjson.List
+    (List.map
+       (fun step ->
+         let side, h =
+           match step with
+           | Sibling_left h -> ("left", h)
+           | Sibling_right h -> ("right", h)
+         in
+         Sjson.Obj
+           [ ("side", Sjson.String side); ("hash", Sjson.String (Hex.encode h)) ])
+       proof)
+
+let of_json json =
+  match json with
+  | Sjson.List items ->
+      let step_of item =
+        match
+          (Sjson.member "side" item, Sjson.member "hash" item)
+        with
+        | Sjson.String side, Sjson.String hex when Hex.is_hex hex -> (
+            let h = Hex.decode hex in
+            match side with
+            | "left" -> Some (Sibling_left h)
+            | "right" -> Some (Sibling_right h)
+            | _ -> None)
+        | _ -> None
+      in
+      let steps = List.map step_of items in
+      if List.for_all Option.is_some steps then
+        Some (List.map Option.get steps)
+      else None
+  | _ -> None
+
+let length = List.length

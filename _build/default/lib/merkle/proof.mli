@@ -1,0 +1,26 @@
+(** Merkle membership proofs (paper §3.3.1 requirement 4 and §5.1).
+
+    A proof authenticates that a leaf hash is contained in a tree with a
+    known root while revealing only sibling hashes — no other transaction
+    content leaks, which is what lets SQL Ledger hand receipts to external
+    parties without compromising ledger confidentiality. *)
+
+type step =
+  | Sibling_left of string   (** sibling hash sits to the left of our node *)
+  | Sibling_right of string  (** sibling hash sits to the right *)
+
+type t = step list
+(** Ordered bottom-up. Levels where the node was promoted without a sibling
+    contribute no step, matching the streaming algorithm's promotion rule. *)
+
+val root_from_leaf : leaf:string -> t -> string
+(** Recompute the root implied by [leaf] and the proof. *)
+
+val verify : root:string -> leaf:string -> t -> bool
+(** [verify ~root ~leaf p] checks that [p] connects [leaf] to [root]. *)
+
+val to_json : t -> Sjson.t
+val of_json : Sjson.t -> t option
+
+val length : t -> int
+(** Number of sibling steps (tree height minus promotions). *)

@@ -1,0 +1,42 @@
+module Sha256 = Ledger_crypto.Sha256
+
+let empty_root = Sha256.digest_string "\x00merkle-empty"
+
+let combine l r = Sha256.digest_concat [ "\x01"; l; r ]
+
+type t = { pending : string option list; count : int }
+(* [pending] holds, for each level starting at the leaves, the last appended
+   node that has not yet found a sibling. The list is as long as the highest
+   level touched so far, so it is O(log N). Because it is immutable, a
+   savepoint snapshot is just a binding. *)
+
+let empty = { pending = []; count = 0 }
+
+let add_leaf t leaf =
+  let rec insert pending node =
+    match pending with
+    | [] -> [ Some node ]
+    | None :: rest -> Some node :: rest
+    | Some prev :: rest -> None :: insert rest (combine prev node)
+  in
+  { pending = insert t.pending leaf; count = t.count + 1 }
+
+let add_leaves t leaves = List.fold_left add_leaf t leaves
+
+let leaf_count t = t.count
+
+let root t =
+  (* Fold pending nodes upwards; an unpaired node is promoted (carried)
+     until it meets a pending node from a higher level. *)
+  let final =
+    List.fold_left
+      (fun carry pending ->
+        match (pending, carry) with
+        | None, c -> c
+        | Some p, None -> Some p
+        | Some p, Some c -> Some (combine p c))
+      None t.pending
+  in
+  match final with None -> empty_root | Some r -> r
+
+let levels t = t.pending

@@ -1,0 +1,35 @@
+(** Streaming Merkle-root computation (paper §3.2.1).
+
+    Computes the root of a Merkle tree over a stream of leaf hashes in O(N)
+    time and O(log N) space, without knowing the leaf count up front. The
+    last node of an odd level is promoted unchanged to its parent level, as
+    the paper specifies. The small state makes savepoint snapshots cheap
+    (§3.2.1: partial transaction rollbacks copy the tree state). *)
+
+type t
+(** Immutable accumulator; appends return a new value, which is what makes
+    savepoint snapshot/restore a pointer copy. *)
+
+val empty : t
+
+val add_leaf : t -> string -> t
+(** Append a leaf hash (any string; callers pass 32-byte SHA-256 digests). *)
+
+val add_leaves : t -> string list -> t
+
+val leaf_count : t -> int
+
+val root : t -> string
+(** Current root. The empty tree has the distinguished root
+    {!empty_root}. [root] does not consume the accumulator. *)
+
+val empty_root : string
+(** Root of a zero-leaf tree: SHA-256 of a domain-separation tag. *)
+
+val combine : string -> string -> string
+(** Interior-node hash: SHA-256 over a [\x01] tag and both children. The tag
+    separates interior nodes from leaves, preventing a second-preimage
+    splice between the two layers. *)
+
+val levels : t -> string option list
+(** Pending (unpaired) node per level, lowest first — exposed for tests. *)

@@ -1,0 +1,55 @@
+type t = { levels : string array array }
+(* levels.(0) = leaves; levels.(top) has length 1 unless the tree is empty.
+   An odd trailing node is promoted unchanged to the next level, mirroring
+   Streaming. *)
+
+let of_leaves leaves =
+  let leaves = Array.of_list leaves in
+  if Array.length leaves = 0 then { levels = [||] }
+  else begin
+    let levels = ref [ leaves ] in
+    let current = ref leaves in
+    while Array.length !current > 1 do
+      let n = Array.length !current in
+      let parent_len = (n + 1) / 2 in
+      let parent =
+        Array.init parent_len (fun i ->
+            if (2 * i) + 1 < n then
+              Streaming.combine !current.(2 * i) !current.((2 * i) + 1)
+            else !current.(2 * i))
+      in
+      levels := parent :: !levels;
+      current := parent
+    done;
+    { levels = Array.of_list (List.rev !levels) }
+  end
+
+let leaf_count t =
+  if Array.length t.levels = 0 then 0 else Array.length t.levels.(0)
+
+let root t =
+  if Array.length t.levels = 0 then Streaming.empty_root
+  else t.levels.(Array.length t.levels - 1).(0)
+
+let leaf t i =
+  if i < 0 || i >= leaf_count t then invalid_arg "Tree.leaf: out of range";
+  t.levels.(0).(i)
+
+let proof t i =
+  if i < 0 || i >= leaf_count t then invalid_arg "Tree.proof: out of range";
+  let steps = ref [] in
+  let idx = ref i in
+  for level = 0 to Array.length t.levels - 2 do
+    let nodes = t.levels.(level) in
+    let sibling = !idx lxor 1 in
+    if sibling < Array.length nodes then begin
+      let step =
+        if sibling < !idx then Proof.Sibling_left nodes.(sibling)
+        else Proof.Sibling_right nodes.(sibling)
+      in
+      steps := step :: !steps
+    end;
+    (* No step when the node was promoted without a sibling. *)
+    idx := !idx / 2
+  done;
+  List.rev !steps

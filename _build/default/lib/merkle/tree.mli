@@ -1,0 +1,23 @@
+(** Materialised Merkle trees with proof generation.
+
+    The Database Ledger stores only the root of the per-block transaction
+    tree (§3.3.1); when a receipt is requested (§5.1) the block's
+    transactions are re-read and the tree rebuilt here to extract the
+    membership proof. Roots agree exactly with {!Streaming}. *)
+
+type t
+
+val of_leaves : string list -> t
+(** Build a tree over leaf hashes, in order. *)
+
+val root : t -> string
+(** Root hash; equals [Streaming.empty_root] for an empty tree. *)
+
+val leaf_count : t -> int
+
+val proof : t -> int -> Proof.t
+(** [proof t i] is the membership proof for the [i]-th leaf.
+    Raises [Invalid_argument] if [i] is out of range. *)
+
+val leaf : t -> int -> string
+(** The [i]-th leaf hash. Raises [Invalid_argument] if out of range. *)

@@ -1,0 +1,1 @@
+lib/relation/column.ml: Datatype Format Sjson String

@@ -1,0 +1,1 @@
+lib/relation/column.mli: Datatype Format Sjson

@@ -1,0 +1,1 @@
+lib/relation/row.ml: Array Format Value

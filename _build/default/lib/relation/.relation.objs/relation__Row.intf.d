@@ -1,0 +1,1 @@
+lib/relation/row.mli: Format Value

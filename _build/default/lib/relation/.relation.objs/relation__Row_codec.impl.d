@@ -1,0 +1,1 @@
+lib/relation/row_codec.ml: Array Buffer Char Column Datatype Ledger_crypto List Schema String Value

@@ -1,0 +1,1 @@
+lib/relation/row_codec.mli: Row Schema

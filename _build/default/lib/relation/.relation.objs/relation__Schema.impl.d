@@ -1,0 +1,1 @@
+lib/relation/schema.ml: Array Column Datatype Format Hashtbl List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/relation/value.ml: Buffer Bytes Char Datatype Format Int64 Printf Sjson Stdlib String

@@ -1,0 +1,41 @@
+type t = {
+  name : string;
+  dtype : Datatype.t;
+  nullable : bool;
+  hidden : bool;
+}
+
+let make ?(nullable = false) ?(hidden = false) name dtype =
+  { name; dtype; nullable; hidden }
+
+let equal a b =
+  String.equal a.name b.name
+  && Datatype.equal a.dtype b.dtype
+  && a.nullable = b.nullable && a.hidden = b.hidden
+
+let pp fmt c =
+  Format.fprintf fmt "%s %a%s%s" c.name Datatype.pp c.dtype
+    (if c.nullable then " NULL" else " NOT NULL")
+    (if c.hidden then " HIDDEN" else "")
+
+let to_json c =
+  Sjson.Obj
+    [
+      ("name", Sjson.String c.name);
+      ("type", Sjson.String (Datatype.to_string c.dtype));
+      ("nullable", Sjson.Bool c.nullable);
+      ("hidden", Sjson.Bool c.hidden);
+    ]
+
+let of_json json =
+  try
+    let name = Sjson.get_string (Sjson.member "name" json) in
+    match Datatype.of_string (Sjson.get_string (Sjson.member "type" json)) with
+    | None -> Error ("unknown data type for column " ^ name)
+    | Some dtype ->
+        Ok
+          (make
+             ~nullable:(Sjson.get_bool (Sjson.member "nullable" json))
+             ~hidden:(Sjson.get_bool (Sjson.member "hidden" json))
+             name dtype)
+  with Invalid_argument e -> Error ("malformed column: " ^ e)

@@ -1,0 +1,20 @@
+(** Column definition. *)
+
+type t = {
+  name : string;
+  dtype : Datatype.t;
+  nullable : bool;
+  hidden : bool;
+      (** Hidden columns (the ledger system columns of §3.1, and columns
+          logically dropped per §3.5.2) are invisible to applications but
+          remain in storage and in ledger views. *)
+}
+
+val make : ?nullable:bool -> ?hidden:bool -> string -> Datatype.t -> t
+(** [nullable] defaults to false, [hidden] to false. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Sjson.t
+val of_json : Sjson.t -> (t, string) result

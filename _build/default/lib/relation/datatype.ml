@@ -1,0 +1,54 @@
+type t =
+  | Smallint
+  | Int
+  | Bigint
+  | Bool
+  | Float
+  | Varchar of int
+  | Datetime
+
+let tag = function
+  | Smallint -> 1
+  | Int -> 2
+  | Bigint -> 3
+  | Bool -> 4
+  | Float -> 5
+  | Varchar _ -> 6
+  | Datetime -> 7
+
+let param = function Varchar n -> n | _ -> 0
+
+let to_string = function
+  | Smallint -> "SMALLINT"
+  | Int -> "INT"
+  | Bigint -> "BIGINT"
+  | Bool -> "BOOL"
+  | Float -> "FLOAT"
+  | Varchar n -> Printf.sprintf "VARCHAR(%d)" n
+  | Datetime -> "DATETIME"
+
+let of_string s =
+  let s = String.uppercase_ascii (String.trim s) in
+  match s with
+  | "SMALLINT" -> Some Smallint
+  | "INT" | "INTEGER" -> Some Int
+  | "BIGINT" -> Some Bigint
+  | "BOOL" | "BIT" -> Some Bool
+  | "FLOAT" | "REAL" | "DOUBLE" -> Some Float
+  | "DATETIME" -> Some Datetime
+  | _ ->
+      if String.length s > 8 && String.sub s 0 8 = "VARCHAR(" && s.[String.length s - 1] = ')'
+      then
+        int_of_string_opt (String.sub s 8 (String.length s - 9))
+        |> Option.map (fun n -> Varchar n)
+      else None
+
+let equal a b =
+  match (a, b) with
+  | Smallint, Smallint | Int, Int | Bigint, Bigint | Bool, Bool
+  | Float, Float | Datetime, Datetime ->
+      true
+  | Varchar n, Varchar m -> n = m
+  | _ -> false
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,33 @@
+(** Column data types of the mini relational engine.
+
+    The set mirrors the SQL Server types the paper's examples use. The type
+    (and its length parameter) participates in the row serialization format
+    of §3.2, so that metadata tampering — e.g. redeclaring an INT column as
+    SMALLINT to shift how bytes are interpreted — changes row hashes and is
+    caught by verification. *)
+
+type t =
+  | Smallint   (** 16-bit signed *)
+  | Int        (** 32-bit signed *)
+  | Bigint     (** 63-bit signed (native OCaml int) *)
+  | Bool
+  | Float     (** IEEE 754 double *)
+  | Varchar of int  (** variable-length string, max byte length *)
+  | Datetime  (** seconds since the Unix epoch, with sub-second precision *)
+
+val tag : t -> int
+(** Stable 1-byte wire tag used by the serialization format. *)
+
+val param : t -> int
+(** Length parameter serialized alongside the tag ([Varchar] max length;
+    0 for the fixed-width types). *)
+
+val to_string : t -> string
+(** SQL-ish rendering, e.g. ["VARCHAR(40)"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string} (case-insensitive). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

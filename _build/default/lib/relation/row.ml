@@ -1,0 +1,41 @@
+type t = Value.t array
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let get row i =
+  if i < 0 || i >= Array.length row then invalid_arg "Row.get: out of range";
+  row.(i)
+
+let set row i v =
+  if i < 0 || i >= Array.length row then invalid_arg "Row.set: out of range";
+  let copy = Array.copy row in
+  copy.(i) <- v;
+  copy
+
+let project row ordinals =
+  let ords = Array.of_list ordinals in
+  Array.map (fun i -> get row i) ords
+
+let append row extra = Array.append row (Array.of_list extra)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let pp fmt row =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       Value.pp)
+    (to_list row)

@@ -1,0 +1,23 @@
+(** Rows: immutable-by-convention value arrays aligned with a schema. *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+val get : t -> int -> Value.t
+(** Raises [Invalid_argument] when out of range. *)
+
+val set : t -> int -> Value.t -> t
+(** Functional update: returns a copy. *)
+
+val project : t -> int list -> t
+(** Extract the values at the given ordinals, in order. *)
+
+val append : t -> Value.t list -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic by {!Value.compare}; used for composite index keys. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+module Sha256 = Ledger_crypto.Sha256
+
+let format_version = 1
+
+let add_be buf width v =
+  for i = width - 1 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let serialize schema row =
+  (match Schema.validate_row schema row with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Row_codec.serialize: " ^ e));
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf (Char.chr format_version);
+  (* The bound column count is the number of *serialized* (non-NULL)
+     fields: NULLs are skipped entirely so that adding a nullable column
+     leaves existing row hashes unchanged (§3.5.1), while the explicit
+     ordinals of the non-NULL fields still pin their interpretation. *)
+  let non_null = Array.fold_left (fun n v -> if Value.is_null v then n else n + 1) 0 row in
+  add_be buf 2 non_null;
+  Array.iteri
+    (fun i v ->
+      if not (Value.is_null v) then begin
+        let col = Schema.column schema i in
+        let payload = Value.encode col.Column.dtype v in
+        add_be buf 2 i;
+        add_be buf 1 (Datatype.tag col.Column.dtype);
+        add_be buf 4 (Datatype.param col.Column.dtype);
+        add_be buf 4 (String.length payload);
+        Buffer.add_string buf payload
+      end)
+    row;
+  Buffer.contents buf
+
+let hash schema row = Sha256.digest_string (serialize schema row)
+
+type field = { ordinal : int; tag : int; param : int; payload : string }
+
+let inspect s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let read_be width =
+    if !pos + width > len then raise Exit;
+    let v = ref 0 in
+    for _ = 1 to width do
+      v := (!v lsl 8) lor Char.code s.[!pos];
+      incr pos
+    done;
+    !v
+  in
+  try
+    let version = read_be 1 in
+    if version <> format_version then raise Exit;
+    let count = read_be 2 in
+    let fields = ref [] in
+    while !pos < len do
+      let ordinal = read_be 2 in
+      let tag = read_be 1 in
+      let param = read_be 4 in
+      let payload_len = read_be 4 in
+      if !pos + payload_len > len then raise Exit;
+      let payload = String.sub s !pos payload_len in
+      pos := !pos + payload_len;
+      fields := { ordinal; tag; param; payload } :: !fields
+    done;
+    Some (count, List.rev !fields)
+  with Exit -> None

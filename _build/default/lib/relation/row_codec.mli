@@ -1,0 +1,27 @@
+(** Row serialization and hashing — the format of paper §3.2 / Figure 4.
+
+    The serialized form binds, per row: a format version, the number of
+    serialized (non-NULL) columns, and for every {e non-NULL} column its ordinal,
+    declared data type tag and length parameter, payload length, and payload
+    bytes. NULL values are skipped entirely (which is what makes adding a
+    nullable column hash-compatible with old rows, §3.5.1) while the explicit
+    ordinals of the non-NULL columns prevent the NULL-reinterpretation attack
+    described there. Binding the type tag and length defeats the
+    metadata-swap attack of §3.2 (INT/SMALLINT redeclaration). *)
+
+val format_version : int
+
+val serialize : Schema.t -> Row.t -> string
+(** Raises [Invalid_argument] when the row does not validate against the
+    schema. *)
+
+val hash : Schema.t -> Row.t -> string
+(** 32-byte SHA-256 of {!serialize} — the paper's [LEDGERHASH] applied to a
+    row. *)
+
+type field = { ordinal : int; tag : int; param : int; payload : string }
+
+val inspect : string -> (int * field list) option
+(** Structural decode of a serialized row: [(serialized_column_count,
+    fields)]. Used by
+    forensic tooling and tests; returns [None] on malformed input. *)

@@ -1,0 +1,99 @@
+type t = { cols : Column.t array }
+
+let norm s = String.lowercase_ascii s
+
+let make cols =
+  if cols = [] then invalid_arg "Schema.make: empty column list";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Column.t) ->
+      let k = norm c.name in
+      if Hashtbl.mem seen k then
+        invalid_arg ("Schema.make: duplicate column " ^ c.name);
+      Hashtbl.add seen k ())
+    cols;
+  { cols = Array.of_list cols }
+
+let columns t = Array.to_list t.cols
+let arity t = Array.length t.cols
+
+let column t i =
+  if i < 0 || i >= Array.length t.cols then
+    invalid_arg "Schema.column: ordinal out of range";
+  t.cols.(i)
+
+let ordinal t name =
+  let key = norm name in
+  let rec find i =
+    if i >= Array.length t.cols then None
+    else if String.equal (norm t.cols.(i).Column.name) key then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let find t name = Option.map (column t) (ordinal t name)
+
+let visible_columns t =
+  Array.to_list t.cols
+  |> List.mapi (fun i c -> (i, c))
+  |> List.filter (fun (_, (c : Column.t)) -> not c.hidden)
+
+let validate_row t row =
+  if Array.length row <> Array.length t.cols then
+    Error
+      (Printf.sprintf "arity mismatch: expected %d values, got %d"
+         (Array.length t.cols) (Array.length row))
+  else begin
+    let err = ref None in
+    Array.iteri
+      (fun i v ->
+        if !err = None then begin
+          let c = t.cols.(i) in
+          if Value.is_null v && not c.Column.nullable then
+            err :=
+              Some (Printf.sprintf "column %s is NOT NULL" c.Column.name)
+          else if not (Value.conforms c.Column.dtype v) then
+            err :=
+              Some
+                (Printf.sprintf "value %s does not conform to %s %s"
+                   (Value.to_string v) c.Column.name
+                   (Datatype.to_string c.Column.dtype))
+        end)
+      row;
+    match !err with None -> Ok () | Some e -> Error e
+  end
+
+let add_column t (c : Column.t) =
+  if ordinal t c.name <> None then
+    invalid_arg ("Schema.add_column: duplicate column " ^ c.name);
+  { cols = Array.append t.cols [| c |] }
+
+let update_column t name f =
+  match ordinal t name with
+  | None -> invalid_arg ("Schema: no such column " ^ name)
+  | Some i ->
+      let cols = Array.copy t.cols in
+      cols.(i) <- f cols.(i);
+      { cols }
+
+let hide_column t name =
+  update_column t name (fun c -> { c with Column.hidden = true })
+
+let rename_column t ~old_name ~new_name =
+  if ordinal t new_name <> None then
+    invalid_arg ("Schema.rename_column: duplicate column " ^ new_name);
+  update_column t old_name (fun c -> { c with Column.name = new_name })
+
+let set_column_type t name dtype =
+  update_column t name (fun c -> { c with Column.dtype = dtype })
+
+let equal a b =
+  Array.length a.cols = Array.length b.cols
+  && Array.for_all2 Column.equal a.cols b.cols
+
+let pp fmt t =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       Column.pp)
+    (columns t)

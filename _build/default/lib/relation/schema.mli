@@ -1,0 +1,44 @@
+(** Table schemas: an ordered list of columns.
+
+    Column ordinals are positions in this list and are bound into the row
+    serialization format (§3.2), so reordering or retyping columns changes
+    row hashes. *)
+
+type t
+
+val make : Column.t list -> t
+(** Raises [Invalid_argument] on duplicate column names or an empty list. *)
+
+val columns : t -> Column.t list
+val arity : t -> int
+
+val column : t -> int -> Column.t
+(** By ordinal. Raises [Invalid_argument] when out of range. *)
+
+val ordinal : t -> string -> int option
+(** Ordinal of a column by (case-insensitive) name. *)
+
+val find : t -> string -> Column.t option
+
+val visible_columns : t -> (int * Column.t) list
+(** Non-hidden columns with their ordinals, in order. *)
+
+val validate_row : t -> Value.t array -> (unit, string) result
+(** Arity, type conformance and nullability check. *)
+
+val add_column : t -> Column.t -> t
+(** Append a column (schema change §3.5.1). Raises [Invalid_argument] on a
+    duplicate name. *)
+
+val hide_column : t -> string -> t
+(** Mark a column hidden (logical drop, §3.5.2). Raises [Invalid_argument]
+    when the column does not exist. *)
+
+val rename_column : t -> old_name:string -> new_name:string -> t
+
+val set_column_type : t -> string -> Datatype.t -> t
+(** Used only by the tamper toolkit to model metadata attacks; the engine
+    itself never retypes columns in place. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,155 @@
+type t =
+  | Null
+  | Int of int
+  | Bool of bool
+  | Float of float
+  | String of string
+  | Datetime of float
+
+let is_null = function Null -> true | _ -> false
+
+let conforms dtype v =
+  match (dtype, v) with
+  | _, Null -> true
+  | Datatype.Smallint, Int i -> i >= -32768 && i <= 32767
+  | Datatype.Int, Int i -> i >= -2147483648 && i <= 2147483647
+  | Datatype.Bigint, Int _ -> true
+  | Datatype.Bool, Bool _ -> true
+  | Datatype.Float, Float _ -> true
+  | Datatype.Varchar max_len, String s -> String.length s <= max_len
+  | Datatype.Datetime, Datetime _ -> true
+  | _ -> false
+
+let constructor_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Datetime _ -> 3
+  | String _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Bool x, Bool y -> Stdlib.compare x y
+  | String x, String y -> String.compare x y
+  | Datetime x, Datetime y -> Stdlib.compare x y
+  | a, b -> Stdlib.compare (constructor_rank a) (constructor_rank b)
+
+let equal a b = compare a b = 0
+
+let be_bytes width v =
+  let out = Bytes.create width in
+  for i = 0 to width - 1 do
+    Bytes.set out i (Char.chr ((v lsr (8 * (width - 1 - i))) land 0xFF))
+  done;
+  Bytes.unsafe_to_string out
+
+let encode dtype v =
+  if not (conforms dtype v) then
+    invalid_arg
+      (Printf.sprintf "Value.encode: value does not conform to %s"
+         (Datatype.to_string dtype));
+  match (dtype, v) with
+  | _, Null -> invalid_arg "Value.encode: Null has no payload"
+  | Datatype.Smallint, Int i -> be_bytes 2 (i land 0xFFFF)
+  | Datatype.Int, Int i -> be_bytes 4 (i land 0xFFFFFFFF)
+  | Datatype.Bigint, Int i -> be_bytes 8 i
+  | Datatype.Bool, Bool b -> if b then "\x01" else "\x00"
+  | Datatype.Float, Float f -> be_bytes 8 (Int64.to_int (Int64.bits_of_float f))
+  | Datatype.Datetime, Datetime f ->
+      be_bytes 8 (Int64.to_int (Int64.bits_of_float f))
+  | Datatype.Varchar _, String s -> s
+  | _ -> assert false
+
+let tagged_encode v =
+  let buf = Buffer.create 16 in
+  let add_len n =
+    for i = 3 downto 0 do
+      Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xFF))
+    done
+  in
+  (match v with
+  | Null -> Buffer.add_char buf 'N'
+  | Int i ->
+      Buffer.add_char buf 'I';
+      for b = 7 downto 0 do
+        Buffer.add_char buf (Char.chr ((i lsr (8 * b)) land 0xFF))
+      done
+  | Bool b ->
+      Buffer.add_char buf 'B';
+      Buffer.add_char buf (if b then '\001' else '\000')
+  | Float f | Datetime f ->
+      Buffer.add_char buf (match v with Float _ -> 'F' | _ -> 'D');
+      let bits = Int64.bits_of_float f in
+      for b = 7 downto 0 do
+        Buffer.add_char buf
+          (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * b)) land 0xFF))
+      done
+  | String s ->
+      Buffer.add_char buf 'S';
+      add_len (String.length s);
+      Buffer.add_string buf s);
+  Buffer.contents buf
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Bool b -> if b then "true" else "false"
+  | Float f -> Printf.sprintf "%g" f
+  | String s -> s
+  | Datetime f -> Printf.sprintf "@%.6f" f
+
+let to_json = function
+  | Null -> Sjson.Null
+  | Int i -> Sjson.Int i
+  | Bool b -> Sjson.Bool b
+  | Float f -> Sjson.Float f
+  | String s -> Sjson.String s
+  | Datetime f -> Sjson.Obj [ ("datetime", Sjson.Float f) ]
+
+let of_json dtype json =
+  match (dtype, json) with
+  | _, Sjson.Null -> Some Null
+  | (Datatype.Smallint | Datatype.Int | Datatype.Bigint), Sjson.Int i ->
+      Some (Int i)
+  | Datatype.Bool, Sjson.Bool b -> Some (Bool b)
+  | Datatype.Float, Sjson.Float f -> Some (Float f)
+  | Datatype.Float, Sjson.Int i -> Some (Float (float_of_int i))
+  | Datatype.Varchar _, Sjson.String s -> Some (String s)
+  | Datatype.Datetime, Sjson.Obj [ ("datetime", Sjson.Float f) ] ->
+      Some (Datetime f)
+  | Datatype.Datetime, Sjson.Obj [ ("datetime", Sjson.Int i) ] ->
+      Some (Datetime (float_of_int i))
+  | _ -> None
+
+let to_tagged_json = function
+  | Null -> Sjson.Null
+  | Int i -> Sjson.Obj [ ("i", Sjson.Int i) ]
+  | Bool b -> Sjson.Obj [ ("b", Sjson.Bool b) ]
+  | Float f -> Sjson.Obj [ ("f", Sjson.Float f) ]
+  | Datetime f -> Sjson.Obj [ ("d", Sjson.Float f) ]
+  | String s -> Sjson.Obj [ ("s", Sjson.String s) ]
+
+let of_tagged_json = function
+  | Sjson.Null -> Some Null
+  | Sjson.Obj [ ("i", Sjson.Int i) ] -> Some (Int i)
+  | Sjson.Obj [ ("b", Sjson.Bool b) ] -> Some (Bool b)
+  | Sjson.Obj [ ("f", Sjson.Float f) ] -> Some (Float f)
+  | Sjson.Obj [ ("f", Sjson.Int i) ] -> Some (Float (float_of_int i))
+  | Sjson.Obj [ ("d", Sjson.Float f) ] -> Some (Datetime f)
+  | Sjson.Obj [ ("d", Sjson.Int i) ] -> Some (Datetime (float_of_int i))
+  | Sjson.Obj [ ("s", Sjson.String s) ] -> Some (String s)
+  | _ -> None
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let int i = Int i
+let string s = String s
+let bool b = Bool b
+let float f = Float f
+let datetime f = Datetime f
+let null = Null

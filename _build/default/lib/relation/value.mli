@@ -1,0 +1,65 @@
+(** Runtime values held in rows.
+
+    Integer-family values share the OCaml [int] representation but are
+    distinguished by the column's {!Datatype.t} at serialization time, which
+    is exactly what makes the metadata-swap attack of paper §3.2 detectable:
+    the same payload serialized under a different declared type yields a
+    different hash. *)
+
+type t =
+  | Null
+  | Int of int
+  | Bool of bool
+  | Float of float
+  | String of string
+  | Datetime of float
+
+val is_null : t -> bool
+
+val conforms : Datatype.t -> t -> bool
+(** Whether the value may be stored in a column of the given type: the
+    constructor family matches, integers fit the declared width, strings fit
+    the declared maximum length. [Null] conforms to every type (nullability
+    is checked at the column level). *)
+
+val compare : t -> t -> int
+(** Total order used by indexes and ORDER BY: Null sorts first; values of
+    different constructors order by constructor; ints and floats compare
+    numerically against each other. *)
+
+val equal : t -> t -> bool
+
+val encode : Datatype.t -> t -> string
+(** Binary payload for the serialization format: fixed-width big-endian
+    two's complement for the integer family (2/4/8 bytes per declared type),
+    1 byte for booleans, IEEE bits for floats and datetimes, raw bytes for
+    strings. Raises [Invalid_argument] on [Null] or non-conforming values. *)
+
+val tagged_encode : t -> string
+(** Self-describing encoding (constructor tag, length, payload) that does
+    not require a declared column type. This is the serialization behind the
+    [LEDGERHASH] intrinsic used for transaction entries and blocks, where
+    the hashed fields are system-defined rather than user columns. *)
+
+val to_string : t -> string
+(** Display rendering (used by views and the CLI). *)
+
+val to_json : t -> Sjson.t
+val of_json : Datatype.t -> Sjson.t -> t option
+
+val to_tagged_json : t -> Sjson.t
+(** Self-describing JSON ({["i"]}, ["f"], ["b"], ["s"], ["d"] tags) that
+    round-trips without a declared column type — the redo-log encoding. *)
+
+val of_tagged_json : Sjson.t -> t option
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Constructors} *)
+
+val int : int -> t
+val string : string -> t
+val bool : bool -> t
+val float : float -> t
+val datetime : float -> t
+val null : t

@@ -1,0 +1,327 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string ?(pretty = false) v =
+  let buf = Buffer.create 256 in
+  let indent n =
+    if pretty then begin
+      Buffer.add_char buf '\n';
+      for _ = 1 to n do
+        Buffer.add_string buf "  "
+      done
+    end
+  in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s -> escape_string buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            indent (depth + 1);
+            go (depth + 1) item)
+          items;
+        indent depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            indent (depth + 1);
+            escape_string buf k;
+            Buffer.add_char buf ':';
+            if pretty then Buffer.add_char buf ' ';
+            go (depth + 1) item)
+          fields;
+        indent depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+type parser_state = { input : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st =
+  if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st
+    | _ -> continue := false
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_literal st lit value =
+  let n = String.length lit in
+  if
+    st.pos + n <= String.length st.input
+    && String.sub st.input st.pos n = lit
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected '%s'" lit)
+
+let parse_hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+    | Some c ->
+        let d =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> fail st "invalid \\u escape"
+        in
+        v := (!v * 16) + d
+    | None -> fail st "unterminated \\u escape");
+    advance st
+  done;
+  !v
+
+(* Encode a Unicode code point as UTF-8 into [buf]. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' ->
+        advance st;
+        Buffer.contents buf
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some '"' -> Buffer.add_char buf '"'; advance st
+        | Some '\\' -> Buffer.add_char buf '\\'; advance st
+        | Some '/' -> Buffer.add_char buf '/'; advance st
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st
+        | Some 't' -> Buffer.add_char buf '\t'; advance st
+        | Some 'r' -> Buffer.add_char buf '\r'; advance st
+        | Some 'b' -> Buffer.add_char buf '\b'; advance st
+        | Some 'f' -> Buffer.add_char buf '\012'; advance st
+        | Some 'u' ->
+            advance st;
+            let cp = parse_hex4 st in
+            (* Surrogate pair handling. *)
+            if cp >= 0xD800 && cp <= 0xDBFF then begin
+              expect st '\\';
+              expect st 'u';
+              let lo = parse_hex4 st in
+              if lo < 0xDC00 || lo > 0xDFFF then
+                fail st "invalid low surrogate";
+              let combined =
+                0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+              in
+              add_utf8 buf combined
+            end
+            else add_utf8 buf cp
+        | _ -> fail st "invalid escape");
+        loop ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') -> advance st
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance st
+    | _ -> continue := false
+  done;
+  let text = String.sub st.input start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st "invalid number"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail st "invalid number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> String (parse_string_body st)
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else begin
+    let fields = ref [] in
+    let rec loop () =
+      skip_ws st;
+      let key = parse_string_body st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      fields := (key, v) :: !fields;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; loop ()
+      | Some '}' -> advance st
+      | _ -> fail st "expected ',' or '}'"
+    in
+    loop ();
+    Obj (List.rev !fields)
+  end
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    List []
+  end
+  else begin
+    let items = ref [] in
+    let rec loop () =
+      let v = parse_value st in
+      items := v :: !items;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; loop ()
+      | Some ']' -> advance st
+      | _ -> fail st "expected ',' or ']'"
+    in
+    loop ();
+    List (List.rev !items)
+  end
+
+let of_string s =
+  let st = { input = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member key = function
+  | Obj fields -> ( match List.assoc_opt key fields with
+    | Some v -> v
+    | None -> Null)
+  | _ -> invalid_arg "Sjson.member: not an object"
+
+let get_string = function
+  | String s -> s
+  | _ -> invalid_arg "Sjson.get_string"
+
+let get_int = function Int i -> i | _ -> invalid_arg "Sjson.get_int"
+let get_bool = function Bool b -> b | _ -> invalid_arg "Sjson.get_bool"
+let get_list = function List l -> l | _ -> invalid_arg "Sjson.get_list"
+let get_obj = function Obj o -> o | _ -> invalid_arg "Sjson.get_obj"
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Int x, Float y | Float y, Int x -> Float.equal (float_of_int x) y
+  | String x, String y -> String.equal x y
+  | List x, List y -> List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+           x y
+  | _ -> false

@@ -1,0 +1,42 @@
+(** Minimal JSON implementation (parser + printer + accessors).
+
+    Database digests are exchanged as JSON documents (paper §2.2) and the
+    verification process ingests them through an [OPENJSON]-style function
+    (§3.4.2). No JSON library ships in the sealed environment, so this module
+    provides the small, total subset needed: objects, arrays, strings,
+    numbers (ints and floats), booleans and null, with full string escaping. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a message carrying position information. *)
+
+val of_string : string -> t
+(** Parse a complete JSON document. Raises {!Parse_error}. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialise. [pretty] (default false) adds newlines and two-space
+    indentation. *)
+
+(** {1 Accessors}
+
+    Each raises [Invalid_argument] when the shape does not match. *)
+
+val member : string -> t -> t
+(** Field of an object; [Null] when absent. *)
+
+val get_string : t -> string
+val get_int : t -> int
+val get_bool : t -> bool
+val get_list : t -> t list
+val get_obj : t -> (string * t) list
+
+val equal : t -> t -> bool
+(** Structural equality; object field order is significant. *)

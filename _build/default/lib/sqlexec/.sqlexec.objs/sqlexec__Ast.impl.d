@@ -1,0 +1,1 @@
+lib/sqlexec/ast.ml: Relation

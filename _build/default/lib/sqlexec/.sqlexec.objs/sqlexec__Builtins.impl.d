@@ -1,0 +1,1 @@
+lib/sqlexec/builtins.ml: Float Ledger_crypto List Merkle Printf Relation Sjson String Value

@@ -1,0 +1,1 @@
+lib/sqlexec/builtins.mli: Relation

@@ -1,0 +1,1 @@
+lib/sqlexec/executor.ml: Array Ast Builtins Hashtbl List Option Parser Printf Rel Relation Row Sjson String Value

@@ -1,0 +1,1 @@
+lib/sqlexec/executor.mli: Ast Rel Relation

@@ -1,0 +1,1 @@
+lib/sqlexec/parser.ml: Ast Lexer List Printf Relation String

@@ -1,0 +1,1 @@
+lib/sqlexec/parser.mli: Ast

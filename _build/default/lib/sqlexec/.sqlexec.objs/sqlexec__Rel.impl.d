@@ -1,0 +1,1 @@
+lib/sqlexec/rel.ml: Array Format List Printf Relation Row String Value

@@ -1,0 +1,1 @@
+lib/sqlexec/rel.mli: Format Relation

@@ -1,0 +1,115 @@
+(* Abstract syntax of the SQL subset.
+
+   The subset is exactly what the ledger verification queries of paper
+   §3.4.2 need, plus enough general machinery for examples and tooling:
+   SELECT with joins (inner / left / right / full outer), WHERE, GROUP BY /
+   HAVING with ordered aggregates (MERKLETREEAGG ... ORDER BY), the LAG
+   window function, OPENJSON table sources, subqueries, ORDER BY and
+   LIMIT. *)
+
+type binop =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Concat
+
+type order_dir = Asc | Desc
+
+type join_kind = Inner | Left | Right | Full
+
+type expr =
+  | Lit of Relation.Value.t
+  | Col of { table : string option; column : string }
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Neg of expr
+  | Is_null of { subject : expr; positive : bool }
+  | Func of string * expr list  (** scalar function, resolved at run time *)
+  | Agg of agg
+  | Window of window
+  | Case of { branches : (expr * expr) list; else_ : expr option }
+  | In_list of expr * expr list
+  | Like of { subject : expr; pattern : expr; negated : bool }
+      (** SQL LIKE with [%] and [_] wildcards *)
+  | Between of { subject : expr; lo : expr; hi : expr; negated : bool }
+  | Exists of select
+      (** uncorrelated EXISTS (SELECT ...) *)
+  | Scalar_subquery of select
+      (** uncorrelated (SELECT ...) producing one value; NULL on zero rows,
+          error on more than one row or column *)
+
+and agg =
+  | Count_star
+  | Count of expr
+  | Sum of expr
+  | Min_agg of expr
+  | Max_agg of expr
+  | Avg of expr
+  | Merkle_agg of { input : expr; order_by : (expr * order_dir) list }
+      (** The paper's MERKLETREEAGG: Merkle root over the group's input
+          hashes, taken in the specified order. *)
+
+and window =
+  | Lag of { input : expr; order_by : (expr * order_dir) list }
+      (** LAG(input) OVER (ORDER BY ...): value of [input] on the previous
+          row; NULL on the first row. *)
+
+and select = {
+  distinct : bool;
+  projections : projection list;
+  from : from option;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+}
+
+and projection = Star | Expr of expr * string option
+
+and from =
+  | Table of { name : string; alias : string option }
+  | Subquery of { query : select; alias : string }
+  | Openjson of { arg : expr; alias : string }
+  | Join of { left : from; kind : join_kind; right : from; on : expr }
+
+(** Top-level statements. SELECT is executed by {!Executor}; the DML forms
+    are interpreted by the database layer (lib/core's Dml module), which
+    routes them through ledgered transactions. *)
+type statement =
+  | Select of select
+  | Insert of {
+      table : string;
+      columns : string list option;  (** None = positional, all columns *)
+      rows : expr list list;         (** constant expressions *)
+    }
+  | Update of {
+      table : string;
+      assignments : (string * expr) list;
+      where : expr option;
+    }
+  | Delete of { table : string; where : expr option }
+
+(* Helpers for building queries programmatically (the verifier does this to
+   avoid round-tripping through text). *)
+
+let col ?table column = Col { table; column }
+let int_lit i = Lit (Relation.Value.Int i)
+let str_lit s = Lit (Relation.Value.String s)
+let ( ==. ) a b = Binop (Eq, a, b)
+let ( &&. ) a b = Binop (And, a, b)
+let ( ||. ) a b = Binop (Or, a, b)
+
+let select ?(distinct = false) ?(from : from option) ?where ?(group_by = [])
+    ?having ?(order_by = []) ?limit projections =
+  { distinct; projections; from; where; group_by; having; order_by; limit }

@@ -1,0 +1,103 @@
+open Relation
+module Sha256 = Ledger_crypto.Sha256
+module Hex = Ledger_crypto.Hex
+
+exception Builtin_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Builtin_error s)) fmt
+
+let ledgerhash args =
+  let t = Sha256.init () in
+  Sha256.feed_string t "ledgerhash:";
+  List.iter (fun v -> Sha256.feed_string t (Value.tagged_encode v)) args;
+  Value.String (Hex.encode (Sha256.get t))
+
+let merkle_root_of_hex_leaves leaves =
+  let acc =
+    List.fold_left
+      (fun acc hex ->
+        if not (Hex.is_hex hex) then
+          err "MERKLETREEAGG: input %S is not a hex digest" hex;
+        Merkle.Streaming.add_leaf acc (Hex.decode hex))
+      Merkle.Streaming.empty leaves
+  in
+  Hex.encode (Merkle.Streaming.root acc)
+
+let as_string name = function
+  | Value.String s -> s
+  | Value.Null -> err "%s: NULL argument" name
+  | v -> Value.to_string v
+
+let as_int name = function
+  | Value.Int i -> i
+  | v -> err "%s: expected integer, got %s" name (Value.to_string v)
+
+let null_through f args =
+  if List.exists Value.is_null args then Value.Null else f args
+
+let default =
+  [
+    ("LEDGERHASH", ledgerhash);
+    ( "LEN",
+      null_through (function
+        | [ v ] -> Value.Int (String.length (as_string "LEN" v))
+        | _ -> err "LEN expects one argument") );
+    ( "UPPER",
+      null_through (function
+        | [ v ] -> Value.String (String.uppercase_ascii (as_string "UPPER" v))
+        | _ -> err "UPPER expects one argument") );
+    ( "LOWER",
+      null_through (function
+        | [ v ] -> Value.String (String.lowercase_ascii (as_string "LOWER" v))
+        | _ -> err "LOWER expects one argument") );
+    ( "SUBSTRING",
+      null_through (function
+        | [ s; start; len ] ->
+            let s = as_string "SUBSTRING" s in
+            let start = max 1 (as_int "SUBSTRING" start) in
+            let len = as_int "SUBSTRING" len in
+            let avail = String.length s - (start - 1) in
+            if avail <= 0 || len <= 0 then Value.String ""
+            else Value.String (String.sub s (start - 1) (min len avail))
+        | _ -> err "SUBSTRING expects (string, start, length)") );
+    ( "ABS",
+      null_through (function
+        | [ Value.Int i ] -> Value.Int (abs i)
+        | [ Value.Float f ] -> Value.Float (Float.abs f)
+        | _ -> err "ABS expects one numeric argument") );
+    ( "COALESCE",
+      fun args ->
+        (match List.find_opt (fun v -> not (Value.is_null v)) args with
+        | Some v -> v
+        | None -> Value.Null) );
+    ( "NULLIF",
+      function
+      | [ a; b ] -> if Value.equal a b then Value.Null else a
+      | _ -> err "NULLIF expects two arguments" );
+    ( "CAST_INT",
+      null_through (function
+        | [ Value.Int i ] -> Value.Int i
+        | [ Value.Float f ] -> Value.Int (int_of_float f)
+        | [ Value.String s ] -> (
+            match int_of_string_opt (String.trim s) with
+            | Some i -> Value.Int i
+            | None -> err "CAST_INT: %S is not an integer" s)
+        | [ Value.Bool b ] -> Value.Int (if b then 1 else 0)
+        | _ -> err "CAST_INT expects one argument") );
+    ( "JSON_VALUE",
+      null_through (function
+        | [ doc; key ] -> (
+            let doc = as_string "JSON_VALUE" doc in
+            let key = as_string "JSON_VALUE" key in
+            match Sjson.of_string doc with
+            | exception Sjson.Parse_error e -> err "JSON_VALUE: %s" e
+            | json -> (
+                match Sjson.member key json with
+                | Sjson.Null -> Value.Null
+                | Sjson.Int i -> Value.Int i
+                | Sjson.Float f -> Value.Float f
+                | Sjson.Bool b -> Value.Bool b
+                | Sjson.String s -> Value.String s
+                | other -> Value.String (Sjson.to_string other)))
+        | _ -> err "JSON_VALUE expects (document, key)") );
+  ]

@@ -1,0 +1,19 @@
+(** Scalar functions available to SQL expressions.
+
+    [LEDGERHASH] is the paper's intrinsic (§3.4.2): the serialization and
+    hashing logic used during transaction processing, exposed to the
+    verification queries so they recompute exactly what the DML path
+    computed. The same OCaml function is called from both paths. *)
+
+exception Builtin_error of string
+
+val ledgerhash : Relation.Value.t list -> Relation.Value.t
+(** SHA-256 over the tagged serialization of the arguments, hex-encoded. *)
+
+val merkle_root_of_hex_leaves : string list -> string
+(** Streaming Merkle root over hex-encoded leaf hashes; hex result. The
+    implementation behind the MERKLETREEAGG aggregate. *)
+
+val default : (string * (Relation.Value.t list -> Relation.Value.t)) list
+(** Name (uppercase) to implementation: LEDGERHASH, LEN, UPPER, LOWER,
+    SUBSTRING, ABS, COALESCE, NULLIF, CAST_INT, JSON_VALUE, HEX_CONCAT. *)

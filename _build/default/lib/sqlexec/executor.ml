@@ -1,0 +1,784 @@
+open Relation
+open Ast
+
+exception Exec_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+type catalog = {
+  lookup_table : string -> (string list * Row.t list) option;
+  functions : (string * (Value.t list -> Value.t)) list;
+}
+
+let catalog_of_tables tables =
+  let tables =
+    List.map (fun (n, v) -> (String.lowercase_ascii n, v)) tables
+  in
+  {
+    lookup_table =
+      (fun name -> List.assoc_opt (String.lowercase_ascii name) tables);
+    functions = [];
+  }
+
+type ctx = {
+  rel : Rel.t;
+  row : Row.t;
+  group : Row.t list option;
+  windows : (window * Value.t) list;
+  catalog : catalog;
+}
+
+let empty_rel = Rel.make [] []
+
+let null_ctx catalog =
+  { rel = empty_rel; row = [||]; group = None; windows = []; catalog }
+
+(* --------------------------------------------------------------- *)
+(* Expression evaluation (SQL three-valued logic) *)
+
+let truthy = function Value.Bool b -> b | Value.Null -> false | _ -> true
+
+let numeric_binop op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> (
+      match op with
+      | Add -> Value.Int (x + y)
+      | Sub -> Value.Int (x - y)
+      | Mul -> Value.Int (x * y)
+      | Div ->
+          if y = 0 then err "division by zero" else Value.Int (x / y)
+      | Mod ->
+          if y = 0 then err "modulo by zero" else Value.Int (x mod y)
+      | _ -> assert false)
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+      let f = function
+        | Value.Int i -> float_of_int i
+        | Value.Float f -> f
+        | _ -> assert false
+      in
+      let x = f a and y = f b in
+      (match op with
+      | Add -> Value.Float (x +. y)
+      | Sub -> Value.Float (x -. y)
+      | Mul -> Value.Float (x *. y)
+      | Div ->
+          if y = 0. then err "division by zero" else Value.Float (x /. y)
+      | Mod -> err "modulo requires integers"
+      | _ -> assert false)
+  | _ ->
+      err "arithmetic on non-numeric values (%s, %s)" (Value.to_string a)
+        (Value.to_string b)
+
+let comparison op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ ->
+      let c = Value.compare a b in
+      let r =
+        match op with
+        | Eq -> c = 0
+        | Neq -> c <> 0
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+        | _ -> assert false
+      in
+      Value.Bool r
+
+let logic_and a b =
+  match (a, b) with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ -> Value.Bool (truthy a && truthy b)
+
+let logic_or a b =
+  match (a, b) with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ -> Value.Bool (truthy a || truthy b)
+
+(* Subquery evaluation needs [execute], defined after the expression
+   evaluator; tied through a forward reference. *)
+let execute_ref : (catalog -> Ast.select -> Rel.t) ref =
+  ref (fun _ _ -> err "executor not initialised")
+
+(* SQL LIKE: '%' matches any sequence, '_' any single character. *)
+let like_match ~pattern text =
+  let np = String.length pattern and nt = String.length text in
+  (* memoized backtracking over (pattern index, text index) *)
+  let memo = Hashtbl.create 16 in
+  let rec go pi ti =
+    match Hashtbl.find_opt memo (pi, ti) with
+    | Some r -> r
+    | None ->
+        let r =
+          if pi = np then ti = nt
+          else
+            match pattern.[pi] with
+            | '%' -> go (pi + 1) ti || (ti < nt && go pi (ti + 1))
+            | '_' -> ti < nt && go (pi + 1) (ti + 1)
+            | c -> ti < nt && text.[ti] = c && go (pi + 1) (ti + 1)
+        in
+        Hashtbl.add memo (pi, ti) r;
+        r
+  in
+  go 0 0
+
+let rec eval ctx expr =
+  match expr with
+  | Lit v -> v
+  | Col { table; column } -> (
+      match Rel.resolve ctx.rel ~table ~column with
+      | Ok i ->
+          if i < Array.length ctx.row then ctx.row.(i)
+          else err "internal: row narrower than relation"
+      | Error e -> raise (Exec_error e))
+  | Neg e -> (
+      match eval ctx e with
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | Value.Null -> Value.Null
+      | v -> err "cannot negate %s" (Value.to_string v))
+  | Not e -> (
+      match eval ctx e with
+      | Value.Null -> Value.Null
+      | v -> Value.Bool (not (truthy v)))
+  | Is_null { subject; positive } ->
+      let v = eval ctx subject in
+      Value.Bool (if positive then Value.is_null v else not (Value.is_null v))
+  | Binop (And, a, b) -> logic_and (eval ctx a) (eval ctx b)
+  | Binop (Or, a, b) -> logic_or (eval ctx a) (eval ctx b)
+  | Binop (Concat, a, b) -> (
+      match (eval ctx a, eval ctx b) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | x, y -> Value.String (Value.to_string x ^ Value.to_string y))
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+      comparison op (eval ctx a) (eval ctx b)
+  | Binop (((Add | Sub | Mul | Div | Mod) as op), a, b) ->
+      numeric_binop op (eval ctx a) (eval ctx b)
+  | In_list (subject, items) ->
+      let v = eval ctx subject in
+      if Value.is_null v then Value.Null
+      else
+        let vs = List.map (eval ctx) items in
+        if List.exists (Value.equal v) vs then Value.Bool true
+        else if List.exists Value.is_null vs then Value.Null
+        else Value.Bool false
+  | Like { subject; pattern; negated } -> (
+      match (eval ctx subject, eval ctx pattern) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | s, p ->
+          let r = like_match ~pattern:(Value.to_string p) (Value.to_string s) in
+          Value.Bool (if negated then not r else r))
+  | Between { subject; lo; hi; negated } -> (
+      match (eval ctx subject, eval ctx lo, eval ctx hi) with
+      | Value.Null, _, _ | _, Value.Null, _ | _, _, Value.Null -> Value.Null
+      | v, l, h ->
+          let r = Value.compare v l >= 0 && Value.compare v h <= 0 in
+          Value.Bool (if negated then not r else r))
+  | Case { branches; else_ } -> (
+      let rec go = function
+        | [] -> ( match else_ with Some e -> eval ctx e | None -> Value.Null)
+        | (cond, result) :: rest ->
+            if truthy (eval ctx cond) then eval ctx result else go rest
+      in
+      go branches)
+  | Func (name, args) -> (
+      let args = List.map (eval ctx) args in
+      match
+        List.assoc_opt name ctx.catalog.functions
+        |> (function
+             | Some f -> Some f
+             | None -> List.assoc_opt name Builtins.default)
+      with
+      | Some f -> (
+          try f args with Builtins.Builtin_error e -> raise (Exec_error e))
+      | None -> err "unknown function %s" name)
+  | Agg agg -> (
+      match ctx.group with
+      | None -> err "aggregate outside GROUP BY context"
+      | Some rows -> eval_agg ctx rows agg)
+  | Window w -> (
+      match List.assoc_opt w ctx.windows with
+      | Some v -> v
+      | None -> err "window function in unsupported position")
+  | Exists q ->
+      Value.Bool ((!execute_ref ctx.catalog q).Rel.rows <> [])
+  | Scalar_subquery q -> (
+      let result = !execute_ref ctx.catalog q in
+      if Rel.arity result <> 1 then
+        err "scalar subquery must produce exactly one column";
+      match result.Rel.rows with
+      | [] -> Value.Null
+      | [ row ] -> row.(0)
+      | _ -> err "scalar subquery produced more than one row")
+
+and eval_agg ctx rows agg =
+  let per_row e = List.map (fun row -> eval { ctx with row } e) rows in
+  match agg with
+  | Count_star -> Value.Int (List.length rows)
+  | Count e ->
+      Value.Int
+        (List.length (List.filter (fun v -> not (Value.is_null v)) (per_row e)))
+  | Sum e ->
+      let vs = List.filter (fun v -> not (Value.is_null v)) (per_row e) in
+      if vs = [] then Value.Null
+      else
+        List.fold_left (fun acc v -> numeric_binop Add acc v) (List.hd vs)
+          (List.tl vs)
+  | Avg e -> (
+      let vs = List.filter (fun v -> not (Value.is_null v)) (per_row e) in
+      if vs = [] then Value.Null
+      else
+        let sum =
+          List.fold_left (fun acc v -> numeric_binop Add acc v)
+            (Value.Float 0.) vs
+        in
+        match sum with
+        | Value.Float f -> Value.Float (f /. float_of_int (List.length vs))
+        | _ -> assert false)
+  | Min_agg e ->
+      let vs = List.filter (fun v -> not (Value.is_null v)) (per_row e) in
+      (match vs with
+      | [] -> Value.Null
+      | first :: rest ->
+          List.fold_left
+            (fun acc v -> if Value.compare v acc < 0 then v else acc)
+            first rest)
+  | Max_agg e ->
+      let vs = List.filter (fun v -> not (Value.is_null v)) (per_row e) in
+      (match vs with
+      | [] -> Value.Null
+      | first :: rest ->
+          List.fold_left
+            (fun acc v -> if Value.compare v acc > 0 then v else acc)
+            first rest)
+  | Merkle_agg { input; order_by } ->
+      let ordered = sort_rows ctx rows order_by in
+      let leaves =
+        List.map
+          (fun row ->
+            match eval { ctx with row } input with
+            | Value.String s -> s
+            | v ->
+                err "MERKLETREEAGG expects hex strings, got %s"
+                  (Value.to_string v))
+          ordered
+      in
+      (try Value.String (Builtins.merkle_root_of_hex_leaves leaves)
+       with Builtins.Builtin_error e -> raise (Exec_error e))
+
+and sort_rows ctx rows order_by =
+  if order_by = [] then rows
+  else begin
+    let keyed =
+      List.map
+        (fun row ->
+          (List.map (fun (e, _) -> eval { ctx with row } e) order_by, row))
+        rows
+    in
+    let compare_keys (ka, _) (kb, _) =
+      let rec go ks dirs =
+        match (ks, dirs) with
+        | [], _ | _, [] -> 0
+        | (a, b) :: rest, (_, dir) :: dir_rest ->
+            let c = Value.compare a b in
+            let c = match dir with Asc -> c | Desc -> -c in
+            if c <> 0 then c else go rest dir_rest
+      in
+      go (List.combine ka kb) order_by
+    in
+    List.stable_sort compare_keys keyed |> List.map snd
+  end
+
+(* --------------------------------------------------------------- *)
+(* Window functions *)
+
+let rec collect_windows expr acc =
+  match expr with
+  | Window w -> if List.mem w acc then acc else w :: acc
+  | Lit _ | Col _ -> acc
+  | Neg e | Not e | Is_null { subject = e; _ } -> collect_windows e acc
+  | Binop (_, a, b) -> collect_windows b (collect_windows a acc)
+  | In_list (e, items) ->
+      List.fold_left (fun acc e -> collect_windows e acc) (collect_windows e acc) items
+  | Exists _ | Scalar_subquery _ -> acc
+  | Like { subject; pattern; _ } ->
+      collect_windows pattern (collect_windows subject acc)
+  | Between { subject; lo; hi; _ } ->
+      collect_windows hi (collect_windows lo (collect_windows subject acc))
+  | Case { branches; else_ } ->
+      let acc =
+        List.fold_left
+          (fun acc (c, r) -> collect_windows r (collect_windows c acc))
+          acc branches
+      in
+      (match else_ with Some e -> collect_windows e acc | None -> acc)
+  | Func (_, args) ->
+      List.fold_left (fun acc e -> collect_windows e acc) acc args
+  | Agg agg -> (
+      match agg with
+      | Count_star -> acc
+      | Count e | Sum e | Min_agg e | Max_agg e | Avg e -> collect_windows e acc
+      | Merkle_agg { input; order_by } ->
+          List.fold_left
+            (fun acc (e, _) -> collect_windows e acc)
+            (collect_windows input acc)
+            order_by)
+
+(* For each row (by position), the values of every window function. *)
+let compute_windows ctx rows windows =
+  let indexed = List.mapi (fun i row -> (i, row)) rows in
+  List.map
+    (fun (Lag { input; order_by } as w) ->
+      let ordered =
+        let keyed =
+          List.map
+            (fun (i, row) ->
+              (List.map (fun (e, _) -> eval { ctx with row } e) order_by, (i, row)))
+            indexed
+        in
+        let compare_keys (ka, _) (kb, _) =
+          let rec go ks dirs =
+            match (ks, dirs) with
+            | [], _ | _, [] -> 0
+            | (a, b) :: rest, (_, dir) :: dir_rest ->
+                let c = Value.compare a b in
+                let c = match dir with Asc -> c | Desc -> -c in
+                if c <> 0 then c else go rest dir_rest
+          in
+          go (List.combine ka kb) order_by
+        in
+        List.stable_sort compare_keys keyed |> List.map snd
+      in
+      let values = Array.make (List.length rows) Value.Null in
+      let prev = ref None in
+      List.iter
+        (fun (i, row) ->
+          (match !prev with
+          | None -> values.(i) <- Value.Null
+          | Some prev_row -> values.(i) <- eval { ctx with row = prev_row } input);
+          prev := Some row)
+        ordered;
+      (w, values))
+    windows
+
+(* --------------------------------------------------------------- *)
+(* FROM evaluation *)
+
+let rec eval_from catalog from =
+  match from with
+  | Table { name; alias } -> (
+      match catalog.lookup_table name with
+      | None -> err "unknown table %s" name
+      | Some (names, rows) ->
+          let alias = Option.value alias ~default:name in
+          Rel.make ~alias names rows)
+  | Subquery { query; alias } ->
+      Rel.rename (execute catalog query) ~alias
+  | Openjson { arg; alias } ->
+      let doc =
+        match eval (null_ctx catalog) arg with
+        | Value.String s -> s
+        | v -> err "OPENJSON expects a JSON string, got %s" (Value.to_string v)
+      in
+      openjson_rel ~alias doc
+  | Join { left; kind; right; on } ->
+      let lrel = eval_from catalog left in
+      let rrel = eval_from catalog right in
+      join catalog lrel rrel kind on
+
+and openjson_rel ~alias doc =
+  let json =
+    try Sjson.of_string doc
+    with Sjson.Parse_error e -> err "OPENJSON: %s" e
+  in
+  let items =
+    match json with
+    | Sjson.List items -> items
+    | Sjson.Obj _ -> [ json ]
+    | _ -> err "OPENJSON: expected a JSON array or object"
+  in
+  (* Columns: keys in order of first appearance across all objects. *)
+  let columns = ref [] in
+  List.iter
+    (fun item ->
+      match item with
+      | Sjson.Obj fields ->
+          List.iter
+            (fun (k, _) ->
+              if not (List.mem k !columns) then columns := !columns @ [ k ])
+            fields
+      | _ -> err "OPENJSON: array elements must be objects")
+    items;
+  let value_of = function
+    | Sjson.Null -> Value.Null
+    | Sjson.Int i -> Value.Int i
+    | Sjson.Float f -> Value.Float f
+    | Sjson.Bool b -> Value.Bool b
+    | Sjson.String s -> Value.String s
+    | other -> Value.String (Sjson.to_string other)
+  in
+  let rows =
+    List.map
+      (fun item ->
+        Array.of_list
+          (List.map (fun k -> value_of (Sjson.member k item)) !columns))
+      items
+  in
+  Rel.make ~alias !columns rows
+
+and join catalog lrel rrel kind on =
+  let combined_cols = Rel.concat_cols lrel rrel [] in
+  (* Equi-join fast path: ON <left col> = <right col> runs as a hash join,
+     which the verification queries depend on (they join per-transaction
+     aggregates against the transactions system table). *)
+  let equi =
+    match on with
+    | Binop
+        ( Eq,
+          Col { table = ta; column = ca },
+          Col { table = tb; column = cb } ) -> (
+        let pair (ta, ca) (tb, cb) =
+          match
+            ( Rel.resolve lrel ~table:ta ~column:ca,
+              Rel.resolve rrel ~table:tb ~column:cb )
+          with
+          | Ok li, Ok ri -> Some (li, ri)
+          | _ -> None
+        in
+        match pair (ta, ca) (tb, cb) with
+        | Some x -> Some x
+        | None -> pair (tb, cb) (ta, ca))
+    | _ -> None
+  in
+  let lnulls = Array.make (Rel.arity lrel) Value.Null in
+  let rnulls = Array.make (Rel.arity rrel) Value.Null in
+  let out = ref [] in
+  let right_rows = Array.of_list rrel.Rel.rows in
+  let right_matched = Array.make (Array.length right_rows) false in
+  (match equi with
+  | Some (li, ri) ->
+      let buckets : (Value.t, int list ref) Hashtbl.t =
+        Hashtbl.create (Array.length right_rows)
+      in
+      Array.iteri
+        (fun idx row ->
+          let key = row.(ri) in
+          if not (Value.is_null key) then
+            match Hashtbl.find_opt buckets key with
+            | Some cell -> cell := idx :: !cell
+            | None -> Hashtbl.add buckets key (ref [ idx ]))
+        right_rows;
+      List.iter
+        (fun lrow ->
+          let key = lrow.(li) in
+          let matches =
+            if Value.is_null key then []
+            else
+              match Hashtbl.find_opt buckets key with
+              | Some cell -> List.rev !cell
+              | None -> []
+          in
+          if matches = [] then begin
+            match kind with
+            | Left | Full -> out := Array.append lrow rnulls :: !out
+            | Inner | Right -> ()
+          end
+          else
+            List.iter
+              (fun ridx ->
+                right_matched.(ridx) <- true;
+                out := Array.append lrow right_rows.(ridx) :: !out)
+              matches)
+        lrel.Rel.rows
+  | None ->
+      (* General nested-loop join on an arbitrary predicate. *)
+      List.iter
+        (fun lrow ->
+          let matched = ref false in
+          Array.iteri
+            (fun ridx rrow ->
+              let row = Array.append lrow rrow in
+              let ctx =
+                { rel = combined_cols; row; group = None; windows = []; catalog }
+              in
+              if truthy (eval ctx on) then begin
+                out := row :: !out;
+                matched := true;
+                right_matched.(ridx) <- true
+              end)
+            right_rows;
+          if (not !matched) && (kind = Left || kind = Full) then
+            out := Array.append lrow rnulls :: !out)
+        lrel.Rel.rows);
+  (match kind with
+  | Right | Full ->
+      Array.iteri
+        (fun ridx rrow ->
+          if not right_matched.(ridx) then
+            out := Array.append lnulls rrow :: !out)
+        right_rows
+  | Inner | Left -> ());
+  { combined_cols with Rel.rows = List.rev !out }
+
+(* --------------------------------------------------------------- *)
+(* SELECT pipeline *)
+
+and projection_name i = function
+  | Star -> err "internal: Star handled elsewhere"
+  | Expr (_, Some alias) -> alias
+  | Expr (Col { column; _ }, None) -> column
+  | Expr (_, None) -> Printf.sprintf "col%d" (i + 1)
+
+and has_aggregate expr =
+  match expr with
+  | Agg _ -> true
+  | Lit _ | Col _ | Window _ -> false
+  | Neg e | Not e | Is_null { subject = e; _ } -> has_aggregate e
+  | Binop (_, a, b) -> has_aggregate a || has_aggregate b
+  | In_list (e, items) -> has_aggregate e || List.exists has_aggregate items
+  | Exists _ | Scalar_subquery _ -> false
+  | Like { subject; pattern; _ } -> has_aggregate subject || has_aggregate pattern
+  | Between { subject; lo; hi; _ } ->
+      has_aggregate subject || has_aggregate lo || has_aggregate hi
+  | Case { branches; else_ } ->
+      List.exists (fun (c, r) -> has_aggregate c || has_aggregate r) branches
+      || (match else_ with Some e -> has_aggregate e | None -> false)
+  | Func (_, args) -> List.exists has_aggregate args
+
+and execute catalog (q : select) : Rel.t =
+  let input =
+    match q.from with
+    | Some from -> eval_from catalog from
+    | None -> Rel.make [] [ [||] ]
+  in
+  let base_ctx =
+    { rel = input; row = [||]; group = None; windows = []; catalog }
+  in
+  (* WHERE *)
+  let rows =
+    match q.where with
+    | None -> input.Rel.rows
+    | Some cond ->
+        List.filter
+          (fun row -> truthy (eval { base_ctx with row } cond))
+          input.Rel.rows
+  in
+  let grouped =
+    q.group_by <> []
+    || List.exists
+         (function Expr (e, _) -> has_aggregate e | Star -> false)
+         q.projections
+    || (match q.having with Some e -> has_aggregate e | None -> false)
+  in
+  if grouped then execute_grouped catalog q input rows
+  else begin
+    (* Window functions over the filtered rows. *)
+    let windows =
+      List.fold_left
+        (fun acc p ->
+          match p with Expr (e, _) -> collect_windows e acc | Star -> acc)
+        [] q.projections
+    in
+    let windows =
+      List.fold_left
+        (fun acc (e, _) -> collect_windows e acc)
+        windows q.order_by
+    in
+    let window_values = compute_windows base_ctx rows windows in
+    let row_windows i =
+      List.map (fun (w, values) -> (w, values.(i))) window_values
+    in
+    (* Project *)
+    let out_names =
+      List.concat_map
+        (fun (i, p) ->
+          match p with
+          | Star -> Rel.column_names input
+          | Expr _ -> [ projection_name i p ])
+        (List.mapi (fun i p -> (i, p)) q.projections)
+    in
+    let out_rows_with_src =
+      List.mapi
+        (fun i row ->
+          let ctx = { base_ctx with row; windows = row_windows i } in
+          let out =
+            List.concat_map
+              (fun p ->
+                match p with
+                | Star -> Array.to_list row
+                | Expr (e, _) -> [ eval ctx e ])
+              q.projections
+          in
+          (Row.of_list out, row, row_windows i))
+        rows
+    in
+    let out_rows_with_src =
+      if not q.distinct then out_rows_with_src
+      else begin
+        let seen = Hashtbl.create 64 in
+        List.filter
+          (fun (out, _, _) ->
+            let key = List.map Value.tagged_encode (Array.to_list out) in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.add seen key ();
+              true
+            end)
+          out_rows_with_src
+      end
+    in
+    let out_rel = Rel.make out_names [] in
+    (* ORDER BY: prefer output columns (aliases), fall back to input. *)
+    let sorted =
+      if q.order_by = [] then out_rows_with_src
+      else begin
+        let key_of (out_row, in_row, wins) =
+          List.map
+            (fun (e, _) ->
+              try eval { base_ctx with rel = out_rel; row = out_row } e
+              with Exec_error _ ->
+                eval { base_ctx with row = in_row; windows = wins } e)
+            q.order_by
+        in
+        let keyed = List.map (fun t -> (key_of t, t)) out_rows_with_src in
+        let cmp (ka, _) (kb, _) =
+          let rec go ks dirs =
+            match (ks, dirs) with
+            | [], _ | _, [] -> 0
+            | (a, b) :: rest, (_, dir) :: dir_rest ->
+                let c = Value.compare a b in
+                let c = match dir with Asc -> c | Desc -> -c in
+                if c <> 0 then c else go rest dir_rest
+          in
+          go (List.combine ka kb) q.order_by
+        in
+        List.stable_sort cmp keyed |> List.map snd
+      end
+    in
+    let final_rows = List.map (fun (o, _, _) -> o) sorted in
+    let final_rows =
+      match q.limit with
+      | Some n -> List.filteri (fun i _ -> i < n) final_rows
+      | None -> final_rows
+    in
+    Rel.make out_names final_rows
+  end
+
+and execute_grouped catalog q input rows =
+  let base_ctx =
+    { rel = input; row = [||]; group = None; windows = []; catalog }
+  in
+  (* Build groups in first-appearance order. *)
+  let tbl : (Value.t list, Row.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let key =
+        List.map (fun e -> eval { base_ctx with row } e) q.group_by
+      in
+      match Hashtbl.find_opt tbl key with
+      | Some cell -> cell := row :: !cell
+      | None ->
+          Hashtbl.add tbl key (ref [ row ]);
+          order := key :: !order)
+    rows;
+  let groups =
+    List.rev_map
+      (fun key -> (key, List.rev !(Hashtbl.find tbl key)))
+      !order
+  in
+  (* Implicit single group when aggregating without GROUP BY. *)
+  let groups =
+    if q.group_by = [] then [ ([], rows) ] else groups
+  in
+  let groups =
+    match q.having with
+    | None -> groups
+    | Some cond ->
+        List.filter
+          (fun (_, grows) ->
+            let row = match grows with r :: _ -> r | [] -> [||] in
+            truthy (eval { base_ctx with row; group = Some grows } cond))
+          groups
+  in
+  let out_names =
+    List.mapi
+      (fun i p ->
+        match p with
+        | Star -> err "SELECT * is not supported with GROUP BY"
+        | Expr _ -> projection_name i p)
+      q.projections
+  in
+  let out_rows =
+    List.map
+      (fun (_, grows) ->
+        let row = match grows with r :: _ -> r | [] -> [||] in
+        let ctx = { base_ctx with row; group = Some grows } in
+        Row.of_list
+          (List.map
+             (fun p ->
+               match p with
+               | Star -> assert false
+               | Expr (e, _) -> eval ctx e)
+             q.projections))
+      groups
+  in
+  let out_rows, groups =
+    if not q.distinct then (out_rows, groups)
+    else begin
+      let seen = Hashtbl.create 64 in
+      List.combine out_rows groups
+      |> List.filter (fun (out, _) ->
+             let key = List.map Value.tagged_encode (Array.to_list out) in
+             if Hashtbl.mem seen key then false
+             else begin
+               Hashtbl.add seen key ();
+               true
+             end)
+      |> List.split
+    end
+  in
+  let out_rel = Rel.make out_names [] in
+  let sorted =
+    if q.order_by = [] then List.combine out_rows groups
+    else begin
+      let items = List.combine out_rows groups in
+      let key_of (out_row, (_, grows)) =
+        List.map
+          (fun (e, _) ->
+            try eval { base_ctx with rel = out_rel; row = out_row } e
+            with Exec_error _ ->
+              let row = match grows with r :: _ -> r | [] -> [||] in
+              eval { base_ctx with row; group = Some grows } e)
+          q.order_by
+      in
+      let keyed = List.map (fun t -> (key_of t, t)) items in
+      let cmp (ka, _) (kb, _) =
+        let rec go ks dirs =
+          match (ks, dirs) with
+          | [], _ | _, [] -> 0
+          | (a, b) :: rest, (_, dir) :: dir_rest ->
+              let c = Value.compare a b in
+              let c = match dir with Asc -> c | Desc -> -c in
+              if c <> 0 then c else go rest dir_rest
+        in
+        go (List.combine ka kb) q.order_by
+      in
+      List.stable_sort cmp keyed |> List.map snd
+    end
+  in
+  let final = List.map fst sorted in
+  let final =
+    match q.limit with
+    | Some n -> List.filteri (fun i _ -> i < n) final
+    | None -> final
+  in
+  Rel.make out_names final
+
+let () = execute_ref := execute
+
+let query catalog text = execute catalog (Parser.parse text)

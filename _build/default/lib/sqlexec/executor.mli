@@ -1,0 +1,30 @@
+(** SQL query evaluation.
+
+    Evaluates a parsed {!Ast.select} against a catalog of named relations.
+    The verification process of paper §3.4.2 drives all five invariant
+    checks through this engine, exactly as SQL Ledger drives them through
+    SQL Server's query processor. *)
+
+exception Exec_error of string
+
+type catalog = {
+  lookup_table : string -> (string list * Relation.Row.t list) option;
+      (** Column names and rows for a table name (case handling is the
+          provider's business; the engine passes the name through). *)
+  functions : (string * (Relation.Value.t list -> Relation.Value.t)) list;
+      (** Scalar functions by uppercase name; consulted after
+          {!Builtins.default}. *)
+}
+
+val catalog_of_tables :
+  (string * (string list * Relation.Row.t list)) list -> catalog
+(** Simple in-memory catalog (case-insensitive table names, default
+    builtins). *)
+
+val execute : catalog -> Ast.select -> Rel.t
+(** Raises {!Exec_error} on semantic errors (unknown table/column/function,
+    type errors, division by zero, aggregate misuse). *)
+
+val query : catalog -> string -> Rel.t
+(** Parse then execute. Also raises {!Parser.Parse_error} /
+    {!Lexer.Lex_error}. *)

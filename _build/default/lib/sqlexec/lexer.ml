@@ -1,0 +1,143 @@
+type token =
+  | Ident of string
+  | Quoted_ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Symbol of string
+  | Eof
+
+exception Lex_error of string
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let tokens = ref [] in
+  let peek off = if !pos + off < n then Some input.[!pos + off] else None in
+  let fail msg = raise (Lex_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  while !pos < n do
+    let c = input.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* line comment *)
+      while !pos < n && input.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if input.[!pos] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char input.[!pos] do
+        incr pos
+      done;
+      tokens := Ident (String.sub input start (!pos - start)) :: !tokens
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      let is_float = ref false in
+      while
+        !pos < n
+        && (is_digit input.[!pos]
+           || input.[!pos] = '.'
+           || input.[!pos] = 'e'
+           || input.[!pos] = 'E'
+           || ((input.[!pos] = '+' || input.[!pos] = '-')
+              && !pos > start
+              && (input.[!pos - 1] = 'e' || input.[!pos - 1] = 'E')))
+      do
+        if not (is_digit input.[!pos]) then is_float := true;
+        incr pos
+      done;
+      let text = String.sub input start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> tokens := Float_lit f :: !tokens
+        | None -> fail ("bad number " ^ text)
+      else begin
+        match int_of_string_opt text with
+        | Some i -> tokens := Int_lit i :: !tokens
+        | None -> fail ("bad number " ^ text)
+      end
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if input.[!pos] = '\'' then
+          if peek 1 = Some '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2
+          end
+          else begin
+            closed := true;
+            incr pos
+          end
+        else begin
+          Buffer.add_char buf input.[!pos];
+          incr pos
+        end
+      done;
+      if not !closed then fail "unterminated string literal";
+      tokens := String_lit (Buffer.contents buf) :: !tokens
+    end
+    else if c = '[' then begin
+      incr pos;
+      let start = !pos in
+      while !pos < n && input.[!pos] <> ']' do
+        incr pos
+      done;
+      if !pos >= n then fail "unterminated [identifier]";
+      tokens := Quoted_ident (String.sub input start (!pos - start)) :: !tokens;
+      incr pos
+    end
+    else if c = '"' then begin
+      incr pos;
+      let start = !pos in
+      while !pos < n && input.[!pos] <> '"' do
+        incr pos
+      done;
+      if !pos >= n then fail "unterminated quoted identifier";
+      tokens := Quoted_ident (String.sub input start (!pos - start)) :: !tokens;
+      incr pos
+    end
+    else begin
+      let two =
+        if !pos + 1 < n then Some (String.sub input !pos 2) else None
+      in
+      match two with
+      | Some (("<=" | ">=" | "<>" | "!=" | "||") as s) ->
+          tokens := Symbol s :: !tokens;
+          pos := !pos + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | ',' | '*' | '+' | '-' | '/' | '%' | '=' | '<' | '>'
+          | '.' | ';' ->
+              tokens := Symbol (String.make 1 c) :: !tokens;
+              incr pos
+          | _ -> fail (Printf.sprintf "illegal character '%c'" c))
+    end
+  done;
+  List.rev (Eof :: !tokens)
+
+let keyword = function
+  | Ident s -> Some (String.uppercase_ascii s)
+  | _ -> None

@@ -1,0 +1,19 @@
+(** SQL tokenizer. *)
+
+type token =
+  | Ident of string       (** unquoted identifier or keyword, original case *)
+  | Quoted_ident of string (** [name] or "name" *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string  (** 'single quoted', with '' escaping *)
+  | Symbol of string      (** punctuation / operators, e.g. "(", "<=", "||" *)
+  | Eof
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** Raises {!Lex_error} on unterminated strings or illegal characters.
+    Comments ([-- ...] and [/* ... */]) are skipped. *)
+
+val keyword : token -> string option
+(** Uppercased identifier, if the token is an unquoted identifier. *)

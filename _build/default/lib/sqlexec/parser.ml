@@ -1,0 +1,526 @@
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail msg = raise (Parse_error msg)
+
+let peek st = match st.tokens with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let describe = function
+  | Lexer.Ident s -> Printf.sprintf "identifier %s" s
+  | Lexer.Quoted_ident s -> Printf.sprintf "[%s]" s
+  | Lexer.Int_lit i -> string_of_int i
+  | Lexer.Float_lit f -> string_of_float f
+  | Lexer.String_lit s -> Printf.sprintf "'%s'" s
+  | Lexer.Symbol s -> Printf.sprintf "'%s'" s
+  | Lexer.Eof -> "end of input"
+
+let is_kw st kw =
+  match Lexer.keyword (peek st) with Some k -> String.equal k kw | None -> false
+
+let eat_kw st kw =
+  if is_kw st kw then advance st
+  else fail (Printf.sprintf "expected %s, found %s" kw (describe (peek st)))
+
+let eat_symbol st sym =
+  match peek st with
+  | Lexer.Symbol s when String.equal s sym -> advance st
+  | t -> fail (Printf.sprintf "expected '%s', found %s" sym (describe t))
+
+let try_symbol st sym =
+  match peek st with
+  | Lexer.Symbol s when String.equal s sym ->
+      advance st;
+      true
+  | _ -> false
+
+let try_kw st kw =
+  if is_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match peek st with
+  | Lexer.Ident s | Lexer.Quoted_ident s ->
+      advance st;
+      s
+  | t -> fail (Printf.sprintf "expected identifier, found %s" (describe t))
+
+(* Reserved words that terminate an implicit alias position. *)
+let reserved =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "HAVING"; "ORDER"; "LIMIT"; "JOIN";
+    "INNER"; "LEFT"; "RIGHT"; "FULL"; "OUTER"; "ON"; "AS"; "AND"; "OR";
+    "NOT"; "NULL"; "TRUE"; "FALSE"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END";
+    "IS"; "IN"; "BY"; "ASC"; "DESC"; "OVER"; "UNION"; "LIKE"; "BETWEEN";
+    "DISTINCT"; "INTO"; "VALUES"; "SET"; "EXISTS";
+  ]
+
+let is_reserved tok =
+  match Lexer.keyword tok with
+  | Some k -> List.mem k reserved
+  | None -> false
+
+let aggregate_names = [ "COUNT"; "SUM"; "MIN"; "MAX"; "AVG"; "MERKLETREEAGG" ]
+
+let rec parse_select st =
+  eat_kw st "SELECT";
+  let distinct = try_kw st "DISTINCT" in
+  let projections = parse_projections st in
+  let from = if try_kw st "FROM" then Some (parse_from st) else None in
+  let where = if try_kw st "WHERE" then Some (parse_expr_st st) else None in
+  let group_by =
+    if try_kw st "GROUP" then begin
+      eat_kw st "BY";
+      parse_expr_list st
+    end
+    else []
+  in
+  let having = if try_kw st "HAVING" then Some (parse_expr_st st) else None in
+  let order_by =
+    if try_kw st "ORDER" then begin
+      eat_kw st "BY";
+      parse_order_items st
+    end
+    else []
+  in
+  let limit =
+    if try_kw st "LIMIT" then begin
+      match peek st with
+      | Lexer.Int_lit i ->
+          advance st;
+          Some i
+      | t -> fail ("expected integer after LIMIT, found " ^ describe t)
+    end
+    else None
+  in
+  { distinct; projections; from; where; group_by; having; order_by; limit }
+
+and parse_projections st =
+  let parse_one () =
+    if try_symbol st "*" then Star
+    else begin
+      let e = parse_expr_st st in
+      let alias =
+        if try_kw st "AS" then Some (ident st)
+        else
+          match peek st with
+          | (Lexer.Ident _ | Lexer.Quoted_ident _) when not (is_reserved (peek st))
+            ->
+              Some (ident st)
+          | _ -> None
+      in
+      Expr (e, alias)
+    end
+  in
+  let first = parse_one () in
+  let rec more acc =
+    if try_symbol st "," then more (parse_one () :: acc) else List.rev acc
+  in
+  more [ first ]
+
+and parse_order_items st =
+  let parse_one () =
+    let e = parse_expr_st st in
+    let dir =
+      if try_kw st "DESC" then Desc
+      else begin
+        ignore (try_kw st "ASC" : bool);
+        Asc
+      end
+    in
+    (e, dir)
+  in
+  let first = parse_one () in
+  let rec more acc =
+    if try_symbol st "," then more (parse_one () :: acc) else List.rev acc
+  in
+  more [ first ]
+
+and parse_expr_list st =
+  let first = parse_expr_st st in
+  let rec more acc =
+    if try_symbol st "," then more (parse_expr_st st :: acc) else List.rev acc
+  in
+  more [ first ]
+
+and parse_from st =
+  let left = parse_from_atom st in
+  let rec joins left =
+    let kind =
+      if try_kw st "JOIN" then Some Inner
+      else if is_kw st "INNER" then begin
+        advance st;
+        eat_kw st "JOIN";
+        Some Inner
+      end
+      else if is_kw st "LEFT" then begin
+        advance st;
+        ignore (try_kw st "OUTER" : bool);
+        eat_kw st "JOIN";
+        Some Left
+      end
+      else if is_kw st "RIGHT" then begin
+        advance st;
+        ignore (try_kw st "OUTER" : bool);
+        eat_kw st "JOIN";
+        Some Right
+      end
+      else if is_kw st "FULL" then begin
+        advance st;
+        ignore (try_kw st "OUTER" : bool);
+        eat_kw st "JOIN";
+        Some Full
+      end
+      else None
+    in
+    match kind with
+    | None -> left
+    | Some kind ->
+        let right = parse_from_atom st in
+        eat_kw st "ON";
+        let on = parse_expr_st st in
+        joins (Join { left; kind; right; on })
+  in
+  joins left
+
+and parse_from_atom st =
+  if is_kw st "OPENJSON" then begin
+    advance st;
+    eat_symbol st "(";
+    let arg = parse_expr_st st in
+    eat_symbol st ")";
+    ignore (try_kw st "AS" : bool);
+    let alias = ident st in
+    Openjson { arg; alias }
+  end
+  else if try_symbol st "(" then begin
+    let query = parse_select st in
+    eat_symbol st ")";
+    ignore (try_kw st "AS" : bool);
+    let alias = ident st in
+    Subquery { query; alias }
+  end
+  else begin
+    let name = ident st in
+    let alias =
+      if try_kw st "AS" then Some (ident st)
+      else
+        match peek st with
+        | (Lexer.Ident _ | Lexer.Quoted_ident _) when not (is_reserved (peek st))
+          ->
+            Some (ident st)
+        | _ -> None
+    in
+    Table { name; alias }
+  end
+
+and parse_expr_st st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if try_kw st "OR" then Binop (Or, left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if try_kw st "AND" then Binop (And, left, parse_and st) else left
+
+and parse_not st =
+  if try_kw st "NOT" then Not (parse_not st) else parse_comparison st
+
+and parse_comparison st =
+  let left = parse_additive st in
+  if try_kw st "IS" then begin
+    let positive = not (try_kw st "NOT") in
+    eat_kw st "NULL";
+    Is_null { subject = left; positive }
+  end
+  else if is_kw st "NOT" || is_kw st "IN" || is_kw st "LIKE" || is_kw st "BETWEEN"
+  then begin
+    let negated = try_kw st "NOT" in
+    if try_kw st "IN" then begin
+      eat_symbol st "(";
+      let items = parse_expr_list st in
+      eat_symbol st ")";
+      let e = In_list (left, items) in
+      if negated then Not e else e
+    end
+    else if try_kw st "LIKE" then
+      Like { subject = left; pattern = parse_additive st; negated }
+    else if try_kw st "BETWEEN" then begin
+      let lo = parse_additive st in
+      eat_kw st "AND";
+      Between { subject = left; lo; hi = parse_additive st; negated }
+    end
+    else fail "expected IN, LIKE or BETWEEN after NOT"
+  end
+  else
+    let op =
+      match peek st with
+      | Lexer.Symbol "=" -> Some Eq
+      | Lexer.Symbol ("<>" | "!=") -> Some Neq
+      | Lexer.Symbol "<" -> Some Lt
+      | Lexer.Symbol "<=" -> Some Le
+      | Lexer.Symbol ">" -> Some Gt
+      | Lexer.Symbol ">=" -> Some Ge
+      | _ -> None
+    in
+    match op with
+    | None -> left
+    | Some op ->
+        advance st;
+        Binop (op, left, parse_additive st)
+
+and parse_additive st =
+  let left = parse_multiplicative st in
+  let rec go left =
+    match peek st with
+    | Lexer.Symbol "+" ->
+        advance st;
+        go (Binop (Add, left, parse_multiplicative st))
+    | Lexer.Symbol "-" ->
+        advance st;
+        go (Binop (Sub, left, parse_multiplicative st))
+    | Lexer.Symbol "||" ->
+        advance st;
+        go (Binop (Concat, left, parse_multiplicative st))
+    | _ -> left
+  in
+  go left
+
+and parse_multiplicative st =
+  let left = parse_unary st in
+  let rec go left =
+    match peek st with
+    | Lexer.Symbol "*" ->
+        advance st;
+        go (Binop (Mul, left, parse_unary st))
+    | Lexer.Symbol "/" ->
+        advance st;
+        go (Binop (Div, left, parse_unary st))
+    | Lexer.Symbol "%" ->
+        advance st;
+        go (Binop (Mod, left, parse_unary st))
+    | _ -> left
+  in
+  go left
+
+and parse_unary st =
+  if try_symbol st "-" then Neg (parse_unary st) else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Int_lit i ->
+      advance st;
+      Lit (Relation.Value.Int i)
+  | Lexer.Float_lit f ->
+      advance st;
+      Lit (Relation.Value.Float f)
+  | Lexer.String_lit s ->
+      advance st;
+      Lit (Relation.Value.String s)
+  | Lexer.Symbol "(" ->
+      advance st;
+      if is_kw st "SELECT" then begin
+        let q = parse_select st in
+        eat_symbol st ")";
+        Scalar_subquery q
+      end
+      else begin
+        let e = parse_expr_st st in
+        eat_symbol st ")";
+        e
+      end
+  | Lexer.Symbol "*" -> fail "unexpected '*' outside COUNT(*) or SELECT list"
+  | Lexer.Ident _ | Lexer.Quoted_ident _ -> parse_name_or_call st
+  | t -> fail ("unexpected " ^ describe t)
+
+and parse_name_or_call st =
+  match Lexer.keyword (peek st) with
+  | Some "NULL" ->
+      advance st;
+      Lit Relation.Value.Null
+  | Some "TRUE" ->
+      advance st;
+      Lit (Relation.Value.Bool true)
+  | Some "FALSE" ->
+      advance st;
+      Lit (Relation.Value.Bool false)
+  | Some "CASE" ->
+      advance st;
+      parse_case st
+  | Some "EXISTS" ->
+      advance st;
+      eat_symbol st "(";
+      let q = parse_select st in
+      eat_symbol st ")";
+      Exists q
+  | _ -> (
+      let name = ident st in
+      match peek st with
+      | Lexer.Symbol "(" ->
+          advance st;
+          parse_call st name
+      | Lexer.Symbol "." ->
+          advance st;
+          let column = ident st in
+          Col { table = Some name; column }
+      | _ -> Col { table = None; column = name })
+
+and parse_case st =
+  let branches = ref [] in
+  while is_kw st "WHEN" do
+    advance st;
+    let cond = parse_expr_st st in
+    eat_kw st "THEN";
+    let result = parse_expr_st st in
+    branches := (cond, result) :: !branches
+  done;
+  if !branches = [] then fail "CASE requires at least one WHEN branch";
+  let else_ = if try_kw st "ELSE" then Some (parse_expr_st st) else None in
+  eat_kw st "END";
+  Case { branches = List.rev !branches; else_ }
+
+and parse_call st name =
+  let upper = String.uppercase_ascii name in
+  if String.equal upper "COUNT" && try_symbol st "*" then begin
+    eat_symbol st ")";
+    Agg Count_star
+  end
+  else if String.equal upper "MERKLETREEAGG" then begin
+    let input = parse_expr_st st in
+    let order_by =
+      if try_kw st "ORDER" then begin
+        eat_kw st "BY";
+        parse_order_items st
+      end
+      else []
+    in
+    eat_symbol st ")";
+    Agg (Merkle_agg { input; order_by })
+  end
+  else if String.equal upper "LAG" then begin
+    let input = parse_expr_st st in
+    eat_symbol st ")";
+    eat_kw st "OVER";
+    eat_symbol st "(";
+    eat_kw st "ORDER";
+    eat_kw st "BY";
+    let order_by = parse_order_items st in
+    eat_symbol st ")";
+    Window (Lag { input; order_by })
+  end
+  else begin
+    let args =
+      if try_symbol st ")" then []
+      else begin
+        let args = parse_expr_list st in
+        eat_symbol st ")";
+        args
+      end
+    in
+    if List.mem upper aggregate_names then begin
+      match (upper, args) with
+      | "COUNT", [ e ] -> Agg (Count e)
+      | "SUM", [ e ] -> Agg (Sum e)
+      | "MIN", [ e ] -> Agg (Min_agg e)
+      | "MAX", [ e ] -> Agg (Max_agg e)
+      | "AVG", [ e ] -> Agg (Avg e)
+      | _ -> fail (Printf.sprintf "aggregate %s expects one argument" upper)
+    end
+    else Func (upper, args)
+  end
+
+let parse_insert st =
+  eat_kw st "INSERT";
+  eat_kw st "INTO";
+  let table = ident st in
+  let columns =
+    if try_symbol st "(" then begin
+      let first = ident st in
+      let rec more acc =
+        if try_symbol st "," then more (ident st :: acc) else List.rev acc
+      in
+      let cols = more [ first ] in
+      eat_symbol st ")";
+      Some cols
+    end
+    else None
+  in
+  eat_kw st "VALUES";
+  let parse_tuple () =
+    eat_symbol st "(";
+    let values = parse_expr_list st in
+    eat_symbol st ")";
+    values
+  in
+  let first = parse_tuple () in
+  let rec more acc =
+    if try_symbol st "," then more (parse_tuple () :: acc) else List.rev acc
+  in
+  Insert { table; columns; rows = more [ first ] }
+
+let parse_update st =
+  eat_kw st "UPDATE";
+  let table = ident st in
+  eat_kw st "SET";
+  let parse_assignment () =
+    let column = ident st in
+    eat_symbol st "=";
+    (column, parse_expr_st st)
+  in
+  let first = parse_assignment () in
+  let rec more acc =
+    if try_symbol st "," then more (parse_assignment () :: acc)
+    else List.rev acc
+  in
+  let assignments = more [ first ] in
+  let where = if try_kw st "WHERE" then Some (parse_expr_st st) else None in
+  Update { table; assignments; where }
+
+let parse_delete st =
+  eat_kw st "DELETE";
+  eat_kw st "FROM";
+  let table = ident st in
+  let where = if try_kw st "WHERE" then Some (parse_expr_st st) else None in
+  Delete { table; where }
+
+let finish st result =
+  ignore (try_symbol st ";" : bool);
+  (match peek st with
+  | Lexer.Eof -> ()
+  | t -> fail ("trailing input: " ^ describe t));
+  result
+
+let parse_statement input =
+  let st = { tokens = Lexer.tokenize input } in
+  match Lexer.keyword (peek st) with
+  | Some "SELECT" -> finish st (Select (parse_select st))
+  | Some "INSERT" -> finish st (parse_insert st)
+  | Some "UPDATE" -> finish st (parse_update st)
+  | Some "DELETE" -> finish st (parse_delete st)
+  | _ -> fail "expected SELECT, INSERT, UPDATE or DELETE"
+
+let parse input =
+  let st = { tokens = Lexer.tokenize input } in
+  let q = parse_select st in
+  ignore (try_symbol st ";" : bool);
+  (match peek st with
+  | Lexer.Eof -> ()
+  | t -> fail ("trailing input: " ^ describe t));
+  q
+
+let parse_expr input =
+  let st = { tokens = Lexer.tokenize input } in
+  let e = parse_expr_st st in
+  (match peek st with
+  | Lexer.Eof -> ()
+  | t -> fail ("trailing input: " ^ describe t));
+  e

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.select
+(** Parse a single SELECT statement (an optional trailing [;] is allowed).
+    Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_statement : string -> Ast.statement
+(** Parse a SELECT, INSERT, UPDATE or DELETE statement. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests and tools). *)

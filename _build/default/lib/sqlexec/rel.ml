@@ -1,0 +1,86 @@
+open Relation
+
+type col = { rel_alias : string option; col_name : string }
+type t = { cols : col array; rows : Row.t list }
+
+let make ?alias names rows =
+  {
+    cols =
+      Array.of_list
+        (List.map (fun n -> { rel_alias = alias; col_name = n }) names);
+    rows;
+  }
+
+let norm = String.lowercase_ascii
+
+let resolve t ~table ~column =
+  let matches =
+    Array.to_list t.cols
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, c) ->
+           String.equal (norm c.col_name) (norm column)
+           &&
+           match table with
+           | None -> true
+           | Some alias -> (
+               match c.rel_alias with
+               | Some a -> String.equal (norm a) (norm alias)
+               | None -> false))
+  in
+  match matches with
+  | [ (i, _) ] -> Ok i
+  | [] ->
+      Error
+        (Printf.sprintf "unknown column %s%s"
+           (match table with Some tbl -> tbl ^ "." | None -> "")
+           column)
+  | _ ->
+      Error
+        (Printf.sprintf "ambiguous column %s%s"
+           (match table with Some tbl -> tbl ^ "." | None -> "")
+           column)
+
+let rename t ~alias =
+  {
+    t with
+    cols = Array.map (fun c -> { c with rel_alias = Some alias }) t.cols;
+  }
+
+let concat_cols left right rows =
+  { cols = Array.append left.cols right.cols; rows }
+
+let column_names t =
+  Array.to_list t.cols |> List.map (fun c -> c.col_name)
+
+let arity t = Array.length t.cols
+let cardinality t = List.length t.rows
+
+let to_strings t =
+  column_names t
+  :: List.map (fun row -> List.map Value.to_string (Row.to_list row)) t.rows
+
+let pp fmt t =
+  let rendered = to_strings t in
+  let widths = Array.make (arity t) 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         if i < Array.length widths then
+           widths.(i) <- max widths.(i) (String.length cell)))
+    rendered;
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Format.pp_print_string fmt " | ";
+        Format.fprintf fmt "%-*s" (if i < Array.length widths then widths.(i) else 0) cell)
+      cells;
+    Format.pp_print_newline fmt ()
+  in
+  match rendered with
+  | [] -> ()
+  | header :: rows ->
+      print_row header;
+      Format.pp_print_string fmt
+        (String.concat "-+-"
+           (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+      Format.pp_print_newline fmt ();
+      List.iter print_row rows

@@ -1,0 +1,29 @@
+(** Runtime relations flowing through the executor. *)
+
+type col = { rel_alias : string option; col_name : string }
+
+type t = { cols : col array; rows : Relation.Row.t list }
+
+val make : ?alias:string -> string list -> Relation.Row.t list -> t
+(** Build a relation from column names and rows; every column carries the
+    optional alias. *)
+
+val resolve : t -> table:string option -> column:string -> (int, string) result
+(** Ordinal of the column referenced by [table.column] (case-insensitive).
+    Errors on "unknown column" and "ambiguous column". *)
+
+val rename : t -> alias:string -> t
+(** Re-qualify every column under a new alias (subquery/table alias). *)
+
+val concat_cols : t -> t -> Relation.Row.t list -> t
+(** Combine two relations' column headers over pre-joined rows. *)
+
+val column_names : t -> string list
+val arity : t -> int
+val cardinality : t -> int
+
+val to_strings : t -> string list list
+(** Header row followed by data rows, rendered — for the CLI and tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Aligned tabular rendering. *)

@@ -1,0 +1,1 @@
+lib/storage/table_store.ml: Array Btree List Printf Relation Row Schema String Value

@@ -1,0 +1,1 @@
+lib/storage/table_store.mli: Relation

@@ -1,0 +1,219 @@
+open Relation
+
+type index = { index_name : string; key_ordinals : int list }
+
+type stored_index = {
+  meta : index;
+  (* Index key rows are the key-column values with the primary key appended,
+     which both makes entries unique and gives deterministic duplicate
+     ordering. The mapped value is the primary key. *)
+  tree : (Row.t, Row.t) Btree.t;
+}
+
+type t = {
+  name : string;
+  table_id : int;
+  mutable schema : Schema.t;
+  key_ordinals : int list;
+  clustered : (Row.t, Row.t) Btree.t;
+  mutable nc_indexes : stored_index list;
+}
+
+exception Duplicate_key of string
+exception Not_found_key of string
+
+let check_ordinals schema ordinals what =
+  if ordinals = [] then invalid_arg (what ^ ": empty key");
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Schema.arity schema then
+        invalid_arg (what ^ ": ordinal out of range"))
+    ordinals
+
+let create ~name ~table_id ~schema ~key_ordinals =
+  check_ordinals schema key_ordinals "Table_store.create";
+  {
+    name;
+    table_id;
+    schema;
+    key_ordinals;
+    clustered = Btree.create ~cmp:Row.compare ();
+    nc_indexes = [];
+  }
+
+let name t = t.name
+let table_id t = t.table_id
+let schema t = t.schema
+let key_ordinals t = t.key_ordinals
+let row_count t = Btree.length t.clustered
+let set_schema t schema = t.schema <- schema
+
+let primary_key t row = Row.project row t.key_ordinals
+
+let index_key idx row pk = Array.append (Row.project row idx.meta.key_ordinals) pk
+
+let key_string key =
+  String.concat ", " (List.map Value.to_string (Row.to_list key))
+
+let validate t row =
+  match Schema.validate_row t.schema row with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "table %s: %s" t.name e)
+
+let insert t row =
+  validate t row;
+  let pk = primary_key t row in
+  if Btree.mem t.clustered pk then
+    raise (Duplicate_key (Printf.sprintf "%s: (%s)" t.name (key_string pk)));
+  ignore (Btree.insert t.clustered pk row : Row.t option);
+  List.iter
+    (fun idx -> ignore (Btree.insert idx.tree (index_key idx row pk) pk : Row.t option))
+    t.nc_indexes
+
+let find t ~key = Btree.find t.clustered key
+
+let delete t ~key =
+  match Btree.remove t.clustered key with
+  | None ->
+      raise (Not_found_key (Printf.sprintf "%s: (%s)" t.name (key_string key)))
+  | Some row ->
+      List.iter
+        (fun idx -> ignore (Btree.remove idx.tree (index_key idx row key) : Row.t option))
+        t.nc_indexes;
+      row
+
+let update t row =
+  validate t row;
+  let pk = primary_key t row in
+  match Btree.find t.clustered pk with
+  | None ->
+      raise (Not_found_key (Printf.sprintf "%s: (%s)" t.name (key_string pk)))
+  | Some old_row ->
+      ignore (Btree.insert t.clustered pk row : Row.t option);
+      List.iter
+        (fun idx ->
+          let old_k = index_key idx old_row pk in
+          let new_k = index_key idx row pk in
+          if Row.compare old_k new_k <> 0 then begin
+            ignore (Btree.remove idx.tree old_k : Row.t option);
+            ignore (Btree.insert idx.tree new_k pk : Row.t option)
+          end)
+        t.nc_indexes
+
+let scan t = List.map snd (Btree.to_list t.clustered)
+let iter f t = Btree.iter (fun _ row -> f row) t.clustered
+let fold f acc t = Btree.fold (fun acc _ row -> f acc row) acc t.clustered
+let range t ?lo ?hi () = List.map snd (Btree.range t.clustered ?lo ?hi ())
+
+let find_index t index_name =
+  List.find_opt
+    (fun idx -> String.equal idx.meta.index_name index_name)
+    t.nc_indexes
+
+let create_index t ~name:index_name ~key_ordinals =
+  check_ordinals t.schema key_ordinals "Table_store.create_index";
+  if find_index t index_name <> None then
+    invalid_arg ("Table_store.create_index: duplicate index " ^ index_name);
+  let idx =
+    {
+      meta = { index_name; key_ordinals };
+      tree = Btree.create ~cmp:Row.compare ();
+    }
+  in
+  Btree.iter
+    (fun pk row -> ignore (Btree.insert idx.tree (index_key idx row pk) pk : Row.t option))
+    t.clustered;
+  t.nc_indexes <- t.nc_indexes @ [ idx ]
+
+let drop_index t ~name:index_name =
+  if find_index t index_name = None then
+    invalid_arg ("Table_store.drop_index: no such index " ^ index_name);
+  t.nc_indexes <-
+    List.filter
+      (fun idx -> not (String.equal idx.meta.index_name index_name))
+      t.nc_indexes
+
+let indexes t = List.map (fun idx -> idx.meta) t.nc_indexes
+
+let index_lookup t ~index_name ~key =
+  match find_index t index_name with
+  | None -> invalid_arg ("Table_store.index_lookup: no such index " ^ index_name)
+  | Some idx ->
+      (* Entries for [key] span the range [key ++ -inf, key ++ +inf]; since
+         appended primary-key values only extend the prefix, a prefix filter
+         over the range starting at [key] suffices. *)
+      let matches entry_key =
+        let prefix_len = List.length idx.meta.key_ordinals in
+        Array.length entry_key >= prefix_len
+        && Row.equal (Array.sub entry_key 0 prefix_len) key
+      in
+      Btree.range idx.tree ~lo:key ()
+      |> List.filter (fun (k, _) -> matches k)
+      |> List.filter_map (fun (_, pk) -> Btree.find t.clustered pk)
+
+let index_scan t ~index_name =
+  match find_index t index_name with
+  | None -> invalid_arg ("Table_store.index_scan: no such index " ^ index_name)
+  | Some idx -> Btree.to_list idx.tree
+
+let migrate t ~schema ~f =
+  let bindings = Btree.to_list t.clustered in
+  t.schema <- schema;
+  Btree.clear t.clustered;
+  List.iter
+    (fun (pk, row) -> ignore (Btree.insert t.clustered pk (f row) : Row.t option))
+    bindings;
+  let metas = List.map (fun idx -> idx.meta) t.nc_indexes in
+  t.nc_indexes <- [];
+  List.iter
+    (fun (meta : index) ->
+      create_index t ~name:meta.index_name ~key_ordinals:meta.key_ordinals)
+    metas
+
+let deep_copy t =
+  let copy =
+    create ~name:t.name ~table_id:t.table_id ~schema:t.schema
+      ~key_ordinals:t.key_ordinals
+  in
+  Btree.iter
+    (fun pk row ->
+      ignore (Btree.insert copy.clustered (Array.copy pk) (Array.copy row) : Row.t option))
+    t.clustered;
+  List.iter
+    (fun idx ->
+      create_index copy ~name:idx.meta.index_name
+        ~key_ordinals:idx.meta.key_ordinals)
+    t.nc_indexes;
+  copy
+
+module Raw = struct
+  let overwrite_value t ~key ~ordinal value =
+    match Btree.find t.clustered key with
+    | None -> false
+    | Some row ->
+        (* In-place mutation: indexes, history and hashes all go stale,
+           exactly like a direct page edit. *)
+        row.(ordinal) <- value;
+        true
+
+  let delete_row t ~key = Btree.remove t.clustered key <> None
+
+  let insert_row t row =
+    let pk = primary_key t row in
+    ignore (Btree.insert t.clustered pk row : Row.t option)
+
+  let overwrite_index_entry t ~index_name ~old_key ~pk ~new_key =
+    match find_index t index_name with
+    | None -> false
+    | Some idx -> (
+        match Btree.remove idx.tree (Array.append old_key pk) with
+        | None -> false
+        | Some stored_pk ->
+            ignore
+              (Btree.insert idx.tree (Array.append new_key pk) stored_pk
+                : Row.t option);
+            true)
+
+  let set_column_type t ~column dtype =
+    t.schema <- Schema.set_column_type t.schema column dtype
+end

@@ -1,0 +1,113 @@
+(** Physical table storage: a clustered B+tree (primary key → row) plus any
+    number of non-clustered indexes (index key → primary key).
+
+    The [Raw] submodule is the attacker surface of the paper's threat model
+    (§2.5.2): it mutates stored rows, indexes and schema metadata directly,
+    bypassing every transactional and ledger check — the moral equivalent of
+    editing database files on disk. The ledger verification process exists
+    to catch exactly these edits. *)
+
+type t
+
+type index = {
+  index_name : string;
+  key_ordinals : int list;  (** columns forming the index key *)
+}
+
+exception Duplicate_key of string
+exception Not_found_key of string
+
+val create :
+  name:string -> table_id:int -> schema:Relation.Schema.t -> key_ordinals:int list -> t
+(** [key_ordinals] are the clustered (primary) key columns. Raises
+    [Invalid_argument] if empty or out of range. *)
+
+val name : t -> string
+val table_id : t -> int
+val schema : t -> Relation.Schema.t
+val key_ordinals : t -> int list
+val row_count : t -> int
+
+val set_schema : t -> Relation.Schema.t -> unit
+(** Replace the schema (schema-change support; the caller is responsible for
+    keeping stored rows consistent with the new schema). *)
+
+val primary_key : t -> Relation.Row.t -> Relation.Row.t
+(** Extract the clustered key of a row. *)
+
+val insert : t -> Relation.Row.t -> unit
+(** Raises {!Duplicate_key} or [Invalid_argument] (schema violation). *)
+
+val update : t -> Relation.Row.t -> unit
+(** Replace the row whose primary key matches the new row's key. For key
+    changes use {!delete} + {!insert}. Raises {!Not_found_key}. *)
+
+val delete : t -> key:Relation.Row.t -> Relation.Row.t
+(** Remove and return the row with the given primary key.
+    Raises {!Not_found_key}. *)
+
+val find : t -> key:Relation.Row.t -> Relation.Row.t option
+
+val scan : t -> Relation.Row.t list
+(** All rows in clustered-key order. *)
+
+val iter : (Relation.Row.t -> unit) -> t -> unit
+
+val fold : ('a -> Relation.Row.t -> 'a) -> 'a -> t -> 'a
+
+val range :
+  t -> ?lo:Relation.Row.t -> ?hi:Relation.Row.t -> unit -> Relation.Row.t list
+(** Clustered-key range scan (bounds are key rows, inclusive). *)
+
+(** {1 Non-clustered indexes} *)
+
+val create_index : t -> name:string -> key_ordinals:int list -> unit
+(** Builds the index from current rows. Raises [Invalid_argument] on
+    duplicate index name or bad ordinals. *)
+
+val drop_index : t -> name:string -> unit
+
+val indexes : t -> index list
+
+val index_lookup : t -> index_name:string -> key:Relation.Row.t -> Relation.Row.t list
+(** Rows whose index-key columns equal [key], via the index. *)
+
+val index_scan : t -> index_name:string -> (Relation.Row.t * Relation.Row.t) list
+(** All [(index_key, primary_key)] pairs in index order — what verification
+    query 5 reads when checking index/base-table equivalence. *)
+
+val migrate :
+  t -> schema:Relation.Schema.t -> f:(Relation.Row.t -> Relation.Row.t) -> unit
+(** Replace the schema and rewrite every stored row with [f] (primary keys
+    must be preserved). Non-clustered indexes are rebuilt. Used by logical
+    schema changes (adding a column pads rows with NULL). *)
+
+val deep_copy : t -> t
+(** Fully independent copy (rows included) — the substrate for backups and
+    point-in-time restore simulations. *)
+
+(** {1 Attacker surface} *)
+
+module Raw : sig
+  val overwrite_value :
+    t -> key:Relation.Row.t -> ordinal:int -> Relation.Value.t -> bool
+  (** Mutate one stored value in place, bypassing validation, history
+      capture, hashing and index maintenance. Returns false when no row has
+      that key. *)
+
+  val delete_row : t -> key:Relation.Row.t -> bool
+  (** Remove a row from the clustered tree only (indexes left stale). *)
+
+  val insert_row : t -> Relation.Row.t -> unit
+  (** Insert into the clustered tree only, without validation. *)
+
+  val overwrite_index_entry :
+    t -> index_name:string -> old_key:Relation.Row.t -> pk:Relation.Row.t ->
+    new_key:Relation.Row.t -> bool
+  (** Rewrite a non-clustered index entry while leaving the base table
+      intact — the attack that invariant 5 detects. *)
+
+  val set_column_type : t -> column:string -> Relation.Datatype.t -> unit
+  (** The metadata-swap attack of §3.2: redeclare a column's type so stored
+      bytes are reinterpreted. *)
+end

@@ -1,0 +1,224 @@
+open Relation
+open Sql_ledger
+module Table_store = Storage.Table_store
+module Hex = Ledger_crypto.Hex
+
+type attack =
+  | Update_row of {
+      table : string;
+      key : Row.t;
+      column : string;
+      value : Value.t;
+    }
+  | Update_history_row of {
+      table : string;
+      index : int;
+      column : string;
+      value : Value.t;
+    }
+  | Delete_row of { table : string; key : Row.t }
+  | Delete_history_row of { table : string; index : int }
+  | Insert_fabricated_row of { table : string; row : Row.t }
+  | Metadata_swap of { table : string; column : string; new_type : Datatype.t }
+  | Index_rewrite of {
+      table : string;
+      index : string;
+      old_key : Row.t;
+      pk : Row.t;
+      new_key : Row.t;
+    }
+  | Rewrite_transaction_user of { txn_id : int; user : string }
+  | Fork_chain of { block_id : int }
+  | Drop_and_recreate of { table : string }
+
+let describe = function
+  | Update_row { table; column; _ } ->
+      Printf.sprintf "overwrite %s.%s in storage" table column
+  | Update_history_row { table; column; _ } ->
+      Printf.sprintf "overwrite historical %s.%s (audit trail)" table column
+  | Delete_row { table; _ } -> Printf.sprintf "erase a row of %s" table
+  | Delete_history_row { table; _ } ->
+      Printf.sprintf "erase a history row of %s" table
+  | Insert_fabricated_row { table; _ } ->
+      Printf.sprintf "plant a fabricated row in %s" table
+  | Metadata_swap { table; column; new_type } ->
+      Printf.sprintf "redeclare %s.%s as %s (metadata swap)" table column
+        (Datatype.to_string new_type)
+  | Index_rewrite { table; index; _ } ->
+      Printf.sprintf "rewrite index %s on %s" index table
+  | Rewrite_transaction_user { txn_id; user } ->
+      Printf.sprintf "attribute transaction %d to %s" txn_id user
+  | Fork_chain { block_id } ->
+      Printf.sprintf "fork the ledger chain at block %d" block_id
+  | Drop_and_recreate { table } ->
+      Printf.sprintf "drop and recreate %s with clean data" table
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let find_ordinal store column =
+  match Schema.ordinal (Table_store.schema store) column with
+  | Some i -> Ok i
+  | None -> err "no column %s" column
+
+let apply db attack =
+  match attack with
+  | Update_row { table; key; column; value } -> (
+      let lt = Database.ledger_table db table in
+      let main = Ledger_table.main lt in
+      match find_ordinal main column with
+      | Error e -> Error e
+      | Ok ordinal ->
+          if Table_store.Raw.overwrite_value main ~key ~ordinal value then Ok ()
+          else err "no row with that key in %s" table)
+  | Update_history_row { table; index; column; value } -> (
+      let lt = Database.ledger_table db table in
+      match Ledger_table.history lt with
+      | None -> err "%s has no history table" table
+      | Some h -> (
+          match find_ordinal h column with
+          | Error e -> Error e
+          | Ok ordinal -> (
+              let rows = Table_store.scan h in
+              match List.nth_opt rows index with
+              | None -> err "history has fewer than %d rows" (index + 1)
+              | Some row ->
+                  let key = Table_store.primary_key h row in
+                  if Table_store.Raw.overwrite_value h ~key ~ordinal value then
+                    Ok ()
+                  else err "history row vanished")))
+  | Delete_row { table; key } ->
+      let lt = Database.ledger_table db table in
+      if Table_store.Raw.delete_row (Ledger_table.main lt) ~key then Ok ()
+      else err "no row with that key in %s" table
+  | Delete_history_row { table; index } -> (
+      let lt = Database.ledger_table db table in
+      match Ledger_table.history lt with
+      | None -> err "%s has no history table" table
+      | Some h -> (
+          let rows = Table_store.scan h in
+          match List.nth_opt rows index with
+          | None -> err "history has fewer than %d rows" (index + 1)
+          | Some row ->
+              let key = Table_store.primary_key h row in
+              if Table_store.Raw.delete_row h ~key then Ok ()
+              else err "history row vanished"))
+  | Insert_fabricated_row { table; row } ->
+      let lt = Database.ledger_table db table in
+      Table_store.Raw.insert_row (Ledger_table.main lt) row;
+      Ok ()
+  | Metadata_swap { table; column; new_type } ->
+      let lt = Database.ledger_table db table in
+      let main = Ledger_table.main lt in
+      (match find_ordinal main column with
+      | Error e -> Error e
+      | Ok _ ->
+          Table_store.Raw.set_column_type main ~column new_type;
+          (match Ledger_table.history lt with
+          | Some h -> Table_store.Raw.set_column_type h ~column new_type
+          | None -> ());
+          Ok ())
+  | Index_rewrite { table; index; old_key; pk; new_key } ->
+      let lt = Database.ledger_table db table in
+      if
+        Table_store.Raw.overwrite_index_entry (Ledger_table.main lt)
+          ~index_name:index ~old_key ~pk ~new_key
+      then Ok ()
+      else err "no such index entry in %s.%s" table index
+  | Rewrite_transaction_user { txn_id; user } ->
+      let txn_table =
+        Database_ledger.raw_transactions_table (Database.ledger db)
+      in
+      if
+        Table_store.Raw.overwrite_value txn_table ~key:[| Value.Int txn_id |]
+          ~ordinal:4 (Value.String user)
+      then Ok ()
+      else err "transaction %d not in the flushed system table" txn_id
+  | Fork_chain { block_id } -> (
+      let dbl = Database.ledger db in
+      let blocks_table = Database_ledger.raw_blocks_table dbl in
+      let blocks = Database_ledger.blocks dbl in
+      match
+        List.find_opt (fun (b : Types.block) -> b.block_id = block_id) blocks
+      with
+      | None -> err "block %d is not closed" block_id
+      | Some _ ->
+          (* Overwrite the block's transaction root, then recompute and
+             rewrite every later block's prev_hash so the doctored chain is
+             internally consistent — only externally stored digests (or an
+             old digest checked for derivability) can expose the fork. *)
+          let fake_root =
+            Ledger_crypto.Sha256.digest_string
+              (Printf.sprintf "forged-root-%d" block_id)
+          in
+          ignore
+            (Table_store.Raw.overwrite_value blocks_table
+               ~key:[| Value.Int block_id |] ~ordinal:2
+               (Value.String (Hex.encode fake_root)));
+          let rec fix prev_hash id =
+            match
+              Table_store.find blocks_table ~key:[| Value.Int id |]
+            with
+            | None -> ()
+            | Some _ ->
+                ignore
+                  (Table_store.Raw.overwrite_value blocks_table
+                     ~key:[| Value.Int id |] ~ordinal:1
+                     (Value.String (Hex.encode prev_hash)));
+                (match Table_store.find blocks_table ~key:[| Value.Int id |] with
+                | Some r ->
+                    let b : Types.block =
+                      {
+                        block_id = id;
+                        prev_hash;
+                        txn_root =
+                          (match r.(2) with
+                          | Value.String s -> Hex.decode s
+                          | _ -> "");
+                        txn_count =
+                          (match r.(3) with Value.Int i -> i | _ -> 0);
+                        closed_ts =
+                          (match r.(4) with Value.Float f -> f | _ -> 0.);
+                      }
+                    in
+                    fix (Database_ledger.block_hash b) (id + 1)
+                | None -> ())
+          in
+          (* Recompute the tampered block's own hash, then ripple forward. *)
+          (match Table_store.find blocks_table ~key:[| Value.Int block_id |] with
+          | Some r ->
+              let b : Types.block =
+                {
+                  block_id;
+                  prev_hash =
+                    (match r.(1) with
+                    | Value.String "" -> ""
+                    | Value.String s -> Hex.decode s
+                    | _ -> "");
+                  txn_root = fake_root;
+                  txn_count = (match r.(3) with Value.Int i -> i | _ -> 0);
+                  closed_ts = (match r.(4) with Value.Float f -> f | _ -> 0.);
+                }
+              in
+              fix (Database_ledger.block_hash b) (block_id + 1)
+          | None -> ());
+          Ok ())
+  | Drop_and_recreate { table } ->
+      let lt = Database.ledger_table db table in
+      let schema = Ledger_table.schema lt in
+      let user_cols =
+        List.filter
+          (fun (c : Column.t) ->
+            not (List.mem c.name Sql_ledger.System_columns.names))
+          (Schema.columns schema)
+      in
+      let key_names =
+        List.map
+          (fun i -> (Schema.column schema i).Column.name)
+          (Table_store.key_ordinals (Ledger_table.main lt))
+      in
+      Database.drop_table db ~name:table;
+      let _new_lt =
+        Database.create_ledger_table db ~name:table ~columns:user_cols
+          ~key:key_names ()
+      in
+      Ok ()

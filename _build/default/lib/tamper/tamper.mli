@@ -1,0 +1,54 @@
+(** Scripted attacks against a SQL Ledger database (paper §2.5.2).
+
+    Every attack bypasses the database API and mutates storage directly —
+    the strong-adversary model (compromised process, direct file edits).
+    Tests and examples apply an attack and then assert that ledger
+    verification reports the corresponding violation. *)
+
+type attack =
+  | Update_row of {
+      table : string;
+      key : Relation.Row.t;
+      column : string;
+      value : Relation.Value.t;
+    }  (** rewrite a stored value of a current row *)
+  | Update_history_row of {
+      table : string;
+      index : int;
+      column : string;
+      value : Relation.Value.t;
+    }  (** rewrite the [index]-th history row (audit-trail tampering) *)
+  | Delete_row of { table : string; key : Relation.Row.t }
+      (** erase a current row from storage *)
+  | Delete_history_row of { table : string; index : int }
+      (** erase audit history *)
+  | Insert_fabricated_row of { table : string; row : Relation.Row.t }
+      (** plant a row with forged system columns (the user row plus the four
+          system values) *)
+  | Metadata_swap of {
+      table : string;
+      column : string;
+      new_type : Relation.Datatype.t;
+    }  (** the INT/SMALLINT reinterpretation attack of §3.2 *)
+  | Index_rewrite of {
+      table : string;
+      index : string;
+      old_key : Relation.Row.t;
+      pk : Relation.Row.t;
+      new_key : Relation.Row.t;
+    }  (** divert a non-clustered index while leaving the base table intact *)
+  | Rewrite_transaction_user of { txn_id : int; user : string }
+      (** falsify who executed a transaction *)
+  | Fork_chain of { block_id : int }
+      (** overwrite a closed block's transaction root and recompute the
+          chain from there — the fork attack that digest chain verification
+          (§3.3.1 requirement 3) must catch *)
+  | Drop_and_recreate of { table : string }
+      (** the attack of §3.5.2: drop a table and plant a same-named empty
+          one (metadata history exposes it) *)
+
+val describe : attack -> string
+
+val apply : Sql_ledger.Database.t -> attack -> (unit, string) result
+(** Execute the attack. [Error] means the attack found nothing to corrupt
+    (wrong key, missing index, …) — the database was not modified. *)

@@ -1,0 +1,1 @@
+lib/trusted_store/digest_manager.ml: Float List Printf Sql_ledger String Worm_store

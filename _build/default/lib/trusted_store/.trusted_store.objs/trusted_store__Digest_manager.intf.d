@@ -1,0 +1,1 @@
+lib/trusted_store/digest_manager.mli: Sql_ledger Worm_store

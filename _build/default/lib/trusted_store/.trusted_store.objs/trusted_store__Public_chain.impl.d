@@ -1,0 +1,1 @@
+lib/trusted_store/public_chain.ml: Array Ledger_crypto List String

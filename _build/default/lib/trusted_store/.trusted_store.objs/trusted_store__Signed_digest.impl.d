@@ -1,0 +1,1 @@
+lib/trusted_store/signed_digest.ml: Ledger_crypto Printf Sjson Sql_ledger String

@@ -1,0 +1,1 @@
+lib/trusted_store/signed_digest.mli: Ledger_crypto Sjson Sql_ledger

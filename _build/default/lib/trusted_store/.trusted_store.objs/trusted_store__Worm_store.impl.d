@@ -1,0 +1,1 @@
+lib/trusted_store/worm_store.ml: Array Filename Hashtbl Ledger_crypto List Option Printf String Sys Unix

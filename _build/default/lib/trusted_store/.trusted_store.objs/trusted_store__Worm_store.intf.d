@@ -1,0 +1,1 @@
+lib/trusted_store/worm_store.mli:

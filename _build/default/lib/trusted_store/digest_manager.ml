@@ -1,0 +1,91 @@
+module Digest = Sql_ledger.Digest
+module Database = Sql_ledger.Database
+
+type t = {
+  store : Worm_store.t;
+  replicated_upto : unit -> float;
+  alert_after : int;
+  mutable deferrals : int;
+}
+
+type upload_outcome =
+  | Uploaded of Digest.t
+  | Nothing_to_upload
+  | Deferred_replication_lag
+  | Alert_replication_stuck
+
+let create ?(replicated_upto = fun () -> infinity) ?(alert_after_deferrals = 5)
+    ~store () =
+  { store; replicated_upto; alert_after = alert_after_deferrals; deferrals = 0 }
+
+let blob_of ~db_id ~create_time =
+  Printf.sprintf "digests/%s/%.6f" db_id create_time
+
+let upload t db =
+  let ledger = Database.ledger db in
+  let last_commit = Sql_ledger.Database_ledger.last_commit_ts ledger in
+  if last_commit = 0. then Nothing_to_upload
+  else if last_commit > t.replicated_upto () then begin
+    (* §3.6: only issue digests for data already replicated to the
+       geo-secondary; a digest must never reference data that a failover
+       could lose. *)
+    t.deferrals <- t.deferrals + 1;
+    if t.deferrals >= t.alert_after then Alert_replication_stuck
+    else Deferred_replication_lag
+  end
+  else begin
+    t.deferrals <- 0;
+    match Database.generate_digest db with
+    | None -> Nothing_to_upload
+    | Some d ->
+        let blob =
+          blob_of ~db_id:d.Digest.database_id ~create_time:d.Digest.db_create_time
+        in
+        (match Worm_store.append t.store ~blob (Digest.to_string d) with
+        | Ok () -> Uploaded d
+        | Error e -> Sql_ledger.Types.errorf "digest upload failed: %s" e)
+  end
+
+let digests_for_incarnation t ~db_id ~create_time =
+  match Worm_store.read t.store ~blob:(blob_of ~db_id ~create_time) with
+  | Error e -> Error e
+  | Ok chunks ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | chunk :: rest -> (
+            match Digest.of_string chunk with
+            | Ok d -> go (d :: acc) rest
+            | Error e -> Error e)
+      in
+      go [] chunks
+
+let all_digests t ~db_id =
+  let prefix = Printf.sprintf "digests/%s/" db_id in
+  Worm_store.list_blobs t.store
+  |> List.filter_map (fun blob ->
+         if
+           String.length blob > String.length prefix
+           && String.sub blob 0 (String.length prefix) = prefix
+         then
+           let ct =
+             String.sub blob (String.length prefix)
+               (String.length blob - String.length prefix)
+           in
+           match float_of_string_opt ct with
+           | Some create_time -> (
+               match digests_for_incarnation t ~db_id ~create_time with
+               | Ok ds -> Some (create_time, ds)
+               | Error _ -> None)
+           | None -> None
+         else None)
+  |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+
+let latest_digest t ~db =
+  match
+    digests_for_incarnation t ~db_id:(Database.database_id db)
+      ~create_time:(Database.create_time db)
+  with
+  | Ok ds -> ( match List.rev ds with d :: _ -> Some d | [] -> None)
+  | Error _ -> None
+
+let deferral_count t = t.deferrals

@@ -1,0 +1,49 @@
+(** Automated digest management (paper §2.4, §3.6).
+
+    Periodically uploads Database Digests to the WORM store under a path
+    that encodes the database id and its current *incarnation* (create
+    time), so that digests survive point-in-time restores and every
+    incarnation's digests remain available to verification. Digest issuance
+    is gated on geo-replication: a digest is only issued once its last
+    commit has reached the secondary, and a persistent lag raises an
+    alert. *)
+
+type t
+
+type upload_outcome =
+  | Uploaded of Sql_ledger.Digest.t
+  | Nothing_to_upload        (** no transaction committed yet *)
+  | Deferred_replication_lag (** secondary too far behind; retry later *)
+  | Alert_replication_stuck  (** lag persisted past the alert threshold *)
+
+val create :
+  ?replicated_upto:(unit -> float) ->
+  ?alert_after_deferrals:int ->
+  store:Worm_store.t ->
+  unit ->
+  t
+(** [replicated_upto ()] reports the commit timestamp up to which the
+    geo-secondary has caught up (defaults to "fully caught up").
+    [alert_after_deferrals] (default 5) consecutive deferrals escalate to
+    {!Alert_replication_stuck}. *)
+
+val upload : t -> Sql_ledger.Database.t -> upload_outcome
+(** Generate a digest (closing the current block) and append it to the
+    incarnation's blob. *)
+
+val blob_of : db_id:string -> create_time:float -> string
+(** Blob naming scheme: ["digests/<db_id>/<create_time>"]. *)
+
+val digests_for_incarnation :
+  t -> db_id:string -> create_time:float -> (Sql_ledger.Digest.t list, string) result
+
+val all_digests : t -> db_id:string -> (float * Sql_ledger.Digest.t list) list
+(** Digests grouped by incarnation create time (ascending) — the
+    cross-incarnation view verification uses after restores (§3.6). Users
+    can inspect this to spot when the database was restored and how far
+    back. *)
+
+val latest_digest : t -> db:Sql_ledger.Database.t -> Sql_ledger.Digest.t option
+(** Most recent digest stored for the database's current incarnation. *)
+
+val deferral_count : t -> int

@@ -1,0 +1,79 @@
+module Sha256 = Ledger_crypto.Sha256
+
+type block = {
+  mutable payloads : string array;  (* payload hashes, mutable for Hostile *)
+  prev_hash : string;
+}
+
+type t = {
+  confirmations_required : int;
+  mutable blocks : block list;  (* newest first *)
+  mutable pending : string list;  (* newest first *)
+}
+
+type receipt = { payload_hash : string; height : int }
+
+let create ?(confirmations_required = 6) () =
+  { confirmations_required; blocks = []; pending = [] }
+
+let block_hash b =
+  let t = Sha256.init () in
+  Sha256.feed_string t "public-chain-block:";
+  Sha256.feed_string t b.prev_hash;
+  Array.iter (Sha256.feed_string t) b.payloads;
+  Sha256.get t
+
+let height t = List.length t.blocks
+
+let submit t payload =
+  let payload_hash = Sha256.digest_string payload in
+  t.pending <- payload_hash :: t.pending;
+  { payload_hash; height = height t }
+
+let mine_block t =
+  let prev_hash =
+    match t.blocks with [] -> "" | b :: _ -> block_hash b
+  in
+  let block =
+    { payloads = Array.of_list (List.rev t.pending); prev_hash }
+  in
+  t.pending <- [];
+  t.blocks <- block :: t.blocks
+
+let confirmed t r = height t - r.height >= t.confirmations_required
+
+let nth_block t h =
+  (* blocks is newest first; height h is the (len - 1 - h)-th element *)
+  if h < 0 || h >= height t then None
+  else List.nth_opt t.blocks (height t - 1 - h)
+
+let chain_valid t =
+  let rec go = function
+    | [] | [ _ ] -> true
+    | newer :: (older :: _ as rest) ->
+        String.equal newer.prev_hash (block_hash older) && go rest
+  in
+  go t.blocks
+
+let verify_anchor t r ~payload =
+  chain_valid t
+  &&
+  match nth_block t r.height with
+  | None -> false
+  | Some b ->
+      Array.exists
+        (String.equal (Sha256.digest_string payload))
+        b.payloads
+      && String.equal r.payload_hash (Sha256.digest_string payload)
+
+module Hostile = struct
+  let rewrite_payload t ~height:h ~index data =
+    match nth_block t h with
+    | None -> false
+    | Some b ->
+        if index < 0 || index >= Array.length b.payloads then false
+        else begin
+          b.payloads.(index) <- Sha256.digest_string data;
+          true
+        end
+end

@@ -1,0 +1,46 @@
+(** A simulated public blockchain for digest anchoring (paper §2.4).
+
+    "Database Digests can be ... uploaded to a Public Blockchain, such as
+    Bitcoin or Ethereum." This module models the properties that option
+    relies on: submitted payloads are batched into hash-linked chain blocks,
+    become immutable once buried under enough confirmations, and anyone
+    holding the chain can verify that a given payload was anchored at a
+    given height. Consensus itself is out of scope — the simulation is the
+    ledger structure an anchor verifier consumes. *)
+
+type t
+
+type receipt = {
+  payload_hash : string;  (** SHA-256 of the anchored payload *)
+  height : int;           (** chain block the payload landed in *)
+}
+
+val create : ?confirmations_required:int -> unit -> t
+(** [confirmations_required] defaults to 6. *)
+
+val submit : t -> string -> receipt
+(** Queue a payload for the next block; returns its future location. *)
+
+val mine_block : t -> unit
+(** Produce the next chain block from queued submissions (or an empty
+    block). *)
+
+val height : t -> int
+(** Number of mined blocks. *)
+
+val confirmed : t -> receipt -> bool
+(** Whether the receipt's block is buried under the required
+    confirmations. *)
+
+val verify_anchor : t -> receipt -> payload:string -> bool
+(** The payload was anchored at the receipt's height and the chain above it
+    links correctly. *)
+
+val chain_valid : t -> bool
+(** Internal hash links all hold (a tampered simulation would fail). *)
+
+module Hostile : sig
+  val rewrite_payload : t -> height:int -> index:int -> string -> bool
+  (** Mutate an anchored payload hash in place; {!chain_valid} and
+      {!verify_anchor} expose it. *)
+end

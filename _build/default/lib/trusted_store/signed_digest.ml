@@ -1,0 +1,83 @@
+module Digest = Sql_ledger.Digest
+module Lamport = Ledger_crypto.Lamport
+module Hex = Ledger_crypto.Hex
+
+type t = {
+  digest : Digest.t;
+  index : int;
+  public_key : Lamport.public_key;
+  signature : Lamport.signature;
+}
+
+let key_seed ~seed ~index = Printf.sprintf "%s:digest:%d" seed index
+
+(* The signed message is the canonical digest JSON. *)
+let message digest = Sjson.to_string (Digest.to_json digest)
+
+let sign ~seed ~index digest =
+  let sk, pk = Lamport.generate ~seed:(key_seed ~seed ~index) in
+  { digest; index; public_key = pk; signature = Lamport.sign sk (message digest) }
+
+let fingerprint ~seed ~index =
+  let _, pk = Lamport.generate ~seed:(key_seed ~seed ~index) in
+  Lamport.fingerprint pk
+
+let verify ?expected_fingerprint t =
+  if not (Lamport.verify t.public_key ~msg:(message t.digest) t.signature)
+  then Error "digest signature is invalid"
+  else
+    match expected_fingerprint with
+    | Some fp when not (String.equal fp (Lamport.fingerprint t.public_key)) ->
+        Error "signing key does not match the company's published fingerprint"
+    | _ -> Ok ()
+
+let to_json t =
+  Sjson.Obj
+    [
+      ("digest", Digest.to_json t.digest);
+      ("index", Sjson.Int t.index);
+      ( "public_key",
+        Sjson.String (Hex.encode (Lamport.public_key_to_string t.public_key)) );
+      ( "signature",
+        Sjson.String (Hex.encode (Lamport.signature_to_string t.signature)) );
+    ]
+
+let of_json json =
+  try
+    let digest =
+      match Digest.of_json (Sjson.member "digest" json) with
+      | Ok d -> d
+      | Error e -> failwith e
+    in
+    let public_key =
+      match
+        Lamport.public_key_of_string
+          (Hex.decode (Sjson.get_string (Sjson.member "public_key" json)))
+      with
+      | Some pk -> pk
+      | None -> failwith "malformed public key"
+    in
+    let signature =
+      match
+        Lamport.signature_of_string
+          (Hex.decode (Sjson.get_string (Sjson.member "signature" json)))
+      with
+      | Some s -> s
+      | None -> failwith "malformed signature"
+    in
+    Ok
+      {
+        digest;
+        index = Sjson.get_int (Sjson.member "index" json);
+        public_key;
+        signature;
+      }
+  with
+  | Failure e | Invalid_argument e -> Error ("malformed signed digest: " ^ e)
+
+let to_string t = Sjson.to_string ~pretty:true (to_json t)
+
+let of_string s =
+  match Sjson.of_string s with
+  | exception Sjson.Parse_error e -> Error e
+  | json -> of_json json

@@ -1,0 +1,29 @@
+(** Company-signed digests (paper §2.4).
+
+    "Database Digests can be ... signed with the company's private/public
+    key pair, to guarantee their authenticity, and shared with any
+    customers, partners or auditors." Each digest is signed under a one-time
+    key derived from the company seed and the digest's position; the
+    published artifact carries the digest, the signature and the public key,
+    and verifiers pin the company by the key fingerprint. *)
+
+type t = {
+  digest : Sql_ledger.Digest.t;
+  index : int;  (** position in the company's signing sequence *)
+  public_key : Ledger_crypto.Lamport.public_key;
+  signature : Ledger_crypto.Lamport.signature;
+}
+
+val sign : seed:string -> index:int -> Sql_ledger.Digest.t -> t
+(** Never reuse an (seed, index) pair for two different digests. *)
+
+val fingerprint : seed:string -> index:int -> string
+(** Fingerprint of the key for [index] — companies publish these (or a
+    commitment to the sequence) ahead of time. *)
+
+val verify : ?expected_fingerprint:string -> t -> (unit, string) result
+
+val to_json : t -> Sjson.t
+val of_json : Sjson.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result

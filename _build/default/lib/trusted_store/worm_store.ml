@@ -1,0 +1,122 @@
+module Hmac = Ledger_crypto.Hmac
+module Hex = Ledger_crypto.Hex
+
+type blob = { mutable chunks : string list (* newest first *); mutable sealed : bool }
+
+type t = {
+  blobs : (string, blob) Hashtbl.t;
+  dir : string option;
+  hmac_key : string option;
+  mutable rejected : int;
+}
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?dir ?hmac_key () =
+  Option.iter mkdir_p dir;
+  { blobs = Hashtbl.create 16; dir; hmac_key; rejected = 0 }
+
+let encode_chunk t data =
+  match t.hmac_key with
+  | None -> data
+  | Some key -> Hex.encode (Hmac.mac ~key data) ^ ":" ^ data
+
+let decode_chunk t chunk =
+  match t.hmac_key with
+  | None -> Ok chunk
+  | Some key -> (
+      match String.index_opt chunk ':' with
+      | None -> Error "chunk missing authentication tag"
+      | Some i ->
+          let tag_hex = String.sub chunk 0 i in
+          let data = String.sub chunk (i + 1) (String.length chunk - i - 1) in
+          if
+            Hex.is_hex tag_hex
+            && Hmac.verify ~key ~msg:data ~tag:(Hex.decode tag_hex)
+          then Ok data
+          else Error "chunk failed authentication: store was tampered with")
+
+let file_name t blob =
+  Option.map
+    (fun d ->
+      (* Blob names may contain '/'; flatten for the mirror file. *)
+      Filename.concat d
+        (String.map (fun c -> if c = '/' then '_' else c) blob ^ ".blob"))
+    t.dir
+
+let mirror t blob_name b =
+  match file_name t blob_name with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      List.iter
+        (fun chunk ->
+          output_string oc chunk;
+          output_char oc '\n')
+        (List.rev b.chunks);
+      close_out oc
+
+let append t ~blob data =
+  let b =
+    match Hashtbl.find_opt t.blobs blob with
+    | Some b -> b
+    | None ->
+        let b = { chunks = []; sealed = false } in
+        Hashtbl.add t.blobs blob b;
+        b
+  in
+  if b.sealed then begin
+    t.rejected <- t.rejected + 1;
+    Error (Printf.sprintf "blob %s is sealed (immutable)" blob)
+  end
+  else begin
+    b.chunks <- encode_chunk t data :: b.chunks;
+    mirror t blob b;
+    Ok ()
+  end
+
+let seal t ~blob =
+  match Hashtbl.find_opt t.blobs blob with
+  | Some b -> b.sealed <- true
+  | None -> Hashtbl.add t.blobs blob { chunks = []; sealed = true }
+
+let read t ~blob =
+  match Hashtbl.find_opt t.blobs blob with
+  | None -> Error (Printf.sprintf "no blob named %s" blob)
+  | Some b ->
+      let rec go acc = function
+        | [] -> Ok acc
+        | chunk :: rest -> (
+            match decode_chunk t chunk with
+            | Ok data -> go (data :: acc) rest
+            | Error e -> Error e)
+      in
+      go [] b.chunks
+
+let list_blobs t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.blobs []
+  |> List.sort String.compare
+
+let exists t ~blob = Hashtbl.mem t.blobs blob
+
+let rejected_writes t = t.rejected
+
+module Hostile = struct
+  let corrupt_chunk t ~blob ~index data =
+    match Hashtbl.find_opt t.blobs blob with
+    | None -> false
+    | Some b ->
+        let chunks = Array.of_list (List.rev b.chunks) in
+        if index < 0 || index >= Array.length chunks then false
+        else begin
+          (* Deliberately skip encode_chunk: a hostile write does not know
+             the customer's HMAC key. *)
+          chunks.(index) <- data;
+          b.chunks <- List.rev (Array.to_list chunks);
+          true
+        end
+end

@@ -1,0 +1,39 @@
+(** Write-once-read-many blob store — the stand-in for Azure Immutable Blob
+    Storage (paper §2.4, §3.6).
+
+    Blobs are append-only: chunks can be added but never modified or
+    removed, and a sealed blob rejects further appends. Overwrite attempts
+    are counted so tests can assert that the immutability property was
+    actually exercised. Optionally file-backed (one file per blob under a
+    directory), and optionally HMAC-authenticated with a customer-held key —
+    the "store digests outside the cloud, signed" option of §2.4. *)
+
+type t
+
+val create : ?dir:string -> ?hmac_key:string -> unit -> t
+(** [dir]: mirror blobs to disk. [hmac_key]: authenticate every chunk. *)
+
+val append : t -> blob:string -> string -> (unit, string) result
+(** Add a chunk to a blob (creating the blob if needed). Fails on sealed
+    blobs. *)
+
+val seal : t -> blob:string -> unit
+
+val read : t -> blob:string -> (string list, string) result
+(** All chunks in append order. Verifies HMACs when a key is set; a
+    tampered mirror file surfaces here as an error. *)
+
+val list_blobs : t -> string list
+(** Sorted. *)
+
+val exists : t -> blob:string -> bool
+
+val rejected_writes : t -> int
+(** Number of refused modification attempts so far. *)
+
+module Hostile : sig
+  val corrupt_chunk : t -> blob:string -> index:int -> string -> bool
+  (** What a *compromised* store would do — flips a stored chunk in place,
+      bypassing the WORM discipline. Returns false when absent. With an
+      HMAC key set, subsequent reads detect the corruption. *)
+end

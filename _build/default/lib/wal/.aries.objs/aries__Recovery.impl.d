@@ -1,0 +1,1 @@
+lib/wal/recovery.ml: List Log_record Result Wal

@@ -1,0 +1,1 @@
+lib/wal/wal.ml: List Log_record Option String

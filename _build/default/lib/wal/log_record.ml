@@ -1,0 +1,136 @@
+module Hex = Ledger_crypto.Hex
+
+type commit_info = {
+  txn_id : int;
+  commit_ts : float;
+  user : string;
+  block_id : int;
+  ordinal : int;
+  table_roots : (int * string) list;
+}
+
+type t =
+  | Begin of { txn_id : int }
+  | Commit of commit_info
+  | Abort of { txn_id : int }
+  | Checkpoint of { flushed_upto_lsn : int }
+  | Data of { txn_id : int; ops : Sjson.t }
+  | Ddl of { payload : Sjson.t }
+  | Block_close of { block_id : int; closed_ts : float }
+
+let to_json = function
+  | Begin { txn_id } ->
+      Sjson.Obj [ ("type", Sjson.String "begin"); ("txn_id", Sjson.Int txn_id) ]
+  | Abort { txn_id } ->
+      Sjson.Obj [ ("type", Sjson.String "abort"); ("txn_id", Sjson.Int txn_id) ]
+  | Checkpoint { flushed_upto_lsn } ->
+      Sjson.Obj
+        [
+          ("type", Sjson.String "checkpoint");
+          ("flushed_upto_lsn", Sjson.Int flushed_upto_lsn);
+        ]
+  | Data { txn_id; ops } ->
+      Sjson.Obj
+        [
+          ("type", Sjson.String "data");
+          ("txn_id", Sjson.Int txn_id);
+          ("ops", ops);
+        ]
+  | Ddl { payload } ->
+      Sjson.Obj [ ("type", Sjson.String "ddl"); ("payload", payload) ]
+  | Block_close { block_id; closed_ts } ->
+      Sjson.Obj
+        [
+          ("type", Sjson.String "block_close");
+          ("block_id", Sjson.Int block_id);
+          ("closed_ts", Sjson.Float closed_ts);
+        ]
+  | Commit c ->
+      Sjson.Obj
+        [
+          ("type", Sjson.String "commit");
+          ("txn_id", Sjson.Int c.txn_id);
+          ("commit_ts", Sjson.Float c.commit_ts);
+          ("user", Sjson.String c.user);
+          ("block_id", Sjson.Int c.block_id);
+          ("ordinal", Sjson.Int c.ordinal);
+          ( "table_roots",
+            Sjson.List
+              (List.map
+                 (fun (tid, root) ->
+                   Sjson.Obj
+                     [
+                       ("table_id", Sjson.Int tid);
+                       ("root", Sjson.String (Hex.encode root));
+                     ])
+                 c.table_roots) );
+        ]
+
+let of_json json =
+  try
+    match Sjson.member "type" json with
+    | Sjson.String "begin" ->
+        Ok (Begin { txn_id = Sjson.get_int (Sjson.member "txn_id" json) })
+    | Sjson.String "abort" ->
+        Ok (Abort { txn_id = Sjson.get_int (Sjson.member "txn_id" json) })
+    | Sjson.String "checkpoint" ->
+        Ok
+          (Checkpoint
+             {
+               flushed_upto_lsn =
+                 Sjson.get_int (Sjson.member "flushed_upto_lsn" json);
+             })
+    | Sjson.String "data" ->
+        Ok
+          (Data
+             {
+               txn_id = Sjson.get_int (Sjson.member "txn_id" json);
+               ops = Sjson.member "ops" json;
+             })
+    | Sjson.String "ddl" -> Ok (Ddl { payload = Sjson.member "payload" json })
+    | Sjson.String "block_close" ->
+        let closed_ts =
+          match Sjson.member "closed_ts" json with
+          | Sjson.Float f -> f
+          | Sjson.Int i -> float_of_int i
+          | _ -> failwith "closed_ts"
+        in
+        Ok
+          (Block_close
+             { block_id = Sjson.get_int (Sjson.member "block_id" json); closed_ts })
+    | Sjson.String "commit" ->
+        let commit_ts =
+          match Sjson.member "commit_ts" json with
+          | Sjson.Float f -> f
+          | Sjson.Int i -> float_of_int i
+          | _ -> failwith "commit_ts"
+        in
+        let table_roots =
+          Sjson.get_list (Sjson.member "table_roots" json)
+          |> List.map (fun entry ->
+                 ( Sjson.get_int (Sjson.member "table_id" entry),
+                   Hex.decode (Sjson.get_string (Sjson.member "root" entry)) ))
+        in
+        Ok
+          (Commit
+             {
+               txn_id = Sjson.get_int (Sjson.member "txn_id" json);
+               commit_ts;
+               user = Sjson.get_string (Sjson.member "user" json);
+               block_id = Sjson.get_int (Sjson.member "block_id" json);
+               ordinal = Sjson.get_int (Sjson.member "ordinal" json);
+               table_roots;
+             })
+    | Sjson.String other -> Error ("unknown log record type: " ^ other)
+    | _ -> Error "log record missing type field"
+  with
+  | Invalid_argument e | Failure e -> Error ("malformed log record: " ^ e)
+
+let to_line t = Sjson.to_string (to_json t)
+
+let of_line line =
+  match Sjson.of_string line with
+  | exception Sjson.Parse_error e -> Error e
+  | json -> of_json json
+
+let pp fmt t = Format.pp_print_string fmt (to_line t)

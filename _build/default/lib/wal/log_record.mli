@@ -1,0 +1,45 @@
+(** Write-ahead-log records (paper §3.3.2).
+
+    SQL Ledger extends the COMMIT record with the ledger transaction entry:
+    the block id and the transaction's ordinal within the block, plus the
+    per-table Merkle roots — everything needed to reconstruct the in-memory
+    Database Ledger queue during the analysis phase of recovery. *)
+
+type commit_info = {
+  txn_id : int;
+  commit_ts : float;  (** seconds since the Unix epoch *)
+  user : string;      (** identity that executed the transaction *)
+  block_id : int;     (** ledger block the transaction was assigned to *)
+  ordinal : int;      (** position within the block *)
+  table_roots : (int * string) list;
+      (** (ledger table id, Merkle root over the row versions the
+          transaction wrote in that table) — the paper's
+          (ledger_table_id, merkle_root_hash) tuples *)
+}
+
+type t =
+  | Begin of { txn_id : int }
+  | Commit of commit_info
+  | Abort of { txn_id : int }
+  | Checkpoint of { flushed_upto_lsn : int }
+      (** All COMMIT records with LSN <= [flushed_upto_lsn] have had their
+          ledger entries flushed to the transactions system table. *)
+  | Data of { txn_id : int; ops : Sjson.t }
+      (** Logical redo: the row operations of a transaction, written just
+          before its COMMIT. The payload shape belongs to the database
+          layer; the log treats it as opaque JSON. *)
+  | Ddl of { payload : Sjson.t }
+      (** Structural change (create/drop table, column, index), applied
+          outside any transaction during replay. *)
+  | Block_close of { block_id : int; closed_ts : float }
+      (** A ledger block closed (by fill or digest generation); replay
+          closes blocks at the same points so block boundaries — and hence
+          digests — reproduce exactly. *)
+
+val to_json : t -> Sjson.t
+val of_json : Sjson.t -> (t, string) result
+val to_line : t -> string
+(** Single-line JSON, the on-disk format. *)
+
+val of_line : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type analysis = {
+  pending_commits : Log_record.commit_info list;
+  last_checkpoint_lsn : Wal.lsn option;
+  highest_txn_id : int;
+  highest_block_id : int;
+}
+
+let analyze entries =
+  (* Pass 1: the latest checkpoint tells us which commits were already
+     flushed to the system table. *)
+  let flushed_upto, last_checkpoint_lsn =
+    List.fold_left
+      (fun (upto, ckpt) (lsn, record) ->
+        match record with
+        | Log_record.Checkpoint { flushed_upto_lsn } ->
+            (flushed_upto_lsn, Some lsn)
+        | _ -> (upto, ckpt))
+      (0, None) entries
+  in
+  let pending_commits, highest_txn_id, highest_block_id =
+    List.fold_left
+      (fun (pending, hi_txn, hi_block) (lsn, record) ->
+        match record with
+        | Log_record.Commit c ->
+            let pending =
+              if lsn > flushed_upto then c :: pending else pending
+            in
+            (pending, max hi_txn c.txn_id, max hi_block c.block_id)
+        | Log_record.Begin { txn_id } | Log_record.Abort { txn_id } ->
+            (pending, max hi_txn txn_id, hi_block)
+        | Log_record.Checkpoint _ | Log_record.Data _ | Log_record.Ddl _
+        | Log_record.Block_close _ ->
+            (pending, hi_txn, hi_block))
+      ([], 0, 0) entries
+  in
+  {
+    pending_commits = List.rev pending_commits;
+    last_checkpoint_lsn;
+    highest_txn_id;
+    highest_block_id;
+  }
+
+let analyze_file path = Result.map analyze (Wal.load path)

@@ -1,0 +1,20 @@
+(** Analysis phase of recovery (paper §3.3.2).
+
+    After a failure, the Database Ledger's in-memory queue — commit entries
+    not yet flushed to the transactions system table — is reconstructed by
+    scanning COMMIT records logged after the last checkpoint. *)
+
+type analysis = {
+  pending_commits : Log_record.commit_info list;
+      (** Commits whose ledger entries must be re-inserted into the
+          in-memory queue, in LSN order. *)
+  last_checkpoint_lsn : Wal.lsn option;
+  highest_txn_id : int;  (** for restarting the transaction id allocator *)
+  highest_block_id : int;  (** for restarting block assignment *)
+}
+
+val analyze : (Wal.lsn * Log_record.t) list -> analysis
+(** Pure function over a log's records. *)
+
+val analyze_file : string -> (analysis, string) result
+(** {!Wal.load} followed by {!analyze}. *)

@@ -1,0 +1,64 @@
+type lsn = int
+
+type t = {
+  mutable entries : (lsn * Log_record.t) list;  (* newest first *)
+  mutable next_lsn : lsn;
+  channel : out_channel option;
+}
+
+let create ?path () =
+  let channel = Option.map open_out path in
+  { entries = []; next_lsn = 1; channel }
+
+let append t record =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  t.entries <- (lsn, record) :: t.entries;
+  (match t.channel with
+  | Some oc ->
+      output_string oc (Log_record.to_line record);
+      output_char oc '\n';
+      flush oc
+  | None -> ());
+  lsn
+
+let last_lsn t = t.next_lsn - 1
+
+let records t = List.rev t.entries
+
+let records_from t after = List.filter (fun (l, _) -> l > after) (records t)
+
+let close t = Option.iter close_out t.channel
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let out = ref [] in
+      let lsn = ref 0 in
+      let err = ref None in
+      (try
+         let continue = ref true in
+         while !continue do
+           match input_line ic with
+           | exception End_of_file -> continue := false
+           | line when String.trim line = "" -> ()
+           | line -> (
+               match Log_record.of_line line with
+               | Ok r ->
+                   incr lsn;
+                   out := (!lsn, r) :: !out
+               | Error _ ->
+                   (* A torn final line is expected after a crash; a torn
+                      line in the middle means real corruption. *)
+                   if in_channel_length ic = pos_in ic then continue := false
+                   else begin
+                     err := Some "corrupt WAL record before end of file";
+                     continue := false
+                   end)
+         done
+       with e ->
+         close_in_noerr ic;
+         raise e);
+      close_in_noerr ic;
+      match !err with Some e -> Error e | None -> Ok (List.rev !out)

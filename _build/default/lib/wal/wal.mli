@@ -1,0 +1,30 @@
+(** Append-only write-ahead log with monotonically increasing LSNs.
+
+    The log lives in memory and can additionally be mirrored to a file (one
+    JSON record per line), which is what crash-recovery tests replay. *)
+
+type t
+
+type lsn = int
+
+val create : ?path:string -> unit -> t
+(** When [path] is given, every append is written through and flushed to the
+    file (truncating any existing file). *)
+
+val append : t -> Log_record.t -> lsn
+(** Durably append a record; returns its LSN (starting at 1). *)
+
+val last_lsn : t -> lsn
+(** 0 when empty. *)
+
+val records : t -> (lsn * Log_record.t) list
+(** All records, in LSN order. *)
+
+val records_from : t -> lsn -> (lsn * Log_record.t) list
+(** Records with LSN strictly greater than the argument. *)
+
+val close : t -> unit
+
+val load : string -> ((lsn * Log_record.t) list, string) result
+(** Read a log file back. Tolerates a torn (partial) final line, which is
+    dropped — the standard crash semantics of a WAL tail. *)

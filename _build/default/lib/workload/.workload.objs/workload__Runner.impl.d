@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Float Unix

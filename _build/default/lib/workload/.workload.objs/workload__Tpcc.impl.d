@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Array Column Database Datatype List Option Printf Prng Relation Row Sql_ledger Value Wtable

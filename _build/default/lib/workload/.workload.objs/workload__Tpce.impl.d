@@ -1,0 +1,1 @@
+lib/workload/tpce.ml: Array Column Database Datatype Float List Option Printf Prng Relation Row Sql_ledger Value Wtable

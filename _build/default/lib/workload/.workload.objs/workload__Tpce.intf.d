@@ -1,0 +1,1 @@
+lib/workload/tpce.mli: Prng Sql_ledger

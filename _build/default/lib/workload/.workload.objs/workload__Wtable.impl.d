@@ -1,0 +1,1 @@
+lib/workload/wtable.ml: Database Ledger_table List Option Sql_ledger Storage Txn

@@ -1,0 +1,1 @@
+lib/workload/wtable.mli: Relation Sql_ledger

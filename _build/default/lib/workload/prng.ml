@@ -1,0 +1,43 @@
+type t = { mutable state : int64; c_const : int }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_u64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let t = { state = Int64.of_int seed; c_const = 0 } in
+  let c = Int64.to_int (Int64.logand (next_u64 t) 0x3FFL) in
+  { t with c_const = c }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let v = Int64.to_int (next_u64 t) land max_int in
+  v mod bound
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  let v = Int64.to_float (Int64.shift_right_logical (next_u64 t) 11) in
+  x *. (v /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_u64 t) 1L = 1L
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | items -> List.nth items (int t (List.length items))
+
+let nurand t ~a ~x ~y =
+  let c = t.c_const mod (a + 1) in
+  (((range t 0 a lor range t x y) + c) mod (y - x + 1)) + x
+
+let alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+let alnum_string t len =
+  String.init len (fun _ -> alphabet.[int t (String.length alphabet)])

@@ -1,0 +1,31 @@
+(** Deterministic PRNG (splitmix64) for reproducible workload generation.
+
+    The standard library's [Random] is avoided so that runs are bit-stable
+    across OCaml versions and the TPC-C NURand constant-selection rules can
+    be honoured. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val int : t -> int -> int
+(** [int t bound] ∈ [0, bound). Raises [Invalid_argument] when bound <= 0. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] ∈ [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t x] ∈ [0, x). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. Raises [Invalid_argument] on an empty list. *)
+
+val nurand : t -> a:int -> x:int -> y:int -> int
+(** TPC-C NURand(A, x, y) non-uniform distribution (clause 2.1.6), with a
+    fixed C constant derived from the seed. *)
+
+val alnum_string : t -> int -> string
+(** Random alphanumeric string of the given length. *)

@@ -1,0 +1,17 @@
+type measurement = { transactions : int; elapsed_s : float; tps : float }
+
+let time f =
+  let start = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. start
+
+let measure ~transactions f =
+  let elapsed_s = time f in
+  {
+    transactions;
+    elapsed_s;
+    tps = float_of_int transactions /. Float.max 1e-9 elapsed_s;
+  }
+
+let throughput_delta_pct ~baseline ~ledgered =
+  (ledgered.tps -. baseline.tps) /. baseline.tps *. 100.0

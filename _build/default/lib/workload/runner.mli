@@ -1,0 +1,18 @@
+(** Throughput measurement harness for the Figure 7 comparison. *)
+
+type measurement = {
+  transactions : int;
+  elapsed_s : float;
+  tps : float;
+}
+
+val time : (unit -> unit) -> float
+(** Wall-clock seconds. *)
+
+val measure : transactions:int -> (unit -> unit) -> measurement
+(** Run the thunk (which should execute [transactions] transactions) and
+    derive throughput. *)
+
+val throughput_delta_pct : baseline:measurement -> ledgered:measurement -> float
+(** Percentage difference of the ledgered run against the baseline, negative
+    when slower — the number Figure 7 reports. *)

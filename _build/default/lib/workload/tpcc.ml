@@ -1,0 +1,421 @@
+open Relation
+open Sql_ledger
+
+type config = {
+  warehouses : int;
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+  ledgered : bool;
+}
+
+let default_config =
+  {
+    warehouses = 1;
+    districts_per_warehouse = 4;
+    customers_per_district = 30;
+    items = 100;
+    ledgered = true;
+  }
+
+type t = {
+  db : Database.t;
+  cfg : config;
+  warehouse : Wtable.t;
+  district : Wtable.t;
+  customer : Wtable.t;
+  history : Wtable.t;   (* ledgered *)
+  new_order_t : Wtable.t;  (* ledgered *)
+  orders : Wtable.t;    (* ledgered *)
+  order_line : Wtable.t;  (* ledgered *)
+  item : Wtable.t;
+  stock : Wtable.t;
+  mutable next_history_id : int;
+}
+
+let database t = t.db
+let config t = t.cfg
+
+let vi = Value.int
+let vs s = Value.String s
+let vf = Value.float
+
+let col = Column.make
+
+let setup db cfg =
+  let regular = Wtable.create_regular db in
+  let maybe_ledgered = Wtable.create db ~ledgered:cfg.ledgered in
+  let warehouse =
+    regular ~name:"warehouse"
+      ~columns:
+        [
+          col "w_id" Datatype.Int;
+          col "w_name" (Datatype.Varchar 10);
+          col "w_tax" Datatype.Float;
+          col "w_ytd" Datatype.Float;
+        ]
+      ~key:[ "w_id" ]
+  in
+  let district =
+    regular ~name:"district"
+      ~columns:
+        [
+          col "d_w_id" Datatype.Int;
+          col "d_id" Datatype.Int;
+          col "d_name" (Datatype.Varchar 10);
+          col "d_tax" Datatype.Float;
+          col "d_ytd" Datatype.Float;
+          col "d_next_o_id" Datatype.Int;
+        ]
+      ~key:[ "d_w_id"; "d_id" ]
+  in
+  let customer =
+    regular ~name:"customer"
+      ~columns:
+        [
+          col "c_w_id" Datatype.Int;
+          col "c_d_id" Datatype.Int;
+          col "c_id" Datatype.Int;
+          col "c_name" (Datatype.Varchar 24);
+          col "c_balance" Datatype.Float;
+          col "c_ytd_payment" Datatype.Float;
+          col "c_payment_cnt" Datatype.Int;
+        ]
+      ~key:[ "c_w_id"; "c_d_id"; "c_id" ]
+  in
+  let history =
+    maybe_ledgered ~name:"history"
+      ~columns:
+        [
+          col "h_id" Datatype.Int;
+          col "h_c_id" Datatype.Int;
+          col "h_d_id" Datatype.Int;
+          col "h_w_id" Datatype.Int;
+          col "h_amount" Datatype.Float;
+          col "h_data" (Datatype.Varchar 24);
+        ]
+      ~key:[ "h_id" ]
+  in
+  let new_order_t =
+    maybe_ledgered ~name:"new_order"
+      ~columns:
+        [
+          col "no_w_id" Datatype.Int;
+          col "no_d_id" Datatype.Int;
+          col "no_o_id" Datatype.Int;
+        ]
+      ~key:[ "no_w_id"; "no_d_id"; "no_o_id" ]
+  in
+  let orders =
+    maybe_ledgered ~name:"orders"
+      ~columns:
+        [
+          col "o_w_id" Datatype.Int;
+          col "o_d_id" Datatype.Int;
+          col "o_id" Datatype.Int;
+          col "o_c_id" Datatype.Int;
+          col ~nullable:true "o_carrier_id" Datatype.Int;
+          col "o_ol_cnt" Datatype.Int;
+          col "o_entry_d" Datatype.Float;
+        ]
+      ~key:[ "o_w_id"; "o_d_id"; "o_id" ]
+  in
+  let order_line =
+    maybe_ledgered ~name:"order_line"
+      ~columns:
+        [
+          col "ol_w_id" Datatype.Int;
+          col "ol_d_id" Datatype.Int;
+          col "ol_o_id" Datatype.Int;
+          col "ol_number" Datatype.Int;
+          col "ol_i_id" Datatype.Int;
+          col "ol_quantity" Datatype.Int;
+          col "ol_amount" Datatype.Float;
+          col ~nullable:true "ol_delivery_d" Datatype.Float;
+        ]
+      ~key:[ "ol_w_id"; "ol_d_id"; "ol_o_id"; "ol_number" ]
+  in
+  let item =
+    regular ~name:"item"
+      ~columns:
+        [
+          col "i_id" Datatype.Int;
+          col "i_name" (Datatype.Varchar 24);
+          col "i_price" Datatype.Float;
+        ]
+      ~key:[ "i_id" ]
+  in
+  let stock =
+    regular ~name:"stock"
+      ~columns:
+        [
+          col "s_w_id" Datatype.Int;
+          col "s_i_id" Datatype.Int;
+          col "s_quantity" Datatype.Int;
+          col "s_ytd" Datatype.Int;
+          col "s_order_cnt" Datatype.Int;
+        ]
+      ~key:[ "s_w_id"; "s_i_id" ]
+  in
+  let t =
+    {
+      db;
+      cfg;
+      warehouse;
+      district;
+      customer;
+      history;
+      new_order_t;
+      orders;
+      order_line;
+      item;
+      stock;
+      next_history_id = 1;
+    }
+  in
+  (* Populate. *)
+  let prng = Prng.create 0xC0FFEE in
+  let (), _ =
+    Database.with_txn db ~user:"loader" (fun txn ->
+        for w = 1 to cfg.warehouses do
+          Wtable.insert txn warehouse
+            [| vi w; vs (Printf.sprintf "WH%02d" w); vf 0.07; vf 0.0 |];
+          for d = 1 to cfg.districts_per_warehouse do
+            Wtable.insert txn district
+              [|
+                vi w; vi d;
+                vs (Printf.sprintf "D%02d" d);
+                vf 0.05; vf 0.0; vi 1;
+              |];
+            for c = 1 to cfg.customers_per_district do
+              Wtable.insert txn customer
+                [|
+                  vi w; vi d; vi c;
+                  vs (Prng.alnum_string prng 16);
+                  vf 0.0; vf 0.0; vi 0;
+                |]
+            done
+          done;
+          for i = 1 to cfg.items do
+            Wtable.insert txn stock [| vi w; vi i; vi 50; vi 0; vi 0 |]
+          done
+        done;
+        for i = 1 to cfg.items do
+          Wtable.insert txn item
+            [|
+              vi i;
+              vs (Prng.alnum_string prng 16);
+              vf (1.0 +. Prng.float prng 99.0);
+            |]
+        done)
+  in
+  t
+
+let as_int = function Value.Int i -> i | _ -> assert false
+let as_float = function Value.Float f -> f | _ -> assert false
+
+let random_wd t prng =
+  let w = Prng.range prng 1 t.cfg.warehouses in
+  let d = Prng.range prng 1 t.cfg.districts_per_warehouse in
+  (w, d)
+
+let random_customer t prng =
+  Prng.nurand prng ~a:1023 ~x:1 ~y:t.cfg.customers_per_district
+
+let random_item t prng = Prng.nurand prng ~a:8191 ~x:1 ~y:t.cfg.items
+
+let new_order t ~prng =
+  let w, d = random_wd t prng in
+  let c = random_customer t prng in
+  let ol_cnt = Prng.range prng 5 15 in
+  let (), _ =
+    Database.with_txn t.db ~user:"tpcc" (fun txn ->
+        let dkey = [| vi w; vi d |] in
+        let drow = Option.get (Wtable.find t.district ~key:dkey) in
+        let o_id = as_int drow.(5) in
+        Wtable.update txn t.district ~key:dkey (Row.set drow 5 (vi (o_id + 1)));
+        Wtable.insert txn t.orders
+          [|
+            vi w; vi d; vi o_id; vi c; Value.Null; vi ol_cnt;
+            vf (Database.now t.db);
+          |];
+        Wtable.insert txn t.new_order_t [| vi w; vi d; vi o_id |];
+        for ol = 1 to ol_cnt do
+          let i_id = random_item t prng in
+          let irow = Option.get (Wtable.find t.item ~key:[| vi i_id |]) in
+          let price = as_float irow.(2) in
+          let qty = Prng.range prng 1 10 in
+          let skey = [| vi w; vi i_id |] in
+          let srow = Option.get (Wtable.find t.stock ~key:skey) in
+          let s_qty = as_int srow.(2) in
+          let new_qty = if s_qty - qty >= 10 then s_qty - qty else s_qty - qty + 91 in
+          let srow = Row.set srow 2 (vi new_qty) in
+          let srow = Row.set srow 3 (vi (as_int srow.(3) + qty)) in
+          let srow = Row.set srow 4 (vi (as_int srow.(4) + 1)) in
+          Wtable.update txn t.stock ~key:skey srow;
+          Wtable.insert txn t.order_line
+            [|
+              vi w; vi d; vi o_id; vi ol; vi i_id; vi qty;
+              vf (float_of_int qty *. price);
+              Value.Null;
+            |]
+        done)
+  in
+  ()
+
+let payment t ~prng =
+  let w, d = random_wd t prng in
+  let c = random_customer t prng in
+  let amount = 1.0 +. Prng.float prng 4999.0 in
+  let (), _ =
+    Database.with_txn t.db ~user:"tpcc" (fun txn ->
+        let wkey = [| vi w |] in
+        let wrow = Option.get (Wtable.find t.warehouse ~key:wkey) in
+        Wtable.update txn t.warehouse ~key:wkey
+          (Row.set wrow 3 (vf (as_float wrow.(3) +. amount)));
+        let dkey = [| vi w; vi d |] in
+        let drow = Option.get (Wtable.find t.district ~key:dkey) in
+        Wtable.update txn t.district ~key:dkey
+          (Row.set drow 4 (vf (as_float drow.(4) +. amount)));
+        let ckey = [| vi w; vi d; vi c |] in
+        let crow = Option.get (Wtable.find t.customer ~key:ckey) in
+        let crow = Row.set crow 4 (vf (as_float crow.(4) -. amount)) in
+        let crow = Row.set crow 5 (vf (as_float crow.(5) +. amount)) in
+        let crow = Row.set crow 6 (vi (as_int crow.(6) + 1)) in
+        Wtable.update txn t.customer ~key:ckey crow;
+        let h_id = t.next_history_id in
+        t.next_history_id <- h_id + 1;
+        Wtable.insert txn t.history
+          [|
+            vi h_id; vi c; vi d; vi w; vf amount;
+            vs (Prng.alnum_string prng 12);
+          |])
+  in
+  ()
+
+let district_prefix w d = ([| vi w; vi d |], [| vi w; vi d; vi max_int |])
+
+let order_status t ~prng =
+  (* Read-only: the customer's most recent order and its lines, via
+     clustered-prefix range scans. *)
+  let w, d = random_wd t prng in
+  let c = random_customer t prng in
+  let _crow = Wtable.find t.customer ~key:[| vi w; vi d; vi c |] in
+  let lo, hi = district_prefix w d in
+  let orders =
+    List.filter (fun row -> as_int row.(3) = c) (Wtable.range t.orders ~lo ~hi)
+  in
+  match List.rev orders with
+  | [] -> ()
+  | last :: _ ->
+      let o_id = as_int last.(2) in
+      let _lines =
+        Wtable.range t.order_line ~lo:[| vi w; vi d; vi o_id |]
+          ~hi:[| vi w; vi d; vi o_id; vi max_int |]
+      in
+      ()
+
+let delivery t ~prng =
+  let w = Prng.range prng 1 t.cfg.warehouses in
+  let carrier = Prng.range prng 1 10 in
+  let (), _ =
+    Database.with_txn t.db ~user:"tpcc" (fun txn ->
+        for d = 1 to t.cfg.districts_per_warehouse do
+          (* Oldest undelivered order in the district, if any. *)
+          let lo, hi = district_prefix w d in
+          let pending = Wtable.range t.new_order_t ~lo ~hi in
+          match pending with
+          | [] -> ()
+          | oldest :: _ ->
+              let o_id = as_int oldest.(2) in
+              Wtable.delete txn t.new_order_t ~key:[| vi w; vi d; vi o_id |];
+              let okey = [| vi w; vi d; vi o_id |] in
+              (match Wtable.find t.orders ~key:okey with
+              | None -> ()
+              | Some orow ->
+                  Wtable.update txn t.orders ~key:okey
+                    (Row.set orow 4 (vi carrier));
+                  let amount = ref 0.0 in
+                  List.iter
+                    (fun line ->
+                      amount := !amount +. as_float line.(6);
+                      let key = [| vi w; vi d; vi o_id; line.(3) |] in
+                      Wtable.update txn t.order_line ~key
+                        (Row.set line 7 (vf (Database.now t.db))))
+                    (Wtable.range t.order_line
+                       ~lo:[| vi w; vi d; vi o_id |]
+                       ~hi:[| vi w; vi d; vi o_id; vi max_int |]);
+                  let c = as_int orow.(3) in
+                  let ckey = [| vi w; vi d; vi c |] in
+                  let crow = Option.get (Wtable.find t.customer ~key:ckey) in
+                  Wtable.update txn t.customer ~key:ckey
+                    (Row.set crow 4 (vf (as_float crow.(4) +. !amount))))
+        done)
+  in
+  ()
+
+let stock_level t ~prng =
+  (* Read-only: count stock below threshold for the district's 20 most
+     recent orders' lines (TPC-C clause 2.8 shape). *)
+  let w, d = random_wd t prng in
+  let threshold = Prng.range prng 10 20 in
+  let dkey = [| vi w; vi d |] in
+  let next_o_id =
+    match Wtable.find t.district ~key:dkey with
+    | Some drow -> as_int drow.(5)
+    | None -> 1
+  in
+  let low = ref 0 in
+  List.iter
+    (fun line ->
+      match Wtable.find t.stock ~key:[| vi w; line.(4) |] with
+      | Some srow -> if as_int srow.(2) < threshold then incr low
+      | None -> ())
+    (Wtable.range t.order_line
+       ~lo:[| vi w; vi d; vi (max 1 (next_o_id - 20)) |]
+       ~hi:[| vi w; vi d; vi max_int |]);
+  ignore !low
+
+type counts = {
+  new_orders : int;
+  payments : int;
+  order_statuses : int;
+  deliveries : int;
+  stock_levels : int;
+}
+
+let run t ~prng ~transactions =
+  let counts =
+    ref
+      {
+        new_orders = 0;
+        payments = 0;
+        order_statuses = 0;
+        deliveries = 0;
+        stock_levels = 0;
+      }
+  in
+  for _ = 1 to transactions do
+    let roll = Prng.int prng 100 in
+    if roll < 45 then begin
+      new_order t ~prng;
+      counts := { !counts with new_orders = !counts.new_orders + 1 }
+    end
+    else if roll < 88 then begin
+      payment t ~prng;
+      counts := { !counts with payments = !counts.payments + 1 }
+    end
+    else if roll < 92 then begin
+      order_status t ~prng;
+      counts := { !counts with order_statuses = !counts.order_statuses + 1 }
+    end
+    else if roll < 96 then begin
+      delivery t ~prng;
+      counts := { !counts with deliveries = !counts.deliveries + 1 }
+    end
+    else begin
+      stock_level t ~prng;
+      counts := { !counts with stock_levels = !counts.stock_levels + 1 }
+    end
+  done;
+  !counts

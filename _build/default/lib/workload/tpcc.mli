@@ -1,0 +1,45 @@
+(** TPC-C-like order-processing workload (paper §4.1.1).
+
+    A faithful-in-spirit scaled-down TPC-C: the nine standard tables, the
+    five-transaction mix (new-order 45 %, payment 43 %, order-status 4 %,
+    delivery 4 %, stock-level 4 %), NURand key selection. As in the paper,
+    the four order/payment-related tables — orders, order_line, new_order
+    and history — are converted to ledger tables in the protected
+    configuration, the other five stay regular. *)
+
+type config = {
+  warehouses : int;
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+  ledgered : bool;  (** convert the 4 order tables to ledger tables *)
+}
+
+val default_config : config
+(** 1 warehouse, 4 districts, 30 customers/district, 100 items — laptop
+    scale. *)
+
+type t
+
+val setup : Sql_ledger.Database.t -> config -> t
+(** Create and populate the nine tables. *)
+
+type counts = {
+  new_orders : int;
+  payments : int;
+  order_statuses : int;
+  deliveries : int;
+  stock_levels : int;
+}
+
+val run : t -> prng:Prng.t -> transactions:int -> counts
+(** Execute the standard mix. Each transaction commits individually. *)
+
+val new_order : t -> prng:Prng.t -> unit
+val payment : t -> prng:Prng.t -> unit
+val order_status : t -> prng:Prng.t -> unit
+val delivery : t -> prng:Prng.t -> unit
+val stock_level : t -> prng:Prng.t -> unit
+
+val database : t -> Sql_ledger.Database.t
+val config : t -> config

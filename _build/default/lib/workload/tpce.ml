@@ -1,0 +1,537 @@
+open Relation
+open Sql_ledger
+
+type config = {
+  customers : int;
+  securities : int;
+  brokers : int;
+  ledgered : bool;
+}
+
+let default_config = { customers = 20; securities = 20; brokers = 5; ledgered = true }
+
+let col = Column.make
+let vi = Value.int
+let vs s = Value.String s
+let vf = Value.float
+
+(* The 33 TPC-E tables. Most are reference data touched only at setup; the
+   trading tables receive the write traffic. Schemas are abbreviated but the
+   key relationships (customer → account → trade → settlement/holding) are
+   real. *)
+let reference_specs =
+  [
+    ("account_permission", [ "ap_ca_id"; "ap_tax_id" ]);
+    ("address", [ "ad_id"; "ad_line" ]);
+    ("charge", [ "ch_tt_id"; "ch_chrg" ]);
+    ("commission_rate", [ "cr_c_tier"; "cr_rate" ]);
+    ("company", [ "co_id"; "co_name" ]);
+    ("company_competitor", [ "cp_co_id"; "cp_comp_co_id" ]);
+    ("customer_taxrate", [ "cx_c_id"; "cx_tx_id" ]);
+    ("daily_market", [ "dm_s_symb"; "dm_close" ]);
+    ("exchange", [ "ex_id"; "ex_name" ]);
+    ("financial", [ "fi_co_id"; "fi_year" ]);
+    ("industry", [ "in_id"; "in_name" ]);
+    ("news_item", [ "ni_id"; "ni_headline" ]);
+    ("news_xref", [ "nx_ni_id"; "nx_co_id" ]);
+    ("sector", [ "sc_id"; "sc_name" ]);
+    ("status_type", [ "st_id"; "st_name" ]);
+    ("taxrate", [ "tx_id"; "tx_name" ]);
+    ("trade_type", [ "tt_id"; "tt_name" ]);
+    ("watch_item", [ "wi_wl_id"; "wi_s_symb" ]);
+    ("watch_list", [ "wl_id"; "wl_c_id" ]);
+    ("zip_code", [ "zc_code"; "zc_town" ]);
+  ]
+
+type t = {
+  db : Database.t;
+  cfg : config;
+  tables : (string * Wtable.t) list;
+  customer : Wtable.t;
+  customer_account : Wtable.t;
+  broker : Wtable.t;
+  security : Wtable.t;
+  last_trade : Wtable.t;
+  trade : Wtable.t;
+  trade_history : Wtable.t;
+  trade_request : Wtable.t;
+  settlement : Wtable.t;
+  cash_transaction : Wtable.t;
+  holding : Wtable.t;
+  holding_history : Wtable.t;
+  holding_summary : Wtable.t;
+  mutable next_trade_id : int;
+}
+
+let database t = t.db
+let table_count t = List.length t.tables
+
+let setup db cfg =
+  let make = Wtable.create db ~ledgered:cfg.ledgered in
+  (* 20 generic reference tables: (id, payload). *)
+  let ref_tables =
+    List.map
+      (fun (name, cols) ->
+        let columns =
+          match cols with
+          | [ a; b ] ->
+              [ col a Datatype.Int; col b (Datatype.Varchar 48) ]
+          | _ -> assert false
+        in
+        ( name,
+          make ~name ~columns ~key:[ List.hd cols ] ))
+      reference_specs
+  in
+  let customer =
+    make ~name:"customer"
+      ~columns:
+        [
+          col "c_id" Datatype.Int;
+          col "c_name" (Datatype.Varchar 32);
+          col "c_tier" Datatype.Int;
+        ]
+      ~key:[ "c_id" ]
+  in
+  let customer_account =
+    make ~name:"customer_account"
+      ~columns:
+        [
+          col "ca_id" Datatype.Int;
+          col "ca_c_id" Datatype.Int;
+          col "ca_b_id" Datatype.Int;
+          col "ca_bal" Datatype.Float;
+        ]
+      ~key:[ "ca_id" ]
+  in
+  let broker =
+    make ~name:"broker"
+      ~columns:
+        [
+          col "b_id" Datatype.Int;
+          col "b_name" (Datatype.Varchar 32);
+          col "b_num_trades" Datatype.Int;
+          col "b_comm_total" Datatype.Float;
+        ]
+      ~key:[ "b_id" ]
+  in
+  let security =
+    make ~name:"security"
+      ~columns:
+        [
+          col "s_symb" (Datatype.Varchar 8);
+          col "s_name" (Datatype.Varchar 32);
+          col "s_ex_id" Datatype.Int;
+        ]
+      ~key:[ "s_symb" ]
+  in
+  let last_trade =
+    make ~name:"last_trade"
+      ~columns:
+        [
+          col "lt_s_symb" (Datatype.Varchar 8);
+          col "lt_price" Datatype.Float;
+          col "lt_vol" Datatype.Int;
+        ]
+      ~key:[ "lt_s_symb" ]
+  in
+  let trade =
+    make ~name:"trade"
+      ~columns:
+        [
+          col "t_id" Datatype.Int;
+          col "t_ca_id" Datatype.Int;
+          col "t_s_symb" (Datatype.Varchar 8);
+          col "t_qty" Datatype.Int;
+          col "t_price" Datatype.Float;
+          col "t_status" (Datatype.Varchar 4);
+          col "t_is_buy" Datatype.Bool;
+        ]
+      ~key:[ "t_id" ]
+  in
+  let trade_history =
+    make ~name:"trade_history"
+      ~columns:
+        [
+          col "th_t_id" Datatype.Int;
+          col "th_seq" Datatype.Int;
+          col "th_st_id" (Datatype.Varchar 4);
+          col "th_dts" Datatype.Float;
+        ]
+      ~key:[ "th_t_id"; "th_seq" ]
+  in
+  let trade_request =
+    make ~name:"trade_request"
+      ~columns:
+        [
+          col "tr_t_id" Datatype.Int;
+          col "tr_s_symb" (Datatype.Varchar 8);
+          col "tr_qty" Datatype.Int;
+        ]
+      ~key:[ "tr_t_id" ]
+  in
+  let settlement =
+    make ~name:"settlement"
+      ~columns:
+        [
+          col "se_t_id" Datatype.Int;
+          col "se_amt" Datatype.Float;
+          col "se_due" Datatype.Float;
+        ]
+      ~key:[ "se_t_id" ]
+  in
+  let cash_transaction =
+    make ~name:"cash_transaction"
+      ~columns:
+        [
+          col "ct_t_id" Datatype.Int;
+          col "ct_amt" Datatype.Float;
+          col "ct_name" (Datatype.Varchar 48);
+        ]
+      ~key:[ "ct_t_id" ]
+  in
+  let holding =
+    make ~name:"holding"
+      ~columns:
+        [
+          col "h_ca_id" Datatype.Int;
+          col "h_s_symb" (Datatype.Varchar 8);
+          col "h_qty" Datatype.Int;
+          col "h_price" Datatype.Float;
+        ]
+      ~key:[ "h_ca_id"; "h_s_symb" ]
+  in
+  let holding_history =
+    make ~name:"holding_history"
+      ~columns:
+        [
+          col "hh_t_id" Datatype.Int;
+          col "hh_ca_id" Datatype.Int;
+          col "hh_qty" Datatype.Int;
+        ]
+      ~key:[ "hh_t_id" ]
+  in
+  let holding_summary =
+    make ~name:"holding_summary"
+      ~columns:
+        [
+          col "hs_ca_id" Datatype.Int;
+          col "hs_qty" Datatype.Int;
+        ]
+      ~key:[ "hs_ca_id" ]
+  in
+  let named =
+    [
+      ("customer", customer);
+      ("customer_account", customer_account);
+      ("broker", broker);
+      ("security", security);
+      ("last_trade", last_trade);
+      ("trade", trade);
+      ("trade_history", trade_history);
+      ("trade_request", trade_request);
+      ("settlement", settlement);
+      ("cash_transaction", cash_transaction);
+      ("holding", holding);
+      ("holding_history", holding_history);
+      ("holding_summary", holding_summary);
+    ]
+  in
+  let t =
+    {
+      db;
+      cfg;
+      tables = ref_tables @ named;
+      customer;
+      customer_account;
+      broker;
+      security;
+      last_trade;
+      trade;
+      trade_history;
+      trade_request;
+      settlement;
+      cash_transaction;
+      holding;
+      holding_history;
+      holding_summary;
+      next_trade_id = 1;
+    }
+  in
+  let prng = Prng.create 0xE57A7E in
+  let (), _ =
+    Database.with_txn db ~user:"loader" (fun txn ->
+        List.iter
+          (fun (name, wt) ->
+            ignore name;
+            for i = 1 to 25 do
+              Wtable.insert txn wt [| vi i; vs (Prng.alnum_string prng 24) |]
+            done)
+          ref_tables;
+        for c = 1 to cfg.customers do
+          Wtable.insert txn customer
+            [| vi c; vs (Prng.alnum_string prng 20); vi (1 + (c mod 3)) |];
+          Wtable.insert txn customer_account
+            [| vi c; vi c; vi (1 + (c mod cfg.brokers)); vf 100000.0 |];
+          Wtable.insert txn holding_summary [| vi c; vi 0 |]
+        done;
+        for b = 1 to cfg.brokers do
+          Wtable.insert txn broker
+            [| vi b; vs (Prng.alnum_string prng 20); vi 0; vf 0.0 |]
+        done;
+        for s = 1 to cfg.securities do
+          let symb = Printf.sprintf "S%04d" s in
+          Wtable.insert txn security [| vs symb; vs (Prng.alnum_string prng 20); vi 1 |];
+          Wtable.insert txn last_trade
+            [| vs symb; vf (10.0 +. Prng.float prng 90.0); vi 0 |]
+        done)
+  in
+  t
+
+let as_int = function Value.Int i -> i | _ -> assert false
+let as_float = function Value.Float f -> f | _ -> assert false
+
+let random_symbol t prng =
+  Printf.sprintf "S%04d" (Prng.range prng 1 t.cfg.securities)
+
+let trade_order t ~prng =
+  let ca = Prng.range prng 1 t.cfg.customers in
+  let symb = random_symbol t prng in
+  let qty = Prng.range prng 1 100 in
+  let is_buy = Prng.bool prng in
+  let t_id = t.next_trade_id in
+  t.next_trade_id <- t_id + 1;
+  let (), _ =
+    Database.with_txn t.db ~user:"tpce" (fun txn ->
+        let lt = Option.get (Wtable.find t.last_trade ~key:[| vs symb |]) in
+        let price = as_float lt.(1) in
+        Wtable.insert txn t.trade
+          [| vi t_id; vi ca; vs symb; vi qty; vf price; vs "SBMT"; Value.Bool is_buy |];
+        Wtable.insert txn t.trade_history
+          [| vi t_id; vi 1; vs "SBMT"; vf (Database.now t.db) |];
+        Wtable.insert txn t.trade_request [| vi t_id; vs symb; vi qty |])
+  in
+  ()
+
+let trade_result t ~prng =
+  (* Complete the oldest pending trade request, if any. *)
+  match Wtable.scan t.trade_request with
+  | [] -> trade_order t ~prng
+  | req :: _ ->
+      let t_id = as_int req.(0) in
+      let (), _ =
+        Database.with_txn t.db ~user:"tpce" (fun txn ->
+            Wtable.delete txn t.trade_request ~key:[| vi t_id |];
+            let trow = Option.get (Wtable.find t.trade ~key:[| vi t_id |]) in
+            let trow = Row.set trow 5 (vs "CMPT") in
+            Wtable.update txn t.trade ~key:[| vi t_id |] trow;
+            Wtable.insert txn t.trade_history
+              [| vi t_id; vi 2; vs "CMPT"; vf (Database.now t.db) |];
+            let qty = as_int trow.(3) in
+            let price = as_float trow.(4) in
+            let amount = float_of_int qty *. price in
+            let signed =
+              match trow.(6) with Value.Bool true -> -.amount | _ -> amount
+            in
+            Wtable.insert txn t.settlement
+              [| vi t_id; vf signed; vf (Database.now t.db +. 172800.0) |];
+            Wtable.insert txn t.cash_transaction
+              [| vi t_id; vf signed; vs "trade settlement" |];
+            let ca = as_int trow.(1) in
+            let arow =
+              Option.get (Wtable.find t.customer_account ~key:[| vi ca |])
+            in
+            Wtable.update txn t.customer_account ~key:[| vi ca |]
+              (Row.set arow 3 (vf (as_float arow.(3) +. signed)));
+            let b_id = as_int arow.(2) in
+            let brow = Option.get (Wtable.find t.broker ~key:[| vi b_id |]) in
+            let brow = Row.set brow 2 (vi (as_int brow.(2) + 1)) in
+            let brow = Row.set brow 3 (vf (as_float brow.(3) +. (amount *. 0.01))) in
+            Wtable.update txn t.broker ~key:[| vi b_id |] brow;
+            (* Update or create the holding. *)
+            let symb = trow.(2) in
+            let hkey = [| vi ca; symb |] in
+            let delta = match trow.(6) with Value.Bool true -> qty | _ -> -qty in
+            (match Wtable.find t.holding ~key:hkey with
+            | Some hrow ->
+                let new_qty = as_int hrow.(2) + delta in
+                if new_qty <= 0 then Wtable.delete txn t.holding ~key:hkey
+                else
+                  Wtable.update txn t.holding ~key:hkey
+                    (Row.set hrow 2 (vi new_qty))
+            | None ->
+                if delta > 0 then
+                  Wtable.insert txn t.holding [| vi ca; symb; vi delta; vf price |]);
+            Wtable.insert txn t.holding_history [| vi t_id; vi ca; vi delta |];
+            let skey = [| vi ca |] in
+            let srow = Option.get (Wtable.find t.holding_summary ~key:skey) in
+            Wtable.update txn t.holding_summary ~key:skey
+              (Row.set srow 1 (vi (as_int srow.(1) + delta))))
+      in
+      ()
+
+let market_feed t ~prng =
+  let (), _ =
+    Database.with_txn t.db ~user:"feed" (fun txn ->
+        for _ = 1 to 5 do
+          let symb = random_symbol t prng in
+          let key = [| vs symb |] in
+          let row = Option.get (Wtable.find t.last_trade ~key) in
+          let drift = Prng.float prng 2.0 -. 1.0 in
+          let row = Row.set row 1 (vf (Float.max 1.0 (as_float row.(1) +. drift))) in
+          let row = Row.set row 2 (vi (as_int row.(2) + Prng.range prng 1 500)) in
+          Wtable.update txn t.last_trade ~key row
+        done)
+  in
+  ()
+
+(* Read-only transactions. The TPC-E read frames are substantial — they
+   join accounts, holdings, market and reference data across dozens of
+   rows — and that weight is what makes the ledger overhead small on this
+   workload (Figure 7). Each frame below touches row counts comparable to
+   its TPC-E namesake. *)
+
+let ref_table t name = List.assoc name t.tables
+
+let trade_status t ~prng =
+  (* Customer's account, broker, and the 50 most recent trades with their
+     status history. *)
+  let ca = Prng.range prng 1 t.cfg.customers in
+  (match Wtable.find t.customer_account ~key:[| vi ca |] with
+  | Some arow -> ignore (Wtable.find t.broker ~key:[| arow.(2) |])
+  | None -> ());
+  let recent =
+    List.filter (fun row -> as_int row.(1) = ca) (Wtable.scan t.trade)
+    |> List.rev
+    |> List.filteri (fun i _ -> i < 50)
+  in
+  List.iter
+    (fun trow ->
+      let t_id = as_int trow.(0) in
+      ignore
+        (Wtable.range t.trade_history ~lo:[| vi t_id |]
+           ~hi:[| vi t_id; vi max_int |]);
+      ignore (Wtable.find t.security ~key:[| trow.(2) |]))
+    recent
+
+let customer_position t ~prng =
+  (* Account balance plus a full portfolio valuation: every holding marked
+     to the current market, and the 10 most recent trades' history. *)
+  let c = Prng.range prng 1 t.cfg.customers in
+  ignore (Wtable.find t.customer ~key:[| vi c |]);
+  (match Wtable.find t.customer_account ~key:[| vi c |] with
+  | Some arow -> ignore (Wtable.find t.broker ~key:[| arow.(2) |])
+  | None -> ());
+  ignore (Wtable.find t.holding_summary ~key:[| vi c |]);
+  let holdings =
+    Wtable.range t.holding ~lo:[| vi c |] ~hi:[| vi c; vs "~~~~~~~~" |]
+  in
+  let _portfolio_value =
+    List.fold_left
+      (fun acc hrow ->
+        match Wtable.find t.last_trade ~key:[| hrow.(1) |] with
+        | Some lt -> acc +. (float_of_int (as_int hrow.(2)) *. as_float lt.(1))
+        | None -> acc)
+      0.0 holdings
+  in
+  let recent =
+    List.filter (fun row -> as_int row.(1) = c) (Wtable.scan t.trade)
+    |> List.rev
+    |> List.filteri (fun i _ -> i < 10)
+  in
+  List.iter
+    (fun trow ->
+      let t_id = as_int trow.(0) in
+      ignore
+        (Wtable.range t.trade_history ~lo:[| vi t_id |]
+           ~hi:[| vi t_id; vi max_int |]))
+    recent
+
+let market_watch t ~prng =
+  (* A 20-security watch list marked against reference market data. *)
+  let watch_item = ref_table t "watch_item" in
+  let daily_market = ref_table t "daily_market" in
+  for _ = 1 to 20 do
+    let symb = random_symbol t prng in
+    ignore (Wtable.find t.last_trade ~key:[| vs symb |]);
+    ignore (Wtable.find t.security ~key:[| vs symb |]);
+    ignore (Wtable.find watch_item ~key:[| vi (Prng.range prng 1 25) |]);
+    ignore (Wtable.find daily_market ~key:[| vi (Prng.range prng 1 25) |])
+  done
+
+let security_detail t ~prng =
+  (* Security master data: company, exchange, financials, news, and a
+     20-day market-history window. *)
+  let symb = random_symbol t prng in
+  ignore (Wtable.find t.security ~key:[| vs symb |]);
+  ignore (Wtable.find t.last_trade ~key:[| vs symb |]);
+  List.iter
+    (fun table ->
+      ignore
+        (Wtable.find (ref_table t table) ~key:[| vi (Prng.range prng 1 25) |]))
+    [ "company"; "exchange"; "financial"; "industry"; "sector" ];
+  let daily_market = ref_table t "daily_market" in
+  for day = 1 to 20 do
+    ignore (Wtable.find daily_market ~key:[| vi ((day mod 25) + 1) |])
+  done;
+  let news_item = ref_table t "news_item" in
+  let news_xref = ref_table t "news_xref" in
+  for _ = 1 to 2 do
+    let n = Prng.range prng 1 25 in
+    ignore (Wtable.find news_xref ~key:[| vi n |]);
+    ignore (Wtable.find news_item ~key:[| vi n |])
+  done
+
+let broker_volume t ~prng =
+  (* Volume report across all brokers' pending requests. *)
+  let b = Prng.range prng 1 t.cfg.brokers in
+  ignore (Wtable.find t.broker ~key:[| vi b |]);
+  let requests = Wtable.scan t.trade_request in
+  let _volume =
+    List.fold_left
+      (fun acc row ->
+        ignore (Wtable.find t.last_trade ~key:[| row.(1) |]);
+        acc + as_int row.(2))
+      0 requests
+  in
+  ignore
+    (Wtable.find (ref_table t "commission_rate")
+       ~key:[| vi (Prng.range prng 1 25) |])
+
+type counts = {
+  trade_orders : int;
+  trade_results : int;
+  market_feeds : int;
+  reads : int;
+}
+
+let run t ~prng ~transactions =
+  let counts =
+    ref { trade_orders = 0; trade_results = 0; market_feeds = 0; reads = 0 }
+  in
+  for _ = 1 to transactions do
+    let roll = Prng.int prng 1000 in
+    (* Writes ~23%: trade-order 10%, trade-result 10%, market-feed 3%;
+       reads 77%, approximating TPC-E's read-heavy mix. *)
+    if roll < 100 then begin
+      trade_order t ~prng;
+      counts := { !counts with trade_orders = !counts.trade_orders + 1 }
+    end
+    else if roll < 200 then begin
+      trade_result t ~prng;
+      counts := { !counts with trade_results = !counts.trade_results + 1 }
+    end
+    else if roll < 230 then begin
+      market_feed t ~prng;
+      counts := { !counts with market_feeds = !counts.market_feeds + 1 }
+    end
+    else begin
+      (match Prng.int prng 5 with
+      | 0 -> trade_status t ~prng
+      | 1 -> customer_position t ~prng
+      | 2 -> market_watch t ~prng
+      | 3 -> security_detail t ~prng
+      | _ -> broker_volume t ~prng);
+      counts := { !counts with reads = !counts.reads + 1 }
+    end
+  done;
+  !counts

@@ -1,0 +1,39 @@
+(** TPC-E-like brokerage workload (paper §4.1.1).
+
+    A scaled-down brokerage schema with all 33 TPC-E table names. The paper
+    converts every table to a ledger table given the financial nature of
+    the data; the [ledgered] flag flips between that configuration and the
+    plain baseline. The transaction mix approximates TPC-E's ~10:1
+    read/write ratio: trade-order, trade-result and market-feed write;
+    trade-status, customer-position, market-watch, security-detail and
+    broker-volume read. *)
+
+type config = {
+  customers : int;
+  securities : int;
+  brokers : int;
+  ledgered : bool;
+}
+
+val default_config : config
+
+type t
+
+val setup : Sql_ledger.Database.t -> config -> t
+
+type counts = {
+  trade_orders : int;
+  trade_results : int;
+  market_feeds : int;
+  reads : int;
+}
+
+val run : t -> prng:Prng.t -> transactions:int -> counts
+
+val trade_order : t -> prng:Prng.t -> unit
+val trade_result : t -> prng:Prng.t -> unit
+val market_feed : t -> prng:Prng.t -> unit
+
+val database : t -> Sql_ledger.Database.t
+val table_count : t -> int
+(** 33. *)

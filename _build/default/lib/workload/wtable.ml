@@ -1,0 +1,57 @@
+open Sql_ledger
+module Table_store = Storage.Table_store
+
+type t = Ledgered of Ledger_table.t | Plain of Table_store.t
+
+let create db ~ledgered ~name ~columns ~key =
+  if ledgered then
+    Ledgered (Database.create_ledger_table db ~name ~columns ~key ())
+  else Plain (Database.create_regular_table db ~name ~columns ~key ())
+
+let create_regular db ~name ~columns ~key =
+  Plain (Database.create_regular_table db ~name ~columns ~key ())
+
+let insert txn t row =
+  match t with
+  | Ledgered lt -> Txn.insert txn lt row
+  | Plain store -> Txn.plain_insert txn store row
+
+let update txn t ~key row =
+  match t with
+  | Ledgered lt -> Txn.update txn lt ~key row
+  | Plain store ->
+      ignore key;
+      Txn.plain_update txn store row
+
+let delete txn t ~key =
+  match t with
+  | Ledgered lt -> Txn.delete txn lt ~key
+  | Plain store -> Txn.plain_delete txn store ~key
+
+let find t ~key =
+  match t with
+  | Ledgered lt ->
+      Option.map (Ledger_table.user_row lt) (Ledger_table.find lt ~key)
+  | Plain store -> Table_store.find store ~key
+
+let scan = function
+  | Ledgered lt ->
+      List.map (Ledger_table.user_row lt) (Ledger_table.current_rows lt)
+  | Plain store -> Table_store.scan store
+
+let range t ~lo ~hi =
+  match t with
+  | Ledgered lt ->
+      Storage.Table_store.range (Ledger_table.main lt) ~lo ~hi ()
+      |> List.map (Ledger_table.user_row lt)
+  | Plain store -> Storage.Table_store.range store ~lo ~hi ()
+
+let row_count = function
+  | Ledgered lt -> Ledger_table.row_count lt
+  | Plain store -> Table_store.row_count store
+
+let is_ledgered = function Ledgered _ -> true | Plain _ -> false
+
+let name = function
+  | Ledgered lt -> Ledger_table.name lt
+  | Plain store -> Table_store.name store

@@ -1,0 +1,38 @@
+(** A workload table that is either a ledger table or a regular table.
+
+    Figure 7 compares the same workload with and without ledger protection;
+    this wrapper lets the TPC-C/TPC-E drivers run unchanged against both. *)
+
+type t
+
+val create :
+  Sql_ledger.Database.t ->
+  ledgered:bool ->
+  name:string ->
+  columns:Relation.Column.t list ->
+  key:string list ->
+  t
+
+val create_regular :
+  Sql_ledger.Database.t ->
+  name:string ->
+  columns:Relation.Column.t list ->
+  key:string list ->
+  t
+(** Always a regular table (for the TPC-C tables the paper leaves
+    unledgered). *)
+
+val insert : Sql_ledger.Txn.t -> t -> Relation.Row.t -> unit
+val update : Sql_ledger.Txn.t -> t -> key:Relation.Row.t -> Relation.Row.t -> unit
+val delete : Sql_ledger.Txn.t -> t -> key:Relation.Row.t -> unit
+val find : t -> key:Relation.Row.t -> Relation.Row.t option
+val scan : t -> Relation.Row.t list
+
+val range :
+  t -> lo:Relation.Row.t -> hi:Relation.Row.t -> Relation.Row.t list
+(** Clustered-key range scan (inclusive bounds; a short bound row acts as a
+    prefix). *)
+
+val row_count : t -> int
+val is_ledgered : t -> bool
+val name : t -> string

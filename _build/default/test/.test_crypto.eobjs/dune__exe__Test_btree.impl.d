@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree Int List Map QCheck QCheck_alcotest Workload

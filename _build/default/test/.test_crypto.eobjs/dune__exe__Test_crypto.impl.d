@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Gen Ledger_crypto List Option Printf QCheck QCheck_alcotest String

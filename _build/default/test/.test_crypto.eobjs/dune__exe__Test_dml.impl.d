@@ -1,0 +1,1 @@
+test/test_dml.ml: Alcotest Array Column Database Datatype Dml List Relation Sql_ledger Sqlexec Testkit Types Value

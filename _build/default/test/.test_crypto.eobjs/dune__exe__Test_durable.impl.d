@@ -1,0 +1,1 @@
+test/test_durable.ml: Alcotest Database Durable Filename Fun Ledger_table List Option Printf Sql_ledger Sys Testkit Unix Verifier

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Aries Bytes Char Ledger_crypto List Option Printf QCheck QCheck_alcotest Relation Sjson Sql_ledger Sqlexec Trusted_store

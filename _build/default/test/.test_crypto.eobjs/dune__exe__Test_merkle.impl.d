@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest Fun Ledger_crypto List Merkle Printf QCheck QCheck_alcotest Sjson String

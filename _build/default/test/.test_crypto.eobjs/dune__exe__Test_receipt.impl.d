@@ -1,0 +1,1 @@
+test/test_receipt.ml: Alcotest Database Database_ledger Ledger_crypto List Merkle Option Receipt Sql_ledger String Tamper Testkit Types

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Aries Array Database Database_ledger Filename Fun Ledger_crypto Ledger_table List Option Printf Relation Sql_ledger Storage Sys Tamper Testkit Txn Types Value Verifier

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Column Datatype Ledger_crypto List Printf QCheck QCheck_alcotest Relation Row Row_codec Schema String Value

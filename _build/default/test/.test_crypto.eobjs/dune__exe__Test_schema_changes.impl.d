@@ -1,0 +1,1 @@
+test/test_schema_changes.ml: Alcotest Array Column Database Datatype Fun Ledger_table List Relation Sql_ledger Sqlexec Testkit Txn Types Value

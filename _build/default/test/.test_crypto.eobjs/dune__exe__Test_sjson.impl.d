@@ -1,0 +1,1 @@
+test/test_sjson.ml: Alcotest Hashtbl List QCheck QCheck_alcotest Sjson

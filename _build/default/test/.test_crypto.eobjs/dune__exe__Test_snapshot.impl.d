@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Column Database Datatype Filename Fun Ledger_table List Option Receipt Relation Row Sjson Snapshot Sql_ledger Sqlexec Sys Tamper Testkit Txn Value Verifier

@@ -1,0 +1,1 @@
+test/test_sqlexec.ml: Alcotest Array List Printf Relation Sqlexec String Value

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Column Datatype List Option Printf Relation Schema Storage Value

@@ -1,0 +1,1 @@
+test/test_tamper_matrix.ml: Alcotest Array Database Datatype Ledger_table List QCheck QCheck_alcotest Relation Sql_ledger Sqlexec Storage Tamper Tamper_recovery Testkit Value Verifier Workload

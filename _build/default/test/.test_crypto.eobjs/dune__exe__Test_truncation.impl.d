@@ -1,0 +1,1 @@
+test/test_truncation.ml: Alcotest Array Database Database_ledger Ledger_table List Printf Relation Sql_ledger Sqlexec Storage String Tamper Testkit Truncation Types Value Verifier

@@ -1,0 +1,1 @@
+test/test_trusted_store.ml: Alcotest Database Digest Filename Float List Option Sql_ledger Sys Testkit Trusted_store Txn Unix Verifier

@@ -1,0 +1,1 @@
+test/test_verifier_units.ml: Alcotest Column Database Database_ledger Datatype Digest Ledger_crypto Ledger_table List Printf Relation Sql_ledger Storage String Tamper Testkit Value Verifier

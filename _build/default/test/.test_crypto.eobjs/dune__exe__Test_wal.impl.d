@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Aries Filename Fun List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_wal_replay.mli:

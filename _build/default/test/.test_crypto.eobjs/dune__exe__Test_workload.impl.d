@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Database Float Ledger_table List Printf Relation Sql_ledger Sqlexec Testkit Workload

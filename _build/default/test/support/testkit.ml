@@ -1,0 +1,58 @@
+(* Shared fixtures for the ledger test suites. *)
+
+open Relation
+open Sql_ledger
+
+let vi = Value.int
+let vs s = Value.String s
+
+(* A deterministic clock: strictly increasing, 1s ticks from t=1000. *)
+let make_clock () =
+  let t = ref 1000.0 in
+  fun () ->
+    t := !t +. 1.0;
+    !t
+
+let make_db ?(block_size = 4) ?signing_seed ?wal_path name =
+  Database.create ~block_size ?signing_seed ?wal_path ~clock:(make_clock ())
+    ~name ()
+
+(* The Figure 2 accounts table. *)
+let accounts_columns =
+  [ Column.make "name" (Datatype.Varchar 40); Column.make "balance" Datatype.Int ]
+
+let make_accounts ?kind db =
+  Database.create_ledger_table db ?kind ~name:"accounts"
+    ~columns:accounts_columns ~key:[ "name" ] ()
+
+let commit_one db user f =
+  let (), entry = Database.with_txn db ~user f in
+  entry
+
+let insert_account db accounts name balance =
+  commit_one db "teller" (fun txn ->
+      Txn.insert txn accounts [| vs name; vi balance |])
+
+let update_account db accounts name balance =
+  commit_one db "teller" (fun txn ->
+      Txn.update txn accounts ~key:[| vs name |] [| vs name; vi balance |])
+
+let delete_account db accounts name =
+  commit_one db "teller" (fun txn -> Txn.delete txn accounts ~key:[| vs name |])
+
+(* Reproduce the exact Figure 2 history:
+   insert Nick 50, John 500, Joe 30, Mary 200;
+   update Nick -> 100; delete Joe. *)
+let figure2 db accounts =
+  ignore (insert_account db accounts "Nick" 50);
+  ignore (insert_account db accounts "John" 500);
+  ignore (insert_account db accounts "Joe" 30);
+  ignore (insert_account db accounts "Mary" 200);
+  ignore (update_account db accounts "Nick" 100);
+  ignore (delete_account db accounts "Joe")
+
+let fresh_digest db = Option.get (Database.generate_digest db)
+
+let verify_ok db digests = Verifier.ok (Verifier.verify db ~digests)
+
+let violations db digests = (Verifier.verify db ~digests).Verifier.violations

@@ -1,0 +1,167 @@
+(* B+tree: unit cases plus model-based testing against Map. *)
+
+module M = Map.Make (Int)
+
+let mk ?(order = 8) () = Btree.create ~order ~cmp:compare ()
+
+let test_empty () =
+  let t = mk () in
+  Alcotest.(check int) "length" 0 (Btree.length t);
+  Alcotest.(check bool) "find" true (Btree.find t 1 = None);
+  Alcotest.(check bool) "min" true (Btree.min_binding t = None);
+  Alcotest.(check bool) "max" true (Btree.max_binding t = None);
+  Alcotest.(check bool) "remove" true (Btree.remove t 1 = None);
+  Btree.check_invariants t
+
+let test_insert_find () =
+  let t = mk () in
+  for i = 1 to 100 do
+    Alcotest.(check bool) "fresh" true (Btree.insert t i (i * 10) = None)
+  done;
+  Alcotest.(check int) "length" 100 (Btree.length t);
+  for i = 1 to 100 do
+    Alcotest.(check bool) "found" true (Btree.find t i = Some (i * 10))
+  done;
+  Btree.check_invariants t
+
+let test_replace () =
+  let t = mk () in
+  ignore (Btree.insert t 5 "a");
+  Alcotest.(check bool) "old value" true (Btree.insert t 5 "b" = Some "a");
+  Alcotest.(check bool) "new value" true (Btree.find t 5 = Some "b");
+  Alcotest.(check int) "length unchanged" 1 (Btree.length t)
+
+let test_ordered_iteration () =
+  let t = mk () in
+  let input = [ 42; 7; 99; 1; 55; 23; 88; 3 ] in
+  List.iter (fun k -> ignore (Btree.insert t k k)) input;
+  Alcotest.(check (list int))
+    "sorted"
+    (List.sort compare input)
+    (List.map fst (Btree.to_list t))
+
+let test_range () =
+  let t = mk () in
+  for i = 1 to 50 do
+    ignore (Btree.insert t (i * 2) i)
+  done;
+  let r = Btree.range t ~lo:10 ~hi:20 () in
+  Alcotest.(check (list int)) "range keys" [ 10; 12; 14; 16; 18; 20 ] (List.map fst r);
+  Alcotest.(check int) "open low" 5 (List.length (Btree.range t ~hi:10 ()));
+  Alcotest.(check int) "open high" 6 (List.length (Btree.range t ~lo:90 ()));
+  Alcotest.(check int) "full" 50 (List.length (Btree.range t ()));
+  Alcotest.(check int) "empty range" 0 (List.length (Btree.range t ~lo:11 ~hi:11 ()))
+
+let test_delete_all_orders () =
+  (* Delete in ascending, descending and interleaved order. *)
+  let build () =
+    let t = mk ~order:4 () in
+    for i = 1 to 64 do
+      ignore (Btree.insert t i i)
+    done;
+    t
+  in
+  let check_deletion t keys =
+    List.iter
+      (fun k ->
+        Alcotest.(check bool) "removed" true (Btree.remove t k = Some k);
+        Btree.check_invariants t)
+      keys;
+    Alcotest.(check int) "empty" 0 (Btree.length t)
+  in
+  check_deletion (build ()) (List.init 64 (fun i -> i + 1));
+  check_deletion (build ()) (List.init 64 (fun i -> 64 - i));
+  check_deletion (build ())
+    (List.init 32 (fun i -> (2 * i) + 1) @ List.init 32 (fun i -> 2 * (i + 1)))
+
+let test_min_max () =
+  let t = mk () in
+  List.iter (fun k -> ignore (Btree.insert t k (string_of_int k))) [ 5; 2; 9; 7 ];
+  Alcotest.(check bool) "min" true (Btree.min_binding t = Some (2, "2"));
+  Alcotest.(check bool) "max" true (Btree.max_binding t = Some (9, "9"))
+
+let test_clear () =
+  let t = mk () in
+  for i = 1 to 100 do
+    ignore (Btree.insert t i i)
+  done;
+  Btree.clear t;
+  Alcotest.(check int) "cleared" 0 (Btree.length t);
+  ignore (Btree.insert t 1 1);
+  Alcotest.(check int) "usable after clear" 1 (Btree.length t)
+
+let test_bad_order () =
+  Alcotest.check_raises "order < 4"
+    (Invalid_argument "Btree.create: order must be >= 4") (fun () ->
+      ignore (Btree.create ~order:3 ~cmp:compare ()))
+
+let model_scenario ~order ~key_space ~steps seed =
+  let t = Btree.create ~order ~cmp:compare () in
+  let model = ref M.empty in
+  let prng = Workload.Prng.create seed in
+  for step = 1 to steps do
+    let k = Workload.Prng.int prng key_space in
+    if Workload.Prng.bool prng then begin
+      let prev = Btree.insert t k step in
+      if prev <> M.find_opt k !model then failwith "insert result mismatch";
+      model := M.add k step !model
+    end
+    else begin
+      let prev = Btree.remove t k in
+      if prev <> M.find_opt k !model then failwith "remove result mismatch";
+      model := M.remove k !model
+    end
+  done;
+  Btree.check_invariants t;
+  Btree.to_list t = M.bindings !model && Btree.length t = M.cardinal !model
+
+let test_model_small_order () =
+  Alcotest.(check bool) "order 4" true (model_scenario ~order:4 ~key_space:80 ~steps:5000 1)
+
+let test_model_default_order () =
+  Alcotest.(check bool) "order 32" true
+    (model_scenario ~order:32 ~key_space:500 ~steps:20000 2)
+
+let prop_model =
+  QCheck.Test.make ~name:"btree = Map over random op sequences" ~count:40
+    (QCheck.make
+       QCheck.Gen.(triple (4 -- 16) (1 -- 100) (0 -- 10_000)))
+    (fun (order, key_space, seed) ->
+      model_scenario ~order ~key_space ~steps:600 seed)
+
+let prop_range_model =
+  QCheck.Test.make ~name:"range = filtered bindings" ~count:60
+    (QCheck.make QCheck.Gen.(triple (list_size (0 -- 200) (0 -- 100)) (0 -- 100) (0 -- 100)))
+    (fun (keys, lo, hi) ->
+      let t = mk ~order:5 () in
+      List.iter (fun k -> ignore (Btree.insert t k k)) keys;
+      let expected =
+        List.sort_uniq compare keys
+        |> List.filter (fun k -> k >= lo && k <= hi)
+        |> List.map (fun k -> (k, k))
+      in
+      Btree.range t ~lo ~hi () = expected)
+
+let () =
+  Alcotest.run "btree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/find" `Quick test_insert_find;
+          Alcotest.test_case "replace" `Quick test_replace;
+          Alcotest.test_case "ordered iteration" `Quick test_ordered_iteration;
+          Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "delete all orders" `Quick test_delete_all_orders;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "bad order" `Quick test_bad_order;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "small order" `Quick test_model_small_order;
+          Alcotest.test_case "default order" `Slow test_model_default_order;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_model; prop_range_model ] );
+    ]

@@ -1,0 +1,232 @@
+(* SHA-256 against FIPS/NIST vectors, HMAC against RFC 4231, Lamport
+   signature properties, hex round-trips. *)
+
+module Sha256 = Ledger_crypto.Sha256
+module Hex = Ledger_crypto.Hex
+module Hmac = Ledger_crypto.Hmac
+module Lamport = Ledger_crypto.Lamport
+
+let check_hex = Alcotest.(check string)
+
+(* NIST / FIPS 180-4 test vectors *)
+let nist_vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+  ]
+
+let test_nist_vectors () =
+  List.iter
+    (fun (input, expected) ->
+      check_hex input expected (Sha256.hex_of_string input))
+    nist_vectors
+
+let test_million_a () =
+  check_hex "millions 'a'"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex_of_string (String.make 1_000_000 'a'))
+
+let test_incremental_feeding () =
+  (* Feeding in arbitrary chunk sizes must equal one-shot hashing. *)
+  let data = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+  let expected = Sha256.digest_string data in
+  List.iter
+    (fun chunk_size ->
+      let t = Sha256.init () in
+      let pos = ref 0 in
+      while !pos < String.length data do
+        let len = min chunk_size (String.length data - !pos) in
+        Sha256.feed_string t ~off:!pos ~len data;
+        pos := !pos + len
+      done;
+      Alcotest.(check string)
+        (Printf.sprintf "chunk size %d" chunk_size)
+        (Hex.encode expected)
+        (Hex.encode (Sha256.get t)))
+    [ 1; 3; 7; 13; 63; 64; 65; 127; 128; 129; 999 ]
+
+let test_boundary_lengths () =
+  (* Message lengths around the 64-byte block / 56-byte padding boundary. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      let t = Sha256.init () in
+      Sha256.feed_string t s;
+      Alcotest.(check string)
+        (Printf.sprintf "length %d" n)
+        (Hex.encode (Sha256.digest_string s))
+        (Hex.encode (Sha256.get t)))
+    [ 0; 1; 55; 56; 57; 63; 64; 65; 119; 120; 127; 128; 129 ]
+
+let test_digest_concat () =
+  Alcotest.(check string)
+    "concat equals one-shot"
+    (Hex.encode (Sha256.digest_string "hello world"))
+    (Hex.encode (Sha256.digest_concat [ "hel"; "lo "; ""; "world" ]))
+
+let test_get_idempotent () =
+  let t = Sha256.init () in
+  Sha256.feed_string t "abc";
+  let d1 = Sha256.get t in
+  let d2 = Sha256.get t in
+  Alcotest.(check string) "same digest" (Hex.encode d1) (Hex.encode d2);
+  Alcotest.check_raises "feeding after get"
+    (Invalid_argument "Sha256.feed_bytes: finalised") (fun () ->
+      Sha256.feed_string t "more")
+
+let test_feed_invalid_range () =
+  let t = Sha256.init () in
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Sha256.feed_string: invalid range") (fun () ->
+      Sha256.feed_string t ~off:2 ~len:10 "short")
+
+(* RFC 4231 HMAC-SHA-256 test cases *)
+let test_hmac_rfc4231 () =
+  let cases =
+    [
+      ( String.make 20 '\x0b',
+        "Hi There",
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7" );
+      ( "Jefe",
+        "what do ya want for nothing?",
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843" );
+      ( String.make 20 '\xaa',
+        String.make 50 '\xdd',
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe" );
+      ( String.make 131 '\xaa',
+        "Test Using Larger Than Block-Size Key - Hash Key First",
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54" );
+    ]
+  in
+  List.iter
+    (fun (key, msg, expected) ->
+      check_hex "rfc4231" expected (Hex.encode (Hmac.mac ~key msg)))
+    cases
+
+let test_hmac_verify () =
+  let key = "k" and msg = "m" in
+  let tag = Hmac.mac ~key msg in
+  Alcotest.(check bool) "valid" true (Hmac.verify ~key ~msg ~tag);
+  Alcotest.(check bool) "wrong msg" false (Hmac.verify ~key ~msg:"x" ~tag);
+  Alcotest.(check bool) "wrong key" false (Hmac.verify ~key:"x" ~msg ~tag);
+  Alcotest.(check bool)
+    "truncated tag" false
+    (Hmac.verify ~key ~msg ~tag:(String.sub tag 0 16))
+
+let test_hex_roundtrip () =
+  let data = String.init 256 Char.chr in
+  Alcotest.(check string) "roundtrip" data (Hex.decode (Hex.encode data));
+  Alcotest.(check string) "uppercase" "\xde\xad" (Hex.decode "DEAD");
+  Alcotest.(check bool) "is_hex yes" true (Hex.is_hex "00ff");
+  Alcotest.(check bool) "is_hex odd" false (Hex.is_hex "0");
+  Alcotest.(check bool) "is_hex bad char" false (Hex.is_hex "zz");
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length")
+    (fun () -> ignore (Hex.decode "abc"))
+
+let test_lamport_sign_verify () =
+  let sk, pk = Lamport.generate ~seed:"test-seed" in
+  let msg = "block hash contents" in
+  let s = Lamport.sign sk msg in
+  Alcotest.(check bool) "valid" true (Lamport.verify pk ~msg s);
+  Alcotest.(check bool) "wrong msg" false (Lamport.verify pk ~msg:"other" s)
+
+let test_lamport_deterministic () =
+  let _, pk1 = Lamport.generate ~seed:"same" in
+  let _, pk2 = Lamport.generate ~seed:"same" in
+  let _, pk3 = Lamport.generate ~seed:"different" in
+  Alcotest.(check string)
+    "same seed, same key"
+    (Hex.encode (Lamport.fingerprint pk1))
+    (Hex.encode (Lamport.fingerprint pk2));
+  Alcotest.(check bool)
+    "different seed, different key" false
+    (String.equal (Lamport.fingerprint pk1) (Lamport.fingerprint pk3))
+
+let test_lamport_serialization () =
+  let sk, pk = Lamport.generate ~seed:"ser" in
+  let s = Lamport.sign sk "msg" in
+  let pk' =
+    Option.get (Lamport.public_key_of_string (Lamport.public_key_to_string pk))
+  in
+  let s' =
+    Option.get (Lamport.signature_of_string (Lamport.signature_to_string s))
+  in
+  Alcotest.(check bool) "roundtrip verifies" true (Lamport.verify pk' ~msg:"msg" s');
+  Alcotest.(check bool)
+    "bad pk string" true
+    (Lamport.public_key_of_string "short" = None);
+  Alcotest.(check bool)
+    "bad sig string" true
+    (Lamport.signature_of_string "short" = None)
+
+let test_lamport_pk_from_sk () =
+  let sk, pk = Lamport.generate ~seed:"derive" in
+  let pk' = Lamport.public_key_of_secret sk in
+  Alcotest.(check string)
+    "derived equals generated"
+    (Hex.encode (Lamport.fingerprint pk))
+    (Hex.encode (Lamport.fingerprint pk'))
+
+(* Property tests *)
+let prop_sha_deterministic =
+  QCheck.Test.make ~name:"sha256 deterministic" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 300))
+    (fun s -> String.equal (Sha256.digest_string s) (Sha256.digest_string s))
+
+let prop_sha_injective_smoke =
+  QCheck.Test.make ~name:"sha256 distinct on appended byte" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 300))
+    (fun s ->
+      not (String.equal (Sha256.digest_string s) (Sha256.digest_string (s ^ "x"))))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 100))
+    (fun s -> String.equal s (Hex.decode (Hex.encode s)))
+
+let prop_hmac_key_sensitivity =
+  QCheck.Test.make ~name:"hmac differs under different keys" ~count:100
+    QCheck.(pair (string_of_size Gen.(1 -- 50)) (string_of_size Gen.(0 -- 100)))
+    (fun (key, msg) ->
+      not (String.equal (Hmac.mac ~key msg) (Hmac.mac ~key:(key ^ "!") msg)))
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "NIST vectors" `Quick test_nist_vectors;
+          Alcotest.test_case "million a" `Slow test_million_a;
+          Alcotest.test_case "incremental feeding" `Quick test_incremental_feeding;
+          Alcotest.test_case "boundary lengths" `Quick test_boundary_lengths;
+          Alcotest.test_case "digest_concat" `Quick test_digest_concat;
+          Alcotest.test_case "get idempotent" `Quick test_get_idempotent;
+          Alcotest.test_case "invalid range" `Quick test_feed_invalid_range;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+        ] );
+      ("hex", [ Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip ]);
+      ( "lamport",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_lamport_sign_verify;
+          Alcotest.test_case "deterministic" `Quick test_lamport_deterministic;
+          Alcotest.test_case "serialization" `Quick test_lamport_serialization;
+          Alcotest.test_case "pk from sk" `Quick test_lamport_pk_from_sk;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_sha_deterministic;
+            prop_sha_injective_smoke;
+            prop_hex_roundtrip;
+            prop_hmac_key_sensitivity;
+          ] );
+    ]

@@ -1,0 +1,170 @@
+(* SQL DML statements routed through ledgered transactions. *)
+
+open Relation
+open Sql_ledger
+open Testkit
+
+let affected = function
+  | Dml.Affected n -> n
+  | Dml.Rows _ -> Alcotest.fail "expected row count"
+
+let rows = function
+  | Dml.Rows r -> r
+  | Dml.Affected _ -> Alcotest.fail "expected rows"
+
+let exec db sql = Dml.execute db ~user:"sql" sql
+
+let setup () =
+  let db = make_db "dml" in
+  let _ = make_accounts db in
+  db
+
+let test_insert_positional () =
+  let db = setup () in
+  Alcotest.(check int) "one row" 1
+    (affected (exec db "INSERT INTO accounts VALUES ('Ada', 100)"));
+  let r = rows (exec db "SELECT balance FROM accounts WHERE name = 'Ada'") in
+  Alcotest.(check bool) "value" true
+    (Value.equal (List.hd r.Sqlexec.Rel.rows).(0) (Value.Int 100))
+
+let test_insert_multi_row () =
+  let db = setup () in
+  Alcotest.(check int) "three rows" 3
+    (affected
+       (exec db "INSERT INTO accounts VALUES ('A', 1), ('B', 2), ('C', 3)"));
+  let r = rows (exec db "SELECT COUNT(*) FROM accounts") in
+  Alcotest.(check bool) "count" true
+    (Value.equal (List.hd r.Sqlexec.Rel.rows).(0) (Value.Int 3))
+
+let test_insert_named_columns () =
+  let db = setup () in
+  Database.add_column db ~table:"accounts"
+    (Column.make ~nullable:true "email" (Datatype.Varchar 64));
+  Alcotest.(check int) "named insert" 1
+    (affected
+       (exec db "INSERT INTO accounts (balance, name) VALUES (7, 'Swapped')"));
+  let r =
+    rows (exec db "SELECT balance, email FROM accounts WHERE name = 'Swapped'")
+  in
+  let row = List.hd r.Sqlexec.Rel.rows in
+  Alcotest.(check bool) "reordered" true (Value.equal row.(0) (Value.Int 7));
+  Alcotest.(check bool) "missing column null" true (Value.is_null row.(1))
+
+let test_update_with_expression () =
+  let db = setup () in
+  ignore (exec db "INSERT INTO accounts VALUES ('X', 100), ('Y', 50)");
+  Alcotest.(check int) "one updated" 1
+    (affected
+       (exec db "UPDATE accounts SET balance = balance * 2 + 1 WHERE name = 'X'"));
+  let r = rows (exec db "SELECT balance FROM accounts ORDER BY name") in
+  Alcotest.(check (list string)) "values" [ "201"; "50" ]
+    (List.map (fun row -> Value.to_string row.(0)) r.Sqlexec.Rel.rows)
+
+let test_update_all_rows () =
+  let db = setup () in
+  ignore (exec db "INSERT INTO accounts VALUES ('X', 1), ('Y', 2)");
+  Alcotest.(check int) "both" 2
+    (affected (exec db "UPDATE accounts SET balance = 0"))
+
+let test_delete_where () =
+  let db = setup () in
+  ignore (exec db "INSERT INTO accounts VALUES ('A', 10), ('B', 200), ('C', 30)");
+  Alcotest.(check int) "one deleted" 1
+    (affected (exec db "DELETE FROM accounts WHERE balance > 100"));
+  let r = rows (exec db "SELECT name FROM accounts ORDER BY name") in
+  Alcotest.(check (list string)) "survivors" [ "A"; "C" ]
+    (List.map (fun row -> Value.to_string row.(0)) r.Sqlexec.Rel.rows)
+
+let test_dml_is_ledgered () =
+  (* The whole point: SQL-driven changes get history + hashing like the
+     programmatic API. *)
+  let db = setup () in
+  ignore (exec db "INSERT INTO accounts VALUES ('L', 10)");
+  ignore (exec db "UPDATE accounts SET balance = 20 WHERE name = 'L'");
+  ignore (exec db "DELETE FROM accounts WHERE name = 'L'");
+  let view =
+    rows (exec db "SELECT operation FROM accounts__ledger_view ORDER BY transaction_id")
+  in
+  Alcotest.(check int) "four versions" 4 (Sqlexec.Rel.cardinality view);
+  let d = fresh_digest db in
+  Alcotest.(check bool) "verifies" true (verify_ok db [ d ])
+
+let test_dml_on_regular_table () =
+  let db = setup () in
+  let _ =
+    Database.create_regular_table db ~name:"plain"
+      ~columns:[ Column.make "id" Datatype.Int; Column.make "v" Datatype.Int ]
+      ~key:[ "id" ] ()
+  in
+  ignore (exec db "INSERT INTO plain VALUES (1, 10), (2, 20)");
+  Alcotest.(check int) "update" 1
+    (affected (exec db "UPDATE plain SET v = 99 WHERE id = 2"));
+  (* key-changing update = delete + insert *)
+  Alcotest.(check int) "key update" 1
+    (affected (exec db "UPDATE plain SET id = 5 WHERE id = 1"));
+  let r = rows (exec db "SELECT id FROM plain ORDER BY id") in
+  Alcotest.(check (list string)) "keys" [ "2"; "5" ]
+    (List.map (fun row -> Value.to_string row.(0)) r.Sqlexec.Rel.rows)
+
+let test_dml_errors_roll_back () =
+  let db = setup () in
+  ignore (exec db "INSERT INTO accounts VALUES ('A', 1)");
+  (* Second row duplicates the key: the whole statement must roll back. *)
+  (match exec db "INSERT INTO accounts VALUES ('B', 2), ('A', 3)" with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "duplicate insert should fail");
+  let r = rows (exec db "SELECT COUNT(*) FROM accounts") in
+  Alcotest.(check bool) "B rolled back too" true
+    (Value.equal (List.hd r.Sqlexec.Rel.rows).(0) (Value.Int 1));
+  let d = fresh_digest db in
+  Alcotest.(check bool) "verifies after rollback" true (verify_ok db [ d ])
+
+let test_dml_rejects () =
+  let db = setup () in
+  List.iter
+    (fun sql ->
+      match exec db sql with
+      | exception Sqlexec.Parser.Parse_error _ -> ()
+      | exception Sqlexec.Executor.Exec_error _ -> ()
+      | _ -> Alcotest.failf "accepted %s" sql)
+    [
+      "INSERT INTO nosuch VALUES (1)";
+      "INSERT INTO accounts VALUES (1)";
+      "INSERT INTO accounts (name) VALUES ('x', 'y')";
+      "UPDATE accounts SET nosuch = 1";
+      "DELETE FROM nosuch";
+      "DROP TABLE accounts";
+    ]
+
+let test_append_only_via_sql () =
+  let db = make_db "dml-ao" in
+  let _ = make_accounts ~kind:`Append_only db in
+  ignore (exec db "INSERT INTO accounts VALUES ('A', 1)");
+  match exec db "UPDATE accounts SET balance = 2" with
+  | exception Types.Ledger_error _ -> ()
+  | _ -> Alcotest.fail "append-only update via SQL should fail"
+
+let () =
+  Alcotest.run "dml"
+    [
+      ( "insert",
+        [
+          Alcotest.test_case "positional" `Quick test_insert_positional;
+          Alcotest.test_case "multi-row" `Quick test_insert_multi_row;
+          Alcotest.test_case "named columns" `Quick test_insert_named_columns;
+        ] );
+      ( "update/delete",
+        [
+          Alcotest.test_case "expression" `Quick test_update_with_expression;
+          Alcotest.test_case "all rows" `Quick test_update_all_rows;
+          Alcotest.test_case "delete where" `Quick test_delete_where;
+          Alcotest.test_case "regular table" `Quick test_dml_on_regular_table;
+        ] );
+      ( "ledger semantics",
+        [
+          Alcotest.test_case "DML is ledgered" `Quick test_dml_is_ledgered;
+          Alcotest.test_case "errors roll back" `Quick test_dml_errors_roll_back;
+          Alcotest.test_case "rejects" `Quick test_dml_rejects;
+          Alcotest.test_case "append-only" `Quick test_append_only_via_sql;
+        ] );
+    ]

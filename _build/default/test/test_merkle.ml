@@ -1,0 +1,208 @@
+(* Merkle trees: the streaming algorithm of §3.2.1 against the materialised
+   reference, proofs, savepoint snapshots. *)
+
+module Streaming = Merkle.Streaming
+module Tree = Merkle.Tree
+module Proof = Merkle.Proof
+module Sha256 = Ledger_crypto.Sha256
+
+let leaf i = Sha256.digest_string (Printf.sprintf "leaf-%d" i)
+let leaves n = List.init n leaf
+
+(* Independent reference implementation: recursive level-by-level
+   construction with odd-node promotion. *)
+let rec reference_root = function
+  | [] -> Streaming.empty_root
+  | [ x ] -> x
+  | nodes ->
+      let rec pair = function
+        | [] -> []
+        | [ x ] -> [ x ]
+        | a :: b :: rest -> Streaming.combine a b :: pair rest
+      in
+      reference_root (pair nodes)
+
+let test_empty () =
+  Alcotest.(check bool)
+    "empty root" true
+    (String.equal (Streaming.root Streaming.empty) Streaming.empty_root);
+  Alcotest.(check int) "count" 0 (Streaming.leaf_count Streaming.empty);
+  Alcotest.(check bool)
+    "tree empty" true
+    (String.equal (Tree.root (Tree.of_leaves [])) Streaming.empty_root)
+
+let test_streaming_matches_reference () =
+  for n = 1 to 40 do
+    let ls = leaves n in
+    let streaming = Streaming.(root (add_leaves empty ls)) in
+    Alcotest.(check string)
+      (Printf.sprintf "n=%d" n)
+      (Ledger_crypto.Hex.encode (reference_root ls))
+      (Ledger_crypto.Hex.encode streaming)
+  done
+
+let test_tree_matches_streaming () =
+  List.iter
+    (fun n ->
+      let ls = leaves n in
+      Alcotest.(check string)
+        (Printf.sprintf "n=%d" n)
+        (Ledger_crypto.Hex.encode Streaming.(root (add_leaves empty ls)))
+        (Ledger_crypto.Hex.encode (Tree.root (Tree.of_leaves ls))))
+    [ 1; 2; 3; 4; 5; 7; 8; 9; 15; 16; 17; 100; 255; 256; 257 ]
+
+let test_space_logarithmic () =
+  let acc = Streaming.(add_leaves empty (leaves 1000)) in
+  Alcotest.(check bool)
+    "pending levels <= log2(1000)+1" true
+    (List.length (Streaming.levels acc) <= 11)
+
+let test_single_leaf_promotes () =
+  let l = leaf 0 in
+  Alcotest.(check string)
+    "root of singleton is the leaf"
+    (Ledger_crypto.Hex.encode l)
+    (Ledger_crypto.Hex.encode Streaming.(root (add_leaf empty l)))
+
+let test_order_sensitivity () =
+  let a = Streaming.(root (add_leaves empty [ leaf 1; leaf 2 ])) in
+  let b = Streaming.(root (add_leaves empty [ leaf 2; leaf 1 ])) in
+  Alcotest.(check bool) "order matters" false (String.equal a b)
+
+let test_snapshot_restore () =
+  (* The savepoint pattern: snapshot, keep appending, restore, re-append. *)
+  let base = Streaming.(add_leaves empty (leaves 5)) in
+  let snapshot = base in
+  let extended = Streaming.(add_leaves base [ leaf 100; leaf 101 ]) in
+  Alcotest.(check bool)
+    "snapshot unchanged by extension" true
+    (String.equal (Streaming.root snapshot)
+       Streaming.(root (add_leaves empty (leaves 5))));
+  let replay = Streaming.(add_leaves snapshot [ leaf 100; leaf 101 ]) in
+  Alcotest.(check string)
+    "restore + replay equals original extension"
+    (Ledger_crypto.Hex.encode (Streaming.root extended))
+    (Ledger_crypto.Hex.encode (Streaming.root replay))
+
+let test_proofs_all_positions () =
+  List.iter
+    (fun n ->
+      let ls = leaves n in
+      let tree = Tree.of_leaves ls in
+      let root = Tree.root tree in
+      List.iteri
+        (fun i l ->
+          let proof = Tree.proof tree i in
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d i=%d verifies" n i)
+            true
+            (Proof.verify ~root ~leaf:l proof);
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d i=%d rejects wrong leaf" n i)
+            false
+            (Proof.verify ~root ~leaf:(leaf 9999) proof))
+        ls)
+    [ 1; 2; 3; 5; 8; 13; 16; 33 ]
+
+let test_proof_rejects_wrong_root () =
+  let tree = Tree.of_leaves (leaves 8) in
+  let proof = Tree.proof tree 3 in
+  Alcotest.(check bool)
+    "wrong root" false
+    (Proof.verify ~root:(leaf 77) ~leaf:(leaf 3) proof)
+
+let test_proof_json_roundtrip () =
+  let tree = Tree.of_leaves (leaves 9) in
+  let proof = Tree.proof tree 8 in
+  let json = Proof.to_json proof in
+  match Proof.of_json json with
+  | None -> Alcotest.fail "roundtrip failed"
+  | Some proof' ->
+      Alcotest.(check bool)
+        "roundtrip verifies" true
+        (Proof.verify ~root:(Tree.root tree) ~leaf:(leaf 8) proof')
+
+let test_proof_of_json_rejects_garbage () =
+  Alcotest.(check bool) "not a list" true (Proof.of_json (Sjson.Int 3) = None);
+  Alcotest.(check bool)
+    "bad side" true
+    (Proof.of_json
+       (Sjson.List
+          [ Sjson.Obj [ ("side", Sjson.String "up"); ("hash", Sjson.String "00") ] ])
+    = None);
+  Alcotest.(check bool)
+    "bad hex" true
+    (Proof.of_json
+       (Sjson.List
+          [ Sjson.Obj [ ("side", Sjson.String "left"); ("hash", Sjson.String "zz") ] ])
+    = None)
+
+let test_tree_bounds () =
+  let tree = Tree.of_leaves (leaves 4) in
+  Alcotest.(check int) "count" 4 (Tree.leaf_count tree);
+  Alcotest.check_raises "proof out of range"
+    (Invalid_argument "Tree.proof: out of range") (fun () ->
+      ignore (Tree.proof tree 4));
+  Alcotest.check_raises "leaf out of range"
+    (Invalid_argument "Tree.leaf: out of range") (fun () ->
+      ignore (Tree.leaf tree (-1)))
+
+let hash_list_gen =
+  QCheck.Gen.(map (fun xs -> List.map leaf xs) (list_size (0 -- 200) small_nat))
+
+let prop_streaming_equals_tree =
+  QCheck.Test.make ~name:"streaming root = tree root" ~count:200
+    (QCheck.make hash_list_gen)
+    (fun ls ->
+      String.equal
+        Streaming.(root (add_leaves empty ls))
+        (Tree.root (Tree.of_leaves ls)))
+
+let prop_all_proofs_verify =
+  QCheck.Test.make ~name:"every proof verifies" ~count:60
+    (QCheck.make QCheck.Gen.(1 -- 40))
+    (fun n ->
+      let ls = leaves n in
+      let tree = Tree.of_leaves ls in
+      let root = Tree.root tree in
+      List.for_all
+        (fun i -> Proof.verify ~root ~leaf:(List.nth ls i) (Tree.proof tree i))
+        (List.init n Fun.id))
+
+let prop_incremental_root_changes =
+  QCheck.Test.make ~name:"adding a leaf changes the root" ~count:100
+    (QCheck.make hash_list_gen)
+    (fun ls ->
+      let before = Streaming.(root (add_leaves empty ls)) in
+      let after = Streaming.(root (add_leaf (add_leaves empty ls) (leaf 424242))) in
+      not (String.equal before after))
+
+let () =
+  Alcotest.run "merkle"
+    [
+      ( "streaming",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "matches reference" `Quick test_streaming_matches_reference;
+          Alcotest.test_case "log-space state" `Quick test_space_logarithmic;
+          Alcotest.test_case "singleton promotion" `Quick test_single_leaf_promotes;
+          Alcotest.test_case "order sensitivity" `Quick test_order_sensitivity;
+          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+        ] );
+      ( "tree+proofs",
+        [
+          Alcotest.test_case "tree = streaming" `Quick test_tree_matches_streaming;
+          Alcotest.test_case "proofs at all positions" `Quick test_proofs_all_positions;
+          Alcotest.test_case "wrong root rejected" `Quick test_proof_rejects_wrong_root;
+          Alcotest.test_case "proof JSON roundtrip" `Quick test_proof_json_roundtrip;
+          Alcotest.test_case "proof JSON garbage" `Quick test_proof_of_json_rejects_garbage;
+          Alcotest.test_case "bounds" `Quick test_tree_bounds;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_streaming_equals_tree;
+            prop_all_proofs_verify;
+            prop_incremental_root_changes;
+          ] );
+    ]

@@ -1,0 +1,162 @@
+(* Non-repudiation receipts (§5.1): Merkle proof + per-block signature,
+   verified without access to the database — even after the ledger is
+   destroyed. *)
+
+open Sql_ledger
+open Testkit
+
+let setup () =
+  let db = make_db ~signing_seed:"receipt-seed" "receipts" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let digest = fresh_digest db in
+  (db, digest)
+
+let test_generate_and_verify () =
+  (* block_size = 4, 7 committed txns: block 0 = txns 1-4, block 1 (the
+     digest's block) = txns 5-7. *)
+  let db, digest = setup () in
+  match Receipt.generate db ~txn_id:6 with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "txn id" 6 r.Receipt.entry.Types.txn_id;
+      Alcotest.(check bool) "signed" true (r.Receipt.signature <> None);
+      (match Receipt.verify r with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("standalone: " ^ e));
+      (match Receipt.verify ~digest r with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("with digest: " ^ e));
+      let fp =
+        Ledger_crypto.Lamport.fingerprint (Option.get r.Receipt.public_key)
+      in
+      match Receipt.verify ~expected_fingerprint:fp r with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("with fingerprint: " ^ e)
+
+let test_receipt_for_every_txn_in_block () =
+  let db, _ = setup () in
+  let entries = Database_ledger.entries (Database.ledger db) in
+  List.iter
+    (fun (e : Types.txn_entry) ->
+      match Receipt.generate db ~txn_id:e.txn_id with
+      | Ok r -> (
+          match Receipt.verify r with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "txn %d: %s" e.txn_id msg)
+      | Error msg -> Alcotest.failf "txn %d: %s" e.txn_id msg)
+    entries
+
+let test_open_block_rejected () =
+  let db, _ = setup () in
+  let accounts = Database.ledger_table db "accounts" in
+  let e = insert_account db accounts "Open" 1 in
+  match Receipt.generate db ~txn_id:e.Types.txn_id with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "open-block receipt must be refused"
+
+let test_unknown_txn_rejected () =
+  let db, _ = setup () in
+  match Receipt.generate db ~txn_id:424242 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown txn must be refused"
+
+let test_json_roundtrip () =
+  let db, digest = setup () in
+  match Receipt.generate db ~txn_id:7 with
+  | Error e -> Alcotest.fail e
+  | Ok r -> (
+      match Receipt.of_string (Receipt.to_string r) with
+      | Error e -> Alcotest.fail e
+      | Ok r' -> (
+          match Receipt.verify ~digest r' with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail ("roundtrip verify: " ^ e)))
+
+let test_survives_ledger_destruction () =
+  (* The whole point of §5.1: the receipt stands on its own after the
+     ledger is destroyed or tampered with. *)
+  let db, digest = setup () in
+  let receipt_json =
+    match Receipt.generate db ~txn_id:5 with
+    | Ok r -> Receipt.to_string r
+    | Error e -> Alcotest.fail e
+  in
+  (* Destroy the ledger. *)
+  ignore (Tamper.apply db (Tamper.Fork_chain { block_id = 0 }));
+  ignore
+    (Tamper.apply db (Tamper.Delete_row { table = "accounts"; key = [| vs "Mary" |] }));
+  match Receipt.of_string receipt_json with
+  | Error e -> Alcotest.fail e
+  | Ok r -> (
+      match Receipt.verify ~digest r with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("post-destruction: " ^ e))
+
+let test_forged_receipt_rejected () =
+  let db, digest = setup () in
+  match Receipt.generate db ~txn_id:5 with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      (* Claim a different commit outcome: bump the amount... we can only
+         change entry fields; any change must invalidate the proof. *)
+      let forged_entry = { r.Receipt.entry with Types.user = "forged" } in
+      let forged = { r with Receipt.entry = forged_entry } in
+      (match Receipt.verify ~digest forged with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "forged entry accepted");
+      (* Tampered proof *)
+      let bad_proof =
+        match r.Receipt.proof with
+        | step :: rest ->
+            (match step with
+            | Merkle.Proof.Sibling_left h ->
+                Merkle.Proof.Sibling_right h :: rest
+            | Merkle.Proof.Sibling_right h ->
+                Merkle.Proof.Sibling_left h :: rest)
+        | [] -> [ Merkle.Proof.Sibling_left (String.make 32 'x') ]
+      in
+      (match Receipt.verify ~digest { r with Receipt.proof = bad_proof } with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "tampered proof accepted");
+      (* Forged block (hash change) must clash with the digest. *)
+      let forged_block = { r.Receipt.block with Types.txn_count = 99 } in
+      (match Receipt.verify ~digest { r with Receipt.block = forged_block } with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "forged block accepted with digest");
+      (* Wrong fingerprint pin. *)
+      match
+        Receipt.verify ~expected_fingerprint:(String.make 32 'z') r
+      with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "wrong fingerprint accepted"
+
+let test_unsigned_database () =
+  (* Without a signing seed, receipts still carry a verifiable proof. *)
+  let db = make_db "unsigned" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  ignore (fresh_digest db);
+  match Receipt.generate db ~txn_id:3 with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "no signature" true (r.Receipt.signature = None);
+      (match Receipt.verify r with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+
+let () =
+  Alcotest.run "receipts"
+    [
+      ( "receipts",
+        [
+          Alcotest.test_case "generate + verify" `Quick test_generate_and_verify;
+          Alcotest.test_case "every txn in block" `Quick test_receipt_for_every_txn_in_block;
+          Alcotest.test_case "open block rejected" `Quick test_open_block_rejected;
+          Alcotest.test_case "unknown txn rejected" `Quick test_unknown_txn_rejected;
+          Alcotest.test_case "JSON roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "survives ledger destruction" `Quick test_survives_ledger_destruction;
+          Alcotest.test_case "forgeries rejected" `Quick test_forged_receipt_rejected;
+          Alcotest.test_case "unsigned database" `Quick test_unsigned_database;
+        ] );
+    ]

@@ -1,0 +1,256 @@
+(* Values, schemas, and the §3.2 row serialization format — including the
+   metadata-swap and NULL-ordinal attack properties the format must have. *)
+
+open Relation
+
+let vi = Value.int
+let vs s = Value.String s
+
+let schema_2col =
+  Schema.make
+    [ Column.make "c1" Datatype.Int; Column.make "c2" Datatype.Smallint ]
+
+let test_value_conformance () =
+  Alcotest.(check bool) "int fits" true (Value.conforms Datatype.Int (vi 100));
+  Alcotest.(check bool)
+    "smallint overflow" false
+    (Value.conforms Datatype.Smallint (vi 40000));
+  Alcotest.(check bool)
+    "smallint min" true
+    (Value.conforms Datatype.Smallint (vi (-32768)));
+  Alcotest.(check bool)
+    "int overflow" false
+    (Value.conforms Datatype.Int (vi 3_000_000_000));
+  Alcotest.(check bool)
+    "varchar fits" true
+    (Value.conforms (Datatype.Varchar 3) (vs "abc"));
+  Alcotest.(check bool)
+    "varchar too long" false
+    (Value.conforms (Datatype.Varchar 3) (vs "abcd"));
+  Alcotest.(check bool) "null conforms everywhere" true
+    (List.for_all
+       (fun d -> Value.conforms d Value.Null)
+       [ Datatype.Int; Datatype.Bool; Datatype.Varchar 1; Datatype.Datetime ]);
+  Alcotest.(check bool)
+    "wrong constructor" false
+    (Value.conforms Datatype.Int (vs "1"))
+
+let test_value_compare () =
+  Alcotest.(check bool) "null first" true (Value.compare Value.Null (vi 0) < 0);
+  Alcotest.(check bool) "ints" true (Value.compare (vi 1) (vi 2) < 0);
+  Alcotest.(check bool)
+    "int vs float" true
+    (Value.compare (vi 2) (Value.Float 1.5) > 0);
+  Alcotest.(check bool)
+    "mixed numeric equal" true
+    (Value.equal (vi 2) (Value.Float 2.0));
+  Alcotest.(check bool) "strings" true (Value.compare (vs "a") (vs "b") < 0)
+
+let test_value_encode_widths () =
+  Alcotest.(check int) "smallint 2 bytes" 2
+    (String.length (Value.encode Datatype.Smallint (vi 18)));
+  Alcotest.(check int) "int 4 bytes" 4
+    (String.length (Value.encode Datatype.Int (vi 18)));
+  Alcotest.(check int) "bigint 8 bytes" 8
+    (String.length (Value.encode Datatype.Bigint (vi 18)));
+  Alcotest.(check string) "negative smallint" "\xff\xfe"
+    (Value.encode Datatype.Smallint (vi (-2)));
+  Alcotest.check_raises "null payload"
+    (Invalid_argument "Value.encode: Null has no payload") (fun () ->
+      ignore (Value.encode Datatype.Int Value.Null))
+
+let test_tagged_encode_distinct () =
+  (* Different constructors with "the same" content must differ. *)
+  let pairs =
+    [
+      (Value.Int 1, Value.Bool true);
+      (Value.Int 0, Value.Null);
+      (Value.String "1", Value.Int 1);
+      (Value.Float 1.0, Value.Datetime 1.0);
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s vs %s" (Value.to_string a) (Value.to_string b))
+        false
+        (String.equal (Value.tagged_encode a) (Value.tagged_encode b)))
+    pairs
+
+let test_datatype_string_roundtrip () =
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Datatype.to_string d)
+        true
+        (match Datatype.of_string (Datatype.to_string d) with
+        | Some d' -> Datatype.equal d d'
+        | None -> false))
+    [
+      Datatype.Smallint; Datatype.Int; Datatype.Bigint; Datatype.Bool;
+      Datatype.Float; Datatype.Varchar 17; Datatype.Datetime;
+    ];
+  Alcotest.(check bool) "garbage" true (Datatype.of_string "BLOB" = None)
+
+let test_schema_basics () =
+  let s = schema_2col in
+  Alcotest.(check int) "arity" 2 (Schema.arity s);
+  Alcotest.(check bool) "ordinal case-insensitive" true (Schema.ordinal s "C2" = Some 1);
+  Alcotest.(check bool) "missing" true (Schema.ordinal s "zz" = None);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Schema.make: duplicate column C1") (fun () ->
+      ignore (Schema.make [ Column.make "c1" Datatype.Int; Column.make "C1" Datatype.Int ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Schema.make: empty column list")
+    (fun () -> ignore (Schema.make []))
+
+let test_schema_validate () =
+  let ok = Schema.validate_row schema_2col [| vi 1; vi 2 |] in
+  Alcotest.(check bool) "valid row" true (ok = Ok ());
+  (match Schema.validate_row schema_2col [| vi 1 |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "arity should fail");
+  (match Schema.validate_row schema_2col [| Value.Null; vi 2 |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "null in NOT NULL should fail");
+  match Schema.validate_row schema_2col [| vi 1; vi 70000 |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "smallint overflow should fail"
+
+let test_schema_evolution () =
+  let s = Schema.add_column schema_2col (Column.make ~nullable:true "c3" Datatype.Bool) in
+  Alcotest.(check int) "arity grows" 3 (Schema.arity s);
+  let s = Schema.hide_column s "c2" in
+  Alcotest.(check int) "visible count" 2 (List.length (Schema.visible_columns s));
+  let s = Schema.rename_column s ~old_name:"c1" ~new_name:"k1" in
+  Alcotest.(check bool) "renamed" true (Schema.ordinal s "k1" = Some 0)
+
+let test_row_ops () =
+  let r = [| vi 1; vs "x"; vi 3 |] in
+  Alcotest.(check bool) "project" true
+    (Row.equal (Row.project r [ 2; 0 ]) [| vi 3; vi 1 |]);
+  let r2 = Row.set r 1 (vs "y") in
+  Alcotest.(check bool) "set copies" true (Value.equal r.(1) (vs "x"));
+  Alcotest.(check bool) "set value" true (Value.equal r2.(1) (vs "y"));
+  Alcotest.(check bool) "compare lex" true (Row.compare [| vi 1 |] [| vi 1; vi 0 |] < 0)
+
+(* ---- The serialization format of §3.2 ---- *)
+
+let test_metadata_swap_changes_hash () =
+  (* Paper §3.2: Column1 INT = 0x12, Column2 SMALLINT = 0x34. Redeclaring
+     the types must change the serialized form (and hence the hash). *)
+  let honest = schema_2col in
+  let swapped =
+    Schema.make
+      [ Column.make "c1" Datatype.Smallint; Column.make "c2" Datatype.Int ]
+  in
+  let row = [| vi 0x12; vi 0x34 |] in
+  Alcotest.(check bool)
+    "hash differs under swapped metadata" false
+    (String.equal (Row_codec.hash honest row) (Row_codec.hash swapped row))
+
+let test_null_skipping_hash_stability () =
+  (* §3.5.1: adding a nullable column must not change old rows' hashes. *)
+  let extended =
+    Schema.add_column schema_2col (Column.make ~nullable:true "c3" Datatype.Int)
+  in
+  let old_row = [| vi 1; vi 2 |] in
+  let padded = [| vi 1; vi 2; Value.Null |] in
+  Alcotest.(check string) "hash stable across nullable add"
+    (Ledger_crypto.Hex.encode (Row_codec.hash schema_2col old_row))
+    (Ledger_crypto.Hex.encode (Row_codec.hash extended padded))
+
+let test_null_ordinal_binding () =
+  (* §3.5.1: which column is NULL must be bound — (1, NULL) ≠ (NULL, 1). *)
+  let s =
+    Schema.make
+      [
+        Column.make ~nullable:true "a" Datatype.Int;
+        Column.make ~nullable:true "b" Datatype.Int;
+      ]
+  in
+  Alcotest.(check bool)
+    "null position matters" false
+    (String.equal
+       (Row_codec.hash s [| vi 1; Value.Null |])
+       (Row_codec.hash s [| Value.Null; vi 1 |]))
+
+let test_serialize_inspect () =
+  let s = Row_codec.serialize schema_2col [| vi 0x12; vi 0x34 |] in
+  match Row_codec.inspect s with
+  | None -> Alcotest.fail "inspect failed"
+  | Some (count, fields) ->
+      Alcotest.(check int) "column count" 2 count;
+      Alcotest.(check int) "fields" 2 (List.length fields);
+      let f1 = List.nth fields 0 in
+      Alcotest.(check int) "ordinal" 0 f1.Row_codec.ordinal;
+      Alcotest.(check int) "int tag" (Datatype.tag Datatype.Int) f1.Row_codec.tag;
+      Alcotest.(check string) "payload" "\x00\x00\x00\x12" f1.Row_codec.payload
+
+let test_serialize_rejects_invalid () =
+  Alcotest.(check bool)
+    "invalid row raises" true
+    (match Row_codec.serialize schema_2col [| vi 1 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_inspect_rejects_garbage () =
+  Alcotest.(check bool) "garbage" true (Row_codec.inspect "\x07garbage" = None);
+  Alcotest.(check bool) "empty" true (Row_codec.inspect "" = None)
+
+(* Property: serialization is injective over rows of a fixed schema
+   (up to hash collision, checked structurally here). *)
+let row_gen =
+  QCheck.Gen.(
+    map2
+      (fun a b -> [| Value.Int a; Value.Int (b mod 32768) |])
+      (0 -- 1_000_000) (0 -- 1_000_000))
+
+let prop_serialize_injective =
+  QCheck.Test.make ~name:"distinct rows serialize distinctly" ~count:300
+    (QCheck.make (QCheck.Gen.pair row_gen row_gen))
+    (fun (r1, r2) ->
+      Row.equal r1 r2
+      || not
+           (String.equal
+              (Row_codec.serialize schema_2col r1)
+              (Row_codec.serialize schema_2col r2)))
+
+let prop_inspect_roundtrip =
+  QCheck.Test.make ~name:"inspect parses every serialized row" ~count:300
+    (QCheck.make row_gen)
+    (fun r ->
+      match Row_codec.inspect (Row_codec.serialize schema_2col r) with
+      | Some (2, fields) -> List.length fields = 2
+      | _ -> false)
+
+let () =
+  Alcotest.run "relation"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "conformance" `Quick test_value_conformance;
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "encode widths" `Quick test_value_encode_widths;
+          Alcotest.test_case "tagged encode distinct" `Quick test_tagged_encode_distinct;
+          Alcotest.test_case "datatype strings" `Quick test_datatype_string_roundtrip;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basics" `Quick test_schema_basics;
+          Alcotest.test_case "validate" `Quick test_schema_validate;
+          Alcotest.test_case "evolution" `Quick test_schema_evolution;
+          Alcotest.test_case "row ops" `Quick test_row_ops;
+        ] );
+      ( "serialization (§3.2)",
+        [
+          Alcotest.test_case "metadata swap changes hash" `Quick test_metadata_swap_changes_hash;
+          Alcotest.test_case "nullable add keeps hashes" `Quick test_null_skipping_hash_stability;
+          Alcotest.test_case "null ordinal binding" `Quick test_null_ordinal_binding;
+          Alcotest.test_case "inspect" `Quick test_serialize_inspect;
+          Alcotest.test_case "rejects invalid rows" `Quick test_serialize_rejects_invalid;
+          Alcotest.test_case "inspect rejects garbage" `Quick test_inspect_rejects_garbage;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_serialize_injective; prop_inspect_roundtrip ] );
+    ]

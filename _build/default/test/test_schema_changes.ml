@@ -1,0 +1,194 @@
+(* Schema changes (§3.5): adding nullable columns, dropping columns/tables,
+   altering column types — all while keeping the ledger verifiable. *)
+
+open Relation
+open Sql_ledger
+open Testkit
+
+let test_add_nullable_column () =
+  let db = make_db "addcol" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let d_before = fresh_digest db in
+  Database.add_column db ~table:"accounts"
+    (Column.make ~nullable:true "email" (Datatype.Varchar 64));
+  (* Old hashes must still verify: NULLs are skipped (§3.5.1). *)
+  Alcotest.(check bool) "verifies after add" true (verify_ok db [ d_before ]);
+  (* New writes can use the column. *)
+  ignore
+    (commit_one db "teller" (fun txn ->
+         Txn.insert txn accounts [| vs "Pat"; vi 10; vs "pat@x.com" |]));
+  let d_after = fresh_digest db in
+  Alcotest.(check bool) "verifies with new column data" true
+    (verify_ok db [ d_before; d_after ]);
+  let r = Database.query db "SELECT email FROM accounts WHERE name = 'Pat'" in
+  Alcotest.(check string) "value readable" "pat@x.com"
+    (Value.to_string (List.hd r.Sqlexec.Rel.rows).(0))
+
+let test_add_non_nullable_rejected () =
+  let db = make_db "addnn" in
+  let _ = make_accounts db in
+  Alcotest.(check bool) "NOT NULL add rejected" true
+    (match
+       Database.add_column db ~table:"accounts"
+         (Column.make "required" Datatype.Int)
+     with
+    | exception Types.Ledger_error _ -> true
+    | _ -> false)
+
+let test_update_after_add_column () =
+  let db = make_db "updafter" in
+  let accounts = make_accounts db in
+  ignore (insert_account db accounts "Old" 1);
+  Database.add_column db ~table:"accounts"
+    (Column.make ~nullable:true "note" (Datatype.Varchar 32));
+  (* Updating a pre-extension row: new column NULL in old version, set in new. *)
+  ignore
+    (commit_one db "teller" (fun txn ->
+         Txn.update txn accounts ~key:[| vs "Old" |] [| vs "Old"; vi 2; vs "bumped" |]));
+  let d = fresh_digest db in
+  Alcotest.(check bool) "verifies" true (verify_ok db [ d ])
+
+let test_drop_column () =
+  let db = make_db "dropcol" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let d = fresh_digest db in
+  Database.drop_column db ~table:"accounts" ~column:"balance";
+  (* Data remains stored and hashed: verification still passes. *)
+  Alcotest.(check bool) "verifies after drop" true (verify_ok db [ d ]);
+  (* The column is hidden from the user relation... *)
+  let r = Database.query db "SELECT * FROM accounts" in
+  Alcotest.(check (list string)) "column hidden" [ "name" ]
+    (Sqlexec.Rel.column_names r);
+  (* ... and the drop is recorded in the ledgered metadata. *)
+  let m =
+    Database.query db
+      "SELECT COUNT(*) FROM ledger_columns_meta WHERE column_name = 'balance' \
+       AND operation = 'DROP'"
+  in
+  Alcotest.(check bool) "DROP event" true
+    (Value.equal (List.hd m.Sqlexec.Rel.rows).(0) (vi 1));
+  (* Inserts after the drop supply the hidden column too (it still exists
+     physically); the user-row shape includes it. *)
+  ignore
+    (commit_one db "teller" (fun txn ->
+         Txn.insert txn accounts [| vs "New"; vi 0 |]));
+  let d2 = fresh_digest db in
+  Alcotest.(check bool) "verifies after post-drop insert" true
+    (verify_ok db [ d; d2 ])
+
+let test_drop_system_column_rejected () =
+  let db = make_db "dropsys" in
+  let _ = make_accounts db in
+  Alcotest.(check bool) "system column protected" true
+    (match
+       Database.drop_column db ~table:"accounts" ~column:"_ledger_start_txn_id"
+     with
+    | exception Types.Ledger_error _ -> true
+    | _ -> false)
+
+let test_drop_table_logical () =
+  let db = make_db "droptab" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let d = fresh_digest db in
+  Database.drop_table db ~name:"accounts";
+  (* Gone from the user namespace. *)
+  Alcotest.(check bool) "name free" true
+    (Database.find_ledger_table db "accounts" = None);
+  (* Physically retained under the dropped name and still verifiable. *)
+  Alcotest.(check bool) "verifies after drop" true (verify_ok db [ d ]);
+  Alcotest.(check int) "one dropped + 2 meta tables" 3
+    (List.length (Database.ledger_tables db));
+  Alcotest.(check int) "no user tables" 0
+    (List.length (Database.user_ledger_tables db))
+
+let test_drop_then_recreate_same_name () =
+  let db = make_db "recreate" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  Database.drop_table db ~name:"accounts";
+  let accounts2 = make_accounts db in
+  Alcotest.(check bool) "fresh table distinct" true
+    (Ledger_table.table_id accounts2 <> Ledger_table.table_id accounts);
+  ignore (insert_account db accounts2 "Fresh" 1);
+  let d = fresh_digest db in
+  Alcotest.(check bool) "both incarnations verify" true (verify_ok db [ d ]);
+  (* Figure 6: metadata view exposes CREATE, DROP, CREATE sequence. *)
+  let r =
+    Database.query db
+      "SELECT operation FROM ledger_tables_meta ORDER BY event_id"
+  in
+  Alcotest.(check (list string)) "event sequence"
+    [ "CREATE"; "DROP"; "CREATE" ]
+    (List.map (fun row -> Value.to_string row.(0)) r.Sqlexec.Rel.rows)
+
+let test_alter_column_type () =
+  let db = make_db "altertype" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let d = fresh_digest db in
+  (* Widen balance from INT to FLOAT with a ledgered repopulation. *)
+  Database.alter_column_type db ~table:"accounts" ~column:"balance"
+    Datatype.Float
+    ~convert:(function Value.Int i -> Value.Float (float_of_int i) | v -> v);
+  let d2 = fresh_digest db in
+  Alcotest.(check bool) "verifies across type change" true
+    (verify_ok db [ d; d2 ]);
+  let r =
+    Database.query db "SELECT balance FROM accounts WHERE name = 'John'"
+  in
+  Alcotest.(check bool) "converted value" true
+    (Value.equal (List.hd r.Sqlexec.Rel.rows).(0) (Value.Float 500.0));
+  (* Metadata records DROP + CREATE for the column. *)
+  let m =
+    Database.query db
+      "SELECT operation FROM ledger_columns_meta WHERE column_name = 'balance' \
+       ORDER BY event_id"
+  in
+  Alcotest.(check (list string)) "column events" [ "CREATE"; "DROP"; "CREATE" ]
+    (List.map (fun row -> Value.to_string row.(0)) m.Sqlexec.Rel.rows)
+
+let test_alter_key_column_rejected () =
+  let db = make_db "alterkey" in
+  let _ = make_accounts db in
+  Alcotest.(check bool) "key column protected" true
+    (match
+       Database.alter_column_type db ~table:"accounts" ~column:"name"
+         (Datatype.Varchar 99) ~convert:Fun.id
+     with
+    | exception Types.Ledger_error _ -> true
+    | _ -> false)
+
+let test_physical_changes_free () =
+  (* §3.5: physical schema changes (indexes) never affect hashes. *)
+  let db = make_db "physical" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let d = fresh_digest db in
+  Database.create_index db ~table:"accounts" ~name:"i1" ~columns:[ "balance" ];
+  Alcotest.(check bool) "verifies with index" true (verify_ok db [ d ]);
+  Database.drop_index db ~table:"accounts" ~name:"i1";
+  Alcotest.(check bool) "verifies without index" true (verify_ok db [ d ])
+
+let () =
+  Alcotest.run "schema-changes"
+    [
+      ( "columns",
+        [
+          Alcotest.test_case "add nullable" `Quick test_add_nullable_column;
+          Alcotest.test_case "add NOT NULL rejected" `Quick test_add_non_nullable_rejected;
+          Alcotest.test_case "update after add" `Quick test_update_after_add_column;
+          Alcotest.test_case "drop column" `Quick test_drop_column;
+          Alcotest.test_case "drop system column rejected" `Quick test_drop_system_column_rejected;
+          Alcotest.test_case "alter type" `Quick test_alter_column_type;
+          Alcotest.test_case "alter key rejected" `Quick test_alter_key_column_rejected;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "logical drop" `Quick test_drop_table_logical;
+          Alcotest.test_case "drop + recreate" `Quick test_drop_then_recreate_same_name;
+          Alcotest.test_case "physical changes free" `Quick test_physical_changes_free;
+        ] );
+    ]

@@ -1,0 +1,162 @@
+(* JSON codec: parse/print round-trips, escapes, numbers, errors. *)
+
+let parse = Sjson.of_string
+let print = Sjson.to_string
+
+let test_scalars () =
+  Alcotest.(check bool) "null" true (Sjson.equal (parse "null") Sjson.Null);
+  Alcotest.(check bool) "true" true (Sjson.equal (parse "true") (Sjson.Bool true));
+  Alcotest.(check bool) "false" true (Sjson.equal (parse "false") (Sjson.Bool false));
+  Alcotest.(check bool) "int" true (Sjson.equal (parse "42") (Sjson.Int 42));
+  Alcotest.(check bool) "negative" true (Sjson.equal (parse "-7") (Sjson.Int (-7)));
+  Alcotest.(check bool) "float" true (Sjson.equal (parse "3.5") (Sjson.Float 3.5));
+  Alcotest.(check bool)
+    "exponent" true
+    (Sjson.equal (parse "1e3") (Sjson.Float 1000.0));
+  Alcotest.(check bool)
+    "string" true
+    (Sjson.equal (parse "\"hi\"") (Sjson.String "hi"))
+
+let test_structures () =
+  let v = parse {|{"a": [1, 2.5, "x", null, true], "b": {"c": []}}|} in
+  Alcotest.(check int) "a length" 5 (List.length (Sjson.get_list (Sjson.member "a" v)));
+  Alcotest.(check bool)
+    "b.c empty" true
+    (Sjson.equal (Sjson.member "c" (Sjson.member "b" v)) (Sjson.List []));
+  Alcotest.(check bool) "missing member" true (Sjson.member "zzz" v = Sjson.Null)
+
+let test_string_escapes () =
+  let cases =
+    [
+      ({|"a\nb"|}, "a\nb");
+      ({|"a\tb"|}, "a\tb");
+      ({|"a\"b"|}, "a\"b");
+      ({|"a\\b"|}, "a\\b");
+      ({|"a\/b"|}, "a/b");
+      ({|"A"|}, "A");
+      ({|"é"|}, "\xc3\xa9");
+      ({|"😀"|}, "\xf0\x9f\x98\x80");
+    ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) input expected (Sjson.get_string (parse input)))
+    cases
+
+let test_print_escapes () =
+  Alcotest.(check string)
+    "control chars" {|"a\nb\u0001"|}
+    (print (Sjson.String "a\nb\x01"))
+
+let test_roundtrip_documents () =
+  let docs =
+    [
+      {|{"block_id":3,"hash":"abc","nested":{"xs":[1,2,3]},"f":2.5}|};
+      {|[]|};
+      {|[{"a":1},{"a":2}]|};
+      {|{"empty_string":""}|};
+    ]
+  in
+  List.iter
+    (fun doc ->
+      let v = parse doc in
+      Alcotest.(check bool) doc true (Sjson.equal v (parse (print v))))
+    docs
+
+let test_pretty_roundtrip () =
+  let v = parse {|{"a":[1,{"b":null}],"c":"x"}|} in
+  Alcotest.(check bool)
+    "pretty parses back" true
+    (Sjson.equal v (parse (Sjson.to_string ~pretty:true v)))
+
+let test_errors () =
+  let bad =
+    [ "{"; "["; "\"unterminated"; "{\"a\":}"; "[1,]"; "tru"; "1 2"; "{'a':1}" ]
+  in
+  List.iter
+    (fun input ->
+      match parse input with
+      | exception Sjson.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %s" input)
+    bad
+
+let test_accessor_errors () =
+  Alcotest.check_raises "get_string on int" (Invalid_argument "Sjson.get_string")
+    (fun () -> ignore (Sjson.get_string (Sjson.Int 1)));
+  Alcotest.check_raises "member on list" (Invalid_argument "Sjson.member: not an object")
+    (fun () -> ignore (Sjson.member "a" (Sjson.List [])))
+
+let test_int_float_equality () =
+  Alcotest.(check bool) "1 = 1.0" true (Sjson.equal (Sjson.Int 1) (Sjson.Float 1.0));
+  Alcotest.(check bool) "1 <> 1.5" false (Sjson.equal (Sjson.Int 1) (Sjson.Float 1.5))
+
+(* property: print → parse is the identity over generated values *)
+let json_gen =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            return Sjson.Null;
+            map (fun b -> Sjson.Bool b) bool;
+            map (fun i -> Sjson.Int i) small_signed_int;
+            map (fun s -> Sjson.String s) (string_size ~gen:printable (0 -- 10));
+          ]
+      else
+        frequency
+          [
+            (2, map (fun l -> Sjson.List l) (list_size (0 -- 4) (self (n / 2))));
+            ( 2,
+              map
+                (fun fields -> Sjson.Obj fields)
+                (list_size (0 -- 4)
+                   (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 6)) (self (n / 2)))) );
+            (1, self 0);
+          ])
+
+(* Object keys must be unique for equality after roundtrip. *)
+let rec dedup_keys = function
+  | Sjson.Obj fields ->
+      let seen = Hashtbl.create 8 in
+      Sjson.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if Hashtbl.mem seen k then None
+             else begin
+               Hashtbl.add seen k ();
+               Some (k, dedup_keys v)
+             end)
+           fields)
+  | Sjson.List items -> Sjson.List (List.map dedup_keys items)
+  | v -> v
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300
+    (QCheck.make json_gen)
+    (fun v ->
+      let v = dedup_keys v in
+      Sjson.equal v (parse (print v)))
+
+let () =
+  Alcotest.run "sjson"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "scalars" `Quick test_scalars;
+          Alcotest.test_case "structures" `Quick test_structures;
+          Alcotest.test_case "string escapes" `Quick test_string_escapes;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "print",
+        [
+          Alcotest.test_case "escapes" `Quick test_print_escapes;
+          Alcotest.test_case "roundtrip documents" `Quick test_roundtrip_documents;
+          Alcotest.test_case "pretty" `Quick test_pretty_roundtrip;
+        ] );
+      ( "accessors",
+        [
+          Alcotest.test_case "errors" `Quick test_accessor_errors;
+          Alcotest.test_case "int/float equality" `Quick test_int_float_equality;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

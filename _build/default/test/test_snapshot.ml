@@ -1,0 +1,193 @@
+(* Database snapshots: full-fidelity save/load, verifiability of the loaded
+   copy, and the backup-file workflow of §3.7. Also covers parallel
+   verification equivalence. *)
+
+open Relation
+open Sql_ledger
+open Testkit
+
+let build_rich_db () =
+  let db = make_db ~block_size:3 ~signing_seed:"snap" "rich" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  Database.create_index db ~table:"accounts" ~name:"by_balance"
+    ~columns:[ "balance" ];
+  Database.add_column db ~table:"accounts"
+    (Column.make ~nullable:true "note" (Datatype.Varchar 32));
+  ignore
+    (commit_one db "teller" (fun txn ->
+         Txn.insert txn accounts [| vs "Zed"; vi 7; vs "vip" |]));
+  let _ =
+    Database.create_regular_table db ~name:"plain"
+      ~columns:[ Column.make "id" Datatype.Int; Column.make "v" Datatype.Float ]
+      ~key:[ "id" ] ()
+  in
+  ignore
+    (Database.with_txn db ~user:"x" (fun txn ->
+         Txn.plain_insert txn (Database.regular_table db "plain")
+           [| vi 1; Value.Float 2.5 |]));
+  Database.checkpoint db;
+  db
+
+let reload db =
+  match Snapshot.load ~clock:(make_clock ()) (Snapshot.save db) with
+  | Ok db' -> db'
+  | Error e -> Alcotest.fail e
+
+let test_roundtrip_preserves_everything () =
+  let db = build_rich_db () in
+  let d = fresh_digest db in
+  let db' = reload db in
+  (* Identity, counters, tables. *)
+  Alcotest.(check string) "db id" (Database.database_id db) (Database.database_id db');
+  Alcotest.(check bool) "create time" true
+    (Database.create_time db = Database.create_time db');
+  Alcotest.(check int) "ledger tables"
+    (List.length (Database.ledger_tables db))
+    (List.length (Database.ledger_tables db'));
+  (* Data equality via SQL. *)
+  let q sql = (Database.query db sql).Sqlexec.Rel.rows in
+  let q' sql = (Database.query db' sql).Sqlexec.Rel.rows in
+  List.iter
+    (fun sql ->
+      Alcotest.(check int) sql (List.length (q sql)) (List.length (q' sql));
+      List.iter2
+        (fun a b -> Alcotest.(check bool) "row" true (Row.equal a b))
+        (q sql) (q' sql))
+    [
+      "SELECT * FROM accounts ORDER BY name";
+      "SELECT * FROM accounts__history ORDER BY _ledger_end_txn_id";
+      "SELECT * FROM accounts__ledger_view";
+      "SELECT * FROM database_ledger_transactions ORDER BY txn_id";
+      "SELECT * FROM database_ledger_blocks ORDER BY block_id";
+      "SELECT * FROM plain";
+      "SELECT * FROM ledger_tables_meta ORDER BY event_id";
+    ];
+  (* Crucially: the loaded database verifies against the original digest. *)
+  Alcotest.(check bool) "loaded verifies old digest" true
+    (Verifier.ok (Verifier.verify db' ~digests:[ d ]))
+
+let test_loaded_database_remains_usable () =
+  let db = build_rich_db () in
+  let db' = reload db in
+  let accounts = Database.ledger_table db' "accounts" in
+  (* Continue transacting: txn ids and blocks continue where they left off. *)
+  ignore
+    (commit_one db' "post-load" (fun txn ->
+         Txn.insert txn accounts [| vs "PostLoad"; vi 1; Value.Null |]));
+  let d = Option.get (Database.generate_digest db') in
+  Alcotest.(check bool) "verifies after new txns" true
+    (Verifier.ok (Verifier.verify db' ~digests:[ d ]));
+  (* Receipts still work on the loaded copy (signing seed travelled). *)
+  match Receipt.generate db' ~txn_id:3 with
+  | Ok r -> (
+      match Receipt.verify r with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
+let test_file_roundtrip () =
+  let db = build_rich_db () in
+  let path = Filename.temp_file "ledger-snap" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Snapshot.save_to_file db ~path;
+      match Snapshot.load_from_file ~clock:(make_clock ()) ~path () with
+      | Error e -> Alcotest.fail e
+      | Ok db' ->
+          let d = Option.get (Database.generate_digest db') in
+          Alcotest.(check bool) "file copy verifies" true
+            (Verifier.ok (Verifier.verify db' ~digests:[ d ])))
+
+let test_snapshot_isolation () =
+  let db = build_rich_db () in
+  let snap = Snapshot.save db in
+  let accounts = Database.ledger_table db "accounts" in
+  ignore
+    (commit_one db "later" (fun txn ->
+         Txn.insert txn accounts [| vs "Late"; vi 1; Value.Null |]));
+  let db' = match Snapshot.load ~clock:(make_clock ()) snap with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "snapshot lacks later row" true
+    (Ledger_table.find (Database.ledger_table db' "accounts") ~key:[| vs "Late" |]
+    = None)
+
+let test_tampered_snapshot_detected () =
+  (* A snapshot file is not trusted: edits to it surface at verification,
+     exactly like a doctored backup (§3.7 assumption 1 is *checked*, not
+     assumed, by verifying restored backups). *)
+  let db = build_rich_db () in
+  let d = fresh_digest db in
+  (* Doctor the decoded snapshot structurally. *)
+  let snap = Snapshot.save db in
+  let rec rewrite v =
+    match v with
+    | Sjson.String "John" -> Sjson.String "Evil"
+    | Sjson.List items -> Sjson.List (List.map rewrite items)
+    | Sjson.Obj fields ->
+        Sjson.Obj (List.map (fun (k, x) -> (k, rewrite x)) fields)
+    | other -> other
+  in
+  match Snapshot.load ~clock:(make_clock ()) (rewrite snap) with
+  | Error _ -> () (* structural rejection is fine too *)
+  | Ok db' ->
+      Alcotest.(check bool) "tampered backup fails verification" true
+        (not (Verifier.ok (Verifier.verify db' ~digests:[ d ])))
+
+let test_garbage_rejected () =
+  List.iter
+    (fun json ->
+      match Snapshot.load (Sjson.of_string json) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %s" json)
+    [ "{}"; {|{"format_version": 99}|}; {|{"format_version": 1, "tables": []}|} ]
+
+let test_parallel_verify_equivalent () =
+  let db = build_rich_db () in
+  let d = fresh_digest db in
+  (* Add a second table so parallelism has something to split. *)
+  let other =
+    Database.create_ledger_table db ~name:"other"
+      ~columns:[ Column.make "id" Datatype.Int ]
+      ~key:[ "id" ] ()
+  in
+  for i = 1 to 20 do
+    ignore (Database.with_txn db ~user:"p" (fun txn -> Txn.insert txn other [| vi i |]))
+  done;
+  let d2 = fresh_digest db in
+  let seq = Verifier.verify ~jobs:1 db ~digests:[ d; d2 ] in
+  let par = Verifier.verify ~jobs:4 db ~digests:[ d; d2 ] in
+  Alcotest.(check bool) "both ok" true (Verifier.ok seq && Verifier.ok par);
+  Alcotest.(check int) "same versions checked" seq.Verifier.versions_checked
+    par.Verifier.versions_checked;
+  (* And equivalence under tampering. *)
+  ignore
+    (Tamper.apply db
+       (Tamper.Update_row
+          { table = "other"; key = [| vi 5 |]; column = "id"; value = vi 99 }));
+  let seq = Verifier.verify ~jobs:1 db ~digests:[ d; d2 ] in
+  let par = Verifier.verify ~jobs:4 db ~digests:[ d; d2 ] in
+  Alcotest.(check int) "same violation count"
+    (List.length seq.Verifier.violations)
+    (List.length par.Verifier.violations)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "preserves everything" `Quick test_roundtrip_preserves_everything;
+          Alcotest.test_case "remains usable" `Quick test_loaded_database_remains_usable;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "isolation" `Quick test_snapshot_isolation;
+        ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "tampered snapshot detected" `Quick test_tampered_snapshot_detected;
+          Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+        ] );
+      ( "parallel verification",
+        [ Alcotest.test_case "equivalent to sequential" `Quick test_parallel_verify_equivalent ] );
+    ]

@@ -1,0 +1,225 @@
+(* Table_store: CRUD, indexes, migration, deep copy, and the Raw attacker
+   surface semantics. *)
+
+open Relation
+module TS = Storage.Table_store
+
+let vi = Value.int
+let vs s = Value.String s
+
+let schema =
+  Schema.make
+    [
+      Column.make "id" Datatype.Int;
+      Column.make "name" (Datatype.Varchar 32);
+      Column.make "score" Datatype.Int;
+    ]
+
+let mk () = TS.create ~name:"t" ~table_id:1 ~schema ~key_ordinals:[ 0 ]
+
+let populate store n =
+  for i = 1 to n do
+    TS.insert store [| vi i; vs (Printf.sprintf "row%03d" i); vi (i mod 7) |]
+  done
+
+let test_insert_find_delete () =
+  let s = mk () in
+  populate s 20;
+  Alcotest.(check int) "count" 20 (TS.row_count s);
+  (match TS.find s ~key:[| vi 7 |] with
+  | Some row -> Alcotest.(check bool) "name" true (Value.equal row.(1) (vs "row007"))
+  | None -> Alcotest.fail "missing row");
+  let deleted = TS.delete s ~key:[| vi 7 |] in
+  Alcotest.(check bool) "deleted row" true (Value.equal deleted.(0) (vi 7));
+  Alcotest.(check bool) "gone" true (TS.find s ~key:[| vi 7 |] = None);
+  Alcotest.(check int) "count after" 19 (TS.row_count s)
+
+let test_duplicate_key () =
+  let s = mk () in
+  populate s 1;
+  Alcotest.(check bool) "duplicate raises" true
+    (match TS.insert s [| vi 1; vs "dup"; vi 0 |] with
+    | exception TS.Duplicate_key _ -> true
+    | _ -> false)
+
+let test_schema_validation () =
+  let s = mk () in
+  Alcotest.(check bool) "arity" true
+    (match TS.insert s [| vi 1 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "null in NOT NULL" true
+    (match TS.insert s [| vi 1; Value.Null; vi 0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_update () =
+  let s = mk () in
+  populate s 3;
+  TS.update s [| vi 2; vs "updated"; vi 99 |];
+  Alcotest.(check bool) "updated" true
+    (match TS.find s ~key:[| vi 2 |] with
+    | Some row -> Value.equal row.(1) (vs "updated")
+    | None -> false);
+  Alcotest.(check bool) "missing raises" true
+    (match TS.update s [| vi 42; vs "x"; vi 0 |] with
+    | exception TS.Not_found_key _ -> true
+    | _ -> false)
+
+let test_scan_order_and_range () =
+  let s = mk () in
+  List.iter
+    (fun i -> TS.insert s [| vi i; vs "x"; vi 0 |])
+    [ 30; 10; 20; 5; 25 ];
+  Alcotest.(check (list int))
+    "clustered order" [ 5; 10; 20; 25; 30 ]
+    (List.map (fun r -> match r.(0) with Value.Int i -> i | _ -> -1) (TS.scan s));
+  let r = TS.range s ~lo:[| vi 10 |] ~hi:[| vi 25 |] () in
+  Alcotest.(check int) "range" 3 (List.length r)
+
+let test_indexes () =
+  let s = mk () in
+  populate s 21;
+  TS.create_index s ~name:"by_score" ~key_ordinals:[ 2 ];
+  let hits = TS.index_lookup s ~index_name:"by_score" ~key:[| vi 3 |] in
+  Alcotest.(check int) "lookup count" 3 (List.length hits);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "score 3" true (Value.equal row.(2) (vi 3)))
+    hits;
+  (* index maintenance across update/delete *)
+  TS.update s [| vi 3; vs "row003"; vi 100 |];
+  Alcotest.(check int) "after update" 2
+    (List.length (TS.index_lookup s ~index_name:"by_score" ~key:[| vi 3 |]));
+  Alcotest.(check int) "new key" 1
+    (List.length (TS.index_lookup s ~index_name:"by_score" ~key:[| vi 100 |]));
+  ignore (TS.delete s ~key:[| vi 10 |]);
+  Alcotest.(check int) "after delete" 1
+    (List.length (TS.index_lookup s ~index_name:"by_score" ~key:[| vi 3 |]));
+  Alcotest.(check int) "scan size" 20 (List.length (TS.index_scan s ~index_name:"by_score"));
+  TS.drop_index s ~name:"by_score";
+  Alcotest.(check int) "dropped" 0 (List.length (TS.indexes s));
+  TS.create_index s ~name:"i" ~key_ordinals:[ 1 ];
+  Alcotest.(check bool) "dup index name" true
+    (match TS.create_index s ~name:"i" ~key_ordinals:[ 2 ] with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_migrate () =
+  let s = mk () in
+  populate s 5;
+  TS.create_index s ~name:"by_score" ~key_ordinals:[ 2 ];
+  let wider =
+    Schema.add_column schema (Column.make ~nullable:true "extra" Datatype.Bool)
+  in
+  TS.migrate s ~schema:wider ~f:(fun row -> Array.append row [| Value.Null |]);
+  Alcotest.(check int) "count preserved" 5 (TS.row_count s);
+  Alcotest.(check int) "arity" 4
+    (Array.length (Option.get (TS.find s ~key:[| vi 1 |])));
+  Alcotest.(check int) "index rebuilt" 5
+    (List.length (TS.index_scan s ~index_name:"by_score"))
+
+let test_deep_copy_isolation () =
+  let s = mk () in
+  populate s 5;
+  TS.create_index s ~name:"i" ~key_ordinals:[ 2 ];
+  let copy = TS.deep_copy s in
+  (* Mutations to the copy must not leak into the original. *)
+  ignore (TS.delete copy ~key:[| vi 1 |]);
+  ignore (TS.Raw.overwrite_value copy ~key:[| vi 2 |] ~ordinal:1 (vs "hacked"));
+  Alcotest.(check int) "original count" 5 (TS.row_count s);
+  Alcotest.(check bool) "original value" true
+    (match TS.find s ~key:[| vi 2 |] with
+    | Some row -> Value.equal row.(1) (vs "row002")
+    | None -> false);
+  Alcotest.(check int) "copy count" 4 (TS.row_count copy)
+
+let test_raw_bypasses_everything () =
+  let s = mk () in
+  populate s 3;
+  TS.create_index s ~name:"by_score" ~key_ordinals:[ 2 ];
+  (* Raw overwrite leaves the index stale — that is the attack model. *)
+  Alcotest.(check bool) "overwrite" true
+    (TS.Raw.overwrite_value s ~key:[| vi 1 |] ~ordinal:2 (vi 999));
+  Alcotest.(check bool) "storage sees it" true
+    (match TS.find s ~key:[| vi 1 |] with
+    | Some row -> Value.equal row.(2) (vi 999)
+    | None -> false);
+  Alcotest.(check int) "index did NOT move" 0
+    (List.length (TS.index_lookup s ~index_name:"by_score" ~key:[| vi 999 |]));
+  Alcotest.(check bool) "missing key" false
+    (TS.Raw.overwrite_value s ~key:[| vi 42 |] ~ordinal:0 (vi 0));
+  (* Raw delete bypasses indexes too. *)
+  Alcotest.(check bool) "raw delete" true (TS.Raw.delete_row s ~key:[| vi 2 |]);
+  Alcotest.(check int) "index still has 3 entries" 3
+    (List.length (TS.index_scan s ~index_name:"by_score"))
+
+let test_raw_index_rewrite () =
+  let s = mk () in
+  populate s 3;
+  TS.create_index s ~name:"by_score" ~key_ordinals:[ 2 ];
+  Alcotest.(check bool) "rewrite" true
+    (TS.Raw.overwrite_index_entry s ~index_name:"by_score" ~old_key:[| vi 1 |]
+       ~pk:[| vi 1 |] ~new_key:[| vi 77 |]);
+  Alcotest.(check int) "diverted" 1
+    (List.length (TS.index_lookup s ~index_name:"by_score" ~key:[| vi 77 |]));
+  Alcotest.(check bool) "missing entry" false
+    (TS.Raw.overwrite_index_entry s ~index_name:"by_score" ~old_key:[| vi 50 |]
+       ~pk:[| vi 1 |] ~new_key:[| vi 1 |])
+
+let test_composite_key () =
+  let s2 =
+    TS.create ~name:"c" ~table_id:2
+      ~schema:
+        (Schema.make
+           [
+             Column.make "a" Datatype.Int;
+             Column.make "b" Datatype.Int;
+             Column.make "v" (Datatype.Varchar 8);
+           ])
+      ~key_ordinals:[ 0; 1 ]
+  in
+  TS.insert s2 [| vi 1; vi 1; vs "x" |];
+  TS.insert s2 [| vi 1; vi 2; vs "y" |];
+  TS.insert s2 [| vi 2; vi 1; vs "z" |];
+  Alcotest.(check bool) "composite find" true
+    (match TS.find s2 ~key:[| vi 1; vi 2 |] with
+    | Some row -> Value.equal row.(2) (vs "y")
+    | None -> false);
+  Alcotest.(check int) "count" 3 (TS.row_count s2)
+
+let test_create_errors () =
+  Alcotest.(check bool) "empty key" true
+    (match TS.create ~name:"x" ~table_id:0 ~schema ~key_ordinals:[] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad ordinal" true
+    (match TS.create ~name:"x" ~table_id:0 ~schema ~key_ordinals:[ 9 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "crud",
+        [
+          Alcotest.test_case "insert/find/delete" `Quick test_insert_find_delete;
+          Alcotest.test_case "duplicate key" `Quick test_duplicate_key;
+          Alcotest.test_case "validation" `Quick test_schema_validation;
+          Alcotest.test_case "update" `Quick test_update;
+          Alcotest.test_case "scan order + range" `Quick test_scan_order_and_range;
+          Alcotest.test_case "composite keys" `Quick test_composite_key;
+          Alcotest.test_case "create errors" `Quick test_create_errors;
+        ] );
+      ( "indexes",
+        [
+          Alcotest.test_case "lifecycle + maintenance" `Quick test_indexes;
+          Alcotest.test_case "migrate" `Quick test_migrate;
+        ] );
+      ( "copies + raw surface",
+        [
+          Alcotest.test_case "deep copy isolation" `Quick test_deep_copy_isolation;
+          Alcotest.test_case "raw bypass" `Quick test_raw_bypasses_everything;
+          Alcotest.test_case "raw index rewrite" `Quick test_raw_index_rewrite;
+        ] );
+    ]

@@ -1,0 +1,286 @@
+(* The attack/detection matrix: every tamper-toolkit attack must be caught
+   by verification (or by the digest-chain fork check). This is the core
+   security claim of the paper — Forward Integrity via tamper evidence. *)
+
+open Relation
+open Sql_ledger
+open Testkit
+
+(* Set up a database with Figure 2 history, an extra index, a checkpoint
+   (so system tables are populated) and a digest. *)
+let setup () =
+  let db = make_db "victim" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  Database.create_index db ~table:"accounts" ~name:"by_balance"
+    ~columns:[ "balance" ];
+  Database.checkpoint db;
+  let digest = fresh_digest db in
+  (db, accounts, digest)
+
+let expect_detected ~name attack check =
+  let db, _, digest = setup () in
+  (match Tamper.apply db attack with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: attack could not be applied: %s" name e);
+  let report = Verifier.verify db ~digests:[ digest ] in
+  Alcotest.(check bool)
+    (name ^ " detected") true
+    (not (Verifier.ok report));
+  Alcotest.(check bool)
+    (name ^ " classified") true
+    (List.exists check report.Verifier.violations)
+
+let any _ = true
+
+let test_update_row () =
+  expect_detected ~name:"row update"
+    (Tamper.Update_row
+       { table = "accounts"; key = [| vs "John" |]; column = "balance"; value = vi 9 })
+    (function Verifier.Table_root_mismatch _ -> true | _ -> false)
+
+let test_update_history_row () =
+  expect_detected ~name:"history rewrite"
+    (Tamper.Update_history_row
+       { table = "accounts"; index = 0; column = "balance"; value = vi 1 })
+    (function Verifier.Table_root_mismatch _ -> true | _ -> false)
+
+let test_delete_row () =
+  expect_detected ~name:"row erasure"
+    (Tamper.Delete_row { table = "accounts"; key = [| vs "Mary" |] })
+    (function Verifier.Table_root_mismatch _ -> true | _ -> false)
+
+let test_delete_history_row () =
+  expect_detected ~name:"history erasure"
+    (Tamper.Delete_history_row { table = "accounts"; index = 1 })
+    (function Verifier.Table_root_mismatch _ -> true | _ -> false)
+
+let test_fabricated_row () =
+  (* Forged row claiming to come from transaction 2, sequence 99. *)
+  expect_detected ~name:"fabricated row"
+    (Tamper.Insert_fabricated_row
+       {
+         table = "accounts";
+         row = [| vs "Ghost"; vi 1_000_000; vi 2; vi 99; Value.Null; Value.Null |];
+       })
+    (function Verifier.Table_root_mismatch _ -> true | _ -> false)
+
+let test_fabricated_row_unknown_txn () =
+  (* Forged row referencing a transaction that never existed → orphan. *)
+  expect_detected ~name:"fabricated row (unknown txn)"
+    (Tamper.Insert_fabricated_row
+       {
+         table = "accounts";
+         row = [| vs "Ghost"; vi 5; vi 424242; vi 0; Value.Null; Value.Null |];
+       })
+    (function Verifier.Orphan_row_version _ -> true | _ -> false)
+
+let test_metadata_swap () =
+  expect_detected ~name:"metadata swap"
+    (Tamper.Metadata_swap
+       { table = "accounts"; column = "balance"; new_type = Datatype.Bigint })
+    any
+
+let test_index_rewrite () =
+  expect_detected ~name:"index diversion"
+    (Tamper.Index_rewrite
+       {
+         table = "accounts";
+         index = "by_balance";
+         old_key = [| vi 500 |];
+         pk = [| vs "John" |];
+         new_key = [| vi 1 |];
+       })
+    (function Verifier.Index_mismatch _ -> true | _ -> false)
+
+let test_rewrite_transaction_user () =
+  expect_detected ~name:"transaction user rewrite"
+    (Tamper.Rewrite_transaction_user { txn_id = 3; user = "mallory" })
+    (function
+      | Verifier.Block_root_mismatch _ -> true
+      | _ -> false)
+
+let test_fork_detected_by_digest () =
+  (* A fork rewrites history and recomputes all chain hashes, so internal
+     chain checks pass — only the externally held digest betrays it. *)
+  let db, _, digest = setup () in
+  (match Tamper.apply db (Tamper.Fork_chain { block_id = 0 }) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let report = Verifier.verify db ~digests:[ digest ] in
+  Alcotest.(check bool) "detected with digest" true (not (Verifier.ok report));
+  Alcotest.(check bool) "as digest mismatch" true
+    (List.exists
+       (function Verifier.Digest_mismatch _ -> true | _ -> false)
+       report.Verifier.violations)
+
+let test_fork_detected_by_chain_derivation () =
+  (* §3.3.1 requirement 3: a new digest must derive from the old one. *)
+  let db, accounts, d_old = setup () in
+  (match Tamper.apply db (Tamper.Fork_chain { block_id = 0 }) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  ignore (insert_account db accounts "PostFork" 1);
+  let d_new = fresh_digest db in
+  match Verifier.verify_digest_chain db ~older:d_old ~newer:d_new with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "forked chain must not derive from the old digest"
+
+let test_fork_without_digest_undetected () =
+  (* Documents the limitation: without any externally stored digest, a
+     full-chain rewrite is internally consistent. This is exactly why §2.4
+     digests must live outside the database. *)
+  let db, _, _ = setup () in
+  (match Tamper.apply db (Tamper.Fork_chain { block_id = 0 }) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let report = Verifier.verify db ~digests:[] in
+  (* Chain checks pass; table roots now disagree with forged txn root only
+     if block roots were rewritten inconsistently — the fork rewrote the
+     block root but not the transaction entries, so invariant 3 fires. A
+     *perfect* adversary would rewrite those too; simulate that by checking
+     chain invariants alone. *)
+  ignore report;
+  let chain_violations =
+    List.filter
+      (function
+        | Verifier.Chain_broken _ | Verifier.Chain_gap _
+        | Verifier.Genesis_prev_not_null _ | Verifier.Digest_mismatch _ ->
+            true
+        | _ -> false)
+      report.Verifier.violations
+  in
+  Alcotest.(check int) "chain itself is consistent" 0
+    (List.length chain_violations)
+
+let test_drop_and_recreate_visible_in_metadata () =
+  let db, _, _ = setup () in
+  (match Tamper.apply db (Tamper.Drop_and_recreate { table = "accounts" }) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* §3.5.2: users can query the metadata ledger view to spot the swap. *)
+  let r =
+    Database.query db
+      "SELECT operation FROM ledger_tables_meta WHERE table_name = 'accounts' \
+       OR operation = 'DROP'"
+  in
+  Alcotest.(check bool) "DROP event visible" true
+    (List.exists
+       (fun row -> Value.equal row.(0) (vs "DROP"))
+       r.Sqlexec.Rel.rows);
+  (* And both old and new incarnations remain verifiable. *)
+  let d = fresh_digest db in
+  Alcotest.(check bool) "still verifies (data not tampered)" true
+    (verify_ok db [ d ])
+
+let test_queue_tamper_immune () =
+  (* Attacks hit storage; entries still in the in-memory queue are not
+     reachable, so an unflushed rewrite attempt fails cleanly. *)
+  let db = make_db ~block_size:100 "queueonly" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  match Tamper.apply db (Tamper.Rewrite_transaction_user { txn_id = 3; user = "m" }) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "queued entries should not be reachable from storage"
+
+let test_repair_after_each_row_attack () =
+  (* Category-1 recovery (§3.7): repair from a verified backup restores
+     verifiability for row-level attacks. *)
+  let attacks =
+    [
+      Tamper.Update_row
+        { table = "accounts"; key = [| vs "John" |]; column = "balance"; value = vi 9 };
+      Tamper.Delete_row { table = "accounts"; key = [| vs "Mary" |] };
+      Tamper.Delete_history_row { table = "accounts"; index = 0 };
+      Tamper.Insert_fabricated_row
+        {
+          table = "accounts";
+          row = [| vs "Ghost"; vi 7; vi 2; vi 99; Value.Null; Value.Null |];
+        };
+      Tamper.Metadata_swap
+        { table = "accounts"; column = "balance"; new_type = Datatype.Bigint };
+      Tamper.Index_rewrite
+        {
+          table = "accounts";
+          index = "by_balance";
+          old_key = [| vi 500 |];
+          pk = [| vs "John" |];
+          new_key = [| vi 1 |];
+        };
+    ]
+  in
+  List.iter
+    (fun attack ->
+      let db, _, digest = setup () in
+      let backup = Database.backup db in
+      (match Tamper.apply db attack with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      let report = Verifier.verify db ~digests:[ digest ] in
+      Alcotest.(check bool) (Tamper.describe attack ^ " detected") true
+        (not (Verifier.ok report));
+      (match Tamper_recovery.assess report with
+      | Tamper_recovery.Repair_in_place tables ->
+          List.iter
+            (fun table ->
+              ignore (Tamper_recovery.repair_from_backup ~backup ~current:db ~table))
+            tables
+      | Tamper_recovery.Restore_and_replay ->
+          Alcotest.failf "%s: expected repairable" (Tamper.describe attack));
+      Alcotest.(check bool) (Tamper.describe attack ^ " repaired") true
+        (verify_ok db [ digest ]))
+    attacks
+
+let prop_any_single_value_tamper_detected =
+  QCheck.Test.make ~name:"any single stored-value tamper is detected" ~count:40
+    (QCheck.make QCheck.Gen.(pair (0 -- 10_000) (0 -- 1)))
+    (fun (seed, target_col) ->
+      let db, accounts, digest = setup () in
+      let prng = Workload.Prng.create seed in
+      let rows = Ledger_table.current_rows accounts in
+      let row = List.nth rows (Workload.Prng.int prng (List.length rows)) in
+      let key = Storage.Table_store.primary_key (Ledger_table.main accounts) row in
+      let column = if target_col = 0 then "name" else "balance" in
+      let value =
+        if target_col = 0 then vs (Workload.Prng.alnum_string prng 6)
+        else vi (Workload.Prng.int prng 100_000)
+      in
+      let changed = not (Value.equal row.(target_col) value) in
+      match
+        Tamper.apply db (Tamper.Update_row { table = "accounts"; key; column; value })
+      with
+      | Ok () -> (not changed) || not (verify_ok db [ digest ])
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "tamper-matrix"
+    [
+      ( "detection",
+        [
+          Alcotest.test_case "row update" `Quick test_update_row;
+          Alcotest.test_case "history rewrite" `Quick test_update_history_row;
+          Alcotest.test_case "row erasure" `Quick test_delete_row;
+          Alcotest.test_case "history erasure" `Quick test_delete_history_row;
+          Alcotest.test_case "fabricated row" `Quick test_fabricated_row;
+          Alcotest.test_case "fabricated row, unknown txn" `Quick test_fabricated_row_unknown_txn;
+          Alcotest.test_case "metadata swap" `Quick test_metadata_swap;
+          Alcotest.test_case "index diversion" `Quick test_index_rewrite;
+          Alcotest.test_case "txn user rewrite" `Quick test_rewrite_transaction_user;
+          Alcotest.test_case "queued entries unreachable" `Quick test_queue_tamper_immune;
+        ] );
+      ( "forks",
+        [
+          Alcotest.test_case "fork vs stored digest" `Quick test_fork_detected_by_digest;
+          Alcotest.test_case "fork vs chain derivation" `Quick test_fork_detected_by_chain_derivation;
+          Alcotest.test_case "fork without digests (documented limit)" `Quick
+            test_fork_without_digest_undetected;
+        ] );
+      ( "metadata attacks",
+        [
+          Alcotest.test_case "drop-and-recreate" `Quick test_drop_and_recreate_visible_in_metadata;
+        ] );
+      ( "recovery",
+        [ Alcotest.test_case "repair matrix" `Quick test_repair_after_each_row_attack ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_any_single_value_tamper_detected ] );
+    ]

@@ -1,0 +1,149 @@
+(* Ledger truncation (§5.2): old blocks/transactions/history removed, the
+   remaining ledger stays verifiable, and the truncation is itself audited. *)
+
+open Relation
+open Sql_ledger
+open Testkit
+
+let setup_with_blocks () =
+  let db = make_db ~block_size:3 "trunc" in
+  let accounts = make_accounts db in
+  for i = 1 to 9 do
+    ignore (insert_account db accounts (Printf.sprintf "acc%02d" i) i)
+  done;
+  ignore (update_account db accounts "acc01" 100);
+  ignore (delete_account db accounts "acc02");
+  let d = fresh_digest db in
+  (db, accounts, d)
+
+let test_truncate_happy_path () =
+  let db, accounts, d = setup_with_blocks () in
+  let blocks_before =
+    List.length (Database_ledger.blocks (Database.ledger db))
+  in
+  Alcotest.(check bool) "enough blocks" true (blocks_before >= 3);
+  match Truncation.truncate db ~digests:[ d ] ~upto_block:1 ~user:"dba" with
+  | Error report ->
+      Alcotest.failf "pre-verification failed: %d violations"
+        (List.length report.Verifier.violations)
+  | Ok summary ->
+      Alcotest.(check int) "horizon" 1 summary.Truncation.horizon_block;
+      Alcotest.(check bool) "blocks removed" true (summary.Truncation.blocks_removed = 2);
+      Alcotest.(check bool) "transactions removed" true
+        (summary.Truncation.transactions_removed > 0);
+      Alcotest.(check bool) "rows re-anchored" true
+        (summary.Truncation.rows_reanchored > 0);
+      (* The surviving ledger verifies with a fresh digest. *)
+      let d2 = fresh_digest db in
+      Alcotest.(check bool) "post-truncation verify" true (verify_ok db [ d2 ]);
+      (* Old blocks are gone from the system table. *)
+      let remaining = Database_ledger.blocks (Database.ledger db) in
+      Alcotest.(check bool) "first block is 2" true
+        ((List.hd remaining).Types.block_id = 2);
+      (* Current data is intact. *)
+      Alcotest.(check int) "current rows survive" 8
+        (Ledger_table.row_count accounts);
+      (* The truncation event is in the ledgered metadata. *)
+      let r =
+        Database.query db
+          "SELECT COUNT(*) FROM ledger_tables_meta WHERE operation = 'TRUNCATE'"
+      in
+      Alcotest.(check bool) "audited" true
+        (Value.equal (List.hd r.Sqlexec.Rel.rows).(0) (Value.Int 1))
+
+let test_truncate_refuses_tampered_db () =
+  let db, _, d = setup_with_blocks () in
+  ignore
+    (Tamper.apply db
+       (Tamper.Update_row
+          {
+            table = "accounts";
+            key = [| vs "acc05" |];
+            column = "balance";
+            value = vi 777;
+          }));
+  match Truncation.truncate db ~digests:[ d ] ~upto_block:1 ~user:"dba" with
+  | Error report ->
+      Alcotest.(check bool) "violations reported" true
+        (report.Verifier.violations <> [])
+  | Ok _ -> Alcotest.fail "truncation over tampered data must refuse"
+
+let test_truncate_open_block_rejected () =
+  let db, _, d = setup_with_blocks () in
+  Alcotest.(check bool) "open block rejected" true
+    (match Truncation.truncate db ~digests:[ d ] ~upto_block:999 ~user:"dba" with
+    | exception Types.Ledger_error _ -> true
+    | _ -> false)
+
+let test_tamper_after_truncation_still_detected () =
+  let db, _, d = setup_with_blocks () in
+  (match Truncation.truncate db ~digests:[ d ] ~upto_block:1 ~user:"dba" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "truncation failed");
+  let d2 = fresh_digest db in
+  ignore
+    (Tamper.apply db
+       (Tamper.Update_row
+          {
+            table = "accounts";
+            key = [| vs "acc07" |];
+            column = "balance";
+            value = vi 0;
+          }));
+  Alcotest.(check bool) "detected" true (not (verify_ok db [ d2 ]))
+
+let test_horizon_hash_tamper_detected () =
+  (* Rewriting the first surviving block's prev_hash must clash with the
+     ledgered horizon hash. *)
+  let db, _, d = setup_with_blocks () in
+  (match Truncation.truncate db ~digests:[ d ] ~upto_block:1 ~user:"dba" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "truncation failed");
+  let blocks_table = Database_ledger.raw_blocks_table (Database.ledger db) in
+  ignore
+    (Storage.Table_store.Raw.overwrite_value blocks_table
+       ~key:[| Value.Int 2 |] ~ordinal:1
+       (Value.String (String.make 64 '0')));
+  let report = Verifier.verify db ~digests:[] in
+  Alcotest.(check bool) "chain anchored at horizon" true
+    (List.exists
+       (function Verifier.Chain_broken _ -> true | _ -> false)
+       report.Verifier.violations)
+
+let test_double_truncation () =
+  let db, accounts, d = setup_with_blocks () in
+  (match Truncation.truncate db ~digests:[ d ] ~upto_block:1 ~user:"dba" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "first truncation failed");
+  for i = 10 to 15 do
+    ignore (insert_account db accounts (Printf.sprintf "acc%02d" i) i)
+  done;
+  let d2 = fresh_digest db in
+  let upto =
+    (* truncate everything but the newest closed block *)
+    match List.rev (Database_ledger.blocks (Database.ledger db)) with
+    | latest :: _ -> latest.Types.block_id - 1
+    | [] -> Alcotest.fail "no blocks"
+  in
+  (match Truncation.truncate db ~digests:[ d2 ] ~upto_block:upto ~user:"dba" with
+  | Ok _ -> ()
+  | Error report ->
+      Alcotest.failf "second truncation failed: %d violations"
+        (List.length report.Verifier.violations));
+  let d3 = fresh_digest db in
+  Alcotest.(check bool) "verifies after double truncation" true
+    (verify_ok db [ d3 ])
+
+let () =
+  Alcotest.run "truncation"
+    [
+      ( "truncate",
+        [
+          Alcotest.test_case "happy path" `Quick test_truncate_happy_path;
+          Alcotest.test_case "refuses tampered data" `Quick test_truncate_refuses_tampered_db;
+          Alcotest.test_case "open block rejected" `Quick test_truncate_open_block_rejected;
+          Alcotest.test_case "detection still works" `Quick test_tamper_after_truncation_still_detected;
+          Alcotest.test_case "horizon hash anchored" `Quick test_horizon_hash_tamper_detected;
+          Alcotest.test_case "double truncation" `Quick test_double_truncation;
+        ] );
+    ]

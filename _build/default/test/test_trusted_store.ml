@@ -1,0 +1,277 @@
+(* WORM store immutability, HMAC authentication, digest management with
+   geo-replication gating and incarnations (§2.4, §3.6). *)
+
+open Sql_ledger
+open Testkit
+module WS = Trusted_store.Worm_store
+module DM = Trusted_store.Digest_manager
+
+let test_append_and_read () =
+  let s = WS.create () in
+  Alcotest.(check bool) "append 1" true (WS.append s ~blob:"b" "one" = Ok ());
+  Alcotest.(check bool) "append 2" true (WS.append s ~blob:"b" "two" = Ok ());
+  Alcotest.(check bool) "read" true (WS.read s ~blob:"b" = Ok [ "one"; "two" ]);
+  Alcotest.(check bool) "missing blob" true
+    (match WS.read s ~blob:"zzz" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "exists" true (WS.exists s ~blob:"b");
+  Alcotest.(check (list string)) "list" [ "b" ] (WS.list_blobs s)
+
+let test_seal_blocks_appends () =
+  let s = WS.create () in
+  ignore (WS.append s ~blob:"b" "data");
+  WS.seal s ~blob:"b";
+  Alcotest.(check bool) "sealed append fails" true
+    (match WS.append s ~blob:"b" "more" with Error _ -> true | Ok () -> false);
+  Alcotest.(check int) "rejected counted" 1 (WS.rejected_writes s);
+  Alcotest.(check bool) "content intact" true (WS.read s ~blob:"b" = Ok [ "data" ])
+
+let test_hmac_detects_hostile_write () =
+  let s = WS.create ~hmac_key:"customer-key" () in
+  ignore (WS.append s ~blob:"b" "digest payload");
+  Alcotest.(check bool) "authentic read" true (WS.read s ~blob:"b" = Ok [ "digest payload" ]);
+  Alcotest.(check bool) "corruption applied" true
+    (WS.Hostile.corrupt_chunk s ~blob:"b" ~index:0 "forged payload");
+  match WS.read s ~blob:"b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "forged chunk must fail authentication"
+
+let test_without_hmac_corruption_silent () =
+  (* Documents why the HMAC option exists. *)
+  let s = WS.create () in
+  ignore (WS.append s ~blob:"b" "data");
+  ignore (WS.Hostile.corrupt_chunk s ~blob:"b" ~index:0 "forged");
+  Alcotest.(check bool) "silently accepted" true (WS.read s ~blob:"b" = Ok [ "forged" ])
+
+let test_file_mirror () =
+  let dir = Filename.temp_file "worm" "" in
+  Sys.remove dir;
+  let s = WS.create ~dir () in
+  ignore (WS.append s ~blob:"digests/x/1.0" "payload");
+  let path = Filename.concat dir "digests_x_1.0.blob" in
+  Alcotest.(check bool) "mirror file exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "mirror content" "payload" line;
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_digest_upload_and_readback () =
+  let db = make_db "dm1" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let store = WS.create () in
+  let dm = DM.create ~store () in
+  (match DM.upload dm db with
+  | DM.Uploaded d ->
+      Alcotest.(check string) "db id" (Database.database_id db) d.Digest.database_id
+  | _ -> Alcotest.fail "expected upload");
+  ignore (insert_account db accounts "More" 1);
+  (match DM.upload dm db with
+  | DM.Uploaded _ -> ()
+  | _ -> Alcotest.fail "second upload");
+  match
+    DM.digests_for_incarnation dm ~db_id:(Database.database_id db)
+      ~create_time:(Database.create_time db)
+  with
+  | Ok ds ->
+      Alcotest.(check int) "two digests stored" 2 (List.length ds);
+      (* They verify the database. *)
+      Alcotest.(check bool) "verify with stored digests" true (verify_ok db ds)
+  | Error e -> Alcotest.fail e
+
+let test_upload_empty_db () =
+  let db =
+    Database.create ~clock:(make_clock ()) ~name:"empty-ish" ()
+  in
+  (* Even a fresh database commits metadata transactions only when tables
+     are created; with none, nothing to upload. *)
+  let store = WS.create () in
+  let dm = DM.create ~store () in
+  match DM.upload dm db with
+  | DM.Nothing_to_upload -> ()
+  | _ -> Alcotest.fail "expected Nothing_to_upload"
+
+let test_replication_gate () =
+  let db = make_db "dm2" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let store = WS.create () in
+  (* Secondary is stuck at t=0: every upload defers, then alerts (§3.6). *)
+  let dm =
+    DM.create ~replicated_upto:(fun () -> 0.0) ~alert_after_deferrals:3 ~store ()
+  in
+  (match DM.upload dm db with
+  | DM.Deferred_replication_lag -> ()
+  | _ -> Alcotest.fail "expected deferral");
+  ignore (DM.upload dm db);
+  (match DM.upload dm db with
+  | DM.Alert_replication_stuck -> ()
+  | _ -> Alcotest.fail "expected alert");
+  Alcotest.(check int) "deferrals counted" 3 (DM.deferral_count dm);
+  (* Secondary catches up: upload proceeds and the counter resets. *)
+  let dm2 = DM.create ~replicated_upto:(fun () -> infinity) ~store () in
+  match DM.upload dm2 db with
+  | DM.Uploaded _ -> Alcotest.(check int) "reset" 0 (DM.deferral_count dm2)
+  | _ -> Alcotest.fail "expected upload"
+
+let test_incarnations_after_restore () =
+  let db = make_db "dm3" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let store = WS.create () in
+  let dm = DM.create ~store () in
+  (match DM.upload dm db with DM.Uploaded _ -> () | _ -> Alcotest.fail "u1");
+  (* Point-in-time restore: new incarnation, new blob. *)
+  let backup = Database.backup db in
+  let restored = Database.restore backup ~create_time:5000.0 in
+  let racc = Database.ledger_table restored "accounts" in
+  let (), _ =
+    Database.with_txn restored ~user:"teller" (fun txn ->
+        Txn.insert txn racc [| vs "PostRestore"; vi 1 |])
+  in
+  (match DM.upload dm restored with
+  | DM.Uploaded _ -> ()
+  | _ -> Alcotest.fail "u2");
+  let incarnations = DM.all_digests dm ~db_id:(Database.database_id db) in
+  Alcotest.(check int) "two incarnations" 2 (List.length incarnations);
+  (* Users can see when the restore happened from the blob grouping. *)
+  let times = List.map fst incarnations in
+  Alcotest.(check bool) "sorted ascending" true
+    (times = List.sort Float.compare times);
+  (* The restored incarnation's digests verify the restored database. *)
+  match
+    DM.digests_for_incarnation dm ~db_id:(Database.database_id restored)
+      ~create_time:(Database.create_time restored)
+  with
+  | Ok ds ->
+      Alcotest.(check bool) "restored verifies" true
+        (Verifier.ok (Verifier.verify restored ~digests:ds))
+  | Error e -> Alcotest.fail e
+
+let test_latest_digest () =
+  let db = make_db "dm4" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let store = WS.create () in
+  let dm = DM.create ~store () in
+  Alcotest.(check bool) "none yet" true (DM.latest_digest dm ~db = None);
+  (match DM.upload dm db with DM.Uploaded _ -> () | _ -> Alcotest.fail "u");
+  ignore (insert_account db accounts "X" 1);
+  (match DM.upload dm db with DM.Uploaded _ -> () | _ -> Alcotest.fail "u2");
+  match DM.latest_digest dm ~db with
+  | Some d ->
+      let all =
+        match
+          DM.digests_for_incarnation dm ~db_id:(Database.database_id db)
+            ~create_time:(Database.create_time db)
+        with
+        | Ok ds -> ds
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check int) "latest is max block"
+        (List.fold_left (fun acc (x : Digest.t) -> max acc x.Digest.block_id) 0 all)
+        d.Digest.block_id
+  | None -> Alcotest.fail "expected latest"
+
+(* --- signed digests (§2.4) --- *)
+
+let sample_digest db = Option.get (Database.generate_digest db)
+
+let test_signed_digest () =
+  let db = make_db "sd" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let d = sample_digest db in
+  let sd = Trusted_store.Signed_digest.sign ~seed:"company-key" ~index:0 d in
+  (match Trusted_store.Signed_digest.verify sd with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let fp = Trusted_store.Signed_digest.fingerprint ~seed:"company-key" ~index:0 in
+  (match Trusted_store.Signed_digest.verify ~expected_fingerprint:fp sd with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Wrong fingerprint (different index) rejected. *)
+  let fp1 = Trusted_store.Signed_digest.fingerprint ~seed:"company-key" ~index:1 in
+  (match Trusted_store.Signed_digest.verify ~expected_fingerprint:fp1 sd with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "wrong fingerprint accepted");
+  (* Forged digest content rejected. *)
+  let forged =
+    { sd with Trusted_store.Signed_digest.digest = { d with Digest.block_id = 99 } }
+  in
+  (match Trusted_store.Signed_digest.verify forged with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "forged digest accepted");
+  (* JSON roundtrip. *)
+  match
+    Trusted_store.Signed_digest.of_string
+      (Trusted_store.Signed_digest.to_string sd)
+  with
+  | Ok sd' -> (
+      match Trusted_store.Signed_digest.verify ~expected_fingerprint:fp sd' with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
+(* --- public-chain anchoring (§2.4) --- *)
+
+module PC = Trusted_store.Public_chain
+
+let test_public_chain_anchor () =
+  let db = make_db "pc" in
+  let accounts = make_accounts db in
+  figure2 db accounts;
+  let d = sample_digest db in
+  let chain = PC.create ~confirmations_required:2 () in
+  let payload = Digest.to_string d in
+  let r = PC.submit chain payload in
+  Alcotest.(check bool) "not yet mined" false (PC.verify_anchor chain r ~payload);
+  PC.mine_block chain;
+  Alcotest.(check bool) "anchored" true (PC.verify_anchor chain r ~payload);
+  Alcotest.(check bool) "not yet confirmed" false (PC.confirmed chain r);
+  PC.mine_block chain;
+  PC.mine_block chain;
+  Alcotest.(check bool) "confirmed" true (PC.confirmed chain r);
+  Alcotest.(check bool) "chain valid" true (PC.chain_valid chain);
+  (* Wrong payload never verifies. *)
+  Alcotest.(check bool) "wrong payload" false
+    (PC.verify_anchor chain r ~payload:"forged")
+
+let test_public_chain_tamper () =
+  let chain = PC.create () in
+  let r = PC.submit chain "the digest" in
+  PC.mine_block chain;
+  PC.mine_block chain;
+  Alcotest.(check bool) "rewrite applied" true
+    (PC.Hostile.rewrite_payload chain ~height:r.PC.height ~index:0 "forged");
+  Alcotest.(check bool) "chain invalidated" false (PC.chain_valid chain);
+  Alcotest.(check bool) "anchor gone" false
+    (PC.verify_anchor chain r ~payload:"the digest")
+
+let () =
+  Alcotest.run "trusted-store"
+    [
+      ( "worm",
+        [
+          Alcotest.test_case "append/read" `Quick test_append_and_read;
+          Alcotest.test_case "seal" `Quick test_seal_blocks_appends;
+          Alcotest.test_case "hmac detects hostile write" `Quick test_hmac_detects_hostile_write;
+          Alcotest.test_case "no hmac = silent" `Quick test_without_hmac_corruption_silent;
+          Alcotest.test_case "file mirror" `Quick test_file_mirror;
+        ] );
+      ( "signed digests + anchoring",
+        [
+          Alcotest.test_case "signed digest" `Quick test_signed_digest;
+          Alcotest.test_case "public chain anchor" `Quick test_public_chain_anchor;
+          Alcotest.test_case "public chain tamper" `Quick test_public_chain_tamper;
+        ] );
+      ( "digest manager",
+        [
+          Alcotest.test_case "upload + readback" `Quick test_digest_upload_and_readback;
+          Alcotest.test_case "nothing to upload" `Quick test_upload_empty_db;
+          Alcotest.test_case "replication gate" `Quick test_replication_gate;
+          Alcotest.test_case "incarnations" `Quick test_incarnations_after_restore;
+          Alcotest.test_case "latest digest" `Quick test_latest_digest;
+        ] );
+    ]

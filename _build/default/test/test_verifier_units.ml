@@ -1,0 +1,210 @@
+(* Direct unit coverage of every Verifier violation variant, driven by
+   surgical edits to the system tables through the raw storage surface. *)
+
+open Relation
+open Sql_ledger
+open Testkit
+module TS = Storage.Table_store
+module Hex = Ledger_crypto.Hex
+
+let setup () =
+  let db = make_db ~block_size:2 "vu" in
+  let accounts = make_accounts db in
+  for i = 1 to 6 do
+    ignore (insert_account db accounts (Printf.sprintf "a%d" i) i)
+  done;
+  let d = fresh_digest db in
+  Database.checkpoint db;
+  (db, d)
+
+let has report pred = List.exists pred report.Verifier.violations
+
+let test_clean_baseline () =
+  let db, d = setup () in
+  let report = Verifier.verify db ~digests:[ d ] in
+  Alcotest.(check bool) "clean" true (Verifier.ok report);
+  Alcotest.(check bool) "anchored" true
+    (report.Verifier.verified_upto_block = Some d.Digest.block_id)
+
+let test_digest_block_missing () =
+  let db, _ = setup () in
+  let forged =
+    {
+      Digest.database_id = Database.database_id db;
+      db_create_time = Database.create_time db;
+      block_id = 4242;
+      block_hash = String.make 32 'x';
+      digest_time = 0.;
+      last_commit_ts = 0.;
+    }
+  in
+  let report = Verifier.verify db ~digests:[ forged ] in
+  Alcotest.(check bool) "missing block" true
+    (has report (function Verifier.Digest_block_missing { block_id = 4242 } -> true | _ -> false))
+
+let test_digest_mismatch () =
+  let db, d = setup () in
+  let forged = { d with Digest.block_hash = String.make 32 'z' } in
+  let report = Verifier.verify db ~digests:[ forged ] in
+  Alcotest.(check bool) "mismatch" true
+    (has report (function Verifier.Digest_mismatch _ -> true | _ -> false))
+
+let test_genesis_prev_not_null () =
+  let db, _ = setup () in
+  let blocks = Database_ledger.raw_blocks_table (Database.ledger db) in
+  ignore
+    (TS.Raw.overwrite_value blocks ~key:[| Value.Int 0 |] ~ordinal:1
+       (Value.String (String.make 64 'a')));
+  let report = Verifier.verify db ~digests:[] in
+  Alcotest.(check bool) "genesis" true
+    (has report (function Verifier.Genesis_prev_not_null _ -> true | _ -> false))
+
+let test_chain_gap () =
+  let db, _ = setup () in
+  let blocks = Database_ledger.raw_blocks_table (Database.ledger db) in
+  Alcotest.(check bool) "block removed" true
+    (TS.Raw.delete_row blocks ~key:[| Value.Int 1 |]);
+  let report = Verifier.verify db ~digests:[] in
+  Alcotest.(check bool) "gap" true
+    (has report (function Verifier.Chain_gap _ -> true | _ -> false))
+
+let test_chain_broken () =
+  let db, _ = setup () in
+  let blocks = Database_ledger.raw_blocks_table (Database.ledger db) in
+  ignore
+    (TS.Raw.overwrite_value blocks ~key:[| Value.Int 1 |] ~ordinal:1
+       (Value.String (String.make 64 'b')));
+  let report = Verifier.verify db ~digests:[] in
+  Alcotest.(check bool) "broken link" true
+    (has report (function Verifier.Chain_broken { block_id = 1; _ } -> true | _ -> false))
+
+let test_block_root_mismatch_via_txn_edit () =
+  let db, _ = setup () in
+  let txns = Database_ledger.raw_transactions_table (Database.ledger db) in
+  ignore
+    (TS.Raw.overwrite_value txns ~key:[| Value.Int 2 |] ~ordinal:3
+       (Value.Float 999999.0));
+  let report = Verifier.verify db ~digests:[] in
+  Alcotest.(check bool) "root mismatch" true
+    (has report (function Verifier.Block_root_mismatch _ -> true | _ -> false))
+
+let test_block_count_mismatch () =
+  let db, _ = setup () in
+  let txns = Database_ledger.raw_transactions_table (Database.ledger db) in
+  (* Remove one transaction of a closed block entirely: both the root and
+     the count disagree. *)
+  Alcotest.(check bool) "txn removed" true
+    (TS.Raw.delete_row txns ~key:[| Value.Int 2 |]);
+  let report = Verifier.verify db ~digests:[] in
+  Alcotest.(check bool) "count mismatch" true
+    (has report (function Verifier.Block_count_mismatch _ -> true | _ -> false))
+
+let test_orphan_transaction () =
+  let db, _ = setup () in
+  let txns = Database_ledger.raw_transactions_table (Database.ledger db) in
+  (* Re-point a flushed transaction at a closed block that does not exist
+     (block id below the open block). *)
+  ignore
+    (TS.Raw.overwrite_value txns ~key:[| Value.Int 2 |] ~ordinal:1
+       (Value.Int (-5)));
+  let report = Verifier.verify db ~digests:[] in
+  Alcotest.(check bool) "orphan txn" true
+    (has report (function Verifier.Orphan_transaction _ -> true | _ -> false))
+
+let test_table_root_recorded_but_no_rows () =
+  (* All surviving evidence of a transaction's writes erased: recorded root
+     with no computed counterpart. *)
+  let db, _ = setup () in
+  let accounts = Database.ledger_table db "accounts" in
+  let main = Ledger_table.main accounts in
+  ignore (TS.Raw.delete_row main ~key:[| vs "a3" |]);
+  let report = Verifier.verify db ~digests:[] in
+  Alcotest.(check bool) "recorded-only mismatch" true
+    (has report (function
+      | Verifier.Table_root_mismatch { computed = None; _ } -> true
+      | _ -> false))
+
+let test_table_root_computed_but_not_recorded () =
+  (* A fabricated row under a real transaction that never touched the
+     table: computed root with no recorded counterpart. *)
+  let db, _ = setup () in
+  let other =
+    Database.create_ledger_table db ~name:"other"
+      ~columns:[ Column.make "id" Datatype.Int ]
+      ~key:[ "id" ] ()
+  in
+  ignore
+    (Tamper.apply db
+       (Tamper.Insert_fabricated_row
+          {
+            table = "other";
+            row = [| vi 1; vi 2; vi 0; Value.Null; Value.Null |];
+          }));
+  ignore other;
+  let report = Verifier.verify db ~digests:[] in
+  Alcotest.(check bool) "computed-only mismatch" true
+    (has report (function
+      | Verifier.Table_root_mismatch { recorded = None; _ } -> true
+      | _ -> false))
+
+let test_report_counts () =
+  let db, d = setup () in
+  let report = Verifier.verify db ~digests:[ d ] in
+  (* 6 inserts + 1 DDL = 7 txns; block size 2 → 4 blocks after the digest
+     close; 6 row versions in accounts + DDL rows in the metadata tables. *)
+  Alcotest.(check bool) "blocks counted" true (report.Verifier.blocks_checked >= 3);
+  Alcotest.(check bool) "txns counted" true
+    (report.Verifier.transactions_checked >= 7);
+  Alcotest.(check bool) "versions counted" true
+    (report.Verifier.versions_checked >= 6)
+
+let test_violation_strings () =
+  (* Every violation renders to a non-empty, distinct message. *)
+  let samples =
+    [
+      Verifier.Digest_block_missing { block_id = 1 };
+      Verifier.Digest_mismatch { block_id = 1; expected = "a"; computed = "b" };
+      Verifier.Digest_foreign { database_id = "x" };
+      Verifier.Chain_gap { block_id = 2; missing = 1 };
+      Verifier.Chain_broken
+        { block_id = 2; recorded_prev = "a"; computed_prev = "b" };
+      Verifier.Genesis_prev_not_null { recorded = "a" };
+      Verifier.Block_root_mismatch { block_id = 1; recorded = "a"; computed = "b" };
+      Verifier.Block_count_mismatch { block_id = 1; recorded = 2; actual = 1 };
+      Verifier.Orphan_transaction { txn_id = 1; block_id = 1 };
+      Verifier.Table_root_mismatch
+        { txn_id = 1; table = "t"; recorded = None; computed = None };
+      Verifier.Orphan_row_version { table = "t"; txn_id = 1 };
+      Verifier.Index_mismatch { table = "t"; index = "i" };
+    ]
+  in
+  let strings = List.map Verifier.violation_to_string samples in
+  List.iter
+    (fun s -> Alcotest.(check bool) "non-empty" true (String.length s > 0))
+    strings;
+  Alcotest.(check int) "all distinct" (List.length strings)
+    (List.length (List.sort_uniq String.compare strings))
+
+let () =
+  Alcotest.run "verifier-units"
+    [
+      ( "violations",
+        [
+          Alcotest.test_case "clean baseline" `Quick test_clean_baseline;
+          Alcotest.test_case "digest block missing" `Quick test_digest_block_missing;
+          Alcotest.test_case "digest mismatch" `Quick test_digest_mismatch;
+          Alcotest.test_case "genesis prev" `Quick test_genesis_prev_not_null;
+          Alcotest.test_case "chain gap" `Quick test_chain_gap;
+          Alcotest.test_case "chain broken" `Quick test_chain_broken;
+          Alcotest.test_case "block root mismatch" `Quick test_block_root_mismatch_via_txn_edit;
+          Alcotest.test_case "block count mismatch" `Quick test_block_count_mismatch;
+          Alcotest.test_case "orphan transaction" `Quick test_orphan_transaction;
+          Alcotest.test_case "recorded root, no rows" `Quick test_table_root_recorded_but_no_rows;
+          Alcotest.test_case "rows, no recorded root" `Quick test_table_root_computed_but_not_recorded;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "counts" `Quick test_report_counts;
+          Alcotest.test_case "violation strings" `Quick test_violation_strings;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* WAL records, file persistence with torn tails, and the analysis phase of
+   recovery (§3.3.2). *)
+
+module LR = Aries.Log_record
+
+let sample_commit txn_id block_id ordinal : LR.commit_info =
+  {
+    txn_id;
+    commit_ts = 1000.0 +. float_of_int txn_id;
+    user = Printf.sprintf "user%d" txn_id;
+    block_id;
+    ordinal;
+    table_roots = [ (1, String.make 32 'a'); (2, String.make 32 'b') ];
+  }
+
+let test_record_roundtrip () =
+  let records =
+    [
+      LR.Begin { txn_id = 7 };
+      LR.Abort { txn_id = 7 };
+      LR.Checkpoint { flushed_upto_lsn = 42 };
+      LR.Commit (sample_commit 9 2 17);
+    ]
+  in
+  List.iter
+    (fun r ->
+      match LR.of_line (LR.to_line r) with
+      | Ok r' ->
+          Alcotest.(check string) "roundtrip" (LR.to_line r) (LR.to_line r')
+      | Error e -> Alcotest.failf "roundtrip failed: %s" e)
+    records
+
+let test_record_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match LR.of_line line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %s" line)
+    [ "not json"; "{}"; {|{"type":"explode"}|}; {|{"type":"commit"}|} ]
+
+let test_wal_lsns_and_records () =
+  let w = Aries.Wal.create () in
+  Alcotest.(check int) "empty lsn" 0 (Aries.Wal.last_lsn w);
+  let l1 = Aries.Wal.append w (LR.Begin { txn_id = 1 }) in
+  let l2 = Aries.Wal.append w (LR.Commit (sample_commit 1 0 0)) in
+  Alcotest.(check int) "lsn 1" 1 l1;
+  Alcotest.(check int) "lsn 2" 2 l2;
+  Alcotest.(check int) "records" 2 (List.length (Aries.Wal.records w));
+  Alcotest.(check int) "records_from" 1 (List.length (Aries.Wal.records_from w 1))
+
+let with_temp_file f =
+  let path = Filename.temp_file "waltest" ".log" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_wal_file_persistence () =
+  with_temp_file (fun path ->
+      let w = Aries.Wal.create ~path () in
+      ignore (Aries.Wal.append w (LR.Begin { txn_id = 1 }));
+      ignore (Aries.Wal.append w (LR.Commit (sample_commit 1 0 0)));
+      Aries.Wal.close w;
+      match Aries.Wal.load path with
+      | Ok records -> Alcotest.(check int) "loaded" 2 (List.length records)
+      | Error e -> Alcotest.fail e)
+
+let test_wal_torn_tail () =
+  with_temp_file (fun path ->
+      let w = Aries.Wal.create ~path () in
+      ignore (Aries.Wal.append w (LR.Begin { txn_id = 1 }));
+      ignore (Aries.Wal.append w (LR.Commit (sample_commit 1 0 0)));
+      Aries.Wal.close w;
+      (* Simulate a crash mid-write: append half a record. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc {|{"type":"commit","txn|};
+      close_out oc;
+      match Aries.Wal.load path with
+      | Ok records ->
+          Alcotest.(check int) "torn tail dropped" 2 (List.length records)
+      | Error e -> Alcotest.fail e)
+
+let test_wal_mid_corruption_detected () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "GARBAGE\n";
+      output_string oc (LR.to_line (LR.Begin { txn_id = 1 }) ^ "\n");
+      close_out oc;
+      match Aries.Wal.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "mid-log corruption must not be silently skipped")
+
+let test_analysis_no_checkpoint () =
+  let entries =
+    [
+      (1, LR.Begin { txn_id = 1 });
+      (2, LR.Commit (sample_commit 1 0 0));
+      (3, LR.Begin { txn_id = 2 });
+      (4, LR.Commit (sample_commit 2 0 1));
+    ]
+  in
+  let a = Aries.Recovery.analyze entries in
+  Alcotest.(check int) "all commits pending" 2 (List.length a.pending_commits);
+  Alcotest.(check int) "highest txn" 2 a.highest_txn_id;
+  Alcotest.(check bool) "no checkpoint" true (a.last_checkpoint_lsn = None)
+
+let test_analysis_with_checkpoint () =
+  let entries =
+    [
+      (1, LR.Commit (sample_commit 1 0 0));
+      (2, LR.Commit (sample_commit 2 0 1));
+      (3, LR.Checkpoint { flushed_upto_lsn = 2 });
+      (4, LR.Commit (sample_commit 3 0 2));
+      (5, LR.Begin { txn_id = 4 });
+      (6, LR.Abort { txn_id = 4 });
+    ]
+  in
+  let a = Aries.Recovery.analyze entries in
+  Alcotest.(check int) "only post-checkpoint commits" 1
+    (List.length a.pending_commits);
+  Alcotest.(check int) "pending is txn 3" 3
+    (List.hd a.pending_commits).LR.txn_id;
+  Alcotest.(check int) "highest txn includes aborted" 4 a.highest_txn_id;
+  Alcotest.(check bool) "checkpoint lsn" true (a.last_checkpoint_lsn = Some 3)
+
+let test_analysis_aborted_not_pending () =
+  let entries =
+    [ (1, LR.Begin { txn_id = 1 }); (2, LR.Abort { txn_id = 1 }) ]
+  in
+  let a = Aries.Recovery.analyze entries in
+  Alcotest.(check int) "no pending" 0 (List.length a.pending_commits)
+
+let test_analysis_ordering () =
+  let entries =
+    [
+      (1, LR.Commit (sample_commit 5 1 0));
+      (2, LR.Commit (sample_commit 3 1 1));
+      (3, LR.Commit (sample_commit 9 1 2));
+    ]
+  in
+  let a = Aries.Recovery.analyze entries in
+  Alcotest.(check (list int)) "LSN order preserved" [ 5; 3; 9 ]
+    (List.map (fun (c : LR.commit_info) -> c.txn_id) a.pending_commits)
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "records",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_record_rejects_garbage;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "lsns" `Quick test_wal_lsns_and_records;
+          Alcotest.test_case "file persistence" `Quick test_wal_file_persistence;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "mid corruption" `Quick test_wal_mid_corruption_detected;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "no checkpoint" `Quick test_analysis_no_checkpoint;
+          Alcotest.test_case "with checkpoint" `Quick test_analysis_with_checkpoint;
+          Alcotest.test_case "aborted not pending" `Quick test_analysis_aborted_not_pending;
+          Alcotest.test_case "ordering" `Quick test_analysis_ordering;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+(* Workload generators: determinism, mix ratios, ledger invariants under
+   sustained TPC-C / TPC-E traffic in both configurations. *)
+
+open Sql_ledger
+open Testkit
+
+let test_prng_determinism () =
+  let a = Workload.Prng.create 99 in
+  let b = Workload.Prng.create 99 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int) "same stream" (Workload.Prng.int a 1000)
+      (Workload.Prng.int b 1000)
+  done
+
+let test_prng_bounds () =
+  let p = Workload.Prng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Workload.Prng.int p 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17);
+    let r = Workload.Prng.range p 5 9 in
+    Alcotest.(check bool) "range" true (r >= 5 && r <= 9);
+    let n = Workload.Prng.nurand p ~a:255 ~x:1 ~y:100 in
+    Alcotest.(check bool) "nurand" true (n >= 1 && n <= 100)
+  done;
+  Alcotest.(check bool) "int 0 rejected" true
+    (match Workload.Prng.int p 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_prng_distribution_sane () =
+  let p = Workload.Prng.create 7 in
+  let buckets = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Workload.Prng.int p 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i count ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d balanced" i)
+        true
+        (count > n / 20 && count < n / 5))
+    buckets
+
+let test_tpcc_ledgered_verifies () =
+  let db =
+    Database.create ~block_size:500 ~clock:(make_clock ()) ~name:"tpcc-l" ()
+  in
+  let t = Workload.Tpcc.setup db Workload.Tpcc.default_config in
+  let prng = Workload.Prng.create 3 in
+  let counts = Workload.Tpcc.run t ~prng ~transactions:200 in
+  Alcotest.(check int) "all executed" 200
+    (counts.Workload.Tpcc.new_orders + counts.payments + counts.order_statuses
+   + counts.deliveries + counts.stock_levels);
+  (* Mix sanity: new-order + payment dominate. *)
+  Alcotest.(check bool) "mix shape" true
+    (counts.new_orders + counts.payments > 140);
+  let d = fresh_digest db in
+  Alcotest.(check bool) "verifies" true (verify_ok db [ d ]);
+  (* Ledgered tables captured history. *)
+  let orders = Database.ledger_table db "orders" in
+  Alcotest.(check bool) "orders populated" true (Ledger_table.row_count orders > 0)
+
+let test_tpcc_baseline_has_no_ledger_tables () =
+  let db =
+    Database.create ~block_size:500 ~clock:(make_clock ()) ~name:"tpcc-r" ()
+  in
+  let cfg = { Workload.Tpcc.default_config with ledgered = false } in
+  let t = Workload.Tpcc.setup db cfg in
+  let prng = Workload.Prng.create 3 in
+  ignore (Workload.Tpcc.run t ~prng ~transactions:100);
+  Alcotest.(check int) "no user ledger tables" 0
+    (List.length (Database.user_ledger_tables db))
+
+let test_tpcc_determinism_across_configs () =
+  (* The same seed must produce the same logical operations in both the
+     ledgered and baseline configurations (Figure 7 compares like with
+     like): transaction counts and final orders content agree. *)
+  let run ledgered =
+    let db =
+      Database.create ~block_size:500 ~clock:(make_clock ())
+        ~name:(Printf.sprintf "tpcc-%b" ledgered) ()
+    in
+    let cfg = { Workload.Tpcc.default_config with ledgered } in
+    let t = Workload.Tpcc.setup db cfg in
+    let prng = Workload.Prng.create 11 in
+    let counts = Workload.Tpcc.run t ~prng ~transactions:150 in
+    let orders_count =
+      (Database.query db "SELECT COUNT(*) FROM orders").Sqlexec.Rel.rows
+      |> List.hd
+    in
+    (counts, orders_count)
+  in
+  let c1, o1 = run true in
+  let c2, o2 = run false in
+  Alcotest.(check int) "same new-order count" c1.Workload.Tpcc.new_orders
+    c2.Workload.Tpcc.new_orders;
+  Alcotest.(check bool) "same orders rows" true (Relation.Row.equal o1 o2)
+
+let test_tpce_ledgered_verifies () =
+  let db =
+    Database.create ~block_size:500 ~clock:(make_clock ()) ~name:"tpce-l" ()
+  in
+  let t = Workload.Tpce.setup db Workload.Tpce.default_config in
+  Alcotest.(check int) "33 tables" 33 (Workload.Tpce.table_count t);
+  Alcotest.(check int) "33 ledger tables" 33
+    (List.length (Database.user_ledger_tables db));
+  let prng = Workload.Prng.create 5 in
+  let counts = Workload.Tpce.run t ~prng ~transactions:250 in
+  (* Read-heavy mix: reads must clearly dominate (paper: ~10:1). *)
+  let writes =
+    counts.Workload.Tpce.trade_orders + counts.trade_results + counts.market_feeds
+  in
+  Alcotest.(check bool) "read-dominant" true (counts.reads > 2 * writes);
+  let d = fresh_digest db in
+  Alcotest.(check bool) "verifies" true (verify_ok db [ d ])
+
+let test_runner_math () =
+  let m = Workload.Runner.measure ~transactions:100 (fun () -> ()) in
+  Alcotest.(check int) "txns" 100 m.Workload.Runner.transactions;
+  Alcotest.(check bool) "tps finite" true (Float.is_finite m.Workload.Runner.tps);
+  let slow = { Workload.Runner.transactions = 100; elapsed_s = 2.0; tps = 50.0 } in
+  let fast = { Workload.Runner.transactions = 100; elapsed_s = 1.0; tps = 100.0 } in
+  Alcotest.(check (float 0.001)) "delta" (-50.0)
+    (Workload.Runner.throughput_delta_pct ~baseline:fast ~ledgered:slow)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "distribution" `Quick test_prng_distribution_sane;
+        ] );
+      ( "tpcc",
+        [
+          Alcotest.test_case "ledgered verifies" `Quick test_tpcc_ledgered_verifies;
+          Alcotest.test_case "baseline plain" `Quick test_tpcc_baseline_has_no_ledger_tables;
+          Alcotest.test_case "determinism across configs" `Quick test_tpcc_determinism_across_configs;
+        ] );
+      ( "tpce",
+        [ Alcotest.test_case "ledgered verifies" `Quick test_tpce_ledgered_verifies ] );
+      ("runner", [ Alcotest.test_case "math" `Quick test_runner_math ]);
+    ]
