@@ -6,10 +6,12 @@
      fig9    ledger verification time vs transaction count
      fabric  RDBMS-vs-blockchain comparison (§4.1 narrative numbers)
      decomp  §4.1.2 overhead decomposition (hash vs history-insert cost)
+     hashpath  allocation-free row hashing + domain-parallel Merkle root
 
    Absolute numbers differ from the paper (OCaml mini-engine vs SQL Server
    on 72 cores); EXPERIMENTS.md records shape agreement. Run a single
-   experiment with e.g. `dune exec bench/main.exe -- fig8`. *)
+   experiment with e.g. `dune exec bench/main.exe -- fig8`. Pass --json to
+   additionally write machine-readable results (BENCH_hashpath.json). *)
 
 open Relation
 open Sql_ledger
@@ -339,8 +341,16 @@ let decomp () =
   let serialize_us =
     us_per_run "serialize row" (fun () -> Row_codec.serialize ext_schema row)
   in
+  (* The production hash path: a reused context fed directly, no
+     intermediate serialization string (see the hashpath experiment for the
+     old-vs-new comparison). *)
+  let hash_ctx = Ledger_crypto.Sha256.init () in
   let hash_us =
-    us_per_run "serialize+hash row" (fun () -> Row_codec.hash ext_schema row)
+    us_per_run "serialize+hash row" (fun () ->
+        Row_codec.hash_into hash_ctx ext_schema row)
+  in
+  let legacy_hash_us =
+    us_per_run "legacy hash" (fun () -> Row_codec.hash ext_schema row)
   in
   let sha_us =
     let payload = String.make 300 'x' in
@@ -367,6 +377,7 @@ let decomp () =
   in
   Printf.printf "%-28s %8.2f us\n" "row serialization" serialize_us;
   Printf.printf "%-28s %8.2f us\n" "row serialization + SHA-256" hash_us;
+  Printf.printf "%-28s %8.2f us\n" "  (legacy string-building)" legacy_hash_us;
   Printf.printf "%-28s %8.2f us\n" "SHA-256 alone (300 B)" sha_us;
   Printf.printf "%-28s %8.2f us\n" "Merkle tree append" merkle_us;
   Printf.printf "%-28s %8.2f us\n" "history-table insert" history_us;
@@ -377,6 +388,119 @@ let decomp () =
     (h +. history_us);
   Printf.printf "  update  = 2*hash + history = %6.2f us (paper ~42)\n"
     ((2.0 *. h) +. history_us)
+
+(* ------------------------------------------------------------------ *)
+(* hashpath: the allocation-free commit path, old vs new *)
+
+let json_out = ref false
+
+let hashpath () =
+  print_endline
+    "=== hashpath: allocation-free row hashing + parallel Merkle root ===";
+  Printf.printf "host: %d recommended domain(s)\n\n"
+    (Domain.recommended_domain_count ());
+  let schema = Schema.make wide_columns in
+  let ext_schema = System_columns.extend_schema schema in
+  let prng = Workload.Prng.create 77 in
+  let row =
+    System_columns.set_start ext_schema
+      (Array.append (wide_row prng 1)
+         [| Value.Null; Value.Null; Value.Null; Value.Null |])
+      ~txn_id:1 ~seq:0
+  in
+  let ctx = Ledger_crypto.Sha256.init () in
+
+  (* 1. Row hashing, string-building vs streamed-into-context. *)
+  let old_us =
+    us_per_run "hash (buffer)" (fun () -> Row_codec.hash ext_schema row)
+  in
+  let new_us =
+    us_per_run "hash_into" (fun () -> Row_codec.hash_into ctx ext_schema row)
+  in
+
+  (* 2. Minor-heap bytes per hash: warm up, then average over many runs so
+     one-off lazy initialisation does not pollute the per-row figure. *)
+  let alloc_per_run f =
+    ignore (f ());
+    ignore (f ());
+    let runs = 10_000 in
+    let before = Gc.allocated_bytes () in
+    for _ = 1 to runs do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Gc.allocated_bytes () -. before) /. float_of_int runs
+  in
+  let old_alloc = alloc_per_run (fun () -> Row_codec.hash ext_schema row) in
+  let new_alloc =
+    alloc_per_run (fun () -> Row_codec.hash_into ctx ext_schema row)
+  in
+
+  (* 3. Block-root aggregation across domains (the per-block transaction
+     root of §3.2.2, sized like a busy block). *)
+  let nleaves = 100_000 in
+  let leaves =
+    Array.init nleaves (fun i ->
+        Ledger_crypto.Sha256.digest_string (string_of_int i))
+  in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let root_times =
+    List.map
+      (fun domains ->
+        (* best of 3: domain spawn cost is noisy on loaded hosts *)
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let t =
+            Workload.Runner.time (fun () ->
+                ignore
+                  (Sys.opaque_identity
+                     (Merkle.Parallel.root_array ~domains leaves)))
+          in
+          if t < !best then best := t
+        done;
+        (domains, !best))
+      domain_counts
+  in
+
+  Printf.printf "%-34s %10.2f us/row\n" "row hash, string-building (old)" old_us;
+  Printf.printf "%-34s %10.2f us/row\n" "row hash, streamed (new)" new_us;
+  Printf.printf "%-34s %9.1f%%\n" "improvement"
+    ((old_us -. new_us) /. old_us *. 100.0);
+  Printf.printf "%-34s %10.0f B/row\n" "allocation, string-building (old)"
+    old_alloc;
+  Printf.printf "%-34s %10.0f B/row\n" "allocation, streamed (new)" new_alloc;
+  Printf.printf "\nblock Merkle root over %d leaves:\n" nleaves;
+  Printf.printf "%8s %12s %9s\n" "domains" "time (ms)" "speedup";
+  let base = List.assoc 1 root_times in
+  List.iter
+    (fun (d, t) ->
+      Printf.printf "%8d %12.2f %8.2fx\n" d (t *. 1e3) (base /. t))
+    root_times;
+
+  if !json_out then begin
+    let json =
+      Sjson.Obj
+        [
+          ("experiment", Sjson.String "hashpath");
+          ("recommended_domains", Sjson.Int (Domain.recommended_domain_count ()));
+          ("row_hash_old_us", Sjson.Float old_us);
+          ("row_hash_new_us", Sjson.Float new_us);
+          ( "row_hash_improvement_pct",
+            Sjson.Float ((old_us -. new_us) /. old_us *. 100.0) );
+          ("alloc_old_bytes_per_row", Sjson.Float old_alloc);
+          ("alloc_new_bytes_per_row", Sjson.Float new_alloc);
+          ("block_root_leaves", Sjson.Int nleaves);
+          ( "block_root_ms",
+            Sjson.Obj
+              (List.map
+                 (fun (d, t) -> (string_of_int d, Sjson.Float (t *. 1e3)))
+                 root_times) );
+        ]
+    in
+    Out_channel.with_open_text "BENCH_hashpath.json" (fun oc ->
+        output_string oc (Sjson.to_string ~pretty:true json);
+        output_char oc '\n');
+    print_endline "\nwrote BENCH_hashpath.json"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Ablations over the design choices DESIGN.md calls out *)
@@ -491,14 +615,21 @@ let ablation () =
 let experiments =
   [
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("fabric", fabric);
-    ("decomp", decomp); ("ablation", ablation);
+    ("decomp", decomp); ("hashpath", hashpath); ("ablation", ablation);
   ]
 
 let () =
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--json" then (
+          json_out := true;
+          false)
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst experiments
+    match args with [] -> List.map fst experiments | args -> args
   in
   List.iter
     (fun name ->

@@ -180,6 +180,51 @@ let run_fabric offered txns =
   0
 
 (* ------------------------------------------------------------------ *)
+(* verify *)
+
+let run_verify snapshot digest_files jobs tables =
+  match Snapshot.load_from_file ~path:snapshot () with
+  | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" snapshot e;
+      1
+  | Ok db -> (
+      let parse_digest path =
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error e -> Error e
+        | contents -> Digest.of_string contents
+      in
+      let rec load_digests acc = function
+        | [] -> Ok (List.rev acc)
+        | path :: rest -> (
+            match parse_digest path with
+            | Ok d -> load_digests (d :: acc) rest
+            | Error e -> Error (path ^ ": " ^ e))
+      in
+      match load_digests [] digest_files with
+      | Error e ->
+          Printf.eprintf "cannot read digest: %s\n" e;
+          1
+      | Ok digests -> (
+          let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+          match
+            List.find_opt
+              (fun n -> Database.find_ledger_table db n = None)
+              tables
+          with
+          | Some missing ->
+              Printf.eprintf "no such ledger table: %s\n" missing;
+              1
+          | None ->
+          let tables = if tables = [] then None else Some tables in
+          if digests = [] then
+            print_endline
+              "note: no --digest supplied; checking internal consistency only \
+               (invariants 2-5), with no external anchor";
+          let report = Verifier.verify ?tables ~jobs db ~digests in
+          Format.printf "%a@." Verifier.pp_report report;
+          if Verifier.ok report then 0 else 1))
+
+(* ------------------------------------------------------------------ *)
 (* recover *)
 
 let run_recover wal snapshot verify_flag =
@@ -226,6 +271,42 @@ let fabric_cmd =
     (Cmd.info "fabric" ~doc:"Run the permissioned-blockchain latency model")
     Term.(const run_fabric $ offered $ txns)
 
+let verify_cmd =
+  let snapshot =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SNAPSHOT" ~doc:"Database snapshot file to verify")
+  in
+  let digest_files =
+    Arg.(
+      value & opt_all file []
+      & info [ "digest" ] ~docv:"FILE"
+          ~doc:
+            "Trusted digest file (as printed by the shell's .digest command). \
+             Repeatable; without one, only internal consistency is checked.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Verification domains for the per-table checks. 0 (the default) \
+             uses the recommended domain count for this host.")
+  in
+  let tables =
+    Arg.(
+      value & opt_all string []
+      & info [ "table" ] ~docv:"NAME"
+          ~doc:
+            "Restrict invariants 4-5 to the named ledger table (partial \
+             verification, paper section 2.3). Repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify a snapshot against trusted digests, in parallel")
+    Term.(const run_verify $ snapshot $ digest_files $ jobs $ tables)
+
 let recover_cmd =
   let wal =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"WAL" ~doc:"WAL file")
@@ -244,6 +325,6 @@ let main =
   Cmd.group
     (Cmd.info "sqlledger" ~version:"1.0.0"
        ~doc:"Cryptographically verifiable ledger tables (SIGMOD'21 reproduction)")
-    [ demo_cmd; shell_cmd; fabric_cmd; recover_cmd ]
+    [ demo_cmd; shell_cmd; fabric_cmd; verify_cmd; recover_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,1 +1,1 @@
-lib/core/ledger_table.ml: Array Column List Option Printf Relation Row Row_codec Schema Storage System_columns Types Value
+lib/core/ledger_table.ml: Array Column Ledger_crypto List Option Printf Relation Row Row_codec Schema Storage System_columns Types Value

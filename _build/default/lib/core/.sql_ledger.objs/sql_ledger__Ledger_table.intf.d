@@ -1,1 +1,1 @@
-lib/core/ledger_table.mli: Relation Storage Types
+lib/core/ledger_table.mli: Ledger_crypto Relation Storage Types

@@ -1,1 +1,1 @@
-lib/core/txn.ml: Aries Array Database_ledger Ledger_table List Merkle Relation Row Sjson Storage Types Value
+lib/core/txn.ml: Aries Array Database_ledger Hashtbl Ledger_crypto Ledger_table List Merkle Relation Row Sjson Storage Types Value

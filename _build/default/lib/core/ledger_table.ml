@@ -72,11 +72,17 @@ let row_count t = Table_store.row_count t.main
 let history_count t =
   match t.history with Some h -> Table_store.row_count h | None -> 0
 
-let hash_created t row =
+let hash_created ?ctx t row =
   let schema = schema t in
-  Row_codec.hash schema (System_columns.mask_end schema row)
+  let masked = System_columns.mask_end schema row in
+  match ctx with
+  | Some c -> Row_codec.hash_into c schema masked
+  | None -> Row_codec.hash schema masked
 
-let hash_deleted t row = Row_codec.hash (schema t) row
+let hash_deleted ?ctx t row =
+  match ctx with
+  | Some c -> Row_codec.hash_into c (schema t) row
+  | None -> Row_codec.hash (schema t) row
 
 let extend_user_row t user_row =
   let ordinals = user_ordinals t in
@@ -103,15 +109,15 @@ let user_row t stored =
   in
   if is_prefix then Array.sub stored 0 n else Row.project stored ords
 
-let insert_version t ~txn_id ~seq user_row =
+let insert_version ?ctx t ~txn_id ~seq user_row =
   let row =
     System_columns.set_start (schema t) (extend_user_row t user_row) ~txn_id
       ~seq
   in
   Table_store.insert t.main row;
-  (row, hash_created t row)
+  (row, hash_created ?ctx t row)
 
-let delete_version t ~txn_id ~seq ~key =
+let delete_version ?ctx t ~txn_id ~seq ~key =
   match t.history with
   | None ->
       Types.errorf "%s is an append-only ledger table: deletes and updates are not allowed"
@@ -120,7 +126,7 @@ let delete_version t ~txn_id ~seq ~key =
       let row = Table_store.delete t.main ~key in
       let row = System_columns.set_end (schema t) row ~txn_id ~seq in
       Table_store.insert history row;
-      (row, hash_deleted t row)
+      (row, hash_deleted ?ctx t row)
 
 let find t ~key = Table_store.find t.main ~key
 let current_rows t = Table_store.scan t.main
@@ -130,13 +136,17 @@ let history_rows t =
 
 let versions t =
   let schema = schema t in
+  (* One scratch context for the whole scan: recomputing version hashes is
+     the bulk of verification (invariant 4), and the streaming path keeps it
+     allocation-free per row. *)
+  let ctx = Ledger_crypto.Sha256.init () in
   let creation row =
     let txn, seq = System_columns.get_start schema row in
     {
       Types.v_txn_id = txn;
       v_seq = seq;
       v_op = Types.Insert;
-      v_hash = hash_created t row;
+      v_hash = hash_created ~ctx t row;
       v_row = row;
     }
   in
@@ -148,7 +158,7 @@ let versions t =
           Types.v_txn_id = txn;
           v_seq = seq;
           v_op = Types.Delete;
-          v_hash = hash_deleted t row;
+          v_hash = hash_deleted ~ctx t row;
           v_row = row;
         }
   in

@@ -51,12 +51,14 @@ val history_count : t -> int
 
 (** {1 Version hashing} *)
 
-val hash_created : t -> Relation.Row.t -> string
+val hash_created : ?ctx:Ledger_crypto.Sha256.t -> t -> Relation.Row.t -> string
 (** Hash of a stored row as of its creation: deletion columns masked to
-    NULL. *)
+    NULL. [ctx] is an optional reusable scratch context; when given, the
+    hash streams through it without intermediate allocations. *)
 
-val hash_deleted : t -> Relation.Row.t -> string
-(** Hash of a deleted version, deletion columns included. *)
+val hash_deleted : ?ctx:Ledger_crypto.Sha256.t -> t -> Relation.Row.t -> string
+(** Hash of a deleted version, deletion columns included. [ctx] as in
+    {!hash_created}. *)
 
 (** {1 Version-level DML (called by Txn)} *)
 
@@ -69,11 +71,15 @@ val user_row : t -> Relation.Row.t -> Relation.Row.t
 (** Project a stored row back to its user-column values. *)
 
 val insert_version :
+  ?ctx:Ledger_crypto.Sha256.t ->
   t -> txn_id:int -> seq:int -> Relation.Row.t -> Relation.Row.t * string
 (** Store a new current version of the given user row; returns the stored
-    row and its creation hash. Raises [Storage.Table_store.Duplicate_key]. *)
+    row and its creation hash. [ctx] is the caller's reusable hash context
+    (per-transaction scratch in {!Txn}). Raises
+    [Storage.Table_store.Duplicate_key]. *)
 
 val delete_version :
+  ?ctx:Ledger_crypto.Sha256.t ->
   t -> txn_id:int -> seq:int -> key:Relation.Row.t -> Relation.Row.t * string
 (** Delete the current version with the given primary key: stamp its
     deletion columns, move it to the history table, and return the moved row

@@ -1,5 +1,6 @@
 open Relation
 module Table_store = Storage.Table_store
+module Sha256 = Ledger_crypto.Sha256
 
 type undo_op =
   | Undo_ledger_insert of Ledger_table.t * Row.t  (* key *)
@@ -8,6 +9,17 @@ type undo_op =
   | Undo_plain_update of Table_store.t * Row.t    (* previous row *)
   | Undo_plain_delete of Table_store.t * Row.t    (* deleted row *)
 
+(* Redo is recorded as lightweight ops during DML (rows snapshotted by a
+   single Array.copy) and serialized to JSON once, at commit — aborted
+   transactions never pay for serialization, and committed ones build the
+   tree in one pass instead of per operation. *)
+type redo_op =
+  | Redo_ledger_insert of { tid : int; seq : int; row : Row.t }
+  | Redo_ledger_delete of { tid : int; seq : int; key : Row.t }
+  | Redo_plain_insert of { tid : int; row : Row.t }
+  | Redo_plain_update of { tid : int; row : Row.t }
+  | Redo_plain_delete of { tid : int; key : Row.t }
+
 type state = Active | Committed | Aborted
 
 type t = {
@@ -15,18 +27,20 @@ type t = {
   txn_user : string;
   ledger : Database_ledger.t;
   clock : unit -> float;
+  scratch : Sha256.t;  (* reusable row-hash context, one per transaction *)
   mutable seq : int;
-  mutable trees : (int * Merkle.Streaming.t) list;  (* table_id -> tree *)
+  mutable trees : (int, Merkle.Streaming.t) Hashtbl.t;  (* table_id -> tree *)
   mutable undo : undo_op list;  (* newest first *)
-  mutable redo : Sjson.t list;  (* newest first; logged at commit *)
+  mutable undo_len : int;       (* length of [undo], kept incrementally *)
+  mutable redo : redo_op list;  (* newest first; serialized at commit *)
   mutable state : state;
 }
 
 type savepoint = {
   sp_seq : int;
-  sp_trees : (int * Merkle.Streaming.t) list;
+  sp_trees : (int, Merkle.Streaming.t) Hashtbl.t;  (* snapshot copy *)
   sp_undo_len : int;
-  sp_redo : Sjson.t list;
+  sp_redo : redo_op list;
 }
 
 let id t = t.txn_id
@@ -40,9 +54,11 @@ let begin_txn ~ledger ~user ~clock =
     txn_user = user;
     ledger;
     clock;
+    scratch = Sha256.init ();
     seq = 0;
-    trees = [];
+    trees = Hashtbl.create 8;
     undo = [];
+    undo_len = 0;
     redo = [];
     state = Active;
   }
@@ -61,49 +77,88 @@ let next_seq t =
 let tagged_row row =
   Sjson.List (List.map Value.to_tagged_json (Array.to_list row))
 
-let log_redo t fields = t.redo <- Sjson.Obj fields :: t.redo
+let redo_to_json = function
+  | Redo_ledger_insert { tid; seq; row } ->
+      Sjson.Obj
+        [
+          ("op", Sjson.String "li");
+          ("tid", Sjson.Int tid);
+          ("seq", Sjson.Int seq);
+          ("row", tagged_row row);
+        ]
+  | Redo_ledger_delete { tid; seq; key } ->
+      Sjson.Obj
+        [
+          ("op", Sjson.String "ld");
+          ("tid", Sjson.Int tid);
+          ("seq", Sjson.Int seq);
+          ("key", tagged_row key);
+        ]
+  | Redo_plain_insert { tid; row } ->
+      Sjson.Obj
+        [
+          ("op", Sjson.String "pi");
+          ("tid", Sjson.Int tid);
+          ("row", tagged_row row);
+        ]
+  | Redo_plain_update { tid; row } ->
+      Sjson.Obj
+        [
+          ("op", Sjson.String "pu");
+          ("tid", Sjson.Int tid);
+          ("row", tagged_row row);
+        ]
+  | Redo_plain_delete { tid; key } ->
+      Sjson.Obj
+        [
+          ("op", Sjson.String "pd");
+          ("tid", Sjson.Int tid);
+          ("key", tagged_row key);
+        ]
+
+let log_redo t op = t.redo <- op :: t.redo
+
+let push_undo t op =
+  t.undo <- op :: t.undo;
+  t.undo_len <- t.undo_len + 1
 
 let add_leaf t table_id leaf =
   let tree =
-    match List.assoc_opt table_id t.trees with
+    match Hashtbl.find_opt t.trees table_id with
     | Some tree -> tree
     | None -> Merkle.Streaming.empty
   in
-  t.trees <-
-    (table_id, Merkle.Streaming.add_leaf tree leaf)
-    :: List.remove_assoc table_id t.trees
+  Hashtbl.replace t.trees table_id (Merkle.Streaming.add_leaf tree leaf)
 
 let insert t lt user_row =
   require_active t;
   let seq = next_seq t in
   let stored, hash =
-    Ledger_table.insert_version lt ~txn_id:t.txn_id ~seq user_row
+    Ledger_table.insert_version ~ctx:t.scratch lt ~txn_id:t.txn_id ~seq
+      user_row
   in
   add_leaf t (Ledger_table.table_id lt) hash;
   log_redo t
-    [
-      ("op", Sjson.String "li");
-      ("tid", Sjson.Int (Ledger_table.table_id lt));
-      ("seq", Sjson.Int seq);
-      ("row", tagged_row user_row);
-    ];
-  t.undo <-
-    Undo_ledger_insert (lt, Table_store.primary_key (Ledger_table.main lt) stored)
-    :: t.undo
+    (Redo_ledger_insert
+       {
+         tid = Ledger_table.table_id lt;
+         seq;
+         row = Array.copy user_row;
+       });
+  push_undo t
+    (Undo_ledger_insert (lt, Table_store.primary_key (Ledger_table.main lt) stored))
 
 let delete t lt ~key =
   require_active t;
   let seq = next_seq t in
-  let moved, hash = Ledger_table.delete_version lt ~txn_id:t.txn_id ~seq ~key in
+  let moved, hash =
+    Ledger_table.delete_version ~ctx:t.scratch lt ~txn_id:t.txn_id ~seq ~key
+  in
   add_leaf t (Ledger_table.table_id lt) hash;
   log_redo t
-    [
-      ("op", Sjson.String "ld");
-      ("tid", Sjson.Int (Ledger_table.table_id lt));
-      ("seq", Sjson.Int seq);
-      ("key", tagged_row key);
-    ];
-  t.undo <- Undo_ledger_delete (lt, moved) :: t.undo
+    (Redo_ledger_delete
+       { tid = Ledger_table.table_id lt; seq; key = Array.copy key });
+  push_undo t (Undo_ledger_delete (lt, moved))
 
 let update t lt ~key new_user_row =
   require_active t;
@@ -115,12 +170,9 @@ let plain_insert t store row =
   require_active t;
   Table_store.insert store row;
   log_redo t
-    [
-      ("op", Sjson.String "pi");
-      ("tid", Sjson.Int (Table_store.table_id store));
-      ("row", tagged_row row);
-    ];
-  t.undo <- Undo_plain_insert (store, Table_store.primary_key store row) :: t.undo
+    (Redo_plain_insert
+       { tid = Table_store.table_id store; row = Array.copy row });
+  push_undo t (Undo_plain_insert (store, Table_store.primary_key store row))
 
 let plain_update t store row =
   require_active t;
@@ -132,23 +184,17 @@ let plain_update t store row =
   | Some old_row ->
       Table_store.update store row;
       log_redo t
-        [
-          ("op", Sjson.String "pu");
-          ("tid", Sjson.Int (Table_store.table_id store));
-          ("row", tagged_row row);
-        ];
-      t.undo <- Undo_plain_update (store, old_row) :: t.undo)
+        (Redo_plain_update
+           { tid = Table_store.table_id store; row = Array.copy row });
+      push_undo t (Undo_plain_update (store, old_row)))
 
 let plain_delete t store ~key =
   require_active t;
   let old_row = Table_store.delete store ~key in
   log_redo t
-    [
-      ("op", Sjson.String "pd");
-      ("tid", Sjson.Int (Table_store.table_id store));
-      ("key", tagged_row key);
-    ];
-  t.undo <- Undo_plain_delete (store, old_row) :: t.undo
+    (Redo_plain_delete
+       { tid = Table_store.table_id store; key = Array.copy key });
+  push_undo t (Undo_plain_delete (store, old_row))
 
 let apply_undo = function
   | Undo_ledger_insert (lt, key) -> Ledger_table.undo_insert lt ~key
@@ -162,14 +208,16 @@ let savepoint t =
   require_active t;
   {
     sp_seq = t.seq;
-    sp_trees = t.trees;
-    sp_undo_len = List.length t.undo;
+    (* Streaming trees are immutable values, so a shallow copy of the table
+       is a full snapshot. *)
+    sp_trees = Hashtbl.copy t.trees;
+    sp_undo_len = t.undo_len;
     sp_redo = t.redo;
   }
 
 let rollback_to t sp =
   require_active t;
-  let excess = List.length t.undo - sp.sp_undo_len in
+  let excess = t.undo_len - sp.sp_undo_len in
   if excess < 0 then
     Types.errorf "savepoint is no longer valid (outer rollback occurred)";
   let rec drop n ops =
@@ -182,7 +230,9 @@ let rollback_to t sp =
           drop (n - 1) rest
   in
   t.undo <- drop excess t.undo;
-  t.trees <- sp.sp_trees;
+  t.undo_len <- sp.sp_undo_len;
+  (* Copy again so the savepoint survives repeated rollbacks. *)
+  t.trees <- Hashtbl.copy sp.sp_trees;
   t.redo <- sp.sp_redo;
   t.seq <- sp.sp_seq
 
@@ -190,24 +240,31 @@ let rollback t =
   require_active t;
   List.iter apply_undo t.undo;
   t.undo <- [];
+  t.undo_len <- 0;
   t.redo <- [];
-  t.trees <- [];
+  Hashtbl.reset t.trees;
   t.state <- Aborted;
   Database_ledger.log_abort t.ledger ~txn_id:t.txn_id
 
 let commit t =
   require_active t;
   let table_roots =
-    List.map (fun (tid, tree) -> (tid, Merkle.Streaming.root tree)) t.trees
+    Hashtbl.fold
+      (fun tid tree acc -> (tid, Merkle.Streaming.root tree) :: acc)
+      t.trees []
   in
   (* Log the transaction's logical redo before its COMMIT record, so replay
-     sees the data of every committed transaction (write-ahead). *)
+     sees the data of every committed transaction (write-ahead). The JSON is
+     built here, once, from the lightweight op log. *)
   if t.redo <> [] then
     ignore
       (Aries.Wal.append
          (Database_ledger.wal t.ledger)
          (Aries.Log_record.Data
-            { txn_id = t.txn_id; ops = Sjson.List (List.rev t.redo) })
+            {
+              txn_id = t.txn_id;
+              ops = Sjson.List (List.rev_map redo_to_json t.redo);
+            })
         : int);
   let entry =
     Database_ledger.append_commit t.ledger ~txn_id:t.txn_id
@@ -217,6 +274,6 @@ let commit t =
   entry
 
 let table_root t lt =
-  match List.assoc_opt (Ledger_table.table_id lt) t.trees with
+  match Hashtbl.find_opt t.trees (Ledger_table.table_id lt) with
   | Some tree -> Merkle.Streaming.root tree
   | None -> Merkle.Streaming.empty_root

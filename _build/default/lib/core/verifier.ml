@@ -369,7 +369,12 @@ let check_indexes lt =
 
 (* ------------------------------------------------------------------ *)
 
-let verify ?tables ?(jobs = 1) db ~digests =
+let verify ?tables ?jobs db ~digests =
+  let jobs =
+    match jobs with
+    | Some j -> j
+    | None -> Domain.recommended_domain_count ()
+  in
   let selected lt =
     match tables with
     | None -> true

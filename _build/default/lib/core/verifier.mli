@@ -53,9 +53,13 @@ val verify :
   ?tables:string list -> ?jobs:int -> Database.t -> digests:Digest.t list -> report
 (** Full verification. [tables] restricts invariants 4–5 to the named
     ledger tables (the paper's partial-verification option, §2.3).
-    [jobs] (default 1) runs the per-table checks (invariants 4–5, the bulk
-    of the work) on that many domains in parallel — the counterpart of the
-    paper's use of parallel query execution to shorten verification. *)
+    [jobs] runs the per-table checks (invariants 4–5, the bulk of the work)
+    on that many domains in parallel — the counterpart of the paper's use of
+    parallel query execution to shorten verification. It defaults to
+    [Domain.recommended_domain_count ()], so verification uses the host's
+    cores unless explicitly restricted. Within-block Merkle aggregation
+    (invariant 3 over up to 100K entries per block) additionally
+    parallelises through {!Merkle.Parallel} when blocks are large. *)
 
 val verify_digest_chain :
   Database.t -> older:Digest.t -> newer:Digest.t -> (unit, violation list) result

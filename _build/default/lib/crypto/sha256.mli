@@ -2,13 +2,22 @@
 
     Implemented from scratch because the sealed build environment ships no
     cryptographic library. Validated against the FIPS / NIST short-message
-    test vectors in the test suite. *)
+    test vectors in the test suite.
+
+    Contexts are reusable: {!reset} returns a context to its initial state
+    without allocating, and {!finish_into} finalises into a caller-provided
+    buffer. Together with the byte-granular feeders this supports the
+    allocation-free row-hash pipeline on the DML hot path. *)
 
 type t
 (** Mutable hashing context. *)
 
 val init : unit -> t
 (** Fresh context. *)
+
+val reset : t -> unit
+(** Return the context to its just-{!init}ialised state, reusing all internal
+    buffers. The previous digest (if any) is forgotten. *)
 
 val feed_bytes : t -> ?off:int -> ?len:int -> bytes -> unit
 (** Absorb a byte range. Raises [Invalid_argument] on an invalid range, or if
@@ -17,9 +26,22 @@ val feed_bytes : t -> ?off:int -> ?len:int -> bytes -> unit
 val feed_string : t -> ?off:int -> ?len:int -> string -> unit
 (** Absorb a substring. Same errors as {!feed_bytes}. *)
 
+val feed_byte : t -> int -> unit
+(** Absorb a single byte (the low 8 bits of the argument). Allocation-free.
+    Raises [Invalid_argument] if the context was already finalised. *)
+
+val feed_be : t -> width:int -> int -> unit
+(** Absorb [width] (1..8) bytes of the argument, big-endian: byte [i] is
+    [(v lsr (8 * (width - 1 - i))) land 0xFF]. Allocation-free. *)
+
 val get : t -> string
 (** Finalise and return the 32-byte raw digest. The context must not be fed
     afterwards; calling [get] again returns the same digest. *)
+
+val finish_into : t -> bytes -> off:int -> unit
+(** Finalise and write the 32-byte raw digest at [off]. Idempotent; does not
+    allocate. The context must not be fed afterwards (use {!reset}). Raises
+    [Invalid_argument] when fewer than 32 bytes are available at [off]. *)
 
 val digest_string : string -> string
 (** [digest_string s] is the 32-byte raw digest of [s]. *)

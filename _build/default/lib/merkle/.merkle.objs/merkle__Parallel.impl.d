@@ -1,0 +1,1 @@
+lib/merkle/parallel.ml: Array Domain Streaming

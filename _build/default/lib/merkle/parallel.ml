@@ -1,0 +1,82 @@
+(* Domain-parallel Merkle root computation.
+
+   The level-wise pairing rule (odd trailing node promoted unchanged, as in
+   Streaming/Tree) is local: the node at level L, position j depends only on
+   leaves [j * 2^L, (j+1) * 2^L). Splitting the leaf array into chunks of a
+   power-of-two size therefore makes every chunk an independent subtree —
+   interior chunks are perfect (no promotions), and the ragged tail chunk
+   reproduces exactly the promotions the sequential computation performs,
+   because a level's unpaired last node is always the one covering the end
+   of the array. Each domain reduces one chunk to its level-L node; the
+   chunk roots are then reduced sequentially, which is the same computation
+   the sequential algorithm performs from level L upward. *)
+
+(* Below this leaf count, domain spawn overhead (~tens of us) exceeds the
+   hashing work; auto mode stays sequential. *)
+let auto_threshold = 2048
+
+let rec ceil_pow2 n acc = if acc >= n then acc else ceil_pow2 n (acc * 2)
+
+(* Level-wise reduction of leaves[lo..hi) to a single node. *)
+let reduce_slice (a : string array) lo hi =
+  let len = hi - lo in
+  if len = 1 then a.(lo)
+  else begin
+    let buf = Array.sub a lo len in
+    let m = ref len in
+    while !m > 1 do
+      let half = !m / 2 in
+      for i = 0 to half - 1 do
+        buf.(i) <- Streaming.combine buf.(2 * i) buf.((2 * i) + 1)
+      done;
+      if !m land 1 = 1 then begin
+        buf.(half) <- buf.(!m - 1);
+        m := half + 1
+      end
+      else m := half
+    done;
+    buf.(0)
+  end
+
+let sequential_root a =
+  let n = Array.length a in
+  if n = 0 then Streaming.empty_root else reduce_slice a 0 n
+
+let root_array ?domains leaves =
+  let n = Array.length leaves in
+  if n = 0 then Streaming.empty_root
+  else if n = 1 then leaves.(0)
+  else begin
+    let d =
+      match domains with
+      | Some d -> max 1 d
+      | None ->
+          (* Nested spawns from verifier worker domains would oversubscribe
+             the host; only auto-parallelise from the main domain. *)
+          if n < auto_threshold || not (Domain.is_main_domain ()) then 1
+          else Domain.recommended_domain_count ()
+    in
+    let d = min d n in
+    if d = 1 then sequential_root leaves
+    else begin
+      let per = (n + d - 1) / d in
+      let chunk = ceil_pow2 per 1 in
+      let nchunks = (n + chunk - 1) / chunk in
+      if nchunks <= 1 then sequential_root leaves
+      else begin
+        let workers =
+          Array.init (nchunks - 1) (fun i ->
+              let i = i + 1 in
+              let lo = i * chunk in
+              let hi = min n (lo + chunk) in
+              Domain.spawn (fun () -> reduce_slice leaves lo hi))
+        in
+        let subroots = Array.make nchunks "" in
+        subroots.(0) <- reduce_slice leaves 0 chunk;
+        Array.iteri (fun i w -> subroots.(i + 1) <- Domain.join w) workers;
+        sequential_root subroots
+      end
+    end
+  end
+
+let root ?domains leaves = root_array ?domains (Array.of_list leaves)

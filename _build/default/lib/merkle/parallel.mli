@@ -1,0 +1,26 @@
+(** Domain-parallel Merkle root computation.
+
+    Computes exactly the root {!Streaming} (and {!Tree}) would produce over
+    the same leaves — same pairing, same promotion of odd trailing nodes —
+    but splits the leaf array into power-of-two-aligned chunks and reduces
+    the chunks on separate domains before combining the subtree roots. Used
+    on the block-close path and behind the [MERKLETREEAGG] SQL aggregate,
+    where blocks aggregate up to 100K transaction hashes (paper §3.3,
+    §3.4.2: "leverage parallel query execution").
+
+    Without an explicit [domains] argument the implementation decides: it
+    stays sequential for small inputs (spawn overhead dominates below a few
+    thousand leaves), when the host reports a single core, and when called
+    off the main domain (verification workers already saturate the host). *)
+
+val root_array : ?domains:int -> string array -> string
+(** Root over the leaves, left to right. [?domains] forces the number of
+    parallel chunks (values [<= 1] mean sequential); when omitted, a
+    sensible degree is chosen as described above. The array is not
+    modified. *)
+
+val root : ?domains:int -> string list -> string
+(** List convenience wrapper over {!root_array}. *)
+
+val sequential_root : string array -> string
+(** The sequential level-wise reduction (exposed for benchmarks/tests). *)

@@ -1,1 +1,1 @@
-lib/relation/row_codec.ml: Array Buffer Char Column Datatype Ledger_crypto List Schema String Value
+lib/relation/row_codec.ml: Array Buffer Bytes Char Column Datatype Ledger_crypto List Printf Schema String Value

@@ -1,1 +1,1 @@
-lib/relation/row_codec.mli: Row Schema
+lib/relation/row_codec.mli: Ledger_crypto Row Schema

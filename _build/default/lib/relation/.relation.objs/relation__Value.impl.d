@@ -1,1 +1,1 @@
-lib/relation/value.ml: Buffer Bytes Char Datatype Format Int64 Printf Sjson Stdlib String
+lib/relation/value.ml: Buffer Bytes Char Datatype Format Int64 Ledger_crypto Printf Sjson Stdlib String

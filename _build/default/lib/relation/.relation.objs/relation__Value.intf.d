@@ -1,1 +1,1 @@
-lib/relation/value.mli: Datatype Format Sjson
+lib/relation/value.mli: Datatype Format Ledger_crypto Sjson

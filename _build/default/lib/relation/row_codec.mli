@@ -19,6 +19,14 @@ val hash : Schema.t -> Row.t -> string
 (** 32-byte SHA-256 of {!serialize} — the paper's [LEDGERHASH] applied to a
     row. *)
 
+val hash_into : Ledger_crypto.Sha256.t -> Schema.t -> Row.t -> string
+(** Same digest as {!hash}, computed by streaming the serialization straight
+    into the given scratch context ({!Ledger_crypto.Sha256.reset} is called
+    first). Allocates only the returned 32-byte digest — no Buffer, no
+    intermediate serialized string. The context can be reused across calls;
+    this is the DML hot path. Raises [Invalid_argument] when the row does
+    not validate against the schema. *)
+
 type field = { ordinal : int; tag : int; param : int; payload : string }
 
 val inspect : string -> (int * field list) option

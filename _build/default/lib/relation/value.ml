@@ -65,6 +65,41 @@ let encode dtype v =
   | Datatype.Varchar _, String s -> s
   | _ -> assert false
 
+module Sha256 = Ledger_crypto.Sha256
+
+let encoded_length dtype v =
+  match (dtype, v) with
+  | _, Null -> invalid_arg "Value.encoded_length: Null has no payload"
+  | Datatype.Smallint, Int _ -> 2
+  | Datatype.Int, Int _ -> 4
+  | (Datatype.Bigint, Int _ | Datatype.Float, Float _ | Datatype.Datetime, Datetime _) -> 8
+  | Datatype.Bool, Bool _ -> 1
+  | Datatype.Varchar _, String s -> String.length s
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Value.encoded_length: value does not conform to %s"
+           (Datatype.to_string dtype))
+
+(* Must stay byte-for-byte identical to [encode]: same shifts, including the
+   quirk that float bits go through Int64.to_int (63-bit truncation). *)
+let encode_into dtype v ctx =
+  if not (conforms dtype v) then
+    invalid_arg
+      (Printf.sprintf "Value.encode_into: value does not conform to %s"
+         (Datatype.to_string dtype));
+  match (dtype, v) with
+  | _, Null -> invalid_arg "Value.encode_into: Null has no payload"
+  | Datatype.Smallint, Int i -> Sha256.feed_be ctx ~width:2 (i land 0xFFFF)
+  | Datatype.Int, Int i -> Sha256.feed_be ctx ~width:4 (i land 0xFFFFFFFF)
+  | Datatype.Bigint, Int i -> Sha256.feed_be ctx ~width:8 i
+  | Datatype.Bool, Bool b -> Sha256.feed_byte ctx (if b then 1 else 0)
+  | Datatype.Float, Float f ->
+      Sha256.feed_be ctx ~width:8 (Int64.to_int (Int64.bits_of_float f))
+  | Datatype.Datetime, Datetime f ->
+      Sha256.feed_be ctx ~width:8 (Int64.to_int (Int64.bits_of_float f))
+  | Datatype.Varchar _, String s -> Sha256.feed_string ctx s
+  | _ -> assert false
+
 let tagged_encode v =
   let buf = Buffer.create 16 in
   let add_len n =
@@ -94,6 +129,30 @@ let tagged_encode v =
       add_len (String.length s);
       Buffer.add_string buf s);
   Buffer.contents buf
+
+(* Feed-to-sink twin of [tagged_encode]; byte-for-byte identical output.
+   Unlike [encode], float bits here keep all 64 bits (Int64 logical shifts),
+   so the Int64 path below must not truncate through a native int. *)
+let tagged_feed ctx v =
+  match v with
+  | Null -> Sha256.feed_byte ctx (Char.code 'N')
+  | Int i ->
+      Sha256.feed_byte ctx (Char.code 'I');
+      Sha256.feed_be ctx ~width:8 i
+  | Bool b ->
+      Sha256.feed_byte ctx (Char.code 'B');
+      Sha256.feed_byte ctx (if b then 1 else 0)
+  | Float f | Datetime f ->
+      Sha256.feed_byte ctx (Char.code (match v with Float _ -> 'F' | _ -> 'D'));
+      let bits = Int64.bits_of_float f in
+      for b = 7 downto 0 do
+        Sha256.feed_byte ctx
+          (Int64.to_int (Int64.shift_right_logical bits (8 * b)) land 0xFF)
+      done
+  | String s ->
+      Sha256.feed_byte ctx (Char.code 'S');
+      Sha256.feed_be ctx ~width:4 (String.length s);
+      Sha256.feed_string ctx s
 
 let to_string = function
   | Null -> "NULL"

@@ -35,11 +35,25 @@ val encode : Datatype.t -> t -> string
     1 byte for booleans, IEEE bits for floats and datetimes, raw bytes for
     strings. Raises [Invalid_argument] on [Null] or non-conforming values. *)
 
+val encoded_length : Datatype.t -> t -> int
+(** Length in bytes of {!encode}'s payload, without building it. Same errors
+    as {!encode}. *)
+
+val encode_into : Datatype.t -> t -> Ledger_crypto.Sha256.t -> unit
+(** Feed exactly the bytes of {!encode} into a SHA-256 context, without
+    building the payload string. Allocation-free for every type but [Float]/
+    [Datetime] (whose boxed bit conversion may allocate). Same errors as
+    {!encode}. *)
+
 val tagged_encode : t -> string
 (** Self-describing encoding (constructor tag, length, payload) that does
     not require a declared column type. This is the serialization behind the
     [LEDGERHASH] intrinsic used for transaction entries and blocks, where
     the hashed fields are system-defined rather than user columns. *)
+
+val tagged_feed : Ledger_crypto.Sha256.t -> t -> unit
+(** Feed exactly the bytes of {!tagged_encode} into a SHA-256 context,
+    without building the intermediate string. *)
 
 val to_string : t -> string
 (** Display rendering (used by views and the CLI). *)

@@ -35,6 +35,37 @@ let float_repr f =
     Printf.sprintf "%.1f" f
   else Printf.sprintf "%.17g" f
 
+(* Compact form straight into a caller-supplied buffer: the WAL serialises
+   one record per committed transaction and reuses a single buffer across
+   appends rather than building a fresh string each time. *)
+let write buf v =
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s -> escape_string buf s
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_string buf k;
+            Buffer.add_char buf ':';
+            go item)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go v
+
 let to_string ?(pretty = false) v =
   let buf = Buffer.create 256 in
   let indent n =

@@ -1,1 +1,1 @@
-lib/sqlexec/builtins.ml: Float Ledger_crypto List Merkle Printf Relation Sjson String Value
+lib/sqlexec/builtins.ml: Bytes Domain Float Ledger_crypto List Merkle Printf Relation Sjson String Value

@@ -6,22 +6,35 @@ exception Builtin_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Builtin_error s)) fmt
 
+(* Verification recomputes LEDGERHASH for every transaction entry and block
+   (§3.4.2), so the context is a per-domain scratch — reset and reused, no
+   per-call allocation beyond the hex result. Domain-local because the
+   verifier runs these from parallel worker domains. *)
+let ledgerhash_ctx : Sha256.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Sha256.init ())
+
 let ledgerhash args =
-  let t = Sha256.init () in
+  let t = Domain.DLS.get ledgerhash_ctx in
+  Sha256.reset t;
   Sha256.feed_string t "ledgerhash:";
-  List.iter (fun v -> Sha256.feed_string t (Value.tagged_encode v)) args;
-  Value.String (Hex.encode (Sha256.get t))
+  List.iter (fun v -> Value.tagged_feed t v) args;
+  let out = Bytes.create 32 in
+  Sha256.finish_into t out ~off:0;
+  Value.String (Hex.encode (Bytes.unsafe_to_string out))
 
 let merkle_root_of_hex_leaves leaves =
-  let acc =
-    List.fold_left
-      (fun acc hex ->
+  let raw =
+    List.map
+      (fun hex ->
         if not (Hex.is_hex hex) then
           err "MERKLETREEAGG: input %S is not a hex digest" hex;
-        Merkle.Streaming.add_leaf acc (Hex.decode hex))
-      Merkle.Streaming.empty leaves
+        Hex.decode hex)
+      leaves
   in
-  Hex.encode (Merkle.Streaming.root acc)
+  (* Auto-parallel: large aggregations (the per-block transaction root over
+     up to 100K entries) split across domains; small groups and calls from
+     verifier worker domains stay sequential. *)
+  Hex.encode (Merkle.Parallel.root raw)
 
 let as_string name = function
   | Value.String s -> s

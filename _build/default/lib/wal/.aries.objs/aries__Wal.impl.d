@@ -1,1 +1,1 @@
-lib/wal/wal.ml: List Log_record Option String
+lib/wal/wal.ml: Buffer List Log_record Option Sjson String

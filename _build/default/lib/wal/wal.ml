@@ -4,11 +4,12 @@ type t = {
   mutable entries : (lsn * Log_record.t) list;  (* newest first *)
   mutable next_lsn : lsn;
   channel : out_channel option;
+  line_buf : Buffer.t;  (* reused across appends; one line per record *)
 }
 
 let create ?path () =
   let channel = Option.map open_out path in
-  { entries = []; next_lsn = 1; channel }
+  { entries = []; next_lsn = 1; channel; line_buf = Buffer.create 256 }
 
 let append t record =
   let lsn = t.next_lsn in
@@ -16,8 +17,10 @@ let append t record =
   t.entries <- (lsn, record) :: t.entries;
   (match t.channel with
   | Some oc ->
-      output_string oc (Log_record.to_line record);
-      output_char oc '\n';
+      Buffer.clear t.line_buf;
+      Sjson.write t.line_buf (Log_record.to_json record);
+      Buffer.add_char t.line_buf '\n';
+      Buffer.output_buffer oc t.line_buf;
       flush oc
   | None -> ());
   lsn

@@ -1,0 +1,1 @@
+test/test_hashpath.ml: Alcotest Array Bytes Char Column Datatype Ledger_crypto List Merkle Printf Random Relation Row_codec Schema String Value

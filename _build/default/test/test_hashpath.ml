@@ -1,0 +1,293 @@
+(* Differential tests for the allocation-free hash pipeline: the sink-based
+   serializers must be byte-identical to the string-building originals, and
+   the domain-parallel Merkle root must equal the streaming root for every
+   leaf count and domain split. These are the proofs that the perf rewrite
+   changed no ledger bytes — old databases verify unchanged. *)
+
+open Relation
+module Sha256 = Ledger_crypto.Sha256
+module Hex = Ledger_crypto.Hex
+module Streaming = Merkle.Streaming
+
+let rng = Random.State.make [| 0x5a11ed; 0x9e3779b9; 42 |]
+
+(* ------------------------------------------------------------------ *)
+(* Random schema / row generation, biased toward the edge cases the
+   serialization format cares about: NULLs, empty strings, max-width
+   varchars, negative and extreme integers. *)
+
+let random_dtype () =
+  match Random.State.int rng 7 with
+  | 0 -> Datatype.Smallint
+  | 1 -> Datatype.Int
+  | 2 -> Datatype.Bigint
+  | 3 -> Datatype.Bool
+  | 4 -> Datatype.Float
+  | 5 -> Datatype.Datetime
+  | _ -> Datatype.Varchar (1 + Random.State.int rng 64)
+
+let random_string len =
+  String.init len (fun _ -> Char.chr (Random.State.int rng 256))
+
+let random_value dtype =
+  match dtype with
+  | Datatype.Smallint ->
+      Value.Int (Random.State.int rng 0x10000 - 0x8000)
+  | Datatype.Int ->
+      let extremes = [| -0x80000000; 0x7FFFFFFF; 0; -1; 1 |] in
+      if Random.State.int rng 4 = 0 then
+        Value.Int extremes.(Random.State.int rng (Array.length extremes))
+      else Value.Int (Random.State.int rng 0x100000 - 0x80000)
+  | Datatype.Bigint ->
+      if Random.State.int rng 4 = 0 then
+        Value.Int (if Random.State.bool rng then max_int else min_int)
+      else Value.Int (Random.State.int rng 1_000_000 - 500_000)
+  | Datatype.Bool -> Value.Bool (Random.State.bool rng)
+  | Datatype.Float ->
+      let special = [| 0.0; -0.0; infinity; neg_infinity; 1e308; -1e-308 |] in
+      if Random.State.int rng 4 = 0 then
+        Value.Float special.(Random.State.int rng (Array.length special))
+      else Value.Float (Random.State.float rng 1e9 -. 5e8)
+  | Datatype.Datetime -> Value.Datetime (Random.State.float rng 2e9)
+  | Datatype.Varchar max_len ->
+      let len =
+        match Random.State.int rng 4 with
+        | 0 -> 0 (* empty string *)
+        | 1 -> max_len (* exactly at the declared maximum *)
+        | _ -> Random.State.int rng (max_len + 1)
+      in
+      Value.String (random_string len)
+
+let random_schema () =
+  let arity = 1 + Random.State.int rng 8 in
+  Schema.make
+    (List.init arity (fun i ->
+         Column.make ~nullable:true
+           (Printf.sprintf "c%d" i)
+           (random_dtype ())))
+
+let random_row schema =
+  Array.of_list
+    (List.map
+       (fun (col : Column.t) ->
+         if Random.State.int rng 4 = 0 then Value.Null
+         else random_value col.Column.dtype)
+       (Schema.columns schema))
+
+(* ------------------------------------------------------------------ *)
+(* hash_into = hash, over random schemas/rows, reusing one context so the
+   reset path is exercised between rows. *)
+
+let test_hash_into_equals_hash () =
+  let ctx = Sha256.init () in
+  for trial = 1 to 500 do
+    let schema = random_schema () in
+    let row = random_row schema in
+    let reference = Row_codec.hash schema row in
+    let streamed = Row_codec.hash_into ctx schema row in
+    Alcotest.(check string)
+      (Printf.sprintf "trial %d" trial)
+      (Hex.encode reference) (Hex.encode streamed)
+  done
+
+let test_hash_into_all_null_row () =
+  let ctx = Sha256.init () in
+  let schema =
+    Schema.make
+      [
+        Column.make ~nullable:true "a" Datatype.Int;
+        Column.make ~nullable:true "b" (Datatype.Varchar 10);
+      ]
+  in
+  let row = [| Value.Null; Value.Null |] in
+  Alcotest.(check string)
+    "all-NULL row"
+    (Hex.encode (Row_codec.hash schema row))
+    (Hex.encode (Row_codec.hash_into ctx schema row))
+
+let test_hash_into_rejects_bad_row () =
+  let ctx = Sha256.init () in
+  let schema = Schema.make [ Column.make "a" Datatype.Int ] in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument
+       "Row_codec.hash_into: arity mismatch: expected 1 values, got 2")
+    (fun () ->
+      ignore (Row_codec.hash_into ctx schema [| Value.Int 1; Value.Int 2 |]));
+  (* A failed hash must not poison the context for the next row. *)
+  let row = [| Value.int 7 |] in
+  Alcotest.(check string)
+    "context reusable after failure"
+    (Hex.encode (Row_codec.hash schema row))
+    (Hex.encode (Row_codec.hash_into ctx schema row))
+
+(* ------------------------------------------------------------------ *)
+(* tagged_feed = tagged_encode (the LEDGERHASH serialization). *)
+
+let test_tagged_feed_equals_tagged_encode () =
+  let values =
+    [
+      Value.Null;
+      Value.Int 0;
+      Value.Int (-1);
+      Value.Int max_int;
+      Value.Int min_int;
+      Value.Bool true;
+      Value.Bool false;
+      Value.Float 0.0;
+      Value.Float (-0.0);
+      Value.Float infinity;
+      Value.Float nan;
+      Value.Float 3.14159;
+      Value.Datetime 1786069791.57797;
+      Value.String "";
+      Value.String "hello";
+      Value.String (random_string 300);
+    ]
+  in
+  List.iter
+    (fun v ->
+      let ctx = Sha256.init () in
+      Value.tagged_feed ctx v;
+      Alcotest.(check string)
+        (Value.to_string v)
+        (Hex.encode (Sha256.digest_string (Value.tagged_encode v)))
+        (Hex.encode (Sha256.get ctx)))
+    values;
+  (* And a whole argument list at once, as LEDGERHASH feeds it. *)
+  let ctx = Sha256.init () in
+  List.iter (Value.tagged_feed ctx) values;
+  Alcotest.(check string)
+    "concatenated"
+    (Hex.encode
+       (Sha256.digest_string
+          (String.concat "" (List.map Value.tagged_encode values))))
+    (Hex.encode (Sha256.get ctx))
+
+(* ------------------------------------------------------------------ *)
+(* Reusable-context SHA-256 around block boundaries. *)
+
+let test_sha256_reset_and_byte_feeds () =
+  let ctx = Sha256.init () in
+  List.iter
+    (fun n ->
+      let s = random_string n in
+      Sha256.reset ctx;
+      String.iter (fun c -> Sha256.feed_byte ctx (Char.code c)) s;
+      let out = Bytes.create 32 in
+      Sha256.finish_into ctx out ~off:0;
+      Alcotest.(check string)
+        (Printf.sprintf "len %d" n)
+        (Hex.encode (Sha256.digest_string s))
+        (Hex.encode (Bytes.to_string out)))
+    [ 0; 1; 55; 56; 57; 63; 64; 65; 127; 128; 129; 1000 ]
+
+let test_sha256_feed_be () =
+  (* feed_be must produce big-endian two's-complement bytes, same as the
+     string encoders. *)
+  let ctx = Sha256.init () in
+  List.iter
+    (fun (width, v) ->
+      Sha256.reset ctx;
+      Sha256.feed_be ctx ~width v;
+      let s =
+        String.init width (fun i ->
+            Char.chr ((v lsr (8 * (width - 1 - i))) land 0xFF))
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "width %d value %d" width v)
+        (Hex.encode (Sha256.digest_string s))
+        (Hex.encode (Sha256.get ctx)))
+    [
+      (1, 0); (1, 255); (2, 0xBEEF); (4, 0xDEADBEEF); (8, max_int); (8, -1);
+      (8, min_int);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Parallel Merkle root = streaming root. *)
+
+let leaf i = Sha256.digest_string (Printf.sprintf "leaf-%d" i)
+
+let streaming_root n =
+  Streaming.(root (add_leaves empty (List.init n leaf)))
+
+let test_parallel_sequential_sweep () =
+  (* Every count 0..1025 through the auto path (sequential below the
+     threshold, but also exercising root_array dispatch). *)
+  for n = 0 to 1025 do
+    let leaves = Array.init n leaf in
+    Alcotest.(check string)
+      (Printf.sprintf "n=%d" n)
+      (Hex.encode (streaming_root n))
+      (Hex.encode (Merkle.Parallel.root_array leaves))
+  done
+
+let test_parallel_forced_domains () =
+  (* Force multi-domain chunking on sizes around every interesting boundary:
+     powers of two, off-by-ones, and counts smaller than the domain count. *)
+  let ns = [ 0; 1; 2; 3; 4; 5; 7; 8; 9; 15; 16; 17; 31; 33; 63; 64; 65;
+             100; 127; 128; 129; 255; 256; 257; 511; 513; 1000; 1024; 1025 ]
+  in
+  List.iter
+    (fun n ->
+      let leaves = Array.init n leaf in
+      let expected = Hex.encode (streaming_root n) in
+      List.iter
+        (fun domains ->
+          Alcotest.(check string)
+            (Printf.sprintf "n=%d domains=%d" n domains)
+            expected
+            (Hex.encode (Merkle.Parallel.root_array ~domains leaves)))
+        [ 1; 2; 3; 4; 5 ])
+    ns
+
+let test_parallel_above_threshold () =
+  (* Past the auto threshold the root must still match streaming. *)
+  let n = 3000 in
+  let leaves = Array.init n leaf in
+  Alcotest.(check string)
+    (Printf.sprintf "auto n=%d" n)
+    (Hex.encode (streaming_root n))
+    (Hex.encode (Merkle.Parallel.root_array leaves))
+
+let test_parallel_list_wrapper () =
+  let ls = List.init 37 leaf in
+  Alcotest.(check string)
+    "list = array"
+    (Hex.encode (Merkle.Parallel.root_array (Array.of_list ls)))
+    (Hex.encode (Merkle.Parallel.root ~domains:3 ls))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "hashpath"
+    [
+      ( "row hashing",
+        [
+          Alcotest.test_case "hash_into = hash (randomized)" `Quick
+            test_hash_into_equals_hash;
+          Alcotest.test_case "all-NULL row" `Quick test_hash_into_all_null_row;
+          Alcotest.test_case "invalid row rejected, ctx survives" `Quick
+            test_hash_into_rejects_bad_row;
+        ] );
+      ( "tagged values",
+        [
+          Alcotest.test_case "tagged_feed = tagged_encode" `Quick
+            test_tagged_feed_equals_tagged_encode;
+        ] );
+      ( "sha256 context",
+        [
+          Alcotest.test_case "reset + feed_byte at block boundaries" `Quick
+            test_sha256_reset_and_byte_feeds;
+          Alcotest.test_case "feed_be big-endian" `Quick test_sha256_feed_be;
+        ] );
+      ( "parallel merkle",
+        [
+          Alcotest.test_case "sweep 0..1025 (auto)" `Quick
+            test_parallel_sequential_sweep;
+          Alcotest.test_case "forced domains 1..5" `Quick
+            test_parallel_forced_domains;
+          Alcotest.test_case "above auto threshold" `Quick
+            test_parallel_above_threshold;
+          Alcotest.test_case "list wrapper" `Quick test_parallel_list_wrapper;
+        ] );
+    ]

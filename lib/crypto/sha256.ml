@@ -1,6 +1,8 @@
 (* SHA-256, FIPS 180-4. The 32-bit arithmetic is done in native ints (63-bit
    on every supported platform) masked to 32 bits, which avoids Int32 boxing
-   in the hot compression loop. *)
+   in the hot compression loop. Contexts are reusable via [reset] and can be
+   finalised into a caller-provided buffer via [finish_into], so the per-row
+   hashing hot path allocates nothing beyond the digest itself. *)
 
 let digest_size = 32
 
@@ -26,68 +28,92 @@ let k =
      0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
      0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
+let iv =
+  [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
+     0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |]
+
 type t = {
   h : int array;              (* 8 working hash words *)
   block : bytes;              (* 64-byte input block buffer *)
   mutable block_len : int;    (* bytes buffered in [block] *)
   mutable total_len : int;    (* total message bytes absorbed *)
   w : int array;              (* 64-entry message schedule, reused *)
-  mutable finalised : string option;
+  mutable finished : bool;    (* padding applied; [h] holds the digest *)
+  mutable cached : string option;  (* memoised [get] result *)
 }
 
 let init () =
   {
-    h =
-      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
-         0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    h = Array.copy iv;
     block = Bytes.create 64;
     block_len = 0;
     total_len = 0;
     w = Array.make 64 0;
-    finalised = None;
+    finished = false;
+    cached = None;
   }
 
-let[@inline] rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+let reset t =
+  Array.blit iv 0 t.h 0 8;
+  t.block_len <- 0;
+  t.total_len <- 0;
+  t.finished <- false;
+  t.cached <- None
 
-(* Compress the 64-byte block stored in [blk] at offset [off]. *)
+(* Rotations use the doubled-word trick: for a 32-bit [x], every bit of
+   [rotr x n] (1 <= n <= 31) is present in [(x lor (x lsl 32)) lsr n], so
+   the three rotations of each sigma share one doubling and one final mask
+   instead of masking per rotation. Bit 63 of the doubled word is lost to
+   the 63-bit native int, but it only carries the upper copy's bit 31,
+   which lands above bit 31 for every n <= 31 and is masked away. Sums are
+   left unmasked until they feed a rotation or the state arrays: native
+   ints are 63-bit, so a handful of 32-bit addends cannot overflow. *)
 let compress t blk off =
   let w = t.w in
   for i = 0 to 15 do
     let j = off + (i * 4) in
-    w.(i) <-
-      (Char.code (Bytes.unsafe_get blk j) lsl 24)
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get blk j) lsl 24)
       lor (Char.code (Bytes.unsafe_get blk (j + 1)) lsl 16)
       lor (Char.code (Bytes.unsafe_get blk (j + 2)) lsl 8)
-      lor Char.code (Bytes.unsafe_get blk (j + 3))
+      lor Char.code (Bytes.unsafe_get blk (j + 3)))
   done;
   for i = 16 to 63 do
     let s0 =
-      let x = w.(i - 15) in
-      rotr x 7 lxor rotr x 18 lxor (x lsr 3)
+      let x = Array.unsafe_get w (i - 15) in
+      let x2 = x lor (x lsl 32) in
+      ((x2 lsr 7) lxor (x2 lsr 18) lxor (x lsr 3)) land mask
     in
     let s1 =
-      let x = w.(i - 2) in
-      rotr x 17 lxor rotr x 19 lxor (x lsr 10)
+      let x = Array.unsafe_get w (i - 2) in
+      let x2 = x lor (x lsl 32) in
+      ((x2 lsr 17) lxor (x2 lsr 19) lxor (x lsr 10)) land mask
     in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
+      land mask)
   done;
   let h = t.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for i = 0 to 63 do
-    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-    let ch = (!e land !f) lxor (lnot !e land !g) in
-    let t1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask in
-    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
-    let t2 = (s0 + maj) land mask in
+    let e' = !e in
+    let e2 = e' lor (e' lsl 32) in
+    let s1 = ((e2 lsr 6) lxor (e2 lsr 11) lxor (e2 lsr 25)) land mask in
+    let ch = (e' land !f) lxor (lnot e' land !g) in
+    let t1 = !hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i in
+    let a' = !a in
+    let a2 = a' lor (a' lsl 32) in
+    let s0 = ((a2 lsr 2) lxor (a2 lsr 13) lxor (a2 lsr 22)) land mask in
+    let maj = (a' land !b) lxor (a' land !c) lxor (!b land !c) in
+    let t2 = s0 + maj in
     hh := !g;
     g := !f;
-    f := !e;
+    f := e';
     e := (!d + t1) land mask;
     d := !c;
     c := !b;
-    b := !a;
+    b := a';
     a := (t1 + t2) land mask
   done;
   h.(0) <- (h.(0) + !a) land mask;
@@ -99,71 +125,127 @@ let compress t blk off =
   h.(6) <- (h.(6) + !g) land mask;
   h.(7) <- (h.(7) + !hh) land mask
 
+(* Top-level (not a local closure — those allocate) and tail-recursive with
+   int accumulators (not refs — those allocate too): this runs per varchar
+   payload on the row-hash hot path, which must not allocate. *)
+let rec absorb t buf pos remaining =
+  if remaining >= 64 then begin
+    compress t buf pos;
+    absorb t buf (pos + 64) (remaining - 64)
+  end
+  else if remaining > 0 then begin
+    Bytes.blit buf pos t.block 0 remaining;
+    t.block_len <- remaining
+  end
+
+(* Shared non-optional-argument core of feed_bytes/feed_string: callers
+   have validated [off]/[len]. The optional-argument wrappers would box a
+   [Some off]/[Some len] per call if they forwarded to each other. *)
+let feed_raw t buf off len =
+  if t.finished then invalid_arg "Sha256.feed_bytes: finalised";
+  t.total_len <- t.total_len + len;
+  (* Top up a partially filled block buffer first. *)
+  if t.block_len > 0 then begin
+    let take = if len < 64 - t.block_len then len else 64 - t.block_len in
+    Bytes.blit buf off t.block t.block_len take;
+    t.block_len <- t.block_len + take;
+    if t.block_len = 64 then begin
+      compress t t.block 0;
+      t.block_len <- 0;
+      absorb t buf (off + take) (len - take)
+    end
+  end
+  else absorb t buf off len
+
 let feed_bytes t ?(off = 0) ?len buf =
   let len = match len with Some l -> l | None -> Bytes.length buf - off in
   if off < 0 || len < 0 || off + len > Bytes.length buf then
     invalid_arg "Sha256.feed_bytes: invalid range";
-  if t.finalised <> None then invalid_arg "Sha256.feed_bytes: finalised";
-  t.total_len <- t.total_len + len;
-  let pos = ref off and remaining = ref len in
-  (* Top up a partially filled block buffer first. *)
-  if t.block_len > 0 then begin
-    let take = min !remaining (64 - t.block_len) in
-    Bytes.blit buf !pos t.block t.block_len take;
-    t.block_len <- t.block_len + take;
-    pos := !pos + take;
-    remaining := !remaining - take;
-    if t.block_len = 64 then begin
-      compress t t.block 0;
-      t.block_len <- 0
-    end
-  end;
-  while !remaining >= 64 do
-    compress t buf !pos;
-    pos := !pos + 64;
-    remaining := !remaining - 64
-  done;
-  if !remaining > 0 then begin
-    Bytes.blit buf !pos t.block 0 !remaining;
-    t.block_len <- !remaining
-  end
+  feed_raw t buf off len
 
 let feed_string t ?(off = 0) ?len s =
   let len = match len with Some l -> l | None -> String.length s - off in
   if off < 0 || len < 0 || off + len > String.length s then
     invalid_arg "Sha256.feed_string: invalid range";
-  feed_bytes t ~off ~len (Bytes.unsafe_of_string s)
+  feed_raw t (Bytes.unsafe_of_string s) off len
+
+let feed_byte t b =
+  if t.finished then invalid_arg "Sha256.feed_byte: finalised";
+  Bytes.unsafe_set t.block t.block_len (Char.unsafe_chr (b land 0xFF));
+  t.total_len <- t.total_len + 1;
+  let bl = t.block_len + 1 in
+  if bl = 64 then begin
+    compress t t.block 0;
+    t.block_len <- 0
+  end
+  else t.block_len <- bl
+
+let feed_be t ~width v =
+  if width < 1 || width > 8 then invalid_arg "Sha256.feed_be: width";
+  if t.finished then invalid_arg "Sha256.feed_byte: finalised";
+  let bl = t.block_len in
+  if bl + width <= 64 then begin
+    (* Fast path: the whole field fits in the current block — write the
+       big-endian bytes directly instead of one feed_byte call each. *)
+    let block = t.block in
+    for i = 0 to width - 1 do
+      Bytes.unsafe_set block (bl + i)
+        (Char.unsafe_chr ((v lsr (8 * (width - 1 - i))) land 0xFF))
+    done;
+    t.total_len <- t.total_len + width;
+    let bl = bl + width in
+    if bl = 64 then begin
+      compress t t.block 0;
+      t.block_len <- 0
+    end
+    else t.block_len <- bl
+  end
+  else
+    for i = width - 1 downto 0 do
+      feed_byte t (v lsr (8 * i))
+    done
+
+(* Apply the FIPS padding in place, reusing the block buffer: 0x80, zeros,
+   then the 64-bit big-endian bit length. No allocation. *)
+let pad_and_finish t =
+  let total_bits = t.total_len * 8 in
+  let bl = t.block_len in
+  Bytes.set t.block bl '\x80';
+  if bl + 1 > 56 then begin
+    Bytes.fill t.block (bl + 1) (64 - bl - 1) '\000';
+    compress t t.block 0;
+    Bytes.fill t.block 0 56 '\000'
+  end
+  else Bytes.fill t.block (bl + 1) (56 - bl - 1) '\000';
+  for i = 0 to 7 do
+    Bytes.set t.block (56 + i)
+      (Char.chr ((total_bits lsr (8 * (7 - i))) land 0xFF))
+  done;
+  compress t t.block 0;
+  t.block_len <- 0;
+  t.finished <- true
+
+let finish_into t buf ~off =
+  if off < 0 || off + 32 > Bytes.length buf then
+    invalid_arg "Sha256.finish_into: invalid range";
+  if not t.finished then pad_and_finish t;
+  let h = t.h in
+  for i = 0 to 7 do
+    let v = h.(i) in
+    Bytes.unsafe_set buf (off + (i * 4)) (Char.unsafe_chr ((v lsr 24) land 0xFF));
+    Bytes.unsafe_set buf (off + (i * 4) + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set buf (off + (i * 4) + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set buf (off + (i * 4) + 3) (Char.unsafe_chr (v land 0xFF))
+  done
 
 let get t =
-  match t.finalised with
+  match t.cached with
   | Some d -> d
   | None ->
-      let total_bits = t.total_len * 8 in
-      (* Padding: 0x80, zeros, then the 64-bit big-endian bit length. *)
-      let pad_len =
-        let rem = (t.total_len + 1 + 8) mod 64 in
-        if rem = 0 then 1 else 1 + (64 - rem)
-      in
-      let pad = Bytes.make (pad_len + 8) '\000' in
-      Bytes.set pad 0 '\x80';
-      for i = 0 to 7 do
-        Bytes.set pad
-          (pad_len + i)
-          (Char.chr ((total_bits lsr (8 * (7 - i))) land 0xFF))
-      done;
-      t.total_len <- t.total_len - (pad_len + 8) (* keep length coherent *);
-      feed_bytes t pad;
-      assert (t.block_len = 0);
       let out = Bytes.create 32 in
-      for i = 0 to 7 do
-        let v = t.h.(i) in
-        Bytes.set out (i * 4) (Char.chr ((v lsr 24) land 0xFF));
-        Bytes.set out ((i * 4) + 1) (Char.chr ((v lsr 16) land 0xFF));
-        Bytes.set out ((i * 4) + 2) (Char.chr ((v lsr 8) land 0xFF));
-        Bytes.set out ((i * 4) + 3) (Char.chr (v land 0xFF))
-      done;
+      finish_into t out ~off:0;
       let d = Bytes.unsafe_to_string out in
-      t.finalised <- Some d;
+      t.cached <- Some d;
       d
 
 let digest_string s =

@@ -35,6 +35,61 @@ let serialize schema row =
 
 let hash schema row = Sha256.digest_string (serialize schema row)
 
+(* The closure-free twin of Schema.validate_row, for the allocation-free
+   hash path below. *)
+let validate_for_hash schema row =
+  let n = Schema.arity schema in
+  if Array.length row <> n then
+    invalid_arg
+      (Printf.sprintf "Row_codec.hash_into: arity mismatch: expected %d values, got %d"
+         n (Array.length row));
+  for i = 0 to n - 1 do
+    let col = Schema.column schema i in
+    let v = Array.unsafe_get row i in
+    if Value.is_null v then begin
+      if not col.Column.nullable then
+        invalid_arg
+          ("Row_codec.hash_into: column " ^ col.Column.name ^ " is NOT NULL")
+    end
+    else if not (Value.conforms col.Column.dtype v) then
+      invalid_arg
+        ("Row_codec.hash_into: value does not conform to column "
+        ^ col.Column.name)
+  done
+
+let count_non_null row =
+  let n = Array.length row in
+  let rec go i acc =
+    if i = n then acc
+    else go (i + 1) (if Value.is_null (Array.unsafe_get row i) then acc else acc + 1)
+  in
+  go 0 0
+
+(* Streams the serialization of [serialize] directly into [ctx] — identical
+   bytes, no Buffer, no intermediate payload strings. The only allocation is
+   the returned 32-byte digest. *)
+let hash_into ctx schema row =
+  validate_for_hash schema row;
+  Sha256.reset ctx;
+  Sha256.feed_byte ctx format_version;
+  Sha256.feed_be ctx ~width:2 (count_non_null row);
+  let n = Array.length row in
+  for i = 0 to n - 1 do
+    let v = Array.unsafe_get row i in
+    if not (Value.is_null v) then begin
+      let col = Schema.column schema i in
+      let dtype = col.Column.dtype in
+      Sha256.feed_be ctx ~width:2 i;
+      Sha256.feed_be ctx ~width:1 (Datatype.tag dtype);
+      Sha256.feed_be ctx ~width:4 (Datatype.param dtype);
+      Sha256.feed_be ctx ~width:4 (Value.encoded_length dtype v);
+      Value.encode_into dtype v ctx
+    end
+  done;
+  let out = Bytes.create 32 in
+  Sha256.finish_into ctx out ~off:0;
+  Bytes.unsafe_to_string out
+
 type field = { ordinal : int; tag : int; param : int; payload : string }
 
 let inspect s =

@@ -25,6 +25,10 @@ val to_string : ?pretty:bool -> t -> string
 (** Serialise. [pretty] (default false) adds newlines and two-space
     indentation. *)
 
+val write : Buffer.t -> t -> unit
+(** Append the compact serialisation to a buffer — same bytes as
+    [to_string ~pretty:false], without building the intermediate string. *)
+
 (** {1 Accessors}
 
     Each raises [Invalid_argument] when the shape does not match. *)
