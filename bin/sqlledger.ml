@@ -225,10 +225,25 @@ let run_verify snapshot digest_files jobs tables =
           if Verifier.ok report then 0 else 1))
 
 (* ------------------------------------------------------------------ *)
+(* failpoints *)
+
+let run_failpoints () =
+  (* Touch the modules that register failpoints at initialisation so the
+     linker keeps them (and their registrations) in this binary. *)
+  ignore (Durable.wal_path "." : string);
+  ignore (Trusted_store.Worm_store.escape_blob_name "" : string);
+  List.iter print_endline (Fault.points ());
+  0
+
+(* ------------------------------------------------------------------ *)
 (* recover *)
 
-let run_recover wal snapshot verify_flag =
+let run_recover failpoints wal snapshot verify_flag =
+  List.iter (fun (name, mode) -> Fault.set name mode) failpoints;
   match Wal_replay.replay_file ?snapshot_path:snapshot ~wal_path:wal () with
+  | exception (Fault.Injected_crash e | Fault.Injected_error e) ->
+      Printf.eprintf "fault injected: %s\n" e;
+      2
   | Error e ->
       Printf.eprintf "recovery failed: %s\n" e;
       1
@@ -307,6 +322,24 @@ let verify_cmd =
        ~doc:"Verify a snapshot against trusted digests, in parallel")
     Term.(const run_verify $ snapshot $ digest_files $ jobs $ tables)
 
+let failpoint_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Fault.parse_spec s) in
+  let print ppf (name, mode) =
+    Format.fprintf ppf "%s=%s" name (Fault.mode_to_string mode)
+  in
+  Arg.conv (parse, print)
+
+let failpoint_arg =
+  Arg.(
+    value
+    & opt_all failpoint_conv []
+    & info [ "failpoint" ] ~docv:"NAME=MODE"
+        ~doc:
+          "Arm a fault-injection point before running (repeatable; debug \
+           aid). $(docv) modes: off, error, crash, crash:N (crash after N \
+           bytes through the point). List names with the $(b,failpoints) \
+           command.")
+
 let recover_cmd =
   let wal =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"WAL" ~doc:"WAL file")
@@ -319,12 +352,18 @@ let recover_cmd =
   in
   Cmd.v
     (Cmd.info "recover" ~doc:"Rebuild a database from its WAL (plus optional snapshot)")
-    Term.(const run_recover $ wal $ snapshot $ verify_flag)
+    Term.(const run_recover $ failpoint_arg $ wal $ snapshot $ verify_flag)
+
+let failpoints_cmd =
+  Cmd.v
+    (Cmd.info "failpoints"
+       ~doc:"List the registered fault-injection points (for --failpoint)")
+    Term.(const run_failpoints $ const ())
 
 let main =
   Cmd.group
     (Cmd.info "sqlledger" ~version:"1.0.0"
        ~doc:"Cryptographically verifiable ledger tables (SIGMOD'21 reproduction)")
-    [ demo_cmd; shell_cmd; fabric_cmd; verify_cmd; recover_cmd ]
+    [ demo_cmd; shell_cmd; fabric_cmd; verify_cmd; recover_cmd; failpoints_cmd ]
 
 let () = exit (Cmd.eval' main)

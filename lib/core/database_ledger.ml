@@ -75,8 +75,12 @@ let create ?(block_size = 100_000) ?wal_path ?signing_seed
   }
 
 let attach_wal t path =
+  (* Truncating the file must not restart the numbering: LSNs stay globally
+     monotonic so a snapshot's recorded position lines up against whatever
+     log file is found next to it after a crash. *)
+  let first_lsn = Aries.Wal.last_lsn t.db_wal + 1 in
   Aries.Wal.close t.db_wal;
-  t.db_wal <- Aries.Wal.create ~path ()
+  t.db_wal <- Aries.Wal.create ~path ~first_lsn ()
 
 let block_size t = t.db_block_size
 let database_id t = t.db_id

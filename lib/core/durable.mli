@@ -12,9 +12,15 @@
     - [compact] persists a snapshot and truncates the WAL — bounded log
       growth at the cost of losing the ability to replay further back.
 
-    A crash between [compact]'s two steps can leave a snapshot newer than
-    the log; recovery handles that (an empty tail replays to the
-    snapshot). *)
+    Crash-safety: snapshots are written atomically (tmp + fsync + rename)
+    with the previous generation retained as [snapshot.json.prev]; WAL
+    records carry a CRC frame and commits are fsynced. [open_dir] falls
+    back across snapshot generations — current, then a completed-but-
+    unrenamed [.tmp], then [.prev] — skipping any that fail to read,
+    checksum, or line up with the log's first LSN, and refuses loudly
+    (rather than silently losing data) when no generation is usable. A
+    crash between [compact]'s two steps leaves a snapshot covering the
+    whole log; recovery then replays nothing. *)
 
 type t
 

@@ -76,11 +76,77 @@ let save db =
       ("ledger", Database_ledger.to_snapshot raw.Database.raw_ledger);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* On-disk container
+
+   A saved snapshot is wrapped in a one-line header:
+
+       SQLLEDGER-SNAPSHOT v2 crc32=CCCCCCCC len=N
+       <exactly N bytes of JSON>
+
+   so a reader can tell a complete, uncorrupted snapshot from a torn or
+   bit-flipped one before parsing it — that check is what lets recovery
+   fall back to an older generation instead of trusting garbage. Files
+   written before the container existed start with '{' and are accepted
+   as-is (no integrity check possible). Saves are atomic: tmp + fsync +
+   rename, with the previous generation kept as [path].prev. *)
+
+let container_magic = "SQLLEDGER-SNAPSHOT v2"
+
+let snapshot_points = "snapshot"
+
+let () = Fault.Fsutil.register_atomic_points snapshot_points
+
 let save_to_file db ~path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (Sjson.to_string ~pretty:true (save db)))
+  let body = Sjson.to_string ~pretty:true (save db) in
+  let crc = Fault.Crc32.string body in
+  let contents =
+    Printf.sprintf "%s crc32=%08lx len=%d\n%s" container_magic crc
+      (String.length body) body
+  in
+  Fault.Fsutil.atomic_write ~keep_previous:true ~point_prefix:snapshot_points
+    ~path contents
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text -> (
+      let parse body =
+        match Sjson.of_string body with
+        | exception Sjson.Parse_error e -> Error (path ^ ": " ^ e)
+        | json -> Ok json
+      in
+      let magic_len = String.length container_magic in
+      if
+        String.length text >= magic_len
+        && String.sub text 0 magic_len = container_magic
+      then
+        match String.index_opt text '\n' with
+        | None -> Error (path ^ ": truncated snapshot header")
+        | Some nl -> (
+            let header = String.sub text 0 nl in
+            let scan () =
+              Scanf.sscanf (String.sub header magic_len (nl - magic_len))
+                " crc32=%8lx len=%d%!" (fun crc len -> (crc, len))
+            in
+            match scan () with
+            | exception Scanf.Scan_failure _ | exception Failure _
+            | exception End_of_file ->
+                Error (path ^ ": malformed snapshot header: " ^ header)
+            | crc, len ->
+                let body_off = nl + 1 in
+                if String.length text - body_off <> len then
+                  Error
+                    (Printf.sprintf
+                       "%s: snapshot body is %d bytes, header says %d \
+                        (torn or truncated)"
+                       path
+                       (String.length text - body_off)
+                       len)
+                else if Fault.Crc32.substring text ~off:body_off ~len <> crc
+                then Error (path ^ ": snapshot checksum mismatch")
+                else parse (String.sub text body_off len))
+      else parse text)
 
 let wal_lsn json =
   match Sjson.member "wal_lsn" json with Sjson.Int i -> i | _ -> 0
@@ -199,9 +265,4 @@ let load ?(clock = Unix.gettimeofday) ?wal_path json =
   | Types.Ledger_error e -> Error e
 
 let load_from_file ?clock ?wal_path ~path () =
-  match In_channel.with_open_text path In_channel.input_all with
-  | exception Sys_error e -> Error e
-  | text -> (
-      match Sjson.of_string text with
-      | exception Sjson.Parse_error e -> Error e
-      | json -> load ?clock ?wal_path json)
+  Result.bind (read_file path) (load ?clock ?wal_path)

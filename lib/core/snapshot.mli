@@ -7,9 +7,18 @@
     the Database Ledger state, and the allocator counters; loading it yields
     an independent database equal to the original.
 
-    The format is self-describing JSON. It is *not* integrity-protected by
-    itself — a restored snapshot must be verified against trusted digests,
-    exactly as the paper requires of restored backups. *)
+    The format is self-describing JSON wrapped in a checksummed container
+    (a [SQLLEDGER-SNAPSHOT v2] header carrying a CRC-32 and byte length),
+    so a reader can reject a torn or bit-flipped file before parsing it.
+    The checksum is an *availability* device only — it is what lets crash
+    recovery fall back to an older generation. It is no substitute for
+    verification: a restored snapshot must still be verified against
+    trusted digests, exactly as the paper requires of restored backups.
+
+    Saves are crash-safe: the container is written to [path].tmp, fsynced,
+    and renamed over [path], with the previous generation retained as
+    [path].prev until the new one is durable. Files written before the
+    container existed (bare JSON) still load. *)
 
 val save : Database.t -> Sjson.t
 (** Serialise the full database state. The snapshot records the WAL position
@@ -20,6 +29,14 @@ val wal_lsn : Sjson.t -> int
 (** WAL position recorded in a snapshot (0 when absent). *)
 
 val save_to_file : Database.t -> path:string -> unit
+(** Atomically write the checksummed container (tmp + fsync + rename,
+    keeping [path].prev). Writes are routed through the ["snapshot.*"]
+    failpoints. *)
+
+val read_file : string -> (Sjson.t, string) result
+(** Read a snapshot file back, verifying the container checksum and length
+    when present. [Error] on a torn, truncated, or corrupted file — the
+    caller can then fall back to another generation. *)
 
 val load :
   ?clock:(unit -> float) -> ?wal_path:string -> Sjson.t ->

@@ -155,6 +155,12 @@ let replay ?(clock = Unix.gettimeofday) ?snapshot ~records () =
     in
     let* () = go records in
     Database.refresh_counters db;
+    (* The recovered database's in-memory WAL must continue the durable
+       numbering, not restart it: a snapshot taken later records a wal_lsn
+       that has to line up against the log file on disk. *)
+    let wal = Database_ledger.wal dbl in
+    Aries.Wal.advance_to wal start_lsn;
+    List.iter (fun (lsn, _) -> Aries.Wal.advance_to wal lsn) records;
     Ok db
   with
   | Failure e | Invalid_argument e -> Error ("replay failed: " ^ e)
@@ -167,12 +173,6 @@ let replay_file ?clock ?snapshot_path ~wal_path () =
   let* snapshot =
     match snapshot_path with
     | None -> Ok None
-    | Some path -> (
-        match In_channel.with_open_text path In_channel.input_all with
-        | exception Sys_error e -> Error e
-        | text -> (
-            match Sjson.of_string text with
-            | exception Sjson.Parse_error e -> Error e
-            | json -> Ok (Some json)))
+    | Some path -> Result.map Option.some (Snapshot.read_file path)
   in
   replay ?clock ?snapshot ~records ()

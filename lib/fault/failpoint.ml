@@ -1,0 +1,146 @@
+(* Deterministic fault injection for the durability layer.
+
+   A *failpoint* is a named site in the persistence code (WAL append,
+   snapshot rename, WORM mirror write, ...). Tests and the CLI arm a
+   failpoint with a mode; the instrumented code routes its writes and
+   critical transitions through this module, which then simulates an I/O
+   error or a process crash at exactly that site.
+
+   Modes:
+   - [Off]            the failpoint is inert (production default).
+   - [Fail]           the next guarded operation raises [Injected_error]
+                      without touching the file — a clean I/O failure the
+                      caller may handle and keep running.
+   - [Crash_after n]  byte-granular crash: guarded writes through this
+                      point succeed until [n] cumulative bytes have been
+                      written, then the write stops mid-stream (the partial
+                      prefix is flushed, simulating a torn page) and
+                      [Injected_crash] is raised. At non-write trip sites
+                      any [Crash_after] crashes immediately.
+
+   Both modes disarm once fired so a single arm simulates a single event.
+   After an injected crash the whole module enters a "crashed" state in
+   which *every* guarded operation re-raises [Injected_crash]: once the
+   simulated process is dead nothing more may reach disk (otherwise
+   e.g. a rollback handler would append to the WAL after the torn record,
+   turning a recoverable torn tail into mid-file corruption). [reset]
+   revives the process for the next scenario. *)
+
+type mode = Off | Fail | Crash_after of int
+
+exception Injected_crash of string
+exception Injected_error of string
+
+type state = { mutable mode : mode; mutable written : int }
+
+let table : (string, state) Hashtbl.t = Hashtbl.create 32
+let crashed = ref false
+
+let state_of name =
+  match Hashtbl.find_opt table name with
+  | Some s -> s
+  | None ->
+      let s = { mode = Off; written = 0 } in
+      Hashtbl.add table name s;
+      s
+
+let register name = ignore (state_of name : state)
+
+let points () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) table [] |> List.sort String.compare
+
+let set name mode =
+  let s = state_of name in
+  s.mode <- mode;
+  s.written <- 0
+
+let clear name = set name Off
+
+let reset () =
+  crashed := false;
+  Hashtbl.iter
+    (fun _ s ->
+      s.mode <- Off;
+      s.written <- 0)
+    table
+
+let crash name =
+  crashed := true;
+  raise (Injected_crash ("injected crash at " ^ name))
+
+let check_alive name =
+  if !crashed then
+    raise (Injected_crash ("simulated process already crashed (" ^ name ^ ")"))
+
+let fail name =
+  raise (Injected_error ("injected I/O error at " ^ name))
+
+(* A non-write trip site (e.g. just before a rename). *)
+let trip name =
+  check_alive name;
+  let s = state_of name in
+  match s.mode with
+  | Off -> ()
+  | Fail ->
+      s.mode <- Off;
+      fail name
+  | Crash_after _ ->
+      s.mode <- Off;
+      crash name
+
+(* Byte-counting write sink. *)
+let output name oc str =
+  check_alive name;
+  let s = state_of name in
+  match s.mode with
+  | Off -> output_string oc str
+  | Fail ->
+      s.mode <- Off;
+      fail name
+  | Crash_after n ->
+      let len = String.length str in
+      let budget = n - s.written in
+      if budget >= len then begin
+        output_string oc str;
+        s.written <- s.written + len
+      end
+      else begin
+        if budget > 0 then output_substring oc str 0 budget;
+        flush oc;
+        s.mode <- Off;
+        crash name
+      end
+
+let output_buffer name oc buf =
+  let s = state_of name in
+  if (not !crashed) && s.mode = Off then Buffer.output_buffer oc buf
+  else output name oc (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing, for the CLI's --failpoint NAME=MODE flag. *)
+
+let mode_to_string = function
+  | Off -> "off"
+  | Fail -> "error"
+  | Crash_after 0 -> "crash"
+  | Crash_after n -> Printf.sprintf "crash:%d" n
+
+let mode_of_string str =
+  match String.lowercase_ascii str with
+  | "off" -> Ok Off
+  | "error" -> Ok Fail
+  | "crash" -> Ok (Crash_after 0)
+  | s when String.length s > 6 && String.sub s 0 6 = "crash:" -> (
+      match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+      | Some n when n >= 0 -> Ok (Crash_after n)
+      | _ -> Result.Error ("bad byte count in mode: " ^ str))
+  | _ -> Result.Error ("unknown failpoint mode (off|error|crash|crash:N): " ^ str)
+
+let parse_spec spec =
+  match String.index_opt spec '=' with
+  | None -> Result.Error ("expected NAME=MODE, got: " ^ spec)
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let mode = String.sub spec (i + 1) (String.length spec - i - 1) in
+      if name = "" then Result.Error ("empty failpoint name in: " ^ spec)
+      else Result.map (fun m -> (name, m)) (mode_of_string mode)

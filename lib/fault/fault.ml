@@ -1,0 +1,9 @@
+(* Entry point of the [fault] library.
+
+   [Fault.*]        failpoint registry and guarded write sinks (Failpoint)
+   [Fault.Crc32]    the CRC-32 used by WAL frames and snapshot containers
+   [Fault.Fsutil]   mkdir_p / fsync / atomic-rename helpers *)
+
+include Failpoint
+module Crc32 = Crc32
+module Fsutil = Fsutil

@@ -10,14 +10,12 @@ type t = {
   mutable rejected : int;
 }
 
-let rec mkdir_p d =
-  if not (Sys.file_exists d) then begin
-    mkdir_p (Filename.dirname d);
-    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
+let mirror_points = "worm.mirror"
+
+let () = Fault.Fsutil.register_atomic_points mirror_points
 
 let create ?dir ?hmac_key () =
-  Option.iter mkdir_p dir;
+  Option.iter Fault.Fsutil.mkdir_p dir;
   { blobs = Hashtbl.create 16; dir; hmac_key; rejected = 0 }
 
 let encode_chunk t data =
@@ -40,25 +38,44 @@ let decode_chunk t chunk =
           then Ok data
           else Error "chunk failed authentication: store was tampered with")
 
+(* Blob names may contain path separators and other characters that are
+   not safe in a file name. Percent-escape them injectively — distinct
+   blob names must map to distinct files ("a/b" and "a_b" used to collide
+   when '/' was simply flattened to '_'). *)
+let escape_blob_name blob =
+  let unsafe = function
+    | '/' | '\\' | '%' | ':' -> true
+    | c -> Char.code c < 0x20 || Char.code c = 0x7f
+  in
+  if String.exists unsafe blob then (
+    let buf = Buffer.create (String.length blob + 8) in
+    String.iter
+      (fun c ->
+        if unsafe c then Printf.bprintf buf "%%%02X" (Char.code c)
+        else Buffer.add_char buf c)
+      blob;
+    Buffer.contents buf)
+  else blob
+
 let file_name t blob =
   Option.map
-    (fun d ->
-      (* Blob names may contain '/'; flatten for the mirror file. *)
-      Filename.concat d
-        (String.map (fun c -> if c = '/' then '_' else c) blob ^ ".blob"))
+    (fun d -> Filename.concat d (escape_blob_name blob ^ ".blob"))
     t.dir
 
 let mirror t blob_name b =
   match file_name t blob_name with
   | None -> ()
   | Some path ->
-      let oc = open_out path in
+      let buf = Buffer.create 1024 in
       List.iter
         (fun chunk ->
-          output_string oc chunk;
-          output_char oc '\n')
+          Buffer.add_string buf chunk;
+          Buffer.add_char buf '\n')
         (List.rev b.chunks);
-      close_out oc
+      (* Atomic rewrite: a crash mid-mirror must not leave a torn mirror
+         file masquerading as the write-once record of the digests. *)
+      Fault.Fsutil.atomic_write ~point_prefix:mirror_points ~path
+        (Buffer.contents buf)
 
 let append t ~blob data =
   let b =

@@ -13,6 +13,11 @@ type t
 val create : ?dir:string -> ?hmac_key:string -> unit -> t
 (** [dir]: mirror blobs to disk. [hmac_key]: authenticate every chunk. *)
 
+val escape_blob_name : string -> string
+(** Injective percent-escaping of a blob name into a safe file name:
+    distinct blob names always map to distinct mirror files (['/'], ['\\'],
+    ['%'], [':'] and control characters become [%XX]). Exposed for tests. *)
+
 val append : t -> blob:string -> string -> (unit, string) result
 (** Add a chunk to a blob (creating the blob if needed). Fails on sealed
     blobs. *)

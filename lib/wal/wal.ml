@@ -1,15 +1,54 @@
 type lsn = int
 
+(* On-disk format. One record per line. Two formats coexist:
+
+   - Framed (written since the crash-safety work):
+
+       #CCCCCCCC LLL NNN {"type":...}
+        \______/ \_/ \_/ \__________/
+         crc32   len lsn   payload
+
+     [len] is the byte length of the body "NNN {...}" (LSN field, one
+     space, payload); [crc32] is the CRC-32 of that body. The explicit LSN
+     keeps the sequence monotonic across log truncations (compaction opens
+     a fresh file whose first record continues the old numbering), which is
+     what lets recovery line a snapshot's recorded position up against the
+     log tail. The checksum lets [load] distinguish a torn tail (crash
+     mid-append: drop it and proceed) from corruption in the middle of the
+     file (fail loudly).
+
+   - Legacy (the original format): the bare JSON payload. Still loadable;
+     records are numbered sequentially from the previous LSN. A torn legacy
+     tail is recognised by its failure to parse with nothing but blank
+     space after it. *)
+
 type t = {
   mutable entries : (lsn * Log_record.t) list;  (* newest first *)
   mutable next_lsn : lsn;
   channel : out_channel option;
   line_buf : Buffer.t;  (* reused across appends; one line per record *)
+  sync_commits : bool;
 }
 
-let create ?path () =
+let point_append = "wal.append"
+let point_sync = "wal.sync"
+
+let () =
+  Fault.register point_append;
+  Fault.register point_sync
+
+let create ?path ?(first_lsn = 1) ?(sync_commits = true) () =
   let channel = Option.map open_out path in
-  { entries = []; next_lsn = 1; channel; line_buf = Buffer.create 256 }
+  {
+    entries = [];
+    next_lsn = first_lsn;
+    channel;
+    line_buf = Buffer.create 256;
+    sync_commits;
+  }
+
+let fsync_channel oc =
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
 
 let append t record =
   let lsn = t.next_lsn in
@@ -19,13 +58,34 @@ let append t record =
   | Some oc ->
       Buffer.clear t.line_buf;
       Sjson.write t.line_buf (Log_record.to_json record);
-      Buffer.add_char t.line_buf '\n';
-      Buffer.output_buffer oc t.line_buf;
-      flush oc
+      let lsn_s = string_of_int lsn in
+      let body_len = String.length lsn_s + 1 + Buffer.length t.line_buf in
+      let crc =
+        Fault.Crc32.(
+          finish
+            (update_buffer (update_char (update_string init lsn_s) ' ')
+               t.line_buf))
+      in
+      Fault.output point_append oc
+        (Printf.sprintf "#%08lx %d %s " crc body_len lsn_s);
+      Fault.output_buffer point_append oc t.line_buf;
+      Fault.output point_append oc "\n";
+      (* Durability point: a transaction is committed once its COMMIT
+         record is on stable storage, so commit records are synced. *)
+      (match record with
+      | Log_record.Commit _ when t.sync_commits ->
+          flush oc;
+          Fault.trip point_sync;
+          fsync_channel oc
+      | _ -> flush oc)
   | None -> ());
   lsn
 
 let last_lsn t = t.next_lsn - 1
+
+(* Recovery may learn (from a replayed log or a snapshot) that the durable
+   history already extends to [lsn]; never reuse those numbers. *)
+let advance_to t lsn = if lsn >= t.next_lsn then t.next_lsn <- lsn + 1
 
 let records t = List.rev t.entries
 
@@ -33,35 +93,108 @@ let records_from t after = List.filter (fun (l, _) -> l > after) (records t)
 
 let close t = Option.iter close_out t.channel
 
-let load path =
-  match open_in path with
+(* ------------------------------------------------------------------ *)
+(* Loading *)
+
+type loaded = { l_records : (lsn * Log_record.t) list; l_torn : bool }
+
+let is_blank s =
+  String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r' || c = '\n') s
+
+(* "#CCCCCCCC LEN LSN PAYLOAD" -> (lsn, payload) *)
+let parse_frame line =
+  let n = String.length line in
+  if n < 10 || line.[9] <> ' ' then Error "malformed frame header"
+  else
+    match Int32.of_string_opt ("0x" ^ String.sub line 1 8) with
+    | None -> Error "bad frame checksum field"
+    | Some crc -> (
+        match String.index_from_opt line 10 ' ' with
+        | None -> Error "truncated frame"
+        | Some sp -> (
+            match int_of_string_opt (String.sub line 10 (sp - 10)) with
+            | None -> Error "bad frame length field"
+            | Some len ->
+                let body_off = sp + 1 in
+                let body_len = n - body_off in
+                if body_len <> len then
+                  Error
+                    (Printf.sprintf "frame body is %d bytes, header says %d"
+                       body_len len)
+                else if Fault.Crc32.substring line ~off:body_off ~len <> crc
+                then Error "frame checksum mismatch"
+                else
+                  (match String.index_from_opt line body_off ' ' with
+                  | None -> Error "frame body missing LSN"
+                  | Some sp2 -> (
+                      match
+                        int_of_string_opt
+                          (String.sub line body_off (sp2 - body_off))
+                      with
+                      | None -> Error "bad LSN field"
+                      | Some lsn ->
+                          Ok (lsn, String.sub line (sp2 + 1) (n - sp2 - 1))))))
+
+let load_ex path =
+  match open_in_bin path with
   | exception Sys_error e -> Error e
   | ic ->
-      let out = ref [] in
-      let lsn = ref 0 in
-      let err = ref None in
-      (try
-         let continue = ref true in
-         while !continue do
-           match input_line ic with
-           | exception End_of_file -> continue := false
-           | line when String.trim line = "" -> ()
-           | line -> (
-               match Log_record.of_line line with
-               | Ok r ->
-                   incr lsn;
-                   out := (!lsn, r) :: !out
-               | Error _ ->
-                   (* A torn final line is expected after a crash; a torn
-                      line in the middle means real corruption. *)
-                   if in_channel_length ic = pos_in ic then continue := false
-                   else begin
-                     err := Some "corrupt WAL record before end of file";
-                     continue := false
-                   end)
-         done
-       with e ->
-         close_in_noerr ic;
-         raise e);
-      close_in_noerr ic;
-      match !err with Some e -> Error e | None -> Ok (List.rev !out)
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let out = ref [] in
+          let prev_lsn = ref 0 in
+          let count = ref 0 in
+          let torn = ref false in
+          let err = ref None in
+          (* A record that fails to parse is a torn tail — expected after a
+             crash mid-append — if and only if nothing but blank space
+             follows it; anything after a bad record is corruption and must
+             not be silently skipped. *)
+          let torn_or_corrupt reason =
+            if is_blank (In_channel.input_all ic) then torn := true
+            else
+              err :=
+                Some
+                  (Printf.sprintf
+                     "%s: corrupt WAL record %d (after LSN %d): %s" path
+                     !count !prev_lsn reason)
+          in
+          let continue = ref true in
+          while !continue do
+            match input_line ic with
+            | exception End_of_file -> continue := false
+            | line when String.trim line = "" -> ()
+            | line ->
+                incr count;
+                let parsed =
+                  if line.[0] = '#' then
+                    match parse_frame line with
+                    | Error _ as e -> e
+                    | Ok (lsn, payload) ->
+                        if lsn <= !prev_lsn then
+                          Error
+                            (Printf.sprintf "non-monotonic LSN %d after %d"
+                               lsn !prev_lsn)
+                        else
+                          Result.map
+                            (fun r -> (lsn, r))
+                            (Log_record.of_line payload)
+                  else
+                    Result.map
+                      (fun r -> (!prev_lsn + 1, r))
+                      (Log_record.of_line line)
+                in
+                (match parsed with
+                | Ok ((lsn, _) as entry) ->
+                    prev_lsn := lsn;
+                    out := entry :: !out
+                | Error reason ->
+                    torn_or_corrupt reason;
+                    continue := false)
+          done;
+          match !err with
+          | Some e -> Error e
+          | None -> Ok { l_records = List.rev !out; l_torn = !torn })
+
+let load path = Result.map (fun l -> l.l_records) (load_ex path)

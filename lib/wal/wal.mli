@@ -1,21 +1,36 @@
 (** Append-only write-ahead log with monotonically increasing LSNs.
 
     The log lives in memory and can additionally be mirrored to a file (one
-    JSON record per line), which is what crash-recovery tests replay. *)
+    record per line), which is what crash-recovery replays. On-disk records
+    are framed as [#crc32 len lsn payload] so that recovery can distinguish
+    a torn tail (crash mid-append) from corruption in the middle of the
+    file; the legacy un-framed format (bare JSON payload per line) is still
+    readable. *)
 
 type t
 
 type lsn = int
 
-val create : ?path:string -> unit -> t
+val create : ?path:string -> ?first_lsn:lsn -> ?sync_commits:bool -> unit -> t
 (** When [path] is given, every append is written through and flushed to the
-    file (truncating any existing file). *)
+    file (truncating any existing file). [first_lsn] (default 1) is the LSN
+    the next append receives — compaction passes the continuation of the
+    previous log's numbering so LSNs stay globally monotonic across
+    truncations. When [sync_commits] is true (the default), appending a
+    [Commit] record additionally fsyncs the file: that is the durability
+    point of a transaction. *)
 
 val append : t -> Log_record.t -> lsn
-(** Durably append a record; returns its LSN (starting at 1). *)
+(** Durably append a record; returns its LSN. Writes are routed through the
+    ["wal.append"] / ["wal.sync"] failpoints. *)
 
 val last_lsn : t -> lsn
-(** 0 when empty. *)
+(** [first_lsn - 1] when empty (0 for a fresh log). *)
+
+val advance_to : t -> lsn -> unit
+(** Ensure the next append's LSN is strictly greater than the argument.
+    Recovery calls this after replaying records so re-attached logs never
+    reuse an LSN already on disk. *)
 
 val records : t -> (lsn * Log_record.t) list
 (** All records, in LSN order. *)
@@ -25,6 +40,18 @@ val records_from : t -> lsn -> (lsn * Log_record.t) list
 
 val close : t -> unit
 
+type loaded = {
+  l_records : (lsn * Log_record.t) list;
+  l_torn : bool;  (** a torn final record was dropped *)
+}
+
+val load_ex : string -> (loaded, string) result
+(** Read a log file back. A record that fails to parse or checksum is a
+    *torn tail* if nothing but blank space follows it — it is dropped and
+    [l_torn] is set. A bad record followed by further data is mid-file
+    corruption: [Error] with the failing record's position and the last
+    good LSN. Framed records must have strictly increasing LSNs; legacy
+    lines are numbered sequentially after the previous record. *)
+
 val load : string -> ((lsn * Log_record.t) list, string) result
-(** Read a log file back. Tolerates a torn (partial) final line, which is
-    dropped — the standard crash semantics of a WAL tail. *)
+(** [load_ex] without the torn-tail flag. *)

@@ -4,16 +4,20 @@
 open Sql_ledger
 open Testkit
 
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+(* Recovery can leave extra generations around (snapshot.json.prev, a stale
+   .tmp), so clean the whole directory, not a fixed file list. *)
 let with_dir f =
   let dir = Filename.temp_file "durable" "" in
   Sys.remove dir;
-  let cleanup () =
-    List.iter
-      (fun p -> try Sys.remove p with Sys_error _ -> ())
-      [ Durable.snapshot_path dir; Durable.wal_path dir ];
-    try Unix.rmdir dir with Unix.Unix_error _ -> ()
-  in
-  Fun.protect ~finally:cleanup (fun () -> f dir)
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
 
 let open_ok ?clock dir =
   match Durable.open_dir ?clock ~dir ~name:"dur" () with
@@ -95,6 +99,149 @@ let test_reopen_after_compact_crash () =
            ~key:[| vs "kept" |]
         <> None))
 
+(* ------------------------------------------------------------------ *)
+(* Crash shapes around compaction and snapshot generations *)
+
+let reopen_has_kept ?(name = "kept") dir =
+  let t = open_ok ~clock:(make_clock ()) dir in
+  let db = Durable.db t in
+  Alcotest.(check bool) (name ^ " survived") true
+    (Ledger_table.find (Database.ledger_table db "accounts")
+       ~key:[| vs name |]
+    <> None);
+  Alcotest.(check bool) "recovered ledger verifies" true
+    (Verifier.ok (Verifier.verify db ~digests:[]))
+
+let setup_kept dir =
+  let t = open_ok ~clock:(make_clock ()) dir in
+  let db = Durable.db t in
+  let accounts = make_accounts db in
+  ignore (insert_account db accounts "kept" 1);
+  t
+
+let test_compact_crash_before_truncate () =
+  (* Snapshot written, log not yet truncated: replay must skip the whole
+     log (the snapshot already covers it), not re-apply it. *)
+  with_dir (fun dir ->
+      Fault.reset ();
+      let t = setup_kept dir in
+      Fault.set "compact.truncate" (Fault.Crash_after 0);
+      (match Durable.compact t with
+      | exception Fault.Injected_crash _ -> ()
+      | () -> Alcotest.fail "expected injected crash");
+      Fault.reset ();
+      reopen_has_kept dir)
+
+let test_snapshot_present_wal_absent () =
+  with_dir (fun dir ->
+      let t = setup_kept dir in
+      Durable.checkpoint t;
+      Sys.remove (Durable.wal_path dir);
+      reopen_has_kept dir)
+
+let test_snapshot_present_wal_empty () =
+  with_dir (fun dir ->
+      let t = setup_kept dir in
+      Durable.checkpoint t;
+      let fd = Unix.openfile (Durable.wal_path dir) [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd 0;
+      Unix.close fd;
+      reopen_has_kept dir)
+
+let test_stale_tmp_is_recovered_then_consumed () =
+  (* Crash between the snapshot's fsync and rename: the only copy of the
+     newest generation is the complete .tmp. Recovery must use it, and the
+     re-home save must leave no stale .tmp behind. *)
+  with_dir (fun dir ->
+      Fault.reset ();
+      let t = setup_kept dir in
+      Durable.checkpoint t;
+      let db = Durable.db t in
+      ignore (insert_account db (Database.ledger_table db "accounts") "late" 2);
+      Fault.set "snapshot.rename" (Fault.Crash_after 0);
+      (match Durable.checkpoint t with
+      | exception Fault.Injected_crash _ -> ()
+      | () -> Alcotest.fail "expected injected crash");
+      Fault.reset ();
+      let snap = Durable.snapshot_path dir in
+      Alcotest.(check bool) "current gone (renamed to .prev)" false
+        (Sys.file_exists snap);
+      Alcotest.(check bool) "complete tmp left" true
+        (Sys.file_exists (snap ^ ".tmp"));
+      reopen_has_kept ~name:"late" dir;
+      Alcotest.(check bool) "tmp consumed by re-home save" false
+        (Sys.file_exists (snap ^ ".tmp"));
+      Alcotest.(check bool) "current restored" true (Sys.file_exists snap))
+
+let test_prev_generation_fallback () =
+  (* The current snapshot is corrupt on disk; recovery must fall back to
+     the retained previous generation and replay the log over it. *)
+  with_dir (fun dir ->
+      let t = setup_kept dir in
+      Durable.checkpoint t;
+      let db = Durable.db t in
+      ignore (insert_account db (Database.ledger_table db "accounts") "late" 2);
+      Durable.checkpoint t;
+      let snap = Durable.snapshot_path dir in
+      Alcotest.(check bool) "previous generation retained" true
+        (Sys.file_exists (snap ^ ".prev"));
+      (* Flip a byte inside the current snapshot's body. *)
+      let contents = In_channel.with_open_bin snap In_channel.input_all in
+      let b = Bytes.of_string contents in
+      let mid = String.length contents / 2 in
+      Bytes.set b mid (if Bytes.get b mid = 'x' then 'y' else 'x');
+      Out_channel.with_open_bin snap (fun oc -> Out_channel.output_bytes oc b);
+      reopen_has_kept ~name:"late" dir)
+
+let test_all_generations_corrupt_fails_loudly () =
+  (* No usable snapshot and no log: refusing beats silently re-creating an
+     empty database over durable data. *)
+  with_dir (fun dir ->
+      let t = setup_kept dir in
+      Durable.checkpoint t;
+      let snap = Durable.snapshot_path dir in
+      Out_channel.with_open_bin snap (fun oc ->
+          Out_channel.output_string oc "SQLLEDGER-SNAPSHOT v2 garbage");
+      (try Sys.remove (snap ^ ".prev") with Sys_error _ -> ());
+      Sys.remove (Durable.wal_path dir);
+      match Durable.open_dir ~dir ~name:"dur" () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "corrupt-everything open must fail loudly")
+
+let test_legacy_seed_format_still_loads () =
+  (* Databases persisted before CRC framing / checksummed containers: a
+     bare-JSON-lines WAL and a raw JSON snapshot must recover and verify
+     unchanged. *)
+  with_dir (fun dir ->
+      Fault.Fsutil.mkdir_p dir;
+      let db = make_db ~signing_seed:"legacy" "dur" in
+      let accounts = make_accounts db in
+      figure2 db accounts;
+      let d = fresh_digest db in
+      (* Legacy WAL: un-framed record lines. *)
+      Out_channel.with_open_bin (Durable.wal_path dir) (fun oc ->
+          List.iter
+            (fun (_, r) ->
+              Out_channel.output_string oc (Aries.Log_record.to_line r ^ "\n"))
+            (Aries.Wal.records (Database_ledger.wal (Database.ledger db))));
+      let t = open_ok ~clock:(make_clock ()) dir in
+      let db2 = Durable.db t in
+      Alcotest.(check string) "identity" (Database.database_id db)
+        (Database.database_id db2);
+      Alcotest.(check bool) "pre-upgrade digest verifies" true
+        (Verifier.ok (Verifier.verify db2 ~digests:[ d ]));
+      (* Same, with a legacy raw-JSON snapshot next to the log. *)
+      rm_rf dir;
+      Fault.Fsutil.mkdir_p dir;
+      Out_channel.with_open_bin (Durable.snapshot_path dir) (fun oc ->
+          Out_channel.output_string oc
+            (Sjson.to_string ~pretty:true (Snapshot.save db)));
+      Out_channel.with_open_bin (Durable.wal_path dir) (fun oc ->
+          Out_channel.output_string oc "");
+      let t2 = open_ok ~clock:(make_clock ()) dir in
+      Alcotest.(check bool) "legacy snapshot verifies" true
+        (Verifier.ok (Verifier.verify (Durable.db t2) ~digests:[ d ])))
+
 let test_work_after_reopen_is_durable () =
   with_dir (fun dir ->
       (* generation 1 *)
@@ -126,5 +273,22 @@ let () =
           Alcotest.test_case "compact bounds the log" `Quick test_compact_bounds_log;
           Alcotest.test_case "compact-crash reopen" `Quick test_reopen_after_compact_crash;
           Alcotest.test_case "durability across reopens" `Quick test_work_after_reopen_is_durable;
+        ] );
+      ( "crash shapes",
+        [
+          Alcotest.test_case "compact crash before truncate" `Quick
+            test_compact_crash_before_truncate;
+          Alcotest.test_case "snapshot + absent wal" `Quick
+            test_snapshot_present_wal_absent;
+          Alcotest.test_case "snapshot + empty wal" `Quick
+            test_snapshot_present_wal_empty;
+          Alcotest.test_case "stale tmp recovered + consumed" `Quick
+            test_stale_tmp_is_recovered_then_consumed;
+          Alcotest.test_case "prev generation fallback" `Quick
+            test_prev_generation_fallback;
+          Alcotest.test_case "all generations corrupt" `Quick
+            test_all_generations_corrupt_fails_loudly;
+          Alcotest.test_case "legacy seed format" `Quick
+            test_legacy_seed_format_still_loads;
         ] );
     ]

@@ -1,0 +1,217 @@
+(* The fault library itself: CRC-32 vectors, failpoint registry semantics,
+   and the crash-safe filesystem helpers. *)
+
+let check = Alcotest.check
+let int32_t = Alcotest.int32
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 *)
+
+let test_crc_vectors () =
+  (* The IEEE 802.3 check value. *)
+  check int32_t "123456789" 0xCBF43926l (Fault.Crc32.string "123456789");
+  check int32_t "empty" 0x00000000l (Fault.Crc32.string "");
+  check int32_t "a" 0xE8B7BE43l (Fault.Crc32.string "a")
+
+let test_crc_streaming_matches_oneshot () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let streamed =
+    Fault.Crc32.(
+      finish
+        (update_substring
+           (update_char (update_string init (String.sub s 0 10)) s.[10])
+           s 11
+           (String.length s - 11)))
+  in
+  check int32_t "streamed = one-shot" (Fault.Crc32.string s) streamed;
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf s;
+  check int32_t "buffer = one-shot" (Fault.Crc32.string s)
+    Fault.Crc32.(finish (update_buffer init buf));
+  check int32_t "substring" (Fault.Crc32.string "own f")
+    (Fault.Crc32.substring s ~off:12 ~len:5)
+
+(* ------------------------------------------------------------------ *)
+(* Failpoint registry *)
+
+let with_reset f = Fun.protect ~finally:Fault.reset f
+
+let test_failpoint_modes () =
+  with_reset (fun () ->
+      Fault.register "t.p";
+      (* Off: inert. *)
+      Fault.trip "t.p";
+      (* Fail: raises once, then disarms. *)
+      Fault.set "t.p" Fault.Fail;
+      (match Fault.trip "t.p" with
+      | exception Fault.Injected_error _ -> ()
+      | () -> Alcotest.fail "armed Fail must raise");
+      Fault.trip "t.p";
+      (* Crash: raises and poisons every later guarded operation. *)
+      Fault.set "t.p" (Fault.Crash_after 0);
+      (match Fault.trip "t.p" with
+      | exception Fault.Injected_crash _ -> ()
+      | () -> Alcotest.fail "armed Crash must raise");
+      (match Fault.trip "t.other" with
+      | exception Fault.Injected_crash _ -> ()
+      | () -> Alcotest.fail "after a crash every point must re-raise");
+      Fault.reset ();
+      Fault.trip "t.p";
+      Fault.trip "t.other")
+
+let test_failpoint_byte_budget () =
+  with_reset (fun () ->
+      let path = Filename.temp_file "fault" ".out" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Fault.register "t.w";
+          Fault.set "t.w" (Fault.Crash_after 5);
+          let oc = open_out path in
+          (* 3 bytes fit, then 2 of the next 4: torn mid-write. *)
+          (match
+             Fault.output "t.w" oc "abc";
+             Fault.output "t.w" oc "defg"
+           with
+          | exception Fault.Injected_crash _ -> ()
+          | () -> Alcotest.fail "budget exhaustion must crash");
+          close_out_noerr oc;
+          check Alcotest.string "exactly 5 bytes reached the file" "abcde"
+            (In_channel.with_open_bin path In_channel.input_all)))
+
+let test_mode_parsing () =
+  let roundtrip m =
+    match Fault.mode_of_string (Fault.mode_to_string m) with
+    | Ok m' -> m' = m
+    | Result.Error _ -> false
+  in
+  check Alcotest.bool "off" true (roundtrip Fault.Off);
+  check Alcotest.bool "error" true (roundtrip Fault.Fail);
+  check Alcotest.bool "crash" true (roundtrip (Fault.Crash_after 0));
+  check Alcotest.bool "crash:N" true (roundtrip (Fault.Crash_after 37));
+  check Alcotest.bool "garbage rejected" true
+    (Result.is_error (Fault.mode_of_string "explode"));
+  check Alcotest.bool "negative rejected" true
+    (Result.is_error (Fault.mode_of_string "crash:-1"));
+  (match Fault.parse_spec "wal.append=crash:10" with
+  | Ok ("wal.append", Fault.Crash_after 10) -> ()
+  | _ -> Alcotest.fail "parse_spec");
+  check Alcotest.bool "spec without '='" true
+    (Result.is_error (Fault.parse_spec "wal.append"))
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem helpers *)
+
+let temp_dir () =
+  let d = Filename.temp_file "faultfs" "" in
+  Sys.remove d;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let d = temp_dir () in
+  Fault.Fsutil.mkdir_p d;
+  Fun.protect ~finally:(fun () -> try rm_rf d with Sys_error _ -> ()) (fun () -> f d)
+
+let test_mkdir_p_nested_and_idempotent () =
+  with_temp_dir (fun d ->
+      let deep = Filename.concat (Filename.concat d "a") "b" in
+      Fault.Fsutil.mkdir_p deep;
+      check Alcotest.bool "created" true (Sys.is_directory deep);
+      (* Second call must not raise. *)
+      Fault.Fsutil.mkdir_p deep)
+
+let test_mkdir_p_concurrent_race () =
+  (* EEXIST from a concurrent creator must be absorbed, not raised. *)
+  with_temp_dir (fun d ->
+      let target =
+        List.fold_left Filename.concat d [ "r"; "a"; "c"; "e" ]
+      in
+      let domains =
+        List.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                match Fault.Fsutil.mkdir_p target with
+                | () -> true
+                | exception _ -> false))
+      in
+      let oks = List.map Domain.join domains in
+      check Alcotest.bool "all creators succeeded" true
+        (List.for_all Fun.id oks);
+      check Alcotest.bool "directory exists" true (Sys.is_directory target))
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_atomic_write_basic () =
+  with_reset (fun () ->
+      with_temp_dir (fun d ->
+          let path = Filename.concat d "f" in
+          Fault.Fsutil.register_atomic_points "t.aw";
+          Fault.Fsutil.atomic_write ~point_prefix:"t.aw" ~path "one";
+          check Alcotest.string "written" "one" (read_file path);
+          check Alcotest.bool "no tmp debris" false
+            (Sys.file_exists (path ^ ".tmp"));
+          Fault.Fsutil.atomic_write ~keep_previous:true ~point_prefix:"t.aw"
+            ~path "two";
+          check Alcotest.string "replaced" "two" (read_file path);
+          check Alcotest.string "previous generation kept" "one"
+            (read_file (path ^ ".prev"))))
+
+let test_atomic_write_crash_leaves_old_intact () =
+  with_reset (fun () ->
+      with_temp_dir (fun d ->
+          let path = Filename.concat d "f" in
+          Fault.Fsutil.register_atomic_points "t.aw2";
+          Fault.Fsutil.atomic_write ~point_prefix:"t.aw2" ~path "stable";
+          (* Crash while writing the replacement: target untouched, only a
+             torn tmp left behind. *)
+          Fault.set "t.aw2.write" (Fault.Crash_after 3);
+          (match
+             Fault.Fsutil.atomic_write ~point_prefix:"t.aw2" ~path
+               "replacement"
+           with
+          | exception Fault.Injected_crash _ -> ()
+          | () -> Alcotest.fail "expected injected crash");
+          check Alcotest.string "old contents intact" "stable" (read_file path);
+          check Alcotest.string "torn tmp" "rep" (read_file (path ^ ".tmp"));
+          Fault.reset ();
+          (* Crash between fsync and rename: tmp is complete. *)
+          Fault.set "t.aw2.rename" (Fault.Crash_after 0);
+          (match
+             Fault.Fsutil.atomic_write ~point_prefix:"t.aw2" ~path
+               "replacement"
+           with
+          | exception Fault.Injected_crash _ -> ()
+          | () -> Alcotest.fail "expected injected crash");
+          check Alcotest.string "old contents intact" "stable" (read_file path);
+          check Alcotest.string "complete tmp" "replacement"
+            (read_file (path ^ ".tmp"))))
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "vectors" `Quick test_crc_vectors;
+          Alcotest.test_case "streaming" `Quick test_crc_streaming_matches_oneshot;
+        ] );
+      ( "failpoints",
+        [
+          Alcotest.test_case "modes" `Quick test_failpoint_modes;
+          Alcotest.test_case "byte budget" `Quick test_failpoint_byte_budget;
+          Alcotest.test_case "mode parsing" `Quick test_mode_parsing;
+        ] );
+      ( "fsutil",
+        [
+          Alcotest.test_case "mkdir_p" `Quick test_mkdir_p_nested_and_idempotent;
+          Alcotest.test_case "mkdir_p race" `Quick test_mkdir_p_concurrent_race;
+          Alcotest.test_case "atomic write" `Quick test_atomic_write_basic;
+          Alcotest.test_case "atomic write crash" `Quick
+            test_atomic_write_crash_leaves_old_intact;
+        ] );
+    ]

@@ -250,9 +250,10 @@ let test_sql_dml_durable_replicated () =
   let dir = Filename.temp_file "full-stack" "" in
   Sys.remove dir;
   let cleanup () =
+    (* Recovery may retain extra snapshot generations (.prev, .tmp). *)
     List.iter
-      (fun p -> try Sys.remove p with Sys_error _ -> ())
-      [ Durable.snapshot_path dir; Durable.wal_path dir ];
+      (fun p -> try Sys.remove (Filename.concat dir p) with Sys_error _ -> ())
+      (try Array.to_list (Sys.readdir dir) with Sys_error _ -> []);
     try Unix.rmdir dir with Unix.Unix_error _ -> ()
   in
   Fun.protect ~finally:cleanup (fun () ->

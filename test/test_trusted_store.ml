@@ -47,13 +47,37 @@ let test_file_mirror () =
   Sys.remove dir;
   let s = WS.create ~dir () in
   ignore (WS.append s ~blob:"digests/x/1.0" "payload");
-  let path = Filename.concat dir "digests_x_1.0.blob" in
+  let path = Filename.concat dir "digests%2Fx%2F1.0.blob" in
   Alcotest.(check bool) "mirror file exists" true (Sys.file_exists path);
   let ic = open_in path in
   let line = input_line ic in
   close_in ic;
   Alcotest.(check string) "mirror content" "payload" line;
   Sys.remove path;
+  Unix.rmdir dir
+
+let test_mirror_names_never_collide () =
+  (* Regression: '/' used to be flattened to '_', so blobs "a/b" and "a_b"
+     shared one mirror file and silently overwrote each other. *)
+  let dir = Filename.temp_file "worm" "" in
+  Sys.remove dir;
+  let s = WS.create ~dir () in
+  ignore (WS.append s ~blob:"a/b" "slash");
+  ignore (WS.append s ~blob:"a_b" "underscore");
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".blob")
+  in
+  Alcotest.(check int) "two distinct mirror files" 2 (List.length files);
+  (* Escaping is injective on tricky names. *)
+  let names =
+    [ "a/b"; "a_b"; "a%2Fb"; "a\\b"; "a:b"; "a\nb"; "plain" ]
+  in
+  let escaped = List.map WS.escape_blob_name names in
+  Alcotest.(check int) "all escapes distinct"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare escaped));
+  List.iter (fun f -> Sys.remove (Filename.concat dir f)) files;
   Unix.rmdir dir
 
 let test_digest_upload_and_readback () =
@@ -259,6 +283,8 @@ let () =
           Alcotest.test_case "hmac detects hostile write" `Quick test_hmac_detects_hostile_write;
           Alcotest.test_case "no hmac = silent" `Quick test_without_hmac_corruption_silent;
           Alcotest.test_case "file mirror" `Quick test_file_mirror;
+          Alcotest.test_case "mirror names never collide" `Quick
+            test_mirror_names_never_collide;
         ] );
       ( "signed digests + anchoring",
         [

@@ -88,6 +88,163 @@ let test_wal_mid_corruption_detected () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "mid-log corruption must not be silently skipped")
 
+(* Frame a payload the way Wal.append does: "#crc len lsn payload". *)
+let frame lsn payload =
+  let body = Printf.sprintf "%d %s" lsn payload in
+  Printf.sprintf "#%08lx %d %s" (Fault.Crc32.string body) (String.length body)
+    body
+
+let write_lines path lines =
+  Out_channel.with_open_bin path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) lines)
+
+let test_wal_frames_on_disk () =
+  with_temp_file (fun path ->
+      let w = Aries.Wal.create ~path () in
+      ignore (Aries.Wal.append w (LR.Begin { txn_id = 1 }));
+      ignore (Aries.Wal.append w (LR.Commit (sample_commit 1 0 0)));
+      Aries.Wal.close w;
+      let lines =
+        In_channel.with_open_bin path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      List.iteri
+        (fun i line ->
+          Alcotest.(check string)
+            (Printf.sprintf "record %d framed" (i + 1))
+            (frame (i + 1) (LR.to_line (List.nth [ LR.Begin { txn_id = 1 };
+                                                   LR.Commit (sample_commit 1 0 0) ] i)))
+            line)
+        lines)
+
+let test_wal_legacy_format_loads () =
+  (* Files written before CRC framing: bare JSON records, numbered
+     sequentially — the seed on-disk format must keep loading. *)
+  with_temp_file (fun path ->
+      write_lines path
+        [
+          LR.to_line (LR.Begin { txn_id = 1 });
+          LR.to_line (LR.Commit (sample_commit 1 0 0));
+        ];
+      match Aries.Wal.load path with
+      | Error e -> Alcotest.fail e
+      | Ok records ->
+          Alcotest.(check (list int)) "legacy lsns" [ 1; 2 ]
+            (List.map fst records))
+
+let test_wal_legacy_torn_tail_with_trailing_blank () =
+  (* The seed's torn-tail check compared file positions and misclassified a
+     torn record followed by a newline (or blank lines) as corruption. *)
+  with_temp_file (fun path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (LR.to_line (LR.Begin { txn_id = 1 }) ^ "\n");
+          Out_channel.output_string oc {|{"type":"commit","txn|};
+          Out_channel.output_string oc "\n\n  \n");
+      match Aries.Wal.load_ex path with
+      | Error e -> Alcotest.fail e
+      | Ok l ->
+          Alcotest.(check int) "prefix kept" 1 (List.length l.Aries.Wal.l_records);
+          Alcotest.(check bool) "flagged torn" true l.Aries.Wal.l_torn)
+
+let test_wal_framed_torn_tail () =
+  with_temp_file (fun path ->
+      let w = Aries.Wal.create ~path () in
+      ignore (Aries.Wal.append w (LR.Begin { txn_id = 1 }));
+      ignore (Aries.Wal.append w (LR.Commit (sample_commit 1 0 0)));
+      Aries.Wal.close w;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      (* Tear the last record at every byte boundary: always recoverable. *)
+      let second_starts = String.index_from full 1 '#' in
+      for cut = second_starts + 1 to String.length full - 2 do
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (String.sub full 0 cut));
+        match Aries.Wal.load_ex path with
+        | Error e -> Alcotest.failf "cut %d: %s" cut e
+        | Ok l ->
+            Alcotest.(check int)
+              (Printf.sprintf "cut %d keeps prefix" cut)
+              1
+              (List.length l.Aries.Wal.l_records)
+      done)
+
+let test_wal_bitflip_is_corruption_not_torn () =
+  (* A checksum failure with more records after it must fail loudly, with
+     the last good LSN in the message. *)
+  with_temp_file (fun path ->
+      let w = Aries.Wal.create ~path () in
+      ignore (Aries.Wal.append w (LR.Begin { txn_id = 1 }));
+      ignore (Aries.Wal.append w (LR.Begin { txn_id = 2 }));
+      ignore (Aries.Wal.append w (LR.Commit (sample_commit 2 0 0)));
+      Aries.Wal.close w;
+      let full = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+      (* Flip one payload byte in the middle record. *)
+      let nl1 = Bytes.index full '\n' in
+      let mid = nl1 + 30 in
+      Bytes.set full mid
+        (if Bytes.get full mid = 'x' then 'y' else 'x');
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc full);
+      match Aries.Wal.load path with
+      | Ok _ -> Alcotest.fail "bit flip mid-log must not load"
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "diagnostic names the last good LSN: %s" e)
+            true
+            (let has needle =
+               let ln = String.length needle and n = String.length e in
+               let rec go i = i + ln <= n && (String.sub e i ln = needle || go (i + 1)) in
+               go 0
+             in
+             has "after LSN 1"))
+
+let test_wal_nonmonotonic_lsn_is_corruption () =
+  with_temp_file (fun path ->
+      write_lines path
+        [
+          frame 5 (LR.to_line (LR.Begin { txn_id = 1 }));
+          frame 3 (LR.to_line (LR.Begin { txn_id = 2 }));
+          frame 6 (LR.to_line (LR.Begin { txn_id = 3 }));
+        ];
+      match Aries.Wal.load path with
+      | Ok _ -> Alcotest.fail "regressing LSNs must not load"
+      | Error _ -> ())
+
+let test_wal_first_lsn_and_advance () =
+  with_temp_file (fun path ->
+      let w = Aries.Wal.create ~path ~first_lsn:41 () in
+      Alcotest.(check int) "empty log last_lsn" 40 (Aries.Wal.last_lsn w);
+      Alcotest.(check int) "first append" 41
+        (Aries.Wal.append w (LR.Begin { txn_id = 1 }));
+      Aries.Wal.advance_to w 100;
+      Alcotest.(check int) "post-advance append" 101
+        (Aries.Wal.append w (LR.Begin { txn_id = 2 }));
+      Aries.Wal.advance_to w 7;
+      Alcotest.(check int) "advance never regresses" 101 (Aries.Wal.last_lsn w);
+      Aries.Wal.close w;
+      match Aries.Wal.load path with
+      | Error e -> Alcotest.fail e
+      | Ok records ->
+          Alcotest.(check (list int)) "lsns round-trip through the file"
+            [ 41; 101 ] (List.map fst records))
+
+let test_wal_legacy_then_framed_mix () =
+  (* A log whose head predates framing and whose tail is framed (written
+     after an upgrade) loads as one sequence. *)
+  with_temp_file (fun path ->
+      write_lines path
+        [
+          LR.to_line (LR.Begin { txn_id = 1 });
+          LR.to_line (LR.Commit (sample_commit 1 0 0));
+          frame 3 (LR.to_line (LR.Begin { txn_id = 2 }));
+        ];
+      match Aries.Wal.load path with
+      | Error e -> Alcotest.fail e
+      | Ok records ->
+          Alcotest.(check (list int)) "mixed lsns" [ 1; 2; 3 ]
+            (List.map fst records))
+
 let test_analysis_no_checkpoint () =
   let entries =
     [
@@ -154,6 +311,20 @@ let () =
           Alcotest.test_case "file persistence" `Quick test_wal_file_persistence;
           Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
           Alcotest.test_case "mid corruption" `Quick test_wal_mid_corruption_detected;
+          Alcotest.test_case "frames on disk" `Quick test_wal_frames_on_disk;
+          Alcotest.test_case "legacy format" `Quick test_wal_legacy_format_loads;
+          Alcotest.test_case "legacy torn tail + blanks" `Quick
+            test_wal_legacy_torn_tail_with_trailing_blank;
+          Alcotest.test_case "framed torn tail (all cuts)" `Quick
+            test_wal_framed_torn_tail;
+          Alcotest.test_case "bit flip is corruption" `Quick
+            test_wal_bitflip_is_corruption_not_torn;
+          Alcotest.test_case "non-monotonic lsn" `Quick
+            test_wal_nonmonotonic_lsn_is_corruption;
+          Alcotest.test_case "first_lsn / advance_to" `Quick
+            test_wal_first_lsn_and_advance;
+          Alcotest.test_case "legacy+framed mix" `Quick
+            test_wal_legacy_then_framed_mix;
         ] );
       ( "analysis",
         [

@@ -106,6 +106,25 @@ let test_uncommitted_tail_discarded () =
           Alcotest.(check bool) "verifies" true
             (Verifier.ok (Verifier.verify db' ~digests:[ d ])))
 
+let test_replay_continues_lsn_numbering () =
+  (* The recovered database's WAL numbering continues past the replayed
+     records: a snapshot taken right after recovery must record a position
+     consistent with the on-disk log (no LSN reuse across generations). *)
+  with_wal (fun path ->
+      let db = make_db ~block_size:100 ~wal_path:path "lsncont" in
+      let accounts = build db in
+      ignore (insert_account db accounts "Tail" 1);
+      let records = Result.get_ok (Aries.Wal.load path) in
+      let max_lsn = List.fold_left (fun acc (l, _) -> max acc l) 0 records in
+      match Wal_replay.replay ~clock:(make_clock ()) ~records () with
+      | Error e -> Alcotest.fail e
+      | Ok db' ->
+          let wal' = Database_ledger.wal (Database.ledger db') in
+          Alcotest.(check bool) "numbering continues" true
+            (Aries.Wal.last_lsn wal' >= max_lsn);
+          Alcotest.(check int) "snapshot position lines up" (Aries.Wal.last_lsn wal')
+            (Snapshot.wal_lsn (Snapshot.save db')))
+
 let test_aborted_txn_not_replayed () =
   with_wal (fun path ->
       let db = make_db ~block_size:100 ~wal_path:path "abort" in
@@ -229,6 +248,7 @@ let () =
         [
           Alcotest.test_case "full equivalence" `Quick test_full_replay_equivalence;
           Alcotest.test_case "uncommitted tail" `Quick test_uncommitted_tail_discarded;
+          Alcotest.test_case "lsn continuity" `Quick test_replay_continues_lsn_numbering;
           Alcotest.test_case "aborted txn" `Quick test_aborted_txn_not_replayed;
           Alcotest.test_case "snapshot + tail" `Quick test_snapshot_plus_tail;
           Alcotest.test_case "resurrects untampered state" `Quick
