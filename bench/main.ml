@@ -503,6 +503,206 @@ let hashpath () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* serve: closed-loop throughput of the networked ledger service *)
+
+(* N client connections drive a real localhost server (port 0, temp dir)
+   with a TPC-C-flavoured mix — mostly writes, a sliver of reads — each
+   client confined to its own key range so the load parallelises the way
+   independent TPC-C warehouses do. Latency is measured client-side
+   around each request/response round trip (closed loop: a client issues
+   its next request only after the previous response), throughput as
+   completed requests over wall time. A control connection then pulls a
+   digest, verifies the ledger over the wire, and cross-checks the
+   server's own request counters against what the clients sent. *)
+
+let serve_bench () =
+  print_endline "=== serve: concurrent clients vs the ledger server ===";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let clients = 8 and ops_per_client = 400 in
+  let dir = Filename.temp_dir "sqlledger-bench" "" in
+  let config =
+    {
+      Ledger_server.Server.default_config with
+      port = 0;
+      dir;
+      db_name = "bench";
+      max_connections = clients + 4;
+    }
+  in
+  let srv =
+    match Ledger_server.Server.start ~config () with
+    | Ok s -> s
+    | Error e ->
+        failwith (Ledger_server.Server.start_error_to_string e)
+  in
+  let th = Ledger_server.Server.run_async srv in
+  let port = Ledger_server.Server.port srv in
+  Printf.printf "server on 127.0.0.1:%d, %d clients x %d requests\n\n" port
+    clients ops_per_client;
+  let connect () =
+    match Wire.Client.connect ~host:"127.0.0.1" ~port () with
+    | Ok c -> c
+    | Error e -> failwith (Wire.Client.connect_error_to_string e)
+  in
+  (* Schema and a little seed data, over the wire like everything else. *)
+  let setup = connect () in
+  let expect_ok what = function
+    | Ok r when not (Wire.Protocol.response_is_error r) -> ()
+    | Ok r ->
+        failwith
+          (Printf.sprintf "%s: %s" what (Wire.Protocol.response_kind r))
+    | Error e -> failwith (Printf.sprintf "%s: %s" what e)
+  in
+  expect_ok "create"
+    (Wire.Client.call setup
+       (Wire.Protocol.Create_table
+          {
+            name = "bench";
+            columns = [ ("id", "int"); ("payload", "varchar(64)") ];
+            key = [ "id" ];
+          }));
+  Wire.Client.close setup;
+  (* Closed loop: each client thread owns ids [base, base+ops) and keeps a
+     live set so updates and deletes always hit a row it inserted. *)
+  let latencies = Array.make_matrix clients ops_per_client 0.0 in
+  let errors = Atomic.make 0 in
+  let client_loop c_idx =
+    let client = connect () in
+    let prng = Workload.Prng.create (1000 + c_idx) in
+    let base = (c_idx + 1) * 1_000_000 in
+    let live = ref [] and next = ref 0 in
+    let insert () =
+      incr next;
+      let id = base + !next in
+      live := id :: !live;
+      Wire.Protocol.Exec
+        {
+          sql =
+            Printf.sprintf "INSERT INTO bench VALUES (%d, '%s')" id
+              (Workload.Prng.alnum_string prng 64);
+        }
+    in
+    let pick () = List.nth !live (Workload.Prng.int prng (List.length !live)) in
+    for op = 0 to ops_per_client - 1 do
+      let req =
+        if !live = [] then insert ()
+        else
+          let r = Workload.Prng.int prng 100 in
+          if r < 45 then insert ()
+          else if r < 88 then
+            Wire.Protocol.Exec
+              {
+                sql =
+                  Printf.sprintf "UPDATE bench SET payload = '%s' WHERE id = %d"
+                    (Workload.Prng.alnum_string prng 64)
+                    (pick ());
+              }
+          else if r < 96 then
+            Wire.Protocol.Query
+              {
+                sql =
+                  Printf.sprintf "SELECT * FROM bench WHERE id = %d" (pick ());
+              }
+          else begin
+            let id = pick () in
+            live := List.filter (fun i -> i <> id) !live;
+            Wire.Protocol.Exec
+              { sql = Printf.sprintf "DELETE FROM bench WHERE id = %d" id }
+          end
+      in
+      let t0 = Unix.gettimeofday () in
+      (match Wire.Client.call client req with
+      | Ok r when not (Wire.Protocol.response_is_error r) -> ()
+      | Ok _ | Error _ -> Atomic.incr errors);
+      latencies.(c_idx).(op) <- (Unix.gettimeofday () -. t0) *. 1e6
+    done;
+    Wire.Client.close client
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun i -> Thread.create client_loop i) in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let total = clients * ops_per_client in
+  let tps = float_of_int total /. elapsed in
+  let all = Array.concat (Array.to_list latencies) in
+  Array.sort compare all;
+  let pct p =
+    all.(min (Array.length all - 1)
+           (int_of_float (p /. 100.0 *. float_of_int (Array.length all))))
+  in
+  (* Control connection: the ledger survived the stampede, provably. *)
+  let ctl = connect () in
+  let digest_json =
+    match Wire.Client.call ctl Wire.Protocol.Digest with
+    | Ok (Wire.Protocol.Digest_r j) -> j
+    | _ -> failwith "digest failed"
+  in
+  let verify_ok, versions =
+    match
+      Wire.Client.call ctl
+        (Wire.Protocol.Verify { tables = []; digests = [ digest_json ] })
+    with
+    | Ok (Wire.Protocol.Verify_r s) ->
+        (s.Wire.Protocol.vs_ok, s.Wire.Protocol.vs_versions)
+    | _ -> failwith "verify failed"
+  in
+  let server_requests =
+    match Wire.Client.call ctl Wire.Protocol.Stats with
+    | Ok (Wire.Protocol.Stats_r lines) ->
+        List.fold_left
+          (fun acc line ->
+            match String.index_opt line ' ' with
+            | Some i
+              when String.length line > 24
+                   && String.sub line 0 24 = "sqlledger_requests_total" ->
+                acc
+                + int_of_float
+                    (float_of_string
+                       (String.sub line (i + 1) (String.length line - i - 1)))
+            | _ -> acc)
+          0 lines
+    | _ -> 0
+  in
+  Wire.Client.close ctl;
+  Ledger_server.Server.shutdown srv th;
+  Printf.printf "%-26s %12d\n" "requests completed" total;
+  Printf.printf "%-26s %12d\n" "request errors" (Atomic.get errors);
+  Printf.printf "%-26s %12.0f req/s\n" "throughput" tps;
+  Printf.printf "%-26s %12.0f us\n" "latency p50" (pct 50.0);
+  Printf.printf "%-26s %12.0f us\n" "latency p95" (pct 95.0);
+  Printf.printf "%-26s %12.0f us\n" "latency p99" (pct 99.0);
+  Printf.printf "%-26s %12s (%d row versions)\n" "wire verification"
+    (if verify_ok then "OK" else "FAILED")
+    versions;
+  Printf.printf "%-26s %12d (clients sent %d + setup/control)\n"
+    "server-counted requests" server_requests total;
+  if not verify_ok then failwith "post-load ledger verification failed";
+  if Atomic.get errors > 0 then failwith "request errors during bench";
+  if !json_out then begin
+    let json =
+      Sjson.Obj
+        [
+          ("experiment", Sjson.String "serve");
+          ("clients", Sjson.Int clients);
+          ("ops_per_client", Sjson.Int ops_per_client);
+          ("requests", Sjson.Int total);
+          ("errors", Sjson.Int (Atomic.get errors));
+          ("throughput_rps", Sjson.Float tps);
+          ("latency_p50_us", Sjson.Float (pct 50.0));
+          ("latency_p95_us", Sjson.Float (pct 95.0));
+          ("latency_p99_us", Sjson.Float (pct 99.0));
+          ("verify_ok", Sjson.Bool verify_ok);
+          ("row_versions_verified", Sjson.Int versions);
+          ("server_counted_requests", Sjson.Int server_requests);
+        ]
+    in
+    Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
+        output_string oc (Sjson.to_string ~pretty:true json);
+        output_char oc '\n');
+    print_endline "\nwrote BENCH_serve.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Ablations over the design choices DESIGN.md calls out *)
 
 let ablation () =
@@ -615,7 +815,8 @@ let ablation () =
 let experiments =
   [
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("fabric", fabric);
-    ("decomp", decomp); ("hashpath", hashpath); ("ablation", ablation);
+    ("decomp", decomp); ("hashpath", hashpath); ("serve", serve_bench);
+    ("ablation", ablation);
   ]
 
 let () =

@@ -259,6 +259,287 @@ let run_recover failpoints wal snapshot verify_flag =
       else 0
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+(* Exit codes (documented in README.md):
+     0  clean shutdown (SIGTERM/SIGINT drained)
+     1  startup failure other than the port (e.g. recovery failed)
+     2  port already in use, or an injected fault crashed the server *)
+let run_serve dir port host name max_conns max_frame idle_timeout
+    request_timeout failpoints =
+  List.iter (fun (n, m) -> Fault.set n m) failpoints;
+  let config =
+    {
+      Ledger_server.Server.host;
+      port;
+      dir;
+      db_name = name;
+      max_connections = max_conns;
+      max_frame;
+      idle_timeout;
+      request_timeout;
+    }
+  in
+  match Ledger_server.Server.start ~config () with
+  | Error (Ledger_server.Server.Port_in_use msg) ->
+      Printf.eprintf "sqlledger serve: cannot listen on %s\n" msg;
+      2
+  | Error (Ledger_server.Server.Startup msg) ->
+      Printf.eprintf "sqlledger serve: %s\n" msg;
+      1
+  | Ok srv -> (
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let stop _ = Ledger_server.Server.request_shutdown srv in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigusr1
+        (Sys.Signal_handle (fun _ -> Ledger_server.Server.request_stats srv));
+      Printf.printf "sqlledger: serving %s on %s:%d (SIGUSR1 dumps metrics)\n%!"
+        dir host
+        (Ledger_server.Server.port srv);
+      match Ledger_server.Server.run srv with
+      | () -> 0
+      | exception (Fault.Injected_crash e | Fault.Injected_error e) ->
+          Printf.eprintf "fault injected: %s\n" e;
+          2)
+
+(* ------------------------------------------------------------------ *)
+(* client *)
+
+module Protocol = Wire.Protocol
+
+let pp_wire_rows columns rows =
+  print_endline (String.concat "\t" columns);
+  List.iter
+    (fun row ->
+      print_endline (String.concat "\t" (List.map Value.to_string row)))
+    rows
+
+(* Print a response; returns the exit code (0 ok, 1 server error). *)
+let print_response = function
+  | Protocol.Pong ->
+      print_endline "pong";
+      0
+  | Protocol.Ok_r ->
+      print_endline "ok";
+      0
+  | Protocol.Txn_r { txn_id = Some id } ->
+      Printf.printf "transaction %d\n" id;
+      0
+  | Protocol.Txn_r { txn_id = None } ->
+      print_endline "rolled back";
+      0
+  | Protocol.Rows_r { columns; rows } ->
+      pp_wire_rows columns rows;
+      0
+  | Protocol.Affected_r n ->
+      Printf.printf "%d row(s) affected\n" n;
+      0
+  | Protocol.Digest_r json | Protocol.Receipt_r json ->
+      print_endline (Sjson.to_string ~pretty:true json);
+      0
+  | Protocol.Verify_r v ->
+      Printf.printf
+        "verification: %s (%d blocks, %d transactions, %d row versions \
+         checked)\n"
+        (if v.Protocol.vs_ok then "OK"
+         else
+           Printf.sprintf "%d violation(s)"
+             (List.length v.Protocol.vs_violations))
+        v.Protocol.vs_blocks v.Protocol.vs_transactions v.Protocol.vs_versions;
+      List.iter
+        (fun s -> Printf.printf "  - %s\n" s)
+        v.Protocol.vs_violations;
+      if v.Protocol.vs_ok then 0 else 1
+  | Protocol.Stats_r lines ->
+      List.iter print_endline lines;
+      0
+  | Protocol.Bye ->
+      print_endline "bye";
+      0
+  | Protocol.Welcome _ ->
+      print_endline "connected";
+      0
+  | Protocol.Error_r { code; message } ->
+      Printf.eprintf "error (%s): %s\n"
+        (Protocol.error_code_to_string code)
+        message;
+      1
+
+let parse_colspec spec =
+  spec |> String.split_on_char ','
+  |> List.filter_map (fun part ->
+         match
+           String.split_on_char ' ' (String.trim part)
+           |> List.filter (fun w -> w <> "")
+         with
+         | [] -> None
+         | [ name; ty ] -> Some (Ok (name, ty))
+         | _ -> Some (Error part))
+  |> List.fold_left
+       (fun acc item ->
+         match (acc, item) with
+         | Error e, _ -> Error e
+         | Ok cols, Ok c -> Ok (cols @ [ c ])
+         | Ok _, Error part -> Error part)
+       (Ok [])
+
+let split_commas s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun w -> w <> "")
+
+(* Map the one-shot positional arguments to a request. *)
+let client_request args digest_files =
+  let load_digests () =
+    List.fold_left
+      (fun acc path ->
+        match acc with
+        | Error _ -> acc
+        | Ok ds -> (
+            match In_channel.with_open_text path In_channel.input_all with
+            | exception Sys_error e -> Error e
+            | contents -> (
+                match Sjson.of_string contents with
+                | exception Sjson.Parse_error e -> Error (path ^ ": " ^ e)
+                | json -> Ok (ds @ [ json ]))))
+      (Ok []) digest_files
+  in
+  match args with
+  | [ "ping" ] -> Ok Protocol.Ping
+  | [ "exec"; sql ] -> Ok (Protocol.Exec { sql })
+  | [ "query"; sql ] -> Ok (Protocol.Query { sql })
+  | [ "digest" ] -> Ok Protocol.Digest
+  | [ "receipt"; txn ] -> (
+      match int_of_string_opt txn with
+      | Some txn_id -> Ok (Protocol.Receipt { txn_id })
+      | None -> Error ("receipt expects a transaction id, got " ^ txn))
+  | "verify" :: tables -> (
+      match load_digests () with
+      | Ok digests -> Ok (Protocol.Verify { tables; digests })
+      | Error e -> Error ("cannot read digest: " ^ e))
+  | [ "create"; name; colspec ] | [ "create"; name; colspec; _ ] -> (
+      match parse_colspec colspec with
+      | Error part -> Error ("bad column spec: " ^ part)
+      | Ok columns ->
+          let key =
+            match args with
+            | [ _; _; _; keys ] -> split_commas keys
+            | _ -> (
+                match columns with (n, _) :: _ -> [ n ] | [] -> [])
+          in
+          Ok (Protocol.Create_table { name; columns; key }))
+  | [ "checkpoint" ] -> Ok Protocol.Checkpoint
+  | [ "stats" ] -> Ok Protocol.Stats
+  | cmd :: _ -> Error ("unknown client command " ^ cmd)
+  | [] -> Error "no command"
+
+let client_repl_help =
+  "Enter SQL (runs as exec) or a command:\n\
+  \  .begin / .commit / .rollback      session transaction control\n\
+  \  .digest                           close the block, print the digest\n\
+  \  .receipt <txn_id>                 fetch a transaction receipt\n\
+  \  .verify [table ...]               server-side ledger verification\n\
+  \  .create <table> <col type, ...> [key,cols]\n\
+  \  .stats                            server metrics\n\
+  \  .ping / .help / .quit"
+
+let run_repl cl =
+  Printf.printf "connected to %s (database %s)\n"
+    (Wire.Client.server cl)
+    (Wire.Client.database cl);
+  print_endline client_repl_help;
+  let continue = ref true in
+  while !continue do
+    print_string "ledger> ";
+    match In_channel.input_line stdin with
+    | None -> continue := false
+    | Some line -> (
+        let line = String.trim line in
+        let words =
+          String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+        in
+        let send req =
+          match Wire.Client.call cl req with
+          | Ok resp -> ignore (print_response resp : int)
+          | Error e ->
+              Printf.eprintf "connection error: %s\n" e;
+              continue := false
+        in
+        match words with
+        | [] -> ()
+        | [ ".quit" ] | [ ".exit" ] -> continue := false
+        | [ ".help" ] -> print_endline client_repl_help
+        | [ ".ping" ] -> send Protocol.Ping
+        | [ ".begin" ] -> send Protocol.Begin
+        | [ ".commit" ] -> send Protocol.Commit
+        | [ ".rollback" ] -> send Protocol.Rollback
+        | [ ".digest" ] -> send Protocol.Digest
+        | [ ".receipt"; txn ] -> (
+            match int_of_string_opt txn with
+            | Some txn_id -> send (Protocol.Receipt { txn_id })
+            | None -> print_endline "usage: .receipt <txn_id>")
+        | ".verify" :: tables ->
+            send (Protocol.Verify { tables; digests = [] })
+        | [ ".stats" ] -> send Protocol.Stats
+        | ".create" :: name :: rest -> (
+            let spec = String.concat " " rest in
+            let spec, key =
+              (* `.create t name varchar(40), balance int | name` — the
+                 part after '|' names the primary-key columns. *)
+              match String.index_opt spec '|' with
+              | Some i ->
+                  ( String.sub spec 0 i,
+                    split_commas
+                      (String.sub spec (i + 1) (String.length spec - i - 1)) )
+              | None -> (spec, [])
+            in
+            match parse_colspec spec with
+            | Error part -> print_endline ("bad column spec: " ^ part)
+            | Ok columns ->
+                let key =
+                  if key <> [] then key
+                  else match columns with (n, _) :: _ -> [ n ] | [] -> []
+                in
+                send (Protocol.Create_table { name; columns; key }))
+        | w :: _ when String.length w > 0 && w.[0] = '.' ->
+            print_endline "unknown command; try .help"
+        | _ -> send (Protocol.Exec { sql = line }))
+  done;
+  0
+
+(* Exit codes (documented in README.md):
+     0  success        1  the server answered with an error (or verify failed)
+     2  cannot connect 3  protocol-version mismatch *)
+let run_client host port args digest_files =
+  match Wire.Client.connect ~host ~port () with
+  | Error (Wire.Client.Refused msg) ->
+      Printf.eprintf "sqlledger client: %s\n" msg;
+      2
+  | Error (Wire.Client.Mismatch msg) ->
+      Printf.eprintf "sqlledger client: %s\n" msg;
+      3
+  | Error (Wire.Client.Handshake msg) ->
+      Printf.eprintf "sqlledger client: %s\n" msg;
+      2
+  | Ok cl ->
+      let code =
+        if args = [] then run_repl cl
+        else
+          match client_request args digest_files with
+          | Error e ->
+              Printf.eprintf "sqlledger client: %s\n" e;
+              1
+          | Ok req -> (
+              match Wire.Client.call cl req with
+              | Ok resp -> print_response resp
+              | Error e ->
+                  Printf.eprintf "sqlledger client: %s\n" e;
+                  2)
+      in
+      Wire.Client.close cl;
+      code
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner wiring *)
 
 open Cmdliner
@@ -360,10 +641,100 @@ let failpoints_cmd =
        ~doc:"List the registered fault-injection points (for --failpoint)")
     Term.(const run_failpoints $ const ())
 
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to listen on / connect to")
+
+let port_arg ~doc =
+  Arg.(value & opt int 7878 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable database directory (WAL + snapshot); created on first \
+             use, recovered on every start.")
+  in
+  let db_name =
+    Arg.(
+      value & opt string "served"
+      & info [ "name" ] ~docv:"NAME" ~doc:"Database name when creating DIR")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N" ~doc:"Maximum concurrent sessions")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Wire.Frame.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Maximum request frame size")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 60.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Disconnect a session (rolling back its open transaction) after \
+             this long without a request; 0 disables.")
+  in
+  let request_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:"Tear a connection stalled mid-frame after this long; 0 \
+                disables.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a durable ledger database over TCP (SIGTERM drains and \
+          fsyncs; SIGUSR1 dumps metrics)")
+    Term.(
+      const run_serve $ dir
+      $ port_arg ~doc:"TCP port to listen on"
+      $ host_arg $ db_name $ max_conns $ max_frame $ idle_timeout
+      $ request_timeout $ failpoint_arg)
+
+let client_cmd =
+  let args =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"CMD"
+          ~doc:
+            "One-shot command: ping | exec SQL | query SQL | digest | \
+             receipt TXN_ID | verify [TABLE...] | create TABLE 'col type, \
+             ...' [key,cols] | checkpoint | stats. With no command, starts \
+             an interactive REPL.")
+  in
+  let digest_files =
+    Arg.(
+      value & opt_all file []
+      & info [ "digest" ] ~docv:"FILE"
+          ~doc:
+            "Trusted digest JSON to anchor a one-shot $(b,verify) \
+             (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Connect to a sqlledger server (one-shot command or REPL)")
+    Term.(
+      const run_client $ host_arg
+      $ port_arg ~doc:"Server TCP port"
+      $ args $ digest_files)
+
 let main =
   Cmd.group
     (Cmd.info "sqlledger" ~version:"1.0.0"
        ~doc:"Cryptographically verifiable ledger tables (SIGMOD'21 reproduction)")
-    [ demo_cmd; shell_cmd; fabric_cmd; verify_cmd; recover_cmd; failpoints_cmd ]
+    [
+      demo_cmd; shell_cmd; fabric_cmd; verify_cmd; recover_cmd;
+      failpoints_cmd; serve_cmd; client_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

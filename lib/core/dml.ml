@@ -91,7 +91,22 @@ let filter_rows db ~table_name ~columns where rows =
           | _ -> false)
         rows
 
-let execute_statement db ~user statement =
+(* With [?txn] the statement runs inside that open (session-level)
+   transaction instead of an auto-commit one; a savepoint keeps failed
+   statements atomic without aborting the enclosing transaction. *)
+let execute_statement ?txn db ~user statement =
+  let run f =
+    match txn with
+    | None ->
+        let (), _ = Database.with_txn db ~user f in
+        ()
+    | Some t ->
+        let sp = Txn.savepoint t in
+        (try f t
+         with e ->
+           Txn.rollback_to t sp;
+           raise e)
+  in
   match statement with
   | Ast.Select q -> Rows (Executor.execute (Database.catalog db) q)
   | Ast.Insert { table; columns; rows } ->
@@ -120,15 +135,13 @@ let execute_statement db ~user statement =
                  table_columns)
       in
       let built = List.map build_row rows in
-      let (), _ =
-        Database.with_txn db ~user (fun txn ->
-            List.iter
-              (fun row ->
-                match target with
-                | Ledger lt -> Txn.insert txn lt row
-                | Regular store -> Txn.plain_insert txn store row)
-              built)
-      in
+      run (fun txn ->
+          List.iter
+            (fun row ->
+              match target with
+              | Ledger lt -> Txn.insert txn lt row
+              | Regular store -> Txn.plain_insert txn store row)
+            built);
       Affected (List.length built)
   | Ast.Update { table; assignments; where } ->
       let target = find_target db table in
@@ -149,31 +162,29 @@ let execute_statement db ~user statement =
         filter_rows db ~table_name:table ~columns:table_columns where
           (current_user_rows target)
       in
-      let (), _ =
-        Database.with_txn db ~user (fun txn ->
-            List.iter
-              (fun row ->
-                let key = key_of target row in
-                let updated =
-                  List.fold_left
-                    (fun acc (i, e) ->
-                      Row.set acc i
-                        (eval_against db ~table_name:table
-                           ~columns:table_columns ~row e))
-                    row resolved
-                in
-                match target with
-                | Ledger lt -> Txn.update txn lt ~key updated
-                | Regular store ->
-                    let new_key = Table_store.primary_key store updated in
-                    if Row.equal key new_key then
-                      Txn.plain_update txn store updated
-                    else begin
-                      Txn.plain_delete txn store ~key;
-                      Txn.plain_insert txn store updated
-                    end)
-              victims)
-      in
+      run (fun txn ->
+          List.iter
+            (fun row ->
+              let key = key_of target row in
+              let updated =
+                List.fold_left
+                  (fun acc (i, e) ->
+                    Row.set acc i
+                      (eval_against db ~table_name:table
+                         ~columns:table_columns ~row e))
+                  row resolved
+              in
+              match target with
+              | Ledger lt -> Txn.update txn lt ~key updated
+              | Regular store ->
+                  let new_key = Table_store.primary_key store updated in
+                  if Row.equal key new_key then
+                    Txn.plain_update txn store updated
+                  else begin
+                    Txn.plain_delete txn store ~key;
+                    Txn.plain_insert txn store updated
+                  end)
+            victims);
       Affected (List.length victims)
   | Ast.Delete { table; where } ->
       let target = find_target db table in
@@ -182,20 +193,18 @@ let execute_statement db ~user statement =
         filter_rows db ~table_name:table ~columns:table_columns where
           (current_user_rows target)
       in
-      let (), _ =
-        Database.with_txn db ~user (fun txn ->
-            List.iter
-              (fun row ->
-                let key = key_of target row in
-                match target with
-                | Ledger lt -> Txn.delete txn lt ~key
-                | Regular store -> Txn.plain_delete txn store ~key)
-              victims)
-      in
+      run (fun txn ->
+          List.iter
+            (fun row ->
+              let key = key_of target row in
+              match target with
+              | Ledger lt -> Txn.delete txn lt ~key
+              | Regular store -> Txn.plain_delete txn store ~key)
+            victims);
       Affected (List.length victims)
 
-let execute db ~user text =
-  execute_statement db ~user (Sqlexec.Parser.parse_statement text)
+let execute ?txn db ~user text =
+  execute_statement ?txn db ~user (Sqlexec.Parser.parse_statement text)
 
 let pp_result fmt = function
   | Rows rel -> Sqlexec.Rel.pp fmt rel

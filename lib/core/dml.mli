@@ -9,14 +9,17 @@ type result =
   | Rows of Sqlexec.Rel.t   (** a SELECT's result set *)
   | Affected of int         (** rows touched by a DML statement *)
 
-val execute : Database.t -> user:string -> string -> result
+val execute : ?txn:Txn.t -> Database.t -> user:string -> string -> result
 (** Parse and run one statement. DML statements execute in their own
-    transaction (one commit per statement, rolled back on error). Raises
-    {!Sqlexec.Parser.Parse_error}, {!Sqlexec.Executor.Exec_error} or
-    {!Types.Ledger_error}. *)
+    transaction (one commit per statement, rolled back on error) unless
+    [?txn] supplies an open transaction, in which case the statement's
+    writes join it and a savepoint keeps a failing statement atomic
+    without aborting the transaction (the server's session-level
+    BEGIN/COMMIT path). Raises {!Sqlexec.Parser.Parse_error},
+    {!Sqlexec.Executor.Exec_error} or {!Types.Ledger_error}. *)
 
 val execute_statement :
-  Database.t -> user:string -> Sqlexec.Ast.statement -> result
+  ?txn:Txn.t -> Database.t -> user:string -> Sqlexec.Ast.statement -> result
 (** Pre-parsed variant. *)
 
 val pp_result : Format.formatter -> result -> unit

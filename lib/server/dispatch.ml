@@ -1,0 +1,242 @@
+(* Request dispatch: maps one decoded wire request onto the ledger
+   engine, under the locking discipline described in Rwlock.
+
+   Sessions are the unit of transaction state. An explicit BEGIN takes
+   the exclusive lock and parks the open [Txn.t] on the session, so the
+   transaction's statements — which mutate tables in place — span
+   requests safely; COMMIT/ROLLBACK (or session teardown: disconnect,
+   idle timeout, server drain) releases it. Auto-commit statements take
+   the lock only for their own duration. *)
+
+open Sql_ledger
+module Protocol = Wire.Protocol
+
+type t = {
+  durable : Durable.t;
+  lock : Rwlock.t;
+  metrics : Metrics.t;
+  server_name : string;
+}
+
+type session = {
+  s_id : int;
+  mutable s_user : string;
+  mutable s_hello : bool;
+  mutable s_txn : Txn.t option;
+}
+
+let create ~durable ~metrics ~server_name =
+  { durable; lock = Rwlock.create (); metrics; server_name }
+
+let new_session ~id = { s_id = id; s_user = Printf.sprintf "client-%d" id; s_hello = false; s_txn = None }
+
+let db t = Durable.db t.durable
+
+let err code fmt =
+  Printf.ksprintf
+    (fun message -> Protocol.Error_r { code; message })
+    fmt
+
+(* A session in an explicit transaction already holds the exclusive
+   lock, so nested acquisition would self-deadlock: run directly. *)
+let with_read t s f =
+  match s.s_txn with Some _ -> f () | None -> Rwlock.read t.lock f
+
+let with_write t s f =
+  match s.s_txn with Some _ -> f () | None -> Rwlock.write t.lock f
+
+let rows_of_rel rel =
+  Protocol.Rows_r
+    {
+      columns = Sqlexec.Rel.column_names rel;
+      rows = List.map Relation.Row.to_list rel.Sqlexec.Rel.rows;
+    }
+
+let result_to_response = function
+  | Dml.Rows rel -> rows_of_rel rel
+  | Dml.Affected n -> Protocol.Affected_r n
+
+(* Engine exceptions -> typed wire errors. Fault-injection exceptions
+   must keep propagating: the session loop owns crash semantics. *)
+let guard f =
+  try f () with
+  | Sqlexec.Parser.Parse_error e | Sqlexec.Lexer.Lex_error e ->
+      err Protocol.Parse_error "%s" e
+  | Sqlexec.Executor.Exec_error e | Types.Ledger_error e ->
+      err Protocol.Exec_error "%s" e
+  | Storage.Table_store.Duplicate_key k ->
+      err Protocol.Exec_error "duplicate key %s" k
+  | Storage.Table_store.Not_found_key k ->
+      err Protocol.Exec_error "no such key %s" k
+  | Failure e -> err Protocol.Exec_error "%s" e
+  | (Fault.Injected_crash _ | Fault.Injected_error _) as e -> raise e
+
+let exec_sql t s sql =
+  guard (fun () ->
+      let statement = Sqlexec.Parser.parse_statement sql in
+      let run () =
+        result_to_response
+          (Dml.execute_statement ?txn:s.s_txn (db t) ~user:s.s_user statement)
+      in
+      match statement with
+      | Sqlexec.Ast.Select _ -> with_read t s run
+      | _ -> with_write t s run)
+
+let query_sql t s sql =
+  guard (fun () ->
+      match Sqlexec.Parser.parse_statement sql with
+      | Sqlexec.Ast.Select _ as statement ->
+          with_read t s (fun () ->
+              result_to_response
+                (Dml.execute_statement ?txn:s.s_txn (db t) ~user:s.s_user
+                   statement))
+      | _ -> err Protocol.Bad_request "query accepts SELECT statements only")
+
+let begin_txn t s =
+  match s.s_txn with
+  | Some txn ->
+      err Protocol.Txn_state "transaction %d is already open" (Txn.id txn)
+  | None ->
+      Rwlock.lock_write t.lock;
+      let txn = Database.begin_txn (db t) ~user:s.s_user in
+      s.s_txn <- Some txn;
+      Protocol.Txn_r { txn_id = Some (Txn.id txn) }
+
+let end_txn t s ~commit =
+  match s.s_txn with
+  | None -> err Protocol.Txn_state "no transaction is open"
+  | Some txn ->
+      let finish resp =
+        s.s_txn <- None;
+        Rwlock.unlock_write t.lock;
+        resp
+      in
+      finish
+        (guard (fun () ->
+             if commit then begin
+               let entry = Txn.commit txn in
+               Protocol.Txn_r { txn_id = Some entry.Types.txn_id }
+             end
+             else begin
+               Txn.rollback txn;
+               Protocol.Txn_r { txn_id = None }
+             end))
+
+let generate_digest t s =
+  (* Closing the open block mutates the ledger: exclusive. *)
+  with_write t s (fun () ->
+      match Database.generate_digest (db t) with
+      | Some d -> Protocol.Digest_r (Digest.to_json d)
+      | None -> err Protocol.Exec_error "nothing committed yet")
+
+let generate_receipt t s ~txn_id =
+  with_read t s (fun () ->
+      match Receipt.generate (db t) ~txn_id with
+      | Ok r -> Protocol.Receipt_r (Receipt.to_json r)
+      | Error e -> err Protocol.Exec_error "%s" e)
+
+let run_verify t s ~tables ~digest_jsons =
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | j :: rest -> (
+        match Digest.of_json j with
+        | Ok d -> parse (d :: acc) rest
+        | Error e -> Error e)
+  in
+  match parse [] digest_jsons with
+  | Error e -> err Protocol.Bad_request "%s" e
+  | Ok digests -> (
+      match
+        List.find_opt
+          (fun n -> Database.find_ledger_table (db t) n = None)
+          tables
+      with
+      | Some missing -> err Protocol.Exec_error "no such ledger table: %s" missing
+      | None ->
+          let tables = if tables = [] then None else Some tables in
+          with_read t s (fun () ->
+              let report = Verifier.verify ?tables (db t) ~digests in
+              Protocol.Verify_r
+                {
+                  vs_ok = Verifier.ok report;
+                  vs_blocks = report.Verifier.blocks_checked;
+                  vs_transactions = report.Verifier.transactions_checked;
+                  vs_versions = report.Verifier.versions_checked;
+                  vs_violations =
+                    List.map Verifier.violation_to_string
+                      report.Verifier.violations;
+                }))
+
+let create_table t s ~name ~columns ~key =
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | (cname, ty) :: rest -> (
+        match Relation.Datatype.of_string ty with
+        | Some dtype -> build (Relation.Column.make cname dtype :: acc) rest
+        | None -> Error ty)
+  in
+  match build [] columns with
+  | Error ty -> err Protocol.Bad_request "unknown column type %S" ty
+  | Ok cols ->
+      guard (fun () ->
+          with_write t s (fun () ->
+              ignore
+                (Database.create_ledger_table (db t) ~name ~columns:cols ~key
+                   () : Ledger_table.t);
+              Protocol.Ok_r))
+
+let checkpoint t s =
+  guard (fun () ->
+      with_write t s (fun () ->
+          Durable.checkpoint t.durable;
+          Protocol.Ok_r))
+
+(* Session teardown: roll back any open transaction and release the
+   exclusive lock. Called on disconnect, idle timeout, and drain. *)
+let cleanup t s =
+  match s.s_txn with
+  | None -> ()
+  | Some txn ->
+      s.s_txn <- None;
+      (try if Txn.is_active txn then Txn.rollback txn
+       with _ -> ());
+      Rwlock.unlock_write t.lock
+
+(* [handle] returns the response plus whether the server should close
+   the connection after sending it. *)
+let handle t s req =
+  match req with
+  | Protocol.Hello { version; client } ->
+      if version <> Protocol.version then
+        ( err Protocol.Version_mismatch
+            "protocol version mismatch: client %d, server %d" version
+            Protocol.version,
+          `Close )
+      else begin
+        s.s_hello <- true;
+        if client <> "" then s.s_user <- Printf.sprintf "%s-%d" client s.s_id;
+        ( Protocol.Welcome
+            {
+              version = Protocol.version;
+              server = t.server_name;
+              database = Database.name (db t);
+            },
+          `Keep )
+      end
+  | _ when not s.s_hello ->
+      (err Protocol.Bad_request "first request must be hello", `Close)
+  | Protocol.Ping -> (Protocol.Pong, `Keep)
+  | Protocol.Exec { sql } -> (exec_sql t s sql, `Keep)
+  | Protocol.Query { sql } -> (query_sql t s sql, `Keep)
+  | Protocol.Begin -> (begin_txn t s, `Keep)
+  | Protocol.Commit -> (end_txn t s ~commit:true, `Keep)
+  | Protocol.Rollback -> (end_txn t s ~commit:false, `Keep)
+  | Protocol.Digest -> (generate_digest t s, `Keep)
+  | Protocol.Receipt { txn_id } -> (generate_receipt t s ~txn_id, `Keep)
+  | Protocol.Verify { tables; digests } ->
+      (run_verify t s ~tables ~digest_jsons:digests, `Keep)
+  | Protocol.Create_table { name; columns; key } ->
+      (create_table t s ~name ~columns ~key, `Keep)
+  | Protocol.Checkpoint -> (checkpoint t s, `Keep)
+  | Protocol.Stats -> (Protocol.Stats_r (Metrics.lines t.metrics), `Keep)
+  | Protocol.Quit -> (Protocol.Bye, `Close)

@@ -1,0 +1,148 @@
+(* Server-side request counters and latency accumulators.
+
+   One entry per request kind: count, errors, total/max latency, and a
+   power-of-two-microsecond histogram from which approximate percentiles
+   are read (each bucket's upper bound is its reported value, so a p99 of
+   "512" means at least 99% of requests finished within 512 us). The
+   whole structure is guarded by one mutex; recording is a handful of
+   integer updates, far off the request hot path's scale.
+
+   [lines] renders one metric per line in a prometheus-like plain-text
+   shape; the server dumps it on shutdown and on SIGUSR1, and serves it
+   to clients via the "stats" request so `bench serve` numbers can be
+   cross-checked from the server side. *)
+
+let buckets = 32 (* 1us .. ~2100s in powers of two *)
+
+type entry = {
+  mutable count : int;
+  mutable errors : int;
+  mutable total_us : float;
+  mutable max_us : float;
+  histogram : int array;
+}
+
+type t = {
+  m : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  started : float;
+  mutable conns_opened : int;
+  mutable conns_active : int;
+  mutable conns_rejected : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    table = Hashtbl.create 16;
+    started = Unix.gettimeofday ();
+    conns_opened = 0;
+    conns_active = 0;
+    conns_rejected = 0;
+  }
+
+let entry_of t kind =
+  match Hashtbl.find_opt t.table kind with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          count = 0;
+          errors = 0;
+          total_us = 0.0;
+          max_us = 0.0;
+          histogram = Array.make buckets 0;
+        }
+      in
+      Hashtbl.add t.table kind e;
+      e
+
+let bucket_of_us us =
+  let rec go i bound =
+    if i >= buckets - 1 || us <= bound then i else go (i + 1) (bound *. 2.0)
+  in
+  go 0 1.0
+
+let record t ~kind ~error ~us =
+  Mutex.lock t.m;
+  let e = entry_of t kind in
+  e.count <- e.count + 1;
+  if error then e.errors <- e.errors + 1;
+  e.total_us <- e.total_us +. us;
+  if us > e.max_us then e.max_us <- us;
+  let b = bucket_of_us us in
+  e.histogram.(b) <- e.histogram.(b) + 1;
+  Mutex.unlock t.m
+
+let connection_opened t =
+  Mutex.lock t.m;
+  t.conns_opened <- t.conns_opened + 1;
+  t.conns_active <- t.conns_active + 1;
+  Mutex.unlock t.m
+
+let connection_closed t =
+  Mutex.lock t.m;
+  t.conns_active <- t.conns_active - 1;
+  Mutex.unlock t.m
+
+let connection_rejected t =
+  Mutex.lock t.m;
+  t.conns_rejected <- t.conns_rejected + 1;
+  Mutex.unlock t.m
+
+(* Smallest histogram upper bound covering fraction [q] of the samples. *)
+let percentile e q =
+  if e.count = 0 then 0.0
+  else begin
+    let target =
+      int_of_float (ceil (q *. float_of_int e.count))
+      |> max 1 |> min e.count
+    in
+    let rec go i seen bound =
+      if i >= buckets then bound
+      else
+        let seen = seen + e.histogram.(i) in
+        if seen >= target then bound
+        else go (i + 1) seen (bound *. 2.0)
+    in
+    go 0 0 1.0
+  end
+
+let lines t =
+  Mutex.lock t.m;
+  let out = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  add "sqlledger_uptime_seconds %.1f" (Unix.gettimeofday () -. t.started);
+  add "sqlledger_connections_opened_total %d" t.conns_opened;
+  add "sqlledger_connections_active %d" t.conns_active;
+  add "sqlledger_connections_rejected_total %d" t.conns_rejected;
+  let kinds =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun kind ->
+      let e = Hashtbl.find t.table kind in
+      add "sqlledger_requests_total{kind=%S} %d" kind e.count;
+      add "sqlledger_request_errors_total{kind=%S} %d" kind e.errors;
+      add "sqlledger_request_latency_us{kind=%S,stat=\"avg\"} %.1f" kind
+        (if e.count = 0 then 0.0 else e.total_us /. float_of_int e.count);
+      add "sqlledger_request_latency_us{kind=%S,stat=\"p50\"} %.0f" kind
+        (percentile e 0.50);
+      add "sqlledger_request_latency_us{kind=%S,stat=\"p95\"} %.0f" kind
+        (percentile e 0.95);
+      add "sqlledger_request_latency_us{kind=%S,stat=\"p99\"} %.0f" kind
+        (percentile e 0.99);
+      add "sqlledger_request_latency_us{kind=%S,stat=\"max\"} %.1f" kind
+        e.max_us)
+    kinds;
+  Mutex.unlock t.m;
+  List.rev !out
+
+let dump t oc =
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (lines t);
+  flush oc

@@ -1,0 +1,62 @@
+(* Readers-writer lock guarding the in-process Database.
+
+   The engine's data structures (B-trees, hash tables, streaming Merkle
+   accumulators) are not thread-safe, so the server runs read-only
+   requests under a shared lock and everything that mutates — commits,
+   DDL, digest generation (it closes the open block) — under an
+   exclusive one. A session that opens an explicit transaction holds the
+   exclusive lock from BEGIN to COMMIT/ROLLBACK, which is what makes it
+   legal for the transaction's eager in-place mutations to span several
+   requests; that is the "single writer" of the design.
+
+   Unlike [Mutex], acquire and release may happen in different requests
+   of the same session (they stay on that session's thread, but nothing
+   here depends on it): the state is plain counters guarded by a private
+   mutex. Writers are not prioritised; at this fan-in (tens of sessions)
+   starvation is not a practical concern. *)
+
+type t = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable readers : int;
+  mutable writer : bool;
+}
+
+let create () =
+  { m = Mutex.create (); c = Condition.create (); readers = 0; writer = false }
+
+let lock_read t =
+  Mutex.lock t.m;
+  while t.writer do
+    Condition.wait t.c t.m
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.m
+
+let unlock_read t =
+  Mutex.lock t.m;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.broadcast t.c;
+  Mutex.unlock t.m
+
+let lock_write t =
+  Mutex.lock t.m;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.c t.m
+  done;
+  t.writer <- true;
+  Mutex.unlock t.m
+
+let unlock_write t =
+  Mutex.lock t.m;
+  t.writer <- false;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m
+
+let read t f =
+  lock_read t;
+  Fun.protect ~finally:(fun () -> unlock_read t) f
+
+let write t f =
+  lock_write t;
+  Fun.protect ~finally:(fun () -> unlock_write t) f

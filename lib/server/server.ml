@@ -1,0 +1,321 @@
+(* The concurrent ledger server: TCP accept loop, one session thread per
+   connection, request dispatch under the Rwlock discipline, and a
+   graceful shutdown that drains sessions and fsyncs the WAL.
+
+   Lifecycle:
+     start  bind + listen (distinct error for a port already in use),
+            recover the database from --dir via Durable.open_dir
+     run    blocking accept loop; polls with a short select timeout so
+            shutdown/stats requests (set from signal handlers via the
+            atomic flags) are honoured promptly
+     request_shutdown / request_stats
+            async-signal-safe: they only set atomics
+
+   Sessions poll their socket in short slices too, accumulating idle
+   time; an idle session (or the whole server draining) rolls back its
+   open transaction, releases the lock, and closes. A stalled *mid-frame*
+   read is bounded separately by SO_RCVTIMEO (the request timeout).
+
+   Failpoints [server.accept], [server.read] and [server.write] make
+   torn connections injectable: an injected error tears just that
+   connection; an injected crash kills the whole server, as a real
+   process crash would, so `sqlledger recover` can then be exercised
+   against whatever the WAL holds. *)
+
+open Sql_ledger
+module Frame = Wire.Frame
+module Protocol = Wire.Protocol
+
+let point_accept = "server.accept"
+let point_read = "server.read"
+let point_write = "server.write"
+
+let () =
+  Fault.register point_accept;
+  Fault.register point_read;
+  Fault.register point_write
+
+type config = {
+  host : string;
+  port : int;
+  dir : string;
+  db_name : string;
+  max_connections : int;
+  max_frame : int;
+  idle_timeout : float;  (** seconds between requests; 0 = unlimited *)
+  request_timeout : float;  (** seconds mid-frame (SO_RCVTIMEO); 0 = unlimited *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7878;
+    dir = ".";
+    db_name = "served";
+    max_connections = 64;
+    max_frame = Frame.default_max_frame;
+    idle_timeout = 60.0;
+    request_timeout = 30.0;
+  }
+
+type t = {
+  cfg : config;
+  lsock : Unix.file_descr;
+  actual_port : int;
+  durable : Durable.t;
+  disp : Dispatch.t;
+  metrics : Metrics.t;
+  stop : bool Atomic.t;
+  stats_requested : bool Atomic.t;
+  crash : exn option Atomic.t;
+  sessions : (int, Thread.t) Hashtbl.t;
+  sm : Mutex.t;
+  mutable next_session : int;
+}
+
+type start_error =
+  | Port_in_use of string
+  | Startup of string
+
+let start_error_to_string = function Port_in_use m | Startup m -> m
+
+let port t = t.actual_port
+let metrics t = t.metrics
+let durable t = t.durable
+
+let request_shutdown t = Atomic.set t.stop true
+let request_stats t = Atomic.set t.stats_requested true
+
+let start ?(config = default_config) () =
+  match Durable.open_dir ~dir:config.dir ~name:config.db_name () with
+  | Error e -> Error (Startup e)
+  | Ok durable -> (
+      let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+      let addr =
+        Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port)
+      in
+      match Unix.bind lsock addr with
+      | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+          (try Unix.close lsock with Unix.Unix_error _ -> ());
+          Error
+            (Port_in_use
+               (Printf.sprintf "%s:%d: address already in use" config.host
+                  config.port))
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close lsock with Unix.Unix_error _ -> ());
+          Error
+            (Startup
+               (Printf.sprintf "cannot bind %s:%d: %s" config.host config.port
+                  (Unix.error_message e)))
+      | () ->
+          Unix.listen lsock 64;
+          let actual_port =
+            match Unix.getsockname lsock with
+            | Unix.ADDR_INET (_, p) -> p
+            | _ -> config.port
+          in
+          let metrics = Metrics.create () in
+          Ok
+            {
+              cfg = config;
+              lsock;
+              actual_port;
+              durable;
+              disp =
+                Dispatch.create ~durable ~metrics
+                  ~server_name:"sqlledger/1.0";
+              metrics;
+              stop = Atomic.make false;
+              stats_requested = Atomic.make false;
+              crash = Atomic.make None;
+              sessions = Hashtbl.create 16;
+              sm = Mutex.create ();
+              next_session = 0;
+            })
+
+(* ------------------------------------------------------------------ *)
+(* Sessions *)
+
+(* A fault crash anywhere kills the whole server, like a real crash. *)
+let record_crash t e =
+  Atomic.set t.crash (Some e);
+  Atomic.set t.stop true
+
+let send_response t conn ~id resp =
+  match Frame.send ~point:point_write conn (Protocol.encode_response ~id resp) with
+  | () -> `Sent
+  | exception Fault.Injected_error _ -> `Torn
+  | exception (Fault.Injected_crash _ as e) ->
+      record_crash t e;
+      `Torn
+  | exception (Sys_error _ | Unix.Unix_error _) -> `Torn
+
+let handle_frame t session conn payload =
+  match Protocol.decode_request payload with
+  | Error msg ->
+      send_response t conn ~id:0
+        (Protocol.Error_r { code = Protocol.Bad_request; message = msg })
+  | Ok (id, req) -> (
+      let t0 = Unix.gettimeofday () in
+      match Dispatch.handle t.disp session req with
+      | exception (Fault.Injected_crash _ as e) ->
+          record_crash t e;
+          `Torn
+      | exception e ->
+          let resp =
+            Protocol.Error_r
+              { code = Protocol.Internal; message = Printexc.to_string e }
+          in
+          Metrics.record t.metrics ~kind:(Protocol.request_kind req)
+            ~error:true
+            ~us:((Unix.gettimeofday () -. t0) *. 1e6);
+          send_response t conn ~id resp
+      | resp, action -> (
+          Metrics.record t.metrics ~kind:(Protocol.request_kind req)
+            ~error:(Protocol.response_is_error resp)
+            ~us:((Unix.gettimeofday () -. t0) *. 1e6);
+          match send_response t conn ~id resp with
+          | `Sent -> if action = `Close then `Quit else `Sent
+          | `Torn -> `Torn))
+
+let session_loop t sid fd =
+  if t.cfg.request_timeout > 0.0 then
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.request_timeout
+     with Unix.Unix_error _ -> ());
+  let conn = Frame.of_fd fd in
+  let session = Dispatch.new_session ~id:sid in
+  let idle = ref 0.0 in
+  let slice = 0.2 in
+  let closing = ref false in
+  while not !closing do
+    if Atomic.get t.stop then closing := true
+    else if Frame.poll conn slice then begin
+      idle := 0.0;
+      match Frame.recv ~point:point_read ~max_frame:t.cfg.max_frame conn with
+      | Frame.Frame payload -> (
+          match handle_frame t session conn payload with
+          | `Sent -> ()
+          | `Quit | `Torn -> closing := true)
+      | Frame.Eof | Frame.Truncated -> closing := true
+      | Frame.Junk bytes ->
+          ignore
+            (send_response t conn ~id:0
+               (Protocol.Error_r
+                  {
+                    code = Protocol.Bad_request;
+                    message =
+                      Printf.sprintf "stream desynchronised (junk %S)" bytes;
+                  }));
+          closing := true
+      | Frame.Oversized { size; limit } ->
+          ignore
+            (send_response t conn ~id:0
+               (Protocol.Error_r
+                  {
+                    code = Protocol.Too_large;
+                    message =
+                      Printf.sprintf "frame of %d bytes exceeds limit %d" size
+                        limit;
+                  }));
+          closing := true
+      | exception Fault.Injected_error _ -> closing := true
+      | exception (Fault.Injected_crash _ as e) ->
+          record_crash t e;
+          closing := true
+      | exception Unix.Unix_error _ -> closing := true
+    end
+    else begin
+      idle := !idle +. slice;
+      if t.cfg.idle_timeout > 0.0 && !idle >= t.cfg.idle_timeout then
+        closing := true
+    end
+  done;
+  Dispatch.cleanup t.disp session;
+  Frame.close conn;
+  Metrics.connection_closed t.metrics;
+  Mutex.lock t.sm;
+  Hashtbl.remove t.sessions sid;
+  Mutex.unlock t.sm
+
+let reject_busy t fd =
+  Metrics.connection_rejected t.metrics;
+  let conn = Frame.of_fd fd in
+  (try
+     Frame.send conn
+       (Protocol.encode_response ~id:0
+          (Protocol.Error_r
+             {
+               code = Protocol.Busy;
+               message =
+                 Printf.sprintf "server at its %d-connection limit"
+                   t.cfg.max_connections;
+             }))
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Frame.close conn
+
+let spawn_session t fd =
+  Mutex.lock t.sm;
+  if Hashtbl.length t.sessions >= t.cfg.max_connections then begin
+    Mutex.unlock t.sm;
+    reject_busy t fd
+  end
+  else begin
+    t.next_session <- t.next_session + 1;
+    let sid = t.next_session in
+    Metrics.connection_opened t.metrics;
+    let th = Thread.create (fun () -> session_loop t sid fd) () in
+    Hashtbl.add t.sessions sid th;
+    Mutex.unlock t.sm
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and shutdown *)
+
+let drain t =
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+  let threads =
+    Mutex.lock t.sm;
+    let l = Hashtbl.fold (fun _ th acc -> th :: acc) t.sessions [] in
+    Mutex.unlock t.sm;
+    l
+  in
+  List.iter Thread.join threads;
+  (* Durability point of the drain: everything appended reaches disk. *)
+  Aries.Wal.sync (Database_ledger.wal (Database.ledger (Durable.db t.durable)))
+
+let run ?(dump_metrics_to = stderr) t =
+  while not (Atomic.get t.stop) do
+    if Atomic.exchange t.stats_requested false then
+      Metrics.dump t.metrics dump_metrics_to;
+    match Unix.select [ t.lsock ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+        match Fault.trip point_accept with
+        | exception Fault.Injected_error _ -> (
+            (* A torn accept: take the connection and drop it. *)
+            match Unix.accept t.lsock with
+            | fd, _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+            | exception Unix.Unix_error (_, _, _) -> ())
+        | exception (Fault.Injected_crash _ as e) -> record_crash t e
+        | () -> (
+            match Unix.accept t.lsock with
+            | exception
+                Unix.Unix_error
+                  ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN), _, _) ->
+                ()
+            | fd, _ -> spawn_session t fd))
+  done;
+  drain t;
+  Metrics.dump t.metrics dump_metrics_to;
+  match Atomic.get t.crash with Some e -> raise e | None -> ()
+
+(* Convenience for tests and bench: run in a background thread, stop it
+   later with [shutdown]. *)
+let run_async ?dump_metrics_to t =
+  Thread.create (fun () -> try run ?dump_metrics_to t with _ -> ()) ()
+
+let shutdown t th =
+  request_shutdown t;
+  Thread.join th

@@ -91,6 +91,16 @@ let records t = List.rev t.entries
 
 let records_from t after = List.filter (fun (l, _) -> l > after) (records t)
 
+(* Force everything appended so far onto stable storage (the server's
+   graceful-shutdown barrier; per-commit durability is handled inline by
+   [append]). *)
+let sync t =
+  Option.iter
+    (fun oc ->
+      flush oc;
+      fsync_channel oc)
+    t.channel
+
 let close t = Option.iter close_out t.channel
 
 (* ------------------------------------------------------------------ *)

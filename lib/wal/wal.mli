@@ -38,6 +38,11 @@ val records : t -> (lsn * Log_record.t) list
 val records_from : t -> lsn -> (lsn * Log_record.t) list
 (** Records with LSN strictly greater than the argument. *)
 
+val sync : t -> unit
+(** Flush and fsync the backing file (no-op for in-memory logs): the
+    durability barrier of the server's graceful shutdown. Per-commit
+    durability is already handled inline by {!append}. *)
+
 val close : t -> unit
 
 type loaded = {

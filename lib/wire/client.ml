@@ -1,0 +1,105 @@
+(* Blocking TCP client for the ledger wire protocol.
+
+   Shared by `sqlledger client` (one-shot and REPL), `bench serve`, and
+   the server tests. [connect] performs the hello handshake and
+   classifies the failures the CLI must distinguish: connection refused,
+   protocol-version mismatch, and everything else. *)
+
+type t = {
+  conn : Frame.conn;
+  mutable next_id : int;
+  mutable server : string;
+  mutable database : string;
+}
+
+type connect_error =
+  | Refused of string  (** nothing listening / unreachable *)
+  | Mismatch of string  (** server speaks another protocol version *)
+  | Handshake of string  (** rejected hello (busy, junk reply, ...) *)
+
+let connect_error_to_string = function
+  | Refused m | Mismatch m | Handshake m -> m
+
+let server t = t.server
+let database t = t.database
+
+let close t =
+  (try Frame.send t.conn (Protocol.encode_request ~id:t.next_id Protocol.Quit)
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Frame.close t.conn
+
+(* One request/response exchange. Transport and framing failures come
+   back as [Error]; a server [Error_r] is a successful exchange and is
+   returned as [Ok] for the caller to interpret. *)
+let call t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  match Frame.send t.conn (Protocol.encode_request ~id req) with
+  | exception Sys_error e -> Error ("send failed: " ^ e)
+  | exception Unix.Unix_error (err, _, _) ->
+      Error ("send failed: " ^ Unix.error_message err)
+  | () -> (
+      match Frame.recv t.conn with
+      | exception Unix.Unix_error (err, _, _) ->
+          Error ("receive failed: " ^ Unix.error_message err)
+      | Frame.Eof -> Error "server closed the connection"
+      | Frame.Truncated -> Error "connection torn mid-frame"
+      | Frame.Junk b -> Error ("stream desynchronised (junk " ^ String.escaped b ^ ")")
+      | Frame.Oversized { size; limit } ->
+          Error (Printf.sprintf "response frame too large (%d > %d)" size limit)
+      | Frame.Frame payload -> (
+          match Protocol.decode_response payload with
+          | Error e -> Error ("malformed response: " ^ e)
+          | Ok (rid, resp) ->
+              if rid <> id then
+                Error
+                  (Printf.sprintf "response id %d does not match request id %d"
+                     rid id)
+              else Ok resp))
+
+let connect ?(client = "sqlledger") ~host ~port () =
+  let addr =
+    try Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+          Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+      | { Unix.h_addr_list; _ } -> Unix.ADDR_INET (h_addr_list.(0), port))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Refused
+           (Printf.sprintf "cannot connect to %s:%d: %s" host port
+              (Unix.error_message err)))
+  | () -> (
+      let t =
+        { conn = Frame.of_fd fd; next_id = 1; server = "?"; database = "?" }
+      in
+      let fail e =
+        Frame.close t.conn;
+        Error e
+      in
+      match
+        call t (Protocol.Hello { version = Protocol.version; client })
+      with
+      | Error e -> fail (Handshake ("handshake failed: " ^ e))
+      | Ok (Protocol.Welcome { version; server; database }) ->
+          if version <> Protocol.version then
+            fail
+              (Mismatch
+                 (Printf.sprintf
+                    "protocol version mismatch: client %d, server %d"
+                    Protocol.version version))
+          else begin
+            t.server <- server;
+            t.database <- database;
+            Ok t
+          end
+      | Ok (Protocol.Error_r { code = Protocol.Version_mismatch; message }) ->
+          fail (Mismatch message)
+      | Ok (Protocol.Error_r { message; _ }) ->
+          fail (Handshake ("server rejected connection: " ^ message))
+      | Ok _ -> fail (Handshake "unexpected reply to hello"))

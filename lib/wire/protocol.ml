@@ -1,0 +1,399 @@
+(* Request/response catalogue of the ledger wire protocol, version 1.
+
+   Every frame payload is one JSON object. Requests carry a client-chosen
+   "id" echoed verbatim in the response, a "req" discriminator, and the
+   request's own fields; responses carry "id", a "resp" discriminator,
+   and theirs. The first request on a connection must be "hello": the
+   server rejects any other opener and refuses mismatched protocol
+   versions with the typed "version_mismatch" error, so incompatible
+   peers fail fast instead of mis-parsing each other.
+
+   Row values cross the wire in [Value.to_tagged_json] form, which
+   round-trips every datatype (including DATETIME, which plain JSON would
+   flatten into a float). Digests and receipts travel as their existing
+   canonical JSON documents so a client can store them and later feed
+   them back to "verify" as out-of-band trust anchors (paper §3.4). *)
+
+open Relation
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Typed error codes *)
+
+type error_code =
+  | Bad_request  (** malformed frame payload, or request before hello *)
+  | Parse_error  (** SQL failed to lex/parse *)
+  | Exec_error  (** statement or ledger operation failed *)
+  | Txn_state  (** BEGIN with a transaction open, COMMIT/ROLLBACK without *)
+  | Version_mismatch  (** client and server protocol versions differ *)
+  | Too_large  (** frame exceeded the server's max-frame limit *)
+  | Busy  (** server at its max-connection limit *)
+  | Shutting_down  (** server is draining sessions *)
+  | Internal  (** unexpected server-side failure *)
+
+let error_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Parse_error -> "parse_error"
+  | Exec_error -> "exec_error"
+  | Txn_state -> "txn_state"
+  | Version_mismatch -> "version_mismatch"
+  | Too_large -> "too_large"
+  | Busy -> "busy"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "parse_error" -> Some Parse_error
+  | "exec_error" -> Some Exec_error
+  | "txn_state" -> Some Txn_state
+  | "version_mismatch" -> Some Version_mismatch
+  | "too_large" -> Some Too_large
+  | "busy" -> Some Busy
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+type request =
+  | Hello of { version : int; client : string }
+  | Ping
+  | Exec of { sql : string }  (** any statement; writes serialize *)
+  | Query of { sql : string }  (** SELECT only; runs on the read path *)
+  | Begin
+  | Commit
+  | Rollback
+  | Digest  (** close the open block and return a signed digest *)
+  | Receipt of { txn_id : int }
+  | Verify of { tables : string list; digests : Sjson.t list }
+  | Create_table of {
+      name : string;
+      columns : (string * string) list;  (** (name, datatype string) *)
+      key : string list;
+    }
+  | Checkpoint
+  | Stats
+  | Quit
+
+let request_kind = function
+  | Hello _ -> "hello"
+  | Ping -> "ping"
+  | Exec _ -> "exec"
+  | Query _ -> "query"
+  | Begin -> "begin"
+  | Commit -> "commit"
+  | Rollback -> "rollback"
+  | Digest -> "digest"
+  | Receipt _ -> "receipt"
+  | Verify _ -> "verify"
+  | Create_table _ -> "create_table"
+  | Checkpoint -> "checkpoint"
+  | Stats -> "stats"
+  | Quit -> "quit"
+
+let request_fields = function
+  | Hello { version; client } ->
+      [ ("version", Sjson.Int version); ("client", Sjson.String client) ]
+  | Exec { sql } | Query { sql } -> [ ("sql", Sjson.String sql) ]
+  | Receipt { txn_id } -> [ ("txn_id", Sjson.Int txn_id) ]
+  | Verify { tables; digests } ->
+      [
+        ("tables", Sjson.List (List.map (fun t -> Sjson.String t) tables));
+        ("digests", Sjson.List digests);
+      ]
+  | Create_table { name; columns; key } ->
+      [
+        ("name", Sjson.String name);
+        ( "columns",
+          Sjson.List
+            (List.map
+               (fun (n, ty) ->
+                 Sjson.Obj
+                   [ ("name", Sjson.String n); ("type", Sjson.String ty) ])
+               columns) );
+        ("key", Sjson.List (List.map (fun k -> Sjson.String k) key));
+      ]
+  | Ping | Begin | Commit | Rollback | Digest | Checkpoint | Stats | Quit -> []
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+type verify_summary = {
+  vs_ok : bool;
+  vs_blocks : int;
+  vs_transactions : int;
+  vs_versions : int;
+  vs_violations : string list;
+}
+
+type response =
+  | Welcome of { version : int; server : string; database : string }
+  | Pong
+  | Ok_r  (** generic success (create_table, checkpoint) *)
+  | Txn_r of { txn_id : int option }  (** begin/commit/rollback outcome *)
+  | Rows_r of { columns : string list; rows : Value.t list list }
+  | Affected_r of int
+  | Digest_r of Sjson.t  (** canonical digest document *)
+  | Receipt_r of Sjson.t  (** canonical receipt document *)
+  | Verify_r of verify_summary
+  | Stats_r of string list  (** one plain-text metric per line *)
+  | Bye
+  | Error_r of { code : error_code; message : string }
+
+let response_is_error = function Error_r _ -> true | _ -> false
+
+let response_kind = function
+  | Welcome _ -> "welcome"
+  | Pong -> "pong"
+  | Ok_r -> "ok"
+  | Txn_r _ -> "txn"
+  | Rows_r _ -> "rows"
+  | Affected_r _ -> "affected"
+  | Digest_r _ -> "digest"
+  | Receipt_r _ -> "receipt"
+  | Verify_r _ -> "verify"
+  | Stats_r _ -> "stats"
+  | Bye -> "bye"
+  | Error_r _ -> "error"
+
+let response_fields = function
+  | Welcome { version; server; database } ->
+      [
+        ("version", Sjson.Int version);
+        ("server", Sjson.String server);
+        ("database", Sjson.String database);
+      ]
+  | Txn_r { txn_id } ->
+      [ ("txn_id", match txn_id with Some i -> Sjson.Int i | None -> Sjson.Null) ]
+  | Rows_r { columns; rows } ->
+      [
+        ("columns", Sjson.List (List.map (fun c -> Sjson.String c) columns));
+        ( "rows",
+          Sjson.List
+            (List.map
+               (fun row -> Sjson.List (List.map Value.to_tagged_json row))
+               rows) );
+      ]
+  | Affected_r n -> [ ("affected", Sjson.Int n) ]
+  | Digest_r j -> [ ("digest", j) ]
+  | Receipt_r j -> [ ("receipt", j) ]
+  | Verify_r v ->
+      [
+        ("ok", Sjson.Bool v.vs_ok);
+        ("blocks", Sjson.Int v.vs_blocks);
+        ("transactions", Sjson.Int v.vs_transactions);
+        ("versions", Sjson.Int v.vs_versions);
+        ( "violations",
+          Sjson.List (List.map (fun s -> Sjson.String s) v.vs_violations) );
+      ]
+  | Stats_r lines ->
+      [ ("lines", Sjson.List (List.map (fun s -> Sjson.String s) lines)) ]
+  | Error_r { code; message } ->
+      [
+        ("code", Sjson.String (error_code_to_string code));
+        ("message", Sjson.String message);
+      ]
+  | Pong | Ok_r | Bye -> []
+
+(* ------------------------------------------------------------------ *)
+(* Envelopes *)
+
+let encode_request ~id req =
+  Sjson.to_string
+    (Sjson.Obj
+       (("id", Sjson.Int id)
+       :: ("req", Sjson.String (request_kind req))
+       :: request_fields req))
+
+let encode_response ~id resp =
+  Sjson.to_string
+    (Sjson.Obj
+       (("id", Sjson.Int id)
+       :: ("resp", Sjson.String (response_kind resp))
+       :: response_fields resp))
+
+(* Decoding helpers: all failures collapse to a human-readable Error
+   string — the peer sent a well-framed but malformed payload. *)
+
+let decode payload =
+  match Sjson.of_string payload with
+  | exception Sjson.Parse_error e -> Error ("payload is not JSON: " ^ e)
+  | Sjson.Obj _ as obj -> Ok obj
+  | _ -> Error "payload is not a JSON object"
+
+let req_id obj =
+  match Sjson.member "id" obj with Sjson.Int i -> i | _ -> 0
+
+let str_field name obj =
+  match Sjson.member name obj with
+  | Sjson.String s -> Ok s
+  | _ -> Error (Printf.sprintf "missing string field %S" name)
+
+let int_field name obj =
+  match Sjson.member name obj with
+  | Sjson.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "missing int field %S" name)
+
+let ( let* ) = Result.bind
+
+let string_list name obj =
+  match Sjson.member name obj with
+  | Sjson.Null -> Ok []
+  | Sjson.List items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Sjson.String s :: rest -> go (s :: acc) rest
+        | _ -> Error (Printf.sprintf "field %S must be a list of strings" name)
+      in
+      go [] items
+  | _ -> Error (Printf.sprintf "field %S must be a list" name)
+
+let decode_request payload =
+  let* obj = decode payload in
+  let id = req_id obj in
+  let tag res = Result.map (fun r -> (id, r)) res in
+  match Sjson.member "req" obj with
+  | Sjson.String kind ->
+      tag
+        (match kind with
+        | "hello" ->
+            let* version = int_field "version" obj in
+            let client =
+              match str_field "client" obj with Ok c -> c | Error _ -> "?"
+            in
+            Ok (Hello { version; client })
+        | "ping" -> Ok Ping
+        | "exec" ->
+            let* sql = str_field "sql" obj in
+            Ok (Exec { sql })
+        | "query" ->
+            let* sql = str_field "sql" obj in
+            Ok (Query { sql })
+        | "begin" -> Ok Begin
+        | "commit" -> Ok Commit
+        | "rollback" -> Ok Rollback
+        | "digest" -> Ok Digest
+        | "receipt" ->
+            let* txn_id = int_field "txn_id" obj in
+            Ok (Receipt { txn_id })
+        | "verify" ->
+            let* tables = string_list "tables" obj in
+            let digests =
+              match Sjson.member "digests" obj with
+              | Sjson.List items -> items
+              | _ -> []
+            in
+            Ok (Verify { tables; digests })
+        | "create_table" ->
+            let* name = str_field "name" obj in
+            let* key = string_list "key" obj in
+            let* columns =
+              match Sjson.member "columns" obj with
+              | Sjson.List items ->
+                  let rec go acc = function
+                    | [] -> Ok (List.rev acc)
+                    | (Sjson.Obj _ as col) :: rest ->
+                        let* n = str_field "name" col in
+                        let* ty = str_field "type" col in
+                        go ((n, ty) :: acc) rest
+                    | _ -> Error "each column must be an object"
+                  in
+                  go [] items
+              | _ -> Error "missing field \"columns\""
+            in
+            Ok (Create_table { name; columns; key })
+        | "checkpoint" -> Ok Checkpoint
+        | "stats" -> Ok Stats
+        | "quit" -> Ok Quit
+        | other -> Error ("unknown request " ^ other))
+  | _ -> Error "missing request discriminator \"req\""
+
+let value_of_tagged json =
+  match Value.of_tagged_json json with
+  | Some v -> Ok v
+  | None -> Error "row cell is not a tagged value"
+
+let decode_response payload =
+  let* obj = decode payload in
+  let id = req_id obj in
+  let tag res = Result.map (fun r -> (id, r)) res in
+  match Sjson.member "resp" obj with
+  | Sjson.String kind ->
+      tag
+        (match kind with
+        | "welcome" ->
+            let* version = int_field "version" obj in
+            let* server = str_field "server" obj in
+            let* database = str_field "database" obj in
+            Ok (Welcome { version; server; database })
+        | "pong" -> Ok Pong
+        | "ok" -> Ok Ok_r
+        | "txn" ->
+            let txn_id =
+              match Sjson.member "txn_id" obj with
+              | Sjson.Int i -> Some i
+              | _ -> None
+            in
+            Ok (Txn_r { txn_id })
+        | "rows" ->
+            let* columns = string_list "columns" obj in
+            let* rows =
+              match Sjson.member "rows" obj with
+              | Sjson.List items ->
+                  let rec go acc = function
+                    | [] -> Ok (List.rev acc)
+                    | Sjson.List cells :: rest ->
+                        let rec cells_go cacc = function
+                          | [] -> Ok (List.rev cacc)
+                          | c :: crest ->
+                              let* v = value_of_tagged c in
+                              cells_go (v :: cacc) crest
+                        in
+                        let* row = cells_go [] cells in
+                        go (row :: acc) rest
+                    | _ -> Error "each row must be a list"
+                  in
+                  go [] items
+              | _ -> Error "missing field \"rows\""
+            in
+            Ok (Rows_r { columns; rows })
+        | "affected" ->
+            let* n = int_field "affected" obj in
+            Ok (Affected_r n)
+        | "digest" -> Ok (Digest_r (Sjson.member "digest" obj))
+        | "receipt" -> Ok (Receipt_r (Sjson.member "receipt" obj))
+        | "verify" ->
+            let* blocks = int_field "blocks" obj in
+            let* transactions = int_field "transactions" obj in
+            let* versions = int_field "versions" obj in
+            let* violations = string_list "violations" obj in
+            let ok =
+              match Sjson.member "ok" obj with
+              | Sjson.Bool b -> b
+              | _ -> violations = []
+            in
+            Ok
+              (Verify_r
+                 {
+                   vs_ok = ok;
+                   vs_blocks = blocks;
+                   vs_transactions = transactions;
+                   vs_versions = versions;
+                   vs_violations = violations;
+                 })
+        | "stats" ->
+            let* lines = string_list "lines" obj in
+            Ok (Stats_r lines)
+        | "bye" -> Ok Bye
+        | "error" ->
+            let* code_s = str_field "code" obj in
+            let* message = str_field "message" obj in
+            let code =
+              Option.value (error_code_of_string code_s) ~default:Internal
+            in
+            Ok (Error_r { code; message })
+        | other -> Error ("unknown response " ^ other))
+  | _ -> Error "missing response discriminator \"resp\""

@@ -1,0 +1,421 @@
+(* The ledger server against real localhost TCP connections.
+
+   Each fixture binds port 0 on a fresh temp directory, runs the accept
+   loop in a background thread, and drives it with the same Wire.Client
+   the CLI uses — plus raw Frame/Protocol sockets where the point is to
+   misbehave (wrong protocol version, junk bytes, request before hello).
+   Shutdown semantics are checked end-to-end: what a drained server
+   leaves in --dir must reopen cleanly and reflect only committed
+   transactions. *)
+
+module Server = Ledger_server.Server
+module Client = Wire.Client
+module Frame = Wire.Frame
+module Protocol = Wire.Protocol
+open Sql_ledger
+
+(* Writes into sockets the server has already closed must surface as
+   EPIPE errors, not kill the test binary. *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let with_server ?(tweak = fun c -> c) f =
+  let dir = Filename.temp_dir "sqlledger-test-server" "" in
+  let config = tweak { Server.default_config with port = 0; dir } in
+  let srv =
+    match Server.start ~config () with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Server.start_error_to_string e)
+  in
+  let th = Server.run_async srv in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown srv th)
+    (fun () -> f ~dir ~port:(Server.port srv) srv)
+
+let connect port =
+  match Client.connect ~host:"127.0.0.1" ~port () with
+  | Ok c -> c
+  | Error e -> Alcotest.fail (Client.connect_error_to_string e)
+
+let call client req =
+  match Client.call client req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.fail ("transport error: " ^ e)
+
+let expect_ok what = function
+  | Protocol.Error_r { message; _ } -> Alcotest.fail (what ^ ": " ^ message)
+  | _ -> ()
+
+let expect_error code what = function
+  | Protocol.Error_r { code = c; _ } when c = code -> ()
+  | Protocol.Error_r { code = c; message } ->
+      Alcotest.fail
+        (Printf.sprintf "%s: expected %s error, got %s (%s)" what
+           (Protocol.error_code_to_string code)
+           (Protocol.error_code_to_string c)
+           message)
+  | resp ->
+      Alcotest.fail
+        (Printf.sprintf "%s: expected %s error, got %s" what
+           (Protocol.error_code_to_string code)
+           (Protocol.response_kind resp))
+
+let create_accounts client =
+  expect_ok "create"
+    (call client
+       (Protocol.Create_table
+          {
+            name = "accounts";
+            columns = [ ("name", "varchar(40)"); ("balance", "int") ];
+            key = [ "name" ];
+          }))
+
+let insert client name balance =
+  call client
+    (Protocol.Exec
+       {
+         sql =
+           Printf.sprintf "INSERT INTO accounts VALUES ('%s', %d)" name balance;
+       })
+
+let count_rows client =
+  match call client (Protocol.Query { sql = "SELECT * FROM accounts" }) with
+  | Protocol.Rows_r { rows; _ } -> List.length rows
+  | resp ->
+      Alcotest.fail ("count query returned " ^ Protocol.response_kind resp)
+
+(* Raw socket for protocol-level misbehaviour; performs no handshake. *)
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (* Bound the test, not the server: a hung server reads as EAGAIN here
+     instead of a hung test run. *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  Frame.of_fd fd
+
+let raw_call conn req =
+  Frame.send conn (Protocol.encode_request ~id:1 req);
+  match Frame.recv conn with
+  | Frame.Frame payload -> (
+      match Protocol.decode_response payload with
+      | Ok (_, resp) -> resp
+      | Error e -> Alcotest.fail ("malformed response: " ^ e))
+  | other ->
+      Alcotest.fail
+        ("expected a response frame, got "
+        ^
+        match other with
+        | Frame.Eof -> "eof"
+        | Frame.Truncated -> "truncated"
+        | Frame.Junk _ -> "junk"
+        | Frame.Oversized _ -> "oversized"
+        | Frame.Frame _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+
+let test_e2e_flow () =
+  with_server (fun ~dir:_ ~port _srv ->
+      let c = connect port in
+      Alcotest.(check bool) "welcome names the server" true
+        (Client.server c <> "?");
+      create_accounts c;
+      expect_ok "insert" (insert c "Nick" 50);
+      expect_ok "insert" (insert c "John" 500);
+      (match call c (Protocol.Query { sql = "SELECT * FROM accounts" }) with
+      | Protocol.Rows_r { columns; rows } ->
+          Alcotest.(check (list string)) "columns" [ "name"; "balance" ] columns;
+          Alcotest.(check int) "rows" 2 (List.length rows)
+      | r -> Alcotest.fail ("query returned " ^ Protocol.response_kind r));
+      (* An explicit transaction, to learn a txn id for the receipt. *)
+      let txn_id =
+        expect_ok "begin" (call c Protocol.Begin);
+        expect_ok "insert in txn" (insert c "Mary" 200);
+        match call c Protocol.Commit with
+        | Protocol.Txn_r { txn_id = Some id } -> id
+        | r -> Alcotest.fail ("commit returned " ^ Protocol.response_kind r)
+      in
+      (* Digest first: receipts need the transaction's block closed. *)
+      let digest_json =
+        match call c Protocol.Digest with
+        | Protocol.Digest_r j -> j
+        | r -> Alcotest.fail ("digest returned " ^ Protocol.response_kind r)
+      in
+      (match call c (Protocol.Receipt { txn_id }) with
+      | Protocol.Receipt_r j -> (
+          match Receipt.of_json j with
+          | Ok r ->
+              Alcotest.(check int) "receipt is for our txn" txn_id
+                r.Receipt.entry.Types.txn_id
+          | Error e -> Alcotest.fail ("receipt does not parse: " ^ e))
+      | r -> Alcotest.fail ("receipt returned " ^ Protocol.response_kind r));
+      (match
+         call c (Protocol.Verify { tables = []; digests = [ digest_json ] })
+       with
+      | Protocol.Verify_r s ->
+          Alcotest.(check bool) "verify ok" true s.Protocol.vs_ok;
+          Alcotest.(check bool) "checked rows" true (s.Protocol.vs_versions > 0)
+      | r -> Alcotest.fail ("verify returned " ^ Protocol.response_kind r));
+      Client.close c)
+
+let test_concurrent_sessions () =
+  with_server (fun ~dir:_ ~port _srv ->
+      let c0 = connect port in
+      create_accounts c0;
+      let clients = 4 and per_client = 20 in
+      let failures = Atomic.make 0 in
+      let worker i =
+        let c = connect port in
+        for k = 1 to per_client do
+          match insert c (Printf.sprintf "user-%d-%d" i k) (100 + k) with
+          | Protocol.Error_r _ -> Atomic.incr failures
+          | _ -> ()
+        done;
+        Client.close c
+      in
+      let threads = List.init clients (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "no failed inserts" 0 (Atomic.get failures);
+      Alcotest.(check int) "all rows landed" (clients * per_client)
+        (count_rows c0);
+      (* The ledger is coherent after the stampede. *)
+      let digest_json =
+        match call c0 Protocol.Digest with
+        | Protocol.Digest_r j -> j
+        | r -> Alcotest.fail ("digest returned " ^ Protocol.response_kind r)
+      in
+      (match
+         call c0 (Protocol.Verify { tables = []; digests = [ digest_json ] })
+       with
+      | Protocol.Verify_r s ->
+          Alcotest.(check bool) "verify ok" true s.Protocol.vs_ok
+      | r -> Alcotest.fail ("verify returned " ^ Protocol.response_kind r));
+      Client.close c0)
+
+let test_txn_sessions () =
+  with_server (fun ~dir:_ ~port _srv ->
+      let a = connect port in
+      create_accounts a;
+      expect_ok "seed" (insert a "Seed" 1);
+      (* Transaction state errors. *)
+      expect_error Protocol.Txn_state "commit w/o begin" (call a Protocol.Commit);
+      expect_error Protocol.Txn_state "rollback w/o begin"
+        (call a Protocol.Rollback);
+      expect_ok "begin" (call a Protocol.Begin);
+      expect_error Protocol.Txn_state "double begin" (call a Protocol.Begin);
+      (* Rolled-back work vanishes... *)
+      expect_ok "insert in txn" (insert a "Ghost" 13);
+      (match call a Protocol.Rollback with
+      | Protocol.Txn_r { txn_id = None } -> ()
+      | r -> Alcotest.fail ("rollback returned " ^ Protocol.response_kind r));
+      Alcotest.(check int) "rollback leaves one row" 1 (count_rows a);
+      (* ...while a second session's committed writes become visible. *)
+      let b = connect port in
+      expect_ok "begin b" (call b Protocol.Begin);
+      expect_ok "insert b" (insert b "Durable" 7);
+      expect_ok "commit b" (call b Protocol.Commit);
+      Client.close b;
+      Alcotest.(check int) "commit visible across sessions" 2 (count_rows a);
+      (* A statement failure inside a transaction must not kill it:
+         the savepoint undoes the statement, the txn commits clean. *)
+      expect_ok "begin again" (call a Protocol.Begin);
+      expect_error Protocol.Exec_error "duplicate key rejected"
+        (insert a "Durable" 7);
+      expect_ok "good insert after failed one" (insert a "Third" 3);
+      expect_ok "commit survives" (call a Protocol.Commit);
+      Alcotest.(check int) "only the good insert landed" 3 (count_rows a);
+      Client.close a)
+
+let test_idle_timeout () =
+  with_server
+    ~tweak:(fun c -> { c with Server.idle_timeout = 0.4 })
+    (fun ~dir:_ ~port _srv ->
+      let a = connect port in
+      create_accounts a;
+      expect_ok "begin" (call a Protocol.Begin);
+      expect_ok "insert in txn" (insert a "Limbo" 99);
+      (* Go quiet past the idle limit: the server must close the session
+         and roll the transaction back, releasing the write lock — or
+         this second client's query would block forever. *)
+      Thread.delay 1.2;
+      let b = connect port in
+      Alcotest.(check int) "idle txn rolled back" 0 (count_rows b);
+      (match Client.call a Protocol.Ping with
+      | Error _ -> ()
+      | Ok (Protocol.Error_r _) -> ()
+      | Ok r ->
+          Alcotest.fail
+            ("idle session still answers: " ^ Protocol.response_kind r));
+      Client.close b;
+      Client.close a)
+
+let test_graceful_shutdown_mid_txn () =
+  let dir = Filename.temp_dir "sqlledger-test-server" "" in
+  let config = { Server.default_config with port = 0; dir } in
+  let srv =
+    match Server.start ~config () with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Server.start_error_to_string e)
+  in
+  let th = Server.run_async srv in
+  let port = Server.port srv in
+  let c = connect port in
+  create_accounts c;
+  expect_ok "committed insert" (insert c "Kept" 11);
+  expect_ok "begin" (call c Protocol.Begin);
+  expect_ok "uncommitted insert" (insert c "Lost" 22);
+  (* Drain with the transaction still open: teardown must roll it back
+     before the WAL is fsynced. *)
+  Server.shutdown srv th;
+  (match Client.call c Protocol.Ping with
+  | Error _ | Ok (Protocol.Error_r _) -> ()
+  | Ok r ->
+      Alcotest.fail ("server answered after drain: " ^ Protocol.response_kind r));
+  (* What reached --dir reopens cleanly and holds only committed data. *)
+  (match Durable.open_dir ~dir ~name:"served" () with
+  | Error e -> Alcotest.fail ("reopen failed: " ^ e)
+  | Ok durable ->
+      let db = Durable.db durable in
+      let rel = Database.query db "SELECT * FROM accounts" in
+      Alcotest.(check int) "only the committed row survived" 1
+        (List.length rel.Sqlexec.Rel.rows);
+      Alcotest.(check bool) "reopened ledger verifies" true
+        (Verifier.ok (Verifier.verify db ~digests:[])))
+
+let test_hello_required () =
+  with_server (fun ~dir:_ ~port _srv ->
+      let conn = raw_connect port in
+      (match raw_call conn Protocol.Ping with
+      | Protocol.Error_r { code = Protocol.Bad_request; message } ->
+          Alcotest.(check bool) "says hello is required" true
+            (String.length message > 0)
+      | r ->
+          Alcotest.fail ("pre-hello ping returned " ^ Protocol.response_kind r));
+      (* The server hangs up after rejecting the opener. *)
+      (match Frame.recv conn with
+      | Frame.Eof -> ()
+      | _ -> Alcotest.fail "connection must close after a rejected opener");
+      Frame.close conn)
+
+let test_version_mismatch () =
+  with_server (fun ~dir:_ ~port _srv ->
+      let conn = raw_connect port in
+      (match
+         raw_call conn (Protocol.Hello { version = 999; client = "future" })
+       with
+      | Protocol.Error_r { code = Protocol.Version_mismatch; _ } -> ()
+      | r ->
+          Alcotest.fail ("v999 hello returned " ^ Protocol.response_kind r));
+      (match Frame.recv conn with
+      | Frame.Eof -> ()
+      | _ -> Alcotest.fail "connection must close after version mismatch");
+      Frame.close conn)
+
+let test_junk_desync () =
+  with_server (fun ~dir:_ ~port _srv ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+      let conn = Frame.of_fd fd in
+      let junk = "\x00\x01\x02\x03garbage" in
+      ignore (Unix.write_substring fd junk 0 (String.length junk));
+      (match Frame.recv conn with
+      | Frame.Frame payload -> (
+          match Protocol.decode_response payload with
+          | Ok (_, Protocol.Error_r { code = Protocol.Bad_request; _ }) -> ()
+          | Ok (_, r) ->
+              Alcotest.fail ("junk answered with " ^ Protocol.response_kind r)
+          | Error e -> Alcotest.fail ("malformed error response: " ^ e))
+      | _ -> Alcotest.fail "junk must be answered with a typed error");
+      (match Frame.recv conn with
+      | Frame.Eof -> ()
+      | _ -> Alcotest.fail "connection must close after desync");
+      Frame.close conn)
+
+let test_busy_limit () =
+  with_server
+    ~tweak:(fun c -> { c with Server.max_connections = 1 })
+    (fun ~dir:_ ~port _srv ->
+      let a = connect port in
+      (match Client.connect ~host:"127.0.0.1" ~port () with
+      | Error (Client.Handshake msg) ->
+          Alcotest.(check bool) "mentions the connection limit" true
+            (String.length msg > 0)
+      | Error e ->
+          Alcotest.fail
+            ("over-limit connect: " ^ Client.connect_error_to_string e)
+      | Ok c ->
+          Client.close c;
+          Alcotest.fail "server accepted a connection over its limit");
+      Client.close a;
+      (* The slot frees once the first session ends. *)
+      let rec retry n =
+        match Client.connect ~host:"127.0.0.1" ~port () with
+        | Ok c -> Client.close c
+        | Error _ when n > 0 ->
+            Thread.delay 0.2;
+            retry (n - 1)
+        | Error e -> Alcotest.fail (Client.connect_error_to_string e)
+      in
+      retry 25)
+
+let test_connection_refused () =
+  (* Grab a port the OS says is free, release it, then connect to it. *)
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close sock;
+  match Client.connect ~host:"127.0.0.1" ~port () with
+  | Error (Client.Refused msg) ->
+      Alcotest.(check bool) "names the refused endpoint" true
+        (String.length msg > 0)
+  | Error e ->
+      Alcotest.fail ("expected Refused, got " ^ Client.connect_error_to_string e)
+  | Ok c ->
+      Client.close c;
+      Alcotest.fail "connected to a dead port"
+
+let test_port_in_use () =
+  with_server (fun ~dir:_ ~port _srv ->
+      let dir2 = Filename.temp_dir "sqlledger-test-server" "" in
+      match Server.start ~config:{ Server.default_config with port; dir = dir2 } ()
+      with
+      | Error (Server.Port_in_use msg) ->
+          Alcotest.(check bool) "names the busy address" true
+            (String.length msg > 0)
+      | Error (Server.Startup msg) ->
+          Alcotest.fail ("expected Port_in_use, got Startup: " ^ msg)
+      | Ok srv2 ->
+          Server.shutdown srv2 (Server.run_async srv2);
+          Alcotest.fail "two servers bound the same port")
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "sessions",
+        [
+          Alcotest.test_case "end-to-end ledger flow" `Quick test_e2e_flow;
+          Alcotest.test_case "concurrent sessions" `Quick
+            test_concurrent_sessions;
+          Alcotest.test_case "transactions span requests" `Quick
+            test_txn_sessions;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "idle timeout rolls back" `Quick test_idle_timeout;
+          Alcotest.test_case "graceful shutdown mid-txn" `Quick
+            test_graceful_shutdown_mid_txn;
+          Alcotest.test_case "busy limit" `Quick test_busy_limit;
+          Alcotest.test_case "port in use" `Quick test_port_in_use;
+          Alcotest.test_case "connection refused" `Quick
+            test_connection_refused;
+        ] );
+      ( "protocol hygiene",
+        [
+          Alcotest.test_case "hello required" `Quick test_hello_required;
+          Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
+          Alcotest.test_case "junk desync" `Quick test_junk_desync;
+        ] );
+    ]

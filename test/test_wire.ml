@@ -1,0 +1,306 @@
+(* The wire layer in isolation: framing over a real socketpair, and the
+   JSON protocol catalogue round-tripped variant by variant.
+
+   Framing must survive exactly the streams a hostile or broken peer can
+   produce: multi-megabyte frames, frames cut mid-payload, junk bytes
+   where a header should be, and payloads full of control characters.
+   The protocol must encode/decode every request and response losslessly
+   — canonical-encoding equality is the oracle, so a field silently
+   dropped by either direction fails the test. *)
+
+open Relation
+module Frame = Wire.Frame
+module Protocol = Wire.Protocol
+
+let pair () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (Frame.of_fd a, Frame.of_fd b)
+
+let recv_frame conn =
+  match Frame.recv conn with
+  | Frame.Frame p -> p
+  | Frame.Eof -> Alcotest.fail "unexpected Eof"
+  | Frame.Truncated -> Alcotest.fail "unexpected Truncated"
+  | Frame.Junk j -> Alcotest.fail ("unexpected Junk " ^ String.escaped j)
+  | Frame.Oversized _ -> Alcotest.fail "unexpected Oversized"
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let test_frame_roundtrip () =
+  let a, b = pair () in
+  Frame.send a "hello";
+  Frame.send a "";
+  Frame.send a "third frame";
+  Alcotest.(check string) "first" "hello" (recv_frame b);
+  Alcotest.(check string) "empty payload frames fine" "" (recv_frame b);
+  Alcotest.(check string) "third" "third frame" (recv_frame b);
+  Frame.close a;
+  (match Frame.recv b with
+  | Frame.Eof -> ()
+  | _ -> Alcotest.fail "clean close at a boundary must read as Eof");
+  Frame.close b
+
+let test_huge_frame () =
+  let a, b = pair () in
+  (* Bigger than the 64K read buffer and any socket buffer, so both the
+     chunked send and the chunked refill paths are exercised. A writer
+     thread keeps the pipe draining. *)
+  let payload = String.init (2 * 1024 * 1024) (fun i -> Char.chr (i land 0xff)) in
+  let writer = Thread.create (fun () -> Frame.send a payload) () in
+  let got = recv_frame b in
+  Thread.join writer;
+  Alcotest.(check int) "length" (String.length payload) (String.length got);
+  Alcotest.(check bool) "bytes intact" true (String.equal payload got);
+  Frame.close a;
+  Frame.close b
+
+(* A header promising 100 bytes, then only 10, then the peer dies. *)
+let test_truncated_frame () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conn = Frame.of_fd b in
+  let header = Frame.header_bytes 100 in
+  ignore (Unix.write_substring a header 0 (String.length header));
+  ignore (Unix.write_substring a "ten bytes!" 0 10);
+  Unix.close a;
+  (match Frame.recv conn with
+  | Frame.Truncated -> ()
+  | _ -> Alcotest.fail "mid-payload close must read as Truncated");
+  Frame.close conn
+
+let test_truncated_header () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conn = Frame.of_fd b in
+  ignore (Unix.write_substring a "SLW" 0 3);
+  Unix.close a;
+  (match Frame.recv conn with
+  | Frame.Truncated -> ()
+  | _ -> Alcotest.fail "mid-header close must read as Truncated");
+  Frame.close conn
+
+let test_junk_before_frame () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conn = Frame.of_fd b in
+  ignore (Unix.write_substring a "GARBAGE!" 0 8);
+  (match Frame.recv conn with
+  | Frame.Junk j -> Alcotest.(check string) "reports what it saw" "GARB" j
+  | _ -> Alcotest.fail "junk bytes must read as Junk");
+  Unix.close a;
+  Frame.close conn
+
+let test_oversized_frame () =
+  let a, b = pair () in
+  Frame.send a (String.make 4096 'x');
+  (match Frame.recv ~max_frame:1024 b with
+  | Frame.Oversized { size; limit } ->
+      Alcotest.(check int) "size" 4096 size;
+      Alcotest.(check int) "limit" 1024 limit
+  | _ -> Alcotest.fail "a frame above the limit must read as Oversized");
+  Frame.close a;
+  Frame.close b
+
+let test_control_chars () =
+  let a, b = pair () in
+  let sql = "INSERT INTO t VALUES ('\x00\x01\n\t\r\"\\ \x7f\xff')" in
+  let payload = Protocol.encode_request ~id:7 (Protocol.Exec { sql }) in
+  Frame.send a payload;
+  let got = recv_frame b in
+  (match Protocol.decode_request got with
+  | Ok (7, Protocol.Exec { sql = sql' }) ->
+      Alcotest.(check string) "control chars survive" sql sql'
+  | Ok _ -> Alcotest.fail "decoded to the wrong request"
+  | Error e -> Alcotest.fail ("decode failed: " ^ e));
+  Frame.close a;
+  Frame.close b
+
+(* ------------------------------------------------------------------ *)
+(* Protocol catalogue *)
+
+let sample_digest =
+  Sjson.Obj
+    [
+      ("database_id", Sjson.String "abc123");
+      ("block_id", Sjson.Int 4);
+      ("hash", Sjson.String (String.make 64 'f'));
+    ]
+
+let all_requests =
+  [
+    Protocol.Hello { version = Protocol.version; client = "test" };
+    Protocol.Ping;
+    Protocol.Exec { sql = "INSERT INTO t VALUES (1, 'x')" };
+    Protocol.Query { sql = "SELECT * FROM t" };
+    Protocol.Begin;
+    Protocol.Commit;
+    Protocol.Rollback;
+    Protocol.Digest;
+    Protocol.Receipt { txn_id = 42 };
+    Protocol.Verify { tables = [ "a"; "b" ]; digests = [ sample_digest ] };
+    Protocol.Verify { tables = []; digests = [] };
+    Protocol.Create_table
+      {
+        name = "accounts";
+        columns = [ ("name", "varchar(40)"); ("balance", "int") ];
+        key = [ "name" ];
+      };
+    Protocol.Checkpoint;
+    Protocol.Stats;
+    Protocol.Quit;
+  ]
+
+let all_responses =
+  [
+    Protocol.Welcome
+      { version = Protocol.version; server = "s/1.0"; database = "db" };
+    Protocol.Pong;
+    Protocol.Ok_r;
+    Protocol.Txn_r { txn_id = Some 9 };
+    Protocol.Txn_r { txn_id = None };
+    Protocol.Rows_r
+      {
+        columns = [ "name"; "balance"; "when"; "ratio"; "gone" ];
+        rows =
+          [
+            [
+              Value.String "Nick";
+              Value.Int 50;
+              Value.Datetime 1234.5;
+              Value.Float 0.25;
+              Value.Null;
+            ];
+            [ Value.String ""; Value.Int (-1); Value.Bool true;
+              Value.Float (-1e30); Value.Null ];
+          ];
+      };
+    Protocol.Rows_r { columns = []; rows = [] };
+    Protocol.Affected_r 3;
+    Protocol.Digest_r sample_digest;
+    Protocol.Receipt_r sample_digest;
+    Protocol.Verify_r
+      {
+        vs_ok = false;
+        vs_blocks = 2;
+        vs_transactions = 10;
+        vs_versions = 31;
+        vs_violations = [ "block 1: hash chain broken" ];
+      };
+    Protocol.Stats_r [ "a 1"; "b 2" ];
+    Protocol.Bye;
+    Protocol.Error_r { code = Protocol.Txn_state; message = "no txn open" };
+  ]
+
+(* Canonical-encoding equality: a decoded message must re-encode to the
+   identical payload, so nothing was dropped or defaulted. *)
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      let payload = Protocol.encode_request ~id:3 req in
+      match Protocol.decode_request payload with
+      | Error e ->
+          Alcotest.fail (Protocol.request_kind req ^ " failed to decode: " ^ e)
+      | Ok (id, req') ->
+          Alcotest.(check int) "id echoed" 3 id;
+          Alcotest.(check string)
+            (Protocol.request_kind req ^ " canonical")
+            payload
+            (Protocol.encode_request ~id:3 req'))
+    all_requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      let payload = Protocol.encode_response ~id:11 resp in
+      match Protocol.decode_response payload with
+      | Error e ->
+          Alcotest.fail (Protocol.response_kind resp ^ " failed to decode: " ^ e)
+      | Ok (id, resp') ->
+          Alcotest.(check int) "id echoed" 11 id;
+          Alcotest.(check string)
+            (Protocol.response_kind resp ^ " canonical")
+            payload
+            (Protocol.encode_response ~id:11 resp'))
+    all_responses
+
+let test_error_codes () =
+  List.iter
+    (fun code ->
+      match Protocol.error_code_of_string (Protocol.error_code_to_string code)
+      with
+      | Some code' ->
+          Alcotest.(check string)
+            "code round-trips"
+            (Protocol.error_code_to_string code)
+            (Protocol.error_code_to_string code')
+      | None -> Alcotest.fail "error code failed to round-trip")
+    [
+      Protocol.Bad_request; Protocol.Parse_error; Protocol.Exec_error;
+      Protocol.Txn_state; Protocol.Version_mismatch; Protocol.Too_large;
+      Protocol.Busy; Protocol.Shutting_down; Protocol.Internal;
+    ];
+  Alcotest.(check bool)
+    "unknown code rejected" true
+    (Protocol.error_code_of_string "no_such_code" = None)
+
+let test_malformed_payloads () =
+  let bad payload =
+    match Protocol.decode_request payload with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("accepted malformed payload: " ^ payload)
+  in
+  bad "not json at all";
+  bad "[1,2,3]";
+  bad "{\"id\": 1}";
+  bad "{\"id\": 1, \"req\": \"no_such_request\"}";
+  bad "{\"id\": 1, \"req\": \"exec\"}";
+  bad "{\"id\": 1, \"req\": \"receipt\", \"txn_id\": \"not an int\"}";
+  match Protocol.decode_response "{\"id\": 1, \"resp\": \"nope\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown response kind"
+
+let test_frame_then_protocol_huge () =
+  (* A huge but legitimate request — a multi-megabyte INSERT — through
+     framing and protocol together. *)
+  let a, b = pair () in
+  let sql =
+    "INSERT INTO blobs VALUES (1, '" ^ String.make (1024 * 1024) 'z' ^ "')"
+  in
+  let writer =
+    Thread.create
+      (fun () -> Frame.send a (Protocol.encode_request ~id:1 (Protocol.Exec { sql })))
+      ()
+  in
+  let payload = recv_frame b in
+  Thread.join writer;
+  (match Protocol.decode_request payload with
+  | Ok (1, Protocol.Exec { sql = sql' }) ->
+      Alcotest.(check int) "huge sql intact" (String.length sql)
+        (String.length sql')
+  | _ -> Alcotest.fail "huge request failed to decode");
+  Frame.close a;
+  Frame.close b
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "huge frame" `Quick test_huge_frame;
+          Alcotest.test_case "truncated payload" `Quick test_truncated_frame;
+          Alcotest.test_case "truncated header" `Quick test_truncated_header;
+          Alcotest.test_case "junk bytes" `Quick test_junk_before_frame;
+          Alcotest.test_case "oversized" `Quick test_oversized_frame;
+          Alcotest.test_case "control characters" `Quick test_control_chars;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request catalogue" `Quick test_request_roundtrip;
+          Alcotest.test_case "response catalogue" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "error codes" `Quick test_error_codes;
+          Alcotest.test_case "malformed payloads" `Quick
+            test_malformed_payloads;
+          Alcotest.test_case "huge request end-to-end" `Quick
+            test_frame_then_protocol_huge;
+        ] );
+    ]
