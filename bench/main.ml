@@ -515,10 +515,17 @@ let hashpath () =
    digest, verifies the ledger over the wire, and cross-checks the
    server's own request counters against what the clients sent. *)
 
+let serve_clients = ref 8
+let serve_duration = ref 0.0 (* seconds; 0 = fixed op count per client *)
+
+(* Group-commit coalescing window in ms; negative = server default.
+   `--window 0` benches the legacy fsync-per-commit path. *)
+let serve_window_ms = ref (-1.0)
+
 let serve_bench () =
   print_endline "=== serve: concurrent clients vs the ledger server ===";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let clients = 8 and ops_per_client = 400 in
+  let clients = !serve_clients and ops_per_client = 400 in
   let dir = Filename.temp_dir "sqlledger-bench" "" in
   let config =
     {
@@ -529,6 +536,11 @@ let serve_bench () =
       max_connections = clients + 4;
     }
   in
+  let config =
+    if !serve_window_ms >= 0.0 then
+      { config with group_commit_window = !serve_window_ms /. 1000.0 }
+    else config
+  in
   let srv =
     match Ledger_server.Server.start ~config () with
     | Ok s -> s
@@ -537,8 +549,12 @@ let serve_bench () =
   in
   let th = Ledger_server.Server.run_async srv in
   let port = Ledger_server.Server.port srv in
-  Printf.printf "server on 127.0.0.1:%d, %d clients x %d requests\n\n" port
-    clients ops_per_client;
+  (if !serve_duration > 0.0 then
+     Printf.printf "server on 127.0.0.1:%d, %d clients for %.1f s\n\n" port
+       clients !serve_duration
+   else
+     Printf.printf "server on 127.0.0.1:%d, %d clients x %d requests\n\n" port
+       clients ops_per_client);
   let connect () =
     match Wire.Client.connect ~host:"127.0.0.1" ~port () with
     | Ok c -> c
@@ -562,10 +578,18 @@ let serve_bench () =
             key = [ "id" ];
           }));
   Wire.Client.close setup;
-  (* Closed loop: each client thread owns ids [base, base+ops) and keeps a
-     live set so updates and deletes always hit a row it inserted. *)
-  let latencies = Array.make_matrix clients ops_per_client 0.0 in
+  (* Closed loop: each client thread owns its own id range and keeps a
+     live set so updates and deletes always hit a row it inserted. In
+     op-count mode every client issues exactly [ops_per_client]
+     requests; in duration mode it issues requests until the shared
+     deadline passes. *)
+  let latencies = Array.make clients [] in
   let errors = Atomic.make 0 in
+  let deadline =
+    if !serve_duration > 0.0 then
+      Some (Unix.gettimeofday () +. !serve_duration)
+    else None
+  in
   let client_loop c_idx =
     let client = connect () in
     let prng = Workload.Prng.create (1000 + c_idx) in
@@ -583,7 +607,14 @@ let serve_bench () =
         }
     in
     let pick () = List.nth !live (Workload.Prng.int prng (List.length !live)) in
-    for op = 0 to ops_per_client - 1 do
+    let more op =
+      match deadline with
+      | Some d -> Unix.gettimeofday () < d
+      | None -> op < ops_per_client
+    in
+    let op = ref 0 in
+    while more !op do
+      incr op;
       let req =
         if !live = [] then insert ()
         else
@@ -614,7 +645,8 @@ let serve_bench () =
       (match Wire.Client.call client req with
       | Ok r when not (Wire.Protocol.response_is_error r) -> ()
       | Ok _ | Error _ -> Atomic.incr errors);
-      latencies.(c_idx).(op) <- (Unix.gettimeofday () -. t0) *. 1e6
+      latencies.(c_idx) <-
+        ((Unix.gettimeofday () -. t0) *. 1e6) :: latencies.(c_idx)
     done;
     Wire.Client.close client
   in
@@ -622,13 +654,17 @@ let serve_bench () =
   let threads = List.init clients (fun i -> Thread.create client_loop i) in
   List.iter Thread.join threads;
   let elapsed = Unix.gettimeofday () -. t0 in
-  let total = clients * ops_per_client in
+  let total = Array.fold_left (fun a l -> a + List.length l) 0 latencies in
   let tps = float_of_int total /. elapsed in
-  let all = Array.concat (Array.to_list latencies) in
+  let all =
+    Array.of_list (List.concat (Array.to_list latencies))
+  in
   Array.sort compare all;
   let pct p =
-    all.(min (Array.length all - 1)
-           (int_of_float (p /. 100.0 *. float_of_int (Array.length all))))
+    if Array.length all = 0 then 0.0
+    else
+      all.(min (Array.length all - 1)
+             (int_of_float (p /. 100.0 *. float_of_int (Array.length all))))
   in
   (* Control connection: the ledger survived the stampede, provably. *)
   let ctl = connect () in
@@ -646,22 +682,52 @@ let serve_bench () =
         (s.Wire.Protocol.vs_ok, s.Wire.Protocol.vs_versions)
     | _ -> failwith "verify failed"
   in
-  let server_requests =
+  let stats_lines =
     match Wire.Client.call ctl Wire.Protocol.Stats with
-    | Ok (Wire.Protocol.Stats_r lines) ->
-        List.fold_left
-          (fun acc line ->
-            match String.index_opt line ' ' with
-            | Some i
-              when String.length line > 24
-                   && String.sub line 0 24 = "sqlledger_requests_total" ->
-                acc
-                + int_of_float
-                    (float_of_string
-                       (String.sub line (i + 1) (String.length line - i - 1)))
-            | _ -> acc)
-          0 lines
-    | _ -> 0
+    | Ok (Wire.Protocol.Stats_r lines) -> lines
+    | _ -> []
+  in
+  let starts_with prefix line =
+    String.length line >= String.length prefix
+    && String.sub line 0 (String.length prefix) = prefix
+  in
+  let line_value line =
+    match String.rindex_opt line ' ' with
+    | Some i ->
+        float_of_string (String.sub line (i + 1) (String.length line - i - 1))
+    | None -> nan
+  in
+  (* Server-side stat with the given name and kind label, or [nan]. *)
+  let stat ?suffix name kind =
+    let prefix =
+      Printf.sprintf "%s{kind=%S%s}" name kind
+        (match suffix with Some s -> "," ^ s | None -> "")
+    in
+    List.fold_left
+      (fun acc line -> if starts_with prefix line then line_value line else acc)
+      nan stats_lines
+  in
+  (* The wire-request cross-check must not count the internal
+     commit.batch_size / commit.flush_latency series the group-commit
+     leader records — those are per batch, not per request. *)
+  let server_requests =
+    List.fold_left
+      (fun acc line ->
+        if
+          starts_with "sqlledger_requests_total" line
+          && not (starts_with "sqlledger_requests_total{kind=\"commit." line)
+        then acc + int_of_float (line_value line)
+        else acc)
+      0 stats_lines
+  in
+  let batches = stat "sqlledger_requests_total" "commit.batch_size" in
+  let batch_stat s =
+    stat "sqlledger_request_latency_us" "commit.batch_size"
+      ~suffix:(Printf.sprintf "stat=%S" s)
+  in
+  let flush_stat s =
+    stat "sqlledger_request_latency_us" "commit.flush_latency"
+      ~suffix:(Printf.sprintf "stat=%S" s)
   in
   Wire.Client.close ctl;
   Ledger_server.Server.shutdown srv th;
@@ -676,15 +742,29 @@ let serve_bench () =
     versions;
   Printf.printf "%-26s %12d (clients sent %d + setup/control)\n"
     "server-counted requests" server_requests total;
+  if Float.is_nan batches || batches < 1.0 then
+    Printf.printf "%-26s %12s\n" "group commit" "off (no batches)"
+  else begin
+    Printf.printf "%-26s %12.0f (%.0f us avg flush, %.0f us p95)\n"
+      "commit batches" batches (flush_stat "avg") (flush_stat "p95");
+    Printf.printf "%-26s %12.1f (p50 %.0f, p95 %.0f, max %.0f)\n"
+      "batch size avg" (batch_stat "avg") (batch_stat "p50") (batch_stat "p95")
+      (batch_stat "max")
+  end;
   if not verify_ok then failwith "post-load ledger verification failed";
   if Atomic.get errors > 0 then failwith "request errors during bench";
   if !json_out then begin
+    let fnum v = Sjson.Float (if Float.is_nan v then 0.0 else v) in
     let json =
       Sjson.Obj
         [
           ("experiment", Sjson.String "serve");
           ("clients", Sjson.Int clients);
           ("ops_per_client", Sjson.Int ops_per_client);
+          ("duration_s", Sjson.Float !serve_duration);
+          ("elapsed_s", Sjson.Float elapsed);
+          ( "group_commit_window_ms",
+            Sjson.Float (config.group_commit_window *. 1000.0) );
           ("requests", Sjson.Int total);
           ("errors", Sjson.Int (Atomic.get errors));
           ("throughput_rps", Sjson.Float tps);
@@ -694,6 +774,13 @@ let serve_bench () =
           ("verify_ok", Sjson.Bool verify_ok);
           ("row_versions_verified", Sjson.Int versions);
           ("server_counted_requests", Sjson.Int server_requests);
+          ("commit_batches", fnum batches);
+          ("batch_size_avg", fnum (batch_stat "avg"));
+          ("batch_size_p50", fnum (batch_stat "p50"));
+          ("batch_size_p95", fnum (batch_stat "p95"));
+          ("batch_size_max", fnum (batch_stat "max"));
+          ("flush_latency_avg_us", fnum (flush_stat "avg"));
+          ("flush_latency_p95_us", fnum (flush_stat "p95"));
         ]
     in
     Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
@@ -819,16 +906,40 @@ let experiments =
     ("ablation", ablation);
   ]
 
+let usage () =
+  Printf.eprintf
+    "usage: bench [--json] [--clients N] [--duration S] [--window MS] \
+     [experiment ...]\n";
+  exit 1
+
 let () =
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--json" then (
-          json_out := true;
-          false)
-        else true)
-      (List.tl (Array.to_list Sys.argv))
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: rest ->
+        json_out := true;
+        parse acc rest
+    | "--clients" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v > 0 ->
+            serve_clients := v;
+            parse acc rest
+        | _ -> usage ())
+    | "--duration" :: s :: rest -> (
+        match float_of_string_opt s with
+        | Some v when v > 0.0 ->
+            serve_duration := v;
+            parse acc rest
+        | _ -> usage ())
+    | "--window" :: ms :: rest -> (
+        match float_of_string_opt ms with
+        | Some v when v >= 0.0 ->
+            serve_window_ms := v;
+            parse acc rest
+        | _ -> usage ())
+    | ("--clients" | "--duration" | "--window") :: [] -> usage ()
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let requested =
     match args with [] -> List.map fst experiments | args -> args
   in

@@ -266,7 +266,7 @@ let run_recover failpoints wal snapshot verify_flag =
      1  startup failure other than the port (e.g. recovery failed)
      2  port already in use, or an injected fault crashed the server *)
 let run_serve dir port host name max_conns max_frame idle_timeout
-    request_timeout failpoints =
+    request_timeout group_commit_window_ms failpoints =
   List.iter (fun (n, m) -> Fault.set n m) failpoints;
   let config =
     {
@@ -278,6 +278,7 @@ let run_serve dir port host name max_conns max_frame idle_timeout
       max_frame;
       idle_timeout;
       request_timeout;
+      group_commit_window = group_commit_window_ms /. 1000.0;
     }
   in
   match Ledger_server.Server.start ~config () with
@@ -690,6 +691,20 @@ let serve_cmd =
           ~doc:"Tear a connection stalled mid-frame after this long; 0 \
                 disables.")
   in
+  let group_commit_window =
+    Arg.(
+      value
+      & opt float
+          (Ledger_server.Server.default_config.group_commit_window *. 1000.0)
+      & info
+          [ "group-commit-window" ]
+          ~docv:"MILLISECONDS"
+          ~doc:
+            "Group commit: concurrent auto-commit writers coalesce for up \
+             to this long into one batched WAL append sharing a single \
+             fsync; 0 gives every commit its own fsync (the legacy \
+             commit path).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -699,7 +714,7 @@ let serve_cmd =
       const run_serve $ dir
       $ port_arg ~doc:"TCP port to listen on"
       $ host_arg $ db_name $ max_conns $ max_frame $ idle_timeout
-      $ request_timeout $ failpoint_arg)
+      $ request_timeout $ group_commit_window $ failpoint_arg)
 
 let client_cmd =
   let args =

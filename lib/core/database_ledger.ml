@@ -18,6 +18,12 @@ type t = {
   mutable last_commit : float;
   signing_seed : string option;
   commit_cost_us : float;
+  (* Group commit: entry hashes computed batch-at-a-time by the commit
+     leader ([accumulate_batch]) and consumed when a block closes. Guarded
+     by [hash_mu] because the leader runs outside the engine's writer
+     lock. Purely a memo: a miss recomputes the hash. *)
+  hash_cache : (int, string) Hashtbl.t;
+  hash_mu : Mutex.t;
 }
 
 let transactions_table_columns =
@@ -72,6 +78,8 @@ let create ?(block_size = 100_000) ?wal_path ?signing_seed
     last_commit = 0.;
     signing_seed;
     commit_cost_us;
+    hash_cache = Hashtbl.create 64;
+    hash_mu = Mutex.create ();
   }
 
 let attach_wal t path =
@@ -108,6 +116,25 @@ let entry_hash (e : Types.txn_entry) =
       Value.String e.user;
       Value.String (Types.table_roots_to_string e.table_roots);
     ]
+
+let cached_entry_hash t (e : Types.txn_entry) =
+  let memo =
+    Mutex.protect t.hash_mu (fun () -> Hashtbl.find_opt t.hash_cache e.txn_id)
+  in
+  match memo with Some h -> h | None -> entry_hash e
+
+(* The commit leader feeds a published batch into the block accumulator:
+   the batch entries' ledger hashes — the Merkle leaves a block close
+   aggregates — are computed in one pass here, off the writer lock,
+   instead of one-by-one when the block closes. *)
+let accumulate_batch t batch_entries =
+  let hashed =
+    List.map
+      (fun (e : Types.txn_entry) -> (e.txn_id, entry_hash e))
+      batch_entries
+  in
+  Mutex.protect t.hash_mu (fun () ->
+      List.iter (fun (id, h) -> Hashtbl.replace t.hash_cache id h) hashed)
 
 let block_hash (b : Types.block) =
   ledgerhash_raw
@@ -185,6 +212,13 @@ let next_txn_id t =
   ignore (Aries.Wal.append t.db_wal (Aries.Log_record.Begin { txn_id = id }) : int);
   id
 
+(* Staged transactions defer every WAL record — including Begin — to the
+   commit leader, so nothing may touch the log here. *)
+let stage_txn_id t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  id
+
 let log_abort t ~txn_id =
   ignore (Aries.Wal.append t.db_wal (Aries.Log_record.Abort { txn_id }) : int)
 
@@ -206,18 +240,17 @@ let blocks t =
   List.map block_of_row (Table_store.scan t.blocks_table)
   |> List.sort (fun (a : Types.block) b -> compare a.block_id b.block_id)
 
-let close_current_block t =
+(* The in-memory half of a block close, shared by the logged, staged and
+   replay paths. *)
+let do_close_block t =
   if t.current_count > 0 then begin
     let block_id = t.current_block in
-    ignore
-      (Aries.Wal.append t.db_wal
-         (Aries.Log_record.Block_close { block_id; closed_ts = t.last_commit })
-        : int);
     let block_entries = entries_of_block t ~block_id in
     (* Asynchronous and single-threaded in the paper; here it runs inline,
        but the root over up to block_size (100K) entry hashes aggregates
-       across domains when the block is large enough to pay for it. *)
-    let leaves = List.map entry_hash block_entries in
+       across domains when the block is large enough to pay for it. Entry
+       hashes already accumulated by a commit leader are reused. *)
+    let leaves = List.map (cached_entry_hash t) block_entries in
     let txn_root = Merkle.Parallel.root leaves in
     let closed_ts = t.last_commit in
     let block : Types.block =
@@ -230,10 +263,37 @@ let close_current_block t =
       }
     in
     Table_store.insert t.blocks_table (block_to_row block);
+    Mutex.protect t.hash_mu (fun () ->
+        List.iter
+          (fun (e : Types.txn_entry) -> Hashtbl.remove t.hash_cache e.txn_id)
+          block_entries);
     t.last_block_hash <- block_hash block;
     t.current_block <- block_id + 1;
     t.current_count <- 0
   end
+
+let close_current_block t =
+  if t.current_count > 0 then begin
+    ignore
+      (Aries.Wal.append t.db_wal
+         (Aries.Log_record.Block_close
+            { block_id = t.current_block; closed_ts = t.last_commit })
+        : int);
+    do_close_block t
+  end
+
+(* Stage a block close: the in-memory effects happen now, the WAL record
+   is returned for the caller to publish. *)
+let stage_block_close t =
+  if t.current_count > 0 then begin
+    let record =
+      Aries.Log_record.Block_close
+        { block_id = t.current_block; closed_ts = t.last_commit }
+    in
+    do_close_block t;
+    [ record ]
+  end
+  else []
 
 let append_commit t ~txn_id ~commit_ts ~user ~table_roots =
   let entry : Types.txn_entry =
@@ -272,6 +332,43 @@ let append_commit t ~txn_id ~commit_ts ~user ~table_roots =
   end;
   entry
 
+(* Validate-and-stage half of [append_commit] (group commit): every
+   in-memory effect happens now — ordinal assignment, queue push, block
+   close when the block fills — but the WAL records are returned instead
+   of appended, so a commit leader can publish many commits under a
+   single durability barrier. The records must reach the log, in order,
+   before any other record is appended; until then the commit is
+   acknowledged to nobody. *)
+let stage_commit t ~txn_id ~commit_ts ~user ~table_roots =
+  let entry : Types.txn_entry =
+    {
+      txn_id;
+      block_id = t.current_block;
+      ordinal = t.current_count;
+      commit_ts;
+      user;
+      table_roots = List.sort (fun (a, _) (b, _) -> compare a b) table_roots;
+    }
+  in
+  t.current_count <- t.current_count + 1;
+  t.last_commit <- commit_ts;
+  t.queue <- entry :: t.queue;
+  let commit_record =
+    Aries.Log_record.Commit
+      {
+        txn_id;
+        commit_ts;
+        user;
+        block_id = entry.block_id;
+        ordinal = entry.ordinal;
+        table_roots = entry.table_roots;
+      }
+  in
+  let close_records =
+    if t.current_count >= t.db_block_size then stage_block_close t else []
+  in
+  (entry, commit_record :: close_records)
+
 (* Replay support: enqueue a committed entry exactly as the original run
    did, without re-logging. *)
 let replay_commit t (entry : Types.txn_entry) =
@@ -286,25 +383,7 @@ let note_txn_id t txn_id = t.next_txn <- max t.next_txn (txn_id + 1)
 
 let replay_block_close t =
   (* Same computation as close_current_block, but without logging. *)
-  if t.current_count > 0 then begin
-    let block_id = t.current_block in
-    let block_entries = entries_of_block t ~block_id in
-    let leaves = List.map entry_hash block_entries in
-    let txn_root = Merkle.Parallel.root leaves in
-    let block : Types.block =
-      {
-        block_id;
-        prev_hash = t.last_block_hash;
-        txn_root;
-        txn_count = List.length block_entries;
-        closed_ts = t.last_commit;
-      }
-    in
-    Table_store.insert t.blocks_table (block_to_row block);
-    t.last_block_hash <- block_hash block;
-    t.current_block <- block_id + 1;
-    t.current_count <- 0
-  end
+  do_close_block t
 
 let checkpoint t =
   List.iter
@@ -360,6 +439,8 @@ let unsafe_copy t =
     db_wal = Aries.Wal.create ();
     txn_table = Table_store.deep_copy t.txn_table;
     blocks_table = Table_store.deep_copy t.blocks_table;
+    hash_cache = Hashtbl.create 64;
+    hash_mu = Mutex.create ();
   }
 
 let entry_to_json (e : Types.txn_entry) =
@@ -474,6 +555,8 @@ let of_snapshot ?wal_path json =
           | Sjson.String s -> Some s
           | _ -> None);
         commit_cost_us = num "commit_cost_us";
+        hash_cache = Hashtbl.create 64;
+        hash_mu = Mutex.create ();
       }
   with
   | Failure e | Invalid_argument e -> Error ("malformed ledger snapshot: " ^ e)
@@ -547,4 +630,6 @@ let recover ?(block_size = 100_000) ?wal_path ?signing_seed ~database_id
     last_block_hash;
     last_commit;
     signing_seed;
+    hash_cache = Hashtbl.create 64;
+    hash_mu = Mutex.create ();
   }

@@ -38,6 +38,11 @@ val attach_wal : t -> string -> unit
 val next_txn_id : t -> int
 (** Allocate a fresh transaction id (also logs BEGIN). *)
 
+val stage_txn_id : t -> int
+(** Allocate a fresh transaction id without logging: staged (group-commit)
+    transactions defer every WAL record, including BEGIN, to the commit
+    leader. *)
+
 val log_abort : t -> txn_id:int -> unit
 
 val append_commit :
@@ -50,6 +55,30 @@ val append_commit :
 (** Assign the transaction to the current block, append its entry to the
     in-memory queue and write the COMMIT WAL record. Closes the block when
     it becomes full. *)
+
+val stage_commit :
+  t ->
+  txn_id:int ->
+  commit_ts:float ->
+  user:string ->
+  table_roots:(int * string) list ->
+  Types.txn_entry * Aries.Log_record.t list
+(** The validate-and-stage half of {!append_commit} (group commit): every
+    in-memory effect happens now — ordinal assignment, queue push, block
+    close when the block fills — but the WAL records (COMMIT, then
+    BLOCK_CLOSE when the block filled) are returned instead of appended,
+    so a commit leader can publish many staged commits under one
+    durability barrier via {!Aries.Wal.append_batch}. The records must
+    reach the log in order before anything else is appended; a publish
+    failure is unrecoverable for this ledger instance (the staged state
+    cannot be unwound) and must be treated as a crash. *)
+
+val accumulate_batch : t -> Types.txn_entry list -> unit
+(** Feed a published batch into the block accumulator: computes the
+    entries' ledger hashes — the Merkle leaves of a future block close —
+    in one pass so closing the block does not recompute them. Safe to call
+    from the commit leader without the engine's writer lock; purely a
+    cache, misses recompute. *)
 
 val checkpoint : t -> unit
 (** Flush queued entries to the transactions system table and log a

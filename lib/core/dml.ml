@@ -91,6 +91,129 @@ let filter_rows db ~table_name ~columns where rows =
           | _ -> false)
         rows
 
+(* Point-lookup fast path: WHERE <pk> = <literal> on a single-column
+   primary key resolves through the store's clustered B-tree instead of
+   materialising and filtering every current row. Auto-commit DML from
+   the server is dominated by exactly this shape, and the scan-and-probe
+   fallback is O(table size) per statement. Both paths compare with
+   [Value.compare] (the B-tree's key order and the executor's [=]), so
+   the victim set is identical. *)
+let eq_literal ~table_name where =
+  let literal = function
+    | Ast.Lit v -> Some v
+    | Ast.Neg (Ast.Lit (Value.Int i)) -> Some (Value.Int (-i))
+    | Ast.Neg (Ast.Lit (Value.Float f)) -> Some (Value.Float (-.f))
+    | _ -> None
+  in
+  let table_ok = function
+    | None -> true
+    | Some t -> String.lowercase_ascii t = String.lowercase_ascii table_name
+  in
+  let accept ~table ~column e =
+    if table_ok table then
+      match literal e with
+      | Some v when not (Value.is_null v) -> Some (column, v)
+      | _ -> None
+    else None
+  in
+  match where with
+  | Some (Ast.Binop (Ast.Eq, Ast.Col { table; column }, e))
+  | Some (Ast.Binop (Ast.Eq, e, Ast.Col { table; column })) ->
+      accept ~table ~column e
+  | _ -> None
+
+let single_key_column store schema =
+  match Table_store.key_ordinals store with
+  | [ o ] -> Some (String.lowercase_ascii (Schema.column schema o).Column.name)
+  | _ -> None
+
+let point_lookup target ~table_name where =
+  match eq_literal ~table_name where with
+  | None -> None
+  | Some (column, v) -> (
+      let col = String.lowercase_ascii column in
+      let store, schema, of_stored =
+        match target with
+        | Ledger lt ->
+            (Ledger_table.main lt, Ledger_table.schema lt, Ledger_table.user_row lt)
+        | Regular store -> (store, Table_store.schema store, Fun.id)
+      in
+      match single_key_column store schema with
+      | Some key_col when key_col = col ->
+          Some
+            (match Table_store.find store ~key:[| v |] with
+            | Some stored -> [ of_stored stored ]
+            | None -> [])
+      | _ -> None)
+
+(* The same shortcut for the bare point SELECT the wire workloads issue:
+   SELECT * FROM t WHERE <pk> = <literal>, no modifiers. Anything fancier
+   falls through to the relational executor, as do the catalog's derived
+   relations (__versions / __ledger_view / __history and the two
+   database-ledger system tables), whose names would otherwise shadow a
+   same-named base table here. The projection mirrors the catalog's:
+   visible stored columns for ledger tables, the full schema for regular
+   ones. *)
+let catalog_special name =
+  let k = String.lowercase_ascii name in
+  let suffixed s =
+    String.length k > String.length s
+    && String.sub k (String.length k - String.length s) (String.length s) = s
+  in
+  k = "database_ledger_transactions"
+  || k = "database_ledger_blocks"
+  || List.exists suffixed [ "__versions"; "__ledger_view"; "__history" ]
+
+let select_point_lookup db (q : Ast.select) =
+  match q with
+  | {
+   distinct = false;
+   projections = [ Ast.Star ];
+   from = Some (Ast.Table { name; alias });
+   where = Some _;
+   group_by = [];
+   having = None;
+   order_by = [];
+   limit = None;
+  }
+    when not (catalog_special name) -> (
+      match find_target db name with
+      | exception Executor.Exec_error _ -> None
+      | exception Types.Ledger_error _ -> None
+      | target -> (
+          let label = Option.value alias ~default:name in
+          match eq_literal ~table_name:label q.where with
+          | None -> None
+          | Some (column, v) -> (
+              let col = String.lowercase_ascii column in
+              let store =
+                match target with
+                | Ledger lt -> Ledger_table.main lt
+                | Regular store -> store
+              in
+              let schema = Table_store.schema store in
+              match single_key_column store schema with
+              | Some key_col when key_col = col ->
+                  let stored = Table_store.find store ~key:[| v |] in
+                  let names, rows =
+                    match target with
+                    | Ledger _ ->
+                        let vis = Schema.visible_columns schema in
+                        let ords = List.map fst vis in
+                        ( List.map (fun (_, (c : Column.t)) -> c.name) vis,
+                          match stored with
+                          | Some r -> [ Row.project r ords ]
+                          | None -> [] )
+                    | Regular _ ->
+                        ( List.map
+                            (fun (c : Column.t) -> c.name)
+                            (Schema.columns schema),
+                          match stored with Some r -> [ r ] | None -> [] )
+                  in
+                  Some (Sqlexec.Rel.make ~alias:label names rows)
+              | _ -> None)))
+  | _ -> None
+
 (* With [?txn] the statement runs inside that open (session-level)
    transaction instead of an auto-commit one; a savepoint keeps failed
    statements atomic without aborting the enclosing transaction. *)
@@ -108,7 +231,11 @@ let execute_statement ?txn db ~user statement =
            raise e)
   in
   match statement with
-  | Ast.Select q -> Rows (Executor.execute (Database.catalog db) q)
+  | Ast.Select q ->
+      Rows
+        (match select_point_lookup db q with
+        | Some rel -> rel
+        | None -> Executor.execute (Database.catalog db) q)
   | Ast.Insert { table; columns; rows } ->
       let target = find_target db table in
       let table_columns = column_names_of target in
@@ -159,8 +286,11 @@ let execute_statement ?txn db ~user statement =
           assignments
       in
       let victims =
-        filter_rows db ~table_name:table ~columns:table_columns where
-          (current_user_rows target)
+        match point_lookup target ~table_name:table where with
+        | Some rows -> rows
+        | None ->
+            filter_rows db ~table_name:table ~columns:table_columns where
+              (current_user_rows target)
       in
       run (fun txn ->
           List.iter
@@ -190,8 +320,11 @@ let execute_statement ?txn db ~user statement =
       let target = find_target db table in
       let table_columns = column_names_of target in
       let victims =
-        filter_rows db ~table_name:table ~columns:table_columns where
-          (current_user_rows target)
+        match point_lookup target ~table_name:table where with
+        | Some rows -> rows
+        | None ->
+            filter_rows db ~table_name:table ~columns:table_columns where
+              (current_user_rows target)
       in
       run (fun txn ->
           List.iter
@@ -202,6 +335,32 @@ let execute_statement ?txn db ~user statement =
               | Regular store -> Txn.plain_delete txn store ~key)
             victims);
       Affected (List.length victims)
+
+type staged = {
+  staged_entry : Types.txn_entry;
+  staged_records : Aries.Log_record.t list;
+}
+
+(* Group commit: run an auto-commit statement but stop before the WAL
+   publish. The statement executes in its own staged transaction — all
+   in-memory effects are applied and the transaction is marked committed —
+   and the WAL records come back for a commit leader to publish in one
+   batch. [None] for statements with nothing to persist (SELECTs). The
+   caller must hold the engine's writer lock across the call and must
+   enqueue the records for publication before releasing it, so batch
+   order equals execution order. *)
+let execute_statement_staged db ~user statement =
+  match statement with
+  | Ast.Select _ -> (execute_statement db ~user statement, None)
+  | _ -> (
+      let txn = Database.begin_staged_txn db ~user in
+      match execute_statement ~txn db ~user statement with
+      | result ->
+          let staged_entry, staged_records = Txn.stage_commit txn in
+          (result, Some { staged_entry; staged_records })
+      | exception e ->
+          if Txn.is_active txn then Txn.rollback txn;
+          raise e)
 
 let execute ?txn db ~user text =
   execute_statement ?txn db ~user (Sqlexec.Parser.parse_statement text)

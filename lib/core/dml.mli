@@ -22,4 +22,26 @@ val execute_statement :
   ?txn:Txn.t -> Database.t -> user:string -> Sqlexec.Ast.statement -> result
 (** Pre-parsed variant. *)
 
+type staged = {
+  staged_entry : Types.txn_entry;  (** the committed transaction's entry *)
+  staged_records : Aries.Log_record.t list;
+      (** its WAL records, in log order *)
+}
+
+val execute_statement_staged :
+  Database.t ->
+  user:string ->
+  Sqlexec.Ast.statement ->
+  result * staged option
+(** Group commit: run an auto-commit statement but stop before the WAL
+    publish. Every in-memory effect is applied (the statement's
+    transaction is committed in the engine) and the WAL records are
+    returned for a commit leader to publish in one batch; [None] when the
+    statement has nothing to persist (SELECT). The caller must hold the
+    engine's writer lock across the call and enqueue the records for
+    publication before releasing it, so that batch order equals execution
+    order; once staged, a publish failure must be treated as a crash. On
+    error the transaction is rolled back (logging nothing) and the
+    exception re-raised. *)
+
 val pp_result : Format.formatter -> result -> unit

@@ -26,6 +26,10 @@ type t = {
   txn_id : int;
   txn_user : string;
   ledger : Database_ledger.t;
+  staged : bool;
+      (* Group commit: a staged transaction writes nothing to the WAL
+         itself — BEGIN, DATA and COMMIT are all returned by
+         [stage_commit] for a commit leader to publish as one batch. *)
   clock : unit -> float;
   scratch : Sha256.t;  (* reusable row-hash context, one per transaction *)
   mutable seq : int;
@@ -48,11 +52,12 @@ let user t = t.txn_user
 let is_active t = t.state = Active
 let operation_count t = t.seq
 
-let begin_txn ~ledger ~user ~clock =
+let make ~txn_id ~staged ~ledger ~user ~clock =
   {
-    txn_id = Database_ledger.next_txn_id ledger;
+    txn_id;
     txn_user = user;
     ledger;
+    staged;
     clock;
     scratch = Sha256.init ();
     seq = 0;
@@ -62,6 +67,14 @@ let begin_txn ~ledger ~user ~clock =
     redo = [];
     state = Active;
   }
+
+let begin_txn ~ledger ~user ~clock =
+  make ~txn_id:(Database_ledger.next_txn_id ledger) ~staged:false ~ledger
+    ~user ~clock
+
+let begin_staged_txn ~ledger ~user ~clock =
+  make ~txn_id:(Database_ledger.stage_txn_id ledger) ~staged:true ~ledger
+    ~user ~clock
 
 let require_active t =
   match t.state with
@@ -244,7 +257,9 @@ let rollback t =
   t.redo <- [];
   Hashtbl.reset t.trees;
   t.state <- Aborted;
-  Database_ledger.log_abort t.ledger ~txn_id:t.txn_id
+  (* A staged transaction never logged anything, so there is nothing to
+     mark aborted in the WAL; recovery cannot encounter it. *)
+  if not t.staged then Database_ledger.log_abort t.ledger ~txn_id:t.txn_id
 
 let commit t =
   require_active t;
@@ -272,6 +287,41 @@ let commit t =
   in
   t.state <- Committed;
   entry
+
+(* Validate-and-stage half of [commit] for staged (group-commit)
+   transactions: compute the table roots and build every WAL record —
+   BEGIN, the logical redo, COMMIT and any block close — without touching
+   the log. The in-memory ledger effects (ordinal assignment, queue push,
+   block close) happen now, so the records must be published before any
+   other record reaches the WAL, and a publish failure is a crash. *)
+let stage_commit t =
+  require_active t;
+  if not t.staged then
+    Types.errorf "transaction %d was not begun staged" t.txn_id;
+  let table_roots =
+    Hashtbl.fold
+      (fun tid tree acc -> (tid, Merkle.Streaming.root tree) :: acc)
+      t.trees []
+  in
+  let data_records =
+    if t.redo = [] then []
+    else
+      [
+        Aries.Log_record.Data
+          {
+            txn_id = t.txn_id;
+            ops = Sjson.List (List.rev_map redo_to_json t.redo);
+          };
+      ]
+  in
+  let entry, ledger_records =
+    Database_ledger.stage_commit t.ledger ~txn_id:t.txn_id
+      ~commit_ts:(t.clock ()) ~user:t.txn_user ~table_roots
+  in
+  t.state <- Committed;
+  ( entry,
+    (Aries.Log_record.Begin { txn_id = t.txn_id } :: data_records)
+    @ ledger_records )
 
 let table_root t lt =
   match Hashtbl.find_opt t.trees (Ledger_table.table_id lt) with

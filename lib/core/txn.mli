@@ -22,6 +22,13 @@ val is_active : t -> bool
 
 val begin_txn : ledger:Database_ledger.t -> user:string -> clock:(unit -> float) -> t
 
+val begin_staged_txn :
+  ledger:Database_ledger.t -> user:string -> clock:(unit -> float) -> t
+(** Like {!begin_txn}, but the transaction is *staged* (group commit): it
+    writes nothing to the WAL itself. Its BEGIN record — like its DATA and
+    COMMIT — is produced by {!stage_commit} for a commit leader to publish
+    as one batch; rolling back a staged transaction logs nothing. *)
+
 (** {1 DML on ledger tables} *)
 
 val insert : t -> Ledger_table.t -> Relation.Row.t -> unit
@@ -56,6 +63,17 @@ val rollback : t -> unit
 val commit : t -> Types.txn_entry
 (** Compute the per-table Merkle roots, append the entry to the Database
     Ledger and return it. *)
+
+val stage_commit : t -> Types.txn_entry * Aries.Log_record.t list
+(** The validate-and-stage half of {!commit} for transactions begun with
+    {!begin_staged_txn}: computes the table roots, performs every
+    in-memory ledger effect, marks the transaction committed, and returns
+    the entry together with the WAL records (BEGIN, DATA when the
+    transaction wrote, COMMIT, and a BLOCK_CLOSE when the block filled)
+    for a commit leader to publish under a single durability barrier.
+    The records must reach the log, in order, before any other record is
+    appended; a publish failure cannot be rolled back and must be treated
+    as a crash. Raises {!Types.Ledger_error} on non-staged transactions. *)
 
 val table_root : t -> Ledger_table.t -> string
 (** Current Merkle root of this transaction's updates to the given table

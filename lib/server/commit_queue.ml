@@ -1,0 +1,202 @@
+(* Group commit (paper §3.3.2: commits batch into the Database Ledger's
+   blocks; GlassDB-style shared persistence epochs).
+
+   Writer sessions stage their transaction under the engine's exclusive
+   lock (`Dml.execute_statement_staged`), enqueue the staged WAL records
+   here *before releasing the lock*, then release it and wait. The first
+   waiter that finds no active leader becomes the leader: it sleeps a
+   short coalescing window, drains the queue FIFO, appends every staged
+   record as one batch-atomic WAL frame under a single fsync
+   (`Wal.append_batch`), feeds the batch's entries to the ledger's block
+   accumulator (`Database_ledger.accumulate_batch`), and only then wakes
+   the batch's waiters. The expensive part of commit — the durability
+   barrier — thus runs *outside* the engine lock, overlapped with the
+   execution of the next batch, and its cost is shared by every commit in
+   the batch.
+
+   Invariants this module relies on (and the server upholds):
+
+   - Tickets are enqueued while holding the engine's writer lock, so
+     queue order is execution order; the leader preserves it, so WAL
+     order equals execution order (replay applies DATA records in log
+     order — reordering two transactions' writes would corrupt replay).
+
+   - The WAL is single-writer. The leader appends without holding the
+     engine lock, so every other code path that appends WAL records
+     directly (explicit BEGIN...COMMIT sessions, DDL, checkpoints,
+     digests — they log immediately) must call [flush] after acquiring
+     the writer lock and before its first append. While the caller holds
+     the writer lock no new ticket can arrive, so after [flush] the log
+     is quiescent until the lock is released.
+
+   - A publish failure poisons the queue: the staged commits are already
+     applied in the engine and cannot be unwound, so the failed batch's
+     waiters and every later submitter get the same exception, and no
+     further batch is ever attempted (a later batch succeeding would
+     leave an acknowledged-ordinal gap on disk). The server treats this
+     like a crash of the durability layer: fail loudly, accept no more
+     commits. *)
+
+type state = Pending | Done | Failed of exn
+
+type ticket = {
+  t_entry : Sql_ledger.Types.txn_entry;
+  t_records : Aries.Log_record.t list;
+  mutable t_state : state;
+}
+
+type t = {
+  window : float;  (* max seconds the leader coalesces before flushing *)
+  ledger : Sql_ledger.Database_ledger.t;
+  metrics : Metrics.t;
+  m : Mutex.t;
+  c : Condition.t;  (* broadcast on any state change *)
+  mutable pending : ticket list;  (* newest first *)
+  mutable leading : bool;
+  mutable poisoned : exn option;
+}
+
+let create ~window ~ledger ~metrics =
+  {
+    window;
+    ledger;
+    metrics;
+    m = Mutex.create ();
+    c = Condition.create ();
+    pending = [];
+    leading = false;
+    poisoned = None;
+  }
+
+(* Caller must hold the engine's writer lock: ordering relies on it. *)
+let enqueue t ~entry ~records =
+  Mutex.lock t.m;
+  match t.poisoned with
+  | Some e ->
+      Mutex.unlock t.m;
+      raise e
+  | None ->
+      let ticket = { t_entry = entry; t_records = records; t_state = Pending } in
+      t.pending <- ticket :: t.pending;
+      Mutex.unlock t.m;
+      ticket
+
+(* Leader-side coalescing: sleep in short slices, cutting the batch as
+   soon as arrivals stall; the window is a hard deadline that bounds
+   both batch size and the first waiter's latency when writers keep
+   arriving back-to-back.
+   Cutting *before* the whole convoy has staged is deliberate: the
+   batch's fsync then overlaps the remaining writers' execution, which
+   is where group commit's throughput comes from — a full-convoy cut
+   would serialise fsync behind execution again. Called without
+   [t.m]. *)
+let wait_window t =
+  let slice = t.window /. 4.0 in
+  let deadline = Unix.gettimeofday () +. t.window in
+  let pending_count () =
+    Mutex.lock t.m;
+    let n = List.length t.pending in
+    Mutex.unlock t.m;
+    n
+  in
+  let rec go last_n =
+    Thread.delay slice;
+    let n = pending_count () in
+    if n > last_n && Unix.gettimeofday () < deadline then go n
+  in
+  go (pending_count ())
+
+(* Publish everything pending as one batch. Called with [t.m] held and
+   [t.leading] set; releases the mutex around the I/O and re-acquires it
+   before returning. *)
+let publish t =
+  let batch = List.rev t.pending in
+  t.pending <- [];
+  let poisoned = t.poisoned in
+  Mutex.unlock t.m;
+  let result =
+    match poisoned with
+    | Some e -> Error e
+    | None -> (
+        try
+          let t0 = Unix.gettimeofday () in
+          let records = List.concat_map (fun k -> k.t_records) batch in
+          ignore
+            (Aries.Wal.append_batch
+               (Sql_ledger.Database_ledger.wal t.ledger)
+               records
+              : int list);
+          Sql_ledger.Database_ledger.accumulate_batch t.ledger
+            (List.map (fun k -> k.t_entry) batch);
+          let us = (Unix.gettimeofday () -. t0) *. 1e6 in
+          Metrics.record t.metrics ~kind:"commit.flush_latency" ~error:false
+            ~us;
+          Metrics.record t.metrics ~kind:"commit.batch_size" ~error:false
+            ~us:(float_of_int (List.length batch));
+          Ok ()
+        with e -> Error e)
+  in
+  Mutex.lock t.m;
+  (match result with
+  | Ok () -> List.iter (fun k -> k.t_state <- Done) batch
+  | Error e ->
+      List.iter (fun k -> k.t_state <- Failed e) batch;
+      t.poisoned <- Some e)
+(* No broadcast here: both callers clear [leading] and broadcast once,
+   still under [t.m], so each batch costs one wakeup storm, not two. *)
+
+(* Wait until the ticket's batch is durable. The first waiter with no
+   active leader elects itself leader and publishes; everyone else sleeps
+   until woken. Raises the publish failure, if any. *)
+let await t ticket =
+  Mutex.lock t.m;
+  let rec loop () =
+    match ticket.t_state with
+    | Done -> Mutex.unlock t.m
+    | Failed e ->
+        Mutex.unlock t.m;
+        raise e
+    | Pending ->
+        if t.leading then begin
+          Condition.wait t.c t.m;
+          loop ()
+        end
+        else begin
+          t.leading <- true;
+          if t.window > 0.0 then begin
+            Mutex.unlock t.m;
+            wait_window t;
+            Mutex.lock t.m
+          end;
+          if t.pending <> [] then publish t;
+          t.leading <- false;
+          Condition.broadcast t.c;
+          loop ()
+        end
+  in
+  loop ()
+
+(* Drain the queue completely, publishing without a coalescing window.
+   Callers hold the engine's writer lock (so no new ticket can arrive) or
+   have joined every session (server drain); either way the queue is
+   empty and idle when this returns, and the WAL is safe to append to
+   directly until the caller's exclusion ends. Never raises: a poisoned
+   queue has already resolved every ticket, and the caller's own WAL
+   append will surface the broken log. *)
+let flush t =
+  Mutex.lock t.m;
+  let rec loop () =
+    if t.leading then begin
+      Condition.wait t.c t.m;
+      loop ()
+    end
+    else if t.pending <> [] then begin
+      t.leading <- true;
+      publish t;
+      t.leading <- false;
+      Condition.broadcast t.c;
+      loop ()
+    end
+  in
+  loop ();
+  Mutex.unlock t.m

@@ -16,6 +16,8 @@ type t = {
   lock : Rwlock.t;
   metrics : Metrics.t;
   server_name : string;
+  queue : Commit_queue.t option;
+      (* group commit; [None] runs the legacy commit-per-fsync path *)
 }
 
 type session = {
@@ -25,8 +27,25 @@ type session = {
   mutable s_txn : Txn.t option;
 }
 
-let create ~durable ~metrics ~server_name =
-  { durable; lock = Rwlock.create (); metrics; server_name }
+let create ?(group_commit_window = 0.0) ~durable ~metrics ~server_name () =
+  let lock = Rwlock.create () in
+  let queue =
+    if group_commit_window > 0.0 then
+      Some
+        (Commit_queue.create ~window:group_commit_window
+           ~ledger:(Database.ledger (Durable.db durable))
+           ~metrics)
+    else None
+  in
+  { durable; lock; metrics; server_name; queue }
+
+(* Direct WAL writers — explicit transactions, DDL, checkpoints, digests
+   (they append records immediately) — must drain the commit queue once
+   they hold the writer lock: the commit leader appends to the WAL
+   without holding the engine lock, and its batches must reach the log
+   before any record logged here. While the writer lock is held no new
+   ticket can be enqueued, so the log stays quiescent until release. *)
+let flush_queue t = Option.iter Commit_queue.flush t.queue
 
 let new_session ~id = { s_id = id; s_user = Printf.sprintf "client-%d" id; s_hello = false; s_txn = None }
 
@@ -43,7 +62,12 @@ let with_read t s f =
   match s.s_txn with Some _ -> f () | None -> Rwlock.read t.lock f
 
 let with_write t s f =
-  match s.s_txn with Some _ -> f () | None -> Rwlock.write t.lock f
+  match s.s_txn with
+  | Some _ -> f ()
+  | None ->
+      Rwlock.write t.lock (fun () ->
+          flush_queue t;
+          f ())
 
 let rows_of_rel rel =
   Protocol.Rows_r
@@ -80,7 +104,37 @@ let exec_sql t s sql =
       in
       match statement with
       | Sqlexec.Ast.Select _ -> with_read t s run
-      | _ -> with_write t s run)
+      | _ -> (
+          match (s.s_txn, t.queue) with
+          | Some _, _ | None, None -> with_write t s run
+          | None, Some q ->
+              (* Group commit: execute and stage under the exclusive
+                 lock, enqueue before releasing it (batch order =
+                 execution order), then wait for the commit leader to
+                 publish the batch under one fsync. *)
+              Rwlock.lock_write t.lock;
+              let outcome =
+                try
+                  let result, staged =
+                    Dml.execute_statement_staged (db t) ~user:s.s_user
+                      statement
+                  in
+                  let ticket =
+                    Option.map
+                      (fun (st : Dml.staged) ->
+                        Commit_queue.enqueue q ~entry:st.staged_entry
+                          ~records:st.staged_records)
+                      staged
+                  in
+                  Ok (result, ticket)
+                with e -> Error e
+              in
+              Rwlock.unlock_write t.lock;
+              (match outcome with
+              | Error e -> raise e
+              | Ok (result, ticket) ->
+                  Option.iter (Commit_queue.await q) ticket;
+                  result_to_response result)))
 
 let query_sql t s sql =
   guard (fun () ->
@@ -98,6 +152,10 @@ let begin_txn t s =
       err Protocol.Txn_state "transaction %d is already open" (Txn.id txn)
   | None ->
       Rwlock.lock_write t.lock;
+      (* The explicit transaction logs BEGIN now and holds the lock until
+         COMMIT/ROLLBACK, so one flush here keeps the WAL quiescent for
+         the transaction's whole lifetime. *)
+      flush_queue t;
       let txn = Database.begin_txn (db t) ~user:s.s_user in
       s.s_txn <- Some txn;
       Protocol.Txn_r { txn_id = Some (Txn.id txn) }

@@ -12,23 +12,43 @@
    Unlike [Mutex], acquire and release may happen in different requests
    of the same session (they stay on that session's thread, but nothing
    here depends on it): the state is plain counters guarded by a private
-   mutex. Writers are not prioritised; at this fan-in (tens of sessions)
-   starvation is not a practical concern. *)
+   mutex. Waiting writers are preferred over new readers — an arriving
+   reader blocks while a writer is queued — so a writer behind a stream
+   of overlapping readers is admitted as soon as the readers already in
+   flight drain, instead of starving. Readers can in turn be starved by
+   a saturating stream of writers, which is the right trade here: the
+   commit path is the one with durability waiting on it. *)
 
+(* Readers and writers sleep on separate condition variables so a
+   release wakes only threads that can actually make progress: handing
+   the lock to the next writer signals exactly one thread instead of
+   stampeding every waiter through the runtime lock — with N waiting
+   writer sessions a shared broadcast costs O(N) wakeups per release,
+   O(N^2) per convoy, and measurably collapses server throughput as
+   connections grow. *)
 type t = {
   m : Mutex.t;
-  c : Condition.t;
+  rc : Condition.t;  (* readers wait here; broadcast, they all admit *)
+  wc : Condition.t;  (* writers wait here; signalled one at a time *)
   mutable readers : int;
   mutable writer : bool;
+  mutable waiting_writers : int;
 }
 
 let create () =
-  { m = Mutex.create (); c = Condition.create (); readers = 0; writer = false }
+  {
+    m = Mutex.create ();
+    rc = Condition.create ();
+    wc = Condition.create ();
+    readers = 0;
+    writer = false;
+    waiting_writers = 0;
+  }
 
 let lock_read t =
   Mutex.lock t.m;
-  while t.writer do
-    Condition.wait t.c t.m
+  while t.writer || t.waiting_writers > 0 do
+    Condition.wait t.rc t.m
   done;
   t.readers <- t.readers + 1;
   Mutex.unlock t.m
@@ -36,21 +56,24 @@ let lock_read t =
 let unlock_read t =
   Mutex.lock t.m;
   t.readers <- t.readers - 1;
-  if t.readers = 0 then Condition.broadcast t.c;
+  if t.readers = 0 then Condition.broadcast t.wc;
   Mutex.unlock t.m
 
 let lock_write t =
   Mutex.lock t.m;
+  t.waiting_writers <- t.waiting_writers + 1;
   while t.writer || t.readers > 0 do
-    Condition.wait t.c t.m
+    Condition.wait t.wc t.m
   done;
+  t.waiting_writers <- t.waiting_writers - 1;
   t.writer <- true;
   Mutex.unlock t.m
 
 let unlock_write t =
   Mutex.lock t.m;
   t.writer <- false;
-  Condition.broadcast t.c;
+  if t.waiting_writers > 0 then Condition.broadcast t.wc
+  else Condition.broadcast t.rc;
   Mutex.unlock t.m
 
 let read t f =

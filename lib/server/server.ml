@@ -44,6 +44,10 @@ type config = {
   max_frame : int;
   idle_timeout : float;  (** seconds between requests; 0 = unlimited *)
   request_timeout : float;  (** seconds mid-frame (SO_RCVTIMEO); 0 = unlimited *)
+  group_commit_window : float;
+      (** seconds the commit leader coalesces concurrent auto-commit
+          writers into one batched WAL append + fsync; 0 disables group
+          commit (every commit pays its own fsync, the legacy path) *)
 }
 
 let default_config =
@@ -56,6 +60,7 @@ let default_config =
     max_frame = Frame.default_max_frame;
     idle_timeout = 60.0;
     request_timeout = 30.0;
+    group_commit_window = 0.0005;
   }
 
 type t = {
@@ -123,8 +128,9 @@ let start ?(config = default_config) () =
               actual_port;
               durable;
               disp =
-                Dispatch.create ~durable ~metrics
-                  ~server_name:"sqlledger/1.0";
+                Dispatch.create
+                  ~group_commit_window:config.group_commit_window ~durable
+                  ~metrics ~server_name:"sqlledger/1.0" ();
               metrics;
               stop = Atomic.make false;
               stats_requested = Atomic.make false;
@@ -281,7 +287,9 @@ let drain t =
     l
   in
   List.iter Thread.join threads;
-  (* Durability point of the drain: everything appended reaches disk. *)
+  (* Durability point of the drain: publish any batch still queued, then
+     force everything appended onto disk. *)
+  Dispatch.flush_queue t.disp;
   Aries.Wal.sync (Database_ledger.wal (Database.ledger (Durable.db t.durable)))
 
 let run ?(dump_metrics_to = stderr) t =

@@ -17,6 +17,21 @@ type lsn = int
      mid-append: drop it and proceed) from corruption in the middle of the
      file (fail loudly).
 
+   - Batched (group commit): several records share one frame and one
+     durability barrier:
+
+       @CCCCCCCC LLL FFF N PLEN {"type":...} PLEN {"type":...} ...
+        \______/ \_/ \_/ | \________________/
+          crc32  len |   |  N length-prefixed payloads
+                     |  record count
+                  first LSN
+
+     [len]/[crc32] cover the whole body (first LSN, count, and every
+     payload), and the records take LSNs [first .. first+N-1]. Because the
+     batch is a single checksummed line, a crash mid-append tears the
+     whole batch — recovery can never observe a prefix of it, which is
+     what makes group commit batch-atomic.
+
    - Legacy (the original format): the bare JSON payload. Still loadable;
      records are numbered sequentially from the previous LSN. A torn legacy
      tail is recognised by its failure to parse with nothing but blank
@@ -27,15 +42,20 @@ type t = {
   mutable next_lsn : lsn;
   channel : out_channel option;
   line_buf : Buffer.t;  (* reused across appends; one line per record *)
+  batch_buf : Buffer.t;  (* scratch for one payload while batch-framing *)
   sync_commits : bool;
 }
 
 let point_append = "wal.append"
 let point_sync = "wal.sync"
+let point_batch_append = "wal.batch_append"
+let point_batch_sync = "wal.batch_sync"
 
 let () =
   Fault.register point_append;
-  Fault.register point_sync
+  Fault.register point_sync;
+  Fault.register point_batch_append;
+  Fault.register point_batch_sync
 
 let create ?path ?(first_lsn = 1) ?(sync_commits = true) () =
   let channel = Option.map open_out path in
@@ -44,6 +64,7 @@ let create ?path ?(first_lsn = 1) ?(sync_commits = true) () =
     next_lsn = first_lsn;
     channel;
     line_buf = Buffer.create 256;
+    batch_buf = Buffer.create 256;
     sync_commits;
   }
 
@@ -80,6 +101,57 @@ let append t record =
       | _ -> flush oc)
   | None -> ());
   lsn
+
+let append_batch t batch =
+  match batch with
+  | [] -> []
+  | _ ->
+      let first = t.next_lsn in
+      let lsns =
+        List.map
+          (fun record ->
+            let lsn = t.next_lsn in
+            t.next_lsn <- lsn + 1;
+            t.entries <- (lsn, record) :: t.entries;
+            lsn)
+          batch
+      in
+      (match t.channel with
+      | Some oc ->
+          let body = t.line_buf in
+          Buffer.clear body;
+          Buffer.add_string body (string_of_int first);
+          Buffer.add_char body ' ';
+          Buffer.add_string body (string_of_int (List.length batch));
+          let scratch = t.batch_buf in
+          List.iter
+            (fun record ->
+              Buffer.clear scratch;
+              Sjson.write scratch (Log_record.to_json record);
+              Buffer.add_char body ' ';
+              Buffer.add_string body (string_of_int (Buffer.length scratch));
+              Buffer.add_char body ' ';
+              Buffer.add_buffer body scratch)
+            batch;
+          let crc = Fault.Crc32.(finish (update_buffer init body)) in
+          Fault.output point_batch_append oc
+            (Printf.sprintf "@%08lx %d " crc (Buffer.length body));
+          Fault.output_buffer point_batch_append oc body;
+          Fault.output point_batch_append oc "\n";
+          flush oc;
+          (* Single durability barrier for the whole batch: one fsync
+             covers every commit in it. *)
+          if
+            t.sync_commits
+            && List.exists
+                 (function Log_record.Commit _ -> true | _ -> false)
+                 batch
+          then begin
+            Fault.trip point_batch_sync;
+            fsync_channel oc
+          end
+      | None -> ());
+      lsns
 
 let last_lsn t = t.next_lsn - 1
 
@@ -145,6 +217,68 @@ let parse_frame line =
                       | Some lsn ->
                           Ok (lsn, String.sub line (sp2 + 1) (n - sp2 - 1))))))
 
+exception Bad_batch of string
+
+(* "@CCCCCCCC LEN FIRST COUNT (PLEN PAYLOAD)*" -> (first_lsn, payloads).
+   The length/checksum check runs over the whole body, so a torn batch
+   never yields a prefix of its records — it fails here as one unit. *)
+let parse_batch_frame line =
+  let n = String.length line in
+  if n < 10 || line.[9] <> ' ' then Error "malformed batch header"
+  else
+    match Int32.of_string_opt ("0x" ^ String.sub line 1 8) with
+    | None -> Error "bad batch checksum field"
+    | Some crc -> (
+        match String.index_from_opt line 10 ' ' with
+        | None -> Error "truncated batch frame"
+        | Some sp -> (
+            match int_of_string_opt (String.sub line 10 (sp - 10)) with
+            | None -> Error "bad batch length field"
+            | Some len ->
+                let body_off = sp + 1 in
+                let body_len = n - body_off in
+                if body_len <> len then
+                  Error
+                    (Printf.sprintf "batch body is %d bytes, header says %d"
+                       body_len len)
+                else if Fault.Crc32.substring line ~off:body_off ~len <> crc
+                then Error "batch checksum mismatch"
+                else
+                  let pos = ref body_off in
+                  (* Reads an integer terminated by a single space and
+                     leaves [pos] just past the space. *)
+                  let read_int () =
+                    match String.index_from_opt line !pos ' ' with
+                    | None -> raise (Bad_batch "batch body missing field")
+                    | Some sp2 -> (
+                        match
+                          int_of_string_opt (String.sub line !pos (sp2 - !pos))
+                        with
+                        | None -> raise (Bad_batch "bad batch integer field")
+                        | Some v ->
+                            pos := sp2 + 1;
+                            v)
+                  in
+                  (try
+                     let first = read_int () in
+                     let count = read_int () in
+                     if count <= 0 then raise (Bad_batch "bad batch count");
+                     let payloads = ref [] in
+                     for i = 1 to count do
+                       let plen = read_int () in
+                       if plen < 0 || !pos + plen > n then
+                         raise (Bad_batch "batch payload overruns frame");
+                       payloads := String.sub line !pos plen :: !payloads;
+                       pos := !pos + plen;
+                       if i < count then
+                         if !pos < n && line.[!pos] = ' ' then incr pos
+                         else raise (Bad_batch "batch payloads not separated")
+                     done;
+                     if !pos <> n then
+                       raise (Bad_batch "trailing bytes after batch payloads");
+                     Ok (first, List.rev !payloads)
+                   with Bad_batch reason -> Error reason)))
+
 let load_ex path =
   match open_in_bin path with
   | exception Sys_error e -> Error e
@@ -188,17 +322,37 @@ let load_ex path =
                                lsn !prev_lsn)
                         else
                           Result.map
-                            (fun r -> (lsn, r))
+                            (fun r -> [ (lsn, r) ])
                             (Log_record.of_line payload)
+                  else if line.[0] = '@' then
+                    match parse_batch_frame line with
+                    | Error _ as e -> e
+                    | Ok (first, payloads) ->
+                        if first <= !prev_lsn then
+                          Error
+                            (Printf.sprintf "non-monotonic LSN %d after %d"
+                               first !prev_lsn)
+                        else
+                          let rec decode i acc = function
+                            | [] -> Ok (List.rev acc)
+                            | p :: rest -> (
+                                match Log_record.of_line p with
+                                | Ok r -> decode (i + 1) ((first + i, r) :: acc) rest
+                                | Error _ as e -> e)
+                          in
+                          decode 0 [] payloads
                   else
                     Result.map
-                      (fun r -> (!prev_lsn + 1, r))
+                      (fun r -> [ (!prev_lsn + 1, r) ])
                       (Log_record.of_line line)
                 in
                 (match parsed with
-                | Ok ((lsn, _) as entry) ->
-                    prev_lsn := lsn;
-                    out := entry :: !out
+                | Ok entries ->
+                    List.iter
+                      (fun ((lsn, _) as entry) ->
+                        prev_lsn := lsn;
+                        out := entry :: !out)
+                      entries
                 | Error reason ->
                     torn_or_corrupt reason;
                     continue := false)

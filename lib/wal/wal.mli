@@ -24,6 +24,17 @@ val append : t -> Log_record.t -> lsn
 (** Durably append a record; returns its LSN. Writes are routed through the
     ["wal.append"] / ["wal.sync"] failpoints. *)
 
+val append_batch : t -> Log_record.t list -> lsn list
+(** Group commit: append several records as one batch-atomic frame
+    ([@crc len first_lsn count plen payload ...]) sharing a single
+    durability barrier — if the batch contains a [Commit] record and
+    [sync_commits] is set, exactly one fsync covers the whole batch.
+    Because the frame is one checksummed line, a crash mid-append tears
+    the entire batch: recovery replays either all of it or none of it,
+    never a prefix. Returns the records' consecutive LSNs. Writes are
+    routed through the ["wal.batch_append"] / ["wal.batch_sync"]
+    failpoints. [append_batch t []] is a no-op. *)
+
 val last_lsn : t -> lsn
 (** [first_lsn - 1] when empty (0 for a fresh log). *)
 

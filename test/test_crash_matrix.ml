@@ -131,12 +131,20 @@ let expected_points =
     "snapshot.rename_prev";
     "snapshot.write";
     "wal.append";
+    "wal.batch_append";
+    "wal.batch_sync";
     "wal.sync";
     "worm.mirror.fsync";
     "worm.mirror.rename";
     "worm.mirror.rename_prev";
     "worm.mirror.write";
   ]
+
+(* The batch points only fire on the group-commit path, which the
+   per-commit workload above never takes; they get their own scenario
+   below instead of a seat in the generic matrix. *)
+let batch_points = [ "wal.batch_append"; "wal.batch_sync" ]
+let scan_points = List.filter (fun p -> not (List.mem p batch_points)) expected_points
 
 let test_all_points_registered () =
   let registered = Fault.points () in
@@ -246,7 +254,149 @@ let matrix_cases =
           Alcotest.test_case name `Quick (fun () ->
               run_scenario point mode (seed lxor Hashtbl.hash name)))
         (modes_for point))
-    expected_points
+    scan_points
+
+(* ------------------------------------------------------------------ *)
+(* Group-commit batch boundaries
+
+   Drive commits the way the server's commit leader does — stage each
+   transaction, then publish several at once through [Wal.append_batch]
+   and [Database_ledger.accumulate_batch] — with the batch failpoints
+   armed. The batch frame is a single checksummed WAL line, so recovery
+   must observe each batch all-or-nothing: the committed model, or the
+   committed model plus the *entire* batch in flight, never a prefix of
+   it. *)
+
+(* Conflict-free random batch: ops are generated against a scratch view
+   that applies them as they are drawn, so a batch never updates a row an
+   earlier member deleted (staged transactions see each other's
+   in-memory effects, exactly like queued server commits). *)
+let random_batch w prng n =
+  let view = Hashtbl.copy w.model in
+  List.init n (fun _ ->
+      let existing = Hashtbl.fold (fun k _ acc -> k :: acc) view [] in
+      let roll = Prng.int prng 10 in
+      let op =
+        if existing = [] || roll < 5 then begin
+          w.next_name <- w.next_name + 1;
+          Insert (Printf.sprintf "acct%d" w.next_name, Prng.int prng 1000)
+        end
+        else if roll < 8 then Update (Prng.pick prng existing, Prng.int prng 1000)
+        else Delete (Prng.pick prng existing)
+      in
+      apply_op view op;
+      op)
+
+(* Stage every op as its own transaction, publish them as one batch. The
+   model is updated only once the publish returns — until then the whole
+   batch is in flight. *)
+let commit_batch db accounts w ops =
+  let staged =
+    List.map
+      (fun op ->
+        let txn = Database.begin_staged_txn db ~user:"torture" in
+        (match op with
+        | Insert (name, bal) -> Txn.insert txn accounts [| vs name; vi bal |]
+        | Update (name, bal) ->
+            Txn.update txn accounts ~key:[| vs name |] [| vs name; vi bal |]
+        | Delete name -> Txn.delete txn accounts ~key:[| vs name |]);
+        Txn.stage_commit txn)
+      ops
+  in
+  let ledger = Database.ledger db in
+  ignore
+    (Aries.Wal.append_batch (Database_ledger.wal ledger)
+       (List.concat_map snd staged)
+      : int list);
+  Database_ledger.accumulate_batch ledger (List.map fst staged);
+  List.iter (apply_op w.model) ops
+
+let check_recovered_batch ~what w pending db =
+  let actual = table_rows db in
+  if actual <> model_rows w.model then begin
+    let plus = Hashtbl.copy w.model in
+    List.iter (apply_op plus) pending;
+    if actual <> model_rows plus then
+      Alcotest.failf
+        "%s: recovered table is neither the pre-batch state (%d committed \
+         ops pending none) nor the state with the whole %d-op batch — a \
+         batch prefix leaked through recovery"
+        what (Hashtbl.length w.model) (List.length pending)
+  end
+
+let run_batch_scenario point mode scenario_seed =
+  with_dir (fun dir ->
+      Fault.reset ();
+      let prng = Prng.create scenario_seed in
+      let w = fresh_world () in
+      let open_dir () =
+        match
+          Durable.open_dir ~clock:(make_clock ()) ~dir ~name:"torture" ()
+        with
+        | Ok t -> t
+        | Error e ->
+            Alcotest.failf "%s/%s: open_dir: %s" point
+              (Fault.mode_to_string mode) e
+      in
+      let t = open_dir () in
+      let db = Durable.db t in
+      let accounts = make_accounts db in
+      (* Baseline batches that must survive anything below. *)
+      for _ = 1 to 3 do
+        commit_batch db accounts w (random_batch w prng (1 + Prng.int prng 4))
+      done;
+      let baseline_digest = fresh_digest db in
+      Fault.set point mode;
+      (* Publish batches until the fault fires. An injected error poisons
+         the engine the same way it poisons the server's commit queue —
+         in-memory state is ahead of the log, no further commits are
+         legal — so both modes end the phase at the failure. *)
+      let pending = ref [] in
+      (try
+         for _ = 1 to 10 do
+           let ops = random_batch w prng (1 + Prng.int prng 4) in
+           pending := ops;
+           commit_batch db accounts w ops;
+           pending := []
+         done
+       with Fault.Injected_crash _ | Fault.Injected_error _ -> ());
+      Fault.reset ();
+      let t2 = open_dir () in
+      let db2 = Durable.db t2 in
+      let what = point ^ "/" ^ Fault.mode_to_string mode in
+      check_recovered_batch ~what w !pending db2;
+      if not (Verifier.ok (Verifier.verify db2 ~digests:[ baseline_digest ]))
+      then Alcotest.failf "%s: recovered ledger failed verification" what;
+      (* Resolve the in-doubt batch against what actually recovered. *)
+      if table_rows db2 <> model_rows w.model then
+        List.iter (apply_op w.model) !pending;
+      (* The survivor accepts new batched work durably. *)
+      commit_batch db2
+        (Database.ledger_table db2 "accounts")
+        w
+        (random_batch w prng 2);
+      Aries.Wal.sync (Database_ledger.wal (Database.ledger db2));
+      let t3 = open_dir () in
+      check_recovered_batch ~what:(what ^ " (post-recovery batch)") w []
+        (Durable.db t3))
+
+(* Crash offsets chosen to land before the frame (0), inside the first
+   armed batch's frame (37), and inside a later batch (400); the sync
+   point crashes between the batch write and its fsync, where the frame
+   is complete and the batch may legitimately survive whole. *)
+let batch_cases =
+  let cases point modes =
+    List.map
+      (fun mode ->
+        let name = point ^ "=" ^ Fault.mode_to_string mode in
+        Alcotest.test_case name `Quick (fun () ->
+            run_batch_scenario point mode (seed lxor Hashtbl.hash name)))
+      modes
+  in
+  cases "wal.batch_append"
+    [ Fault.Fail; Fault.Crash_after 0; Fault.Crash_after 37;
+      Fault.Crash_after 400 ]
+  @ cases "wal.batch_sync" [ Fault.Crash_after 0 ]
 
 (* ------------------------------------------------------------------ *)
 (* TPC-C smoke: a crash mid-mix must leave a verifiable, usable ledger. *)
@@ -362,14 +512,77 @@ let test_truncation_sweep () =
                     trial cut size)
       done)
 
+(* Random tail cuts over a WAL written entirely by batches: the set of
+   surviving accounts must always be a whole-batch prefix — a cut that
+   tears batch k's frame drops all of batch k, never part of it. *)
+let test_batch_truncation_sweep () =
+  with_dir (fun ref_dir ->
+      let t =
+        match
+          Durable.open_dir ~clock:(make_clock ()) ~dir:ref_dir ~name:"bsweep" ()
+        with
+        | Ok t -> t
+        | Error e -> Alcotest.failf "open_dir: %s" e
+      in
+      let db = Durable.db t in
+      let accounts = make_accounts db in
+      let w = fresh_world () in
+      let batches =
+        List.init 8 (fun b ->
+            let names =
+              List.init 3 (fun i -> Printf.sprintf "acct%d" ((b * 3) + i + 1))
+            in
+            let ops = List.map (fun n -> Insert (n, 100)) names in
+            commit_batch db accounts w ops;
+            List.sort compare names)
+      in
+      let wal_src = Durable.wal_path ref_dir in
+      let pristine = In_channel.with_open_bin wal_src In_channel.input_all in
+      let size = String.length pristine in
+      let prng = Prng.create (seed lxor 0xBA7C4) in
+      for trial = 1 to trials do
+        with_dir (fun dir ->
+            let wal = Durable.wal_path dir in
+            Out_channel.with_open_bin wal (fun oc ->
+                Out_channel.output_string oc pristine);
+            let cut = Prng.int prng (size + 1) in
+            truncate_file wal cut;
+            match
+              Durable.open_dir ~clock:(make_clock ()) ~dir ~name:"bsweep" ()
+            with
+            | Error e ->
+                Alcotest.failf "trial %d (cut %d/%d): reopen failed: %s" trial
+                  cut size e
+            | Ok t ->
+                let actual = List.map fst (table_rows (Durable.db t)) in
+                (* Find the longest whole-batch prefix matching the
+                   recovered accounts; anything else is a torn batch
+                   leaking a partial commit set. *)
+                let rec prefixes acc cur = function
+                  | [] -> List.rev (cur :: acc)
+                  | b :: rest ->
+                      prefixes (cur :: acc) (List.sort compare (cur @ b)) rest
+                in
+                let legal = prefixes [] [] batches in
+                if not (List.mem (List.sort compare actual) legal) then
+                  Alcotest.failf
+                    "trial %d (cut %d/%d): recovered %d accounts, not a \
+                     whole-batch prefix"
+                    trial cut size (List.length actual))
+      done)
+
 let () =
   Alcotest.run "crash-matrix"
     [
       ("registry", [ Alcotest.test_case "all points registered" `Quick
                        test_all_points_registered ]);
       ("failpoint matrix", matrix_cases);
+      ("batch boundaries", batch_cases);
       ("tpcc", [ Alcotest.test_case "crash mid-mix" `Quick test_tpcc_crash_midway ]);
       ( "wal truncation",
         [ Alcotest.test_case (Printf.sprintf "%d random cuts" trials) `Quick
             test_truncation_sweep ] );
+      ( "batch truncation",
+        [ Alcotest.test_case (Printf.sprintf "%d random cuts" trials) `Quick
+            test_batch_truncation_sweep ] );
     ]

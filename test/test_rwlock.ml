@@ -1,0 +1,162 @@
+(* The server's readers-writer lock, under real threads.
+
+   The properties the server leans on: readers are admitted in parallel,
+   a writer excludes everyone, acquire and release may happen on
+   different threads (sessions release the exclusive lock in a later
+   request than the one that took it), and a writer behind a saturating
+   stream of overlapping readers is still admitted — the
+   writer-preference property the group-commit path depends on for
+   bounded commit latency. *)
+
+module Rwlock = Ledger_server.Rwlock
+
+let test_parallel_reader_admission () =
+  let l = Rwlock.create () in
+  let n = 4 in
+  let inside = Atomic.make 0 in
+  let peak = Atomic.make 0 in
+  let reader () =
+    Rwlock.read l (fun () ->
+        let now = Atomic.fetch_and_add inside 1 + 1 in
+        let rec bump () =
+          let p = Atomic.get peak in
+          if now > p && not (Atomic.compare_and_set peak p now) then bump ()
+        in
+        bump ();
+        (* Hold the read lock until every reader is inside at once (or a
+           deadline proves they cannot be): admission must be parallel. *)
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        while Atomic.get peak < n && Unix.gettimeofday () < deadline do
+          Thread.yield ()
+        done;
+        ignore (Atomic.fetch_and_add inside (-1)))
+  in
+  let ths = List.init n (fun _ -> Thread.create reader ()) in
+  List.iter Thread.join ths;
+  Alcotest.(check int) "all readers inside simultaneously" n (Atomic.get peak)
+
+let test_writer_excludes_everyone () =
+  let l = Rwlock.create () in
+  Rwlock.lock_write l;
+  let entered = Atomic.make 0 in
+  let ths =
+    [
+      Thread.create (fun () -> Rwlock.read l (fun () -> Atomic.incr entered)) ();
+      Thread.create (fun () -> Rwlock.write l (fun () -> Atomic.incr entered)) ();
+    ]
+  in
+  Thread.delay 0.15;
+  Alcotest.(check int) "nobody enters while the writer holds" 0
+    (Atomic.get entered);
+  Rwlock.unlock_write l;
+  List.iter Thread.join ths;
+  Alcotest.(check int) "both enter after release" 2 (Atomic.get entered)
+
+(* Invariant torture: concurrent readers and writers hammering the lock
+   must never observe two writers inside, or a reader and writer
+   inside, at the same time. *)
+let test_exclusion_torture () =
+  let l = Rwlock.create () in
+  let writers_in = Atomic.make 0 in
+  let readers_in = Atomic.make 0 in
+  let violations = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let writer () =
+    while not (Atomic.get stop) do
+      Rwlock.write l (fun () ->
+          if Atomic.fetch_and_add writers_in 1 <> 0 then
+            Atomic.incr violations;
+          if Atomic.get readers_in <> 0 then Atomic.incr violations;
+          Thread.yield ();
+          ignore (Atomic.fetch_and_add writers_in (-1)))
+    done
+  in
+  let reader () =
+    while not (Atomic.get stop) do
+      Rwlock.read l (fun () ->
+          ignore (Atomic.fetch_and_add readers_in 1);
+          if Atomic.get writers_in <> 0 then Atomic.incr violations;
+          Thread.yield ();
+          ignore (Atomic.fetch_and_add readers_in (-1)))
+    done
+  in
+  let ths =
+    List.init 2 (fun _ -> Thread.create writer ())
+    @ List.init 2 (fun _ -> Thread.create reader ())
+  in
+  Thread.delay 0.5;
+  Atomic.set stop true;
+  List.iter Thread.join ths;
+  Alcotest.(check int) "no exclusion violations" 0 (Atomic.get violations)
+
+(* Sessions take the exclusive lock in the BEGIN request and release it
+   in the COMMIT request; nothing may depend on the acquiring thread
+   still existing at release time. *)
+let test_cross_thread_release () =
+  let l = Rwlock.create () in
+  let taker = Thread.create (fun () -> Rwlock.lock_write l) () in
+  Thread.join taker;
+  let entered = Atomic.make false in
+  let waiter =
+    Thread.create
+      (fun () -> Rwlock.write l (fun () -> Atomic.set entered true))
+      ()
+  in
+  Thread.delay 0.1;
+  Alcotest.(check bool) "lock survives its acquiring thread" false
+    (Atomic.get entered);
+  (* Release from this thread, which never acquired it. *)
+  Rwlock.unlock_write l;
+  Thread.join waiter;
+  Alcotest.(check bool) "next writer admitted after cross-thread release"
+    true (Atomic.get entered)
+
+(* Writer preference: a writer arriving into a continuous stream of
+   overlapping readers (there is never a moment with zero readers
+   in-flight) must still be admitted — arriving readers queue behind
+   it. Regression for commit-path starvation. *)
+let test_writer_progress_behind_readers () =
+  let l = Rwlock.create () in
+  let stop = Atomic.make false in
+  let readers =
+    List.init 3 (fun _ ->
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop) do
+              Rwlock.read l (fun () -> Thread.delay 0.002)
+            done)
+          ())
+  in
+  Thread.delay 0.05;
+  let acquired = Atomic.make false in
+  let writer =
+    Thread.create
+      (fun () -> Rwlock.write l (fun () -> Atomic.set acquired true))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Atomic.get acquired)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Atomic.set stop true;
+  Thread.join writer;
+  List.iter Thread.join readers;
+  Alcotest.(check bool) "writer admitted despite reader stream" true
+    (Atomic.get acquired)
+
+let () =
+  Alcotest.run "rwlock"
+    [
+      ( "rwlock",
+        [
+          Alcotest.test_case "parallel reader admission" `Quick
+            test_parallel_reader_admission;
+          Alcotest.test_case "writer excludes everyone" `Quick
+            test_writer_excludes_everyone;
+          Alcotest.test_case "exclusion torture" `Quick test_exclusion_torture;
+          Alcotest.test_case "cross-thread release" `Quick
+            test_cross_thread_release;
+          Alcotest.test_case "writer progress behind readers" `Quick
+            test_writer_progress_behind_readers;
+        ] );
+    ]

@@ -18,9 +18,22 @@ open Sql_ledger
    EPIPE errors, not kill the test binary. *)
 let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
+(* GROUP_COMMIT_WINDOW_MS overrides the commit mode for the whole suite
+   ("0" = legacy fsync-per-commit, anything positive = group commit with
+   that coalescing window), so CI can run these sessions in both modes
+   without a second test binary. *)
+let base_config =
+  match Sys.getenv_opt "GROUP_COMMIT_WINDOW_MS" with
+  | None -> Server.default_config
+  | Some ms -> (
+      match float_of_string_opt ms with
+      | Some v when v >= 0.0 ->
+          { Server.default_config with group_commit_window = v /. 1000.0 }
+      | _ -> Server.default_config)
+
 let with_server ?(tweak = fun c -> c) f =
   let dir = Filename.temp_dir "sqlledger-test-server" "" in
-  let config = tweak { Server.default_config with port = 0; dir } in
+  let config = tweak { base_config with port = 0; dir } in
   let srv =
     match Server.start ~config () with
     | Ok s -> s
@@ -249,7 +262,7 @@ let test_idle_timeout () =
 
 let test_graceful_shutdown_mid_txn () =
   let dir = Filename.temp_dir "sqlledger-test-server" "" in
-  let config = { Server.default_config with port = 0; dir } in
+  let config = { base_config with port = 0; dir } in
   let srv =
     match Server.start ~config () with
     | Ok s -> s
