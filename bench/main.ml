@@ -790,6 +790,222 @@ let serve_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* replica: read scale-out through a streaming read replica *)
+
+(* The §3.6 promise in throughput form: attach one replica to a loaded
+   primary, wait for it to catch up, then drive the same closed-loop
+   point-read workload twice — once with every reader pinned to the
+   primary, once with the readers split across primary + replica. Both
+   phases use the same reader count, so the second phase measures what
+   the extra serving node buys, not extra client parallelism. A digest
+   pulled from the primary and verified over the wire on the *replica*
+   closes the loop: the node that served the reads can prove the data it
+   served. *)
+
+let replica_bench () =
+  print_endline "=== replica: read scale-out with a streaming replica ===";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let readers = !serve_clients in
+  let duration = if !serve_duration > 0.0 then !serve_duration else 2.0 in
+  let rows = 1_000 in
+  let dir = Filename.temp_dir "sqlledger-bench" "" in
+  let rep_dir = Filename.temp_dir "sqlledger-bench" "-rep" in
+  let config =
+    {
+      Ledger_server.Server.default_config with
+      port = 0;
+      dir;
+      db_name = "bench";
+      max_connections = readers + 8;
+    }
+  in
+  let srv =
+    match Ledger_server.Server.start ~config () with
+    | Ok s -> s
+    | Error e -> failwith (Ledger_server.Server.start_error_to_string e)
+  in
+  let th = Ledger_server.Server.run_async srv in
+  let port = Ledger_server.Server.port srv in
+  let connect port =
+    match Wire.Client.connect ~host:"127.0.0.1" ~port () with
+    | Ok c -> c
+    | Error e -> failwith (Wire.Client.connect_error_to_string e)
+  in
+  let expect_ok what = function
+    | Ok r when not (Wire.Protocol.response_is_error r) -> ()
+    | Ok r ->
+        failwith (Printf.sprintf "%s: %s" what (Wire.Protocol.response_kind r))
+    | Error e -> failwith (Printf.sprintf "%s: %s" what e)
+  in
+  let setup = connect port in
+  expect_ok "create"
+    (Wire.Client.call setup
+       (Wire.Protocol.Create_table
+          {
+            name = "bench";
+            columns = [ ("id", "int"); ("payload", "varchar(64)") ];
+            key = [ "id" ];
+          }));
+  let prng = Workload.Prng.create 42 in
+  for id = 1 to rows do
+    expect_ok "load"
+      (Wire.Client.call setup
+         (Wire.Protocol.Exec
+            {
+              sql =
+                Printf.sprintf "INSERT INTO bench VALUES (%d, '%s')" id
+                  (Workload.Prng.alnum_string prng 64);
+            }))
+  done;
+  Wire.Client.close setup;
+  (* Attach the replica and wait until it has applied the whole load. *)
+  let node =
+    match
+      Ledger_server.Replica_node.start
+        ~config:
+          {
+            Ledger_server.Server.default_config with
+            port = 0;
+            dir = rep_dir;
+            max_connections = readers + 8;
+          }
+        ~primary_host:"127.0.0.1" ~primary_port:port ()
+    with
+    | Ok n -> n
+    | Error e -> failwith (Ledger_server.Server.start_error_to_string e)
+  in
+  let nth = Ledger_server.Replica_node.run_async node in
+  let primary_lsn () =
+    match Ledger_server.Server.durable srv with
+    | Some d ->
+        Aries.Wal.last_lsn
+          (Database_ledger.wal (Database.ledger (Durable.db d)))
+    | None -> 0
+  in
+  let await_catch_up () =
+    let deadline = Unix.gettimeofday () +. 30.0 in
+    while
+      Repl.Client.last_lsn (Ledger_server.Replica_node.client node)
+      <> primary_lsn ()
+    do
+      if Unix.gettimeofday () > deadline then
+        failwith "replica never caught up";
+      Thread.delay 0.02
+    done
+  in
+  await_catch_up ();
+  let rep_port = Ledger_server.Replica_node.port node in
+  Printf.printf "primary on :%d, replica on :%d, %d rows shipped\n" port
+    rep_port rows;
+  Printf.printf "%d readers, %.1f s per phase\n\n" readers duration;
+  (* Closed-loop point reads; each reader owns one connection for the
+     whole phase and round-robins over the serving ports by thread id. *)
+  let measure ports =
+    let counts = Array.make readers 0 in
+    let latencies = Array.make readers [] in
+    let errors = Atomic.make 0 in
+    let stop_at = Unix.gettimeofday () +. duration in
+    let reader i =
+      let client =
+        connect (List.nth ports (i mod List.length ports))
+      in
+      let prng = Workload.Prng.create (9000 + i) in
+      while Unix.gettimeofday () < stop_at do
+        let id = 1 + Workload.Prng.int prng rows in
+        let t0 = Unix.gettimeofday () in
+        (match
+           Wire.Client.call client
+             (Wire.Protocol.Query
+                { sql = Printf.sprintf "SELECT * FROM bench WHERE id = %d" id })
+         with
+        | Ok (Wire.Protocol.Rows_r _) -> counts.(i) <- counts.(i) + 1
+        | Ok _ | Error _ -> Atomic.incr errors);
+        latencies.(i) <- ((Unix.gettimeofday () -. t0) *. 1e6) :: latencies.(i)
+      done;
+      Wire.Client.close client
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init readers (fun i -> Thread.create reader i) in
+    List.iter Thread.join threads;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let total = Array.fold_left ( + ) 0 counts in
+    let all = Array.of_list (List.concat (Array.to_list latencies)) in
+    Array.sort compare all;
+    let pct p =
+      if Array.length all = 0 then 0.0
+      else
+        all.(min
+               (Array.length all - 1)
+               (int_of_float (p /. 100.0 *. float_of_int (Array.length all))))
+    in
+    if Atomic.get errors > 0 then failwith "read errors during bench";
+    (float_of_int total /. elapsed, pct 50.0, pct 95.0, total)
+  in
+  let one_tps, one_p50, one_p95, one_total = measure [ port ] in
+  Printf.printf "%-26s %12.0f req/s (p50 %.0f us, p95 %.0f us)\n"
+    "1 node (primary only)" one_tps one_p50 one_p95;
+  let two_tps, two_p50, two_p95, two_total =
+    measure [ port; rep_port ]
+  in
+  Printf.printf "%-26s %12.0f req/s (p50 %.0f us, p95 %.0f us)\n"
+    "2 nodes (primary+replica)" two_tps two_p50 two_p95;
+  let speedup = if one_tps > 0.0 then two_tps /. one_tps else 0.0 in
+  Printf.printf "%-26s %12.2fx\n" "read scale-out" speedup;
+  (* The replica proves what it served: digest from the primary,
+     verification over the wire on the secondary. *)
+  let ctl = connect port in
+  let digest_json =
+    match Wire.Client.call ctl Wire.Protocol.Digest with
+    | Ok (Wire.Protocol.Digest_r j) -> j
+    | _ -> failwith "digest failed"
+  in
+  Wire.Client.close ctl;
+  (* Digest generation closed a block; that Block_close record ships
+     asynchronously, and the replica can only verify the digest once it
+     holds the block the digest references. *)
+  await_catch_up ();
+  let rctl = connect rep_port in
+  let verify_ok =
+    match
+      Wire.Client.call rctl
+        (Wire.Protocol.Verify { tables = []; digests = [ digest_json ] })
+    with
+    | Ok (Wire.Protocol.Verify_r s) -> s.Wire.Protocol.vs_ok
+    | _ -> failwith "verify on the replica failed"
+  in
+  Wire.Client.close rctl;
+  Printf.printf "%-26s %12s\n" "replica wire verification"
+    (if verify_ok then "OK" else "FAILED");
+  Ledger_server.Replica_node.shutdown node nth;
+  Ledger_server.Server.shutdown srv th;
+  if not verify_ok then failwith "replica verification failed";
+  if !json_out then begin
+    let json =
+      Sjson.Obj
+        [
+          ("experiment", Sjson.String "replica");
+          ("readers", Sjson.Int readers);
+          ("duration_s", Sjson.Float duration);
+          ("rows", Sjson.Int rows);
+          ("one_node_rps", Sjson.Float one_tps);
+          ("one_node_p50_us", Sjson.Float one_p50);
+          ("one_node_p95_us", Sjson.Float one_p95);
+          ("one_node_requests", Sjson.Int one_total);
+          ("two_node_rps", Sjson.Float two_tps);
+          ("two_node_p50_us", Sjson.Float two_p50);
+          ("two_node_p95_us", Sjson.Float two_p95);
+          ("two_node_requests", Sjson.Int two_total);
+          ("scaleout", Sjson.Float speedup);
+          ("verify_ok", Sjson.Bool verify_ok);
+        ]
+    in
+    Out_channel.with_open_text "BENCH_replica.json" (fun oc ->
+        output_string oc (Sjson.to_string ~pretty:true json);
+        output_char oc '\n');
+    print_endline "\nwrote BENCH_replica.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Ablations over the design choices DESIGN.md calls out *)
 
 let ablation () =
@@ -903,7 +1119,7 @@ let experiments =
   [
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("fabric", fabric);
     ("decomp", decomp); ("hashpath", hashpath); ("serve", serve_bench);
-    ("ablation", ablation);
+    ("replica", replica_bench); ("ablation", ablation);
   ]
 
 let usage () =

@@ -270,7 +270,8 @@ let run_serve dir port host name max_conns max_frame idle_timeout
   List.iter (fun (n, m) -> Fault.set n m) failpoints;
   let config =
     {
-      Ledger_server.Server.host;
+      Ledger_server.Server.default_config with
+      host;
       port;
       dir;
       db_name = name;
@@ -303,6 +304,87 @@ let run_serve dir port host name max_conns max_frame idle_timeout
       | exception (Fault.Injected_crash e | Fault.Injected_error e) ->
           Printf.eprintf "fault injected: %s\n" e;
           2)
+
+(* ------------------------------------------------------------------ *)
+(* replica / promote *)
+
+(* Exit codes match serve: 0 clean shutdown, 1 startup failure, 2 port
+   in use or injected fault. *)
+let run_replica dir port host primary idle_timeout request_timeout failpoints =
+  List.iter (fun (n, m) -> Fault.set n m) failpoints;
+  match String.rindex_opt primary ':' with
+  | None ->
+      Printf.eprintf "sqlledger replica: --primary expects HOST:PORT, got %s\n"
+        primary;
+      1
+  | Some i -> (
+      let primary_host = String.sub primary 0 i in
+      let primary_port =
+        int_of_string_opt
+          (String.sub primary (i + 1) (String.length primary - i - 1))
+      in
+      match primary_port with
+      | None ->
+          Printf.eprintf "sqlledger replica: bad port in --primary %s\n"
+            primary;
+          1
+      | Some primary_port -> (
+          let config =
+            {
+              Ledger_server.Server.default_config with
+              host;
+              port;
+              dir;
+              idle_timeout;
+              request_timeout;
+            }
+          in
+          match
+            Ledger_server.Replica_node.start ~config ~primary_host
+              ~primary_port ()
+          with
+          | Error (Ledger_server.Server.Port_in_use msg) ->
+              Printf.eprintf "sqlledger replica: cannot listen on %s\n" msg;
+              2
+          | Error (Ledger_server.Server.Startup msg) ->
+              Printf.eprintf "sqlledger replica: %s\n" msg;
+              1
+          | Ok node -> (
+              Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+              let stop _ = Ledger_server.Replica_node.request_shutdown node in
+              Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+              Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+              Sys.set_signal Sys.sigusr1
+                (Sys.Signal_handle
+                   (fun _ -> Ledger_server.Replica_node.request_stats node));
+              Printf.printf
+                "sqlledger: replica of %s serving reads from %s on %s:%d \
+                 (SIGUSR1 dumps metrics)\n\
+                 %!"
+                primary dir host
+                (Ledger_server.Replica_node.port node);
+              match Ledger_server.Replica_node.run node with
+              | () -> 0
+              | exception (Fault.Injected_crash e | Fault.Injected_error e) ->
+                  Printf.eprintf "fault injected: %s\n" e;
+                  2)))
+
+let run_promote dir =
+  match Repl.Client.promote_dir ~dir () with
+  | Error e ->
+      Printf.eprintf "sqlledger promote: %s\n" e;
+      1
+  | Ok durable ->
+      let db = Durable.db durable in
+      Printf.printf
+        "promoted %s: database %s is now a primary (%d ledger tables, WAL \
+         at LSN %d); serve it with `sqlledger serve --dir %s`\n"
+        dir
+        (Database.database_id db)
+        (List.length (Database.ledger_tables db))
+        (Aries.Wal.last_lsn (Database_ledger.wal (Database.ledger db)))
+        dir;
+      0
 
 (* ------------------------------------------------------------------ *)
 (* client *)
@@ -361,6 +443,10 @@ let print_response = function
   | Protocol.Welcome _ ->
       print_endline "connected";
       0
+  | Protocol.Subscribed _ | Protocol.Snapshot_r _ ->
+      (* Replication handshake replies; never seen by the CLI client. *)
+      print_endline "unexpected replication response";
+      1
   | Protocol.Error_r { code; message } ->
       Printf.eprintf "error (%s): %s\n"
         (Protocol.error_code_to_string code)
@@ -716,6 +802,64 @@ let serve_cmd =
       $ host_arg $ db_name $ max_conns $ max_frame $ idle_timeout
       $ request_timeout $ group_commit_window $ failpoint_arg)
 
+let replica_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Replica directory (durable copy of the primary's WAL + \
+             snapshot, plus a replica marker); created on first use, \
+             resumed from its persisted position on every start.")
+  in
+  let primary =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "primary" ] ~docv:"HOST:PORT"
+          ~doc:"The primary sqlledger server to replicate from.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 60.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Disconnect an idle read session after this long; 0 disables.")
+  in
+  let request_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:"Tear a connection stalled mid-frame after this long; 0 \
+                disables.")
+  in
+  Cmd.v
+    (Cmd.info "replica"
+       ~doc:
+         "Stream a primary's WAL into a durable local copy and serve \
+          read-only queries from it (writes are refused with a typed \
+          read_only error naming the primary)")
+    Term.(
+      const run_replica $ dir
+      $ port_arg ~doc:"TCP port to serve read-only clients on"
+      $ host_arg $ primary $ idle_timeout $ request_timeout $ failpoint_arg)
+
+let promote_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Replica directory to promote into a servable primary.")
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Failover: recover a replica directory as a primary and drop its \
+          replica marker (everything the replica acked is preserved; the \
+          old primary's unshipped tail is the documented loss window)")
+    Term.(const run_promote $ dir)
+
 let client_cmd =
   let args =
     Arg.(
@@ -749,7 +893,7 @@ let main =
        ~doc:"Cryptographically verifiable ledger tables (SIGMOD'21 reproduction)")
     [
       demo_cmd; shell_cmd; fabric_cmd; verify_cmd; recover_cmd;
-      failpoints_cmd; serve_cmd; client_cmd;
+      failpoints_cmd; serve_cmd; replica_cmd; promote_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -18,12 +18,25 @@ type t
 
 val create : ?clock:(unit -> float) -> unit -> t
 
+val of_database : ?clock:(unit -> float) -> last_lsn:Aries.Wal.lsn -> Database.t -> t
+(** Resume a replica around an already-recovered database (a restarted
+    replica daemon reloading its durable copy): [last_lsn] is the
+    replication position the recovered state corresponds to; feeding
+    continues from there. *)
+
+val install_snapshot : t -> Database.t -> last_lsn:Aries.Wal.lsn -> unit
+(** Replace the replica's state wholesale with a snapshot shipped by the
+    primary (the catch-up path when the requested stream position has
+    been compacted away). Pending uncommitted buffers are discarded. *)
+
 val feed : t -> (Aries.Wal.lsn * Aries.Log_record.t) list -> (unit, string) result
 (** Apply new records (LSNs at or below the last fed LSN are skipped, so
     overlapping batches are safe). *)
 
 val feed_from_file : t -> wal_path:string -> (unit, string) result
-(** Re-read the primary's log file and apply everything new. *)
+(** Tail the primary's log file and apply everything new. Incremental: a
+    {!Aries.Wal.Tail} cursor persists across calls, so each call reads
+    only the bytes appended since the previous one. *)
 
 val database : t -> Database.t option
 (** The replica database; [None] until the creation record arrived. *)

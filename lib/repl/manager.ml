@@ -1,0 +1,113 @@
+(* Primary-side replication registry (paper §3.6).
+
+   One entry per replica identity (the stable [replica_id] carried in
+   Subscribe, not the TCP session): a replica that reconnects resumes its
+   entry, bumping its connect counter, instead of spawning a fresh one —
+   otherwise every reconnect would leave behind a stale entry pinning the
+   digest gate forever.
+
+   The gate itself is [replicated_upto]: the minimum acked commit
+   timestamp across every replica ever registered. Until the first
+   replica registers it is [infinity] (a single-node deployment issues
+   digests unimpeded); once a replica is known it stays in the minimum
+   even while disconnected — a crashed or lagging secondary must *block*
+   digest issuance, not silently drop out of the gate, because a digest
+   covering data the secondary never received is exactly what §3.6
+   forbids. *)
+
+type entry = {
+  e_id : string;  (* stable replica identity *)
+  mutable e_peer : string;  (* latest session user, informational *)
+  mutable e_last_lsn : Aries.Wal.lsn;  (* highest LSN acked as durable *)
+  mutable e_upto : float;  (* acked replicated_upto (commit ts) *)
+  mutable e_bytes : int;  (* payload bytes shipped, lifetime *)
+  mutable e_connected : bool;
+  mutable e_connects : int;  (* subscriptions, incl. the first *)
+  mutable e_last_ack : float;  (* wall-clock time of the last ack *)
+}
+
+type t = {
+  m : Mutex.t;
+  mutable entries : entry list;
+  last_lsn : unit -> Aries.Wal.lsn;  (* primary log position, for lag *)
+  last_commit_ts : unit -> float;  (* primary commit clock, for lag *)
+}
+
+let create ~last_lsn ~last_commit_ts =
+  { m = Mutex.create (); entries = []; last_lsn; last_commit_ts }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let register t ~id ~peer ~from_lsn =
+  with_lock t (fun () ->
+      match List.find_opt (fun e -> e.e_id = id) t.entries with
+      | Some e ->
+          e.e_peer <- peer;
+          e.e_last_lsn <- from_lsn;
+          e.e_connected <- true;
+          e.e_connects <- e.e_connects + 1;
+          e
+      | None ->
+          let e =
+            {
+              e_id = id;
+              e_peer = peer;
+              e_last_lsn = from_lsn;
+              e_upto = 0.;
+              e_bytes = 0;
+              e_connected = true;
+              e_connects = 1;
+              e_last_ack = 0.;
+            }
+          in
+          t.entries <- e :: t.entries;
+          e)
+
+let disconnect t e = with_lock t (fun () -> e.e_connected <- false)
+
+let ack t e ~last_lsn ~upto =
+  with_lock t (fun () ->
+      if last_lsn > e.e_last_lsn then e.e_last_lsn <- last_lsn;
+      if upto > e.e_upto then e.e_upto <- upto;
+      e.e_last_ack <- Unix.gettimeofday ())
+
+let add_bytes t e n = with_lock t (fun () -> e.e_bytes <- e.e_bytes + n)
+
+let replicated_upto t =
+  with_lock t (fun () ->
+      List.fold_left (fun acc e -> Float.min acc e.e_upto) infinity t.entries)
+
+let replica_count t = with_lock t (fun () -> List.length t.entries)
+
+let connected_count t =
+  with_lock t (fun () ->
+      List.length (List.filter (fun e -> e.e_connected) t.entries))
+
+(* Prometheus-like lines merged into the server's Stats/SIGUSR1 dump. *)
+let lines t =
+  with_lock t (fun () ->
+      let primary_lsn = t.last_lsn () in
+      let primary_ts = t.last_commit_ts () in
+      let out = ref [] in
+      let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+      add "sqlledger_replicas_known %d" (List.length t.entries);
+      add "sqlledger_replicas_connected %d"
+        (List.length (List.filter (fun e -> e.e_connected) t.entries));
+      List.iter
+        (fun e ->
+          add "sqlledger_replica_connected{replica=%S} %d" e.e_id
+            (if e.e_connected then 1 else 0);
+          add "sqlledger_replica_connects_total{replica=%S} %d" e.e_id
+            e.e_connects;
+          add "sqlledger_replica_acked_lsn{replica=%S} %d" e.e_id e.e_last_lsn;
+          add "sqlledger_replica_lag_records{replica=%S} %d" e.e_id
+            (max 0 (primary_lsn - e.e_last_lsn));
+          add "sqlledger_replica_lag_seconds{replica=%S} %.3f" e.e_id
+            (if primary_ts = 0. then 0.
+             else Float.max 0. (primary_ts -. e.e_upto));
+          add "sqlledger_replica_bytes_shipped_total{replica=%S} %d" e.e_id
+            e.e_bytes)
+        (List.sort (fun a b -> String.compare a.e_id b.e_id) t.entries);
+      List.rev !out)

@@ -1,0 +1,131 @@
+(* Replication stream messages (protocol v1).
+
+   After a [Subscribe] request is accepted, the connection stops being
+   request/response and becomes a stream: the primary pushes [Batch] and
+   [Heartbeat] frames, the replica answers with [Ack] frames. Every
+   message still travels inside an SLW1 frame; the payload is one JSON
+   object discriminated by a "repl" field, so a stream frame can never be
+   confused with a request/response envelope (those carry "req"/"resp").
+
+   A batch reuses the WAL's batch-frame discipline: the CRC-32 covers
+   every record in the batch (LSN and payload line, in order), so a
+   corrupted or reordered batch is rejected as one unit — the replica
+   never applies a damaged prefix. *)
+
+module LR = Aries.Log_record
+
+type msg =
+  | Batch of { records : (Aries.Wal.lsn * LR.t) list }
+  | Heartbeat of { last_lsn : Aries.Wal.lsn }
+      (** keep-alive when the log is idle; also tells the replica the
+          primary's position so an empty stream is distinguishable from a
+          stalled one *)
+  | Ack of { last_lsn : Aries.Wal.lsn; replicated_upto : float }
+      (** replica -> primary: everything up to [last_lsn] is durable on
+          the replica, whose last applied commit timestamp is
+          [replicated_upto] — the probe §3.6's digest gate consumes *)
+
+(* CRC over the batch body exactly as the records will be interpreted:
+   "LSN payload\n" per record. *)
+let batch_crc pairs =
+  Fault.Crc32.finish
+    (List.fold_left
+       (fun crc (lsn, line) ->
+         Fault.Crc32.update_char
+           (Fault.Crc32.update_string
+              (Fault.Crc32.update_char
+                 (Fault.Crc32.update_string crc (string_of_int lsn))
+                 ' ')
+              line)
+           '\n')
+       Fault.Crc32.init pairs)
+
+let encode_batch records =
+  let pairs =
+    List.map (fun (lsn, r) -> (lsn, Sjson.to_string (LR.to_json r))) records
+  in
+  Sjson.to_string
+    (Sjson.Obj
+       [
+         ("repl", Sjson.String "batch");
+         ("crc", Sjson.String (Printf.sprintf "%08lx" (batch_crc pairs)));
+         ( "records",
+           Sjson.List
+             (List.map
+                (fun (lsn, line) ->
+                  Sjson.List [ Sjson.Int lsn; Sjson.String line ])
+                pairs) );
+       ])
+
+let encode_heartbeat ~last_lsn =
+  Sjson.to_string
+    (Sjson.Obj
+       [ ("repl", Sjson.String "heartbeat"); ("last_lsn", Sjson.Int last_lsn) ])
+
+let encode_ack ~last_lsn ~replicated_upto =
+  Sjson.to_string
+    (Sjson.Obj
+       [
+         ("repl", Sjson.String "ack");
+         ("last_lsn", Sjson.Int last_lsn);
+         ("replicated_upto", Sjson.Float replicated_upto);
+       ])
+
+let ( let* ) = Result.bind
+
+let int_member name obj =
+  match Sjson.member name obj with
+  | Sjson.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "stream message missing int field %S" name)
+
+let decode_batch obj =
+  let* pairs =
+    match Sjson.member "records" obj with
+    | Sjson.List items ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Sjson.List [ Sjson.Int lsn; Sjson.String line ] :: rest ->
+              go ((lsn, line) :: acc) rest
+          | _ -> Error "batch record must be an [lsn, payload] pair"
+        in
+        go [] items
+    | _ -> Error "batch missing records"
+  in
+  let* () =
+    match Sjson.member "crc" obj with
+    | Sjson.String s -> (
+        match Int32.of_string_opt ("0x" ^ s) with
+        | Some crc when crc = batch_crc pairs -> Ok ()
+        | Some _ -> Error "batch checksum mismatch"
+        | None -> Error "bad batch checksum field")
+    | _ -> Error "batch missing checksum"
+  in
+  let rec decode acc = function
+    | [] -> Ok (Batch { records = List.rev acc })
+    | (lsn, line) :: rest -> (
+        match LR.of_line line with
+        | Ok r -> decode ((lsn, r) :: acc) rest
+        | Error e -> Error e)
+  in
+  decode [] pairs
+
+let decode payload =
+  match Sjson.of_string payload with
+  | exception Sjson.Parse_error e -> Error ("stream payload is not JSON: " ^ e)
+  | obj -> (
+      match Sjson.member "repl" obj with
+      | Sjson.String "batch" -> decode_batch obj
+      | Sjson.String "heartbeat" ->
+          let* last_lsn = int_member "last_lsn" obj in
+          Ok (Heartbeat { last_lsn })
+      | Sjson.String "ack" ->
+          let* last_lsn = int_member "last_lsn" obj in
+          let replicated_upto =
+            match Sjson.member "replicated_upto" obj with
+            | Sjson.Float f -> f
+            | Sjson.Int i -> float_of_int i
+            | _ -> 0.
+          in
+          Ok (Ack { last_lsn; replicated_upto })
+      | Sjson.String other -> Error ("unknown stream message " ^ other)
+      | _ -> Error "missing stream discriminator \"repl\"")

@@ -11,13 +11,36 @@
 open Sql_ledger
 module Protocol = Wire.Protocol
 
+(* Two personalities share the dispatch table:
+
+   - [Primary] owns a durable directory and accepts the full catalogue,
+     including [Subscribe] (which hands the session over to the server's
+     replication feed loop) and [Digest] (routed through the trusted
+     store's §3.6 replication gate when one is wired in).
+
+   - [Replica_view] serves the replica daemon's read port: reads run
+     against whatever database the replication client has materialised
+     so far, every write-shaped request is refused with the typed
+     [read_only] error naming the primary, and the engine lock is shared
+     with the apply path so readers never see a half-applied batch. *)
+type backend =
+  | Primary of {
+      durable : Durable.t;
+      queue : Commit_queue.t option;
+          (* group commit; [None] runs the legacy commit-per-fsync path *)
+      repl : Repl.Manager.t option;
+      digests : Trusted_store.Digest_manager.t option;
+    }
+  | Replica_view of {
+      get_db : unit -> Database.t option;
+      primary : string;  (* host:port, for read_only error messages *)
+    }
+
 type t = {
-  durable : Durable.t;
+  backend : backend;
   lock : Rwlock.t;
   metrics : Metrics.t;
   server_name : string;
-  queue : Commit_queue.t option;
-      (* group commit; [None] runs the legacy commit-per-fsync path *)
 }
 
 type session = {
@@ -27,8 +50,8 @@ type session = {
   mutable s_txn : Txn.t option;
 }
 
-let create ?(group_commit_window = 0.0) ~durable ~metrics ~server_name () =
-  let lock = Rwlock.create () in
+let create ?(group_commit_window = 0.0) ?repl ?digests ~durable ~metrics
+    ~server_name () =
   let queue =
     if group_commit_window > 0.0 then
       Some
@@ -37,7 +60,20 @@ let create ?(group_commit_window = 0.0) ~durable ~metrics ~server_name () =
            ~metrics)
     else None
   in
-  { durable; lock; metrics; server_name; queue }
+  {
+    backend = Primary { durable; queue; repl; digests };
+    lock = Rwlock.create ();
+    metrics;
+    server_name;
+  }
+
+(* The replica node owns the lock: its apply thread takes the writer side
+   around each batch, excluding the readers dispatched here. *)
+let create_replica ~lock ~get_db ~primary ~metrics ~server_name () =
+  { backend = Replica_view { get_db; primary }; lock; metrics; server_name }
+
+let queue t =
+  match t.backend with Primary { queue; _ } -> queue | Replica_view _ -> None
 
 (* Direct WAL writers — explicit transactions, DDL, checkpoints, digests
    (they append records immediately) — must drain the commit queue once
@@ -45,11 +81,17 @@ let create ?(group_commit_window = 0.0) ~durable ~metrics ~server_name () =
    without holding the engine lock, and its batches must reach the log
    before any record logged here. While the writer lock is held no new
    ticket can be enqueued, so the log stays quiescent until release. *)
-let flush_queue t = Option.iter Commit_queue.flush t.queue
+let flush_queue t = Option.iter Commit_queue.flush (queue t)
 
 let new_session ~id = { s_id = id; s_user = Printf.sprintf "client-%d" id; s_hello = false; s_txn = None }
 
-let db t = Durable.db t.durable
+exception Not_synced
+
+let db t =
+  match t.backend with
+  | Primary { durable; _ } -> Durable.db durable
+  | Replica_view { get_db; _ } -> (
+      match get_db () with Some db -> db | None -> raise Not_synced)
 
 let err code fmt =
   Printf.ksprintf
@@ -92,6 +134,9 @@ let guard f =
       err Protocol.Exec_error "duplicate key %s" k
   | Storage.Table_store.Not_found_key k ->
       err Protocol.Exec_error "no such key %s" k
+  | Not_synced ->
+      err Protocol.Exec_error
+        "replica has not received the database from the primary yet"
   | Failure e -> err Protocol.Exec_error "%s" e
   | (Fault.Injected_crash _ | Fault.Injected_error _) as e -> raise e
 
@@ -105,7 +150,7 @@ let exec_sql t s sql =
       match statement with
       | Sqlexec.Ast.Select _ -> with_read t s run
       | _ -> (
-          match (s.s_txn, t.queue) with
+          match (s.s_txn, queue t) with
           | Some _, _ | None, None -> with_write t s run
           | None, Some q ->
               (* Group commit: execute and stage under the exclusive
@@ -182,10 +227,32 @@ let end_txn t s ~commit =
 
 let generate_digest t s =
   (* Closing the open block mutates the ledger: exclusive. *)
-  with_write t s (fun () ->
-      match Database.generate_digest (db t) with
-      | Some d -> Protocol.Digest_r (Digest.to_json d)
-      | None -> err Protocol.Exec_error "nothing committed yet")
+  guard (fun () ->
+      with_write t s (fun () ->
+          match t.backend with
+          | Primary { digests = Some dm; _ } -> (
+              (* §3.6 over the wire: the trusted-store gate decides, and
+                 its deferral/alert outcomes surface as typed errors a
+                 client can distinguish from plain failure. *)
+              match Trusted_store.Digest_manager.upload dm (db t) with
+              | Trusted_store.Digest_manager.Uploaded d ->
+                  Protocol.Digest_r (Digest.to_json d)
+              | Trusted_store.Digest_manager.Nothing_to_upload ->
+                  err Protocol.Exec_error "nothing committed yet"
+              | Trusted_store.Digest_manager.Deferred_replication_lag ->
+                  err Protocol.Replication_lag
+                    "digest deferred: a replica has not yet acknowledged \
+                     the latest commits (deferral %d)"
+                    (Trusted_store.Digest_manager.deferral_count dm)
+              | Trusted_store.Digest_manager.Alert_replication_stuck ->
+                  err Protocol.Replication_stuck
+                    "digest gate alert: replication stuck after %d \
+                     consecutive deferrals"
+                    (Trusted_store.Digest_manager.deferral_count dm))
+          | Primary { digests = None; _ } | Replica_view _ -> (
+              match Database.generate_digest (db t) with
+              | Some d -> Protocol.Digest_r (Digest.to_json d)
+              | None -> err Protocol.Exec_error "nothing committed yet")))
 
 let generate_receipt t s ~txn_id =
   with_read t s (fun () ->
@@ -246,8 +313,70 @@ let create_table t s ~name ~columns ~key =
 let checkpoint t s =
   guard (fun () ->
       with_write t s (fun () ->
-          Durable.checkpoint t.durable;
-          Protocol.Ok_r))
+          match t.backend with
+          | Primary { durable; _ } ->
+              Durable.checkpoint durable;
+              Protocol.Ok_r
+          | Replica_view _ ->
+              err Protocol.Bad_request "replica does not checkpoint"))
+
+(* Accept a replication subscriber. Runs under the writer lock: the
+   commit queue is flushed, so the log position and (when needed) the
+   snapshot are a consistent cut of the database. The session is handed
+   back to the server with a [`Stream] action and never returns to the
+   request/response loop. *)
+let subscribe t s ~from_lsn ~replica_id =
+  match t.backend with
+  | Replica_view _ ->
+      ( err Protocol.Bad_request "replicas do not serve replication streams",
+        `Keep )
+  | Primary { repl = None; _ } ->
+      (err Protocol.Bad_request "replication is not enabled", `Keep)
+  | Primary { repl = Some mgr; durable; _ } -> (
+      try
+        with_write t s (fun () ->
+          let dbv = Durable.db durable in
+          let wal = Database_ledger.wal (Database.ledger dbv) in
+          let last = Aries.Wal.last_lsn wal in
+          if from_lsn > last then
+            (* The subscriber holds records this primary never durably
+               logged (it crashed after shipping but before its own
+               fsync, then recovered): their histories have forked, and
+               streaming would silently reuse those LSNs for different
+               records. *)
+            ( err Protocol.Exec_error
+                "replica position %d is ahead of the primary log (%d): \
+                 diverged history; rebuild the replica"
+                from_lsn last,
+              `Keep )
+          else
+            let servable =
+              match Aries.Wal.first_available wal with
+              | None -> from_lsn >= last
+              | Some f -> from_lsn >= f - 1
+            in
+            if servable then
+              let entry =
+                Repl.Manager.register mgr ~id:replica_id ~peer:s.s_user
+                  ~from_lsn
+              in
+              ( Protocol.Subscribed { last_lsn = last },
+                `Stream (entry, from_lsn) )
+            else
+              (* The requested position predates the in-memory log
+                 (compaction or a restart truncated it): ship a full
+                 snapshot and stream from its position instead. *)
+              let snap = Snapshot.save dbv in
+              let entry =
+                Repl.Manager.register mgr ~id:replica_id ~peer:s.s_user
+                  ~from_lsn:last
+              in
+              ( Protocol.Snapshot_r { snapshot = snap; last_lsn = last },
+                `Stream (entry, last) ))
+      with
+      | (Fault.Injected_crash _ | Fault.Injected_error _) as e -> raise e
+      | Types.Ledger_error e | Failure e ->
+          (err Protocol.Exec_error "%s" e, `Keep))
 
 (* Session teardown: roll back any open transaction and release the
    exclusive lock. Called on disconnect, idle timeout, and drain. *)
@@ -260,8 +389,20 @@ let cleanup t s =
        with _ -> ());
       Rwlock.unlock_write t.lock
 
-(* [handle] returns the response plus whether the server should close
-   the connection after sending it. *)
+(* Requests that would mutate the ledger. A replica refuses them with
+   the typed [read_only] error so a client (or a proxy) can retarget the
+   write at the primary instead of treating it as a hard failure.
+   [Digest] counts as a write: issuing one closes the open block, which
+   would fork the replica's ledger away from the primary's. *)
+let is_write_shaped = function
+  | Protocol.Exec _ | Protocol.Begin | Protocol.Commit | Protocol.Rollback
+  | Protocol.Create_table _ | Protocol.Checkpoint | Protocol.Digest ->
+      true
+  | _ -> false
+
+(* [handle] returns the response plus what the server should do with the
+   connection afterwards: keep serving it, close it, or hand it to the
+   replication feed loop. *)
 let handle t s req =
   match req with
   | Protocol.Hello { version; client } ->
@@ -273,16 +414,29 @@ let handle t s req =
       else begin
         s.s_hello <- true;
         if client <> "" then s.s_user <- Printf.sprintf "%s-%d" client s.s_id;
+        let database =
+          match t.backend with
+          | Primary _ -> Database.name (db t)
+          | Replica_view { get_db; _ } -> (
+              match get_db () with
+              | Some d -> Database.name d
+              | None -> "(replica syncing)")
+        in
         ( Protocol.Welcome
-            {
-              version = Protocol.version;
-              server = t.server_name;
-              database = Database.name (db t);
-            },
+            { version = Protocol.version; server = t.server_name; database },
           `Keep )
       end
   | _ when not s.s_hello ->
       (err Protocol.Bad_request "first request must be hello", `Close)
+  | req
+    when (match t.backend with Replica_view _ -> true | Primary _ -> false)
+         && is_write_shaped req -> (
+      match t.backend with
+      | Replica_view { primary; _ } ->
+          ( err Protocol.Read_only
+              "replica is read-only; writes go to the primary at %s" primary,
+            `Keep )
+      | Primary _ -> assert false)
   | Protocol.Ping -> (Protocol.Pong, `Keep)
   | Protocol.Exec { sql } -> (exec_sql t s sql, `Keep)
   | Protocol.Query { sql } -> (query_sql t s sql, `Keep)
@@ -296,5 +450,7 @@ let handle t s req =
   | Protocol.Create_table { name; columns; key } ->
       (create_table t s ~name ~columns ~key, `Keep)
   | Protocol.Checkpoint -> (checkpoint t s, `Keep)
+  | Protocol.Subscribe { from_lsn; replica_id } ->
+      subscribe t s ~from_lsn ~replica_id
   | Protocol.Stats -> (Protocol.Stats_r (Metrics.lines t.metrics), `Keep)
   | Protocol.Quit -> (Protocol.Bye, `Close)

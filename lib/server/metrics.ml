@@ -29,6 +29,8 @@ type t = {
   mutable conns_opened : int;
   mutable conns_active : int;
   mutable conns_rejected : int;
+  mutable providers : (unit -> string list) list;
+      (* extra line sources (replication lag, ...), registration order *)
 }
 
 let create () =
@@ -39,7 +41,16 @@ let create () =
     conns_opened = 0;
     conns_active = 0;
     conns_rejected = 0;
+    providers = [];
   }
+
+(* Subsystems with their own state (the replication manager, the replica
+   client) contribute lines to every [lines]/[dump] through a provider
+   instead of shoehorning their gauges into the histogram table. *)
+let register_lines t f =
+  Mutex.lock t.m;
+  t.providers <- t.providers @ [ f ];
+  Mutex.unlock t.m
 
 let entry_of t kind =
   match Hashtbl.find_opt t.table kind with
@@ -136,8 +147,12 @@ let lines t =
       add "sqlledger_request_latency_us{kind=%S,stat=\"max\"} %.1f" kind
         e.max_us)
     kinds;
+  let providers = t.providers in
   Mutex.unlock t.m;
+  (* Providers run outside the mutex: they take their own locks, and a
+     provider that also records here must not deadlock. *)
   List.rev !out
+  @ List.concat_map (fun f -> try f () with _ -> []) providers
 
 let dump t oc =
   List.iter

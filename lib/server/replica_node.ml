@@ -1,0 +1,72 @@
+(* A replica node = one replication client (pulling the stream from the
+   primary, materialising the database, persisting a durable copy) plus
+   one read-only server over that database (paper §3.6's readable
+   secondary).
+
+   The two halves share a single Rwlock: the client's apply path takes
+   the writer side around each batch, the server's dispatch takes the
+   reader side around each query, so reads never observe a half-applied
+   batch and never block the stream for longer than one statement.
+
+   The client losing the primary (crash, network) does not stop the
+   node: reads keep being served from the last applied state while the
+   client reconnects with backoff. Only a fatal condition (divergence,
+   misconfiguration, injected replica crash) stops the client — the
+   server still serves, and the metrics expose [connected 0] plus the
+   last error so an operator can decide to promote. *)
+
+type t = {
+  client : Repl.Client.t;
+  server : Server.t;
+  lock : Rwlock.t;
+}
+
+let start ?(config = Server.default_config) ~primary_host ~primary_port () =
+  match
+    Repl.Client.open_dir ~primary_host ~primary_port ~dir:config.Server.dir ()
+  with
+  | Error e -> Error (Server.Startup e)
+  | Ok client -> (
+      let lock = Rwlock.create () in
+      let get_db () = Repl.Client.database client in
+      let primary = Printf.sprintf "%s:%d" primary_host primary_port in
+      match Server.start_replica ~config ~primary ~get_db ~lock () with
+      | Error e ->
+          Repl.Client.close client;
+          Error e
+      | Ok server ->
+          Metrics.register_lines (Server.metrics server) (fun () ->
+              Repl.Client.metric_lines client);
+          Ok { client; server; lock })
+
+let client t = t.client
+let server t = t.server
+let port t = Server.port t.server
+let metrics t = Server.metrics t.server
+let request_shutdown t = Server.request_shutdown t.server
+let request_stats t = Server.request_stats t.server
+
+(* Blocks until shutdown is requested (or the server crashes via a fault
+   injection). The replication client runs on its own thread; its writer
+   sections synchronise with the read dispatch through the shared lock. *)
+let run ?dump_metrics_to t =
+  let th =
+    Thread.create
+      (fun () ->
+        try Repl.Client.run t.client ~with_write:(Rwlock.write t.lock)
+        with _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Repl.Client.stop t.client;
+      Thread.join th;
+      Repl.Client.close t.client)
+    (fun () -> Server.run ?dump_metrics_to t.server)
+
+let run_async ?dump_metrics_to t =
+  Thread.create (fun () -> try run ?dump_metrics_to t with _ -> ()) ()
+
+let shutdown t th =
+  request_shutdown t;
+  Thread.join th

@@ -48,6 +48,8 @@ type config = {
       (** seconds the commit leader coalesces concurrent auto-commit
           writers into one batched WAL append + fsync; 0 disables group
           commit (every commit pays its own fsync, the legacy path) *)
+  heartbeat_interval : float;
+      (** seconds between replication heartbeats on an idle stream *)
 }
 
 let default_config =
@@ -61,13 +63,15 @@ let default_config =
     idle_timeout = 60.0;
     request_timeout = 30.0;
     group_commit_window = 0.0005;
+    heartbeat_interval = 1.0;
   }
 
 type t = {
   cfg : config;
   lsock : Unix.file_descr;
   actual_port : int;
-  durable : Durable.t;
+  durable : Durable.t option;  (* [None] on a replica read port *)
+  repl_mgr : Repl.Manager.t option;  (* primary-side replication registry *)
   disp : Dispatch.t;
   metrics : Metrics.t;
   stop : bool Atomic.t;
@@ -91,54 +95,124 @@ let durable t = t.durable
 let request_shutdown t = Atomic.set t.stop true
 let request_stats t = Atomic.set t.stats_requested true
 
-let start ?(config = default_config) () =
-  match Durable.open_dir ~dir:config.dir ~name:config.db_name () with
-  | Error e -> Error (Startup e)
-  | Ok durable -> (
-      let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.setsockopt lsock Unix.SO_REUSEADDR true;
-      let addr =
-        Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port)
+let bind_listen config =
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  let addr =
+    Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port)
+  in
+  match Unix.bind lsock addr with
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+      (try Unix.close lsock with Unix.Unix_error _ -> ());
+      Error
+        (Port_in_use
+           (Printf.sprintf "%s:%d: address already in use" config.host
+              config.port))
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close lsock with Unix.Unix_error _ -> ());
+      Error
+        (Startup
+           (Printf.sprintf "cannot bind %s:%d: %s" config.host config.port
+              (Unix.error_message e)))
+  | () ->
+      Unix.listen lsock 64;
+      let actual_port =
+        match Unix.getsockname lsock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> config.port
       in
-      match Unix.bind lsock addr with
-      | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
-          (try Unix.close lsock with Unix.Unix_error _ -> ());
-          Error
-            (Port_in_use
-               (Printf.sprintf "%s:%d: address already in use" config.host
-                  config.port))
-      | exception Unix.Unix_error (e, _, _) ->
-          (try Unix.close lsock with Unix.Unix_error _ -> ());
-          Error
-            (Startup
-               (Printf.sprintf "cannot bind %s:%d: %s" config.host config.port
-                  (Unix.error_message e)))
-      | () ->
-          Unix.listen lsock 64;
-          let actual_port =
-            match Unix.getsockname lsock with
-            | Unix.ADDR_INET (_, p) -> p
-            | _ -> config.port
-          in
-          let metrics = Metrics.create () in
-          Ok
-            {
-              cfg = config;
-              lsock;
-              actual_port;
-              durable;
-              disp =
-                Dispatch.create
-                  ~group_commit_window:config.group_commit_window ~durable
-                  ~metrics ~server_name:"sqlledger/1.0" ();
-              metrics;
-              stop = Atomic.make false;
-              stats_requested = Atomic.make false;
-              crash = Atomic.make None;
-              sessions = Hashtbl.create 16;
-              sm = Mutex.create ();
-              next_session = 0;
-            })
+      Ok (lsock, actual_port)
+
+let start ?(config = default_config) () =
+  if Repl.Client.is_replica_dir config.dir then
+    Error
+      (Startup
+         (Printf.sprintf
+            "%s is a replica directory; run `sqlledger promote --dir %s` \
+             before serving it as a primary"
+            config.dir config.dir))
+  else
+    match Durable.open_dir ~dir:config.dir ~name:config.db_name () with
+    | Error e -> Error (Startup e)
+    | Ok durable -> (
+        match bind_listen config with
+        | Error e -> Error e
+        | Ok (lsock, actual_port) ->
+            let metrics = Metrics.create () in
+            let ledger () = Database.ledger (Durable.db durable) in
+            (* The replication registry also feeds the §3.6 digest gate:
+               digests only cover commits every known replica has acked,
+               so a failover to any of them loses nothing a digest
+               attests to. With no replica ever registered the gate is
+               wide open (single-node deployments are unaffected). *)
+            let repl_mgr =
+              Repl.Manager.create
+                ~last_lsn:(fun () ->
+                  Aries.Wal.last_lsn (Database_ledger.wal (ledger ())))
+                ~last_commit_ts:(fun () ->
+                  Database_ledger.last_commit_ts (ledger ()))
+            in
+            Metrics.register_lines metrics (fun () ->
+                Repl.Manager.lines repl_mgr);
+            let store =
+              Trusted_store.Worm_store.create
+                ~dir:(Filename.concat config.dir "worm")
+                ()
+            in
+            let digests =
+              Trusted_store.Digest_manager.create
+                ~replicated_upto:(fun () ->
+                  Repl.Manager.replicated_upto repl_mgr)
+                ~store ()
+            in
+            Ok
+              {
+                cfg = config;
+                lsock;
+                actual_port;
+                durable = Some durable;
+                repl_mgr = Some repl_mgr;
+                disp =
+                  Dispatch.create
+                    ~group_commit_window:config.group_commit_window
+                    ~repl:repl_mgr ~digests ~durable ~metrics
+                    ~server_name:"sqlledger/1.0" ();
+                metrics;
+                stop = Atomic.make false;
+                stats_requested = Atomic.make false;
+                crash = Atomic.make None;
+                sessions = Hashtbl.create 16;
+                sm = Mutex.create ();
+                next_session = 0;
+              })
+
+(* A read-only server over a replica's materialised database: same
+   accept/session machinery, [Dispatch.create_replica] personality, no
+   durable directory of its own (the replication client owns the disk
+   state). The [lock] is shared with the client's apply path. *)
+let start_replica ?(config = default_config) ~primary ~get_db ~lock () =
+  match bind_listen config with
+  | Error e -> Error e
+  | Ok (lsock, actual_port) ->
+      let metrics = Metrics.create () in
+      Ok
+        {
+          cfg = config;
+          lsock;
+          actual_port;
+          durable = None;
+          repl_mgr = None;
+          disp =
+            Dispatch.create_replica ~lock ~get_db ~primary ~metrics
+              ~server_name:"sqlledger-replica/1.0" ();
+          metrics;
+          stop = Atomic.make false;
+          stats_requested = Atomic.make false;
+          crash = Atomic.make None;
+          sessions = Hashtbl.create 16;
+          sm = Mutex.create ();
+          next_session = 0;
+        }
 
 (* ------------------------------------------------------------------ *)
 (* Sessions *)
@@ -182,8 +256,109 @@ let handle_frame t session conn payload =
             ~error:(Protocol.response_is_error resp)
             ~us:((Unix.gettimeofday () -. t0) *. 1e6);
           match send_response t conn ~id resp with
-          | `Sent -> if action = `Close then `Quit else `Sent
-          | `Torn -> `Torn))
+          | `Sent -> (
+              match action with
+              | `Close -> `Quit
+              | `Keep -> `Sent
+              | `Stream (entry, from_lsn) -> `Stream (entry, from_lsn))
+          | `Torn ->
+              (* A subscriber registered but never saw the accept frame:
+                 mark it disconnected so the lag metrics tell the truth
+                 (it stays in the digest gate, as any known replica
+                 must). *)
+              (match action with
+              | `Stream (entry, _) ->
+                  Option.iter
+                    (fun mgr -> Repl.Manager.disconnect mgr entry)
+                    t.repl_mgr
+              | `Keep | `Close -> ());
+              `Torn))
+
+(* ------------------------------------------------------------------ *)
+(* Replication feed *)
+
+(* How many WAL records ride in one stream frame. Bounds frame size and
+   keeps the replica's durable-apply-ack cadence fine-grained while a
+   backlog is draining. *)
+let stream_chunk = 256
+
+let rec split_chunk n acc = function
+  | rest when n = 0 -> (List.rev acc, rest)
+  | [] -> (List.rev acc, [])
+  | r :: rest -> split_chunk (n - 1) (r :: acc) rest
+
+(* After [Subscribe] is accepted the session thread becomes the feed for
+   that replica: tail the WAL from the agreed position, ship batches,
+   heartbeat when idle, and fold incoming acks into the manager (which
+   the digest gate and the lag metrics read).
+
+   The WAL is tailed *without* the engine lock: [Wal.records_from] walks
+   an immutable snapshot of the record list, so the feed never stalls
+   writers. The known race is benign in one direction and fatal in the
+   other: a record can be shipped before the primary's own fsync
+   completes, so after a primary crash a replica may be *ahead* — which
+   the subscribe handler detects as divergence (§3.6's bounded loss
+   window covers exactly the unshipped/unsynced tail). *)
+let feed_replication t conn entry ~from_lsn =
+  match (t.repl_mgr, t.durable) with
+  | Some mgr, Some durable ->
+      let wal = Database_ledger.wal (Database.ledger (Durable.db durable)) in
+      let sent = ref from_lsn in
+      let last_send = ref (Unix.gettimeofday ()) in
+      let closing = ref false in
+      (try
+         while not !closing do
+           if Atomic.get t.stop then closing := true
+           else begin
+             (* Drain acks without blocking. *)
+             while (not !closing) && Frame.poll conn 0.0 do
+               match Frame.recv ~point:point_read conn with
+               | Frame.Frame payload -> (
+                   match Repl.Stream.decode payload with
+                   | Ok (Repl.Stream.Ack { last_lsn; replicated_upto }) ->
+                       Repl.Manager.ack mgr entry ~last_lsn
+                         ~upto:replicated_upto
+                   | Ok _ | Error _ -> closing := true)
+               | Frame.Eof | Frame.Junk _ | Frame.Truncated
+               | Frame.Oversized _ ->
+                   closing := true
+             done;
+             if not !closing then begin
+               match Aries.Wal.records_from wal !sent with
+               | [] ->
+                   let now = Unix.gettimeofday () in
+                   if now -. !last_send >= t.cfg.heartbeat_interval then begin
+                     Frame.send ~point:point_write conn
+                       (Repl.Stream.encode_heartbeat ~last_lsn:!sent);
+                     last_send := now
+                   end
+                   else
+                     (* Idle pacing that doubles as an ack wait. *)
+                     ignore (Frame.poll conn 0.05 : bool)
+               | records ->
+                   let rec ship = function
+                     | [] -> ()
+                     | rs ->
+                         let chunk, rest = split_chunk stream_chunk [] rs in
+                         let payload = Repl.Stream.encode_batch chunk in
+                         Frame.send ~point:point_write conn payload;
+                         Repl.Manager.add_bytes mgr entry
+                           (String.length payload);
+                         (match List.rev chunk with
+                         | (l, _) :: _ -> sent := l
+                         | [] -> ());
+                         ship rest
+                   in
+                   ship records;
+                   last_send := Unix.gettimeofday ()
+             end
+           end
+         done
+       with
+      | Fault.Injected_error _ | Sys_error _ | Unix.Unix_error _ -> ()
+      | Fault.Injected_crash _ as e -> record_crash t e);
+      Repl.Manager.disconnect mgr entry
+  | _ -> ()
 
 let session_loop t sid fd =
   if t.cfg.request_timeout > 0.0 then
@@ -202,7 +377,10 @@ let session_loop t sid fd =
       | Frame.Frame payload -> (
           match handle_frame t session conn payload with
           | `Sent -> ()
-          | `Quit | `Torn -> closing := true)
+          | `Quit | `Torn -> closing := true
+          | `Stream (entry, from_lsn) ->
+              feed_replication t conn entry ~from_lsn;
+              closing := true)
       | Frame.Eof | Frame.Truncated -> closing := true
       | Frame.Junk bytes ->
           ignore
@@ -288,9 +466,13 @@ let drain t =
   in
   List.iter Thread.join threads;
   (* Durability point of the drain: publish any batch still queued, then
-     force everything appended onto disk. *)
+     force everything appended onto disk. (A replica read port owns no
+     durable state; its replication client syncs its own log.) *)
   Dispatch.flush_queue t.disp;
-  Aries.Wal.sync (Database_ledger.wal (Database.ledger (Durable.db t.durable)))
+  Option.iter
+    (fun durable ->
+      Aries.Wal.sync (Database_ledger.wal (Database.ledger (Durable.db durable))))
+    t.durable
 
 let run ?(dump_metrics_to = stderr) t =
   while not (Atomic.get t.stop) do

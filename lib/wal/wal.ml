@@ -57,8 +57,14 @@ let () =
   Fault.register point_batch_append;
   Fault.register point_batch_sync
 
-let create ?path ?(first_lsn = 1) ?(sync_commits = true) () =
-  let channel = Option.map open_out path in
+let create ?path ?(append = false) ?(first_lsn = 1) ?(sync_commits = true) () =
+  let channel =
+    Option.map
+      (fun p ->
+        if append then open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 p
+        else open_out p)
+      path
+  in
   {
     entries = [];
     next_lsn = first_lsn;
@@ -161,7 +167,24 @@ let advance_to t lsn = if lsn >= t.next_lsn then t.next_lsn <- lsn + 1
 
 let records t = List.rev t.entries
 
-let records_from t after = List.filter (fun (l, _) -> l > after) (records t)
+(* [entries] is newest-first with strictly increasing LSNs, so collecting
+   while [l > after] and stopping at the first older record costs O(new),
+   not O(log): this is the primary's per-replica tail read, which runs on
+   every feed-loop iteration. *)
+let records_from t after =
+  let rec take acc = function
+    | ((l, _) as e) :: rest when l > after -> take (e :: acc) rest
+    | _ -> acc
+  in
+  take [] t.entries
+
+let first_available t =
+  let rec last = function
+    | [] -> None
+    | [ (l, _) ] -> Some l
+    | _ :: rest -> last rest
+  in
+  last t.entries
 
 (* Force everything appended so far onto stable storage (the server's
    graceful-shutdown barrier; per-commit durability is handled inline by
@@ -279,6 +302,36 @@ let parse_batch_frame line =
                      Ok (first, List.rev !payloads)
                    with Bad_batch reason -> Error reason)))
 
+(* Parse one non-blank log line into its records. [prev_lsn] is the LSN
+   of the last successfully parsed record: framed records must carry
+   strictly increasing LSNs, and legacy bare-JSON lines are numbered
+   sequentially after it. A batch frame yields several records with
+   consecutive LSNs from its first. *)
+let parse_line ~prev_lsn line =
+  if line.[0] = '#' then
+    match parse_frame line with
+    | Error _ as e -> e
+    | Ok (lsn, payload) ->
+        if lsn <= prev_lsn then
+          Error (Printf.sprintf "non-monotonic LSN %d after %d" lsn prev_lsn)
+        else Result.map (fun r -> [ (lsn, r) ]) (Log_record.of_line payload)
+  else if line.[0] = '@' then
+    match parse_batch_frame line with
+    | Error _ as e -> e
+    | Ok (first, payloads) ->
+        if first <= prev_lsn then
+          Error (Printf.sprintf "non-monotonic LSN %d after %d" first prev_lsn)
+        else
+          let rec decode i acc = function
+            | [] -> Ok (List.rev acc)
+            | p :: rest -> (
+                match Log_record.of_line p with
+                | Ok r -> decode (i + 1) ((first + i, r) :: acc) rest
+                | Error _ as e -> e)
+          in
+          decode 0 [] payloads
+  else Result.map (fun r -> [ (prev_lsn + 1, r) ]) (Log_record.of_line line)
+
 let load_ex path =
   match open_in_bin path with
   | exception Sys_error e -> Error e
@@ -309,44 +362,9 @@ let load_ex path =
             match input_line ic with
             | exception End_of_file -> continue := false
             | line when String.trim line = "" -> ()
-            | line ->
+            | line -> (
                 incr count;
-                let parsed =
-                  if line.[0] = '#' then
-                    match parse_frame line with
-                    | Error _ as e -> e
-                    | Ok (lsn, payload) ->
-                        if lsn <= !prev_lsn then
-                          Error
-                            (Printf.sprintf "non-monotonic LSN %d after %d"
-                               lsn !prev_lsn)
-                        else
-                          Result.map
-                            (fun r -> [ (lsn, r) ])
-                            (Log_record.of_line payload)
-                  else if line.[0] = '@' then
-                    match parse_batch_frame line with
-                    | Error _ as e -> e
-                    | Ok (first, payloads) ->
-                        if first <= !prev_lsn then
-                          Error
-                            (Printf.sprintf "non-monotonic LSN %d after %d"
-                               first !prev_lsn)
-                        else
-                          let rec decode i acc = function
-                            | [] -> Ok (List.rev acc)
-                            | p :: rest -> (
-                                match Log_record.of_line p with
-                                | Ok r -> decode (i + 1) ((first + i, r) :: acc) rest
-                                | Error _ as e -> e)
-                          in
-                          decode 0 [] payloads
-                  else
-                    Result.map
-                      (fun r -> [ (!prev_lsn + 1, r) ])
-                      (Log_record.of_line line)
-                in
-                (match parsed with
+                match parse_line ~prev_lsn:!prev_lsn line with
                 | Ok entries ->
                     List.iter
                       (fun ((lsn, _) as entry) ->
@@ -362,3 +380,83 @@ let load_ex path =
           | None -> Ok { l_records = List.rev !out; l_torn = !torn })
 
 let load path = Result.map (fun l -> l.l_records) (load_ex path)
+
+(* ------------------------------------------------------------------ *)
+(* Tailing *)
+
+(* A resumable cursor over a live log file. Each [poll] reopens the file,
+   seeks to the byte just past the last complete line it consumed, and
+   parses only what was appended since — so repeatedly tailing a growing
+   log costs O(new records), not O(whole file) per call. Only complete
+   lines (terminated by a newline) are consumed: a final line still being
+   written — or torn by a writer crash — is left for the next poll rather
+   than misread. A *complete* line that fails to parse, or a file that
+   shrank below the cursor's position (truncation/compaction under the
+   cursor), is an error: the tailer's history no longer matches the file
+   and the caller must resynchronise. *)
+module Tail = struct
+  type cursor = {
+    tc_path : string;
+    mutable tc_offset : int;  (* bytes consumed (complete lines only) *)
+    mutable tc_lsn : lsn;  (* records at or below this are not redelivered *)
+    mutable tc_prev : lsn;  (* last parsed LSN, for monotonicity checks *)
+  }
+
+  let create ?(after = 0) path =
+    { tc_path = path; tc_offset = 0; tc_lsn = after; tc_prev = 0 }
+
+  let path c = c.tc_path
+  let position c = c.tc_lsn
+
+  let poll c =
+    match open_in_bin c.tc_path with
+    | exception Sys_error e -> Error e
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let size = in_channel_length ic in
+            if size < c.tc_offset then
+              Error
+                (c.tc_path
+               ^ ": log shrank under the tail cursor (truncated or compacted)")
+            else if size = c.tc_offset then Ok []
+            else begin
+              seek_in ic c.tc_offset;
+              let chunk = really_input_string ic (size - c.tc_offset) in
+              match String.rindex_opt chunk '\n' with
+              | None -> Ok []  (* no complete line yet *)
+              | Some nl ->
+                  let region = String.sub chunk 0 (nl + 1) in
+                  let rec go acc = function
+                    | [] -> Ok (List.concat (List.rev acc))
+                    | line :: rest ->
+                        if is_blank line then go acc rest
+                        else (
+                          match parse_line ~prev_lsn:c.tc_prev line with
+                          | Error e ->
+                              Error
+                                (Printf.sprintf
+                                   "%s: corrupt record under tail cursor \
+                                    (after LSN %d): %s"
+                                   c.tc_path c.tc_prev e)
+                          | Ok entries ->
+                              (match List.rev entries with
+                              | (l, _) :: _ -> c.tc_prev <- l
+                              | [] -> ());
+                              go
+                                (List.filter (fun (l, _) -> l > c.tc_lsn)
+                                   entries
+                                :: acc)
+                                rest)
+                  in
+                  (match go [] (String.split_on_char '\n' region) with
+                  | Error _ as e -> e
+                  | Ok records ->
+                      c.tc_offset <- c.tc_offset + nl + 1;
+                      (match List.rev records with
+                      | (l, _) :: _ -> c.tc_lsn <- l
+                      | [] -> ());
+                      Ok records)
+            end)
+end

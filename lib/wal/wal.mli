@@ -11,14 +11,23 @@ type t
 
 type lsn = int
 
-val create : ?path:string -> ?first_lsn:lsn -> ?sync_commits:bool -> unit -> t
+val create :
+  ?path:string ->
+  ?append:bool ->
+  ?first_lsn:lsn ->
+  ?sync_commits:bool ->
+  unit ->
+  t
 (** When [path] is given, every append is written through and flushed to the
-    file (truncating any existing file). [first_lsn] (default 1) is the LSN
-    the next append receives — compaction passes the continuation of the
-    previous log's numbering so LSNs stay globally monotonic across
-    truncations. When [sync_commits] is true (the default), appending a
-    [Commit] record additionally fsyncs the file: that is the durability
-    point of a transaction. *)
+    file (truncating any existing file, unless [append] is set — then new
+    records are written after the existing contents, which the caller is
+    expected to have validated and whose numbering [first_lsn] must
+    continue; the replica's durable copy reopens this way). [first_lsn]
+    (default 1) is the LSN the next append receives — compaction passes the
+    continuation of the previous log's numbering so LSNs stay globally
+    monotonic across truncations. When [sync_commits] is true (the
+    default), appending a [Commit] record additionally fsyncs the file:
+    that is the durability point of a transaction. *)
 
 val append : t -> Log_record.t -> lsn
 (** Durably append a record; returns its LSN. Writes are routed through the
@@ -47,7 +56,14 @@ val records : t -> (lsn * Log_record.t) list
 (** All records, in LSN order. *)
 
 val records_from : t -> lsn -> (lsn * Log_record.t) list
-(** Records with LSN strictly greater than the argument. *)
+(** Records with LSN strictly greater than the argument. Costs O(matching
+    records): this is the primary's per-replica tail read. *)
+
+val first_available : t -> lsn option
+(** LSN of the oldest record still held in memory ([None] when empty). A
+    log re-attached after compaction or recovery starts past LSN 1, so a
+    subscriber asking for history before this point must be fed a snapshot
+    instead of a stream. *)
 
 val sync : t -> unit
 (** Flush and fsync the backing file (no-op for in-memory logs): the
@@ -71,3 +87,29 @@ val load_ex : string -> (loaded, string) result
 
 val load : string -> ((lsn * Log_record.t) list, string) result
 (** [load_ex] without the torn-tail flag. *)
+
+(** Incremental tailing of a live log file. A cursor remembers how many
+    bytes it has consumed, so each {!Tail.poll} reads and parses only the
+    records appended since the previous poll — O(new), where re-loading
+    the whole file per poll (the old [Replica.feed_from_file] behaviour)
+    was O(file). *)
+module Tail : sig
+  type cursor
+
+  val create : ?after:lsn -> string -> cursor
+  (** Cursor at the start of the file; records with LSN at or below
+      [after] (default 0) are parsed but not redelivered, so a restarted
+      tailer resumes from its durable position. *)
+
+  val poll : cursor -> ((lsn * Log_record.t) list, string) result
+  (** New complete records since the last poll, in LSN order. A final
+      line missing its newline (still being written, or torn by a crash)
+      is left for the next poll. Errors when a complete line fails to
+      parse or the file shrank below the cursor — the file no longer
+      matches the cursor's history and the caller must resynchronise. *)
+
+  val path : cursor -> string
+
+  val position : cursor -> lsn
+  (** LSN of the last record delivered (or the initial [after]). *)
+end

@@ -30,6 +30,9 @@ type error_code =
   | Too_large  (** frame exceeded the server's max-frame limit *)
   | Busy  (** server at its max-connection limit *)
   | Shutting_down  (** server is draining sessions *)
+  | Read_only  (** write sent to a read replica; message names the primary *)
+  | Replication_lag  (** digest deferred: geo-replica lags (§3.6 gate) *)
+  | Replication_stuck  (** digest gate alert: replica stuck behind *)
   | Internal  (** unexpected server-side failure *)
 
 let error_code_to_string = function
@@ -41,6 +44,9 @@ let error_code_to_string = function
   | Too_large -> "too_large"
   | Busy -> "busy"
   | Shutting_down -> "shutting_down"
+  | Read_only -> "read_only"
+  | Replication_lag -> "replication_lag"
+  | Replication_stuck -> "replication_stuck"
   | Internal -> "internal"
 
 let error_code_of_string = function
@@ -52,6 +58,9 @@ let error_code_of_string = function
   | "too_large" -> Some Too_large
   | "busy" -> Some Busy
   | "shutting_down" -> Some Shutting_down
+  | "read_only" -> Some Read_only
+  | "replication_lag" -> Some Replication_lag
+  | "replication_stuck" -> Some Replication_stuck
   | "internal" -> Some Internal
   | _ -> None
 
@@ -76,6 +85,13 @@ type request =
     }
   | Checkpoint
   | Stats
+  | Subscribe of { from_lsn : int; replica_id : string }
+      (** switch the connection into a replication stream: the server
+          replies [Subscribed] (stream resumes after [from_lsn]) or
+          [Snapshot_r] (position compacted away; full state shipped),
+          then pushes batched WAL frames until the connection closes.
+          [replica_id] is the subscriber's stable identity — reconnects
+          under the same id resume its lag-gate accounting. *)
   | Quit
 
 let request_kind = function
@@ -92,6 +108,7 @@ let request_kind = function
   | Create_table _ -> "create_table"
   | Checkpoint -> "checkpoint"
   | Stats -> "stats"
+  | Subscribe _ -> "subscribe"
   | Quit -> "quit"
 
 let request_fields = function
@@ -99,6 +116,11 @@ let request_fields = function
       [ ("version", Sjson.Int version); ("client", Sjson.String client) ]
   | Exec { sql } | Query { sql } -> [ ("sql", Sjson.String sql) ]
   | Receipt { txn_id } -> [ ("txn_id", Sjson.Int txn_id) ]
+  | Subscribe { from_lsn; replica_id } ->
+      [
+        ("from_lsn", Sjson.Int from_lsn);
+        ("replica_id", Sjson.String replica_id);
+      ]
   | Verify { tables; digests } ->
       [
         ("tables", Sjson.List (List.map (fun t -> Sjson.String t) tables));
@@ -140,6 +162,13 @@ type response =
   | Receipt_r of Sjson.t  (** canonical receipt document *)
   | Verify_r of verify_summary
   | Stats_r of string list  (** one plain-text metric per line *)
+  | Subscribed of { last_lsn : int }
+      (** stream accepted; batched WAL frames follow, starting after the
+          subscriber's [from_lsn] and currently extending to [last_lsn] *)
+  | Snapshot_r of { snapshot : Sjson.t; last_lsn : int }
+      (** the requested position predates the primary's in-memory log
+          (compaction/restart truncated it): install this full snapshot,
+          whose state corresponds to [last_lsn], then stream from there *)
   | Bye
   | Error_r of { code : error_code; message : string }
 
@@ -156,6 +185,8 @@ let response_kind = function
   | Receipt_r _ -> "receipt"
   | Verify_r _ -> "verify"
   | Stats_r _ -> "stats"
+  | Subscribed _ -> "subscribed"
+  | Snapshot_r _ -> "snapshot"
   | Bye -> "bye"
   | Error_r _ -> "error"
 
@@ -191,6 +222,9 @@ let response_fields = function
       ]
   | Stats_r lines ->
       [ ("lines", Sjson.List (List.map (fun s -> Sjson.String s) lines)) ]
+  | Subscribed { last_lsn } -> [ ("last_lsn", Sjson.Int last_lsn) ]
+  | Snapshot_r { snapshot; last_lsn } ->
+      [ ("snapshot", snapshot); ("last_lsn", Sjson.Int last_lsn) ]
   | Error_r { code; message } ->
       [
         ("code", Sjson.String (error_code_to_string code));
@@ -307,6 +341,10 @@ let decode_request payload =
             Ok (Create_table { name; columns; key })
         | "checkpoint" -> Ok Checkpoint
         | "stats" -> Ok Stats
+        | "subscribe" ->
+            let* from_lsn = int_field "from_lsn" obj in
+            let* replica_id = str_field "replica_id" obj in
+            Ok (Subscribe { from_lsn; replica_id })
         | "quit" -> Ok Quit
         | other -> Error ("unknown request " ^ other))
   | _ -> Error "missing request discriminator \"req\""
@@ -387,6 +425,12 @@ let decode_response payload =
         | "stats" ->
             let* lines = string_list "lines" obj in
             Ok (Stats_r lines)
+        | "subscribed" ->
+            let* last_lsn = int_field "last_lsn" obj in
+            Ok (Subscribed { last_lsn })
+        | "snapshot" ->
+            let* last_lsn = int_field "last_lsn" obj in
+            Ok (Snapshot_r { snapshot = Sjson.member "snapshot" obj; last_lsn })
         | "bye" -> Ok Bye
         | "error" ->
             let* code_s = str_field "code" obj in
