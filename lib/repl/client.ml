@@ -339,6 +339,15 @@ let apply_batch t ~with_write records payload_bytes =
 let stream_loop t conn ~with_write =
   let fatal = ref None in
   let closing = ref false in
+  (* An ack lost to a dying connection (EPIPE with SIGPIPE ignored, the
+     primary crashing between delivering a frame and our reply) is a
+     teardown, not a daemon-killing failure: note it and let the backoff
+     loop resubscribe. Injected faults ([repl.ack]) keep propagating —
+     they model a replica crash, which [run] turns into a stop. *)
+  let ack () =
+    try send_ack t conn
+    with Sys_error _ | Unix.Unix_error _ -> closing := true
+  in
   while not (!closing || Atomic.get t.c_stop) do
     if Frame.poll conn 0.2 then
       match Frame.recv ~max_frame:stream_max_frame conn with
@@ -348,11 +357,11 @@ let stream_loop t conn ~with_write =
               match
                 apply_batch t ~with_write records (String.length payload)
               with
-              | Ok () -> send_ack t conn
+              | Ok () -> ack ()
               | Error e ->
                   fatal := Some e;
                   closing := true)
-          | Ok (Stream.Heartbeat _) -> send_ack t conn
+          | Ok (Stream.Heartbeat _) -> ack ()
           | Ok (Stream.Ack _) -> ()  (* not ours to receive; ignore *)
           | Error e ->
               fatal := Some ("bad stream frame: " ^ e);
@@ -390,23 +399,28 @@ let run t ~with_write =
       | Fatal e ->
           t.c_last_error <- e;
           Atomic.set t.c_stop true
-      | Stream_open conn -> (
+      | Stream_open conn ->
           t.c_connected <- true;
           backoff := t.backoff_min;
-          match
+          let fatal =
             try stream_loop t conn ~with_write with
             | Fault.Injected_error _ | Fault.Injected_crash _ ->
                 Atomic.set t.c_stop true;
                 Some "injected replica crash"
-          with
-          | fatal ->
-              t.c_connected <- false;
-              Frame.close conn;
-              (match fatal with
-              | Some e ->
-                  t.c_last_error <- e;
-                  Atomic.set t.c_stop true
-              | None -> ()))
+            | e ->
+                (* Catch-all: an unexpected exception must not kill the
+                   daemon silently with [c_connected] stuck true — record
+                   it and fall back to the reconnect/backoff path. *)
+                t.c_last_error <- Printexc.to_string e;
+                None
+          in
+          t.c_connected <- false;
+          Frame.close conn;
+          (match fatal with
+          | Some e ->
+              t.c_last_error <- e;
+              Atomic.set t.c_stop true
+          | None -> ())
     end
   done;
   t.c_connected <- false;

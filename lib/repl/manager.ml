@@ -24,6 +24,9 @@ type entry = {
   mutable e_connected : bool;
   mutable e_connects : int;  (* subscriptions, incl. the first *)
   mutable e_last_ack : float;  (* wall-clock time of the last ack *)
+  mutable e_epoch : int;
+      (* bumped on every (re)registration; a feeder holding an older
+         epoch has been superseded and must stand down (see [current]) *)
 }
 
 type t = {
@@ -40,6 +43,11 @@ let with_lock t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
+(* Returns the entry plus the epoch of this registration (read under the
+   same lock that bumped it, so concurrent re-registrations of one
+   identity get distinct epochs). Exactly one feeder — the holder of the
+   entry's latest epoch — is the live one; any other must exit without
+   touching the entry's connection state. *)
 let register t ~id ~peer ~from_lsn =
   with_lock t (fun () ->
       match List.find_opt (fun e -> e.e_id = id) t.entries with
@@ -48,7 +56,8 @@ let register t ~id ~peer ~from_lsn =
           e.e_last_lsn <- from_lsn;
           e.e_connected <- true;
           e.e_connects <- e.e_connects + 1;
-          e
+          e.e_epoch <- e.e_epoch + 1;
+          (e, e.e_epoch)
       | None ->
           let e =
             {
@@ -60,12 +69,21 @@ let register t ~id ~peer ~from_lsn =
               e_connected = true;
               e_connects = 1;
               e_last_ack = 0.;
+              e_epoch = 1;
             }
           in
           t.entries <- e :: t.entries;
-          e)
+          (e, 1))
 
-let disconnect t e = with_lock t (fun () -> e.e_connected <- false)
+(* Is [epoch] still the entry's latest registration? A feeder polls this
+   each loop turn and stands down once a newer subscription for the same
+   replica identity has taken the entry over. *)
+let current t e ~epoch = with_lock t (fun () -> e.e_epoch = epoch)
+
+(* Marks the entry disconnected only if [epoch] is still current: a
+   superseded feeder exiting must not shadow the live session's state. *)
+let disconnect t e ~epoch =
+  with_lock t (fun () -> if e.e_epoch = epoch then e.e_connected <- false)
 
 let ack t e ~last_lsn ~upto =
   with_lock t (fun () ->

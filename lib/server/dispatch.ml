@@ -356,23 +356,23 @@ let subscribe t s ~from_lsn ~replica_id =
               | Some f -> from_lsn >= f - 1
             in
             if servable then
-              let entry =
+              let entry, epoch =
                 Repl.Manager.register mgr ~id:replica_id ~peer:s.s_user
                   ~from_lsn
               in
               ( Protocol.Subscribed { last_lsn = last },
-                `Stream (entry, from_lsn) )
+                `Stream (entry, epoch, from_lsn) )
             else
               (* The requested position predates the in-memory log
                  (compaction or a restart truncated it): ship a full
                  snapshot and stream from its position instead. *)
               let snap = Snapshot.save dbv in
-              let entry =
+              let entry, epoch =
                 Repl.Manager.register mgr ~id:replica_id ~peer:s.s_user
                   ~from_lsn:last
               in
               ( Protocol.Snapshot_r { snapshot = snap; last_lsn = last },
-                `Stream (entry, last) ))
+                `Stream (entry, epoch, last) ))
       with
       | (Fault.Injected_crash _ | Fault.Injected_error _) as e -> raise e
       | Types.Ledger_error e | Failure e ->

@@ -260,16 +260,17 @@ let handle_frame t session conn payload =
               match action with
               | `Close -> `Quit
               | `Keep -> `Sent
-              | `Stream (entry, from_lsn) -> `Stream (entry, from_lsn))
+              | `Stream (entry, epoch, from_lsn) ->
+                  `Stream (entry, epoch, from_lsn))
           | `Torn ->
               (* A subscriber registered but never saw the accept frame:
                  mark it disconnected so the lag metrics tell the truth
                  (it stays in the digest gate, as any known replica
                  must). *)
               (match action with
-              | `Stream (entry, _) ->
+              | `Stream (entry, epoch, _) ->
                   Option.iter
-                    (fun mgr -> Repl.Manager.disconnect mgr entry)
+                    (fun mgr -> Repl.Manager.disconnect mgr entry ~epoch)
                     t.repl_mgr
               | `Keep | `Close -> ());
               `Torn))
@@ -299,16 +300,26 @@ let rec split_chunk n acc = function
    completes, so after a primary crash a replica may be *ahead* — which
    the subscribe handler detects as divergence (§3.6's bounded loss
    window covers exactly the unshipped/unsynced tail). *)
-let feed_replication t conn entry ~from_lsn =
+let feed_replication t conn entry ~epoch ~from_lsn =
   match (t.repl_mgr, t.durable) with
   | Some mgr, Some durable ->
-      let wal = Database_ledger.wal (Database.ledger (Durable.db durable)) in
+      let ledger = Database.ledger (Durable.db durable) in
+      (* The WAL handle is re-fetched every iteration, never captured:
+         a checkpoint/compaction swaps the ledger's [Wal.t]
+         ([Database_ledger.attach_wal]), and tailing the old handle
+         would silently stop delivering records while heartbeats keep
+         reporting a stale position. *)
+      let wal () = Database_ledger.wal ledger in
       let sent = ref from_lsn in
       let last_send = ref (Unix.gettimeofday ()) in
       let closing = ref false in
       (try
          while not !closing do
            if Atomic.get t.stop then closing := true
+           else if not (Repl.Manager.current mgr entry ~epoch) then
+             (* A newer subscription for the same replica identity has
+                taken the entry over: stand down without touching it. *)
+             closing := true
            else begin
              (* Drain acks without blocking. *)
              while (not !closing) && Frame.poll conn 0.0 do
@@ -324,40 +335,53 @@ let feed_replication t conn entry ~from_lsn =
                    closing := true
              done;
              if not !closing then begin
-               match Aries.Wal.records_from wal !sent with
-               | [] ->
-                   let now = Unix.gettimeofday () in
-                   if now -. !last_send >= t.cfg.heartbeat_interval then begin
-                     Frame.send ~point:point_write conn
-                       (Repl.Stream.encode_heartbeat ~last_lsn:!sent);
-                     last_send := now
-                   end
-                   else
-                     (* Idle pacing that doubles as an ack wait. *)
-                     ignore (Frame.poll conn 0.05 : bool)
-               | records ->
-                   let rec ship = function
-                     | [] -> ()
-                     | rs ->
-                         let chunk, rest = split_chunk stream_chunk [] rs in
-                         let payload = Repl.Stream.encode_batch chunk in
-                         Frame.send ~point:point_write conn payload;
-                         Repl.Manager.add_bytes mgr entry
-                           (String.length payload);
-                         (match List.rev chunk with
-                         | (l, _) :: _ -> sent := l
-                         | [] -> ());
-                         ship rest
-                   in
-                   ship records;
-                   last_send := Unix.gettimeofday ()
+               let w = wal () in
+               (* Same servability test the subscribe handler runs: if
+                  compaction truncated the log past this stream's
+                  position, the missing records now live only in the
+                  snapshot — tear the stream down so the replica
+                  resubscribes (and is shipped a snapshot). *)
+               let servable =
+                 match Aries.Wal.first_available w with
+                 | None -> !sent >= Aries.Wal.last_lsn w
+                 | Some f -> !sent >= f - 1
+               in
+               if not servable then closing := true
+               else
+                 match Aries.Wal.records_from w !sent with
+                 | [] ->
+                     let now = Unix.gettimeofday () in
+                     if now -. !last_send >= t.cfg.heartbeat_interval then begin
+                       Frame.send ~point:point_write conn
+                         (Repl.Stream.encode_heartbeat ~last_lsn:!sent);
+                       last_send := now
+                     end
+                     else
+                       (* Idle pacing that doubles as an ack wait. *)
+                       ignore (Frame.poll conn 0.05 : bool)
+                 | records ->
+                     let rec ship = function
+                       | [] -> ()
+                       | rs ->
+                           let chunk, rest = split_chunk stream_chunk [] rs in
+                           let payload = Repl.Stream.encode_batch chunk in
+                           Frame.send ~point:point_write conn payload;
+                           Repl.Manager.add_bytes mgr entry
+                             (String.length payload);
+                           (match List.rev chunk with
+                           | (l, _) :: _ -> sent := l
+                           | [] -> ());
+                           ship rest
+                     in
+                     ship records;
+                     last_send := Unix.gettimeofday ()
              end
            end
          done
        with
       | Fault.Injected_error _ | Sys_error _ | Unix.Unix_error _ -> ()
       | Fault.Injected_crash _ as e -> record_crash t e);
-      Repl.Manager.disconnect mgr entry
+      Repl.Manager.disconnect mgr entry ~epoch
   | _ -> ()
 
 let session_loop t sid fd =
@@ -378,8 +402,8 @@ let session_loop t sid fd =
           match handle_frame t session conn payload with
           | `Sent -> ()
           | `Quit | `Torn -> closing := true
-          | `Stream (entry, from_lsn) ->
-              feed_replication t conn entry ~from_lsn;
+          | `Stream (entry, epoch, from_lsn) ->
+              feed_replication t conn entry ~epoch ~from_lsn;
               closing := true)
       | Frame.Eof | Frame.Truncated -> closing := true
       | Frame.Junk bytes ->

@@ -428,21 +428,28 @@ module Tail = struct
               | None -> Ok []  (* no complete line yet *)
               | Some nl ->
                   let region = String.sub chunk 0 (nl + 1) in
+                  (* [prev] stays local until the whole region parses:
+                     committing it per line would leave the cursor's
+                     monotonicity state ahead of [tc_offset] when a later
+                     line fails, so the retrying poll would re-read the
+                     same bytes and report a misleading non-monotonic-LSN
+                     error instead of the original corruption. *)
+                  let prev = ref c.tc_prev in
                   let rec go acc = function
                     | [] -> Ok (List.concat (List.rev acc))
                     | line :: rest ->
                         if is_blank line then go acc rest
                         else (
-                          match parse_line ~prev_lsn:c.tc_prev line with
+                          match parse_line ~prev_lsn:!prev line with
                           | Error e ->
                               Error
                                 (Printf.sprintf
                                    "%s: corrupt record under tail cursor \
                                     (after LSN %d): %s"
-                                   c.tc_path c.tc_prev e)
+                                   c.tc_path !prev e)
                           | Ok entries ->
                               (match List.rev entries with
-                              | (l, _) :: _ -> c.tc_prev <- l
+                              | (l, _) :: _ -> prev := l
                               | [] -> ());
                               go
                                 (List.filter (fun (l, _) -> l > c.tc_lsn)
@@ -454,6 +461,7 @@ module Tail = struct
                   | Error _ as e -> e
                   | Ok records ->
                       c.tc_offset <- c.tc_offset + nl + 1;
+                      c.tc_prev <- !prev;
                       (match List.rev records with
                       | (l, _) :: _ -> c.tc_lsn <- l
                       | [] -> ());

@@ -188,26 +188,37 @@ let test_manager_gate () =
   in
   Alcotest.(check bool) "no replicas: gate wide open" true
     (Repl.Manager.replicated_upto m = infinity);
-  let a = Repl.Manager.register m ~id:"a" ~peer:"s1" ~from_lsn:0 in
+  let a, _ = Repl.Manager.register m ~id:"a" ~peer:"s1" ~from_lsn:0 in
   Alcotest.(check bool) "registered but silent: gate shut" true
     (Repl.Manager.replicated_upto m = 0.0);
   Repl.Manager.ack m a ~last_lsn:10 ~upto:100.0;
   Alcotest.(check bool) "acked: gate at the ack" true
     (Repl.Manager.replicated_upto m = 100.0);
   (* A second, lagging replica drags the minimum down. *)
-  let b = Repl.Manager.register m ~id:"b" ~peer:"s2" ~from_lsn:0 in
+  let b, b_epoch = Repl.Manager.register m ~id:"b" ~peer:"s2" ~from_lsn:0 in
   Repl.Manager.ack m b ~last_lsn:4 ~upto:40.0;
   Alcotest.(check bool) "min over replicas" true
     (Repl.Manager.replicated_upto m = 40.0);
   (* Disconnection must NOT drop a replica out of the gate. *)
-  Repl.Manager.disconnect m b;
+  Repl.Manager.disconnect m b ~epoch:b_epoch;
   Alcotest.(check bool) "disconnected stays in the min" true
     (Repl.Manager.replicated_upto m = 40.0);
   Alcotest.(check int) "known" 2 (Repl.Manager.replica_count m);
   Alcotest.(check int) "connected" 1 (Repl.Manager.connected_count m);
   (* Reconnect reuses the entry and bumps the connect counter. *)
-  let b' = Repl.Manager.register m ~id:"b" ~peer:"s3" ~from_lsn:4 in
+  let b', b'_epoch = Repl.Manager.register m ~id:"b" ~peer:"s3" ~from_lsn:4 in
   Alcotest.(check bool) "same entry reused" true (b == b');
+  Alcotest.(check bool) "re-registration bumps the epoch" true
+    (b'_epoch > b_epoch);
+  (* The superseded feeder's epoch is no longer current, and its exit
+     must not mark the live session disconnected. *)
+  Alcotest.(check bool) "old epoch superseded" false
+    (Repl.Manager.current m b ~epoch:b_epoch);
+  Alcotest.(check bool) "new epoch current" true
+    (Repl.Manager.current m b' ~epoch:b'_epoch);
+  Repl.Manager.disconnect m b ~epoch:b_epoch;
+  Alcotest.(check int) "stale disconnect ignored" 2
+    (Repl.Manager.connected_count m);
   Alcotest.(check int) "still two known" 2 (Repl.Manager.replica_count m);
   (* Acks are monotonic: a stale ack cannot move the gate backwards. *)
   Repl.Manager.ack m b ~last_lsn:2 ~upto:20.0;
@@ -395,6 +406,43 @@ let test_e2e_differential () =
                    (fun l -> l = "sqlledger_repl_client_connected 1")
                    lines)
           | r -> Alcotest.fail ("stats returned " ^ Protocol.response_kind r));
+          Client.close c;
+          Client.close rc;
+          Node.shutdown node nth))
+
+(* ------------------------------------------------------------------ *)
+(* Compaction under a live stream *)
+
+(* Compacting the primary swaps the ledger's WAL handle
+   ([Database_ledger.attach_wal]); the feed loop must pick up the new
+   handle rather than tailing the dead one forever — records committed
+   after the compaction still have to reach the replica. *)
+let test_stream_survives_compaction () =
+  with_primary (fun ~dir:_ ~port srv ->
+      with_tmp_dir (fun rep_dir ->
+          let node, nth = start_node ~dir:rep_dir ~primary_port:port in
+          let c = connect port in
+          create_accounts c;
+          for i = 0 to 9 do
+            expect_ok "insert" (insert c (Printf.sprintf "pre-%02d" i) i)
+          done;
+          await_caught_up srv node;
+          (* Quiescent: no writers in flight, so compacting outside the
+             engine lock is race-free here. The handle swap is what the
+             stream has to survive. *)
+          Durable.compact (Option.get (Server.durable srv));
+          for i = 0 to 9 do
+            expect_ok "insert" (insert c (Printf.sprintf "post-%02d" i) i)
+          done;
+          await_caught_up srv node;
+          let rc = connect (Node.port node) in
+          Alcotest.(check int) "all rows on the primary" 20
+            (List.length (select_all c));
+          Alcotest.(check bool) "replica converged across compaction" true
+            (select_all c = select_all rc);
+          (* And the gate still sees the replica's acks: a digest must be
+             issuable, not stuck deferring on a stale LSN. *)
+          ignore (digest_retry c : Sjson.t);
           Client.close c;
           Client.close rc;
           Node.shutdown node nth))
@@ -633,6 +681,8 @@ let () =
         [
           Alcotest.test_case "differential primary vs replica" `Quick
             test_e2e_differential;
+          Alcotest.test_case "stream survives primary compaction" `Quick
+            test_stream_survives_compaction;
           Alcotest.test_case "digest gate over the wire" `Quick
             test_lag_gate_over_wire;
           Alcotest.test_case "crash/restart resumes from persisted LSN" `Quick
