@@ -517,6 +517,7 @@ let hashpath () =
 
 let serve_clients = ref 8
 let serve_duration = ref 0.0 (* seconds; 0 = fixed op count per client *)
+let serve_warmup = ref (-1.0) (* seconds; negative = experiment default *)
 
 (* Group-commit coalescing window in ms; negative = server default.
    `--window 0` benches the legacy fsync-per-commit path. *)
@@ -806,7 +807,9 @@ let replica_bench () =
   print_endline "=== replica: read scale-out with a streaming replica ===";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let readers = !serve_clients in
-  let duration = if !serve_duration > 0.0 then !serve_duration else 2.0 in
+  let duration = if !serve_duration > 0.0 then !serve_duration else 5.0 in
+  let warmup = if !serve_warmup >= 0.0 then !serve_warmup else 1.0 in
+  let cores = Domain.recommended_domain_count () in
   let rows = 1_000 in
   let dir = Filename.temp_dir "sqlledger-bench" "" in
   let rep_dir = Filename.temp_dir "sqlledger-bench" "-rep" in
@@ -874,7 +877,26 @@ let replica_bench () =
     | Ok n -> n
     | Error e -> failwith (Ledger_server.Server.start_error_to_string e)
   in
-  let nth = Ledger_server.Replica_node.run_async node in
+  (* On a multicore host the replica node lives in its own domain: its
+     apply thread and its read sessions get a runtime lock of their own,
+     so the two serving nodes genuinely run in parallel instead of
+     time-slicing one OCaml runtime. On a single core extra domains only
+     add switching overhead, so everything stays on the main runtime
+     (mirroring Merkle.Parallel's single-core guard). *)
+  let use_domains = Domain.recommended_domain_count () > 1 in
+  let join_node =
+    if use_domains then begin
+      let d =
+        Domain.spawn (fun () ->
+            try Ledger_server.Replica_node.run node with _ -> ())
+      in
+      fun () -> Domain.join d
+    end
+    else begin
+      let t = Ledger_server.Replica_node.run_async node in
+      fun () -> Thread.join t
+    end
+  in
   let primary_lsn () =
     match Ledger_server.Server.durable srv with
     | Some d ->
@@ -897,13 +919,29 @@ let replica_bench () =
   let rep_port = Ledger_server.Replica_node.port node in
   Printf.printf "primary on :%d, replica on :%d, %d rows shipped\n" port
     rep_port rows;
-  Printf.printf "%d readers, %.1f s per phase\n\n" readers duration;
+  Printf.printf
+    "%d readers, %.1f s per phase (%.1f s warmup), %d core(s) recommended\n\n"
+    readers duration warmup cores;
+  if cores = 1 then
+    print_endline
+      "note: single-core host — both nodes and all readers time-share one \
+       CPU,\nso two-node scale-out is physically capped near 1.0x here; run \
+       on a\nmulticore host for the real scale-out number.\n";
+  (* Reader threads are grouped into domains (leaving a core's worth for
+     the two serving nodes) so client-side work does not serialise
+     against the servers on a multicore host; one domain group means
+     plain threads on the main runtime. *)
+  let reader_domains = if use_domains then max 1 (min 4 (cores - 1)) else 1 in
   (* Closed-loop point reads; each reader owns one connection for the
-     whole phase and round-robins over the serving ports by thread id. *)
-  let measure ports =
+     whole phase and round-robins over the serving ports by thread id.
+     [storm] adds primary-side writers running for the whole phase, to
+     measure what concurrent commits do to read tails. *)
+  let measure ?(storm = 0) ~duration ports =
     let counts = Array.make readers 0 in
     let latencies = Array.make readers [] in
     let errors = Atomic.make 0 in
+    let storm_counts = Array.make (max 1 storm) 0 in
+    let stop_storm = Atomic.make false in
     let stop_at = Unix.gettimeofday () +. duration in
     let reader i =
       let client =
@@ -924,10 +962,52 @@ let replica_bench () =
       done;
       Wire.Client.close client
     in
+    let storm_writer w =
+      let client = connect port in
+      let prng = Workload.Prng.create (7000 + w) in
+      while not (Atomic.get stop_storm) do
+        let id = 1 + Workload.Prng.int prng rows in
+        match
+          Wire.Client.call client
+            (Wire.Protocol.Exec
+               {
+                 sql =
+                   Printf.sprintf "UPDATE bench SET payload = '%s' WHERE id = %d"
+                     (Workload.Prng.alnum_string prng 64)
+                     id;
+               })
+        with
+        | Ok r when not (Wire.Protocol.response_is_error r) ->
+            storm_counts.(w) <- storm_counts.(w) + 1
+        | Ok _ | Error _ -> Atomic.incr errors
+      done;
+      Wire.Client.close client
+    in
+    let storm_threads =
+      List.init storm (fun w -> Thread.create storm_writer w)
+    in
     let t0 = Unix.gettimeofday () in
-    let threads = List.init readers (fun i -> Thread.create reader i) in
-    List.iter Thread.join threads;
+    (if use_domains then begin
+       let groups = Array.make reader_domains [] in
+       for i = readers - 1 downto 0 do
+         groups.(i mod reader_domains) <- i :: groups.(i mod reader_domains)
+       done;
+       let doms =
+         Array.to_list
+           (Array.map
+              (fun idxs ->
+                Domain.spawn (fun () ->
+                    List.iter Thread.join
+                      (List.map (fun i -> Thread.create reader i) idxs)))
+              groups)
+       in
+       List.iter Domain.join doms
+     end
+     else
+       List.iter Thread.join (List.init readers (fun i -> Thread.create reader i)));
     let elapsed = Unix.gettimeofday () -. t0 in
+    Atomic.set stop_storm true;
+    List.iter Thread.join storm_threads;
     let total = Array.fold_left ( + ) 0 counts in
     let all = Array.of_list (List.concat (Array.to_list latencies)) in
     Array.sort compare all;
@@ -938,26 +1018,59 @@ let replica_bench () =
                (Array.length all - 1)
                (int_of_float (p /. 100.0 *. float_of_int (Array.length all))))
     in
-    if Atomic.get errors > 0 then failwith "read errors during bench";
-    (float_of_int total /. elapsed, pct 50.0, pct 95.0, total)
+    if Atomic.get errors > 0 then failwith "request errors during bench";
+    ( float_of_int total /. elapsed,
+      pct 50.0,
+      pct 95.0,
+      total,
+      Array.fold_left ( + ) 0 storm_counts )
   in
-  let one_tps, one_p50, one_p95, one_total = measure [ port ] in
-  Printf.printf "%-26s %12.0f req/s (p50 %.0f us, p95 %.0f us)\n"
-    "1 node (primary only)" one_tps one_p50 one_p95;
-  let two_tps, two_p50, two_p95, two_total =
-    measure [ port; rep_port ]
+  let phase ?storm label ports =
+    if warmup > 0.0 then
+      ignore (measure ?storm ~duration:warmup ports
+              : float * float * float * int * int);
+    let tps, p50, p95, total, writes = measure ?storm ~duration ports in
+    Printf.printf "%-30s %12.0f req/s (p50 %.0f us, p95 %.0f us)%s\n" label
+      tps p50 p95
+      (if writes > 0 then Printf.sprintf " [%d concurrent writes]" writes
+       else "");
+    (tps, p50, p95, total, writes)
   in
-  Printf.printf "%-26s %12.0f req/s (p50 %.0f us, p95 %.0f us)\n"
-    "2 nodes (primary+replica)" two_tps two_p50 two_p95;
+  let one_tps, one_p50, one_p95, one_total, _ =
+    phase "1 node (primary only)" [ port ]
+  in
+  let two_tps, two_p50, two_p95, two_total, _ =
+    phase "2 nodes (primary+replica)" [ port; rep_port ]
+  in
   let speedup = if one_tps > 0.0 then two_tps /. one_tps else 0.0 in
-  Printf.printf "%-26s %12.2fx\n" "read scale-out" speedup;
+  Printf.printf "%-30s %12.2fx\n" "read scale-out" speedup;
+  (* Write storm: the same two-node read workload while primary-side
+     writers commit continuously. Snapshot reads should keep the read
+     tail close to the idle tail — under the old lock discipline the
+     writer-preferring Rwlock let a commit stream starve readers. *)
+  let storm_tps, storm_p50, storm_p95, storm_total, storm_writes =
+    phase ~storm:4 "2 nodes + write storm" [ port; rep_port ]
+  in
+  let p95_ratio = if two_p95 > 0.0 then storm_p95 /. two_p95 else 0.0 in
+  Printf.printf "%-30s %12.2fx (storm p95 / idle p95)\n" "write-storm read tail"
+    p95_ratio;
   (* The replica proves what it served: digest from the primary,
-     verification over the wire on the secondary. *)
+     verification over the wire on the secondary. The storm leaves the
+     replica momentarily behind, and the §3.6 gate defers digests until
+     the replica has acked the latest commits — wait for catch-up and
+     ride out the ack race with a short retry. *)
+  await_catch_up ();
   let ctl = connect port in
   let digest_json =
-    match Wire.Client.call ctl Wire.Protocol.Digest with
-    | Ok (Wire.Protocol.Digest_r j) -> j
-    | _ -> failwith "digest failed"
+    let rec attempt n =
+      match Wire.Client.call ctl Wire.Protocol.Digest with
+      | Ok (Wire.Protocol.Digest_r j) -> j
+      | Ok _ when n > 0 ->
+          Thread.delay 0.1;
+          attempt (n - 1)
+      | _ -> failwith "digest failed"
+    in
+    attempt 100
   in
   Wire.Client.close ctl;
   (* Digest generation closed a block; that Block_close record ships
@@ -974,9 +1087,10 @@ let replica_bench () =
     | _ -> failwith "verify on the replica failed"
   in
   Wire.Client.close rctl;
-  Printf.printf "%-26s %12s\n" "replica wire verification"
+  Printf.printf "%-30s %12s\n" "replica wire verification"
     (if verify_ok then "OK" else "FAILED");
-  Ledger_server.Replica_node.shutdown node nth;
+  Ledger_server.Replica_node.request_shutdown node;
+  join_node ();
   Ledger_server.Server.shutdown srv th;
   if not verify_ok then failwith "replica verification failed";
   if !json_out then begin
@@ -986,6 +1100,9 @@ let replica_bench () =
           ("experiment", Sjson.String "replica");
           ("readers", Sjson.Int readers);
           ("duration_s", Sjson.Float duration);
+          ("warmup_s", Sjson.Float warmup);
+          ("cores", Sjson.Int cores);
+          ("reader_domains", Sjson.Int reader_domains);
           ("rows", Sjson.Int rows);
           ("one_node_rps", Sjson.Float one_tps);
           ("one_node_p50_us", Sjson.Float one_p50);
@@ -996,6 +1113,13 @@ let replica_bench () =
           ("two_node_p95_us", Sjson.Float two_p95);
           ("two_node_requests", Sjson.Int two_total);
           ("scaleout", Sjson.Float speedup);
+          ("storm_writers", Sjson.Int 4);
+          ("storm_read_rps", Sjson.Float storm_tps);
+          ("storm_read_p50_us", Sjson.Float storm_p50);
+          ("storm_read_p95_us", Sjson.Float storm_p95);
+          ("storm_read_requests", Sjson.Int storm_total);
+          ("storm_writes", Sjson.Int storm_writes);
+          ("storm_p95_over_idle_p95", Sjson.Float p95_ratio);
           ("verify_ok", Sjson.Bool verify_ok);
         ]
     in
@@ -1124,8 +1248,8 @@ let experiments =
 
 let usage () =
   Printf.eprintf
-    "usage: bench [--json] [--clients N] [--duration S] [--window MS] \
-     [experiment ...]\n";
+    "usage: bench [--json] [--clients N] [--duration S] [--warmup S] \
+     [--window MS] [experiment ...]\n";
   exit 1
 
 let () =
@@ -1146,13 +1270,19 @@ let () =
             serve_duration := v;
             parse acc rest
         | _ -> usage ())
+    | "--warmup" :: s :: rest -> (
+        match float_of_string_opt s with
+        | Some v when v >= 0.0 ->
+            serve_warmup := v;
+            parse acc rest
+        | _ -> usage ())
     | "--window" :: ms :: rest -> (
         match float_of_string_opt ms with
         | Some v when v >= 0.0 ->
             serve_window_ms := v;
             parse acc rest
         | _ -> usage ())
-    | ("--clients" | "--duration" | "--window") :: [] -> usage ()
+    | ("--clients" | "--duration" | "--warmup" | "--window") :: [] -> usage ()
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in

@@ -1,18 +1,21 @@
-(* Classic B+tree. Interior nodes hold separator keys and children; all
-   bindings live in the leaves. Separator keys.(i) is the minimum key of the
-   subtree kids.(i + 1), so a lookup descends into the rightmost child whose
-   separator is <= the probe. Node arrays are copied on modification; with
-   the default order of 32 this keeps rebalancing code simple without
-   measurable cost. *)
+(* Copy-on-write B+tree. Interior nodes hold separator keys and children;
+   all bindings live in the leaves. Separator keys.(i) is the minimum key of
+   the subtree kids.(i + 1), so a lookup descends into the rightmost child
+   whose separator is <= the probe.
 
-type ('k, 'v) leaf = { mutable keys : 'k array; mutable vals : 'v array }
+   Nodes are immutable: insert and remove rebuild the root-to-leaf path they
+   touch (path copying) and share every untouched subtree with the previous
+   version of the tree. A mutation therefore allocates O(order * depth) and
+   publishes itself as a single write of [t.root]. The payoff is [snapshot]:
+   capturing the root pointer freezes the tree's contents forever at O(1)
+   cost, because no later mutation can reach the captured nodes. With the
+   default order of 32 the extra copying is the same array-copy work the
+   previous in-place version already did on most paths; rebalancing code
+   stays simple. *)
 
-type ('k, 'v) interior = {
-  mutable keys : 'k array;
-  mutable kids : ('k, 'v) node array;
-}
-
-and ('k, 'v) node = Leaf of ('k, 'v) leaf | Node of ('k, 'v) interior
+type ('k, 'v) node =
+  | Leaf of { keys : 'k array; vals : 'v array }
+  | Node of { keys : 'k array; kids : ('k, 'v) node array }
 
 type ('k, 'v) t = {
   cmp : 'k -> 'k -> int;
@@ -26,6 +29,12 @@ let create ?(order = 32) ~cmp () =
   { cmp; order; root = Leaf { keys = [||]; vals = [||] }; size = 0 }
 
 let length t = t.size
+
+(* O(1) frozen view: nodes are immutable, so sharing the current root
+   pinpoints this version forever. The result is an ordinary [t] — every
+   read operation works on it unchanged — but mutating it would fork
+   history, so callers treat it as read-only. *)
+let snapshot t = { cmp = t.cmp; order = t.order; root = t.root; size = t.size }
 
 (* Index of the child to descend into: number of separators <= key. *)
 let child_index cmp keys key =
@@ -68,6 +77,11 @@ let array_remove arr i =
   Array.blit arr (i + 1) out i (n - 1 - i);
   out
 
+let array_set arr i x =
+  let out = Array.copy arr in
+  out.(i) <- x;
+  out
+
 let find t key =
   let rec go = function
     | Leaf { keys; vals } -> (
@@ -93,65 +107,71 @@ let subtree_min node =
   | Some k -> k
   | None -> failwith "Btree: empty subtree"
 
-(* insert: returns [Some (sep, right)] if the node split, where [sep] is the
-   minimum key of [right]. *)
+(* insert: [go] returns the rebuilt node plus [Some (sep, right)] if it
+   split, where [sep] is the minimum key of [right]. Shared subtrees are
+   reused by pointer; only the descent path is reallocated. *)
 let insert t key value =
   let max_leaf = t.order - 1 in
   let replaced = ref None in
   let rec go node =
     match node with
-    | Leaf lf -> (
-        match leaf_position t.cmp lf.keys key with
+    | Leaf { keys; vals } -> (
+        match leaf_position t.cmp keys key with
         | Found i ->
-            replaced := Some lf.vals.(i);
-            let vals = Array.copy lf.vals in
-            vals.(i) <- value;
-            lf.vals <- vals;
-            None
+            replaced := Some vals.(i);
+            (Leaf { keys; vals = array_set vals i value }, None)
         | Insert_at i ->
-            lf.keys <- array_insert lf.keys i key;
-            lf.vals <- array_insert lf.vals i value;
-            t.size <- t.size + 1;
-            if Array.length lf.keys > max_leaf then begin
-              let n = Array.length lf.keys in
+            let keys = array_insert keys i key in
+            let vals = array_insert vals i value in
+            if Array.length keys > max_leaf then begin
+              let n = Array.length keys in
               let mid = n / 2 in
-              let rkeys = Array.sub lf.keys mid (n - mid) in
-              let rvals = Array.sub lf.vals mid (n - mid) in
-              lf.keys <- Array.sub lf.keys 0 mid;
-              lf.vals <- Array.sub lf.vals 0 mid;
-              Some (rkeys.(0), Leaf { keys = rkeys; vals = rvals })
+              let rkeys = Array.sub keys mid (n - mid) in
+              let rvals = Array.sub vals mid (n - mid) in
+              ( Leaf
+                  { keys = Array.sub keys 0 mid; vals = Array.sub vals 0 mid },
+                Some (rkeys.(0), Leaf { keys = rkeys; vals = rvals }) )
             end
-            else None)
-    | Node nd -> (
-        let i = child_index t.cmp nd.keys key in
-        match go nd.kids.(i) with
-        | None -> None
+            else (Leaf { keys; vals }, None))
+    | Node { keys; kids } -> (
+        let i = child_index t.cmp keys key in
+        let child, split = go kids.(i) in
+        match split with
+        | None -> (Node { keys; kids = array_set kids i child }, None)
         | Some (sep, right) ->
-            nd.keys <- array_insert nd.keys i sep;
-            nd.kids <- array_insert nd.kids (i + 1) right;
-            if Array.length nd.kids > t.order then begin
+            let keys = array_insert keys i sep in
+            let kids = array_insert kids (i + 1) right in
+            kids.(i) <- child;
+            (* fresh array from array_insert: safe to fix in place *)
+            if Array.length kids > t.order then begin
               (* Split interior node: middle separator moves up. *)
-              let nk = Array.length nd.keys in
+              let nk = Array.length keys in
               let mid = nk / 2 in
-              let up = nd.keys.(mid) in
-              let rkeys = Array.sub nd.keys (mid + 1) (nk - mid - 1) in
+              let up = keys.(mid) in
+              let rkeys = Array.sub keys (mid + 1) (nk - mid - 1) in
               let rkids =
-                Array.sub nd.kids (mid + 1) (Array.length nd.kids - mid - 1)
+                Array.sub kids (mid + 1) (Array.length kids - mid - 1)
               in
-              nd.keys <- Array.sub nd.keys 0 mid;
-              nd.kids <- Array.sub nd.kids 0 (mid + 1);
-              Some (up, Node { keys = rkeys; kids = rkids })
+              ( Node
+                  {
+                    keys = Array.sub keys 0 mid;
+                    kids = Array.sub kids 0 (mid + 1);
+                  },
+                Some (up, Node { keys = rkeys; kids = rkids }) )
             end
-            else None)
+            else (Node { keys; kids }, None))
   in
-  (match go t.root with
-  | None -> ()
-  | Some (sep, right) ->
-      t.root <- Node { keys = [| sep |]; kids = [| t.root; right |] });
+  let root, split = go t.root in
+  t.root <-
+    (match split with
+    | None -> root
+    | Some (sep, right) -> Node { keys = [| sep |]; kids = [| root; right |] });
+  if !replaced = None then t.size <- t.size + 1;
   !replaced
 
-(* Deletion. Returns [true] when the child underflowed and needs fixing by
-   the parent. Minimum fill: leaves hold >= (order-1)/2 entries, interior
+(* Deletion: [go] returns the rebuilt node; the parent checks whether the
+   rebuilt child underflowed and, if so, repairs it against a COW-copied
+   sibling. Minimum fill: leaves hold >= (order-1)/2 entries, interior
    nodes >= order/2 children; the root is exempt. *)
 let remove t key =
   let min_leaf = (t.order - 1) / 2 in
@@ -161,105 +181,130 @@ let remove t key =
     | Leaf { keys; _ } -> Array.length keys < min_leaf
     | Node { kids; _ } -> Array.length kids < min_kids
   in
+  let can_lend = function
+    | Leaf { keys; _ } -> Array.length keys > min_leaf
+    | Node { kids; _ } -> Array.length kids > min_kids
+  in
+  (* Rebuild the parent around the underflowed child at [i]: borrow from a
+     sibling that can lend, else merge with one. [pkeys]/[pkids] are fresh
+     arrays owned by this call, so in-place fixes here never reach a
+     snapshot; every node they point at is rebuilt before being stored. *)
+  let fix_child pkeys pkids i child =
+    let keys = ref pkeys and kids = ref pkids in
+    !kids.(i) <- child;
+    if i > 0 && can_lend !kids.(i - 1) then begin
+      match (!kids.(i - 1), !kids.(i)) with
+      | Leaf l, Leaf r ->
+          let n = Array.length l.keys in
+          let k = l.keys.(n - 1) and v = l.vals.(n - 1) in
+          !kids.(i - 1) <-
+            Leaf
+              {
+                keys = array_remove l.keys (n - 1);
+                vals = array_remove l.vals (n - 1);
+              };
+          !kids.(i) <-
+            Leaf { keys = array_insert r.keys 0 k; vals = array_insert r.vals 0 v }
+      | Node l, Node r ->
+          let nk = Array.length l.keys in
+          let moved = l.kids.(Array.length l.kids - 1) in
+          let sep = !keys.(i - 1) in
+          !kids.(i - 1) <-
+            Node
+              {
+                keys = array_remove l.keys (nk - 1);
+                kids = array_remove l.kids (Array.length l.kids - 1);
+              };
+          !kids.(i) <-
+            Node { keys = array_insert r.keys 0 sep; kids = array_insert r.kids 0 moved }
+      | _ -> assert false
+    end
+    else if i < Array.length !kids - 1 && can_lend !kids.(i + 1) then begin
+      match (!kids.(i), !kids.(i + 1)) with
+      | Leaf l, Leaf r ->
+          !kids.(i) <-
+            Leaf
+              {
+                keys = array_insert l.keys (Array.length l.keys) r.keys.(0);
+                vals = array_insert l.vals (Array.length l.vals) r.vals.(0);
+              };
+          !kids.(i + 1) <-
+            Leaf { keys = array_remove r.keys 0; vals = array_remove r.vals 0 }
+      | Node l, Node r ->
+          let moved = r.kids.(0) in
+          let sep = !keys.(i) in
+          !kids.(i) <-
+            Node
+              {
+                keys = array_insert l.keys (Array.length l.keys) sep;
+                kids = array_insert l.kids (Array.length l.kids) moved;
+              };
+          !kids.(i + 1) <-
+            Node { keys = array_remove r.keys 0; kids = array_remove r.kids 0 }
+      | _ -> assert false
+    end
+    else begin
+      (* Merge kids.(li + 1) into kids.(li). *)
+      let li = if i > 0 then i - 1 else i in
+      let sep = !keys.(li) in
+      let merged =
+        match (!kids.(li), !kids.(li + 1)) with
+        | Leaf l, Leaf r ->
+            Leaf
+              {
+                keys = Array.append l.keys r.keys;
+                vals = Array.append l.vals r.vals;
+              }
+        | Node l, Node r ->
+            Node
+              {
+                keys = Array.concat [ l.keys; [| sep |]; r.keys ];
+                kids = Array.append l.kids r.kids;
+              }
+        | _ -> assert false
+      in
+      kids := array_remove !kids (li + 1);
+      !kids.(li) <- merged;
+      keys := array_remove !keys li
+    end;
+    let keys = !keys and kids = !kids in
+    (* Refresh separators that might be stale after restructuring. *)
+    for j = 0 to Array.length keys - 1 do
+      keys.(j) <- subtree_min kids.(j + 1)
+    done;
+    Node { keys; kids }
+  in
   let rec go node =
     match node with
-    | Leaf lf -> (
-        match leaf_position t.cmp lf.keys key with
-        | Insert_at _ -> false
+    | Leaf { keys; vals } -> (
+        match leaf_position t.cmp keys key with
+        | Insert_at _ -> node
         | Found i ->
-            removed := Some lf.vals.(i);
-            lf.keys <- array_remove lf.keys i;
-            lf.vals <- array_remove lf.vals i;
-            t.size <- t.size - 1;
-            Array.length lf.keys < min_leaf)
-    | Node nd ->
-        let i = child_index t.cmp nd.keys key in
-        let child_underflowed = go nd.kids.(i) in
-        if not child_underflowed then begin
-          (* The separator may have pointed at the removed key. *)
-          if i > 0 && !removed <> None then
-            nd.keys.(i - 1) <- subtree_min nd.kids.(i);
-          false
-        end
+            removed := Some vals.(i);
+            Leaf { keys = array_remove keys i; vals = array_remove vals i })
+    | Node { keys; kids } ->
+        let i = child_index t.cmp keys key in
+        let child = go kids.(i) in
+        if !removed = None then node
+        else if underflow child then fix_child (Array.copy keys) (Array.copy kids) i child
         else begin
-          fix_child nd i;
-          underflow (Node nd)
+          (* The separator may have pointed at the removed key. *)
+          let keys =
+            if i > 0 then array_set keys (i - 1) (subtree_min child) else keys
+          in
+          Node { keys; kids = array_set kids i child }
         end
-  and fix_child nd i =
-    let borrow_from_left l r =
-      match (l, r) with
-      | Leaf ll, Leaf rl ->
-          let n = Array.length ll.keys in
-          let k = ll.keys.(n - 1) and v = ll.vals.(n - 1) in
-          ll.keys <- array_remove ll.keys (n - 1);
-          ll.vals <- array_remove ll.vals (n - 1);
-          rl.keys <- array_insert rl.keys 0 k;
-          rl.vals <- array_insert rl.vals 0 v;
-          nd.keys.(i - 1) <- k
-      | Node ln, Node rn ->
-          let nk = Array.length ln.keys in
-          let moved_kid = ln.kids.(Array.length ln.kids - 1) in
-          let new_sep = ln.keys.(nk - 1) in
-          ln.keys <- array_remove ln.keys (nk - 1);
-          ln.kids <- array_remove ln.kids (Array.length ln.kids - 1);
-          rn.keys <- array_insert rn.keys 0 nd.keys.(i - 1);
-          rn.kids <- array_insert rn.kids 0 moved_kid;
-          nd.keys.(i - 1) <- new_sep
-      | _ -> assert false
-    in
-    let borrow_from_right l r =
-      match (l, r) with
-      | Leaf ll, Leaf rl ->
-          let k = rl.keys.(0) and v = rl.vals.(0) in
-          rl.keys <- array_remove rl.keys 0;
-          rl.vals <- array_remove rl.vals 0;
-          ll.keys <- array_insert ll.keys (Array.length ll.keys) k;
-          ll.vals <- array_insert ll.vals (Array.length ll.vals) v;
-          nd.keys.(i) <- rl.keys.(0)
-      | Node ln, Node rn ->
-          let moved_kid = rn.kids.(0) in
-          let new_sep = rn.keys.(0) in
-          ln.keys <- array_insert ln.keys (Array.length ln.keys) nd.keys.(i);
-          ln.kids <- array_insert ln.kids (Array.length ln.kids) moved_kid;
-          rn.keys <- array_remove rn.keys 0;
-          rn.kids <- array_remove rn.kids 0;
-          nd.keys.(i) <- new_sep
-      | _ -> assert false
-    in
-    let merge left_idx =
-      (* Merge kids.(left_idx + 1) into kids.(left_idx). *)
-      let sep = nd.keys.(left_idx) in
-      (match (nd.kids.(left_idx), nd.kids.(left_idx + 1)) with
-      | Leaf ll, Leaf rl ->
-          ll.keys <- Array.append ll.keys rl.keys;
-          ll.vals <- Array.append ll.vals rl.vals
-      | Node ln, Node rn ->
-          ln.keys <- Array.concat [ ln.keys; [| sep |]; rn.keys ];
-          ln.kids <- Array.append ln.kids rn.kids
-      | _ -> assert false);
-      nd.keys <- array_remove nd.keys left_idx;
-      nd.kids <- array_remove nd.kids (left_idx + 1)
-    in
-    let can_lend = function
-      | Leaf { keys; _ } -> Array.length keys > min_leaf
-      | Node { kids; _ } -> Array.length kids > min_kids
-    in
-    if i > 0 && can_lend nd.kids.(i - 1) then
-      borrow_from_left nd.kids.(i - 1) nd.kids.(i)
-    else if i < Array.length nd.kids - 1 && can_lend nd.kids.(i + 1) then
-      borrow_from_right nd.kids.(i) nd.kids.(i + 1)
-    else if i > 0 then merge (i - 1)
-    else merge i;
-    (* Refresh separators that might be stale after restructuring. *)
-    for j = 0 to Array.length nd.keys - 1 do
-      nd.keys.(j) <- subtree_min nd.kids.(j + 1)
-    done
   in
-  ignore (go t.root : bool);
-  (* Collapse a root that lost all separators. *)
-  (match t.root with
-  | Node { kids; _ } when Array.length kids = 1 -> t.root <- kids.(0)
-  | _ -> ());
+  let root = go t.root in
+  (match !removed with
+  | None -> ()
+  | Some _ ->
+      t.size <- t.size - 1;
+      (* Collapse a root that lost all separators. *)
+      t.root <-
+        (match root with
+        | Node { kids; _ } when Array.length kids = 1 -> kids.(0)
+        | _ -> root));
   !removed
 
 let iter f t =

@@ -1,9 +1,15 @@
-(** In-memory B+tree.
+(** In-memory copy-on-write B+tree.
 
     Backs clustered indexes (primary key → row) and non-clustered indexes
     (key → primary key) of the storage engine. Ordered iteration drives
     clustered-order scans, which verification query 5 (paper §3.4.2) relies
-    on when comparing base tables against their non-clustered indexes. *)
+    on when comparing base tables against their non-clustered indexes.
+
+    Nodes are immutable: [insert] and [remove] path-copy the root-to-leaf
+    path they touch and share untouched subtrees, so [snapshot] freezes the
+    tree's contents at O(1) cost. Mutations are not thread-safe against each
+    other (callers serialize writers), but a snapshot may be read freely
+    while the source tree keeps mutating. *)
 
 type ('k, 'v) t
 
@@ -12,6 +18,11 @@ val create : ?order:int -> cmp:('k -> 'k -> int) -> unit -> ('k, 'v) t
     32, minimum 4). *)
 
 val length : ('k, 'v) t -> int
+
+val snapshot : ('k, 'v) t -> ('k, 'v) t
+(** O(1) frozen view: shares the current root; later mutations of the
+    source never reach it. Treat the result as read-only — mutating it
+    forks history instead of failing. *)
 
 val find : ('k, 'v) t -> 'k -> 'v option
 

@@ -803,6 +803,45 @@ let assemble ~clock raw =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Snapshots
+
+   An O(tables) frozen view for lock-free readers: every table (user,
+   metadata, ledger system) is captured by sharing its COW B+tree roots,
+   and the ledger's scalar chain state rides along in the record copy.
+   The result is an ordinary [Database.t], so the whole read surface —
+   [query], [catalog], [Verifier.verify], [Receipt.generate] — works on
+   it unchanged; it must never be handed to a write path. Capture must
+   happen while the caller holds the writer side of the server lock (or
+   is otherwise the only mutator): the engine applies in-memory effects
+   at staging time, so a capture under the writer lock is transactionally
+   consistent even before the WAL batch reaches disk. *)
+
+let snapshot t =
+  let tables =
+    List.map
+      (function
+        | L lt -> L (Ledger_table.snapshot lt)
+        | R store -> R (Table_store.snapshot store))
+      t.tables
+  in
+  let meta_by_id id =
+    match
+      List.find_opt
+        (function L lt -> Ledger_table.table_id lt = id | R _ -> false)
+        tables
+    with
+    | Some (L lt) -> lt
+    | _ -> assert false
+  in
+  {
+    t with
+    dbl = Database_ledger.snapshot t.dbl;
+    tables;
+    tables_meta = meta_by_id (-10);
+    columns_meta = meta_by_id (-11);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Backup / restore *)
 
 let backup t =

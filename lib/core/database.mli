@@ -102,6 +102,14 @@ val with_txn : t -> user:string -> (Txn.t -> 'a) -> 'a * Types.txn_entry
 val generate_digest : t -> Digest.t option
 val checkpoint : t -> unit
 
+val snapshot : t -> t
+(** O(tables) frozen view for lock-free readers: shares the copy-on-write
+    B+tree roots of every table plus the ledger's chain state. The result
+    is an ordinary [t], so the whole read surface ([query], [catalog],
+    {!Verifier.verify}, {!Receipt.generate}) works on it unchanged — but it
+    must never be handed to a write path. Capture while holding the writer
+    side of the server lock (or as the sole mutator). *)
+
 val backup : t -> t
 (** Transactionally consistent deep copy (the paper's database copy /
     backup, §3.7). The copy shares no mutable state with the original. *)

@@ -433,6 +433,18 @@ let raw_transactions_table t = t.txn_table
 
 let with_create_time t created = { t with db_created = created }
 
+(* O(1) frozen view for lock-free readers. Captures the COW ledger tables
+   plus the scalar block-chain state (queue, current block, last hash) by
+   record copy. Shares the WAL handle — snapshot readers never touch it —
+   and the entry-hash memo cache, which is mutex-guarded and keyed by
+   txn id, so leader-side warming is visible (and correct) on both sides. *)
+let snapshot t =
+  {
+    t with
+    txn_table = Table_store.snapshot t.txn_table;
+    blocks_table = Table_store.snapshot t.blocks_table;
+  }
+
 let unsafe_copy t =
   {
     t with

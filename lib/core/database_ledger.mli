@@ -141,6 +141,12 @@ val with_create_time : t -> float -> t
 (** Same ledger, different database create time — used when a restore
     starts a new incarnation (§3.6). *)
 
+val snapshot : t -> t
+(** O(1) frozen view for lock-free readers: COW captures of the system
+    tables plus the scalar chain state. Shares the WAL handle (snapshot
+    readers never touch it) and the mutex-guarded entry-hash memo cache.
+    Read-only. *)
+
 val unsafe_copy : t -> t
 (** Deep copy for database backups. The copy gets a fresh in-memory WAL (a
     backup does not carry the live log). *)

@@ -194,6 +194,16 @@ let unsafe_assemble ~name ~table_id ~kind ~main ~history =
     ordinals_cache = None;
   }
 
+(* O(1) frozen view built on [Table_store.snapshot]. The record copy also
+   detaches [ordinals_cache] so a memoization on either side never leaks
+   into the other. *)
+let snapshot t =
+  {
+    t with
+    main = Table_store.snapshot t.main;
+    history = Option.map Table_store.snapshot t.history;
+  }
+
 let unsafe_copy t =
   {
     lt_name = t.lt_name;

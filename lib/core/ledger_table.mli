@@ -117,6 +117,10 @@ val unsafe_assemble :
     The caller is responsible for the stores carrying a correctly extended
     schema. *)
 
+val snapshot : t -> t
+(** O(1) frozen view over the copy-on-write stores (main and history).
+    Read-only. *)
+
 val unsafe_copy : t -> t
 (** Deep copy (backup support). "Unsafe" only in that the copy shares the
     table id with the original. *)

@@ -371,9 +371,14 @@ let check_indexes lt =
 
 let verify ?tables ?jobs db ~digests =
   let jobs =
-    match jobs with
-    | Some j -> j
-    | None -> Domain.recommended_domain_count ()
+    (* On a single-core host worker domains cannot run in parallel and
+       only pay spawn/GC overhead — ignore an explicit --jobs and verify
+       serially (mirrors Merkle.Parallel's guard). *)
+    if Domain.recommended_domain_count () = 1 then 1
+    else
+      match jobs with
+      | Some j -> j
+      | None -> Domain.recommended_domain_count ()
   in
   let selected lt =
     match tables with

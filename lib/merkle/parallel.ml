@@ -49,7 +49,12 @@ let root_array ?domains leaves =
   else begin
     let d =
       match domains with
-      | Some d -> max 1 d
+      | Some d ->
+          (* On a single-core host extra domains cannot run in parallel;
+             they only add spawn/join and cross-domain GC overhead (the
+             hashpath bench measured 137 ms at 1 domain vs 214 ms at 8 on
+             one core). Ignore the request and stay sequential. *)
+          if Domain.recommended_domain_count () = 1 then 1 else max 1 d
       | None ->
           (* Nested spawns from verifier worker domains would oversubscribe
              the host; only auto-parallelise from the main domain. *)

@@ -29,6 +29,13 @@
      the writer lock no new ticket can arrive, so after [flush] the log
      is quiescent until the lock is released.
 
+   - The leader is also the snapshot publisher: each ticket carries a
+     COW [Database.snapshot] captured at enqueue (under the writer
+     lock), and after the batch's fsync the leader hands the newest
+     ticket's snapshot to [on_publish] — the dispatch layer's atomic
+     swap of the served read view. Readers therefore observe only
+     durable state, and always their own acked writes.
+
    - A publish failure poisons the queue: the staged commits are already
      applied in the engine and cannot be unwound, so the failed batch's
      waiters and every later submitter get the same exception, and no
@@ -42,6 +49,10 @@ type state = Pending | Done | Failed of exn
 type ticket = {
   t_entry : Sql_ledger.Types.txn_entry;
   t_records : Aries.Log_record.t list;
+  t_snapshot : Sql_ledger.Database.t;
+      (* COW capture taken at enqueue, under the writer lock, so it holds
+         this commit's staged effects and everything that staged before
+         it — exactly what becomes durable when this batch publishes *)
   mutable t_state : state;
 }
 
@@ -49,6 +60,10 @@ type t = {
   window : float;  (* max seconds the leader coalesces before flushing *)
   ledger : Sql_ledger.Database_ledger.t;
   metrics : Metrics.t;
+  on_publish : Sql_ledger.Database.t -> unit;
+      (* called by the leader after each durable batch with the newest
+         ticket's snapshot: the dispatch layer swaps it in as the served
+         read view, so readers only ever observe fsynced state *)
   m : Mutex.t;
   c : Condition.t;  (* broadcast on any state change *)
   mutable pending : ticket list;  (* newest first *)
@@ -56,11 +71,12 @@ type t = {
   mutable poisoned : exn option;
 }
 
-let create ~window ~ledger ~metrics =
+let create ?(on_publish = fun _ -> ()) ~window ~ledger ~metrics () =
   {
     window;
     ledger;
     metrics;
+    on_publish;
     m = Mutex.create ();
     c = Condition.create ();
     pending = [];
@@ -68,15 +84,24 @@ let create ~window ~ledger ~metrics =
     poisoned = None;
   }
 
-(* Caller must hold the engine's writer lock: ordering relies on it. *)
-let enqueue t ~entry ~records =
+(* Caller must hold the engine's writer lock: ordering relies on it, and
+   so does the snapshot — captured under the lock, it cannot contain a
+   later commit's half-staged effects. *)
+let enqueue t ~entry ~records ~snapshot =
   Mutex.lock t.m;
   match t.poisoned with
   | Some e ->
       Mutex.unlock t.m;
       raise e
   | None ->
-      let ticket = { t_entry = entry; t_records = records; t_state = Pending } in
+      let ticket =
+        {
+          t_entry = entry;
+          t_records = records;
+          t_snapshot = snapshot;
+          t_state = Pending;
+        }
+      in
       t.pending <- ticket :: t.pending;
       Mutex.unlock t.m;
       ticket
@@ -133,6 +158,19 @@ let publish t =
             ~us;
           Metrics.record t.metrics ~kind:"commit.batch_size" ~error:false
             ~us:(float_of_int (List.length batch));
+          (* The whole batch is durable: publish the newest ticket's
+             snapshot (it contains every commit in the batch) as the
+             served read view. Leaders are serialized by [t.leading] and
+             direct writers serialize against them through [flush], so
+             installs are ordered. Publishing before the waiters wake
+             means a session that gets its ack always finds its own
+             write in the next snapshot it reads (read-your-writes). *)
+          let rec newest = function
+            | [ k ] -> Some k
+            | _ :: tl -> newest tl
+            | [] -> None
+          in
+          Option.iter (fun k -> t.on_publish k.t_snapshot) (newest batch);
           Ok ()
         with e -> Error e)
   in

@@ -1,12 +1,28 @@
 (* Request dispatch: maps one decoded wire request onto the ledger
-   engine, under the locking discipline described in Rwlock.
+   engine.
+
+   Writes keep the locking discipline described in Rwlock: the writer
+   lock serializes all mutation (staging, DDL, checkpoints, digests,
+   explicit transactions). Reads no longer take any lock — they run
+   against the most recently *published* snapshot, an immutable
+   [Database.t] built on the copy-on-write B+trees and swapped in with a
+   single atomic store:
+
+   - group-commit mode: each staged commit captures a snapshot at
+     enqueue (under the writer lock); the commit leader installs the
+     batch's newest snapshot after the batch's fsync, so readers only
+     ever observe durable state;
+   - direct writers (explicit COMMIT/ROLLBACK, DDL, checkpoint, digest,
+     the legacy commit-per-fsync path): publish at writer-lock release;
+   - the replica node publishes after each applied batch via
+     [refresh_snapshot].
 
    Sessions are the unit of transaction state. An explicit BEGIN takes
    the exclusive lock and parks the open [Txn.t] on the session, so the
    transaction's statements — which mutate tables in place — span
-   requests safely; COMMIT/ROLLBACK (or session teardown: disconnect,
-   idle timeout, server drain) releases it. Auto-commit statements take
-   the lock only for their own duration. *)
+   requests safely; its reads run against the live database (it must see
+   its own uncommitted writes). COMMIT/ROLLBACK (or session teardown:
+   disconnect, idle timeout, server drain) releases the lock. *)
 
 open Sql_ledger
 module Protocol = Wire.Protocol
@@ -19,10 +35,11 @@ module Protocol = Wire.Protocol
      store's §3.6 replication gate when one is wired in).
 
    - [Replica_view] serves the replica daemon's read port: reads run
-     against whatever database the replication client has materialised
-     so far, every write-shaped request is refused with the typed
-     [read_only] error naming the primary, and the engine lock is shared
-     with the apply path so readers never see a half-applied batch. *)
+     against the snapshot published after the last applied batch, every
+     write-shaped request is refused with the typed [read_only] error
+     naming the primary, and before the first batch lands readers fall
+     back to sharing the engine lock with the apply path so they never
+     see a half-applied state. *)
 type backend =
   | Primary of {
       durable : Durable.t;
@@ -36,11 +53,22 @@ type backend =
       primary : string;  (* host:port, for read_only error messages *)
     }
 
+(* The served read view. [p_seq] is the batch counter's value when this
+   snapshot was installed: the snapshot holds every batch published up to
+   that point, so [batch_seq - p_seq] is how many durable batches the
+   served view is missing — the [snapshot.age_batches] gauge, expected to
+   sit at 0. *)
+type published = { p_db : Database.t; p_seq : int }
+
 type t = {
   backend : backend;
   lock : Rwlock.t;
   metrics : Metrics.t;
   server_name : string;
+  snap : published option Atomic.t;
+      (* latest published snapshot; [None] only on a replica that has
+         not applied anything yet *)
+  batch_seq : int Atomic.t;  (* durable batches published so far *)
 }
 
 type session = {
@@ -50,27 +78,65 @@ type session = {
   mutable s_txn : Txn.t option;
 }
 
+let register_snapshot_age ~metrics ~snap ~batch_seq =
+  Metrics.register_lines metrics (fun () ->
+      match Atomic.get snap with
+      | None -> [ "sqlledger_snapshot_age_batches -1" ]
+      | Some p ->
+          [
+            Printf.sprintf "sqlledger_snapshot_age_batches %d"
+              (max 0 (Atomic.get batch_seq - p.p_seq));
+          ])
+
 let create ?(group_commit_window = 0.0) ?repl ?digests ~durable ~metrics
     ~server_name () =
+  let snap = Atomic.make None in
+  let batch_seq = Atomic.make 0 in
   let queue =
     if group_commit_window > 0.0 then
       Some
         (Commit_queue.create ~window:group_commit_window
            ~ledger:(Database.ledger (Durable.db durable))
-           ~metrics)
+           ~metrics
+           ~on_publish:(fun db ->
+             (* Leader-side install, after the batch's fsync. The bump
+                then the swap: a snapshot installed here is exactly
+                [batch_seq] batches deep, age 0. *)
+             let seq = 1 + Atomic.fetch_and_add batch_seq 1 in
+             Atomic.set snap (Some { p_db = db; p_seq = seq }))
+           ())
     else None
   in
+  (* The boot state is the recovered database: publish it before the
+     first connection so readers are lock-free from the first request. *)
+  Atomic.set snap
+    (Some { p_db = Database.snapshot (Durable.db durable); p_seq = 0 });
+  register_snapshot_age ~metrics ~snap ~batch_seq;
   {
     backend = Primary { durable; queue; repl; digests };
     lock = Rwlock.create ();
     metrics;
     server_name;
+    snap;
+    batch_seq;
   }
 
 (* The replica node owns the lock: its apply thread takes the writer side
-   around each batch, excluding the readers dispatched here. *)
+   around each batch. Readers here serve published snapshots; until the
+   first batch is applied there is nothing published and they share the
+   lock with the apply path. *)
 let create_replica ~lock ~get_db ~primary ~metrics ~server_name () =
-  { backend = Replica_view { get_db; primary }; lock; metrics; server_name }
+  let snap = Atomic.make None in
+  let batch_seq = Atomic.make 0 in
+  register_snapshot_age ~metrics ~snap ~batch_seq;
+  {
+    backend = Replica_view { get_db; primary };
+    lock;
+    metrics;
+    server_name;
+    snap;
+    batch_seq;
+  }
 
 let queue t =
   match t.backend with Primary { queue; _ } -> queue | Replica_view _ -> None
@@ -98,16 +164,72 @@ let err code fmt =
     (fun message -> Protocol.Error_r { code; message })
     fmt
 
-(* A session in an explicit transaction already holds the exclusive
-   lock, so nested acquisition would self-deadlock: run directly. *)
+(* Lock acquisitions are timed into power-of-two histograms so a bench
+   (or an operator) can prove readers no longer queue behind writers:
+   [lock.read_wait_us] is the cost of acquiring read access — the atomic
+   snapshot fetch on the fast path, the shared lock on the replica's
+   pre-sync fallback — and [lock.write_wait_us] is the writer-lock wait,
+   which after this refactor is contention between writers only. *)
+let lock_write_timed t =
+  let t0 = Unix.gettimeofday () in
+  Rwlock.lock_write t.lock;
+  Metrics.record t.metrics ~kind:"lock.write_wait_us" ~error:false
+    ~us:((Unix.gettimeofday () -. t0) *. 1e6)
+
+(* Publish the live database's current state as the served read view.
+   Caller must hold the writer lock: capture needs a quiescent engine,
+   and the lock is also what orders this install against the commit
+   leader's (flush-then-mutate-then-publish, see [with_write]). *)
+let publish_snapshot t =
+  match (try Some (db t) with Not_synced -> None) with
+  | None -> ()
+  | Some live ->
+      Atomic.set t.snap
+        (Some
+           { p_db = Database.snapshot live; p_seq = Atomic.get t.batch_seq })
+
+(* Replica apply path: the node calls this after each applied batch (and
+   after installing a bootstrap snapshot) while still holding the writer
+   lock, making the new state visible to lock-free readers. *)
+let refresh_snapshot t = publish_snapshot t
+
+(* Read-shaped work. A session inside an explicit transaction holds the
+   exclusive lock and must see its own uncommitted writes: run against
+   the live database. Everyone else reads the latest published snapshot
+   without touching the lock at all; only a replica that has not yet
+   published (no batch applied since boot) falls back to sharing the
+   lock with the apply path. *)
 let with_read t s f =
-  match s.s_txn with Some _ -> f () | None -> Rwlock.read t.lock f
+  match s.s_txn with
+  | Some _ -> f (db t)
+  | None -> (
+      let t0 = Unix.gettimeofday () in
+      match Atomic.get t.snap with
+      | Some p ->
+          Metrics.record t.metrics ~kind:"lock.read_wait_us" ~error:false
+            ~us:((Unix.gettimeofday () -. t0) *. 1e6);
+          f p.p_db
+      | None ->
+          Rwlock.lock_read t.lock;
+          Metrics.record t.metrics ~kind:"lock.read_wait_us" ~error:false
+            ~us:((Unix.gettimeofday () -. t0) *. 1e6);
+          Fun.protect
+            ~finally:(fun () -> Rwlock.unlock_read t.lock)
+            (fun () -> f (db t)))
 
 let with_write t s f =
   match s.s_txn with
   | Some _ -> f ()
   | None ->
-      Rwlock.write t.lock (fun () ->
+      lock_write_timed t;
+      Fun.protect
+        ~finally:(fun () ->
+          (* Even on an engine error: the state a failed statement left
+             behind is the state the next reader would have seen under
+             the old lock discipline too. *)
+          publish_snapshot t;
+          Rwlock.unlock_write t.lock)
+        (fun () ->
           flush_queue t;
           f ())
 
@@ -148,16 +270,24 @@ let exec_sql t s sql =
           (Dml.execute_statement ?txn:s.s_txn (db t) ~user:s.s_user statement)
       in
       match statement with
-      | Sqlexec.Ast.Select _ -> with_read t s run
+      | Sqlexec.Ast.Select _ ->
+          with_read t s (fun view ->
+              result_to_response
+                (Dml.execute_statement ?txn:s.s_txn view ~user:s.s_user
+                   statement))
       | _ -> (
           match (s.s_txn, queue t) with
           | Some _, _ | None, None -> with_write t s run
           | None, Some q ->
               (* Group commit: execute and stage under the exclusive
-                 lock, enqueue before releasing it (batch order =
-                 execution order), then wait for the commit leader to
-                 publish the batch under one fsync. *)
-              Rwlock.lock_write t.lock;
+                 lock, enqueue — with a COW snapshot of the staged state
+                 — before releasing it (batch order = execution order),
+                 then wait for the commit leader to publish the batch
+                 under one fsync. The leader installs the batch's newest
+                 snapshot as the served read view, so by the time this
+                 request is acked its write is visible to every
+                 subsequent lock-free read. *)
+              lock_write_timed t;
               let outcome =
                 try
                   let result, staged =
@@ -168,7 +298,8 @@ let exec_sql t s sql =
                     Option.map
                       (fun (st : Dml.staged) ->
                         Commit_queue.enqueue q ~entry:st.staged_entry
-                          ~records:st.staged_records)
+                          ~records:st.staged_records
+                          ~snapshot:(Database.snapshot (db t)))
                       staged
                   in
                   Ok (result, ticket)
@@ -185,9 +316,9 @@ let query_sql t s sql =
   guard (fun () ->
       match Sqlexec.Parser.parse_statement sql with
       | Sqlexec.Ast.Select _ as statement ->
-          with_read t s (fun () ->
+          with_read t s (fun view ->
               result_to_response
-                (Dml.execute_statement ?txn:s.s_txn (db t) ~user:s.s_user
+                (Dml.execute_statement ?txn:s.s_txn view ~user:s.s_user
                    statement))
       | _ -> err Protocol.Bad_request "query accepts SELECT statements only")
 
@@ -196,7 +327,7 @@ let begin_txn t s =
   | Some txn ->
       err Protocol.Txn_state "transaction %d is already open" (Txn.id txn)
   | None ->
-      Rwlock.lock_write t.lock;
+      lock_write_timed t;
       (* The explicit transaction logs BEGIN now and holds the lock until
          COMMIT/ROLLBACK, so one flush here keeps the WAL quiescent for
          the transaction's whole lifetime. *)
@@ -211,6 +342,9 @@ let end_txn t s ~commit =
   | Some txn ->
       let finish resp =
         s.s_txn <- None;
+        (* Commit or rollback, the transaction's outcome is the new
+           state: publish it before readers can race the release. *)
+        publish_snapshot t;
         Rwlock.unlock_write t.lock;
         resp
       in
@@ -255,10 +389,11 @@ let generate_digest t s =
               | None -> err Protocol.Exec_error "nothing committed yet")))
 
 let generate_receipt t s ~txn_id =
-  with_read t s (fun () ->
-      match Receipt.generate (db t) ~txn_id with
-      | Ok r -> Protocol.Receipt_r (Receipt.to_json r)
-      | Error e -> err Protocol.Exec_error "%s" e)
+  guard (fun () ->
+      with_read t s (fun view ->
+          match Receipt.generate view ~txn_id with
+          | Ok r -> Protocol.Receipt_r (Receipt.to_json r)
+          | Error e -> err Protocol.Exec_error "%s" e))
 
 let run_verify t s ~tables ~digest_jsons =
   let rec parse acc = function
@@ -270,27 +405,32 @@ let run_verify t s ~tables ~digest_jsons =
   in
   match parse [] digest_jsons with
   | Error e -> err Protocol.Bad_request "%s" e
-  | Ok digests -> (
-      match
-        List.find_opt
-          (fun n -> Database.find_ledger_table (db t) n = None)
-          tables
-      with
-      | Some missing -> err Protocol.Exec_error "no such ledger table: %s" missing
-      | None ->
-          let tables = if tables = [] then None else Some tables in
-          with_read t s (fun () ->
-              let report = Verifier.verify ?tables (db t) ~digests in
-              Protocol.Verify_r
-                {
-                  vs_ok = Verifier.ok report;
-                  vs_blocks = report.Verifier.blocks_checked;
-                  vs_transactions = report.Verifier.transactions_checked;
-                  vs_versions = report.Verifier.versions_checked;
-                  vs_violations =
-                    List.map Verifier.violation_to_string
-                      report.Verifier.violations;
-                }))
+  | Ok digests ->
+      guard (fun () ->
+          with_read t s (fun view ->
+              (* The existence check runs on the same frozen view as the
+                 verification itself, so a concurrent DROP/CREATE cannot
+                 slip between them. *)
+              match
+                List.find_opt
+                  (fun n -> Database.find_ledger_table view n = None)
+                  tables
+              with
+              | Some missing ->
+                  err Protocol.Exec_error "no such ledger table: %s" missing
+              | None ->
+                  let tables = if tables = [] then None else Some tables in
+                  let report = Verifier.verify ?tables view ~digests in
+                  Protocol.Verify_r
+                    {
+                      vs_ok = Verifier.ok report;
+                      vs_blocks = report.Verifier.blocks_checked;
+                      vs_transactions = report.Verifier.transactions_checked;
+                      vs_versions = report.Verifier.versions_checked;
+                      vs_violations =
+                        List.map Verifier.violation_to_string
+                          report.Verifier.violations;
+                    }))
 
 let create_table t s ~name ~columns ~key =
   let rec build acc = function
@@ -387,6 +527,7 @@ let cleanup t s =
       s.s_txn <- None;
       (try if Txn.is_active txn then Txn.rollback txn
        with _ -> ());
+      publish_snapshot t;
       Rwlock.unlock_write t.lock
 
 (* Requests that would mutate the ledger. A replica refuses them with

@@ -10,7 +10,16 @@
    [lines] renders one metric per line in a prometheus-like plain-text
    shape; the server dumps it on shutdown and on SIGUSR1, and serves it
    to clients via the "stats" request so `bench serve` numbers can be
-   cross-checked from the server side. *)
+   cross-checked from the server side.
+
+   Besides per-request kinds, dispatch records two lock-observability
+   histograms here: [lock.read_wait_us] (cost of acquiring read access —
+   the atomic snapshot fetch on the fast path, the shared lock on the
+   replica's pre-sync fallback) and [lock.write_wait_us] (writer-lock
+   wait, writer-vs-writer contention only now that reads are lock-free).
+   The [sqlledger_snapshot_age_batches] gauge — how many durable batches
+   the served snapshot is missing, expected 0, -1 before anything is
+   published — arrives through a provider registered by Dispatch. *)
 
 let buckets = 32 (* 1us .. ~2100s in powers of two *)
 

@@ -3,10 +3,14 @@
    one read-only server over that database (paper §3.6's readable
    secondary).
 
-   The two halves share a single Rwlock: the client's apply path takes
-   the writer side around each batch, the server's dispatch takes the
-   reader side around each query, so reads never observe a half-applied
-   batch and never block the stream for longer than one statement.
+   The two halves share a single Rwlock, but only the client's apply
+   path takes it (the writer side, around each batch). After each
+   applied batch the apply path publishes a COW snapshot of the
+   materialised database; the server's dispatch serves every read from
+   the latest published snapshot without locking, so reads never observe
+   a half-applied batch and never block the stream at all. Before the
+   first batch lands nothing is published and dispatch falls back to the
+   reader side of the lock.
 
    The client losing the primary (crash, network) does not stop the
    node: reads keep being served from the last applied state while the
@@ -47,14 +51,20 @@ let request_shutdown t = Server.request_shutdown t.server
 let request_stats t = Server.request_stats t.server
 
 (* Blocks until shutdown is requested (or the server crashes via a fault
-   injection). The replication client runs on its own thread; its writer
-   sections synchronise with the read dispatch through the shared lock. *)
+   injection). The replication client runs on its own thread; each of its
+   writer sections ends by publishing the newly materialised state as the
+   read dispatch's served snapshot — still under the lock, so a reader on
+   the pre-publish fallback path can never interleave with the apply. *)
 let run ?dump_metrics_to t =
+  let with_write f =
+    Rwlock.write t.lock (fun () ->
+        let r = f () in
+        Server.refresh_snapshot t.server;
+        r)
+  in
   let th =
     Thread.create
-      (fun () ->
-        try Repl.Client.run t.client ~with_write:(Rwlock.write t.lock)
-        with _ -> ())
+      (fun () -> try Repl.Client.run t.client ~with_write with _ -> ())
       ()
   in
   Fun.protect

@@ -1,13 +1,19 @@
-(* Readers-writer lock guarding the in-process Database.
+(* Readers-writer lock guarding *writer staging* on the in-process
+   Database.
 
-   The engine's data structures (B-trees, hash tables, streaming Merkle
-   accumulators) are not thread-safe, so the server runs read-only
-   requests under a shared lock and everything that mutates — commits,
-   DDL, digest generation (it closes the open block) — under an
-   exclusive one. A session that opens an explicit transaction holds the
-   exclusive lock from BEGIN to COMMIT/ROLLBACK, which is what makes it
-   legal for the transaction's eager in-place mutations to span several
-   requests; that is the "single writer" of the design.
+   Since the copy-on-write snapshot refactor this lock is no longer on
+   the read path: read-shaped requests run against an immutable
+   published snapshot (see Dispatch) and never touch it. What remains
+   under the lock is everything that mutates the live engine — commit
+   staging, DDL, checkpoints, digest generation (it closes the open
+   block), the replica's batch apply — plus two deliberate stragglers on
+   the read side: a replica's reads before the first batch has been
+   applied (nothing published yet), and nothing else. A session that
+   opens an explicit transaction holds the exclusive lock from BEGIN to
+   COMMIT/ROLLBACK, which is what makes it legal for the transaction's
+   eager in-place mutations to span several requests; that is the
+   "single writer" of the design, and it keeps today's exclusive-writer
+   semantics unchanged.
 
    Unlike [Mutex], acquire and release may happen in different requests
    of the same session (they stay on that session's thread, but nothing
@@ -15,9 +21,10 @@
    mutex. Waiting writers are preferred over new readers — an arriving
    reader blocks while a writer is queued — so a writer behind a stream
    of overlapping readers is admitted as soon as the readers already in
-   flight drain, instead of starving. Readers can in turn be starved by
-   a saturating stream of writers, which is the right trade here: the
-   commit path is the one with durability waiting on it. *)
+   flight drain, instead of starving. With readers gone from the hot
+   path this preference now only matters on the replica's pre-sync
+   fallback; the property (and its tests) are kept because the fallback
+   still relies on writer progress. *)
 
 (* Readers and writers sleep on separate condition variables so a
    release wakes only threads that can actually make progress: handing

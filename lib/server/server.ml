@@ -1,6 +1,7 @@
 (* The concurrent ledger server: TCP accept loop, one session thread per
-   connection, request dispatch under the Rwlock discipline, and a
-   graceful shutdown that drains sessions and fsyncs the WAL.
+   connection, request dispatch (writes under the Rwlock discipline,
+   reads against published copy-on-write snapshots — see Dispatch), and
+   a graceful shutdown that drains sessions and fsyncs the WAL.
 
    Lifecycle:
      start  bind + listen (distinct error for a port already in use),
@@ -91,6 +92,10 @@ let start_error_to_string = function Port_in_use m | Startup m -> m
 let port t = t.actual_port
 let metrics t = t.metrics
 let durable t = t.durable
+
+(* Replica apply path: republish the served read snapshot after a batch
+   lands. Must be called while holding the node's writer lock. *)
+let refresh_snapshot t = Dispatch.refresh_snapshot t.disp
 
 let request_shutdown t = Atomic.set t.stop true
 let request_stats t = Atomic.set t.stats_requested true

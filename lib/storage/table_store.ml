@@ -170,6 +170,21 @@ let migrate t ~schema ~f =
       create_index t ~name:meta.index_name ~key_ordinals:meta.key_ordinals)
     metas
 
+(* O(1) frozen view. The B+trees are copy-on-write, so capturing their
+   root pointers freezes the stored rows; row arrays themselves are never
+   mutated by the engine after insertion (updates copy — the only
+   exception is [Raw.overwrite_value], the tamper simulator, which is
+   exactly the kind of page edit the ledger is meant to detect). The
+   result shares no mutable tree state with [t]: later inserts, deletes,
+   migrations or index changes on [t] are invisible to it. *)
+let snapshot t =
+  {
+    t with
+    clustered = Btree.snapshot t.clustered;
+    nc_indexes =
+      List.map (fun idx -> { idx with tree = Btree.snapshot idx.tree }) t.nc_indexes;
+  }
+
 let deep_copy t =
   let copy =
     create ~name:t.name ~table_id:t.table_id ~schema:t.schema

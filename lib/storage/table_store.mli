@@ -82,6 +82,10 @@ val migrate :
     must be preserved). Non-clustered indexes are rebuilt. Used by logical
     schema changes (adding a column pads rows with NULL). *)
 
+val snapshot : t -> t
+(** O(1) frozen view sharing the copy-on-write tree roots: later writes to
+    [t] are invisible to it. Read-only — never hand it to a write path. *)
+
 val deep_copy : t -> t
 (** Fully independent copy (rows included) — the substrate for backups and
     point-in-time restore simulations. *)

@@ -6,7 +6,15 @@
    request than the one that took it), and a writer behind a saturating
    stream of overlapping readers is still admitted — the
    writer-preference property the group-commit path depends on for
-   bounded commit latency. *)
+   bounded commit latency.
+
+   Since the copy-on-write snapshot refactor the lock's day job is
+   writer staging only — reads are served from published snapshots and
+   never touch it (the one exception: a replica before its first applied
+   batch). The writer-only cases below pin down the behaviour that role
+   depends on: pure writer-to-writer handoff makes progress without any
+   reader participating in wakeups, and a reader arriving after a
+   writer-only era is still admitted promptly. *)
 
 module Rwlock = Ledger_server.Rwlock
 
@@ -144,6 +152,61 @@ let test_writer_progress_behind_readers () =
   Alcotest.(check bool) "writer admitted despite reader stream" true
     (Atomic.get acquired)
 
+(* Writer-only handoff: with reads gone from the hot path the lock
+   degenerates to a mutex between writer sessions, the commit queue and
+   the replica apply thread. A convoy of writers doing rapid
+   acquire/release cycles must drain completely — no lost wakeup is
+   tolerable when no reader ever shows up to broadcast. *)
+let test_writer_only_handoff () =
+  let l = Rwlock.create () in
+  let writers = 4 and cycles = 300 in
+  let completed = Atomic.make 0 in
+  let shared = ref 0 in
+  let writer () =
+    for _ = 1 to cycles do
+      Rwlock.write l (fun () ->
+          (* Unsynchronized on purpose: correct only under exclusion. *)
+          shared := !shared + 1)
+    done;
+    Atomic.incr completed
+  in
+  let ths = List.init writers (fun _ -> Thread.create writer ()) in
+  List.iter Thread.join ths;
+  Alcotest.(check int) "every writer drained its cycles" writers
+    (Atomic.get completed);
+  Alcotest.(check int) "mutual exclusion held" (writers * cycles) !shared
+
+(* A reader arriving after a writer-only era (the replica's pre-publish
+   fallback is the only reader left in production) must still be
+   admitted once the last writer releases — the reader condition
+   variable must not rot while only writers signal each other. *)
+let test_reader_after_writer_era () =
+  let l = Rwlock.create () in
+  let stop = Atomic.make false in
+  let writers =
+    List.init 2 (fun _ ->
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop) do
+              Rwlock.write l (fun () -> Thread.yield ())
+            done)
+          ())
+  in
+  Thread.delay 0.1;
+  let admitted = Atomic.make false in
+  let reader =
+    Thread.create (fun () -> Rwlock.read l (fun () -> Atomic.set admitted true)) ()
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Atomic.get admitted)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Atomic.set stop true;
+  Thread.join reader;
+  List.iter Thread.join writers;
+  Alcotest.(check bool) "late reader admitted after writer-only era" true
+    (Atomic.get admitted)
+
 let () =
   Alcotest.run "rwlock"
     [
@@ -158,5 +221,9 @@ let () =
             test_cross_thread_release;
           Alcotest.test_case "writer progress behind readers" `Quick
             test_writer_progress_behind_readers;
+          Alcotest.test_case "writer-only handoff" `Quick
+            test_writer_only_handoff;
+          Alcotest.test_case "reader after writer-only era" `Quick
+            test_reader_after_writer_era;
         ] );
     ]
