@@ -754,6 +754,183 @@ let serve_bench () =
   end;
   if not verify_ok then failwith "post-load ledger verification failed";
   if Atomic.get errors > 0 then failwith "request errors during bench";
+  (* --- overload phase: a write storm against capped admission ---
+     A second server with deliberately low caps, an idle read baseline,
+     then an open-loop-shaped storm (32 writers running flat out, far
+     beyond the caps) with 4 readers measuring served latency through
+     it. The contract under test: overflow writes are refused with the
+     *typed* overloaded/deadline_exceeded errors and nothing else, while
+     reads stay fast because shedding keeps the machine out of the
+     collapse region. *)
+  print_endline "\n--- overload: write storm vs admission control ---";
+  let odir = Filename.temp_dir "sqlledger-bench" "-overload" in
+  let oconfig =
+    {
+      Ledger_server.Server.default_config with
+      port = 0;
+      dir = odir;
+      db_name = "bench";
+      max_connections = 64;
+      group_commit_window = 0.002;
+      max_inflight = 4;
+      max_queue_depth = 8;
+    }
+  in
+  let osrv =
+    match Ledger_server.Server.start ~config:oconfig () with
+    | Ok s -> s
+    | Error e -> failwith (Ledger_server.Server.start_error_to_string e)
+  in
+  let oth = Ledger_server.Server.run_async osrv in
+  let oport = Ledger_server.Server.port osrv in
+  let oconnect () =
+    match Wire.Client.connect ~host:"127.0.0.1" ~port:oport () with
+    | Ok c -> c
+    | Error e -> failwith (Wire.Client.connect_error_to_string e)
+  in
+  let setup = oconnect () in
+  expect_ok "overload create"
+    (Wire.Client.call setup
+       (Wire.Protocol.Create_table
+          {
+            name = "bench";
+            columns = [ ("id", "int"); ("payload", "varchar(64)") ];
+            key = [ "id" ];
+          }));
+  let oprng = Workload.Prng.create 4242 in
+  for id = 1 to 200 do
+    expect_ok "overload seed"
+      (Wire.Client.call setup
+         (Wire.Protocol.Exec
+            {
+              sql =
+                Printf.sprintf "INSERT INTO bench VALUES (%d, '%s')" id
+                  (Workload.Prng.alnum_string oprng 64);
+            }))
+  done;
+  (* Idle baseline: one quiet reader, point reads. *)
+  let read_req id =
+    Wire.Protocol.Query
+      { sql = Printf.sprintf "SELECT * FROM bench WHERE id = %d" id }
+  in
+  let idle_lats =
+    List.init 300 (fun i ->
+        let t0 = Unix.gettimeofday () in
+        expect_ok "idle read" (Wire.Client.call setup (read_req (1 + (i mod 200))));
+        (Unix.gettimeofday () -. t0) *. 1e6)
+  in
+  Wire.Client.close setup;
+  let sorted_pct lats p =
+    let a = Array.of_list lats in
+    Array.sort compare a;
+    if Array.length a = 0 then 0.0
+    else
+      a.(min (Array.length a - 1)
+           (int_of_float (p /. 100.0 *. float_of_int (Array.length a))))
+  in
+  let idle_p95 = sorted_pct idle_lats 95.0 in
+  (* The storm. *)
+  let storm_writers = 32 and storm_readers = 4 and storm_s = 2.0 in
+  let served_writes = Atomic.make 0 in
+  let shed = Atomic.make 0 in
+  let deadline_refused = Atomic.make 0 in
+  let other_errors = Atomic.make 0 in
+  let storm_end = Unix.gettimeofday () +. storm_s in
+  let writer w =
+    let client = oconnect () in
+    let prng = Workload.Prng.create (5000 + w) in
+    let base = (w + 1) * 1_000_000 in
+    let n = ref 0 in
+    while Unix.gettimeofday () < storm_end do
+      incr n;
+      let req =
+        Wire.Protocol.Exec
+          {
+            sql =
+              Printf.sprintf "INSERT INTO bench VALUES (%d, '%s')"
+                (base + !n)
+                (Workload.Prng.alnum_string prng 64);
+          }
+      in
+      match Wire.Client.call ~deadline_s:0.5 client req with
+      | Ok (Wire.Protocol.Error_r { code = Wire.Protocol.Overloaded; _ }) ->
+          Atomic.incr shed
+      | Ok (Wire.Protocol.Error_r { code = Wire.Protocol.Deadline_exceeded; _ })
+        ->
+          Atomic.incr deadline_refused
+      | Ok r when not (Wire.Protocol.response_is_error r) ->
+          Atomic.incr served_writes
+      | Ok _ | Error _ -> Atomic.incr other_errors
+    done;
+    Wire.Client.close client
+  in
+  let read_lats = Array.make storm_readers [] in
+  let reader r =
+    let client = oconnect () in
+    let prng = Workload.Prng.create (9000 + r) in
+    while Unix.gettimeofday () < storm_end do
+      let t0 = Unix.gettimeofday () in
+      (match
+         Wire.Client.call client (read_req (1 + Workload.Prng.int prng 200))
+       with
+      | Ok rr when not (Wire.Protocol.response_is_error rr) ->
+          read_lats.(r) <-
+            ((Unix.gettimeofday () -. t0) *. 1e6) :: read_lats.(r)
+      | Ok _ | Error _ -> Atomic.incr other_errors)
+    done;
+    Wire.Client.close client
+  in
+  let storm_threads =
+    List.init storm_writers (fun w -> Thread.create writer w)
+    @ List.init storm_readers (fun r -> Thread.create reader r)
+  in
+  List.iter Thread.join storm_threads;
+  (* Server-side counters cross-check the client-side classification. *)
+  let octl = oconnect () in
+  let ostats =
+    match Wire.Client.call octl Wire.Protocol.Stats with
+    | Ok (Wire.Protocol.Stats_r lines) -> lines
+    | _ -> []
+  in
+  Wire.Client.close octl;
+  let ocounter name =
+    let prefix = Printf.sprintf "sqlledger_counter{name=%S}" name in
+    List.fold_left
+      (fun acc line ->
+        if starts_with prefix line then int_of_float (line_value line) else acc)
+      0 ostats
+  in
+  let oqueue_hw =
+    let prefix = "sqlledger_high_water{name=\"commit.queue_depth\"}" in
+    List.fold_left
+      (fun acc line ->
+        if starts_with prefix line then int_of_float (line_value line) else acc)
+      0 ostats
+  in
+  Ledger_server.Server.shutdown osrv oth;
+  let storm_read_lats = List.concat (Array.to_list read_lats) in
+  let storm_read_p99 = sorted_pct storm_read_lats 99.0 in
+  let shed_only_errors = Atomic.get other_errors = 0 in
+  let reads_bounded =
+    (* Served reads must not collapse while writes shed: p99 under storm
+       within 5x the idle p95 (with a floor for timer-coarse hosts). *)
+    storm_read_p99 <= Float.max (5.0 *. idle_p95) 5000.0
+  in
+  Printf.printf "%-26s %12.0f us\n" "idle read p95" idle_p95;
+  Printf.printf "%-26s %12.0f us (%d reads during storm)\n"
+    "storm read p99" storm_read_p99
+    (List.length storm_read_lats);
+  Printf.printf "%-26s %12d\n" "storm writes served" (Atomic.get served_writes);
+  Printf.printf "%-26s %12d (server counted %d)\n" "storm writes shed"
+    (Atomic.get shed) (ocounter "server.shed");
+  Printf.printf "%-26s %12d (server counted %d)\n" "deadline refusals"
+    (Atomic.get deadline_refused)
+    (ocounter "server.deadline_exceeded");
+  Printf.printf "%-26s %12d\n" "commit queue high-water" oqueue_hw;
+  Printf.printf "%-26s %12s\n" "shed errors typed only"
+    (if shed_only_errors then "yes" else "NO");
+  Printf.printf "%-26s %12s\n" "read p99 bounded"
+    (if reads_bounded then "yes" else "NO");
   if !json_out then begin
     let fnum v = Sjson.Float (if Float.is_nan v then 0.0 else v) in
     let json =
@@ -782,6 +959,20 @@ let serve_bench () =
           ("batch_size_max", fnum (batch_stat "max"));
           ("flush_latency_avg_us", fnum (flush_stat "avg"));
           ("flush_latency_p95_us", fnum (flush_stat "p95"));
+          ("overload_max_inflight", Sjson.Int oconfig.max_inflight);
+          ("overload_queue_depth_cap", Sjson.Int oconfig.max_queue_depth);
+          ("overload_idle_read_p95_us", Sjson.Float idle_p95);
+          ("overload_storm_read_p99_us", Sjson.Float storm_read_p99);
+          ("overload_storm_reads", Sjson.Int (List.length storm_read_lats));
+          ("overload_writes_served", Sjson.Int (Atomic.get served_writes));
+          ("overload_writes_shed", Sjson.Int (Atomic.get shed));
+          ( "overload_deadline_refusals",
+            Sjson.Int (Atomic.get deadline_refused) );
+          ("overload_other_errors", Sjson.Int (Atomic.get other_errors));
+          ("overload_server_shed_counter", Sjson.Int (ocounter "server.shed"));
+          ("overload_queue_depth_high_water", Sjson.Int oqueue_hw);
+          ("shed_only_errors", Sjson.Bool shed_only_errors);
+          ("overload_read_p99_bounded", Sjson.Bool reads_bounded);
         ]
     in
     Out_channel.with_open_text "BENCH_serve.json" (fun oc ->

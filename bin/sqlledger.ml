@@ -266,7 +266,8 @@ let run_recover failpoints wal snapshot verify_flag =
      1  startup failure other than the port (e.g. recovery failed)
      2  port already in use, or an injected fault crashed the server *)
 let run_serve dir port host name max_conns max_frame idle_timeout
-    request_timeout group_commit_window_ms failpoints =
+    request_timeout group_commit_window_ms max_inflight queue_depth
+    failpoints =
   List.iter (fun (n, m) -> Fault.set n m) failpoints;
   let config =
     {
@@ -280,6 +281,8 @@ let run_serve dir port host name max_conns max_frame idle_timeout
       idle_timeout;
       request_timeout;
       group_commit_window = group_commit_window_ms /. 1000.0;
+      max_inflight;
+      max_queue_depth = queue_depth;
     }
   in
   match Ledger_server.Server.start ~config () with
@@ -447,7 +450,7 @@ let print_response = function
       (* Replication handshake replies; never seen by the CLI client. *)
       print_endline "unexpected replication response";
       1
-  | Protocol.Error_r { code; message } ->
+  | Protocol.Error_r { code; message; _ } ->
       Printf.eprintf "error (%s): %s\n"
         (Protocol.error_code_to_string code)
         message;
@@ -597,8 +600,12 @@ let run_repl cl =
 (* Exit codes (documented in README.md):
      0  success        1  the server answered with an error (or verify failed)
      2  cannot connect 3  protocol-version mismatch *)
-let run_client host port args digest_files =
-  match Wire.Client.connect ~host ~port () with
+let run_client host port deadline retries args digest_files =
+  let deadline_s = if deadline > 0.0 then Some deadline else None in
+  match
+    Wire.Client.connect_retry ~max_attempts:(retries + 1) ?deadline_s ~host
+      ~port ()
+  with
   | Error (Wire.Client.Refused msg) ->
       Printf.eprintf "sqlledger client: %s\n" msg;
       2
@@ -617,7 +624,12 @@ let run_client host port args digest_files =
               Printf.eprintf "sqlledger client: %s\n" e;
               1
           | Ok req -> (
-              match Wire.Client.call cl req with
+              match
+                if retries > 0 then
+                  Wire.Client.call_retry ?deadline_s
+                    ~max_attempts:(retries + 1) cl req
+                else Wire.Client.call ?deadline_s cl req
+              with
               | Ok resp -> print_response resp
               | Error e ->
                   Printf.eprintf "sqlledger client: %s\n" e;
@@ -625,6 +637,73 @@ let run_client host port args digest_files =
       in
       Wire.Client.close cl;
       code
+
+(* ------------------------------------------------------------------ *)
+(* chaos-proxy *)
+
+(* Exit codes: 0 clean stop (SIGTERM/SIGINT), 1 startup failure. *)
+let run_chaos_proxy host port upstream seed steps min_hold max_hold loop =
+  match String.rindex_opt upstream ':' with
+  | None ->
+      Printf.eprintf
+        "sqlledger chaos-proxy: --upstream expects HOST:PORT, got %s\n"
+        upstream;
+      1
+  | Some i -> (
+      let upstream_host = String.sub upstream 0 i in
+      match
+        int_of_string_opt
+          (String.sub upstream (i + 1) (String.length upstream - i - 1))
+      with
+      | None ->
+          Printf.eprintf "sqlledger chaos-proxy: bad port in --upstream %s\n"
+            upstream;
+          1
+      | Some upstream_port -> (
+          match
+            Chaos.Proxy.start ~host ~port ~upstream_host ~upstream_port ()
+          with
+          | Error e ->
+              Printf.eprintf "sqlledger chaos-proxy: %s\n" e;
+              1
+          | Ok proxy ->
+              let stopping = Atomic.make false in
+              let stop _ = Atomic.set stopping true in
+              Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+              Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+              Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+              Printf.printf
+                "chaos proxy: %s:%d -> %s:%d (seed %d, %d fault steps%s)\n%!"
+                host
+                (Chaos.Proxy.port proxy)
+                upstream_host upstream_port seed steps
+                (if loop then ", looping" else "");
+              let schedule =
+                Chaos.Schedule.random ~steps ~min_hold ~max_hold ~seed ()
+              in
+              List.iter
+                (fun line -> Printf.printf "  %s\n%!" line)
+                (Chaos.Schedule.describe schedule);
+              let stopped () = Atomic.get stopping in
+              if steps > 0 then begin
+                Chaos.Schedule.run ~stop:stopped schedule proxy;
+                while loop && not (stopped ()) do
+                  Chaos.Schedule.run ~stop:stopped schedule proxy
+                done
+              end;
+              (* Schedule exhausted (or none requested): keep forwarding
+                 healthily until signalled. *)
+              while not (stopped ()) do
+                Thread.delay 0.2
+              done;
+              let s = Chaos.Proxy.stats proxy in
+              Chaos.Proxy.stop proxy;
+              Printf.printf
+                "chaos proxy: %d connections (%d killed), %d bytes up, %d \
+                 bytes down\n"
+                s.Chaos.Proxy.conns_total s.Chaos.Proxy.conns_killed
+                s.Chaos.Proxy.bytes_to_upstream s.Chaos.Proxy.bytes_to_client;
+              0))
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner wiring *)
@@ -791,6 +870,25 @@ let serve_cmd =
              fsync; 0 gives every commit its own fsync (the legacy \
              commit path).")
   in
+  let max_inflight =
+    Arg.(
+      value & opt int 0
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission control: with more than $(docv) requests in \
+             dispatch, requests that would start new write work are \
+             refused with the typed $(b,overloaded) error (and a \
+             retry-after hint) instead of queueing. 0 disables.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 0
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission control: with $(docv) or more staged commits \
+             waiting for the group-commit leader, new write work is shed \
+             with the typed $(b,overloaded) error. 0 disables.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -800,7 +898,8 @@ let serve_cmd =
       const run_serve $ dir
       $ port_arg ~doc:"TCP port to listen on"
       $ host_arg $ db_name $ max_conns $ max_frame $ idle_timeout
-      $ request_timeout $ group_commit_window $ failpoint_arg)
+      $ request_timeout $ group_commit_window $ max_inflight $ queue_depth
+      $ failpoint_arg)
 
 let replica_cmd =
   let dir =
@@ -879,13 +978,90 @@ let client_cmd =
             "Trusted digest JSON to anchor a one-shot $(b,verify) \
              (repeatable).")
   in
+  let deadline =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Total budget for the one-shot command: rides the request \
+             envelope (the server refuses to start work past it, \
+             answering $(b,deadline_exceeded)) and bounds the local wait \
+             for the response. 0 disables.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry the connection and the one-shot command up to $(docv) \
+             extra times with jittered exponential backoff. Typed \
+             $(b,overloaded)/$(b,deadline_exceeded) refusals are retried \
+             for any command (the server did no work); transport \
+             failures only for idempotent ones (reads, receipts, \
+             verify).")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Connect to a sqlledger server (one-shot command or REPL)")
     Term.(
       const run_client $ host_arg
       $ port_arg ~doc:"Server TCP port"
-      $ args $ digest_files)
+      $ deadline $ retries $ args $ digest_files)
+
+let chaos_proxy_cmd =
+  let upstream =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "upstream" ] ~docv:"HOST:PORT"
+          ~doc:"The real server to forward to.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0xC0FFEE
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the fault schedule; the same seed replays the same \
+             faults in the same order.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 6
+      & info [ "steps" ] ~docv:"N"
+          ~doc:
+            "Fault steps to draw from the seed (0 = forward healthily, a \
+             plain proxy).")
+  in
+  let min_hold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "min-hold" ] ~docv:"SECONDS"
+          ~doc:"Minimum time each fault stays installed.")
+  in
+  let max_hold =
+    Arg.(
+      value & opt float 3.0
+      & info [ "max-hold" ] ~docv:"SECONDS"
+          ~doc:"Maximum time each fault stays installed.")
+  in
+  let loop =
+    Arg.(
+      value & flag
+      & info [ "loop" ]
+          ~doc:"Repeat the schedule until stopped instead of running it \
+                once and healing.")
+  in
+  Cmd.v
+    (Cmd.info "chaos-proxy"
+       ~doc:
+         "Fault-injecting TCP proxy: forward a client (or a replica's \
+          subscription) to a server through seeded network faults — \
+          delays, throttles, slow-loris dribble, half-duplex drops, \
+          partitions, duplicate connects")
+    Term.(
+      const run_chaos_proxy $ host_arg
+      $ port_arg ~doc:"TCP port the proxy listens on (0 = ephemeral)"
+      $ upstream $ seed $ steps $ min_hold $ max_hold $ loop)
 
 let main =
   Cmd.group
@@ -894,6 +1070,7 @@ let main =
     [
       demo_cmd; shell_cmd; fabric_cmd; verify_cmd; recover_cmd;
       failpoints_cmd; serve_cmd; replica_cmd; promote_cmd; client_cmd;
+      chaos_proxy_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

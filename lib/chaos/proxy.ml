@@ -1,0 +1,373 @@
+(* Fault-injecting TCP proxy: the network half of the chaos harness.
+
+   The proxy sits between a wire client and a server (or between a
+   replica and its primary), forwarding bytes through a configurable
+   fault. Faults model the network pathologies a deployment actually
+   meets — added latency, thin pipes, a peer that dribbles bytes one at
+   a time (slow-loris), links that silently eat one direction, full
+   partitions, and reconnect storms — without touching either endpoint's
+   code. The current fault is a single atomic cell, so a schedule (or a
+   test) can flip it while connections are live and the pumps pick it up
+   on their next transfer.
+
+   Topology per accepted client: one upstream connection and two pump
+   threads, one per direction. Faults are applied at forward time, so a
+   fault installed mid-connection affects bytes already in flight
+   through the proxy's buffer exactly as a real link change would.
+
+   Teardown discipline: [kill_connections]/[stop] only [shutdown] the
+   sockets — the pump threads see EOF/errors, and the *last* pump out
+   closes the file descriptors. Closing from the killer thread would
+   race a blocked [Unix.read] against fd reuse. *)
+
+type direction = To_upstream | To_client | Both
+
+type fault =
+  | Healthy
+  | Delay of { seconds : float; dir : direction }
+      (** hold each forwarded buffer for [seconds] before delivery *)
+  | Throttle of { bytes_per_sec : int; dir : direction }
+      (** cap the forwarding rate, chunked writes with paced sleeps *)
+  | Dribble of { chunk : int; pause : float; dir : direction }
+      (** slow-loris: deliver [chunk] bytes every [pause] seconds *)
+  | Drop of direction
+      (** silently discard bytes flowing in [dir]; the other direction
+          keeps working — a half-duplex link failure *)
+  | Partition
+      (** black-hole both directions and refuse new connections; bytes
+          in flight are held and delivered when the partition heals
+          (TCP's retransmit behaviour), torn only by [kill_connections] *)
+  | Duplicate_connect
+      (** every accepted client also opens a second, idle upstream
+          connection — a reconnect storm's ghost sessions, exercising
+          the server's connection accounting and idle reaping *)
+
+let direction_to_string = function
+  | To_upstream -> "to-upstream"
+  | To_client -> "to-client"
+  | Both -> "both"
+
+let fault_to_string = function
+  | Healthy -> "healthy"
+  | Delay { seconds; dir } ->
+      Printf.sprintf "delay(%.3fs,%s)" seconds (direction_to_string dir)
+  | Throttle { bytes_per_sec; dir } ->
+      Printf.sprintf "throttle(%dB/s,%s)" bytes_per_sec
+        (direction_to_string dir)
+  | Dribble { chunk; pause; dir } ->
+      Printf.sprintf "dribble(%dB/%.3fs,%s)" chunk pause
+        (direction_to_string dir)
+  | Drop dir -> Printf.sprintf "drop(%s)" (direction_to_string dir)
+  | Partition -> "partition"
+  | Duplicate_connect -> "duplicate-connect"
+
+type conn = {
+  k_id : int;
+  k_client : Unix.file_descr;
+  k_up : Unix.file_descr;
+  k_extra : Unix.file_descr option;  (* Duplicate_connect's ghost *)
+  k_alive : bool Atomic.t;
+  k_pumps : int Atomic.t;  (* pump threads still running; last one closes *)
+}
+
+type stats = {
+  conns_total : int;
+  conns_live : int;
+  conns_killed : int;
+  bytes_to_upstream : int;
+  bytes_to_client : int;
+}
+
+type t = {
+  lsock : Unix.file_descr;
+  port : int;
+  up_host : string;
+  up_port : int;
+  fault : fault Atomic.t;
+  stop : bool Atomic.t;
+  m : Mutex.t;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_id : int;
+  mutable threads : Thread.t list;
+  mutable conns_total : int;
+  mutable conns_killed : int;
+  mutable bytes_to_upstream : int;
+  mutable bytes_to_client : int;
+  mutable accepter : Thread.t option;
+}
+
+let port t = t.port
+let fault t = Atomic.get t.fault
+let set_fault t f = Atomic.set t.fault f
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      conns_total = t.conns_total;
+      conns_live = Hashtbl.length t.conns;
+      conns_killed = t.conns_killed;
+      bytes_to_upstream = t.bytes_to_upstream;
+      bytes_to_client = t.bytes_to_client;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Pumping *)
+
+let applies d dir = d = Both || d = dir
+
+let count t dir n =
+  Mutex.lock t.m;
+  (match dir with
+  | To_upstream -> t.bytes_to_upstream <- t.bytes_to_upstream + n
+  | To_client | Both -> t.bytes_to_client <- t.bytes_to_client + n);
+  Mutex.unlock t.m
+
+let live t k = Atomic.get k.k_alive && not (Atomic.get t.stop)
+
+(* Sleep in short slices so a healed fault or a kill is honoured fast. *)
+let rec pause t k seconds =
+  if seconds > 0. && live t k then begin
+    Thread.delay (Float.min 0.01 seconds);
+    pause t k (seconds -. 0.01)
+  end
+
+let write_all fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write fd buf off len in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+(* Forward [len] bytes through the currently-installed fault. Re-reads
+   the fault after a partition heals so held bytes flow through whatever
+   the link became. Raises on transport failure; the pump tears down. *)
+let rec forward t k dst dir buf len =
+  if len > 0 && live t k then
+    match Atomic.get t.fault with
+    | Healthy | Duplicate_connect ->
+        write_all dst buf 0 len;
+        count t dir len
+    | Delay { seconds; dir = d } ->
+        if applies d dir then pause t k seconds;
+        if live t k then begin
+          write_all dst buf 0 len;
+          count t dir len
+        end
+    | Throttle { bytes_per_sec; dir = d } ->
+        if not (applies d dir) then begin
+          write_all dst buf 0 len;
+          count t dir len
+        end
+        else begin
+          let chunk = max 1 (min len (bytes_per_sec / 20)) in
+          let off = ref 0 in
+          while !off < len && live t k do
+            let n = min chunk (len - !off) in
+            write_all dst buf !off n;
+            count t dir n;
+            off := !off + n;
+            if !off < len then
+              pause t k (float_of_int n /. float_of_int (max 1 bytes_per_sec))
+          done
+        end
+    | Dribble { chunk; pause = p; dir = d } ->
+        if not (applies d dir) then begin
+          write_all dst buf 0 len;
+          count t dir len
+        end
+        else begin
+          let off = ref 0 in
+          while !off < len && live t k do
+            let n = min (max 1 chunk) (len - !off) in
+            write_all dst buf !off n;
+            count t dir n;
+            off := !off + n;
+            if !off < len then pause t k p
+          done
+        end
+    | Drop d ->
+        if applies d dir then () (* eaten by the link *)
+        else begin
+          write_all dst buf 0 len;
+          count t dir len
+        end
+    | Partition ->
+        (* Hold the bytes until the partition heals or the connection is
+           killed, then deliver through whatever fault is now in
+           force. *)
+        while Atomic.get t.fault = Partition && live t k do
+          Thread.delay 0.01
+        done;
+        if live t k then forward t k dst dir buf len
+
+let unregister t k =
+  Mutex.lock t.m;
+  Hashtbl.remove t.conns k.k_id;
+  Mutex.unlock t.m
+
+let shutdown_conn k =
+  if Atomic.compare_and_set k.k_alive true false then begin
+    let quiet fd =
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+    in
+    quiet k.k_client;
+    quiet k.k_up;
+    Option.iter quiet k.k_extra
+  end
+
+let pump t k src dst dir =
+  let buf = Bytes.create 65536 in
+  (try
+     let eof = ref false in
+     while (not !eof) && live t k do
+       match Unix.read src buf 0 (Bytes.length buf) with
+       | 0 -> eof := true
+       | n -> forward t k dst dir buf n
+       | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+     done
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  (* Half-close semantics are pointless through a fault proxy; one side
+     done means the conversation is done. *)
+  shutdown_conn k;
+  if Atomic.fetch_and_add k.k_pumps (-1) = 1 then begin
+    (* Last pump out owns the fds. *)
+    let quiet fd = try Unix.close fd with Unix.Unix_error _ -> () in
+    quiet k.k_client;
+    quiet k.k_up;
+    Option.iter quiet k.k_extra;
+    unregister t k
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Accepting *)
+
+let dial_upstream t =
+  let addr =
+    try Unix.ADDR_INET (Unix.inet_addr_of_string t.up_host, t.up_port)
+    with Failure _ -> Unix.ADDR_INET (Unix.inet_addr_loopback, t.up_port)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () -> Some fd
+  | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+
+let spawn_conn t client_fd =
+  match dial_upstream t with
+  | None -> ( try Unix.close client_fd with Unix.Unix_error _ -> ())
+  | Some up_fd ->
+      let extra =
+        match Atomic.get t.fault with
+        | Duplicate_connect -> dial_upstream t
+        | _ -> None
+      in
+      Mutex.lock t.m;
+      t.next_id <- t.next_id + 1;
+      t.conns_total <- t.conns_total + 1;
+      let k =
+        {
+          k_id = t.next_id;
+          k_client = client_fd;
+          k_up = up_fd;
+          k_extra = extra;
+          k_alive = Atomic.make true;
+          k_pumps = Atomic.make 2;
+        }
+      in
+      Hashtbl.add t.conns k.k_id k;
+      let th1 = Thread.create (fun () -> pump t k client_fd up_fd To_upstream) () in
+      let th2 = Thread.create (fun () -> pump t k up_fd client_fd To_client) () in
+      t.threads <- th1 :: th2 :: t.threads;
+      Mutex.unlock t.m
+
+let accept_loop t =
+  while not (Atomic.get t.stop) do
+    match Unix.select [ t.lsock ] [] [] 0.1 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.lsock with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ -> (
+            match Atomic.get t.fault with
+            | Partition ->
+                (* The network is down: the client's connect may have
+                   completed in the kernel, but no conversation starts —
+                   drop it on the floor. *)
+                (try Unix.close fd with Unix.Unix_error _ -> ())
+            | _ -> spawn_conn t fd))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let start ?(host = "127.0.0.1") ?(port = 0) ~upstream_host ~upstream_port () =
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  match
+    Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close lsock with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "chaos proxy cannot bind %s:%d: %s" host port
+           (Unix.error_message e))
+  | () ->
+      Unix.listen lsock 64;
+      let actual =
+        match Unix.getsockname lsock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      let t =
+        {
+          lsock;
+          port = actual;
+          up_host = upstream_host;
+          up_port = upstream_port;
+          fault = Atomic.make Healthy;
+          stop = Atomic.make false;
+          m = Mutex.create ();
+          conns = Hashtbl.create 16;
+          next_id = 0;
+          threads = [];
+          conns_total = 0;
+          conns_killed = 0;
+          bytes_to_upstream = 0;
+          bytes_to_client = 0;
+          accepter = None;
+        }
+      in
+      t.accepter <- Some (Thread.create accept_loop t);
+      Ok t
+
+(* Tear every live connection — a node kill or a reset storm. New
+   connections keep being accepted (unless partitioned). *)
+let kill_connections t =
+  Mutex.lock t.m;
+  let live = Hashtbl.fold (fun _ k acc -> k :: acc) t.conns [] in
+  t.conns_killed <- t.conns_killed + List.length live;
+  Mutex.unlock t.m;
+  List.iter shutdown_conn live
+
+let stop t =
+  if not (Atomic.exchange t.stop true) then begin
+    kill_connections t;
+    (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.accepter;
+    let threads =
+      Mutex.lock t.m;
+      let l = t.threads in
+      t.threads <- [];
+      Mutex.unlock t.m;
+      l
+    in
+    List.iter Thread.join threads
+  end

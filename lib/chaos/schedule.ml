@@ -1,0 +1,90 @@
+(* Seeded fault schedules: the deterministic driver behind the chaos
+   matrix and the `sqlledger chaos-proxy --seed` CLI.
+
+   A schedule is a list of (fault, hold-seconds) steps applied to a
+   proxy in order, healing the link when it ends. [random] draws the
+   steps from a seeded splitmix64 stream (Workload.Prng), so a failing
+   chaos trial replays exactly from its printed seed — the property the
+   crash matrix already relies on, extended to the network. *)
+
+type step = { fault : Proxy.fault; hold : float }
+
+type t = step list
+
+let fixed steps = List.map (fun (fault, hold) -> { fault; hold }) steps
+
+let describe steps =
+  List.map
+    (fun { fault; hold } ->
+      Printf.sprintf "%-28s %.3fs" (Proxy.fault_to_string fault) hold)
+    steps
+
+let random_direction rng =
+  match Workload.Prng.int rng 3 with
+  | 0 -> Proxy.To_upstream
+  | 1 -> Proxy.To_client
+  | _ -> Proxy.Both
+
+(* One random fault, parameters drawn small enough that a trial's worth
+   of them finishes in test time yet large enough to matter against the
+   protocol's timeouts. Healthy appears in the menu on purpose: healing
+   mid-schedule exercises recovery paths, not just degradation. *)
+let random_fault rng =
+  match Workload.Prng.int rng 7 with
+  | 0 -> Proxy.Healthy
+  | 1 ->
+      Proxy.Delay
+        {
+          seconds = 0.001 +. Workload.Prng.float rng 0.02;
+          dir = random_direction rng;
+        }
+  | 2 ->
+      Proxy.Throttle
+        {
+          bytes_per_sec = 8 * 1024 * (1 + Workload.Prng.int rng 32);
+          dir = random_direction rng;
+        }
+  | 3 ->
+      Proxy.Dribble
+        {
+          chunk = 1 + Workload.Prng.int rng 7;
+          pause = 0.0005 +. Workload.Prng.float rng 0.002;
+          dir = random_direction rng;
+        }
+  | 4 -> Proxy.Drop (random_direction rng)
+  | 5 -> Proxy.Partition
+  | _ -> Proxy.Duplicate_connect
+
+let random ?(steps = 6) ?(min_hold = 0.05) ?(max_hold = 0.3) ~seed () =
+  let rng = Workload.Prng.create seed in
+  List.init steps (fun _ ->
+      {
+        fault = random_fault rng;
+        hold = min_hold +. Workload.Prng.float rng (max_hold -. min_hold);
+      })
+
+(* Apply the schedule to [proxy], step by step, checking [stop] between
+   slices so a finished test does not sit out the remaining holds. The
+   link is always healed on the way out. *)
+let run ?(stop = fun () -> false) schedule proxy =
+  let rec hold seconds =
+    if seconds > 0. && not (stop ()) then begin
+      Thread.delay (Float.min 0.02 seconds);
+      hold (seconds -. 0.02)
+    end
+  in
+  (try
+     List.iter
+       (fun { fault; hold = h } ->
+         if not (stop ()) then begin
+           Proxy.set_fault proxy fault;
+           hold h
+         end)
+       schedule
+   with e ->
+     Proxy.set_fault proxy Proxy.Healthy;
+     raise e);
+  Proxy.set_fault proxy Proxy.Healthy
+
+let run_async ?stop schedule proxy =
+  Thread.create (fun () -> run ?stop schedule proxy) ()

@@ -37,6 +37,13 @@ let () =
 (* Snapshot frames can dwarf the request/response default. *)
 let stream_max_frame = 1 lsl 30
 
+(* Whole-frame bound on every stream read. The primary heartbeats every
+   couple of seconds, so 30 s of silence — or a frame started but never
+   finished — means the link is dead or a middlebox is sitting on the
+   bytes; tear down and let the backoff loop resubscribe instead of
+   blocking forever (which would also wedge the daemon's shutdown join). *)
+let stream_read_timeout = 30.0
+
 let state_file = "replica.json"
 let state_path dir = Filename.concat dir state_file
 let is_replica_dir dir = Sys.file_exists (state_path dir)
@@ -245,12 +252,17 @@ let install_snapshot t ~with_write json ~last_lsn:snap_lsn =
   | Error e -> Error ("shipped snapshot rejected: " ^ e)
   | Ok db ->
       with_write (fun () ->
-          Replica.install_snapshot t.c_replica db ~last_lsn:snap_lsn;
+          (* Durability and the WAL swap first; flipping the replica's
+             [last_lsn] is the step a catch-up poller keys on, so it must
+             come last — otherwise a reader that sees the new position
+             can still be served the pre-install state for as long as the
+             snapshot write to disk takes. *)
           Snapshot.save_to_file db ~path:(Durable.snapshot_path t.c_dir);
           Aries.Wal.close t.c_wal;
           t.c_wal <-
             Aries.Wal.create ~path:(Durable.wal_path t.c_dir)
-              ~first_lsn:(snap_lsn + 1) ~sync_commits:false ());
+              ~first_lsn:(snap_lsn + 1) ~sync_commits:false ();
+          Replica.install_snapshot t.c_replica db ~last_lsn:snap_lsn);
       Ok ()
 
 type subscribe_outcome =
@@ -281,7 +293,10 @@ let subscribe t ~with_write =
       | exception (Sys_error _ | Unix.Unix_error _) ->
           fail (Retry "subscribe send failed")
       | () -> (
-          match Frame.recv ~max_frame:stream_max_frame conn with
+          match
+            Frame.recv ~max_frame:stream_max_frame
+              ~read_timeout:stream_read_timeout conn
+          with
           | exception Unix.Unix_error (err, _, _) ->
               fail (Retry (Unix.error_message err))
           | Frame.Eof | Frame.Truncated ->
@@ -304,12 +319,36 @@ let subscribe t ~with_write =
                   ( _,
                     Protocol.Error_r
                       {
-                        code = Protocol.Busy | Protocol.Shutting_down;
+                        code =
+                          ( Protocol.Busy | Protocol.Shutting_down
+                          | Protocol.Overloaded );
                         message;
+                        _;
                       } ) ->
                   fail (Retry message)
               | Ok (_, Protocol.Error_r { message; _ }) -> fail (Fatal message)
               | Ok (_, _) -> fail (Retry "unexpected reply to subscribe"))))
+
+(* A network that eats whole frames (half-duplex link failure, a chaos
+   proxy's Drop) leaves a hole in the LSN sequence that [Replica.feed]
+   would otherwise advance straight over — silent divergence. Refuse the
+   batch instead and tear the connection: resubscribing from the
+   persisted LSN redelivers the missing records. Records at or below the
+   local WAL head are redelivery and exempt; the fresh suffix must start
+   exactly one past the head and stay consecutive. *)
+let check_contiguous t records =
+  let last = Aries.Wal.last_lsn t.c_wal in
+  let rec go expected = function
+    | [] -> Ok ()
+    | (lsn, _) :: rest when lsn <= last && expected = None -> go None rest
+    | (lsn, _) :: rest ->
+        let want = match expected with None -> last + 1 | Some e -> e in
+        if lsn = want then go (Some (lsn + 1)) rest
+        else
+          Error
+            (Printf.sprintf "stream gap: expected lsn %d, got %d" want lsn)
+  in
+  go None records
 
 (* Apply one batch: local WAL first (durable), then the in-memory
    replica, then ack. Records the replica already holds are skipped by
@@ -350,21 +389,52 @@ let stream_loop t conn ~with_write =
   in
   while not (!closing || Atomic.get t.c_stop) do
     if Frame.poll conn 0.2 then
-      match Frame.recv ~max_frame:stream_max_frame conn with
+      match
+        Frame.recv ~max_frame:stream_max_frame
+          ~read_timeout:stream_read_timeout conn
+      with
       | Frame.Frame payload -> (
           match Stream.decode payload with
           | Ok (Stream.Batch { records }) -> (
-              match
-                apply_batch t ~with_write records (String.length payload)
-              with
-              | Ok () -> ack ()
+              match check_contiguous t records with
               | Error e ->
-                  fatal := Some e;
-                  closing := true)
-          | Ok (Stream.Heartbeat _) -> ack ()
+                  (* A hole means the wire lost frames, not that our
+                     history diverged: tear and resubscribe from the
+                     persisted LSN, which redelivers the gap. *)
+                  t.c_last_error <- e;
+                  closing := true
+              | Ok () -> (
+                  match
+                    apply_batch t ~with_write records (String.length payload)
+                  with
+                  | Ok () -> ack ()
+                  | Error e ->
+                      fatal := Some e;
+                      closing := true))
+          | Ok (Stream.Heartbeat { last_lsn = shipped }) ->
+              (* The heartbeat carries the primary's shipped high-water
+                 mark for THIS connection, and TCP delivers in order: a
+                 heartbeat above our applied LSN proves batch frames
+                 sent before it were eaten by the wire — the connection
+                 itself is alive, so only resubscribing (from the
+                 persisted LSN) gets them redelivered. Without this
+                 check a lossy-but-unbroken link parks the replica
+                 behind the primary forever, acking an LSN it will
+                 never advance. *)
+              if shipped > last_lsn t then begin
+                t.c_last_error <-
+                  Printf.sprintf
+                    "stream lost records: primary shipped to %d, applied %d"
+                    shipped (last_lsn t);
+                closing := true
+              end
+              else ack ()
           | Ok (Stream.Ack _) -> ()  (* not ours to receive; ignore *)
           | Error e ->
-              fatal := Some ("bad stream frame: " ^ e);
+              (* Corruption the CRC exists to catch is a network fault,
+                 not divergence: reconnect and take redelivery rather
+                 than killing the daemon. *)
+              t.c_last_error <- "bad stream frame: " ^ e;
               closing := true)
       | Frame.Eof | Frame.Truncated | Frame.Junk _ | Frame.Oversized _ ->
           closing := true
@@ -379,18 +449,44 @@ let rec snooze t seconds =
     snooze t (seconds -. 0.1)
   end
 
-(* The daemon loop: subscribe, stream, reconnect with capped exponential
-   backoff across primary restarts. Injected faults ([repl.apply] /
-   [repl.ack]) behave like a replica crash: the loop stops with the
-   durable directory left behind for a restart to resume from. *)
+(* Reconnect delay as a pure function of (seed, attempt): full jitter
+   over the capped-exponential ceiling min(max, min * 2^attempt). Two
+   replicas orphaned by the same primary crash share the attempt number
+   but not the seed, so their resubscribe storms spread out instead of
+   landing on the recovering primary in lock-step — and a test can prove
+   it without clocks, by comparing the two schedules directly. The hash
+   is splitmix64 of seed + attempt. *)
+let backoff_delay ~seed ~attempt ~backoff_min ~backoff_max =
+  let open Int64 in
+  let z =
+    add (of_int seed) (mul (of_int (attempt + 1)) 0x9E3779B97F4A7C15L)
+  in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  let u = Int64.to_float (shift_right_logical z 11) /. 9007199254740992.0 in
+  let cap =
+    Float.min backoff_max (backoff_min *. (2. ** float_of_int attempt))
+  in
+  u *. cap
+
+(* The daemon loop: subscribe, stream, reconnect with jittered capped
+   exponential backoff across primary restarts (seeded by the replica's
+   stable identity, so each replica follows its own schedule). Injected
+   faults ([repl.apply] / [repl.ack]) behave like a replica crash: the
+   loop stops with the durable directory left behind for a restart to
+   resume from. *)
 let run t ~with_write =
-  let backoff = ref t.backoff_min in
+  let seed = Int32.to_int (Fault.Crc32.string t.c_id) in
+  let attempt = ref 0 in
   let first = ref true in
   while not (Atomic.get t.c_stop) do
     if not !first then begin
       t.c_reconnects <- t.c_reconnects + 1;
-      snooze t !backoff;
-      backoff := Float.min t.backoff_max (!backoff *. 2.)
+      snooze t
+        (backoff_delay ~seed ~attempt:!attempt ~backoff_min:t.backoff_min
+           ~backoff_max:t.backoff_max);
+      if !attempt < 62 then incr attempt
     end;
     first := false;
     if not (Atomic.get t.c_stop) then begin
@@ -401,7 +497,7 @@ let run t ~with_write =
           Atomic.set t.c_stop true
       | Stream_open conn ->
           t.c_connected <- true;
-          backoff := t.backoff_min;
+          attempt := 0;
           let fatal =
             try stream_loop t conn ~with_write with
             | Fault.Injected_error _ | Fault.Injected_crash _ ->

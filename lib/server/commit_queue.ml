@@ -67,6 +67,7 @@ type t = {
   m : Mutex.t;
   c : Condition.t;  (* broadcast on any state change *)
   mutable pending : ticket list;  (* newest first *)
+  mutable n_pending : int;  (* length of [pending], kept for O(1) depth *)
   mutable leading : bool;
   mutable poisoned : exn option;
 }
@@ -80,9 +81,14 @@ let create ?(on_publish = fun _ -> ()) ~window ~ledger ~metrics () =
     m = Mutex.create ();
     c = Condition.create ();
     pending = [];
+    n_pending = 0;
     leading = false;
     poisoned = None;
   }
+
+(* Lock-free-ish depth probe for admission control: a torn read costs an
+   admission decision one ticket of accuracy, nothing more. *)
+let depth t = t.n_pending
 
 (* Caller must hold the engine's writer lock: ordering relies on it, and
    so does the snapshot — captured under the lock, it cannot contain a
@@ -103,7 +109,10 @@ let enqueue t ~entry ~records ~snapshot =
         }
       in
       t.pending <- ticket :: t.pending;
+      t.n_pending <- t.n_pending + 1;
+      let depth_now = t.n_pending in
       Mutex.unlock t.m;
+      Metrics.high_water t.metrics "commit.queue_depth" depth_now;
       ticket
 
 (* Leader-side coalescing: sleep in short slices, cutting the batch as
@@ -120,7 +129,7 @@ let wait_window t =
   let deadline = Unix.gettimeofday () +. t.window in
   let pending_count () =
     Mutex.lock t.m;
-    let n = List.length t.pending in
+    let n = t.n_pending in
     Mutex.unlock t.m;
     n
   in
@@ -137,6 +146,7 @@ let wait_window t =
 let publish t =
   let batch = List.rev t.pending in
   t.pending <- [];
+  t.n_pending <- 0;
   let poisoned = t.poisoned in
   Mutex.unlock t.m;
   let result =

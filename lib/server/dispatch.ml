@@ -69,6 +69,15 @@ type t = {
       (* latest published snapshot; [None] only on a replica that has
          not applied anything yet *)
   batch_seq : int Atomic.t;  (* durable batches published so far *)
+  (* Admission control (0 = unlimited). [max_inflight] caps requests in
+     dispatch across all sessions; [max_queue_depth] caps staged commits
+     waiting for the group-commit leader. Past either cap, requests that
+     would *start* new write work are shed with the typed [overloaded]
+     error before any of it happens. *)
+  max_inflight : int;
+  max_queue_depth : int;
+  inflight : int Atomic.t;
+  gc_window : float;  (* group-commit window, sizes the retry-after hint *)
 }
 
 type session = {
@@ -76,6 +85,11 @@ type session = {
   mutable s_user : string;
   mutable s_hello : bool;
   mutable s_txn : Txn.t option;
+  mutable s_arrival : float;  (* when the current request was decoded *)
+  mutable s_deadline : float option;
+      (* absolute time past which the current request must be answered
+         [deadline_exceeded] instead of executed (from the envelope's
+         [deadline_ms] budget) *)
 }
 
 let register_snapshot_age ~metrics ~snap ~batch_seq =
@@ -88,8 +102,8 @@ let register_snapshot_age ~metrics ~snap ~batch_seq =
               (max 0 (Atomic.get batch_seq - p.p_seq));
           ])
 
-let create ?(group_commit_window = 0.0) ?repl ?digests ~durable ~metrics
-    ~server_name () =
+let create ?(group_commit_window = 0.0) ?(max_inflight = 0)
+    ?(max_queue_depth = 0) ?repl ?digests ~durable ~metrics ~server_name () =
   let snap = Atomic.make None in
   let batch_seq = Atomic.make 0 in
   let queue =
@@ -119,6 +133,10 @@ let create ?(group_commit_window = 0.0) ?repl ?digests ~durable ~metrics
     server_name;
     snap;
     batch_seq;
+    max_inflight;
+    max_queue_depth;
+    inflight = Atomic.make 0;
+    gc_window = group_commit_window;
   }
 
 (* The replica node owns the lock: its apply thread takes the writer side
@@ -136,6 +154,10 @@ let create_replica ~lock ~get_db ~primary ~metrics ~server_name () =
     server_name;
     snap;
     batch_seq;
+    max_inflight = 0;
+    max_queue_depth = 0;
+    inflight = Atomic.make 0;
+    gc_window = 0.0;
   }
 
 let queue t =
@@ -149,9 +171,35 @@ let queue t =
    ticket can be enqueued, so the log stays quiescent until release. *)
 let flush_queue t = Option.iter Commit_queue.flush (queue t)
 
-let new_session ~id = { s_id = id; s_user = Printf.sprintf "client-%d" id; s_hello = false; s_txn = None }
+let new_session ~id =
+  {
+    s_id = id;
+    s_user = Printf.sprintf "client-%d" id;
+    s_hello = false;
+    s_txn = None;
+    s_arrival = Unix.gettimeofday ();
+    s_deadline = None;
+  }
 
 exception Not_synced
+
+(* Raised at the enforcement points below when the current request's
+   deadline budget ran out before its work began; [guard] turns it into
+   the typed [deadline_exceeded] error. By construction nothing has been
+   executed or staged when it is raised — the "no work done" promise the
+   client-side retry relies on. *)
+exception Deadline_blown
+
+let past_deadline s =
+  match s.s_deadline with
+  | Some at -> Unix.gettimeofday () > at
+  | None -> false
+
+(* How long the request waited between arrival and its work starting —
+   in-queue time: the writer-lock wait, plus any dispatch overhead. *)
+let note_queue_wait t s =
+  Metrics.record t.metrics ~kind:"server.queue_wait_us" ~error:false
+    ~us:((Unix.gettimeofday () -. s.s_arrival) *. 1e6)
 
 let db t =
   match t.backend with
@@ -161,7 +209,13 @@ let db t =
 
 let err code fmt =
   Printf.ksprintf
-    (fun message -> Protocol.Error_r { code; message })
+    (fun message -> Protocol.Error_r { code; message; retry_after_ms = None })
+    fmt
+
+let err_retry code ~retry_after_ms fmt =
+  Printf.ksprintf
+    (fun message ->
+      Protocol.Error_r { code; message; retry_after_ms = Some retry_after_ms })
     fmt
 
 (* Lock acquisitions are timed into power-of-two histograms so a bench
@@ -203,6 +257,7 @@ let with_read t s f =
   match s.s_txn with
   | Some _ -> f (db t)
   | None -> (
+      if past_deadline s then raise Deadline_blown;
       let t0 = Unix.gettimeofday () in
       match Atomic.get t.snap with
       | Some p ->
@@ -215,13 +270,16 @@ let with_read t s f =
             ~us:((Unix.gettimeofday () -. t0) *. 1e6);
           Fun.protect
             ~finally:(fun () -> Rwlock.unlock_read t.lock)
-            (fun () -> f (db t)))
+            (fun () ->
+              if past_deadline s then raise Deadline_blown;
+              f (db t)))
 
 let with_write t s f =
   match s.s_txn with
   | Some _ -> f ()
   | None ->
       lock_write_timed t;
+      note_queue_wait t s;
       Fun.protect
         ~finally:(fun () ->
           (* Even on an engine error: the state a failed statement left
@@ -230,6 +288,9 @@ let with_write t s f =
           publish_snapshot t;
           Rwlock.unlock_write t.lock)
         (fun () ->
+          (* The queue wait is over; a request that rotted behind other
+             writers is refused before any of its work happens. *)
+          if past_deadline s then raise Deadline_blown;
           flush_queue t;
           f ())
 
@@ -246,7 +307,7 @@ let result_to_response = function
 
 (* Engine exceptions -> typed wire errors. Fault-injection exceptions
    must keep propagating: the session loop owns crash semantics. *)
-let guard f =
+let guard t f =
   try f () with
   | Sqlexec.Parser.Parse_error e | Sqlexec.Lexer.Lex_error e ->
       err Protocol.Parse_error "%s" e
@@ -259,11 +320,15 @@ let guard f =
   | Not_synced ->
       err Protocol.Exec_error
         "replica has not received the database from the primary yet"
+  | Deadline_blown ->
+      Metrics.bump t.metrics "server.deadline_exceeded";
+      err Protocol.Deadline_exceeded
+        "request deadline expired before execution began; no work was done"
   | Failure e -> err Protocol.Exec_error "%s" e
   | (Fault.Injected_crash _ | Fault.Injected_error _) as e -> raise e
 
 let exec_sql t s sql =
-  guard (fun () ->
+  guard t (fun () ->
       let statement = Sqlexec.Parser.parse_statement sql in
       let run () =
         result_to_response
@@ -288,8 +353,10 @@ let exec_sql t s sql =
                  request is acked its write is visible to every
                  subsequent lock-free read. *)
               lock_write_timed t;
+              note_queue_wait t s;
               let outcome =
                 try
+                  if past_deadline s then raise Deadline_blown;
                   let result, staged =
                     Dml.execute_statement_staged (db t) ~user:s.s_user
                       statement
@@ -313,7 +380,7 @@ let exec_sql t s sql =
                   result_to_response result)))
 
 let query_sql t s sql =
-  guard (fun () ->
+  guard t (fun () ->
       match Sqlexec.Parser.parse_statement sql with
       | Sqlexec.Ast.Select _ as statement ->
           with_read t s (fun view ->
@@ -328,13 +395,20 @@ let begin_txn t s =
       err Protocol.Txn_state "transaction %d is already open" (Txn.id txn)
   | None ->
       lock_write_timed t;
-      (* The explicit transaction logs BEGIN now and holds the lock until
-         COMMIT/ROLLBACK, so one flush here keeps the WAL quiescent for
-         the transaction's whole lifetime. *)
-      flush_queue t;
-      let txn = Database.begin_txn (db t) ~user:s.s_user in
-      s.s_txn <- Some txn;
-      Protocol.Txn_r { txn_id = Some (Txn.id txn) }
+      note_queue_wait t s;
+      if past_deadline s then begin
+        Rwlock.unlock_write t.lock;
+        guard t (fun () -> raise Deadline_blown)
+      end
+      else begin
+        (* The explicit transaction logs BEGIN now and holds the lock
+           until COMMIT/ROLLBACK, so one flush here keeps the WAL
+           quiescent for the transaction's whole lifetime. *)
+        flush_queue t;
+        let txn = Database.begin_txn (db t) ~user:s.s_user in
+        s.s_txn <- Some txn;
+        Protocol.Txn_r { txn_id = Some (Txn.id txn) }
+      end
 
 let end_txn t s ~commit =
   match s.s_txn with
@@ -349,7 +423,7 @@ let end_txn t s ~commit =
         resp
       in
       finish
-        (guard (fun () ->
+        (guard t (fun () ->
              if commit then begin
                let entry = Txn.commit txn in
                Protocol.Txn_r { txn_id = Some entry.Types.txn_id }
@@ -361,7 +435,7 @@ let end_txn t s ~commit =
 
 let generate_digest t s =
   (* Closing the open block mutates the ledger: exclusive. *)
-  guard (fun () ->
+  guard t (fun () ->
       with_write t s (fun () ->
           match t.backend with
           | Primary { digests = Some dm; _ } -> (
@@ -389,7 +463,7 @@ let generate_digest t s =
               | None -> err Protocol.Exec_error "nothing committed yet")))
 
 let generate_receipt t s ~txn_id =
-  guard (fun () ->
+  guard t (fun () ->
       with_read t s (fun view ->
           match Receipt.generate view ~txn_id with
           | Ok r -> Protocol.Receipt_r (Receipt.to_json r)
@@ -406,7 +480,7 @@ let run_verify t s ~tables ~digest_jsons =
   match parse [] digest_jsons with
   | Error e -> err Protocol.Bad_request "%s" e
   | Ok digests ->
-      guard (fun () ->
+      guard t (fun () ->
           with_read t s (fun view ->
               (* The existence check runs on the same frozen view as the
                  verification itself, so a concurrent DROP/CREATE cannot
@@ -443,7 +517,7 @@ let create_table t s ~name ~columns ~key =
   match build [] columns with
   | Error ty -> err Protocol.Bad_request "unknown column type %S" ty
   | Ok cols ->
-      guard (fun () ->
+      guard t (fun () ->
           with_write t s (fun () ->
               ignore
                 (Database.create_ledger_table (db t) ~name ~columns:cols ~key
@@ -451,7 +525,7 @@ let create_table t s ~name ~columns ~key =
               Protocol.Ok_r))
 
 let checkpoint t s =
-  guard (fun () ->
+  guard t (fun () ->
       with_write t s (fun () ->
           match t.backend with
           | Primary { durable; _ } ->
@@ -541,10 +615,42 @@ let is_write_shaped = function
       true
   | _ -> false
 
-(* [handle] returns the response plus what the server should do with the
-   connection afterwards: keep serving it, close it, or hand it to the
-   replication feed loop. *)
-let handle t s req =
+(* Shedding policy: only requests that would *start* new write work on a
+   session with no open transaction are refusable. A session inside
+   BEGIN...COMMIT already holds the writer lock — shedding its statements
+   (or its COMMIT/ROLLBACK) would wedge the lock behind a client that is
+   being told to go away. Reads are never shed: they are lock-free and
+   the point of admission control is to keep them fast. *)
+let sheds_under_overload s = function
+  | Protocol.Exec _ | Protocol.Begin | Protocol.Create_table _
+  | Protocol.Checkpoint | Protocol.Digest ->
+      s.s_txn = None
+  | _ -> false
+
+(* The caller has already incremented [inflight] for this request, so the
+   cap trips strictly above it. Either cap alone sheds: a deep commit
+   queue means the fsync leader is behind even if dispatch slots are
+   free. *)
+let is_overloaded t =
+  (t.max_inflight > 0 && Atomic.get t.inflight > t.max_inflight)
+  || t.max_queue_depth > 0
+     &&
+     match queue t with
+     | Some q -> Commit_queue.depth q >= t.max_queue_depth
+     | None -> false
+
+(* Retry-after hint: roughly how long until the backlog drains — the
+   group-commit window (or a small constant without one) scaled by the
+   queue depth, capped at a second so a transient spike does not park
+   clients for long. *)
+let retry_after_ms t =
+  let depth = match queue t with Some q -> Commit_queue.depth q | None -> 0 in
+  let base = if t.gc_window > 0.0 then t.gc_window else 0.005 in
+  max 1
+    (int_of_float
+       (ceil (1000. *. Float.min 1.0 (base *. float_of_int (1 + depth)))))
+
+let dispatch t s req =
   match req with
   | Protocol.Hello { version; client } ->
       if version <> Protocol.version then
@@ -578,6 +684,11 @@ let handle t s req =
               "replica is read-only; writes go to the primary at %s" primary,
             `Keep )
       | Primary _ -> assert false)
+  | req when sheds_under_overload s req && is_overloaded t ->
+      Metrics.bump t.metrics "server.shed";
+      ( err_retry Protocol.Overloaded ~retry_after_ms:(retry_after_ms t)
+          "server overloaded; retry after the hinted backoff",
+        `Keep )
   | Protocol.Ping -> (Protocol.Pong, `Keep)
   | Protocol.Exec { sql } -> (exec_sql t s sql, `Keep)
   | Protocol.Query { sql } -> (query_sql t s sql, `Keep)
@@ -595,3 +706,16 @@ let handle t s req =
       subscribe t s ~from_lsn ~replica_id
   | Protocol.Stats -> (Protocol.Stats_r (Metrics.lines t.metrics), `Keep)
   | Protocol.Quit -> (Protocol.Bye, `Close)
+
+(* [handle] returns the response plus what the server should do with the
+   connection afterwards: keep serving it, close it, or hand it to the
+   replication feed loop. [?deadline] is the request's absolute refusal
+   time, derived by the server from the envelope's [deadline_ms]; it arms
+   the per-session deadline that the enforcement points above check. *)
+let handle t s ?deadline req =
+  s.s_arrival <- Unix.gettimeofday ();
+  s.s_deadline <- deadline;
+  Atomic.incr t.inflight;
+  Fun.protect
+    ~finally:(fun () -> Atomic.decr t.inflight)
+    (fun () -> dispatch t s req)

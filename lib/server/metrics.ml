@@ -34,6 +34,11 @@ type entry = {
 type t = {
   m : Mutex.t;
   table : (string, entry) Hashtbl.t;
+  counters : (string, int ref) Hashtbl.t;
+      (* robustness event counts: server.shed, server.deadline_exceeded,
+         client retry totals — anything that is a count, not a latency *)
+  high_waters : (string, int ref) Hashtbl.t;
+      (* monotone maxima: commit.queue_depth and friends *)
   started : float;
   mutable conns_opened : int;
   mutable conns_active : int;
@@ -46,6 +51,8 @@ let create () =
   {
     m = Mutex.create ();
     table = Hashtbl.create 16;
+    counters = Hashtbl.create 8;
+    high_waters = Hashtbl.create 8;
     started = Unix.gettimeofday ();
     conns_opened = 0;
     conns_active = 0;
@@ -94,6 +101,33 @@ let record t ~kind ~error ~us =
   e.histogram.(b) <- e.histogram.(b) + 1;
   Mutex.unlock t.m
 
+let cell table name =
+  match Hashtbl.find_opt table name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add table name r;
+      r
+
+let bump ?(n = 1) t name =
+  Mutex.lock t.m;
+  let r = cell t.counters name in
+  r := !r + n;
+  Mutex.unlock t.m
+
+let counter t name =
+  Mutex.lock t.m;
+  let v = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0 in
+  Mutex.unlock t.m;
+  v
+
+(* Record [v] as a candidate maximum for gauge [name]. *)
+let high_water t name v =
+  Mutex.lock t.m;
+  let r = cell t.high_waters name in
+  if v > !r then r := v;
+  Mutex.unlock t.m
+
 let connection_opened t =
   Mutex.lock t.m;
   t.conns_opened <- t.conns_opened + 1;
@@ -136,6 +170,16 @@ let lines t =
   add "sqlledger_connections_opened_total %d" t.conns_opened;
   add "sqlledger_connections_active %d" t.conns_active;
   add "sqlledger_connections_rejected_total %d" t.conns_rejected;
+  let sorted table =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, v) -> add "sqlledger_counter{name=%S} %d" name v)
+    (sorted t.counters);
+  List.iter
+    (fun (name, v) -> add "sqlledger_high_water{name=%S} %d" name v)
+    (sorted t.high_waters);
   let kinds =
     Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
     |> List.sort String.compare

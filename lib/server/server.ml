@@ -51,6 +51,13 @@ type config = {
           commit (every commit pays its own fsync, the legacy path) *)
   heartbeat_interval : float;
       (** seconds between replication heartbeats on an idle stream *)
+  max_inflight : int;
+      (** cap on requests in dispatch across all sessions; past it,
+          requests that would start new write work are shed with the
+          typed [overloaded] error. 0 = unlimited *)
+  max_queue_depth : int;
+      (** cap on staged commits waiting for the group-commit leader;
+          same shedding behaviour. 0 = unlimited *)
 }
 
 let default_config =
@@ -65,6 +72,8 @@ let default_config =
     request_timeout = 30.0;
     group_commit_window = 0.0005;
     heartbeat_interval = 1.0;
+    max_inflight = 0;
+    max_queue_depth = 0;
   }
 
 type t = {
@@ -180,6 +189,8 @@ let start ?(config = default_config) () =
                 disp =
                   Dispatch.create
                     ~group_commit_window:config.group_commit_window
+                    ~max_inflight:config.max_inflight
+                    ~max_queue_depth:config.max_queue_depth
                     ~repl:repl_mgr ~digests ~durable ~metrics
                     ~server_name:"sqlledger/1.0" ();
                 metrics;
@@ -240,17 +251,28 @@ let handle_frame t session conn payload =
   match Protocol.decode_request payload with
   | Error msg ->
       send_response t conn ~id:0
-        (Protocol.Error_r { code = Protocol.Bad_request; message = msg })
-  | Ok (id, req) -> (
+        (Protocol.Error_r
+           { code = Protocol.Bad_request; message = msg; retry_after_ms = None })
+  | Ok (id, deadline_ms, req) -> (
       let t0 = Unix.gettimeofday () in
-      match Dispatch.handle t.disp session req with
+      (* The envelope's budget is relative to *our* clock from the moment
+         the request was decoded — client and server clocks never get
+         compared, only durations travel on the wire. *)
+      let deadline =
+        Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.)) deadline_ms
+      in
+      match Dispatch.handle t.disp session ?deadline req with
       | exception (Fault.Injected_crash _ as e) ->
           record_crash t e;
           `Torn
       | exception e ->
           let resp =
             Protocol.Error_r
-              { code = Protocol.Internal; message = Printexc.to_string e }
+              {
+                code = Protocol.Internal;
+                message = Printexc.to_string e;
+                retry_after_ms = None;
+              }
           in
           Metrics.record t.metrics ~kind:(Protocol.request_kind req)
             ~error:true
@@ -389,10 +411,42 @@ let feed_replication t conn entry ~epoch ~from_lsn =
       Repl.Manager.disconnect mgr entry ~epoch
   | _ -> ()
 
+(* Some platforms (and some socket emulation layers) reject SO_RCVTIMEO.
+   Probe once on a throwaway socketpair and say so at the first session,
+   instead of silently losing the mid-frame stall bound on every
+   connection. Either way [Frame.recv]'s [read_timeout] below enforces a
+   *total* per-frame deadline with select, which is the stronger
+   guarantee (SO_RCVTIMEO is per-read: a peer dribbling one byte per
+   timeout slice resets it forever); the socket option stays on as a
+   cheap kernel-side backstop where it works. *)
+let rcvtimeo_supported =
+  lazy
+    (let probe () =
+       let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       let ok =
+         try
+           Unix.setsockopt_float a Unix.SO_RCVTIMEO 1.0;
+           true
+         with Unix.Unix_error _ -> false
+       in
+       (try Unix.close a with Unix.Unix_error _ -> ());
+       (try Unix.close b with Unix.Unix_error _ -> ());
+       ok
+     in
+     let ok = try probe () with Unix.Unix_error _ -> false in
+     if not ok then
+       prerr_endline
+         "sqlledger: SO_RCVTIMEO is not supported here; mid-frame stalls \
+          are bounded by the select-based frame deadline instead";
+     ok)
+
 let session_loop t sid fd =
-  if t.cfg.request_timeout > 0.0 then
+  if t.cfg.request_timeout > 0.0 && Lazy.force rcvtimeo_supported then
     (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.request_timeout
      with Unix.Unix_error _ -> ());
+  let read_timeout =
+    if t.cfg.request_timeout > 0.0 then Some t.cfg.request_timeout else None
+  in
   let conn = Frame.of_fd fd in
   let session = Dispatch.new_session ~id:sid in
   let idle = ref 0.0 in
@@ -402,7 +456,10 @@ let session_loop t sid fd =
     if Atomic.get t.stop then closing := true
     else if Frame.poll conn slice then begin
       idle := 0.0;
-      match Frame.recv ~point:point_read ~max_frame:t.cfg.max_frame conn with
+      match
+        Frame.recv ~point:point_read ~max_frame:t.cfg.max_frame ?read_timeout
+          conn
+      with
       | Frame.Frame payload -> (
           match handle_frame t session conn payload with
           | `Sent -> ()
@@ -419,6 +476,7 @@ let session_loop t sid fd =
                     code = Protocol.Bad_request;
                     message =
                       Printf.sprintf "stream desynchronised (junk %S)" bytes;
+                    retry_after_ms = None;
                   }));
           closing := true
       | Frame.Oversized { size; limit } ->
@@ -430,6 +488,7 @@ let session_loop t sid fd =
                     message =
                       Printf.sprintf "frame of %d bytes exceeds limit %d" size
                         limit;
+                    retry_after_ms = None;
                   }));
           closing := true
       | exception Fault.Injected_error _ -> closing := true
@@ -463,6 +522,7 @@ let reject_busy t fd =
                message =
                  Printf.sprintf "server at its %d-connection limit"
                    t.cfg.max_connections;
+               retry_after_ms = None;
              }))
    with Sys_error _ | Unix.Unix_error _ -> ());
   Frame.close conn

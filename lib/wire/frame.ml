@@ -103,9 +103,30 @@ let refill c =
   c.ilen <- n;
   n
 
+(* Refill, optionally bounded by an absolute deadline: wait for
+   readability only until [deadline], raising ETIMEDOUT past it. This is
+   the select-based fallback (and reinforcement) for SO_RCVTIMEO — but
+   stronger: the deadline is *total* across the frame, so a peer
+   dribbling one byte per slice cannot hold the reader forever by
+   resetting a per-read timer. *)
+let refill_by c deadline =
+  (match deadline with
+  | None -> ()
+  | Some at ->
+      let remaining = at -. Unix.gettimeofday () in
+      if
+        remaining <= 0.
+        || not
+             (match Unix.select [ c.fd ] [] [] remaining with
+             | [], _, _ -> false
+             | _ -> true
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> false)
+      then raise (Unix.Unix_error (Unix.ETIMEDOUT, "Frame.recv", "")));
+  refill c
+
 (* Read exactly [n] bytes; [Error got] reports how many arrived before
    EOF. *)
-let read_exact c n =
+let read_exact ?deadline c n =
   let out = Bytes.create n in
   let rec go filled =
     if filled = n then Ok (Bytes.unsafe_to_string out)
@@ -115,18 +136,24 @@ let read_exact c n =
       c.ipos <- c.ipos + take;
       go (filled + take)
     end
-    else if refill c = 0 then Error filled
+    else if refill_by c deadline = 0 then Error filled
     else go filled
   in
   go 0
 
 (* Read one frame. [?point] is a failpoint tripped before the read (the
-   server's read path), so torn connections are injectable. Raises
-   [Unix.Unix_error] when the socket errors (including EAGAIN when a
-   receive timeout set on the fd expires mid-frame). *)
-let recv ?point ?(max_frame = default_max_frame) c =
+   server's read path), so torn connections are injectable.
+   [?read_timeout] bounds the *whole* frame: once the first bytes are
+   being read, header and payload must complete within that many
+   seconds. Raises [Unix.Unix_error] when the socket errors — EAGAIN
+   when an SO_RCVTIMEO set on the fd expires, ETIMEDOUT when
+   [read_timeout] does. *)
+let recv ?point ?(max_frame = default_max_frame) ?read_timeout c =
   Option.iter Fault.trip point;
-  match read_exact c header_len with
+  let deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) read_timeout
+  in
+  match read_exact ?deadline c header_len with
   | Error 0 -> Eof
   | Error _ -> Truncated
   | Ok header ->
@@ -141,7 +168,7 @@ let recv ?point ?(max_frame = default_max_frame) c =
         in
         if len > max_frame then Oversized { size = len; limit = max_frame }
         else begin
-          match read_exact c len with
+          match read_exact ?deadline c len with
           | Ok payload -> Frame payload
           | Error _ -> Truncated
         end

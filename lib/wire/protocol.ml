@@ -33,6 +33,12 @@ type error_code =
   | Read_only  (** write sent to a read replica; message names the primary *)
   | Replication_lag  (** digest deferred: geo-replica lags (§3.6 gate) *)
   | Replication_stuck  (** digest gate alert: replica stuck behind *)
+  | Overloaded
+      (** admission control shed the request before any work was done;
+          the error's [retry_after_ms] hints when to retry *)
+  | Deadline_exceeded
+      (** the request blew its deadline budget while queued; answered
+          without doing the work, so retrying is always safe *)
   | Internal  (** unexpected server-side failure *)
 
 let error_code_to_string = function
@@ -47,6 +53,8 @@ let error_code_to_string = function
   | Read_only -> "read_only"
   | Replication_lag -> "replication_lag"
   | Replication_stuck -> "replication_stuck"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
   | Internal -> "internal"
 
 let error_code_of_string = function
@@ -61,6 +69,8 @@ let error_code_of_string = function
   | "read_only" -> Some Read_only
   | "replication_lag" -> Some Replication_lag
   | "replication_stuck" -> Some Replication_stuck
+  | "overloaded" -> Some Overloaded
+  | "deadline_exceeded" -> Some Deadline_exceeded
   | "internal" -> Some Internal
   | _ -> None
 
@@ -170,7 +180,12 @@ type response =
           (compaction/restart truncated it): install this full snapshot,
           whose state corresponds to [last_lsn], then stream from there *)
   | Bye
-  | Error_r of { code : error_code; message : string }
+  | Error_r of {
+      code : error_code;
+      message : string;
+      retry_after_ms : int option;
+          (** for [Overloaded]: suggested backoff before retrying *)
+    }
 
 let response_is_error = function Error_r _ -> true | _ -> false
 
@@ -225,22 +240,34 @@ let response_fields = function
   | Subscribed { last_lsn } -> [ ("last_lsn", Sjson.Int last_lsn) ]
   | Snapshot_r { snapshot; last_lsn } ->
       [ ("snapshot", snapshot); ("last_lsn", Sjson.Int last_lsn) ]
-  | Error_r { code; message } ->
-      [
-        ("code", Sjson.String (error_code_to_string code));
-        ("message", Sjson.String message);
-      ]
+  | Error_r { code; message; retry_after_ms } ->
+      ("code", Sjson.String (error_code_to_string code))
+      :: ("message", Sjson.String message)
+      ::
+      (match retry_after_ms with
+      | Some ms -> [ ("retry_after_ms", Sjson.Int ms) ]
+      | None -> [])
   | Pong | Ok_r | Bye -> []
 
 (* ------------------------------------------------------------------ *)
 (* Envelopes *)
 
-let encode_request ~id req =
+(* [deadline_ms] is the client's remaining budget for this request, in
+   whole milliseconds measured from the moment the frame was sent. The
+   server stamps the frame's arrival and answers [deadline_exceeded]
+   without doing the work once [arrival + deadline_ms] has passed — a
+   request that rotted in a queue is refused, not executed late. The
+   field is an envelope-level knob (like "id"), not a request field, so
+   every request kind can carry one; absent means unlimited. *)
+let encode_request ~id ?deadline_ms req =
   Sjson.to_string
     (Sjson.Obj
        (("id", Sjson.Int id)
        :: ("req", Sjson.String (request_kind req))
-       :: request_fields req))
+       ::
+       (match deadline_ms with
+       | Some ms -> ("deadline_ms", Sjson.Int ms) :: request_fields req
+       | None -> request_fields req)))
 
 let encode_response ~id resp =
   Sjson.to_string
@@ -288,7 +315,12 @@ let string_list name obj =
 let decode_request payload =
   let* obj = decode payload in
   let id = req_id obj in
-  let tag res = Result.map (fun r -> (id, r)) res in
+  let deadline_ms =
+    match Sjson.member "deadline_ms" obj with
+    | Sjson.Int ms when ms >= 0 -> Some ms
+    | _ -> None
+  in
+  let tag res = Result.map (fun r -> (id, deadline_ms, r)) res in
   match Sjson.member "req" obj with
   | Sjson.String kind ->
       tag
@@ -438,6 +470,11 @@ let decode_response payload =
             let code =
               Option.value (error_code_of_string code_s) ~default:Internal
             in
-            Ok (Error_r { code; message })
+            let retry_after_ms =
+              match Sjson.member "retry_after_ms" obj with
+              | Sjson.Int ms -> Some ms
+              | _ -> None
+            in
+            Ok (Error_r { code; message; retry_after_ms })
         | other -> Error ("unknown response " ^ other))
   | _ -> Error "missing response discriminator \"resp\""

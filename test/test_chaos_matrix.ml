@@ -1,0 +1,470 @@
+(* Network chaos matrix: the replication topology driven through a
+   fault-injecting TCP proxy under a seeded random fault schedule.
+
+   Topology per trial:
+
+     writers ──direct──▶ primary ◀──chaos proxy──▸ replica node
+     readers ──chaos proxy──▶ primary
+
+   The replica subscribes *through* the proxy, so delays, throttles,
+   dribbles, half-duplex drops, partitions and reconnect storms all land
+   on the replication stream; a reader hammers queries through the same
+   proxy to exercise the wire client's retry/backoff path. Writers go
+   direct — their acks are the trial's ground truth.
+
+   Invariants checked after the schedule heals:
+
+   - no acked transaction is lost: the primary's rows are exactly the
+     acked set (a shed or refused insert left no trace — never
+     half-applied),
+   - the replica reconverges: byte-identical materialised snapshots,
+   - a digest issued by the primary verifies over the wire through the
+     healed proxy and against the replica,
+   - every refusal observed during the storm was typed (overloaded /
+     deadline_exceeded / read_only), never junk.
+
+   Seed and trial count come from CHAOS_SEED / CHAOS_TRIALS so CI pins a
+   fixed seed and a sweep widens the search; every trial prints its seed
+   so a failure replays exactly. *)
+
+module Server = Ledger_server.Server
+module Node = Ledger_server.Replica_node
+module Client = Wire.Client
+module Protocol = Wire.Protocol
+module Prng = Workload.Prng
+open Sql_ledger
+
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let getenv_int name default =
+  match int_of_string_opt (Sys.getenv name) with
+  | Some n -> n
+  | None -> default
+  | exception Not_found -> default
+
+let seed = getenv_int "CHAOS_SEED" 0xC0FFEE
+let trials = getenv_int "CHAOS_TRIALS" 3
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_tmp_dir f =
+  let dir = Filename.temp_dir "sqlledger-chaos" "" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let await ?(timeout = 30.0) ?(diag = fun () -> "") ~what cond =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if cond () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail ("timed out waiting for " ^ what ^ diag ())
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let connect port =
+  match Client.connect ~host:"127.0.0.1" ~port () with
+  | Ok c -> c
+  | Error e -> Alcotest.fail (Client.connect_error_to_string e)
+
+(* Every exchange in the fixture carries a deadline: a lost or wedged
+   reply must fail the trial loudly (with its replayable seed printed)
+   rather than hang the whole matrix. *)
+let fixture_deadline = 30.0
+
+let call client req =
+  match Client.call ~deadline_s:fixture_deadline client req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.fail ("transport error: " ^ e)
+
+let expect_ok what = function
+  | Protocol.Error_r { message; _ } -> Alcotest.fail (what ^ ": " ^ message)
+  | _ -> ()
+
+let primary_db srv = Durable.db (Option.get (Server.durable srv))
+
+let primary_lsn srv =
+  Aries.Wal.last_lsn (Database_ledger.wal (Database.ledger (primary_db srv)))
+
+let select_names client =
+  match
+    call client (Protocol.Query { sql = "SELECT * FROM accounts ORDER BY name" })
+  with
+  | Protocol.Rows_r { rows; _ } ->
+      List.filter_map
+        (function
+          | Relation.Value.String name :: _ -> Some name | _ -> None)
+        rows
+  | resp -> Alcotest.fail ("select returned " ^ Protocol.response_kind resp)
+
+let rec digest_retry ?(attempts = 300) c =
+  match call c Protocol.Digest with
+  | Protocol.Digest_r json -> json
+  | Protocol.Error_r
+      { code = Protocol.Replication_lag | Protocol.Replication_stuck; _ }
+    when attempts > 0 ->
+      Thread.delay 0.05;
+      digest_retry ~attempts:(attempts - 1) c
+  | r -> Alcotest.fail ("digest returned " ^ Protocol.response_kind r)
+
+(* ------------------------------------------------------------------ *)
+(* One trial *)
+
+(* Typed refusals a client may legitimately see during the storm. *)
+let tolerated_code = function
+  | Protocol.Overloaded | Protocol.Deadline_exceeded | Protocol.Read_only
+  | Protocol.Busy | Protocol.Shutting_down ->
+      true
+  | _ -> false
+
+let run_trial trial =
+  let trial_seed = seed + (trial * 7919) in
+  Printf.printf "chaos trial %d: seed %d (CHAOS_SEED=%d to replay)\n%!" trial
+    trial_seed seed;
+  let rng = Prng.create trial_seed in
+  with_tmp_dir @@ fun prim_dir ->
+  with_tmp_dir @@ fun rep_dir ->
+  let config =
+    {
+      Server.default_config with
+      port = 0;
+      dir = prim_dir;
+      group_commit_window = 0.002;
+      request_timeout = 5.0;
+      (* The fixture clients go quiet while the replica rides out its
+         reconnect backoff; don't let the server reap them meanwhile. *)
+      idle_timeout = 0.0;
+      (* Half the trials run with tight admission caps so overload
+         shedding happens *under* network chaos too. *)
+      max_inflight = (if Prng.bool rng then 4 else 0);
+      max_queue_depth = (if Prng.bool rng then 8 else 0);
+    }
+  in
+  let srv =
+    match Server.start ~config () with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Server.start_error_to_string e)
+  in
+  let srv_th = Server.run_async srv in
+  let port = Server.port srv in
+  let proxy =
+    match
+      Chaos.Proxy.start ~upstream_host:"127.0.0.1" ~upstream_port:port ()
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let cleanup_proxy = ref (fun () -> Chaos.Proxy.stop proxy) in
+  Fun.protect ~finally:(fun () ->
+      !cleanup_proxy ();
+      Server.shutdown srv srv_th)
+  @@ fun () ->
+  (* Replica subscribes through the proxy. *)
+  let node, node_th =
+    match
+      Node.start
+        ~config:{ Server.default_config with port = 0; dir = rep_dir }
+        ~primary_host:"127.0.0.1" ~primary_port:(Chaos.Proxy.port proxy) ()
+    with
+    | Ok n -> (n, Node.run_async n)
+    | Error e -> Alcotest.fail (Server.start_error_to_string e)
+  in
+  Fun.protect ~finally:(fun () -> Node.shutdown node node_th)
+  @@ fun () ->
+  let setup = connect port in
+  expect_ok "create"
+    (call setup
+       (Protocol.Create_table
+          {
+            name = "accounts";
+            columns = [ ("name", "varchar(40)"); ("balance", "int") ];
+            key = [ "name" ];
+          }));
+  (* Seeded fault schedule over the proxy, applied concurrently with the
+     workload below. *)
+  let schedule =
+    Chaos.Schedule.random
+      ~steps:(4 + Prng.int rng 3)
+      ~min_hold:0.05 ~max_hold:0.25 ~seed:trial_seed ()
+  in
+  let sched_th = Chaos.Schedule.run_async schedule proxy in
+  (* Connection churn: maybe tear every proxied connection mid-storm. *)
+  let churn = Prng.bool rng in
+  let churn_delay = 0.1 +. Prng.float rng 0.3 in
+  let churn_th =
+    Thread.create
+      (fun () ->
+        if churn then begin
+          Thread.delay churn_delay;
+          Chaos.Proxy.kill_connections proxy
+        end)
+      ()
+  in
+  (* Writers: direct to the primary; acks are ground truth. *)
+  let acked = Hashtbl.create 64 in
+  let acked_m = Mutex.create () in
+  let violations = ref [] in
+  let viol_m = Mutex.create () in
+  let violation msg =
+    Mutex.lock viol_m;
+    violations := msg :: !violations;
+    Mutex.unlock viol_m
+  in
+  let writers = 3 and per_writer = 12 in
+  let writer_threads =
+    List.init writers (fun w ->
+        Thread.create
+          (fun () ->
+            let c = connect port in
+            for i = 0 to per_writer - 1 do
+              let name = Printf.sprintf "t%d-w%d-%02d" trial w i in
+              match
+                Client.call ~deadline_s:fixture_deadline c
+                  (Protocol.Exec
+                     {
+                       sql =
+                         Printf.sprintf
+                           "INSERT INTO accounts VALUES ('%s', %d)" name i;
+                     })
+              with
+              | Ok (Protocol.Error_r { code; message; _ }) ->
+                  if not (tolerated_code code) then
+                    violation
+                      (Printf.sprintf "writer got %s: %s"
+                         (Protocol.error_code_to_string code)
+                         message)
+              | Ok _ ->
+                  Mutex.lock acked_m;
+                  Hashtbl.replace acked name ();
+                  Mutex.unlock acked_m
+              | Error e -> violation ("writer transport error: " ^ e)
+            done;
+            Client.close c)
+          ())
+  in
+  (* Reader: hammers queries through the chaos proxy with the client's
+     own retry/backoff machinery. Transport failures are the weather
+     here; what must never happen is an untyped or junk refusal. *)
+  let reader_stop = Atomic.make false in
+  let reads_ok = ref 0 in
+  let reader_th =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get reader_stop) do
+          match
+            Client.connect_retry ~max_attempts:2 ~host:"127.0.0.1"
+              ~port:(Chaos.Proxy.port proxy) ()
+          with
+          | Error _ -> Thread.delay 0.05
+          | Ok rc ->
+              let rec loop n =
+                if n > 0 && not (Atomic.get reader_stop) then begin
+                  (match
+                     Client.call_retry rc
+                       ~deadline_s:1.0
+                       (Protocol.Query { sql = "SELECT * FROM accounts" })
+                   with
+                  | Ok (Protocol.Rows_r _) -> incr reads_ok
+                  | Ok (Protocol.Error_r { code; message; _ }) ->
+                      if not (tolerated_code code) then
+                        violation
+                          (Printf.sprintf "reader got %s: %s"
+                             (Protocol.error_code_to_string code)
+                             message)
+                  | Ok r ->
+                      violation
+                        ("reader got " ^ Protocol.response_kind r)
+                  | Error _ -> () (* transport chaos: expected *));
+                  Thread.delay 0.01;
+                  loop (n - 1)
+                end
+              in
+              loop 20;
+              Client.close rc
+        done)
+      ()
+  in
+  List.iter Thread.join writer_threads;
+  Thread.join sched_th;
+  Thread.join churn_th;
+  Atomic.set reader_stop true;
+  Thread.join reader_th;
+  (* Link healed (Schedule.run guarantees it). Now the invariants. *)
+  (match !violations with
+  | [] -> ()
+  | v -> Alcotest.fail ("untyped refusals under chaos: " ^ String.concat "; " v));
+  let acked_names =
+    Hashtbl.fold (fun k () acc -> k :: acc) acked [] |> List.sort compare
+  in
+  Alcotest.(check bool) "storm acknowledged some writes" true
+    (List.length acked_names > 0);
+  (* 1. Acked writes survived; shed writes never half-applied. *)
+  Alcotest.(check (list string)) "primary rows are exactly the acked set"
+    acked_names (select_names setup);
+  (* 2. Replica reconverges through the healed link. Reconnect backoff
+     caps at 5s, so give it room. *)
+  let repl_diag () =
+    Printf.sprintf " (replica lsn %d/%d, daemon %s, last error: %s)"
+      (Repl.Client.last_lsn (Node.client node))
+      (primary_lsn srv)
+      (if Repl.Client.stopped (Node.client node) then "STOPPED" else "running")
+      (Repl.Client.last_error (Node.client node))
+  in
+  await ~timeout:45.0 ~diag:repl_diag ~what:"replica catch-up after heal"
+    (fun () -> Repl.Client.last_lsn (Node.client node) = primary_lsn srv);
+  let prim_snap = Sjson.to_string (Snapshot.save (primary_db srv)) in
+  let rep_snap =
+    Sjson.to_string
+      (Snapshot.save (Option.get (Repl.Client.database (Node.client node))))
+  in
+  Alcotest.(check bool) "byte-identical snapshots after heal" true
+    (prim_snap = rep_snap);
+  (* 3. Verification still passes over the wire — through the healed
+     proxy and against the replica's own port. *)
+  let dj = digest_retry setup in
+  await ~timeout:45.0 ~diag:repl_diag ~what:"digest shipped to replica"
+    (fun () -> Repl.Client.last_lsn (Node.client node) = primary_lsn srv);
+  let check_verify who client =
+    match call client (Protocol.Verify { tables = []; digests = [ dj ] }) with
+    | Protocol.Verify_r v ->
+        Alcotest.(check bool) (who ^ " verifies after chaos") true
+          v.Protocol.vs_ok
+    | r -> Alcotest.fail (who ^ " verify returned " ^ Protocol.response_kind r)
+  in
+  let through_proxy = connect (Chaos.Proxy.port proxy) in
+  check_verify "primary-through-proxy" through_proxy;
+  Client.close through_proxy;
+  let rc = connect (Node.port node) in
+  check_verify "replica" rc;
+  Client.close rc;
+  Client.close setup;
+  (* Stop the proxy before the node so the replica's reconnect loop gets
+     hard refusals instead of half-open sockets during teardown. *)
+  Chaos.Proxy.stop proxy;
+  cleanup_proxy := fun () -> ()
+
+let test_matrix () =
+  for trial = 0 to trials - 1 do
+    run_trial trial
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Failover under chaos: primary dies mid-churn, the replica promotes,
+   and everything the replica acked is servable and verifiable. *)
+
+let test_failover_promotion () =
+  with_tmp_dir @@ fun prim_dir ->
+  with_tmp_dir @@ fun rep_dir ->
+  let rows_before = ref [] in
+  let config =
+    {
+      Server.default_config with
+      port = 0;
+      dir = prim_dir;
+      group_commit_window = 0.002;
+    }
+  in
+  let srv =
+    match Server.start ~config () with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Server.start_error_to_string e)
+  in
+  let srv_th = Server.run_async srv in
+  let port = Server.port srv in
+  let proxy =
+    match
+      Chaos.Proxy.start ~upstream_host:"127.0.0.1" ~upstream_port:port ()
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let node, node_th =
+    match
+      Node.start
+        ~config:{ Server.default_config with port = 0; dir = rep_dir }
+        ~primary_host:"127.0.0.1" ~primary_port:(Chaos.Proxy.port proxy) ()
+    with
+    | Ok n -> (n, Node.run_async n)
+    | Error e -> Alcotest.fail (Server.start_error_to_string e)
+  in
+  let c = connect port in
+  expect_ok "create"
+    (call c
+       (Protocol.Create_table
+          {
+            name = "accounts";
+            columns = [ ("name", "varchar(40)"); ("balance", "int") ];
+            key = [ "name" ];
+          }));
+  (* Write through a flapping link: dribble, heal, drop, heal. *)
+  let sched_th =
+    Chaos.Schedule.run_async
+      (Chaos.Schedule.fixed
+         [
+           (Chaos.Proxy.Dribble
+              { chunk = 3; pause = 0.001; dir = Chaos.Proxy.Both },
+            0.2);
+           (Chaos.Proxy.Healthy, 0.1);
+           (Chaos.Proxy.Drop Chaos.Proxy.To_client, 0.15);
+           (Chaos.Proxy.Healthy, 0.1);
+         ])
+      proxy
+  in
+  for i = 1 to 20 do
+    expect_ok "insert" (call c (Protocol.Exec
+      { sql = Printf.sprintf "INSERT INTO accounts VALUES ('f-%02d', %d)" i i }))
+  done;
+  Thread.join sched_th;
+  await ~what:"replica catch-up before failover" (fun () ->
+      Repl.Client.last_lsn (Node.client node) = primary_lsn srv);
+  rows_before := select_names c;
+  Client.close c;
+  (* Primary dies; replica node drains; the directory promotes. *)
+  Server.shutdown srv srv_th;
+  Node.shutdown node node_th;
+  Chaos.Proxy.stop proxy;
+  (match Repl.Client.promote_dir ~dir:rep_dir () with
+  | Error e -> Alcotest.fail ("promotion failed: " ^ e)
+  | Ok durable ->
+      Alcotest.(check bool) "promoted ledger verifies offline" true
+        (Verifier.ok (Verifier.verify (Durable.db durable) ~digests:[])));
+  let config2 = { Server.default_config with port = 0; dir = rep_dir } in
+  let srv2 =
+    match Server.start ~config:config2 () with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Server.start_error_to_string e)
+  in
+  let th2 = Server.run_async srv2 in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv2 th2)
+  @@ fun () ->
+  let c2 = connect (Server.port srv2) in
+  Alcotest.(check (list string)) "promoted node serves the acked rows"
+    !rows_before (select_names c2);
+  expect_ok "write after failover"
+    (call c2 (Protocol.Exec
+       { sql = "INSERT INTO accounts VALUES ('post-failover', 1)" }));
+  Client.close c2
+
+let () =
+  Alcotest.run "chaos_matrix"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "seeded matrix (%d trials)" trials)
+            `Slow test_matrix;
+          Alcotest.test_case "failover promotion under chaos" `Slow
+            test_failover_promotion;
+        ] );
+    ]

@@ -375,7 +375,7 @@ let test_e2e_differential () =
             (check_verify "primary" c = check_verify "replica" rc);
           (* Writes are refused with the typed error naming the primary. *)
           (match insert rc "nope" 1 with
-          | Protocol.Error_r { code = Protocol.Read_only; message } ->
+          | Protocol.Error_r { code = Protocol.Read_only; message; _ } ->
               Alcotest.(check bool) "error names the primary" true
                 (contains message (Printf.sprintf "127.0.0.1:%d" port))
           | r ->
@@ -465,7 +465,7 @@ let test_lag_gate_over_wire () =
           let expect_code what code =
             match call c Protocol.Digest with
             | Protocol.Error_r { code = got; _ } when got = code -> ()
-            | Protocol.Error_r { code = got; message } ->
+            | Protocol.Error_r { code = got; message; _ } ->
                 Alcotest.fail
                   (Printf.sprintf "%s: got %s (%s)" what
                      (Protocol.error_code_to_string got)
@@ -664,6 +664,54 @@ let test_promotion_differential () =
           | r -> Alcotest.fail ("verify returned " ^ Protocol.response_kind r));
           Client.close c))
 
+(* Reconnect backoff is a pure function of (seed, attempt), so the
+   anti-thundering-herd property is provable without clocks: two
+   replicas orphaned by the same crash share the attempt counter but
+   not the seed, and their schedules must diverge. *)
+let test_reconnect_jitter_desync () =
+  let backoff_min = 0.05 and backoff_max = 2.0 in
+  let delay seed attempt =
+    Repl.Client.backoff_delay ~seed ~attempt ~backoff_min ~backoff_max
+  in
+  let seed_a = Int32.to_int (Fault.Crc32.string "replica-a")
+  and seed_b = Int32.to_int (Fault.Crc32.string "replica-b") in
+  (* Deterministic: a failing run replays from its identity. *)
+  for attempt = 0 to 10 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "attempt %d is reproducible" attempt)
+      (delay seed_a attempt) (delay seed_a attempt)
+  done;
+  (* Bounded: full jitter never exceeds the capped-exponential ceiling
+     min(max, min * 2^attempt), and never goes negative. *)
+  List.iter
+    (fun seed ->
+      for attempt = 0 to 20 do
+        let d = delay seed attempt in
+        let cap =
+          Float.min backoff_max (backoff_min *. (2. ** float_of_int attempt))
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "0 <= delay <= %.3f at attempt %d" cap attempt)
+          true
+          (d >= 0.0 && d <= cap)
+      done)
+    [ seed_a; seed_b ];
+  (* Desynchronised: across a burst of shared attempt numbers the two
+     replicas must not land in lock-step. One accidental collision is
+     conceivable; all eleven identical would mean the seed is dead. *)
+  let collisions = ref 0 in
+  for attempt = 4 to 14 do
+    if Float.abs (delay seed_a attempt -. delay seed_b attempt) < 1e-9 then
+      incr collisions
+  done;
+  Alcotest.(check bool) "schedules diverge across replicas" true
+    (!collisions <= 1);
+  (* Deep attempts stay pinned under backoff_max instead of overflowing
+     the 2^attempt term. *)
+  let d62 = delay seed_a 62 in
+  Alcotest.(check bool) "attempt 62 still bounded" true
+    (d62 >= 0.0 && d62 <= backoff_max)
+
 let () =
   Alcotest.run "repl"
     [
@@ -677,6 +725,11 @@ let () =
         [ Alcotest.test_case "codec + checksum" `Quick test_stream_codec ] );
       ( "manager",
         [ Alcotest.test_case "registry and gate" `Quick test_manager_gate ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "reconnect jitter desyncs replicas" `Quick
+            test_reconnect_jitter_desync;
+        ] );
       ( "e2e",
         [
           Alcotest.test_case "differential primary vs replica" `Quick

@@ -60,7 +60,7 @@ let expect_ok what = function
 
 let expect_error code what = function
   | Protocol.Error_r { code = c; _ } when c = code -> ()
-  | Protocol.Error_r { code = c; message } ->
+  | Protocol.Error_r { code = c; message; _ } ->
       Alcotest.fail
         (Printf.sprintf "%s: expected %s error, got %s (%s)" what
            (Protocol.error_code_to_string code)
@@ -297,7 +297,7 @@ let test_hello_required () =
   with_server (fun ~dir:_ ~port _srv ->
       let conn = raw_connect port in
       (match raw_call conn Protocol.Ping with
-      | Protocol.Error_r { code = Protocol.Bad_request; message } ->
+      | Protocol.Error_r { code = Protocol.Bad_request; message; _ } ->
           Alcotest.(check bool) "says hello is required" true
             (String.length message > 0)
       | r ->
@@ -404,6 +404,197 @@ let test_port_in_use () =
           Server.shutdown srv2 (Server.run_async srv2);
           Alcotest.fail "two servers bound the same port")
 
+(* ------------------------------------------------------------------ *)
+(* Overload, deadlines, and hostile pacing *)
+
+(* Pull one named counter out of a Stats_r payload; absent = 0. *)
+let counter_of_stats client name =
+  match call client Protocol.Stats with
+  | Protocol.Stats_r lines ->
+      let prefix = Printf.sprintf "sqlledger_counter{name=%S} " name in
+      List.fold_left
+        (fun acc line ->
+          if String.length line > String.length prefix
+             && String.sub line 0 (String.length prefix) = prefix
+          then
+            int_of_string
+              (String.sub line (String.length prefix)
+                 (String.length line - String.length prefix))
+          else acc)
+        0 lines
+  | resp -> Alcotest.fail ("stats returned " ^ Protocol.response_kind resp)
+
+let test_overload_shed () =
+  with_server
+    ~tweak:(fun c ->
+      {
+        c with
+        Server.max_inflight = 1;
+        max_queue_depth = 1;
+        max_connections = 32;
+        group_commit_window = 0.002;
+      })
+    (fun ~dir:_ ~port _srv ->
+      let setup = connect port in
+      create_accounts setup;
+      let writers = 6 and per_writer = 25 in
+      let ok = Atomic.make 0
+      and shed = Atomic.make 0
+      and hintless = Atomic.make 0
+      and other = Atomic.make 0 in
+      let storm w =
+        let c = connect port in
+        for i = 0 to per_writer - 1 do
+          match insert c (Printf.sprintf "w%d-%d" w i) i with
+          | Protocol.Error_r
+              { code = Protocol.Overloaded; retry_after_ms; _ } ->
+              Atomic.incr shed;
+              if retry_after_ms = None then Atomic.incr hintless
+          | Protocol.Error_r _ -> Atomic.incr other
+          | _ -> Atomic.incr ok
+        done;
+        Client.close c
+      in
+      let threads = List.init writers (fun w -> Thread.create storm w) in
+      List.iter Thread.join threads;
+      (* Shed refusals must be typed and carry a backoff hint... *)
+      Alcotest.(check int) "no untyped refusals" 0 (Atomic.get other);
+      Alcotest.(check int) "every shed carries retry_after_ms" 0
+        (Atomic.get hintless);
+      Alcotest.(check bool) "overload actually shed something" true
+        (Atomic.get shed > 0);
+      (* ...and a shed insert must never be half-applied: exactly the
+         acknowledged rows exist, nothing more. *)
+      Alcotest.(check int) "rows = acknowledged inserts" (Atomic.get ok)
+        (count_rows setup);
+      Alcotest.(check bool) "server counted its sheds" true
+        (counter_of_stats setup "server.shed" >= Atomic.get shed);
+      (match call setup (Protocol.Verify { tables = []; digests = [] }) with
+      | Protocol.Verify_r v ->
+          Alcotest.(check bool) "ledger verifies after the storm" true
+            v.Protocol.vs_ok
+      | resp ->
+          Alcotest.fail ("verify returned " ^ Protocol.response_kind resp));
+      Client.close setup)
+
+let test_deadline_refusal () =
+  with_server (fun ~dir:_ ~port _srv ->
+      let a = connect port in
+      create_accounts a;
+      expect_ok "begin" (call a Protocol.Begin);
+      (* [a]'s open transaction holds the write lock. [b]'s insert
+         arrives with a 50ms budget but can only run once [a] lets go
+         300ms later — the server must refuse it *after* acquiring the
+         lock, with the typed code and without touching the ledger. *)
+      let b = raw_connect port in
+      (match raw_call b (Protocol.Hello { version = Protocol.version; client = "late" })
+       with
+      | Protocol.Welcome _ -> ()
+      | r -> Alcotest.fail ("hello returned " ^ Protocol.response_kind r));
+      Frame.send b
+        (Protocol.encode_request ~id:2 ~deadline_ms:50
+           (Protocol.Exec { sql = "INSERT INTO accounts VALUES ('late', 1)" }));
+      Thread.delay 0.3;
+      expect_ok "rollback" (call a Protocol.Rollback);
+      (match Frame.recv b with
+      | Frame.Frame payload -> (
+          match Protocol.decode_response payload with
+          | Ok (2, resp) ->
+              expect_error Protocol.Deadline_exceeded "expired insert" resp
+          | Ok (id, _) -> Alcotest.fail (Printf.sprintf "response id %d" id)
+          | Error e -> Alcotest.fail ("malformed response: " ^ e))
+      | _ -> Alcotest.fail "expected a typed deadline refusal");
+      Alcotest.(check int) "refused insert left no row" 0 (count_rows a);
+      Alcotest.(check bool) "server counted the refusal" true
+        (counter_of_stats a "server.deadline_exceeded" >= 1);
+      Frame.close b;
+      Client.close a)
+
+(* A peer that opens a frame and then feeds it one byte every 150ms
+   must be torn down by the total-frame deadline, not allowed to pin a
+   session thread forever. *)
+let test_slow_loris () =
+  with_server
+    ~tweak:(fun c -> { c with Server.request_timeout = 0.4 })
+    (fun ~dir:_ ~port _srv ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+      let conn = Frame.of_fd fd in
+      let header = Frame.header_bytes 64 in
+      (try
+         for i = 0 to 5 do
+           ignore (Unix.write_substring fd header i 1);
+           Thread.delay 0.15
+         done
+       with Unix.Unix_error _ -> (* server already hung up on us *) ());
+      (match Frame.recv conn with
+      | Frame.Eof -> ()
+      | Frame.Frame _ -> Alcotest.fail "server answered a slow-loris header"
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      Frame.close conn)
+
+(* Same bound mid-payload: a handshaked session that stalls inside a
+   frame body is torn once request_timeout elapses. *)
+let test_mid_frame_stall () =
+  with_server
+    ~tweak:(fun c -> { c with Server.request_timeout = 0.4 })
+    (fun ~dir:_ ~port _srv ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+      let conn = Frame.of_fd fd in
+      (match
+         raw_call conn
+           (Protocol.Hello { version = Protocol.version; client = "staller" })
+       with
+      | Protocol.Welcome _ -> ()
+      | r -> Alcotest.fail ("hello returned " ^ Protocol.response_kind r));
+      let payload = Protocol.encode_request ~id:2 Protocol.Ping in
+      let frame = Frame.header_bytes (String.length payload) ^ payload in
+      (* Full header plus half the payload, then silence. *)
+      let half = String.length frame / 2 in
+      ignore (Unix.write_substring fd frame 0 half);
+      (match Frame.recv conn with
+      | Frame.Eof -> ()
+      | Frame.Frame _ -> Alcotest.fail "server answered a half-sent frame"
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      Frame.close conn)
+
+let test_dribbled_request_tolerated () =
+  with_server
+    ~tweak:(fun c -> { c with Server.request_timeout = 3.0 })
+    (fun ~dir:_ ~port _srv ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+      let conn = Frame.of_fd fd in
+      let payload =
+        Protocol.encode_request ~id:1
+          (Protocol.Hello { version = Protocol.version; client = "dribbler" })
+      in
+      let frame = Frame.header_bytes (String.length payload) ^ payload in
+      (* Two bytes every 10ms: hostile pacing, but within the frame
+         deadline — the server must simply wait it out and answer. *)
+      let i = ref 0 in
+      while !i < String.length frame do
+        let n = min 2 (String.length frame - !i) in
+        ignore (Unix.write_substring fd frame !i n);
+        i := !i + n;
+        Thread.delay 0.01
+      done;
+      (match Frame.recv conn with
+      | Frame.Frame resp -> (
+          match Protocol.decode_response resp with
+          | Ok (_, Protocol.Welcome _) -> ()
+          | Ok (_, r) ->
+              Alcotest.fail ("dribbled hello returned " ^ Protocol.response_kind r)
+          | Error e -> Alcotest.fail ("malformed response: " ^ e))
+      | _ -> Alcotest.fail "server must answer a slow-but-live client");
+      Frame.close conn)
+
 let () =
   Alcotest.run "server"
     [
@@ -430,5 +621,16 @@ let () =
           Alcotest.test_case "hello required" `Quick test_hello_required;
           Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
           Alcotest.test_case "junk desync" `Quick test_junk_desync;
+        ] );
+      ( "overload and pacing",
+        [
+          Alcotest.test_case "overload sheds typed-only" `Quick
+            test_overload_shed;
+          Alcotest.test_case "expired deadline refused post-lock" `Quick
+            test_deadline_refusal;
+          Alcotest.test_case "slow-loris header torn" `Quick test_slow_loris;
+          Alcotest.test_case "mid-frame stall torn" `Quick test_mid_frame_stall;
+          Alcotest.test_case "dribbled request tolerated" `Quick
+            test_dribbled_request_tolerated;
         ] );
     ]

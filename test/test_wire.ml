@@ -106,7 +106,7 @@ let test_control_chars () =
   Frame.send a payload;
   let got = recv_frame b in
   (match Protocol.decode_request got with
-  | Ok (7, Protocol.Exec { sql = sql' }) ->
+  | Ok (7, None, Protocol.Exec { sql = sql' }) ->
       Alcotest.(check string) "control chars survive" sql sql'
   | Ok _ -> Alcotest.fail "decoded to the wrong request"
   | Error e -> Alcotest.fail ("decode failed: " ^ e));
@@ -186,7 +186,15 @@ let all_responses =
       };
     Protocol.Stats_r [ "a 1"; "b 2" ];
     Protocol.Bye;
-    Protocol.Error_r { code = Protocol.Txn_state; message = "no txn open" };
+    Protocol.Error_r
+      { code = Protocol.Txn_state; message = "no txn open";
+        retry_after_ms = None };
+    Protocol.Error_r
+      { code = Protocol.Overloaded; message = "shed";
+        retry_after_ms = Some 40 };
+    Protocol.Error_r
+      { code = Protocol.Deadline_exceeded; message = "budget spent";
+        retry_after_ms = None };
   ]
 
 (* Canonical-encoding equality: a decoded message must re-encode to the
@@ -198,13 +206,45 @@ let test_request_roundtrip () =
       match Protocol.decode_request payload with
       | Error e ->
           Alcotest.fail (Protocol.request_kind req ^ " failed to decode: " ^ e)
-      | Ok (id, req') ->
+      | Ok (id, deadline, req') ->
           Alcotest.(check int) "id echoed" 3 id;
+          Alcotest.(check bool) "no deadline by default" true (deadline = None);
           Alcotest.(check string)
             (Protocol.request_kind req ^ " canonical")
             payload
             (Protocol.encode_request ~id:3 req'))
     all_requests
+
+(* The deadline budget rides the envelope, orthogonal to the request
+   kind: every request must carry it losslessly, and a decoded envelope
+   must re-encode canonically with the budget intact. *)
+let test_deadline_envelope () =
+  List.iter
+    (fun req ->
+      let payload = Protocol.encode_request ~id:5 ~deadline_ms:250 req in
+      match Protocol.decode_request payload with
+      | Error e ->
+          Alcotest.fail (Protocol.request_kind req ^ " failed to decode: " ^ e)
+      | Ok (id, deadline, req') ->
+          Alcotest.(check int) "id echoed" 5 id;
+          (match deadline with
+          | Some 250 -> ()
+          | Some other ->
+              Alcotest.failf "deadline_ms mangled: got %d, want 250" other
+          | None -> Alcotest.fail "deadline_ms dropped");
+          Alcotest.(check string)
+            (Protocol.request_kind req ^ " canonical with deadline")
+            payload
+            (Protocol.encode_request ~id:5 ~deadline_ms:250 req'))
+    all_requests;
+  (* A negative budget is nonsense from a peer: ignored, not fatal. *)
+  match
+    Protocol.decode_request
+      "{\"id\": 1, \"req\": \"ping\", \"deadline_ms\": -3}"
+  with
+  | Ok (1, None, Protocol.Ping) -> ()
+  | Ok _ -> Alcotest.fail "negative deadline_ms must decode as absent"
+  | Error e -> Alcotest.fail ("negative deadline_ms rejected outright: " ^ e)
 
 let test_response_roundtrip () =
   List.iter
@@ -236,6 +276,7 @@ let test_error_codes () =
       Protocol.Bad_request; Protocol.Parse_error; Protocol.Exec_error;
       Protocol.Txn_state; Protocol.Version_mismatch; Protocol.Too_large;
       Protocol.Busy; Protocol.Shutting_down; Protocol.Internal;
+      Protocol.Overloaded; Protocol.Deadline_exceeded;
     ];
   Alcotest.(check bool)
     "unknown code rejected" true
@@ -272,7 +313,7 @@ let test_frame_then_protocol_huge () =
   let payload = recv_frame b in
   Thread.join writer;
   (match Protocol.decode_request payload with
-  | Ok (1, Protocol.Exec { sql = sql' }) ->
+  | Ok (1, None, Protocol.Exec { sql = sql' }) ->
       Alcotest.(check int) "huge sql intact" (String.length sql)
         (String.length sql')
   | _ -> Alcotest.fail "huge request failed to decode");
@@ -295,6 +336,7 @@ let () =
       ( "protocol",
         [
           Alcotest.test_case "request catalogue" `Quick test_request_roundtrip;
+          Alcotest.test_case "deadline envelope" `Quick test_deadline_envelope;
           Alcotest.test_case "response catalogue" `Quick
             test_response_roundtrip;
           Alcotest.test_case "error codes" `Quick test_error_codes;
