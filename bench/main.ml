@@ -26,6 +26,37 @@ let deterministic_clock () =
     !t
 
 (* ------------------------------------------------------------------ *)
+(* Shared result-file schema. Every BENCH_*.json carries the same
+   provenance quadruple — cores, seed, measured wall time, source
+   revision — so numbers from different machines and revisions are
+   comparable at a glance. *)
+
+let bench_seed = ref 42
+let json_out = ref false
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let rev = try String.trim (input_line ic) with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if rev = "" then "unknown" else rev
+  with _ -> "unknown"
+
+let common_fields ~elapsed_s =
+  [
+    ("cores", Sjson.Int (Domain.recommended_domain_count ()));
+    ("seed", Sjson.Int !bench_seed);
+    ("duration_s", Sjson.Float elapsed_s);
+    ("git_rev", Sjson.String (git_rev ()));
+  ]
+
+let write_json ~file fields =
+  Out_channel.with_open_text file (fun oc ->
+      output_string oc (Sjson.to_string ~pretty:true (Sjson.Obj fields));
+      output_char oc '\n');
+  Printf.printf "\nwrote %s\n" file
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel helper: estimated wall time per run, in nanoseconds. *)
 
 let ns_per_run name f =
@@ -392,16 +423,15 @@ let decomp () =
 (* ------------------------------------------------------------------ *)
 (* hashpath: the allocation-free commit path, old vs new *)
 
-let json_out = ref false
-
 let hashpath () =
   print_endline
     "=== hashpath: allocation-free row hashing + parallel Merkle root ===";
   Printf.printf "host: %d recommended domain(s)\n\n"
     (Domain.recommended_domain_count ());
+  let t_start = Unix.gettimeofday () in
   let schema = Schema.make wide_columns in
   let ext_schema = System_columns.extend_schema schema in
-  let prng = Workload.Prng.create 77 in
+  let prng = Workload.Prng.create !bench_seed in
   let row =
     System_columns.set_start ext_schema
       (Array.append (wide_row prng 1)
@@ -476,12 +506,11 @@ let hashpath () =
       Printf.printf "%8d %12.2f %8.2fx\n" d (t *. 1e3) (base /. t))
     root_times;
 
-  if !json_out then begin
-    let json =
-      Sjson.Obj
-        [
-          ("experiment", Sjson.String "hashpath");
-          ("recommended_domains", Sjson.Int (Domain.recommended_domain_count ()));
+  if !json_out then
+    write_json ~file:"BENCH_hashpath.json"
+      ((("experiment", Sjson.String "hashpath")
+        :: common_fields ~elapsed_s:(Unix.gettimeofday () -. t_start))
+      @ [
           ("row_hash_old_us", Sjson.Float old_us);
           ("row_hash_new_us", Sjson.Float new_us);
           ( "row_hash_improvement_pct",
@@ -494,13 +523,7 @@ let hashpath () =
               (List.map
                  (fun (d, t) -> (string_of_int d, Sjson.Float (t *. 1e3)))
                  root_times) );
-        ]
-    in
-    Out_channel.with_open_text "BENCH_hashpath.json" (fun oc ->
-        output_string oc (Sjson.to_string ~pretty:true json);
-        output_char oc '\n');
-    print_endline "\nwrote BENCH_hashpath.json"
-  end
+        ])
 
 (* ------------------------------------------------------------------ *)
 (* serve: closed-loop throughput of the networked ledger service *)
@@ -586,6 +609,7 @@ let serve_bench () =
      deadline passes. *)
   let latencies = Array.make clients [] in
   let errors = Atomic.make 0 in
+  let reads = Atomic.make 0 in
   let deadline =
     if !serve_duration > 0.0 then
       Some (Unix.gettimeofday () +. !serve_duration)
@@ -593,7 +617,7 @@ let serve_bench () =
   in
   let client_loop c_idx =
     let client = connect () in
-    let prng = Workload.Prng.create (1000 + c_idx) in
+    let prng = Workload.Prng.create ((!bench_seed * 100) + c_idx) in
     let base = (c_idx + 1) * 1_000_000 in
     let live = ref [] and next = ref 0 in
     let insert () =
@@ -629,12 +653,14 @@ let serve_bench () =
                     (Workload.Prng.alnum_string prng 64)
                     (pick ());
               }
-          else if r < 96 then
+          else if r < 96 then begin
+            Atomic.incr reads;
             Wire.Protocol.Query
               {
                 sql =
                   Printf.sprintf "SELECT * FROM bench WHERE id = %d" (pick ());
               }
+          end
           else begin
             let id = pick () in
             live := List.filter (fun i -> i <> id) !live;
@@ -657,6 +683,7 @@ let serve_bench () =
   let elapsed = Unix.gettimeofday () -. t0 in
   let total = Array.fold_left (fun a l -> a + List.length l) 0 latencies in
   let tps = float_of_int total /. elapsed in
+  let write_rps = float_of_int (total - Atomic.get reads) /. elapsed in
   let all =
     Array.of_list (List.concat (Array.to_list latencies))
   in
@@ -735,6 +762,8 @@ let serve_bench () =
   Printf.printf "%-26s %12d\n" "requests completed" total;
   Printf.printf "%-26s %12d\n" "request errors" (Atomic.get errors);
   Printf.printf "%-26s %12.0f req/s\n" "throughput" tps;
+  Printf.printf "%-26s %12.0f req/s (%d reads excluded)\n" "write throughput"
+    write_rps (Atomic.get reads);
   Printf.printf "%-26s %12.0f us\n" "latency p50" (pct 50.0);
   Printf.printf "%-26s %12.0f us\n" "latency p95" (pct 95.0);
   Printf.printf "%-26s %12.0f us\n" "latency p99" (pct 99.0);
@@ -933,19 +962,19 @@ let serve_bench () =
     (if reads_bounded then "yes" else "NO");
   if !json_out then begin
     let fnum v = Sjson.Float (if Float.is_nan v then 0.0 else v) in
-    let json =
-      Sjson.Obj
-        [
-          ("experiment", Sjson.String "serve");
+    let fields =
+      (("experiment", Sjson.String "serve")
+       :: common_fields ~elapsed_s:elapsed)
+      @ [
           ("clients", Sjson.Int clients);
           ("ops_per_client", Sjson.Int ops_per_client);
-          ("duration_s", Sjson.Float !serve_duration);
-          ("elapsed_s", Sjson.Float elapsed);
           ( "group_commit_window_ms",
             Sjson.Float (config.group_commit_window *. 1000.0) );
           ("requests", Sjson.Int total);
+          ("reads", Sjson.Int (Atomic.get reads));
           ("errors", Sjson.Int (Atomic.get errors));
           ("throughput_rps", Sjson.Float tps);
+          ("write_rps", Sjson.Float write_rps);
           ("latency_p50_us", Sjson.Float (pct 50.0));
           ("latency_p95_us", Sjson.Float (pct 95.0));
           ("latency_p99_us", Sjson.Float (pct 99.0));
@@ -975,10 +1004,7 @@ let serve_bench () =
           ("overload_read_p99_bounded", Sjson.Bool reads_bounded);
         ]
     in
-    Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
-        output_string oc (Sjson.to_string ~pretty:true json);
-        output_char oc '\n');
-    print_endline "\nwrote BENCH_serve.json"
+    write_json ~file:"BENCH_serve.json" fields
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1040,7 +1066,7 @@ let replica_bench () =
             columns = [ ("id", "int"); ("payload", "varchar(64)") ];
             key = [ "id" ];
           }));
-  let prng = Workload.Prng.create 42 in
+  let prng = Workload.Prng.create !bench_seed in
   for id = 1 to rows do
     expect_ok "load"
       (Wire.Client.call setup
@@ -1285,14 +1311,12 @@ let replica_bench () =
   Ledger_server.Server.shutdown srv th;
   if not verify_ok then failwith "replica verification failed";
   if !json_out then begin
-    let json =
-      Sjson.Obj
-        [
-          ("experiment", Sjson.String "replica");
+    let fields =
+      (("experiment", Sjson.String "replica")
+       :: common_fields ~elapsed_s:duration)
+      @ [
           ("readers", Sjson.Int readers);
-          ("duration_s", Sjson.Float duration);
           ("warmup_s", Sjson.Float warmup);
-          ("cores", Sjson.Int cores);
           ("reader_domains", Sjson.Int reader_domains);
           ("rows", Sjson.Int rows);
           ("one_node_rps", Sjson.Float one_tps);
@@ -1314,11 +1338,350 @@ let replica_bench () =
           ("verify_ok", Sjson.Bool verify_ok);
         ]
     in
-    Out_channel.with_open_text "BENCH_replica.json" (fun oc ->
-        output_string oc (Sjson.to_string ~pretty:true json);
-        output_char oc '\n');
-    print_endline "\nwrote BENCH_replica.json"
+    write_json ~file:"BENCH_replica.json" fields
   end
+
+(* ------------------------------------------------------------------ *)
+(* serve --shards: write scale-out across shard primaries *)
+
+(* N `sqlledger serve` shard primaries plus one `sqlledger coord`, each
+   in its own OS process — its own OCaml runtime, so on a multicore host
+   the shards commit genuinely in parallel, which no single-process
+   simulation can show. Clients fetch the shard map once over the wire
+   and route single-shard writes straight to the owning primary (the
+   same CRC-32 bucket function the coordinator uses); the coordinator
+   sits on the data path only for the cross-shard fraction — multi-row
+   inserts whose keys straddle shards, executed under 2PC — and for the
+   control plane: schema broadcast, the aggregate digest, and the
+   distributed verification that closes the run. *)
+
+let serve_shards = ref 0
+let serve_xshard = ref 10 (* percent of ops routed cross-shard *)
+
+let sqlledger_bin () =
+  match Sys.getenv_opt "SQLLEDGER_BIN" with
+  | Some b -> b
+  | None ->
+      (* bench runs from _build/default/bench/main.exe; the CLI is the
+         sibling executable under bin/. *)
+      Filename.concat
+        (Filename.concat
+           (Filename.dirname (Filename.dirname Sys.executable_name))
+           "bin")
+        "sqlledger.exe"
+
+(* Spawn a sqlledger subcommand and parse the bound port from its
+   announcement line ("... on HOST:PORT ..."), which both `serve` and
+   `coord` print flushed before entering their accept loops. *)
+let spawn_node args =
+  let bin = sqlledger_bin () in
+  let r, w = Unix.pipe () in
+  let pid =
+    Unix.create_process bin (Array.of_list (bin :: args)) Unix.stdin w
+      Unix.stderr
+  in
+  Unix.close w;
+  let ic = Unix.in_channel_of_descr r in
+  let line =
+    try input_line ic
+    with End_of_file ->
+      failwith
+        (Printf.sprintf "%s %s exited before announcing its port" bin
+           (String.concat " " args))
+  in
+  let port =
+    match String.rindex_opt line ':' with
+    | None -> failwith ("cannot parse port from: " ^ line)
+    | Some i ->
+        let rest = String.sub line (i + 1) (String.length line - i - 1) in
+        let j = ref 0 in
+        while
+          !j < String.length rest && rest.[!j] >= '0' && rest.[!j] <= '9'
+        do
+          incr j
+        done;
+        int_of_string (String.sub rest 0 !j)
+  in
+  (pid, ic, port)
+
+let stop_node (pid, ic, _port) =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+  try close_in ic with _ -> ()
+
+let serve_sharded () =
+  let shards = !serve_shards and clients = !serve_clients in
+  let xshard = !serve_xshard and ops_per_client = 400 in
+  Printf.printf
+    "=== serve --shards: %d shard primaries behind a coordinator ===\n" shards;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let shard_nodes =
+    List.init shards (fun i ->
+        let dir = Filename.temp_dir "sqlledger-bench" (Printf.sprintf "-s%d" i) in
+        spawn_node [ "serve"; "--dir"; dir; "--port"; "0" ])
+  in
+  let shard_ports = Array.of_list (List.map (fun (_, _, p) -> p) shard_nodes) in
+  let coord_dir = Filename.temp_dir "sqlledger-bench" "-coord" in
+  let coord_node =
+    spawn_node
+      ([ "coord"; "--dir"; coord_dir; "--port"; "0" ]
+      @ List.concat_map
+          (fun p -> [ "--shard"; Printf.sprintf "127.0.0.1:%d" p ])
+          (Array.to_list shard_ports))
+  in
+  let _, _, coord_port = coord_node in
+  let stop_all () = List.iter stop_node (coord_node :: shard_nodes) in
+  try
+    let connect port =
+      match Wire.Client.connect ~host:"127.0.0.1" ~port () with
+      | Ok c -> c
+      | Error e -> failwith (Wire.Client.connect_error_to_string e)
+    in
+    let expect_ok what = function
+      | Ok r when not (Wire.Protocol.response_is_error r) -> ()
+      | Ok r ->
+          failwith
+            (Printf.sprintf "%s: %s" what (Wire.Protocol.response_kind r))
+      | Error e -> failwith (Printf.sprintf "%s: %s" what e)
+    in
+    (* Control plane: schema broadcast + the authoritative shard map. *)
+    let setup = connect coord_port in
+    expect_ok "create"
+      (Wire.Client.call setup
+         (Wire.Protocol.Create_table
+            {
+              name = "bench";
+              columns = [ ("id", "int"); ("payload", "varchar(64)") ];
+              key = [ "id" ];
+            }));
+    let epoch, map_shards =
+      match Wire.Client.call setup Wire.Protocol.Shard_map with
+      | Ok (Wire.Protocol.Shard_map_r { epoch; shards }) -> (epoch, shards)
+      | Ok r -> failwith ("shard_map: " ^ Wire.Protocol.response_kind r)
+      | Error e -> failwith ("shard_map: " ^ e)
+    in
+    Wire.Client.close setup;
+    if List.length map_shards <> shards then
+      failwith "coordinator map disagrees with the spawned topology";
+    Printf.printf
+      "coordinator on :%d (map epoch %d), shards on %s\n\
+       %d clients, %d%% cross-shard, %s\n\n"
+      coord_port epoch
+      (String.concat ", "
+         (List.map (fun (_, p) -> Printf.sprintf ":%d" p) map_shards))
+      clients xshard
+      (if !serve_duration > 0.0 then Printf.sprintf "%.1f s" !serve_duration
+       else Printf.sprintf "%d ops each" ops_per_client);
+    let shard_of id =
+      Shard.Shard_map.bucket_of_key ~shard_count:shards ~table:"bench"
+        [ Relation.Value.int id ]
+    in
+    let latencies = Array.make clients [] in
+    let reads = Atomic.make 0 in
+    let xshard_ops = Atomic.make 0 in
+    let typed_errors = Atomic.make 0 in
+    let untyped_errors = Atomic.make 0 in
+    let deadline =
+      if !serve_duration > 0.0 then
+        Some (Unix.gettimeofday () +. !serve_duration)
+      else None
+    in
+    let client_loop c_idx =
+      let coord = connect coord_port in
+      let shard_conns = Array.map connect shard_ports in
+      let prng = Workload.Prng.create ((!bench_seed * 100) + c_idx) in
+      let base = (c_idx + 1) * 1_000_000 in
+      let next = ref 0 in
+      let fresh_id () =
+        incr next;
+        base + !next
+      in
+      let live = ref [] in
+      let pick () =
+        List.nth !live (Workload.Prng.int prng (List.length !live))
+      in
+      let more op =
+        match deadline with
+        | Some d -> Unix.gettimeofday () < d
+        | None -> op < ops_per_client
+      in
+      let op = ref 0 in
+      while more !op do
+        incr op;
+        let r = Workload.Prng.int prng 100 in
+        let conn, is_coord, req =
+          if r < xshard then begin
+            (* Cross-shard: one four-row insert through the coordinator.
+               Under CRC-32 placement four fresh keys straddle shards
+               essentially always, so this lands on the 2PC path. *)
+            Atomic.incr xshard_ops;
+            let rows =
+              List.init 4 (fun _ ->
+                  let id = fresh_id () in
+                  live := id :: !live;
+                  Printf.sprintf "(%d, '%s')" id
+                    (Workload.Prng.alnum_string prng 32))
+            in
+            ( coord,
+              true,
+              Wire.Protocol.Exec
+                {
+                  sql =
+                    "INSERT INTO bench (id, payload) VALUES "
+                    ^ String.concat ", " rows;
+                } )
+          end
+          else if r < xshard + 55 || !live = [] then begin
+            let id = fresh_id () in
+            live := id :: !live;
+            ( shard_conns.(shard_of id),
+              false,
+              Wire.Protocol.Exec
+                {
+                  sql =
+                    Printf.sprintf "INSERT INTO bench VALUES (%d, '%s')" id
+                      (Workload.Prng.alnum_string prng 64);
+                } )
+          end
+          else if r < xshard + 80 then begin
+            let id = pick () in
+            ( shard_conns.(shard_of id),
+              false,
+              Wire.Protocol.Exec
+                {
+                  sql =
+                    Printf.sprintf
+                      "UPDATE bench SET payload = '%s' WHERE id = %d"
+                      (Workload.Prng.alnum_string prng 64)
+                      id;
+                } )
+          end
+          else begin
+            Atomic.incr reads;
+            let id = pick () in
+            ( shard_conns.(shard_of id),
+              false,
+              Wire.Protocol.Query
+                {
+                  sql = Printf.sprintf "SELECT * FROM bench WHERE id = %d" id;
+                } )
+          end
+        in
+        let t0 = Unix.gettimeofday () in
+        (match
+           if is_coord then Wire.Client.call ~map_epoch:epoch conn req
+           else Wire.Client.call conn req
+         with
+        | Ok r when not (Wire.Protocol.response_is_error r) -> ()
+        | Ok (Wire.Protocol.Error_r _) -> Atomic.incr typed_errors
+        | Ok _ | Error _ -> Atomic.incr untyped_errors);
+        latencies.(c_idx) <-
+          ((Unix.gettimeofday () -. t0) *. 1e6) :: latencies.(c_idx)
+      done;
+      Array.iter Wire.Client.close shard_conns;
+      Wire.Client.close coord
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init clients (fun i -> Thread.create client_loop i) in
+    List.iter Thread.join threads;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let total = Array.fold_left (fun a l -> a + List.length l) 0 latencies in
+    let tps = float_of_int total /. elapsed in
+    let write_rps = float_of_int (total - Atomic.get reads) /. elapsed in
+    let all = Array.of_list (List.concat (Array.to_list latencies)) in
+    Array.sort compare all;
+    let pct p =
+      if Array.length all = 0 then 0.0
+      else
+        all.(min
+               (Array.length all - 1)
+               (int_of_float (p /. 100.0 *. float_of_int (Array.length all))))
+    in
+    (* The run must end provably intact: one aggregate digest covering
+       every shard, then a distributed verification against it. *)
+    let ctl = connect coord_port in
+    let digest_json =
+      match Wire.Client.call ctl Wire.Protocol.Digest with
+      | Ok (Wire.Protocol.Digest_r j) -> j
+      | _ -> failwith "aggregate digest failed"
+    in
+    let verify_ok, versions =
+      match
+        Wire.Client.call ctl
+          (Wire.Protocol.Verify { tables = []; digests = [ digest_json ] })
+      with
+      | Ok (Wire.Protocol.Verify_r s) ->
+          (s.Wire.Protocol.vs_ok, s.Wire.Protocol.vs_versions)
+      | _ -> failwith "distributed verify failed"
+    in
+    let coord_stat name =
+      match Wire.Client.call ctl Wire.Protocol.Stats with
+      | Ok (Wire.Protocol.Stats_r lines) ->
+          List.fold_left
+            (fun acc line ->
+              match String.rindex_opt line ' ' with
+              | Some i
+                when String.sub line 0 i = name ->
+                  int_of_string
+                    (String.sub line (i + 1) (String.length line - i - 1))
+              | _ -> acc)
+            (-1) lines
+      | _ -> -1
+    in
+    let twopc_commit = coord_stat "coord.txn_2pc_commit" in
+    let twopc_abort = coord_stat "coord.txn_2pc_abort" in
+    let onepc = coord_stat "coord.txn_1pc" in
+    Wire.Client.close ctl;
+    stop_all ();
+    Printf.printf "%-26s %12d\n" "requests completed" total;
+    Printf.printf "%-26s %12d (typed %d, untyped %d)\n" "request errors"
+      (Atomic.get typed_errors + Atomic.get untyped_errors)
+      (Atomic.get typed_errors) (Atomic.get untyped_errors);
+    Printf.printf "%-26s %12.0f req/s\n" "throughput" tps;
+    Printf.printf "%-26s %12.0f req/s (%d reads excluded)\n" "write throughput"
+      write_rps (Atomic.get reads);
+    Printf.printf "%-26s %12.0f us\n" "latency p50" (pct 50.0);
+    Printf.printf "%-26s %12.0f us\n" "latency p95" (pct 95.0);
+    Printf.printf "%-26s %12.0f us\n" "latency p99" (pct 99.0);
+    Printf.printf "%-26s %12d (2PC commits %d, aborts %d, 1PC %d)\n"
+      "cross-shard ops" (Atomic.get xshard_ops) twopc_commit twopc_abort onepc;
+    Printf.printf "%-26s %12s (%d row versions across %d shards)\n"
+      "distributed verification"
+      (if verify_ok then "OK" else "FAILED")
+      versions shards;
+    if not verify_ok then failwith "distributed verification failed";
+    if Atomic.get untyped_errors > 0 then
+      failwith "untyped request errors during sharded bench";
+    if !json_out then
+      write_json ~file:"BENCH_serve_sharded.json"
+        ((("experiment", Sjson.String "serve_sharded")
+          :: common_fields ~elapsed_s:elapsed)
+        @ [
+            ("shards", Sjson.Int shards);
+            ("clients", Sjson.Int clients);
+            ("ops_per_client", Sjson.Int ops_per_client);
+            ("xshard_pct", Sjson.Int xshard);
+            ("map_epoch", Sjson.Int epoch);
+            ("requests", Sjson.Int total);
+            ("reads", Sjson.Int (Atomic.get reads));
+            ("errors_typed", Sjson.Int (Atomic.get typed_errors));
+            ("errors_untyped", Sjson.Int (Atomic.get untyped_errors));
+            ("throughput_rps", Sjson.Float tps);
+            ("write_rps", Sjson.Float write_rps);
+            ("latency_p50_us", Sjson.Float (pct 50.0));
+            ("latency_p95_us", Sjson.Float (pct 95.0));
+            ("latency_p99_us", Sjson.Float (pct 99.0));
+            ("xshard_ops", Sjson.Int (Atomic.get xshard_ops));
+            ("twopc_commits", Sjson.Int twopc_commit);
+            ("twopc_aborts", Sjson.Int twopc_abort);
+            ("onepc_commits", Sjson.Int onepc);
+            ("verify_ok", Sjson.Bool verify_ok);
+            ("row_versions_verified", Sjson.Int versions);
+            ("baseline_file", Sjson.String "BENCH_serve.json");
+          ])
+  with e ->
+    stop_all ();
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* Ablations over the design choices DESIGN.md calls out *)
@@ -1433,14 +1796,15 @@ let ablation () =
 let experiments =
   [
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("fabric", fabric);
-    ("decomp", decomp); ("hashpath", hashpath); ("serve", serve_bench);
+    ("decomp", decomp); ("hashpath", hashpath);
+    ("serve", fun () -> if !serve_shards > 0 then serve_sharded () else serve_bench ());
     ("replica", replica_bench); ("ablation", ablation);
   ]
 
 let usage () =
   Printf.eprintf
     "usage: bench [--json] [--clients N] [--duration S] [--warmup S] \
-     [--window MS] [experiment ...]\n";
+     [--window MS] [--shards N] [--xshard PCT] [--seed N] [experiment ...]\n";
   exit 1
 
 let () =
@@ -1473,7 +1837,28 @@ let () =
             serve_window_ms := v;
             parse acc rest
         | _ -> usage ())
-    | ("--clients" | "--duration" | "--warmup" | "--window") :: [] -> usage ()
+    | "--shards" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v > 0 ->
+            serve_shards := v;
+            parse acc rest
+        | _ -> usage ())
+    | "--xshard" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 0 && v <= 100 ->
+            serve_xshard := v;
+            parse acc rest
+        | _ -> usage ())
+    | "--seed" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 0 ->
+            bench_seed := v;
+            parse acc rest
+        | _ -> usage ())
+    | ("--clients" | "--duration" | "--warmup" | "--window" | "--shards"
+      | "--xshard" | "--seed")
+      :: [] ->
+        usage ()
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in

@@ -372,6 +372,71 @@ let run_replica dir port host primary idle_timeout request_timeout failpoints =
                   Printf.eprintf "fault injected: %s\n" e;
                   2)))
 
+(* ------------------------------------------------------------------ *)
+(* coord *)
+
+(* Exit codes match serve: 0 clean shutdown, 1 startup failure, 2 port
+   in use or injected fault. *)
+let run_coord dir port host name shards idle_timeout request_timeout
+    failpoints =
+  List.iter (fun (n, m) -> Fault.set n m) failpoints;
+  let parse_addr a =
+    match String.rindex_opt a ':' with
+    | None -> Error a
+    | Some i -> (
+        match
+          int_of_string_opt (String.sub a (i + 1) (String.length a - i - 1))
+        with
+        | Some p when p > 0 -> Ok (String.sub a 0 i, p)
+        | _ -> Error a)
+  in
+  let parsed = List.map parse_addr shards in
+  match
+    List.find_map (function Error bad -> Some bad | Ok _ -> None) parsed
+  with
+  | Some bad ->
+      Printf.eprintf "sqlledger coord: --shard expects HOST:PORT, got %s\n" bad;
+      1
+  | None -> (
+      let config =
+        {
+          Shard.Coordinator.default_config with
+          host;
+          port;
+          dir;
+          name;
+          idle_timeout;
+          request_timeout;
+        }
+      in
+      match
+        Shard.Coordinator.start ~config
+          ~shards:(List.map Result.get_ok parsed) ()
+      with
+      | Error (Shard.Coordinator.Port_in_use msg) ->
+          Printf.eprintf "sqlledger coord: cannot listen on %s\n" msg;
+          2
+      | Error (Shard.Coordinator.Startup msg) ->
+          Printf.eprintf "sqlledger coord: %s\n" msg;
+          1
+      | Ok coord -> (
+          Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+          let stop _ = Shard.Coordinator.request_shutdown coord in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          let m = Shard.Coordinator.map coord in
+          Printf.printf
+            "sqlledger: coordinating %d shard(s) (map epoch %d) from %s on \
+             %s:%d\n\
+             %!"
+            (Shard.Shard_map.count m) (Shard.Shard_map.epoch m) dir host
+            (Shard.Coordinator.port coord);
+          match Shard.Coordinator.run coord with
+          | () -> 0
+          | exception (Fault.Injected_crash e | Fault.Injected_error e) ->
+              Printf.eprintf "fault injected: %s\n" e;
+              2))
+
 let run_promote dir =
   match Repl.Client.promote_dir ~dir () with
   | Error e ->
@@ -439,6 +504,13 @@ let print_response = function
       if v.Protocol.vs_ok then 0 else 1
   | Protocol.Stats_r lines ->
       List.iter print_endline lines;
+      0
+  | Protocol.Shard_map_r { epoch; shards } ->
+      Printf.printf "shard map epoch %d, %d shard(s)\n" epoch
+        (List.length shards);
+      List.iteri
+        (fun i (host, port) -> Printf.printf "  shard %d: %s:%d\n" i host port)
+        shards;
       0
   | Protocol.Bye ->
       print_endline "bye";
@@ -943,6 +1015,55 @@ let replica_cmd =
       $ port_arg ~doc:"TCP port to serve read-only clients on"
       $ host_arg $ primary $ idle_timeout $ request_timeout $ failpoint_arg)
 
+let coord_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Coordinator state directory (shard map, schema registry, 2PC \
+             decision log); created on first use, recovered on every start.")
+  in
+  let name_arg =
+    Arg.(
+      value & opt string "coord"
+      & info [ "name" ] ~docv:"NAME" ~doc:"Coordinator name (metrics label)")
+  in
+  let shards =
+    Arg.(
+      value & opt_all string []
+      & info [ "shard" ] ~docv:"HOST:PORT"
+          ~doc:
+            "A shard primary, repeatable; order defines the hash buckets. \
+             Required on first start; passing a different topology later \
+             bumps the shard-map epoch.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 60.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Disconnect an idle session after this long; 0 disables.")
+  in
+  let request_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:"Tear a connection stalled mid-frame after this long; 0 \
+                disables.")
+  in
+  Cmd.v
+    (Cmd.info "coord"
+       ~doc:
+         "Coordinate a hash-sharded ledger deployment: route statements to \
+          shard primaries, run cross-shard writes under two-phase commit, \
+          and publish one aggregate digest covering every shard")
+    Term.(
+      const run_coord $ dir
+      $ port_arg ~doc:"TCP port to listen on"
+      $ host_arg $ name_arg $ shards $ idle_timeout $ request_timeout
+      $ failpoint_arg)
+
 let promote_cmd =
   let dir =
     Arg.(
@@ -1069,8 +1190,8 @@ let main =
        ~doc:"Cryptographically verifiable ledger tables (SIGMOD'21 reproduction)")
     [
       demo_cmd; shell_cmd; fabric_cmd; verify_cmd; recover_cmd;
-      failpoints_cmd; serve_cmd; replica_cmd; promote_cmd; client_cmd;
-      chaos_proxy_cmd;
+      failpoints_cmd; serve_cmd; replica_cmd; coord_cmd; promote_cmd;
+      client_cmd; chaos_proxy_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

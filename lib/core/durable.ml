@@ -1,4 +1,8 @@
-type t = { dd_dir : string; dd_db : Database.t }
+type t = {
+  dd_dir : string;
+  dd_db : Database.t;
+  dd_in_doubt : Wal_replay.in_doubt list;
+}
 
 let snapshot_path dir = Filename.concat dir "snapshot.json"
 let wal_path dir = Filename.concat dir "wal.jsonl"
@@ -9,6 +13,7 @@ let () = Fault.register point_compact
 
 let db t = t.dd_db
 let dir t = t.dd_dir
+let in_doubt t = t.dd_in_doubt
 
 let persist_snapshot db_ path = Snapshot.save_to_file db_ ~path
 
@@ -81,6 +86,11 @@ let open_dir ?block_size ?signing_seed ?clock ~dir ~name () =
         | Ok db_ -> Ok db_
         | Error e -> fail e)
   in
+  let in_doubt =
+    match wal_records with
+    | Some records -> Wal_replay.in_doubt_of_records records
+    | None -> []
+  in
   (match (wal_records, snapshot) with
   | (None | Some []), None -> () (* fresh create: WAL already attached *)
   | _ ->
@@ -88,8 +98,36 @@ let open_dir ?block_size ?signing_seed ?clock ~dir ~name () =
          previous generation retained), then restart the log. Any stale
          .tmp left by a crashed save is consumed by this save's rename. *)
       persist_snapshot recovered snap;
-      Database_ledger.attach_wal (Database.ledger recovered) wal);
-  Ok { dd_dir = dir; dd_db = recovered }
+      Database_ledger.attach_wal (Database.ledger recovered) wal;
+      (* The snapshot withholds in-doubt prepared transactions (replay
+         never applied them), so restarting the log would lose their
+         votes. Re-append DATA + PREPARE so a second crash before the
+         coordinator's decision still recovers them in-doubt. *)
+      if in_doubt <> [] then begin
+        let w = Database_ledger.wal (Database.ledger recovered) in
+        List.iter
+          (fun (d : Wal_replay.in_doubt) ->
+            (match d.ops with
+            | Sjson.List [] -> ()
+            | ops ->
+                ignore
+                  (Aries.Wal.append w
+                     (Aries.Log_record.Data { txn_id = d.txn_id; ops })
+                    : int));
+            ignore
+              (Aries.Wal.append w
+                 (Aries.Log_record.Prepare
+                    {
+                      gid = d.gid;
+                      txn_id = d.txn_id;
+                      user = d.user;
+                      table_roots = d.table_roots;
+                    })
+                : int))
+          in_doubt;
+        Aries.Wal.sync w
+      end);
+  Ok { dd_dir = dir; dd_db = recovered; dd_in_doubt = in_doubt }
 
 let checkpoint t =
   Database.checkpoint t.dd_db;

@@ -36,6 +36,14 @@ val open_dir :
 
 val db : t -> Database.t
 
+val in_doubt : t -> Wal_replay.in_doubt list
+(** Prepared-but-undecided transactions found in the log at open, in log
+    order. Their effects are NOT in {!db}; the server must hold its write
+    lock and refuse new writes until each is resolved by the coordinator
+    (decide-commit re-applies the recorded redo, decide-abort logs ABORT).
+    Their DATA + PREPARE records were re-appended to the restarted log, so
+    a second crash still recovers them in-doubt. *)
+
 val checkpoint : t -> unit
 (** Flush the ledger queue and persist a snapshot. *)
 

@@ -119,6 +119,12 @@ let apply_record t record =
   | LR.Begin { txn_id }, Some db ->
       Database_ledger.note_txn_id (Database.ledger db) txn_id;
       Ok ()
+  | LR.Prepare { txn_id; _ }, Some db ->
+      (* The DATA stays buffered until the coordinator's decision ships
+         as a COMMIT or ABORT record; the replica exposes nothing
+         in-doubt. *)
+      Database_ledger.note_txn_id (Database.ledger db) txn_id;
+      Ok ()
   | LR.Block_close _, Some db ->
       Database_ledger.replay_block_close (Database.ledger db);
       Ok ()

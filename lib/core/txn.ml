@@ -20,7 +20,7 @@ type redo_op =
   | Redo_plain_update of { tid : int; row : Row.t }
   | Redo_plain_delete of { tid : int; key : Row.t }
 
-type state = Active | Committed | Aborted
+type state = Active | Prepared of string (* gid *) | Committed | Aborted
 
 type t = {
   txn_id : int;
@@ -79,6 +79,9 @@ let begin_staged_txn ~ledger ~user ~clock =
 let require_active t =
   match t.state with
   | Active -> ()
+  | Prepared gid ->
+      Types.errorf "transaction %d is prepared for %s and awaits a decision"
+        t.txn_id gid
   | Committed -> Types.errorf "transaction %d already committed" t.txn_id
   | Aborted -> Types.errorf "transaction %d already aborted" t.txn_id
 
@@ -250,7 +253,9 @@ let rollback_to t sp =
   t.seq <- sp.sp_seq
 
 let rollback t =
-  require_active t;
+  (* Aborting a prepared transaction is the coordinator's abort decision;
+     the ABORT record below is the decision marker recovery looks for. *)
+  (match t.state with Prepared _ -> () | _ -> require_active t);
   List.iter apply_undo t.undo;
   t.undo <- [];
   t.undo_len <- 0;
@@ -322,6 +327,64 @@ let stage_commit t =
   ( entry,
     (Aries.Log_record.Begin { txn_id = t.txn_id } :: data_records)
     @ ledger_records )
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase commit, participant side.
+
+   [prepare] is the write-ahead half of [commit]: the logical redo and a
+   PREPARE marker reach the WAL and are fsynced, but no COMMIT is
+   appended and the in-memory effects stay in place — the caller must
+   keep holding the write lock until the decision. [decide_commit] is
+   then a normal ledger commit (the COMMIT record doubles as the durable
+   decision marker, because replay only applies DATA for txn_ids that
+   have one); [rollback] of a prepared transaction is the abort decision
+   (its ABORT record is the marker). *)
+
+let prepare t ~gid =
+  require_active t;
+  if t.staged then
+    Types.errorf "transaction %d is staged and cannot be prepared" t.txn_id;
+  let table_roots =
+    Hashtbl.fold
+      (fun tid tree acc -> (tid, Merkle.Streaming.root tree) :: acc)
+      t.trees []
+  in
+  let wal = Database_ledger.wal t.ledger in
+  if t.redo <> [] then
+    ignore
+      (Aries.Wal.append wal
+         (Aries.Log_record.Data
+            {
+              txn_id = t.txn_id;
+              ops = Sjson.List (List.rev_map redo_to_json t.redo);
+            })
+        : int);
+  ignore
+    (Aries.Wal.append wal
+       (Aries.Log_record.Prepare
+          { gid; txn_id = t.txn_id; user = t.txn_user; table_roots })
+      : int);
+  Aries.Wal.sync wal;
+  t.state <- Prepared gid;
+  table_roots
+
+let prepared_gid t = match t.state with Prepared gid -> Some gid | _ -> None
+
+let decide_commit t =
+  match t.state with
+  | Prepared _ ->
+      let table_roots =
+        Hashtbl.fold
+          (fun tid tree acc -> (tid, Merkle.Streaming.root tree) :: acc)
+          t.trees []
+      in
+      let entry =
+        Database_ledger.append_commit t.ledger ~txn_id:t.txn_id
+          ~commit_ts:(t.clock ()) ~user:t.txn_user ~table_roots
+      in
+      t.state <- Committed;
+      entry
+  | _ -> Types.errorf "transaction %d is not prepared" t.txn_id
 
 let table_root t lt =
   match Hashtbl.find_opt t.trees (Ledger_table.table_id lt) with

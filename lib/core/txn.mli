@@ -75,6 +75,28 @@ val stage_commit : t -> Types.txn_entry * Aries.Log_record.t list
     appended; a publish failure cannot be rolled back and must be treated
     as a crash. Raises {!Types.Ledger_error} on non-staged transactions. *)
 
+(** {1 Two-phase commit (participant side)} *)
+
+val prepare : t -> gid:string -> (int * string) list
+(** Vote yes in a two-phase commit: append the transaction's logical redo
+    and a PREPARE marker to the WAL, fsync, and freeze the transaction —
+    further DML raises until a decision. The in-memory effects stay in
+    place, so the caller must keep holding the write lock across the
+    in-doubt window. Returns the per-table Merkle roots recorded in the
+    marker. Raises {!Types.Ledger_error} on staged or inactive
+    transactions. *)
+
+val prepared_gid : t -> string option
+(** The global transaction id this transaction is prepared under, if any. *)
+
+val decide_commit : t -> Types.txn_entry
+(** The coordinator decided commit: append the COMMIT record (which is the
+    durable decision marker) and the ledger entry, exactly like {!commit}.
+    Raises {!Types.Ledger_error} unless the transaction is prepared. *)
+
+(** Aborting a prepared transaction is {!rollback}: its ABORT record is
+    the durable abort-decision marker. *)
+
 val table_root : t -> Ledger_table.t -> string
 (** Current Merkle root of this transaction's updates to the given table
     (before commit); [Merkle.Streaming.empty_root] when untouched. *)

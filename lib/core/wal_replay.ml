@@ -16,6 +16,49 @@ let committed_txns records =
     records;
   set
 
+(* A PREPARE whose txn_id has no later COMMIT or ABORT is in-doubt: the
+   shard voted yes and crashed before learning the coordinator's decision.
+   Replay withholds its DATA (the committed-txns filter already does), and
+   the server must hold the write lock until the decision arrives. The
+   redo payload rides along so a later decide-commit can apply it. *)
+type in_doubt = {
+  gid : string;
+  txn_id : int;
+  user : string;
+  table_roots : (int * string) list;
+  ops : Sjson.t;
+}
+
+let in_doubt_of_records records =
+  let decided = Hashtbl.create 16 in
+  List.iter
+    (fun (_, record) ->
+      match record with
+      | LR.Commit c -> Hashtbl.replace decided c.LR.txn_id ()
+      | LR.Abort { txn_id } -> Hashtbl.replace decided txn_id ()
+      | _ -> ())
+    records;
+  let data = Hashtbl.create 16 in
+  List.iter
+    (fun (_, record) ->
+      match record with
+      | LR.Data { txn_id; ops = Sjson.List items } ->
+          let prev =
+            try Hashtbl.find data txn_id with Not_found -> []
+          in
+          Hashtbl.replace data txn_id (prev @ items)
+      | _ -> ())
+    records;
+  List.filter_map
+    (fun (_, record) ->
+      match record with
+      | LR.Prepare { gid; txn_id; user; table_roots }
+        when not (Hashtbl.mem decided txn_id) ->
+          let items = try Hashtbl.find data txn_id with Not_found -> [] in
+          Some { gid; txn_id; user; table_roots; ops = Sjson.List items }
+      | _ -> None)
+    records
+
 let decode_row json =
   match json with
   | Sjson.List cells ->
@@ -141,7 +184,9 @@ let replay ?(clock = Unix.gettimeofday) ?snapshot ~records () =
                     table_roots = c.LR.table_roots;
                   };
                 Ok ()
-            | LR.Begin { txn_id } | LR.Abort { txn_id } ->
+            | LR.Begin { txn_id }
+            | LR.Abort { txn_id }
+            | LR.Prepare { txn_id; _ } ->
                 Database_ledger.note_txn_id dbl txn_id;
                 Ok ()
             | LR.Block_close _ ->

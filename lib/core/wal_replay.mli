@@ -20,6 +20,23 @@
     transaction path; take a fresh snapshot after truncating (the WAL
     before a truncation no longer reproduces the post-truncation state). *)
 
+type in_doubt = {
+  gid : string;
+  txn_id : int;
+  user : string;
+  table_roots : (int * string) list;
+  ops : Sjson.t;
+}
+(** A PREPARE with no later COMMIT/ABORT for its txn_id: the shard voted
+    yes in a two-phase commit and crashed before the decision. The redo
+    payload ([ops]) rides along so decide-commit can apply it. *)
+
+val in_doubt_of_records :
+  (Aries.Wal.lsn * Aries.Log_record.t) list -> in_doubt list
+(** In-doubt prepared transactions of a log, in log order. Their effects
+    are withheld by {!replay}; the caller must block writes until each is
+    resolved by the coordinator. *)
+
 val replay :
   ?clock:(unit -> float) ->
   ?snapshot:Sjson.t ->

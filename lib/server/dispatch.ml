@@ -60,6 +60,16 @@ type backend =
    sit at 0. *)
 type published = { p_db : Database.t; p_seq : int }
 
+(* A transaction that voted yes in a two-phase commit and now awaits the
+   coordinator's decision. [Live] is the normal case: the session's open
+   transaction, moved off the session at PREPARE (so disconnects cannot
+   roll it back) with its in-place table mutations intact and the writer
+   lock still held. [Recovered] is the post-crash case: the effects were
+   withheld by replay, so decide-commit must re-apply the recorded redo
+   before logging COMMIT. Either way the writer lock stays held across
+   the in-doubt window — 2PC blocks the shard, by design. *)
+type prepared_txn = Live of Txn.t | Recovered of Wal_replay.in_doubt
+
 type t = {
   backend : backend;
   lock : Rwlock.t;
@@ -78,6 +88,12 @@ type t = {
   max_queue_depth : int;
   inflight : int Atomic.t;
   gc_window : float;  (* group-commit window, sizes the retry-after hint *)
+  prepared : (string, prepared_txn) Hashtbl.t;  (* gid -> awaiting decision *)
+  prepared_mu : Mutex.t;
+  recovered_hold : int ref;
+      (* number of [Recovered] entries still undecided; while > 0 the
+         writer lock is held on their behalf (taken at startup), released
+         when the last one is decided. Guarded by [prepared_mu]. *)
 }
 
 type session = {
@@ -126,18 +142,38 @@ let create ?(group_commit_window = 0.0) ?(max_inflight = 0)
   Atomic.set snap
     (Some { p_db = Database.snapshot (Durable.db durable); p_seq = 0 });
   register_snapshot_age ~metrics ~snap ~batch_seq;
-  {
-    backend = Primary { durable; queue; repl; digests };
-    lock = Rwlock.create ();
-    metrics;
-    server_name;
-    snap;
-    batch_seq;
-    max_inflight;
-    max_queue_depth;
-    inflight = Atomic.make 0;
-    gc_window = group_commit_window;
-  }
+  let t =
+    {
+      backend = Primary { durable; queue; repl; digests };
+      lock = Rwlock.create ();
+      metrics;
+      server_name;
+      snap;
+      batch_seq;
+      max_inflight;
+      max_queue_depth;
+      inflight = Atomic.make 0;
+      gc_window = group_commit_window;
+      prepared = Hashtbl.create 4;
+      prepared_mu = Mutex.create ();
+      recovered_hold = ref 0;
+    }
+  in
+  (* Recovery surfaced prepared-but-undecided transactions: their effects
+     are not in the database, and no new write may interleave until the
+     coordinator resolves them. Hold the writer lock on their behalf —
+     reads stay lock-free against the published (pre-decision) snapshot,
+     and [Decide] releases the lock when the last one settles. *)
+  (match Durable.in_doubt durable with
+  | [] -> ()
+  | in_doubt ->
+      Rwlock.lock_write t.lock;
+      t.recovered_hold := List.length in_doubt;
+      List.iter
+        (fun (d : Wal_replay.in_doubt) ->
+          Hashtbl.replace t.prepared d.gid (Recovered d))
+        in_doubt);
+  t
 
 (* The replica node owns the lock: its apply thread takes the writer side
    around each batch. Readers here serve published snapshots; until the
@@ -158,6 +194,9 @@ let create_replica ~lock ~get_db ~primary ~metrics ~server_name () =
     max_queue_depth = 0;
     inflight = Atomic.make 0;
     gc_window = 0.0;
+    prepared = Hashtbl.create 1;
+    prepared_mu = Mutex.create ();
+    recovered_hold = ref 0;
   }
 
 let queue t =
@@ -209,13 +248,13 @@ let db t =
 
 let err code fmt =
   Printf.ksprintf
-    (fun message -> Protocol.Error_r { code; message; retry_after_ms = None })
+    (fun message -> Protocol.Error_r { code; message; retry_after_ms = None; map_epoch = None })
     fmt
 
 let err_retry code ~retry_after_ms fmt =
   Printf.ksprintf
     (fun message ->
-      Protocol.Error_r { code; message; retry_after_ms = Some retry_after_ms })
+      Protocol.Error_r { code; message; retry_after_ms = Some retry_after_ms; map_epoch = None })
     fmt
 
 (* Lock acquisitions are timed into power-of-two histograms so a bench
@@ -592,6 +631,89 @@ let subscribe t s ~from_lsn ~replica_id =
       | Types.Ledger_error e | Failure e ->
           (err Protocol.Exec_error "%s" e, `Keep))
 
+(* ------------------------------------------------------------------ *)
+(* Two-phase commit, participant side (requests from a coordinator).
+
+   PREPARE rides the explicit-transaction path: the coordinator opens a
+   session transaction (Begin + Exec...), then sends [Prepare {gid}].
+   The vote is durable (redo + PREPARE marker fsynced by [Txn.prepare]);
+   the transaction moves off the session into [t.prepared] so a dropped
+   coordinator connection cannot roll it back, and the writer lock stays
+   held until the decision — from this session or any other. *)
+
+let prepare_txn t s ~gid =
+  match s.s_txn with
+  | None ->
+      err Protocol.Txn_state "prepare %s: no transaction is open" gid
+  | Some txn ->
+      guard t (fun () ->
+          ignore (Txn.prepare txn ~gid : (int * string) list);
+          s.s_txn <- None;
+          Mutex.protect t.prepared_mu (fun () ->
+              Hashtbl.replace t.prepared gid (Live txn));
+          Metrics.bump t.metrics "server.prepare";
+          Protocol.Ok_r)
+
+(* The decision. Idempotent: a gid this shard has never heard of — or
+   already decided — answers [Ok_r], so a recovering coordinator can
+   blindly re-send decisions. Commit of a [Live] transaction is a normal
+   ledger commit (the COMMIT record is the durable decision marker);
+   commit of a [Recovered] one re-applies the redo recovery withheld.
+   Either way the writer lock finally releases and the outcome becomes
+   the published read view. *)
+let decide_txn t ~gid ~commit =
+  let entry = Mutex.protect t.prepared_mu (fun () ->
+      Hashtbl.find_opt t.prepared gid)
+  in
+  match entry with
+  | None -> Protocol.Ok_r
+  | Some entry ->
+      guard t (fun () ->
+          (match entry with
+          | Live txn ->
+              if commit then ignore (Txn.decide_commit txn : Types.txn_entry)
+              else Txn.rollback txn;
+              Mutex.protect t.prepared_mu (fun () ->
+                  Hashtbl.remove t.prepared gid);
+              publish_snapshot t;
+              Rwlock.unlock_write t.lock
+          | Recovered d ->
+              let dbl = Database.ledger (db t) in
+              if commit then begin
+                (match
+                   Wal_replay.apply_committed_ops (db t) ~txn_id:d.txn_id
+                     d.ops
+                 with
+                | Ok () -> ()
+                | Error e ->
+                    Types.errorf
+                      "redo of recovered prepared transaction %s failed: %s"
+                      gid e);
+                ignore
+                  (Database_ledger.append_commit dbl ~txn_id:d.txn_id
+                     ~commit_ts:(Unix.gettimeofday ()) ~user:d.user
+                     ~table_roots:d.table_roots
+                    : Types.txn_entry)
+              end
+              else Database_ledger.log_abort dbl ~txn_id:d.txn_id;
+              let release =
+                Mutex.protect t.prepared_mu (fun () ->
+                    Hashtbl.remove t.prepared gid;
+                    decr t.recovered_hold;
+                    !(t.recovered_hold) = 0)
+              in
+              if release then begin
+                publish_snapshot t;
+                Rwlock.unlock_write t.lock
+              end);
+          Metrics.bump t.metrics
+            (if commit then "server.decide_commit" else "server.decide_abort");
+          Protocol.Ok_r)
+
+let prepared_gids t =
+  Mutex.protect t.prepared_mu (fun () ->
+      Hashtbl.fold (fun gid _ acc -> gid :: acc) t.prepared [])
+
 (* Session teardown: roll back any open transaction and release the
    exclusive lock. Called on disconnect, idle timeout, and drain. *)
 let cleanup t s =
@@ -611,7 +733,8 @@ let cleanup t s =
    would fork the replica's ledger away from the primary's. *)
 let is_write_shaped = function
   | Protocol.Exec _ | Protocol.Begin | Protocol.Commit | Protocol.Rollback
-  | Protocol.Create_table _ | Protocol.Checkpoint | Protocol.Digest ->
+  | Protocol.Create_table _ | Protocol.Checkpoint | Protocol.Digest
+  | Protocol.Prepare _ | Protocol.Decide _ ->
       true
   | _ -> false
 
@@ -705,6 +828,12 @@ let dispatch t s req =
   | Protocol.Subscribe { from_lsn; replica_id } ->
       subscribe t s ~from_lsn ~replica_id
   | Protocol.Stats -> (Protocol.Stats_r (Metrics.lines t.metrics), `Keep)
+  | Protocol.Shard_map ->
+      (* Only a coordinator owns a shard map; a shard primary answering
+         one would let a client mistake a single node for a cluster. *)
+      (err Protocol.Bad_request "this server is not a coordinator", `Keep)
+  | Protocol.Prepare { gid } -> (prepare_txn t s ~gid, `Keep)
+  | Protocol.Decide { gid; commit } -> (decide_txn t ~gid ~commit, `Keep)
   | Protocol.Quit -> (Protocol.Bye, `Close)
 
 (* [handle] returns the response plus what the server should do with the

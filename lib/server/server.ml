@@ -252,8 +252,10 @@ let handle_frame t session conn payload =
   | Error msg ->
       send_response t conn ~id:0
         (Protocol.Error_r
-           { code = Protocol.Bad_request; message = msg; retry_after_ms = None })
-  | Ok (id, deadline_ms, req) -> (
+           { code = Protocol.Bad_request; message = msg; retry_after_ms = None; map_epoch = None })
+  | Ok (id, deadline_ms, _map_epoch, req) -> (
+      (* [_map_epoch]: shard-map routing stamps are a coordinator concern;
+         a plain server (or shard primary reached directly) ignores them. *)
       let t0 = Unix.gettimeofday () in
       (* The envelope's budget is relative to *our* clock from the moment
          the request was decoded — client and server clocks never get
@@ -272,6 +274,7 @@ let handle_frame t session conn payload =
                 code = Protocol.Internal;
                 message = Printexc.to_string e;
                 retry_after_ms = None;
+                map_epoch = None;
               }
           in
           Metrics.record t.metrics ~kind:(Protocol.request_kind req)
@@ -477,6 +480,7 @@ let session_loop t sid fd =
                     message =
                       Printf.sprintf "stream desynchronised (junk %S)" bytes;
                     retry_after_ms = None;
+                map_epoch = None;
                   }));
           closing := true
       | Frame.Oversized { size; limit } ->
@@ -489,6 +493,7 @@ let session_loop t sid fd =
                       Printf.sprintf "frame of %d bytes exceeds limit %d" size
                         limit;
                     retry_after_ms = None;
+                map_epoch = None;
                   }));
           closing := true
       | exception Fault.Injected_error _ -> closing := true
@@ -523,6 +528,7 @@ let reject_busy t fd =
                  Printf.sprintf "server at its %d-connection limit"
                    t.cfg.max_connections;
                retry_after_ms = None;
+                map_epoch = None;
              }))
    with Sys_error _ | Unix.Unix_error _ -> ());
   Frame.close conn

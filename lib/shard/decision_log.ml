@@ -1,0 +1,146 @@
+(* The coordinator's 2PC decision log.
+
+   An append-only CRC-framed file recording, per global transaction:
+
+     Start    {gid; participants}    before any PREPARE is sent
+     Decision {gid; commit}          the atomic commit point
+     End      {gid}                  every participant acked the decision
+
+   Recovery applies presumed abort: a Start with no Decision means the
+   coordinator died inside the prepare round, so the transaction aborts —
+   participants holding a prepared txn learn this when the restarted
+   coordinator re-sends the (now logged) abort decision. A Decision with
+   no End means some participant may not have heard the outcome; the
+   decision is re-sent until every participant acks, then End is logged.
+   Decisions are never un-made: once the Decision record is fsynced the
+   outcome is fixed, however many times delivery is retried.
+
+   Frame format, one record per line (same discipline as the WAL):
+
+     #crc len json\n
+
+   with [crc] the CRC-32 of [json] in %08lx and [len] its byte length.
+   A torn tail — short line, bad CRC, missing newline — is truncated on
+   load, exactly like a torn WAL append: the record never happened.
+   Appends route through the ["coord.dlog"] failpoint so tests can tear
+   a record mid-bytes or kill the coordinator at the append. *)
+
+type record =
+  | Start of { gid : string; participants : int list }
+  | Decision of { gid : string; commit : bool }
+  | End of { gid : string }
+
+let point = "coord.dlog"
+let () = Fault.register point
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let record_to_json = function
+  | Start { gid; participants } ->
+      Sjson.Obj
+        [
+          ("t", Sjson.String "start");
+          ("gid", Sjson.String gid);
+          ( "parts",
+            Sjson.List (List.map (fun i -> Sjson.Int i) participants) );
+        ]
+  | Decision { gid; commit } ->
+      Sjson.Obj
+        [
+          ("t", Sjson.String "decision");
+          ("gid", Sjson.String gid);
+          ("commit", Sjson.Bool commit);
+        ]
+  | End { gid } ->
+      Sjson.Obj [ ("t", Sjson.String "end"); ("gid", Sjson.String gid) ]
+
+let record_of_json json =
+  let gid () = Sjson.get_string (Sjson.member "gid" json) in
+  match Sjson.member "t" json with
+  | Sjson.String "start" ->
+      let participants =
+        match Sjson.member "parts" json with
+        | Sjson.List items -> List.map Sjson.get_int items
+        | _ -> failwith "start record without parts"
+      in
+      Start { gid = gid (); participants }
+  | Sjson.String "decision" ->
+      let commit =
+        match Sjson.member "commit" json with
+        | Sjson.Bool b -> b
+        | _ -> failwith "decision record without commit"
+      in
+      Decision { gid = gid (); commit }
+  | Sjson.String "end" -> End { gid = gid () }
+  | _ -> failwith "unknown decision-log record"
+
+let frame json =
+  Printf.sprintf "#%08lx %d %s\n"
+    (Fault.Crc32.string json)
+    (String.length json) json
+
+(* ------------------------------------------------------------------ *)
+(* Load: parse frames, stop (and truncate) at the first damage. *)
+
+let parse_all contents =
+  let n = String.length contents in
+  let records = ref [] in
+  let pos = ref 0 in
+  let good = ref 0 in
+  (try
+     while !pos < n do
+       let start = !pos in
+       if contents.[start] <> '#' then raise Exit;
+       (* "#%08lx %d " header: find the two spaces. *)
+       let sp1 = String.index_from contents start ' ' in
+       let sp2 = String.index_from contents (sp1 + 1) ' ' in
+       let crc_hex = String.sub contents (start + 1) (sp1 - start - 1) in
+       let len = int_of_string (String.sub contents (sp1 + 1) (sp2 - sp1 - 1)) in
+       if len < 0 || sp2 + 1 + len >= n + 1 then raise Exit;
+       if sp2 + 1 + len + 1 > n then raise Exit;
+       let json = String.sub contents (sp2 + 1) len in
+       if contents.[sp2 + 1 + len] <> '\n' then raise Exit;
+       let crc = Int32.of_string ("0x" ^ crc_hex) in
+       if crc <> Fault.Crc32.string json then raise Exit;
+       let record = record_of_json (Sjson.of_string json) in
+       records := record :: !records;
+       pos := sp2 + 1 + len + 1;
+       good := !pos
+     done
+   with
+  | Exit | Not_found | Failure _ | Invalid_argument _ | Sjson.Parse_error _ ->
+      ());
+  (List.rev !records, !good)
+
+type t = { path : string; mutable oc : out_channel }
+
+let path t = t.path
+
+let load ~path =
+  Fault.Fsutil.mkdir_p (Filename.dirname path);
+  let contents =
+    if Sys.file_exists path then (
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s)
+    else ""
+  in
+  let records, good = parse_all contents in
+  if good < String.length contents then
+    (* Torn tail: the partial record never happened. *)
+    Unix.truncate path good;
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  (records, { path; oc })
+
+(* [End] is an optimisation (it only prunes recovery work), so it may
+   ride on the OS buffer; [Start] and [Decision] are correctness points
+   and are fsynced before the caller proceeds. *)
+let append t record =
+  let must_sync = match record with Start _ | Decision _ -> true | End _ -> false in
+  Fault.output point t.oc (frame (Sjson.to_string (record_to_json record)));
+  if must_sync then Fault.Fsutil.fsync_channel t.oc else flush t.oc
+
+let close t = close_out_noerr t.oc

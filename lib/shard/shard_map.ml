@@ -1,0 +1,85 @@
+(* The partition map of a sharded ledger deployment.
+
+   Rows are hash-partitioned by primary key: bucket
+   [crc32(table \x00 key-values) mod shard-count] owns the row, and
+   [shards.(bucket)] is the (host, port) of the shard primary serving it.
+   The CRC runs over the lowercased table name and the *tagged* JSON of
+   each key value in key-column order — the same self-describing encoding
+   rows use on the wire — so an INT 5 and a FLOAT 5.0 key hash
+   differently, exactly as they compare differently in the B-tree.
+
+   [epoch] increments on every topology change and is the generation that
+   clients stamp on their request envelopes; a coordinator refuses stale
+   stamps with the typed [wrong_shard] error before doing any work, so a
+   client racing a map change can always refresh and retry safely. *)
+
+type t = { epoch : int; shards : (string * int) array }
+
+let make ~epoch shards =
+  if shards = [] then invalid_arg "Shard_map.make: no shards";
+  if epoch < 0 then invalid_arg "Shard_map.make: negative epoch";
+  { epoch; shards = Array.of_list shards }
+
+let epoch t = t.epoch
+let count t = Array.length t.shards
+let address t i = t.shards.(i)
+let to_list t = Array.to_list t.shards
+let with_epoch t epoch = { t with epoch }
+
+let equal_topology a b = a.shards = b.shards
+
+(* ------------------------------------------------------------------ *)
+(* Key hashing *)
+
+let hash_bytes ~table key =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (String.lowercase_ascii table);
+  List.iter
+    (fun v ->
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf (Sjson.to_string (Relation.Value.to_tagged_json v)))
+    key;
+  Buffer.contents buf
+
+let bucket_of_key ~shard_count ~table key =
+  if shard_count <= 0 then invalid_arg "Shard_map.bucket_of_key: no shards";
+  let crc = Fault.Crc32.string (hash_bytes ~table key) in
+  Int32.to_int crc land 0x7fffffff mod shard_count
+
+let shard_of_key t ~table key =
+  bucket_of_key ~shard_count:(count t) ~table key
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec — the same shape [Shard_map_r] puts on the wire, so a
+   client can persist a fetched map verbatim. *)
+
+let to_json t =
+  Sjson.Obj
+    [
+      ("epoch", Sjson.Int t.epoch);
+      ( "shards",
+        Sjson.List
+          (Array.to_list t.shards
+          |> List.map (fun (host, port) ->
+                 Sjson.Obj
+                   [ ("host", Sjson.String host); ("port", Sjson.Int port) ]))
+      );
+    ]
+
+let of_json json =
+  try
+    let epoch = Sjson.get_int (Sjson.member "epoch" json) in
+    let shards =
+      match Sjson.member "shards" json with
+      | Sjson.List items ->
+          List.map
+            (fun s ->
+              ( Sjson.get_string (Sjson.member "host" s),
+                Sjson.get_int (Sjson.member "port" s) ))
+            items
+      | _ -> failwith "field \"shards\" must be a list"
+    in
+    if shards = [] then failwith "empty shard list"
+    else Ok (make ~epoch shards)
+  with
+  | Failure e | Invalid_argument e -> Error ("malformed shard map: " ^ e)

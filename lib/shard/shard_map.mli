@@ -1,0 +1,32 @@
+(** Hash partitioning of tables over shard primaries.
+
+    Bucket [crc32(table, key) mod count] owns a row; [epoch] is the map
+    generation that gates [wrong_shard] refusals (see {!Coordinator}). *)
+
+type t
+
+val make : epoch:int -> (string * int) list -> t
+(** Raises [Invalid_argument] on an empty shard list or negative epoch. *)
+
+val epoch : t -> int
+val count : t -> int
+
+val address : t -> int -> string * int
+(** Host and port of shard [i]. *)
+
+val to_list : t -> (string * int) list
+val with_epoch : t -> int -> t
+
+val equal_topology : t -> t -> bool
+(** Same shard addresses in the same order (epoch ignored). *)
+
+val shard_of_key : t -> table:string -> Relation.Value.t list -> int
+(** The shard owning the row with this primary key, from the CRC over the
+    lowercased table name and each key value's tagged JSON. *)
+
+val bucket_of_key :
+  shard_count:int -> table:string -> Relation.Value.t list -> int
+(** Map-free variant, for tests pinning the partition function. *)
+
+val to_json : t -> Sjson.t
+val of_json : Sjson.t -> (t, string) result

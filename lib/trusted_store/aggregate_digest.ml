@@ -1,0 +1,111 @@
+(* The shard-root digest tree of a sharded deployment.
+
+   A single-node digest attests one database through its latest block
+   hash. A sharded deployment has one ledger per shard, so the
+   coordinator publishes an *aggregate* digest: a Merkle root over the
+   per-shard block hashes, taken in shard order, plus the per-shard
+   digest documents themselves. One published root then covers every
+   shard — tampering with any shard's block store changes that shard's
+   block hash, which changes the aggregate root — while verification can
+   still fan out per shard, feeding each embedded digest to the shard
+   that owns it.
+
+   The document carries the shard-map epoch it was taken under so a
+   verifier knows which topology the shard order refers to. *)
+
+module Hex = Ledger_crypto.Hex
+module Digest = Sql_ledger.Digest
+
+type t = {
+  epoch : int;  (** shard-map epoch the fan-out ran under *)
+  root : string;  (** raw 32-byte Merkle root over shard block hashes *)
+  digest_time : float;
+  shards : Digest.t list;  (** per-shard digests, in shard order *)
+}
+
+let shard_count t = List.length t.shards
+
+let root_of_digests digests =
+  Merkle.Tree.root
+    (Merkle.Tree.of_leaves
+       (List.map (fun d -> d.Digest.block_hash) digests))
+
+let of_shards ~epoch ~digest_time shards =
+  if shards = [] then invalid_arg "Aggregate_digest.of_shards: no shards";
+  { epoch; root = root_of_digests shards; digest_time; shards }
+
+(* A digest doc is wrapped (not replaced): recomputing the root from the
+   embedded per-shard digests must reproduce the stored root, otherwise
+   the aggregate was assembled dishonestly. *)
+let check t =
+  if t.shards = [] then Error "aggregate digest embeds no shard digests"
+  else if String.equal (root_of_digests t.shards) t.root then Ok ()
+  else Error "aggregate root does not match the embedded shard digests"
+
+let to_json t =
+  Sjson.Obj
+    [
+      ("kind", Sjson.String "aggregate");
+      ("epoch", Sjson.Int t.epoch);
+      ("shard_count", Sjson.Int (shard_count t));
+      ("root", Sjson.String (Hex.encode t.root));
+      ("digest_time", Sjson.Float t.digest_time);
+      ("shards", Sjson.List (List.map Digest.to_json t.shards));
+    ]
+
+let is_aggregate json =
+  match Sjson.member "kind" json with
+  | Sjson.String "aggregate" -> true
+  | _ -> false
+
+let float_member name json =
+  match Sjson.member name json with
+  | Sjson.Float f -> f
+  | Sjson.Int i -> float_of_int i
+  | _ -> failwith ("aggregate field " ^ name ^ " must be a number")
+
+let of_json json =
+  try
+    if not (is_aggregate json) then failwith "not an aggregate digest";
+    let root_hex = Sjson.get_string (Sjson.member "root" json) in
+    if not (Hex.is_hex root_hex) then failwith "root is not hex";
+    let shards =
+      match Sjson.member "shards" json with
+      | Sjson.List items ->
+          List.map
+            (fun j ->
+              match Digest.of_json j with
+              | Ok d -> d
+              | Error e -> failwith e)
+            items
+      | _ -> failwith "missing shard digest list"
+    in
+    let declared =
+      match Sjson.member "shard_count" json with
+      | Sjson.Int n -> n
+      | _ -> List.length shards
+    in
+    if declared <> List.length shards then
+      failwith "shard_count disagrees with the embedded digest list";
+    Ok
+      {
+        epoch = Sjson.get_int (Sjson.member "epoch" json);
+        root = Hex.decode root_hex;
+        digest_time = float_member "digest_time" json;
+        shards;
+      }
+  with
+  | Failure e | Invalid_argument e -> Error ("malformed aggregate digest: " ^ e)
+
+let to_string t = Sjson.to_string ~pretty:true (to_json t)
+
+let of_string s =
+  match Sjson.of_string s with
+  | exception Sjson.Parse_error e -> Error ("aggregate digest is not JSON: " ^ e)
+  | json -> of_json json
+
+let equal a b =
+  a.epoch = b.epoch
+  && String.equal a.root b.root
+  && List.length a.shards = List.length b.shards
+  && List.for_all2 Digest.equal a.shards b.shards

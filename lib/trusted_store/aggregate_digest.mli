@@ -1,0 +1,32 @@
+(** Aggregate digests of a sharded deployment: a Merkle root over the
+    per-shard block hashes (in shard order) wrapping the per-shard digest
+    documents, so one published root covers every shard while
+    verification fans out per shard. *)
+
+type t = {
+  epoch : int;  (** shard-map epoch the fan-out ran under *)
+  root : string;  (** raw 32-byte Merkle root over shard block hashes *)
+  digest_time : float;
+  shards : Sql_ledger.Digest.t list;  (** per-shard digests, shard order *)
+}
+
+val of_shards :
+  epoch:int -> digest_time:float -> Sql_ledger.Digest.t list -> t
+(** Raises [Invalid_argument] on an empty list. *)
+
+val shard_count : t -> int
+
+val root_of_digests : Sql_ledger.Digest.t list -> string
+(** The Merkle root over the digests' block hashes, in list order. *)
+
+val check : t -> (unit, string) result
+(** Recompute the root from the embedded shard digests. *)
+
+val is_aggregate : Sjson.t -> bool
+(** Whether a digest document is an aggregate (vs a single-node digest). *)
+
+val to_json : t -> Sjson.t
+val of_json : Sjson.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val equal : t -> t -> bool

@@ -17,6 +17,16 @@ type t =
   | Data of { txn_id : int; ops : Sjson.t }
   | Ddl of { payload : Sjson.t }
   | Block_close of { block_id : int; closed_ts : float }
+  | Prepare of {
+      gid : string;
+      txn_id : int;
+      user : string;
+      table_roots : (int * string) list;
+    }
+      (* 2PC participant vote: the transaction's DATA records are durable
+         and the shard promises to commit if told to. A PREPARE with no
+         later COMMIT/ABORT for the same txn_id is in-doubt — replay
+         withholds its effects and surfaces the gid for resolution. *)
 
 let to_json = function
   | Begin { txn_id } ->
@@ -44,6 +54,24 @@ let to_json = function
           ("type", Sjson.String "block_close");
           ("block_id", Sjson.Int block_id);
           ("closed_ts", Sjson.Float closed_ts);
+        ]
+  | Prepare { gid; txn_id; user; table_roots } ->
+      Sjson.Obj
+        [
+          ("type", Sjson.String "prepare");
+          ("gid", Sjson.String gid);
+          ("txn_id", Sjson.Int txn_id);
+          ("user", Sjson.String user);
+          ( "table_roots",
+            Sjson.List
+              (List.map
+                 (fun (tid, root) ->
+                   Sjson.Obj
+                     [
+                       ("table_id", Sjson.Int tid);
+                       ("root", Sjson.String (Hex.encode root));
+                     ])
+                 table_roots) );
         ]
   | Commit c ->
       Sjson.Obj
@@ -98,6 +126,21 @@ let of_json json =
         Ok
           (Block_close
              { block_id = Sjson.get_int (Sjson.member "block_id" json); closed_ts })
+    | Sjson.String "prepare" ->
+        let table_roots =
+          Sjson.get_list (Sjson.member "table_roots" json)
+          |> List.map (fun entry ->
+                 ( Sjson.get_int (Sjson.member "table_id" entry),
+                   Hex.decode (Sjson.get_string (Sjson.member "root" entry)) ))
+        in
+        Ok
+          (Prepare
+             {
+               gid = Sjson.get_string (Sjson.member "gid" json);
+               txn_id = Sjson.get_int (Sjson.member "txn_id" json);
+               user = Sjson.get_string (Sjson.member "user" json);
+               table_roots;
+             })
     | Sjson.String "commit" ->
         let commit_ts =
           match Sjson.member "commit_ts" json with

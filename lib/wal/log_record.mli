@@ -35,6 +35,17 @@ type t =
       (** A ledger block closed (by fill or digest generation); replay
           closes blocks at the same points so block boundaries — and hence
           digests — reproduce exactly. *)
+  | Prepare of {
+      gid : string;
+      txn_id : int;
+      user : string;
+      table_roots : (int * string) list;
+    }
+      (** Two-phase-commit participant vote: the transaction's DATA
+          records are durable and this shard promises to commit [gid] if
+          the coordinator says so. A PREPARE with no later COMMIT/ABORT
+          for the same txn_id is in-doubt — replay withholds its effects
+          and surfaces the gid for resolution. *)
 
 val to_json : t -> Sjson.t
 val of_json : Sjson.t -> (t, string) result

@@ -26,7 +26,9 @@ let analyze entries =
               if lsn > flushed_upto then c :: pending else pending
             in
             (pending, max hi_txn c.txn_id, max hi_block c.block_id)
-        | Log_record.Begin { txn_id } | Log_record.Abort { txn_id } ->
+        | Log_record.Begin { txn_id }
+        | Log_record.Abort { txn_id }
+        | Log_record.Prepare { txn_id; _ } ->
             (pending, max hi_txn txn_id, hi_block)
         | Log_record.Checkpoint _ | Log_record.Data _ | Log_record.Ddl _
         | Log_record.Block_close _ ->

@@ -94,12 +94,14 @@ let deadline_ms_of seconds = max 1 (int_of_float (ceil (seconds *. 1000.)))
    returned as [Ok] for the caller to interpret. [?deadline_s] is the
    caller's remaining budget: it rides the envelope so the server can
    refuse stale work, and it bounds the local wait for the response. *)
-let call ?deadline_s t req =
+let call ?deadline_s ?map_epoch t req =
   let id = t.next_id in
   t.next_id <- id + 1;
   let deadline_ms = Option.map deadline_ms_of deadline_s in
   let deadline_at = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s in
-  match Frame.send t.conn (Protocol.encode_request ~id ?deadline_ms req) with
+  match
+    Frame.send t.conn (Protocol.encode_request ~id ?deadline_ms ?map_epoch req)
+  with
   | exception Sys_error e -> Error ("send failed: " ^ e)
   | exception Unix.Unix_error (err, _, _) ->
       Error ("send failed: " ^ Unix.error_message err)
@@ -283,8 +285,16 @@ let reconnect t =
       | Ok _ -> Ok ()
       | Error e -> Error (connect_error_to_string e))
 
+(* [?map_epoch] supplies the shard-map epoch to stamp on each attempt
+   (re-read per attempt, so a refresh between attempts takes effect);
+   [?on_wrong_shard] is called when the server refuses the routing as
+   stale (passing the server's current epoch from the error) and should
+   refetch the shard map, returning [true] to retry with the fresh
+   routing or [false] to surface the error. [wrong_shard] is always
+   refused before any work, so the retry is safe for every request
+   kind — like [Overloaded], unlike transport errors. *)
 let call_retry ?deadline_s ?(max_attempts = 5) ?(backoff_min = 0.01)
-    ?(backoff_max = 1.0) t req =
+    ?(backoff_max = 1.0) ?map_epoch ?on_wrong_shard t req =
   let deadline_at = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s in
   let remaining () =
     Option.map (fun at -> at -. Unix.gettimeofday ()) deadline_at
@@ -293,7 +303,10 @@ let call_retry ?deadline_s ?(max_attempts = 5) ?(backoff_min = 0.01)
     match remaining () with Some r -> r <= 0. | None -> false
   in
   let rec go attempt =
-    let result = call ?deadline_s:(remaining ()) t req in
+    let epoch_now =
+      match map_epoch with Some get -> get () | None -> None
+    in
+    let result = call ?deadline_s:(remaining ()) ?map_epoch:epoch_now t req in
     let retry ~floor ~reconnect:needs_conn =
       if attempt + 1 >= max_attempts || out_of_budget () then result
       else begin
@@ -319,6 +332,15 @@ let call_retry ?deadline_s ?(max_attempts = 5) ?(backoff_min = 0.01)
     | Ok (Protocol.Error_r { code = Protocol.Deadline_exceeded; _ }) ->
         (* Refused unexecuted: safe to retry while budget remains. *)
         retry ~floor:0. ~reconnect:false
+    | Ok
+        (Protocol.Error_r
+           { code = Protocol.Wrong_shard; map_epoch = server_epoch; _ }) -> (
+        (* The routing was stale, nothing executed. Refresh the map
+           through the caller's hook, then retry with the new epoch. *)
+        match on_wrong_shard with
+        | Some refresh when refresh ~server_epoch ->
+            retry ~floor:0. ~reconnect:false
+        | _ -> result)
     | Error _ when is_idempotent req -> retry ~floor:0. ~reconnect:true
     | other -> other
   in

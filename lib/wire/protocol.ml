@@ -39,6 +39,11 @@ type error_code =
   | Deadline_exceeded
       (** the request blew its deadline budget while queued; answered
           without doing the work, so retrying is always safe *)
+  | Wrong_shard
+      (** the request was routed with a stale shard map; the error's
+          [map_epoch] is the server's current epoch — refetch the map
+          ([Shard_map]) and retry. Refused before any work, so always
+          retry-safe. *)
   | Internal  (** unexpected server-side failure *)
 
 let error_code_to_string = function
@@ -55,6 +60,7 @@ let error_code_to_string = function
   | Replication_stuck -> "replication_stuck"
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
+  | Wrong_shard -> "wrong_shard"
   | Internal -> "internal"
 
 let error_code_of_string = function
@@ -71,6 +77,7 @@ let error_code_of_string = function
   | "replication_stuck" -> Some Replication_stuck
   | "overloaded" -> Some Overloaded
   | "deadline_exceeded" -> Some Deadline_exceeded
+  | "wrong_shard" -> Some Wrong_shard
   | "internal" -> Some Internal
   | _ -> None
 
@@ -102,6 +109,17 @@ type request =
           then pushes batched WAL frames until the connection closes.
           [replica_id] is the subscriber's stable identity — reconnects
           under the same id resume its lag-gate accounting. *)
+  | Shard_map
+      (** ask a coordinator for its current shard map; answered with
+          [Shard_map_r]. Single-node servers refuse it. *)
+  | Prepare of { gid : string }
+      (** 2PC phase one: durably stage the session's open transaction
+          under global id [gid] and vote. [Ok_r] is the yes vote — the
+          shard promises to commit when told to; any error is a no. *)
+  | Decide of { gid : string; commit : bool }
+      (** 2PC phase two: commit or abort the transaction prepared under
+          [gid]. Idempotent — deciding an unknown gid answers [Ok_r] so a
+          recovering coordinator can re-send decisions. *)
   | Quit
 
 let request_kind = function
@@ -119,6 +137,9 @@ let request_kind = function
   | Checkpoint -> "checkpoint"
   | Stats -> "stats"
   | Subscribe _ -> "subscribe"
+  | Shard_map -> "shard_map"
+  | Prepare _ -> "prepare"
+  | Decide _ -> "decide"
   | Quit -> "quit"
 
 let request_fields = function
@@ -148,7 +169,12 @@ let request_fields = function
                columns) );
         ("key", Sjson.List (List.map (fun k -> Sjson.String k) key));
       ]
-  | Ping | Begin | Commit | Rollback | Digest | Checkpoint | Stats | Quit -> []
+  | Prepare { gid } -> [ ("gid", Sjson.String gid) ]
+  | Decide { gid; commit } ->
+      [ ("gid", Sjson.String gid); ("commit", Sjson.Bool commit) ]
+  | Ping | Begin | Commit | Rollback | Digest | Checkpoint | Stats | Shard_map
+  | Quit ->
+      []
 
 (* ------------------------------------------------------------------ *)
 (* Responses *)
@@ -179,12 +205,18 @@ type response =
       (** the requested position predates the primary's in-memory log
           (compaction/restart truncated it): install this full snapshot,
           whose state corresponds to [last_lsn], then stream from there *)
+  | Shard_map_r of { epoch : int; shards : (string * int) list }
+      (** the coordinator's partition map: [shards.(i)] is the (host,
+          port) of the primary owning hash bucket [i]; [epoch] increments
+          on every topology change and gates [wrong_shard] refusals *)
   | Bye
   | Error_r of {
       code : error_code;
       message : string;
       retry_after_ms : int option;
           (** for [Overloaded]: suggested backoff before retrying *)
+      map_epoch : int option;
+          (** for [Wrong_shard]: the server's current shard-map epoch *)
     }
 
 let response_is_error = function Error_r _ -> true | _ -> false
@@ -202,6 +234,7 @@ let response_kind = function
   | Stats_r _ -> "stats"
   | Subscribed _ -> "subscribed"
   | Snapshot_r _ -> "snapshot"
+  | Shard_map_r _ -> "shard_map"
   | Bye -> "bye"
   | Error_r _ -> "error"
 
@@ -240,12 +273,27 @@ let response_fields = function
   | Subscribed { last_lsn } -> [ ("last_lsn", Sjson.Int last_lsn) ]
   | Snapshot_r { snapshot; last_lsn } ->
       [ ("snapshot", snapshot); ("last_lsn", Sjson.Int last_lsn) ]
-  | Error_r { code; message; retry_after_ms } ->
+  | Shard_map_r { epoch; shards } ->
+      [
+        ("epoch", Sjson.Int epoch);
+        ( "shards",
+          Sjson.List
+            (List.map
+               (fun (host, port) ->
+                 Sjson.Obj
+                   [ ("host", Sjson.String host); ("port", Sjson.Int port) ])
+               shards) );
+      ]
+  | Error_r { code; message; retry_after_ms; map_epoch } ->
       ("code", Sjson.String (error_code_to_string code))
       :: ("message", Sjson.String message)
       ::
-      (match retry_after_ms with
-      | Some ms -> [ ("retry_after_ms", Sjson.Int ms) ]
+      ((match retry_after_ms with
+       | Some ms -> [ ("retry_after_ms", Sjson.Int ms) ]
+       | None -> [])
+      @
+      match map_epoch with
+      | Some e -> [ ("map_epoch", Sjson.Int e) ]
       | None -> [])
   | Pong | Ok_r | Bye -> []
 
@@ -259,15 +307,24 @@ let response_fields = function
    request that rotted in a queue is refused, not executed late. The
    field is an envelope-level knob (like "id"), not a request field, so
    every request kind can carry one; absent means unlimited. *)
-let encode_request ~id ?deadline_ms req =
+(* [map_epoch] is the shard-map generation the client routed with, also
+   envelope-level: a sharded deployment stamps every request so a
+   coordinator (or shard) can refuse stale routing with [wrong_shard]
+   before doing any work. Absent means "don't check" — single-node
+   servers ignore it. *)
+let encode_request ~id ?deadline_ms ?map_epoch req =
   Sjson.to_string
     (Sjson.Obj
        (("id", Sjson.Int id)
        :: ("req", Sjson.String (request_kind req))
        ::
-       (match deadline_ms with
-       | Some ms -> ("deadline_ms", Sjson.Int ms) :: request_fields req
-       | None -> request_fields req)))
+       ((match deadline_ms with
+        | Some ms -> [ ("deadline_ms", Sjson.Int ms) ]
+        | None -> [])
+       @ (match map_epoch with
+         | Some e -> [ ("map_epoch", Sjson.Int e) ]
+         | None -> [])
+       @ request_fields req)))
 
 let encode_response ~id resp =
   Sjson.to_string
@@ -320,7 +377,12 @@ let decode_request payload =
     | Sjson.Int ms when ms >= 0 -> Some ms
     | _ -> None
   in
-  let tag res = Result.map (fun r -> (id, deadline_ms, r)) res in
+  let map_epoch =
+    match Sjson.member "map_epoch" obj with
+    | Sjson.Int e when e >= 0 -> Some e
+    | _ -> None
+  in
+  let tag res = Result.map (fun r -> (id, deadline_ms, map_epoch, r)) res in
   match Sjson.member "req" obj with
   | Sjson.String kind ->
       tag
@@ -377,6 +439,18 @@ let decode_request payload =
             let* from_lsn = int_field "from_lsn" obj in
             let* replica_id = str_field "replica_id" obj in
             Ok (Subscribe { from_lsn; replica_id })
+        | "shard_map" -> Ok Shard_map
+        | "prepare" ->
+            let* gid = str_field "gid" obj in
+            Ok (Prepare { gid })
+        | "decide" ->
+            let* gid = str_field "gid" obj in
+            let* commit =
+              match Sjson.member "commit" obj with
+              | Sjson.Bool b -> Ok b
+              | _ -> Error "missing bool field \"commit\""
+            in
+            Ok (Decide { gid; commit })
         | "quit" -> Ok Quit
         | other -> Error ("unknown request " ^ other))
   | _ -> Error "missing request discriminator \"req\""
@@ -463,6 +537,23 @@ let decode_response payload =
         | "snapshot" ->
             let* last_lsn = int_field "last_lsn" obj in
             Ok (Snapshot_r { snapshot = Sjson.member "snapshot" obj; last_lsn })
+        | "shard_map" ->
+            let* epoch = int_field "epoch" obj in
+            let* shards =
+              match Sjson.member "shards" obj with
+              | Sjson.List items ->
+                  let rec go acc = function
+                    | [] -> Ok (List.rev acc)
+                    | (Sjson.Obj _ as s) :: rest ->
+                        let* host = str_field "host" s in
+                        let* port = int_field "port" s in
+                        go ((host, port) :: acc) rest
+                    | _ -> Error "each shard must be an object"
+                  in
+                  go [] items
+              | _ -> Error "missing field \"shards\""
+            in
+            Ok (Shard_map_r { epoch; shards })
         | "bye" -> Ok Bye
         | "error" ->
             let* code_s = str_field "code" obj in
@@ -475,6 +566,11 @@ let decode_response payload =
               | Sjson.Int ms -> Some ms
               | _ -> None
             in
-            Ok (Error_r { code; message; retry_after_ms })
+            let map_epoch =
+              match Sjson.member "map_epoch" obj with
+              | Sjson.Int e -> Some e
+              | _ -> None
+            in
+            Ok (Error_r { code; message; retry_after_ms; map_epoch })
         | other -> Error ("unknown response " ^ other))
   | _ -> Error "missing response discriminator \"resp\""

@@ -106,7 +106,7 @@ let test_control_chars () =
   Frame.send a payload;
   let got = recv_frame b in
   (match Protocol.decode_request got with
-  | Ok (7, None, Protocol.Exec { sql = sql' }) ->
+  | Ok (7, None, None, Protocol.Exec { sql = sql' }) ->
       Alcotest.(check string) "control chars survive" sql sql'
   | Ok _ -> Alcotest.fail "decoded to the wrong request"
   | Error e -> Alcotest.fail ("decode failed: " ^ e));
@@ -145,6 +145,10 @@ let all_requests =
       };
     Protocol.Checkpoint;
     Protocol.Stats;
+    Protocol.Shard_map;
+    Protocol.Prepare { gid = "coord-1:42" };
+    Protocol.Decide { gid = "coord-1:42"; commit = true };
+    Protocol.Decide { gid = "coord-1:43"; commit = false };
     Protocol.Quit;
   ]
 
@@ -185,16 +189,21 @@ let all_responses =
         vs_violations = [ "block 1: hash chain broken" ];
       };
     Protocol.Stats_r [ "a 1"; "b 2" ];
+    Protocol.Shard_map_r
+      { epoch = 3; shards = [ ("127.0.0.1", 7001); ("10.0.0.2", 7002) ] };
     Protocol.Bye;
     Protocol.Error_r
       { code = Protocol.Txn_state; message = "no txn open";
-        retry_after_ms = None };
+        retry_after_ms = None; map_epoch = None };
+    Protocol.Error_r
+      { code = Protocol.Wrong_shard; message = "stale shard map";
+        retry_after_ms = None; map_epoch = Some 7 };
     Protocol.Error_r
       { code = Protocol.Overloaded; message = "shed";
-        retry_after_ms = Some 40 };
+        retry_after_ms = Some 40; map_epoch = None };
     Protocol.Error_r
       { code = Protocol.Deadline_exceeded; message = "budget spent";
-        retry_after_ms = None };
+        retry_after_ms = None; map_epoch = None };
   ]
 
 (* Canonical-encoding equality: a decoded message must re-encode to the
@@ -206,9 +215,10 @@ let test_request_roundtrip () =
       match Protocol.decode_request payload with
       | Error e ->
           Alcotest.fail (Protocol.request_kind req ^ " failed to decode: " ^ e)
-      | Ok (id, deadline, req') ->
+      | Ok (id, deadline, epoch, req') ->
           Alcotest.(check int) "id echoed" 3 id;
           Alcotest.(check bool) "no deadline by default" true (deadline = None);
+          Alcotest.(check bool) "no map epoch by default" true (epoch = None);
           Alcotest.(check string)
             (Protocol.request_kind req ^ " canonical")
             payload
@@ -225,7 +235,7 @@ let test_deadline_envelope () =
       match Protocol.decode_request payload with
       | Error e ->
           Alcotest.fail (Protocol.request_kind req ^ " failed to decode: " ^ e)
-      | Ok (id, deadline, req') ->
+      | Ok (id, deadline, _epoch, req') ->
           Alcotest.(check int) "id echoed" 5 id;
           (match deadline with
           | Some 250 -> ()
@@ -242,7 +252,7 @@ let test_deadline_envelope () =
     Protocol.decode_request
       "{\"id\": 1, \"req\": \"ping\", \"deadline_ms\": -3}"
   with
-  | Ok (1, None, Protocol.Ping) -> ()
+  | Ok (1, None, None, Protocol.Ping) -> ()
   | Ok _ -> Alcotest.fail "negative deadline_ms must decode as absent"
   | Error e -> Alcotest.fail ("negative deadline_ms rejected outright: " ^ e)
 
@@ -276,7 +286,7 @@ let test_error_codes () =
       Protocol.Bad_request; Protocol.Parse_error; Protocol.Exec_error;
       Protocol.Txn_state; Protocol.Version_mismatch; Protocol.Too_large;
       Protocol.Busy; Protocol.Shutting_down; Protocol.Internal;
-      Protocol.Overloaded; Protocol.Deadline_exceeded;
+      Protocol.Overloaded; Protocol.Deadline_exceeded; Protocol.Wrong_shard;
     ];
   Alcotest.(check bool)
     "unknown code rejected" true
@@ -313,7 +323,7 @@ let test_frame_then_protocol_huge () =
   let payload = recv_frame b in
   Thread.join writer;
   (match Protocol.decode_request payload with
-  | Ok (1, None, Protocol.Exec { sql = sql' }) ->
+  | Ok (1, None, None, Protocol.Exec { sql = sql' }) ->
       Alcotest.(check int) "huge sql intact" (String.length sql)
         (String.length sql')
   | _ -> Alcotest.fail "huge request failed to decode");
