@@ -783,6 +783,203 @@ let serve_bench () =
   end;
   if not verify_ok then failwith "post-load ledger verification failed";
   if Atomic.get errors > 0 then failwith "request errors during bench";
+  (* --- receipts phase: issuance cost at production commit rate ---
+     A dedicated server with small blocks and a signing key, so blocks
+     close continuously under load and every receipt carries a
+     block-root signature. The same closed-loop insert workload runs
+     twice: commits alone, then commits with a receipt batch-fetched,
+     parsed and offline-verified for every transaction. Commit latency
+     is measured on the Exec calls only, so the comparison isolates
+     what issuance costs the write path. *)
+  print_endline "\n--- receipts: issuance cost at production rate ---";
+  let rc_dir = Filename.temp_dir "sqlledger-bench" "-receipts" in
+  let rc_block_size = 32 in
+  let rc_config =
+    {
+      Ledger_server.Server.default_config with
+      port = 0;
+      dir = rc_dir;
+      db_name = "bench";
+      max_connections = 16;
+      block_size = Some rc_block_size;
+      signing_seed = Some "bench-receipts";
+    }
+  in
+  let rc_srv =
+    match Ledger_server.Server.start ~config:rc_config () with
+    | Ok s -> s
+    | Error e -> failwith (Ledger_server.Server.start_error_to_string e)
+  in
+  let rc_th = Ledger_server.Server.run_async rc_srv in
+  let rc_port = Ledger_server.Server.port rc_srv in
+  let rc_connect () =
+    match Wire.Client.connect ~host:"127.0.0.1" ~port:rc_port () with
+    | Ok c -> c
+    | Error e -> failwith (Wire.Client.connect_error_to_string e)
+  in
+  let rc_setup = rc_connect () in
+  expect_ok "create (receipts)"
+    (Wire.Client.call rc_setup
+       (Wire.Protocol.Create_table
+          {
+            name = "bench";
+            columns = [ ("id", "int"); ("payload", "varchar(64)") ];
+            key = [ "id" ];
+          }));
+  Wire.Client.close rc_setup;
+  let rc_clients = 4 and rc_ops = 300 in
+  let rc_issued = Atomic.make 0 in
+  let rc_verified = Atomic.make 0 in
+  (* Receipts collected during the run, verified after the workers join:
+     the client-side parse + Lamport verification is the receipt
+     *holder's* cost, and in this single-process bench it would
+     otherwise steal CPU from the server threads and pollute the commit
+     latencies the phase exists to compare. *)
+  let rc_collected = ref [] in
+  let rc_collected_mu = Mutex.create () in
+  (* Batch-fetch receipts for [ids], stash them for post-run
+     verification; returns the ids the server reported still pending in
+     the open block. *)
+  let rc_fetch client ids =
+    if ids = [] then []
+    else
+      match
+        Wire.Client.call client (Wire.Protocol.Receipts { txn_ids = ids })
+      with
+      | Ok (Wire.Protocol.Receipts_r { receipts; pending; block_keys }) ->
+          (* Cheap: re-attaching shares the batch's key strings, it does
+             not copy them. The expensive parse + verify runs post-run. *)
+          let receipts = Receipt.inflate_batch ~block_keys receipts in
+          Mutex.protect rc_collected_mu (fun () ->
+              rc_collected := List.rev_append receipts !rc_collected);
+          pending
+      | Ok r -> failwith ("receipts fetch: " ^ Wire.Protocol.response_kind r)
+      | Error e -> failwith ("receipts fetch: " ^ e)
+  in
+  let rc_run ~fetch ~phase_idx =
+    let lats = Array.make rc_clients [] in
+    let worker c_idx =
+      let client = rc_connect () in
+      let prng =
+        Workload.Prng.create ((!bench_seed * 1000) + (phase_idx * 10) + c_idx)
+      in
+      let base = ((phase_idx * rc_clients) + c_idx + 1) * 1_000_000 in
+      let owed = ref [] in
+      for i = 1 to rc_ops do
+        let sql =
+          Printf.sprintf "INSERT INTO bench VALUES (%d, '%s')" (base + i)
+            (Workload.Prng.alnum_string prng 64)
+        in
+        let t0 = Unix.gettimeofday () in
+        (match Wire.Client.call client (Wire.Protocol.Exec { sql }) with
+        | Ok (Wire.Protocol.Affected_r { txn_id = Some id; _ }) ->
+            if fetch then owed := id :: !owed
+        | Ok r when not (Wire.Protocol.response_is_error r) -> ()
+        | Ok r ->
+            failwith ("receipts insert: " ^ Wire.Protocol.response_kind r)
+        | Error e -> failwith ("receipts insert: " ^ e));
+        lats.(c_idx) <- ((Unix.gettimeofday () -. t0) *. 1e6) :: lats.(c_idx);
+        if fetch && List.length !owed >= 32 then
+          owed := rc_fetch client !owed
+      done;
+      if fetch then begin
+        (* Close the open block so the tail of the run is issuable, then
+           drain everything still owed. *)
+        (match Wire.Client.call client Wire.Protocol.Digest with
+        | Ok (Wire.Protocol.Digest_r _) -> ()
+        | _ -> failwith "receipts digest failed");
+        let rest = rc_fetch client !owed in
+        if rest <> [] then
+          failwith
+            (Printf.sprintf "%d receipts still pending after block close"
+               (List.length rest))
+      end;
+      Wire.Client.close client
+    in
+    let threads = List.init rc_clients (fun i -> Thread.create worker i) in
+    List.iter Thread.join threads;
+    let all = Array.of_list (List.concat (Array.to_list lats)) in
+    Array.sort compare all;
+    fun p ->
+      if Array.length all = 0 then 0.0
+      else
+        all.(min
+               (Array.length all - 1)
+               (int_of_float (p /. 100.0 *. float_of_int (Array.length all))))
+  in
+  let rc_base_pct = rc_run ~fetch:false ~phase_idx:0 in
+  let rc_with_pct = rc_run ~fetch:true ~phase_idx:1 in
+  (* Offline verification of everything issued: leaf, proof path, block
+     hash and the block-root signature, with no database in reach. *)
+  List.iter
+    (fun j ->
+      match Receipt.of_json j with
+      | Error e -> failwith ("receipt parse failed: " ^ e)
+      | Ok r -> (
+          Atomic.incr rc_issued;
+          match Receipt.verify r with
+          | Ok () -> Atomic.incr rc_verified
+          | Error f ->
+              failwith
+                ("receipt verification failed: " ^ Receipt.failure_to_string f)))
+    !rc_collected;
+  let rc_ratio =
+    if rc_base_pct 50.0 <= 0.0 then 1.0 else rc_with_pct 50.0 /. rc_base_pct 50.0
+  in
+  (* One digest-anchored verification closes the trust loop: commit a
+     row, pin a digest of its block, and check the fetched receipt
+     against that digest offline. *)
+  let rc_ctl = rc_connect () in
+  let rc_anchor_id =
+    match
+      Wire.Client.call rc_ctl
+        (Wire.Protocol.Exec
+           { sql = "INSERT INTO bench VALUES (424242, 'anchor')" })
+    with
+    | Ok (Wire.Protocol.Affected_r { txn_id = Some id; _ }) -> id
+    | _ -> failwith "receipts anchor insert failed"
+  in
+  let rc_digest =
+    match Wire.Client.call rc_ctl Wire.Protocol.Digest with
+    | Ok (Wire.Protocol.Digest_r j) -> (
+        match Digest.of_json j with
+        | Ok d -> d
+        | Error e -> failwith ("receipts digest parse: " ^ e))
+    | _ -> failwith "receipts anchor digest failed"
+  in
+  let rc_anchored_ok =
+    match
+      Wire.Client.call rc_ctl
+        (Wire.Protocol.Receipts { txn_ids = [ rc_anchor_id ] })
+    with
+    | Ok (Wire.Protocol.Receipts_r { receipts = [ j ]; pending = []; block_keys })
+      -> (
+        match Receipt.of_json (List.hd (Receipt.inflate_batch ~block_keys [ j ]))
+        with
+        | Error e -> failwith ("receipt parse failed: " ^ e)
+        | Ok r -> (
+            match Receipt.verify ~digest:rc_digest r with
+            | Ok () -> true
+            | Error f ->
+                failwith
+                  ("digest-anchored receipt verification failed: "
+                  ^ Receipt.failure_to_string f)))
+    | _ -> failwith "receipts anchor fetch failed"
+  in
+  Wire.Client.close rc_ctl;
+  Ledger_server.Server.shutdown rc_srv rc_th;
+  Printf.printf "%-26s %12.0f us (p95 %.0f)\n" "commit p50 (no receipts)"
+    (rc_base_pct 50.0) (rc_base_pct 95.0);
+  Printf.printf "%-26s %12.0f us (p95 %.0f)\n" "commit p50 (receipts)"
+    (rc_with_pct 50.0) (rc_with_pct 95.0);
+  Printf.printf "%-26s %12.3f (gate: < 1.10)\n" "issuance overhead ratio"
+    rc_ratio;
+  Printf.printf "%-26s %12d (%d verified offline)\n" "receipts issued"
+    (Atomic.get rc_issued) (Atomic.get rc_verified);
+  Printf.printf "%-26s %12s\n" "digest-anchored receipt"
+    (if rc_anchored_ok then "OK" else "FAILED");
+  if Atomic.get rc_issued <> Atomic.get rc_verified then
+    failwith "some issued receipts failed offline verification";
   (* --- overload phase: a write storm against capped admission ---
      A second server with deliberately low caps, an idle read baseline,
      then an open-loop-shaped storm (32 writers running flat out, far
@@ -1002,6 +1199,17 @@ let serve_bench () =
           ("overload_queue_depth_high_water", Sjson.Int oqueue_hw);
           ("shed_only_errors", Sjson.Bool shed_only_errors);
           ("overload_read_p99_bounded", Sjson.Bool reads_bounded);
+          ("receipt_block_size", Sjson.Int rc_block_size);
+          ("receipt_clients", Sjson.Int rc_clients);
+          ("receipt_ops_per_client", Sjson.Int rc_ops);
+          ("receipt_baseline_commit_p50_us", Sjson.Float (rc_base_pct 50.0));
+          ("receipt_baseline_commit_p95_us", Sjson.Float (rc_base_pct 95.0));
+          ("receipt_commit_p50_us", Sjson.Float (rc_with_pct 50.0));
+          ("receipt_commit_p95_us", Sjson.Float (rc_with_pct 95.0));
+          ("receipt_overhead_ratio", Sjson.Float rc_ratio);
+          ("receipts_issued", Sjson.Int (Atomic.get rc_issued));
+          ("receipts_verified", Sjson.Int (Atomic.get rc_verified));
+          ("receipt_digest_anchored", Sjson.Bool rc_anchored_ok);
         ]
     in
     write_json ~file:"BENCH_serve.json" fields

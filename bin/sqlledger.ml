@@ -267,7 +267,7 @@ let run_recover failpoints wal snapshot verify_flag =
      2  port already in use, or an injected fault crashed the server *)
 let run_serve dir port host name max_conns max_frame idle_timeout
     request_timeout group_commit_window_ms max_inflight queue_depth
-    failpoints =
+    block_size signing_seed failpoints =
   List.iter (fun (n, m) -> Fault.set n m) failpoints;
   let config =
     {
@@ -283,6 +283,8 @@ let run_serve dir port host name max_conns max_frame idle_timeout
       group_commit_window = group_commit_window_ms /. 1000.0;
       max_inflight;
       max_queue_depth = queue_depth;
+      block_size = (if block_size > 0 then Some block_size else None);
+      signing_seed = (if signing_seed = "" then None else Some signing_seed);
     }
   in
   match Ledger_server.Server.start ~config () with
@@ -455,6 +457,224 @@ let run_promote dir =
       0
 
 (* ------------------------------------------------------------------ *)
+(* audit *)
+
+let split_hostport flag s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "%s expects HOST:PORT, got %s" flag s)
+  | Some i -> (
+      match
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      with
+      | Some p when p > 0 -> Ok (String.sub s 0 i, p)
+      | _ -> Error (Printf.sprintf "%s: bad port in %s" flag s))
+
+(* Offline one-shot audit of a stopped (or copied) data directory: full
+   verify when no mark is persisted yet, incremental from the mark
+   otherwise, advancing the mark on success. *)
+let audit_offline ~dir ~bootstrap =
+  match Durable.open_dir ~dir ~name:(Filename.basename dir) () with
+  | Error e ->
+      Printf.eprintf "sqlledger audit: %s\n" e;
+      1
+  | Ok durable -> (
+      let db = Durable.db durable in
+      let path = Ledger_server.Auditor.mark_path ~dir in
+      let mark =
+        if bootstrap then Ok None
+        else
+          Result.map
+            (Option.map (fun (m : Trusted_store.Audit_mark.t) ->
+                 m.Trusted_store.Audit_mark.mark))
+            (Trusted_store.Audit_mark.load ~path)
+      in
+      match mark with
+      | Error e ->
+          Printf.eprintf "sqlledger audit: %s\n" e;
+          1
+      | Ok mark -> (
+          let fail_with violations pinned =
+            List.iter
+              (fun v ->
+                Printf.printf "audit: %s\n" (Verifier.violation_to_string v))
+              violations;
+            (match pinned with
+            | Some b ->
+                Printf.printf "audit: TAMPERING DETECTED at block %d\n" b
+            | None -> Printf.printf "audit: TAMPERING DETECTED\n");
+            4
+          in
+          let bootstrap_ok =
+            match mark with
+            | Some m ->
+                Printf.printf
+                  "audit: resuming from persisted mark (block %d)\n"
+                  m.Incremental_audit.m_block_id;
+                Ok ()
+            | None ->
+                let report = Verifier.verify db ~digests:[] in
+                if Verifier.ok report then begin
+                  Printf.printf
+                    "audit: bootstrap verify OK (%d blocks, %d transactions, \
+                     %d row versions)\n"
+                    report.Verifier.blocks_checked
+                    report.Verifier.transactions_checked
+                    report.Verifier.versions_checked;
+                  Ok ()
+                end
+                else Error report.Verifier.violations
+          in
+          match bootstrap_ok with
+          | Error violations ->
+              fail_with violations
+                (Incremental_audit.pinned_block
+                   {
+                     Incremental_audit.o_mark = None;
+                     o_violations = violations;
+                     o_blocks_checked = 0;
+                   })
+          | Ok () -> (
+              let outcome = Incremental_audit.scan db ~from:mark in
+              if not (Incremental_audit.ok outcome) then
+                fail_with outcome.Incremental_audit.o_violations
+                  (Incremental_audit.pinned_block outcome)
+              else begin
+                (match outcome.Incremental_audit.o_mark with
+                | Some m ->
+                    Trusted_store.Audit_mark.save ~path m;
+                    Printf.printf
+                      "audit: OK — verified %d new block(s); mark -> block \
+                       %d\n"
+                      outcome.Incremental_audit.o_blocks_checked
+                      m.Incremental_audit.m_block_id
+                | None -> Printf.printf "audit: OK — no closed blocks yet\n");
+                0
+              end)))
+
+(* Exit codes (documented in README.md):
+     0  clean (offline: ledger verified; follow: operator shutdown)
+     1  startup/usage failure
+     2  injected fault crashed the daemon
+     4  tampering detected *)
+let run_audit dir primary follow bootstrap failpoints =
+  List.iter (fun (n, m) -> Fault.set n m) failpoints;
+  match primary with
+  | None ->
+      if follow then begin
+        Printf.eprintf "sqlledger audit: --follow requires --primary\n";
+        1
+      end
+      else audit_offline ~dir ~bootstrap
+  | Some primary -> (
+      match split_hostport "--primary" primary with
+      | Error e ->
+          Printf.eprintf "sqlledger audit: %s\n" e;
+          1
+      | Ok (primary_host, primary_port) -> (
+          match
+            Ledger_server.Auditor.create ~log:(fun l ->
+                print_endline l;
+                flush stdout)
+              ~bootstrap ~primary_host ~primary_port ~dir ()
+          with
+          | Error e ->
+              Printf.eprintf "sqlledger audit: %s\n" e;
+              1
+          | Ok auditor -> (
+              Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+              let stop _ = Ledger_server.Auditor.stop auditor in
+              Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+              Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+              Printf.printf
+                "sqlledger: auditing %s from %s (mark file %s)\n%!" primary
+                dir
+                (Ledger_server.Auditor.mark_path ~dir);
+              match Ledger_server.Auditor.run auditor with
+              | None ->
+                  Ledger_server.Auditor.close auditor;
+                  0
+              | Some v ->
+                  Ledger_server.Auditor.close auditor;
+                  ignore v;
+                  4
+              | exception (Fault.Injected_crash e | Fault.Injected_error e)
+                ->
+                  Printf.eprintf "fault injected: %s\n" e;
+                  2)))
+
+(* ------------------------------------------------------------------ *)
+(* receipt verify (fully offline) *)
+
+(* Exit codes: 0 receipt verifies, 1 unreadable/malformed input, 4 the
+   receipt fails verification (the typed reason is printed). *)
+let run_receipt_verify file digest_file fingerprint =
+  let read path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error e -> Error e
+    | contents -> Ok contents
+  in
+  match Result.bind (read file) Receipt.of_string with
+  | Error e ->
+      Printf.eprintf "sqlledger receipt: %s: %s\n" file e;
+      1
+  | Ok r -> (
+      let digest =
+        match digest_file with
+        | None -> Ok None
+        | Some path ->
+            Result.map Option.some
+              (Result.bind (read path) Digest.of_string)
+      in
+      match digest with
+      | Error e ->
+          Printf.eprintf "sqlledger receipt: %s\n" e;
+          1
+      | Ok digest -> (
+          let expected_fingerprint =
+            match fingerprint with
+            | "" -> None
+            | hex -> (
+                match Ledger_crypto.Hex.decode hex with
+                | s -> Some s
+                | exception _ -> Some hex)
+          in
+          match Receipt.verify ?digest ?expected_fingerprint r with
+          | Ok () ->
+              Printf.printf
+                "receipt OK: transaction %d (user %s) is in block %d%s%s\n"
+                r.Receipt.entry.Types.txn_id r.Receipt.entry.Types.user
+                r.Receipt.block.Types.block_id
+                (if digest <> None then ", anchored to the pinned digest"
+                 else "")
+                (if r.Receipt.signature <> None then ", block signature valid"
+                 else "");
+              0
+          | Error f ->
+              Printf.eprintf "receipt verification FAILED: %s\n"
+                (Receipt.failure_to_string f);
+              4))
+
+(* ------------------------------------------------------------------ *)
+(* tamper (attack simulator for drills and CI) *)
+
+let run_tamper dir block =
+  match Durable.open_dir ~dir ~name:(Filename.basename dir) () with
+  | Error e ->
+      Printf.eprintf "sqlledger tamper: %s\n" e;
+      1
+  | Ok durable -> (
+      let db = Durable.db durable in
+      let attack = Tamper.Fork_chain { block_id = block } in
+      match Tamper.apply db attack with
+      | Error e ->
+          Printf.eprintf "sqlledger tamper: %s\n" e;
+          1
+      | Ok () ->
+          Durable.checkpoint durable;
+          Printf.printf "tampered %s: %s\n" dir (Tamper.describe attack);
+          0)
+
+(* ------------------------------------------------------------------ *)
 (* client *)
 
 module Protocol = Wire.Protocol
@@ -483,11 +703,24 @@ let print_response = function
   | Protocol.Rows_r { columns; rows } ->
       pp_wire_rows columns rows;
       0
-  | Protocol.Affected_r n ->
-      Printf.printf "%d row(s) affected\n" n;
+  | Protocol.Affected_r { rows; txn_id } ->
+      (match txn_id with
+      | Some id -> Printf.printf "%d row(s) affected (txn %d)\n" rows id
+      | None -> Printf.printf "%d row(s) affected\n" rows);
       0
   | Protocol.Digest_r json | Protocol.Receipt_r json ->
       print_endline (Sjson.to_string ~pretty:true json);
+      0
+  | Protocol.Receipts_r { receipts; pending; block_keys } ->
+      (* Re-attach the per-block key material the batch carried once, so
+         what prints (and gets saved for offline verification) is the
+         self-contained single-receipt format. *)
+      let receipts = Receipt.inflate_batch ~block_keys receipts in
+      print_endline
+        (Sjson.to_string ~pretty:true (Sjson.List receipts));
+      if pending <> [] then
+        Printf.printf "pending (open block): %s\n"
+          (String.concat ", " (List.map string_of_int pending));
       0
   | Protocol.Verify_r v ->
       Printf.printf
@@ -590,6 +823,12 @@ let client_request args digest_files =
                 match columns with (n, _) :: _ -> [ n ] | [] -> [])
           in
           Ok (Protocol.Create_table { name; columns; key }))
+  | "receipts" :: ids -> (
+      let parsed = List.map int_of_string_opt ids in
+      if ids = [] then Error "receipts expects transaction ids"
+      else if List.mem None parsed then
+        Error "receipts expects transaction ids"
+      else Ok (Protocol.Receipts { txn_ids = List.map Option.get parsed }))
   | [ "checkpoint" ] -> Ok Protocol.Checkpoint
   | [ "stats" ] -> Ok Protocol.Stats
   | cmd :: _ -> Error ("unknown client command " ^ cmd)
@@ -600,6 +839,7 @@ let client_repl_help =
   \  .begin / .commit / .rollback      session transaction control\n\
   \  .digest                           close the block, print the digest\n\
   \  .receipt <txn_id>                 fetch a transaction receipt\n\
+  \  .receipts <txn_id> ...            fetch a batch of receipts\n\
   \  .verify [table ...]               server-side ledger verification\n\
   \  .create <table> <col type, ...> [key,cols]\n\
   \  .stats                            server metrics\n\
@@ -640,6 +880,17 @@ let run_repl cl =
             match int_of_string_opt txn with
             | Some txn_id -> send (Protocol.Receipt { txn_id })
             | None -> print_endline "usage: .receipt <txn_id>")
+        | ".receipts" :: ids when ids <> [] -> (
+            match
+              List.map
+                (fun i ->
+                  match int_of_string_opt i with
+                  | Some v -> v
+                  | None -> failwith "usage: .receipts <txn_id> ...")
+                ids
+            with
+            | txn_ids -> send (Protocol.Receipts { txn_ids })
+            | exception Failure m -> print_endline m)
         | ".verify" :: tables ->
             send (Protocol.Verify { tables; digests = [] })
         | [ ".stats" ] -> send Protocol.Stats
@@ -961,6 +1212,24 @@ let serve_cmd =
              waiting for the group-commit leader, new write work is shed \
              with the typed $(b,overloaded) error. 0 disables.")
   in
+  let block_size =
+    Arg.(
+      value & opt int 0
+      & info [ "block-size" ] ~docv:"N"
+          ~doc:
+            "Ledger block capacity: a block closes (and becomes \
+             receipt-servable) after $(docv) transactions instead of only \
+             at digest generation. 0 keeps the library default.")
+  in
+  let signing_seed =
+    Arg.(
+      value & opt string ""
+      & info [ "signing-seed" ] ~docv:"SEED"
+          ~doc:
+            "Deterministic seed for the per-block Lamport signing chain; \
+             receipts then carry a one-time signature over the block \
+             hash. Empty = unsigned blocks.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -971,7 +1240,7 @@ let serve_cmd =
       $ port_arg ~doc:"TCP port to listen on"
       $ host_arg $ db_name $ max_conns $ max_frame $ idle_timeout
       $ request_timeout $ group_commit_window $ max_inflight $ queue_depth
-      $ failpoint_arg)
+      $ block_size $ signing_seed $ failpoint_arg)
 
 let replica_cmd =
   let dir =
@@ -1184,6 +1453,111 @@ let chaos_proxy_cmd =
       $ port_arg ~doc:"TCP port the proxy listens on (0 = ephemeral)"
       $ upstream $ seed $ steps $ min_hold $ max_hold $ loop)
 
+let audit_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "With --primary: the auditor's replica directory (durable \
+             stream copy + the persisted audit mark), created on first \
+             use. Without --primary: a stopped primary data directory to \
+             audit offline.")
+  in
+  let primary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "primary" ] ~docv:"HOST:PORT"
+          ~doc:"Primary to stream from (daemon mode; use with --follow).")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Stay attached: verify each newly closed block as it streams \
+             in, persisting the high-water mark after every advance; a \
+             killed auditor resumes from the mark instead of rescanning.")
+  in
+  let bootstrap =
+    Arg.(
+      value & flag
+      & info [ "bootstrap" ]
+          ~doc:
+            "Ignore any persisted mark and redo the one-time full \
+             verification (all invariants, every block).")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Incrementally audit a ledger: full verify once, then only \
+          newly closed blocks against the persisted trusted mark. Exit \
+          code 4 = tampering detected.")
+    Term.(
+      const run_audit $ dir $ primary $ follow $ bootstrap $ failpoint_arg)
+
+let receipt_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Receipt JSON document to verify.")
+  in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("verify", `Verify) ])) None
+      & info [] ~docv:"verify" ~doc:"The receipt operation (only verify).")
+  in
+  let digest =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "digest" ] ~docv:"FILE"
+          ~doc:
+            "Pinned trusted digest JSON: the receipt must anchor to \
+             exactly this block hash.")
+  in
+  let fingerprint =
+    Arg.(
+      value & opt string ""
+      & info [ "fingerprint" ] ~docv:"HEX"
+          ~doc:"Expected signing-key fingerprint (hex) to pin.")
+  in
+  Cmd.v
+    (Cmd.info "receipt"
+       ~doc:
+         "Verify a transaction receipt fully offline — no server, no \
+          database; optionally pinned to a trusted digest and signing \
+          key. Exit code 4 = verification failed (typed reason printed).")
+    Term.(
+      const (fun (`Verify) file digest fp -> run_receipt_verify file digest fp)
+      $ action $ file $ digest $ fingerprint)
+
+let tamper_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Stopped data directory to corrupt in place.")
+  in
+  let block =
+    Arg.(
+      value & opt int 0
+      & info [ "block" ] ~docv:"N"
+          ~doc:"Closed block to fork the hash chain at.")
+  in
+  Cmd.v
+    (Cmd.info "tamper"
+       ~doc:
+         "Attack drill: fork the ledger hash chain of a stopped data \
+          directory at a historical block (bypassing the database API), \
+          so detection paths can be exercised end to end.")
+    Term.(const run_tamper $ dir $ block)
+
 let main =
   Cmd.group
     (Cmd.info "sqlledger" ~version:"1.0.0"
@@ -1191,7 +1565,7 @@ let main =
     [
       demo_cmd; shell_cmd; fabric_cmd; verify_cmd; recover_cmd;
       failpoints_cmd; serve_cmd; replica_cmd; coord_cmd; promote_cmd;
-      client_cmd; chaos_proxy_cmd;
+      client_cmd; chaos_proxy_cmd; audit_cmd; receipt_cmd; tamper_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

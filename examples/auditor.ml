@@ -69,7 +69,7 @@ let () =
          digest's hash\n"
         receipt.Receipt.entry.Types.txn_id receipt.Receipt.entry.Types.user
         receipt.Receipt.block.Types.block_id
-  | Error e -> failwith e);
+  | Error e -> failwith (Receipt.failure_to_string e));
 
   (* 2. When given database access, digest derivation confirms digest_2
      extends digest_1 — no fork happened in between. *)
@@ -98,4 +98,4 @@ let () =
   (* And the receipt still proves the original transaction. *)
   match Receipt.verify ~digest:d2 receipt with
   | Ok () -> print_endline "the old receipt still stands, ledger fork or not"
-  | Error e -> failwith e
+  | Error e -> failwith (Receipt.failure_to_string e)

@@ -118,7 +118,7 @@ let () =
              Merkle proof, signed block root)\n"
             big.Types.txn_id
             (Merkle.Proof.length receipt.Receipt.proof)
-      | Error e -> failwith e)
+      | Error e -> failwith (Receipt.failure_to_string e))
   | Error e -> failwith e);
 
   (* Quarterly audit: all escrowed digests against the live database. *)

@@ -3,6 +3,50 @@ module Table_store = Storage.Table_store
 module Hex = Ledger_crypto.Hex
 module Lamport = Ledger_crypto.Lamport
 
+(* Receipt service memoization (§5.1 at production rate). A closed block
+   is immutable, so its materialized Merkle tree, ordinal-indexed entry
+   array and one-time block signature can be computed once and shared by
+   every receipt issued for the block: N receipts from one block reuse
+   the common subtree hashes, and one Lamport signing operation covers
+   them all. *)
+type block_proofs = {
+  bp_block : Types.block;
+  bp_tree : Merkle.Tree.t;
+  bp_entries : Types.txn_entry array;  (* in (block, ordinal) order *)
+  mutable bp_signature :
+    (Lamport.public_key * Lamport.signature) option option;
+      (* outer [None] = not yet computed *)
+}
+
+(* Bounded: a FIFO over resident block ids evicts whole blocks — tree,
+   entries and the txn -> block index rows that point at them — so the
+   cache holds the hot tail of the chain, not its entire history. *)
+type receipt_cache = {
+  rc_mu : Mutex.t;
+  rc_blocks : (int, block_proofs) Hashtbl.t;
+  rc_order : int Queue.t;
+  rc_txns : (int, int) Hashtbl.t;  (* txn_id -> resident closed block *)
+  rc_capacity : int;
+}
+
+let receipt_cache_capacity = 128
+
+(* Blocks up to this size get their receipt tree built inline at block
+   close (the leaves are already warm in [hash_cache], so the tree costs
+   one extra hash per entry); larger blocks keep the parallel root-only
+   aggregation on the close path and materialize the tree lazily on the
+   first receipt request instead. *)
+let receipt_tree_inline_max = 4096
+
+let fresh_receipt_cache () =
+  {
+    rc_mu = Mutex.create ();
+    rc_blocks = Hashtbl.create 64;
+    rc_order = Queue.create ();
+    rc_txns = Hashtbl.create 256;
+    rc_capacity = receipt_cache_capacity;
+  }
+
 type t = {
   db_block_size : int;
   db_id : string;
@@ -24,6 +68,10 @@ type t = {
      lock. Purely a memo: a miss recomputes the hash. *)
   hash_cache : (int, string) Hashtbl.t;
   hash_mu : Mutex.t;
+  (* Shared across record-copy snapshots like [hash_cache]: closed blocks
+     never change, so a tree built through any snapshot serves them all.
+     Guarded by [rc_mu]. *)
+  receipt_cache : receipt_cache;
 }
 
 let transactions_table_columns =
@@ -80,6 +128,7 @@ let create ?(block_size = 100_000) ?wal_path ?signing_seed
     commit_cost_us;
     hash_cache = Hashtbl.create 64;
     hash_mu = Mutex.create ();
+    receipt_cache = fresh_receipt_cache ();
   }
 
 let attach_wal t path =
@@ -240,6 +289,91 @@ let blocks t =
   List.map block_of_row (Table_store.scan t.blocks_table)
   |> List.sort (fun (a : Types.block) b -> compare a.block_id b.block_id)
 
+let find_block t ~block_id =
+  match Table_store.find t.blocks_table ~key:[| Value.Int block_id |] with
+  | Some row -> Some (block_of_row row)
+  | None -> None
+
+(* Install a block's proof bundle, evicting the oldest resident blocks
+   (and their txn-index rows) past capacity. First install wins when two
+   snapshots race to build the same block. *)
+let install_block_proofs t bp =
+  let rc = t.receipt_cache in
+  let block_id = bp.bp_block.block_id in
+  Mutex.protect rc.rc_mu (fun () ->
+      match Hashtbl.find_opt rc.rc_blocks block_id with
+      | Some existing -> existing
+      | None ->
+          Hashtbl.replace rc.rc_blocks block_id bp;
+          Queue.push block_id rc.rc_order;
+          Array.iter
+            (fun (e : Types.txn_entry) ->
+              Hashtbl.replace rc.rc_txns e.txn_id block_id)
+            bp.bp_entries;
+          while Queue.length rc.rc_order > rc.rc_capacity do
+            let old = Queue.pop rc.rc_order in
+            match Hashtbl.find_opt rc.rc_blocks old with
+            | None -> ()
+            | Some obp ->
+                Array.iter
+                  (fun (e : Types.txn_entry) ->
+                    Hashtbl.remove rc.rc_txns e.txn_id)
+                  obp.bp_entries;
+                Hashtbl.remove rc.rc_blocks old
+          done;
+          bp)
+
+(* Cached proof bundle for a closed block; builds and installs it on a
+   miss. [None] when the block is not closed (or does not exist). *)
+let block_proofs_bundle t ~block_id =
+  let rc = t.receipt_cache in
+  let cached =
+    Mutex.protect rc.rc_mu (fun () -> Hashtbl.find_opt rc.rc_blocks block_id)
+  in
+  match cached with
+  | Some bp -> Some bp
+  | None -> (
+      match find_block t ~block_id with
+      | None -> None
+      | Some block ->
+          let entries = Array.of_list (entries_of_block t ~block_id) in
+          let tree =
+            Merkle.Tree.of_leaves
+              (List.map entry_hash (Array.to_list entries))
+          in
+          Some
+            (install_block_proofs t
+               {
+                 bp_block = block;
+                 bp_tree = tree;
+                 bp_entries = entries;
+                 bp_signature = None;
+               }))
+
+let block_proofs t ~block_id =
+  match block_proofs_bundle t ~block_id with
+  | Some bp -> Some (bp.bp_block, bp.bp_tree)
+  | None -> None
+
+(* Entry lookup through the receipt cache's txn index; falls back to the
+   full (flushed ∪ queued) scan — after which the first receipt for the
+   entry's block warms the index for its whole block. *)
+let locate_txn t ~txn_id =
+  let rc = t.receipt_cache in
+  let hit =
+    Mutex.protect rc.rc_mu (fun () ->
+        match Hashtbl.find_opt rc.rc_txns txn_id with
+        | None -> None
+        | Some block_id -> (
+            match Hashtbl.find_opt rc.rc_blocks block_id with
+            | None -> None
+            | Some bp ->
+                Array.find_opt
+                  (fun (e : Types.txn_entry) -> e.txn_id = txn_id)
+                  bp.bp_entries))
+  in
+  match hit with Some _ as e -> e | None -> find_entry t ~txn_id
+
 (* The in-memory half of a block close, shared by the logged, staged and
    replay paths. *)
 let do_close_block t =
@@ -249,20 +383,44 @@ let do_close_block t =
     (* Asynchronous and single-threaded in the paper; here it runs inline,
        but the root over up to block_size (100K) entry hashes aggregates
        across domains when the block is large enough to pay for it. Entry
-       hashes already accumulated by a commit leader are reused. *)
+       hashes already accumulated by a commit leader are reused. Blocks at
+       receipt scale also materialize their Merkle tree here, so receipts
+       issued against the block share the subtree hashes just computed. *)
     let leaves = List.map (cached_entry_hash t) block_entries in
-    let txn_root = Merkle.Parallel.root leaves in
+    let txn_count = List.length block_entries in
+    let receipt_tree =
+      if txn_count <= receipt_tree_inline_max then
+        Some (Merkle.Tree.of_leaves leaves)
+      else None
+    in
+    let txn_root =
+      match receipt_tree with
+      | Some tree -> Merkle.Tree.root tree
+      | None -> Merkle.Parallel.root leaves
+    in
     let closed_ts = t.last_commit in
     let block : Types.block =
       {
         block_id;
         prev_hash = t.last_block_hash;
         txn_root;
-        txn_count = List.length block_entries;
+        txn_count;
         closed_ts;
       }
     in
     Table_store.insert t.blocks_table (block_to_row block);
+    (match receipt_tree with
+    | Some tree ->
+        ignore
+          (install_block_proofs t
+             {
+               bp_block = block;
+               bp_tree = tree;
+               bp_entries = Array.of_list block_entries;
+               bp_signature = None;
+             }
+            : block_proofs)
+    | None -> ());
     Mutex.protect t.hash_mu (fun () ->
         List.iter
           (fun (e : Types.txn_entry) -> Hashtbl.remove t.hash_cache e.txn_id)
@@ -415,13 +573,33 @@ let block_signature t ~block_id =
   match t.signing_seed with
   | None -> None
   | Some seed ->
-      List.find_opt (fun (b : Types.block) -> b.block_id = block_id) (blocks t)
+      find_block t ~block_id
       |> Option.map (fun b ->
              let sk, pk =
                Lamport.generate
                  ~seed:(seed ^ ":block:" ^ string_of_int block_id)
              in
              (pk, Lamport.sign sk (block_hash b)))
+
+(* Amortized variant: one key derivation + signing operation per block,
+   memoized in the block's proof bundle and reused by every receipt for
+   the block. Deterministic (seeded key, fixed block hash), so the result
+   is byte-identical to {!block_signature}. *)
+let cached_block_signature t ~block_id =
+  match t.signing_seed with
+  | None -> None
+  | Some _ -> (
+      match block_proofs_bundle t ~block_id with
+      | None -> None
+      | Some bp -> (
+          let rc = t.receipt_cache in
+          let memo = Mutex.protect rc.rc_mu (fun () -> bp.bp_signature) in
+          match memo with
+          | Some s -> s
+          | None ->
+              let s = block_signature t ~block_id in
+              Mutex.protect rc.rc_mu (fun () -> bp.bp_signature <- Some s);
+              s))
 
 let transactions_rows t =
   List.map entry_to_row (entries t)
@@ -453,6 +631,7 @@ let unsafe_copy t =
     blocks_table = Table_store.deep_copy t.blocks_table;
     hash_cache = Hashtbl.create 64;
     hash_mu = Mutex.create ();
+    receipt_cache = fresh_receipt_cache ();
   }
 
 let entry_to_json (e : Types.txn_entry) =
@@ -569,6 +748,7 @@ let of_snapshot ?wal_path json =
         commit_cost_us = num "commit_cost_us";
         hash_cache = Hashtbl.create 64;
         hash_mu = Mutex.create ();
+        receipt_cache = fresh_receipt_cache ();
       }
   with
   | Failure e | Invalid_argument e -> Error ("malformed ledger snapshot: " ^ e)
@@ -644,4 +824,5 @@ let recover ?(block_size = 100_000) ?wal_path ?signing_seed ~database_id
     signing_seed;
     hash_cache = Hashtbl.create 64;
     hash_mu = Mutex.create ();
+    receipt_cache = fresh_receipt_cache ();
   }

@@ -103,6 +103,9 @@ val block_hash : Types.block -> string
 val blocks : t -> Types.block list
 (** Closed blocks in block-id order, read back from the system table. *)
 
+val find_block : t -> block_id:int -> Types.block option
+(** Point lookup of a closed block by id. *)
+
 val entries : t -> Types.txn_entry list
 (** All transaction entries (flushed ∪ queued), in (block, ordinal) order. *)
 
@@ -117,7 +120,34 @@ val current_block_id : t -> int
 val block_signature :
   t -> block_id:int -> (Ledger_crypto.Lamport.public_key * Ledger_crypto.Lamport.signature) option
 (** Signature over the block's hash under the block's one-time key; [None]
-    when the ledger has no signing seed or the block is not closed. *)
+    when the ledger has no signing seed or the block is not closed.
+    Recomputes on every call — the uncached reference path. *)
+
+(** {1 Receipt service caches (§5.1 at production rate)}
+
+    A closed block is immutable, so its materialized Merkle tree,
+    ordinal-indexed entries and one-time signature are computed once and
+    shared by every receipt issued for the block. Blocks closed by the
+    commit path at receipt scale (≤ 4096 entries) are cached eagerly at
+    close, from the entry hashes the group-commit leader already warmed;
+    anything else materializes lazily on the first receipt request. The
+    cache is bounded (FIFO over whole blocks) and shared across
+    record-copy snapshots, so receipts served from a published snapshot
+    or a replica hit the same trees. *)
+
+val block_proofs : t -> block_id:int -> (Types.block * Merkle.Tree.t) option
+(** The cached block header and materialized Merkle tree over the block's
+    entry hashes; builds and caches on a miss. [None] when the block is
+    not closed. *)
+
+val locate_txn : t -> txn_id:int -> Types.txn_entry option
+(** {!find_entry} through the receipt cache's txn → block index; a miss
+    falls back to the full scan. *)
+
+val cached_block_signature :
+  t -> block_id:int -> (Ledger_crypto.Lamport.public_key * Ledger_crypto.Lamport.signature) option
+(** {!block_signature} amortized over the block: one signing operation,
+    memoized in the block's proof bundle. Byte-identical results. *)
 
 (** {1 System-table access (verification reads these through SQL)} *)
 

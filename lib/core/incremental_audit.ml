@@ -1,0 +1,228 @@
+(* Incremental ledger audit: verify only the blocks closed since the last
+   trusted high-water mark, instead of rescanning the whole ledger.
+
+   The mark is (block id, block hash) — exactly the anchor a digest
+   carries — so an auditor that persists its mark across restarts resumes
+   where it stopped: a full [Verifier.verify] becomes a one-time
+   bootstrap, and steady-state auditing costs O(new blocks) per pass.
+
+   Scope: this checks the block chain — entry hashes, per-block Merkle
+   roots, counts, prev-hash links, and any supplied digest anchors. It
+   deliberately does not re-verify table/history state against the
+   entries (invariants 4-5); that is the bootstrap's job. Truncated
+   ledgers (§5.2) need the full verifier's horizon handling and are out
+   of scope here. *)
+
+module Hex = Ledger_crypto.Hex
+
+type mark = { m_block_id : int; m_block_hash : string }  (* raw 32 bytes *)
+
+type outcome = {
+  o_mark : mark option;
+      (* the advanced high-water mark: the newest block verified clean.
+         Unchanged from [from] when no new block closed; [None] only when
+         starting from scratch on a ledger with no closed block. *)
+  o_violations : Verifier.violation list;
+  o_blocks_checked : int;  (* freshly verified this pass — never rescans *)
+}
+
+let ok o = o.o_violations = []
+
+let mark_of_digest (d : Digest.t) =
+  { m_block_id = d.block_id; m_block_hash = d.block_hash }
+
+let mark_to_json m =
+  Sjson.Obj
+    [
+      ("block_id", Sjson.Int m.m_block_id);
+      ("block_hash", Sjson.String (Hex.encode m.m_block_hash));
+    ]
+
+let mark_of_json json =
+  match (Sjson.member "block_id" json, Sjson.member "block_hash" json) with
+  | Sjson.Int block_id, Sjson.String hex -> (
+      match Hex.decode hex with
+      | hash -> Ok { m_block_id = block_id; m_block_hash = hash }
+      | exception _ -> Error "malformed audit mark: bad block_hash hex")
+  | _ -> Error "malformed audit mark: missing block_id/block_hash"
+
+let scan ?(digests = []) db ~from =
+  let dbl = Database.ledger db in
+  let all_blocks = Database_ledger.blocks dbl in
+  let fresh =
+    match from with
+    | None -> all_blocks
+    | Some m ->
+        List.filter
+          (fun (b : Types.block) -> b.block_id > m.m_block_id)
+          all_blocks
+  in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (* Re-anchor the mark itself: the trusted block must still hash to the
+     trusted value. O(1) tamper evidence for the newest verified block
+     even when nothing new closed. *)
+  (match from with
+  | None -> ()
+  | Some m -> (
+      match Database_ledger.find_block dbl ~block_id:m.m_block_id with
+      | None -> add (Verifier.Digest_block_missing { block_id = m.m_block_id })
+      | Some b ->
+          let computed = Database_ledger.block_hash b in
+          if not (String.equal computed m.m_block_hash) then
+            add
+              (Verifier.Digest_mismatch
+                 {
+                   block_id = m.m_block_id;
+                   expected = Hex.encode m.m_block_hash;
+                   computed = Hex.encode computed;
+                 })));
+  (* One entries pass for the whole scan, bucketed by block: steady state
+     audits a handful of new blocks, and re-sorting the ledger per block
+     would turn O(new) into O(new * total). *)
+  let by_block = Hashtbl.create 16 in
+  if fresh <> [] then begin
+    let floor =
+      match from with Some m -> m.m_block_id | None -> min_int
+    in
+    List.iter
+      (fun (e : Types.txn_entry) ->
+        if e.block_id > floor then
+          Hashtbl.replace by_block e.block_id
+            (e
+            :: (match Hashtbl.find_opt by_block e.block_id with
+               | Some l -> l
+               | None -> [])))
+      (Database_ledger.entries dbl)
+  end;
+  let entries_of block_id =
+    match Hashtbl.find_opt by_block block_id with
+    | Some l -> List.rev l
+    | None -> []
+  in
+  let prev =
+    ref (Option.map (fun m -> (m.m_block_id, m.m_block_hash)) from)
+  in
+  let checked = ref 0 in
+  let intact = ref (!violations = []) in
+  List.iter
+    (fun (b : Types.block) ->
+      if !intact then begin
+        (* Link to the trusted prefix first: everything past a broken or
+           missing link is unanchored, so the scan pins the first bad
+           block and stops advancing the mark. *)
+        (match !prev with
+        | None ->
+            if b.block_id <> 0 then begin
+              add (Verifier.Chain_gap { block_id = b.block_id; missing = 0 });
+              intact := false
+            end
+            else if b.prev_hash <> "" then begin
+              add
+                (Verifier.Genesis_prev_not_null
+                   { recorded = Hex.encode b.prev_hash });
+              intact := false
+            end
+        | Some (prev_id, prev_hash) ->
+            if b.block_id <> prev_id + 1 then begin
+              add
+                (Verifier.Chain_gap
+                   { block_id = b.block_id; missing = prev_id + 1 });
+              intact := false
+            end
+            else if not (String.equal b.prev_hash prev_hash) then begin
+              add
+                (Verifier.Chain_broken
+                   {
+                     block_id = b.block_id;
+                     recorded_prev = Hex.encode b.prev_hash;
+                     computed_prev = Hex.encode prev_hash;
+                   });
+              intact := false
+            end);
+        if !intact then begin
+          let entries = entries_of b.block_id in
+          let computed_root =
+            Merkle.Parallel.root (List.map Database_ledger.entry_hash entries)
+          in
+          let actual = List.length entries in
+          if not (String.equal computed_root b.txn_root) then begin
+            add
+              (Verifier.Block_root_mismatch
+                 {
+                   block_id = b.block_id;
+                   recorded = Hex.encode b.txn_root;
+                   computed = Hex.encode computed_root;
+                 });
+            intact := false
+          end
+          else if b.txn_count <> actual then begin
+            add
+              (Verifier.Block_count_mismatch
+                 { block_id = b.block_id; recorded = b.txn_count; actual });
+            intact := false
+          end
+          else begin
+            incr checked;
+            prev := Some (b.block_id, Database_ledger.block_hash b)
+          end
+        end
+      end)
+    fresh;
+  (* Digest anchors: any supplied digest must match the chain as stored.
+     Point lookups, so re-checking the caller's pinned set is cheap. *)
+  List.iter
+    (fun (d : Digest.t) ->
+      if not (String.equal d.database_id (Database_ledger.database_id dbl))
+      then add (Verifier.Digest_foreign { database_id = d.database_id })
+      else
+        match Database_ledger.find_block dbl ~block_id:d.block_id with
+        | None ->
+            add (Verifier.Digest_block_missing { block_id = d.block_id })
+        | Some b ->
+            let computed = Database_ledger.block_hash b in
+            if not (String.equal computed d.block_hash) then
+              add
+                (Verifier.Digest_mismatch
+                   {
+                     block_id = d.block_id;
+                     expected = Hex.encode d.block_hash;
+                     computed = Hex.encode computed;
+                   }))
+    digests;
+  let final_mark =
+    match !prev with
+    | Some (block_id, block_hash) ->
+        Some { m_block_id = block_id; m_block_hash = block_hash }
+    | None -> None
+  in
+  {
+    o_mark = final_mark;
+    o_violations = List.rev !violations;
+    o_blocks_checked = !checked;
+  }
+
+(* The first block a violation implicates — what an auditor reports as
+   "tampering pinned to block N". *)
+let pinned_block o =
+  let block_of = function
+    | Verifier.Digest_block_missing { block_id }
+    | Verifier.Digest_mismatch { block_id; _ }
+    | Verifier.Chain_gap { block_id; _ }
+    | Verifier.Chain_broken { block_id; _ }
+    | Verifier.Block_root_mismatch { block_id; _ }
+    | Verifier.Block_count_mismatch { block_id; _ }
+    | Verifier.Orphan_transaction { block_id; _ } ->
+        Some block_id
+    | Verifier.Genesis_prev_not_null _ -> Some 0
+    | Verifier.Digest_foreign _ | Verifier.Table_root_mismatch _
+    | Verifier.Orphan_row_version _ | Verifier.Index_mismatch _ ->
+        None
+  in
+  List.fold_left
+    (fun acc v ->
+      match (acc, block_of v) with
+      | None, b -> b
+      | Some a, Some b -> Some (min a b)
+      | Some a, None -> Some a)
+    None o.o_violations

@@ -1,0 +1,39 @@
+(** Incremental ledger audit: verify only blocks closed since the last
+    trusted high-water mark.
+
+    An auditor that persists its mark resumes where it stopped — a full
+    {!Verifier.verify} becomes a one-time bootstrap and each subsequent
+    pass costs O(new blocks): recompute entry hashes and the Merkle root
+    of every newly closed block, chain it to the trusted prefix, and
+    re-anchor the mark block itself. Block-level tampering yields the
+    same {!Verifier.violation}s a full verify reports, pinned to the
+    same block.
+
+    Out of scope (bootstrap's job): table/history state against the
+    entries (invariants 4–5), and truncated ledgers (§5.2). *)
+
+type mark = { m_block_id : int; m_block_hash : string (** raw 32 bytes *) }
+(** The trusted high-water mark: the newest block verified clean — the
+    same anchor a {!Digest.t} carries. *)
+
+type outcome = {
+  o_mark : mark option;
+      (** the advanced mark; equals [from] when nothing new closed, and
+          stops at the last clean block when a violation is found *)
+  o_violations : Verifier.violation list;
+  o_blocks_checked : int;  (** blocks freshly verified — never rescans *)
+}
+
+val ok : outcome -> bool
+val mark_of_digest : Digest.t -> mark
+val mark_to_json : mark -> Sjson.t
+val mark_of_json : Sjson.t -> (mark, string) result
+
+val scan : ?digests:Digest.t list -> Database.t -> from:mark option -> outcome
+(** Verify every closed block past [from] ([None] = from genesis), plus
+    the [from] block's own hash and any supplied [digests] as anchors.
+    Stops advancing the mark at the first violation, pinning the first
+    bad block. *)
+
+val pinned_block : outcome -> int option
+(** The lowest block id any violation implicates. *)

@@ -3,11 +3,27 @@ module Lamport = Ledger_crypto.Lamport
 
 type t = {
   entry : Types.txn_entry;
+  leaf : string;  (* the entry's ledger hash — the Merkle leaf proven *)
   proof : Merkle.Proof.t;
   block : Types.block;
   public_key : Lamport.public_key option;
   signature : Lamport.signature option;
 }
+
+type issue_error =
+  | Unknown_txn
+  | Open_block
+  | Inconsistent of string
+
+let issue_error_to_string ~txn_id = function
+  | Unknown_txn ->
+      Printf.sprintf "transaction %d is not in the ledger" txn_id
+  | Open_block ->
+      Printf.sprintf
+        "transaction %d is in the open block; generate a digest to close it \
+         first"
+        txn_id
+  | Inconsistent e -> e
 
 let generate db ~txn_id =
   let dbl = Database.ledger db in
@@ -39,41 +55,120 @@ let generate db ~txn_id =
               | Some (pk, s) -> (Some pk, Some s)
               | None -> (None, None)
             in
-            Ok { entry; proof; block; public_key = pk; signature }
+            Ok
+              {
+                entry;
+                leaf = Database_ledger.entry_hash entry;
+                proof;
+                block;
+                public_key = pk;
+                signature;
+              }
           end)
 
+(* Cached issuance: the block's materialized Merkle tree, entry index and
+   one-time signature come from the ledger's receipt cache, so N receipts
+   against one block share the subtree hashes and a single signing
+   operation instead of rebuilding the tree per request. Produces
+   byte-identical receipts to {!generate} (same entries, same tree shape,
+   same deterministic signature). *)
+let generate_cached db ~txn_id =
+  let dbl = Database.ledger db in
+  match Database_ledger.locate_txn dbl ~txn_id with
+  | None -> Error Unknown_txn
+  | Some entry -> (
+      match Database_ledger.block_proofs dbl ~block_id:entry.block_id with
+      | None -> Error Open_block
+      | Some (block, tree) ->
+          if not (String.equal (Merkle.Tree.root tree) block.txn_root) then
+            Error
+              (Inconsistent "ledger is internally inconsistent; run verification")
+          else if entry.ordinal < 0 || entry.ordinal >= Merkle.Tree.leaf_count tree
+          then
+            Error
+              (Inconsistent "ledger is internally inconsistent; run verification")
+          else
+            let proof = Merkle.Tree.proof tree entry.ordinal in
+            let pk, signature =
+              match
+                Database_ledger.cached_block_signature dbl
+                  ~block_id:block.block_id
+              with
+              | Some (pk, s) -> (Some pk, Some s)
+              | None -> (None, None)
+            in
+            Ok
+              {
+                entry;
+                leaf = Merkle.Tree.leaf tree entry.ordinal;
+                proof;
+                block;
+                public_key = pk;
+                signature;
+              })
+
+(* A committed-but-unprovable transaction: present in the ledger, still in
+   the open block. The batch receipt service reports these as pending so a
+   client retries after the next block close instead of treating them as
+   lost. *)
+let txn_pending db ~txn_id =
+  let dbl = Database.ledger db in
+  match Database_ledger.locate_txn dbl ~txn_id with
+  | None -> false
+  | Some entry -> entry.block_id >= Database_ledger.current_block_id dbl
+
+type failure =
+  | Tampered_row
+  | Bad_path
+  | Wrong_root
+  | Stale_digest
+  | Block_mismatch
+  | Bad_signature
+  | Wrong_key
+  | Malformed of string
+
+let failure_to_string = function
+  | Tampered_row ->
+      "tampered row: the transaction entry does not hash to the receipt's leaf"
+  | Bad_path ->
+      "bad path: the Merkle proof does not connect the transaction to the \
+       block root"
+  | Wrong_root ->
+      "wrong root: the pinned digest's hash does not match the receipt's block"
+  | Stale_digest -> "stale digest: the pinned digest covers a different block"
+  | Block_mismatch -> "receipt entry and block disagree on the block id"
+  | Bad_signature -> "block signature is invalid"
+  | Wrong_key -> "signing key does not match the expected fingerprint"
+  | Malformed e -> "malformed receipt: " ^ e
+
 let verify ?digest ?expected_fingerprint r =
-  let entry_hash = Database_ledger.entry_hash r.entry in
-  if r.entry.block_id <> r.block.block_id then
-    Error "receipt entry and block disagree on the block id"
-  else if
-    not
-      (Merkle.Proof.verify ~root:r.block.txn_root ~leaf:entry_hash r.proof)
-  then Error "Merkle proof does not connect the transaction to the block root"
+  if not (String.equal (Database_ledger.entry_hash r.entry) r.leaf) then
+    Error Tampered_row
+  else if r.entry.block_id <> r.block.block_id then Error Block_mismatch
+  else if not (Merkle.Proof.verify ~root:r.block.txn_root ~leaf:r.leaf r.proof)
+  then Error Bad_path
   else begin
     let block_hash = Database_ledger.block_hash r.block in
     let check_digest () =
       match digest with
       | None -> Ok ()
       | Some (d : Digest.t) ->
-          if d.block_id <> r.block.block_id then
-            Error "digest covers a different block"
+          if d.block_id <> r.block.block_id then Error Stale_digest
           else if not (String.equal d.block_hash block_hash) then
-            Error "digest hash does not match the receipt's block"
+            Error Wrong_root
           else Ok ()
     in
     let check_signature () =
       match (r.public_key, r.signature) with
       | None, None -> Ok ()
       | Some pk, Some s ->
-          if not (Lamport.verify pk ~msg:block_hash s) then
-            Error "block signature is invalid"
+          if not (Lamport.verify pk ~msg:block_hash s) then Error Bad_signature
           else (
             match expected_fingerprint with
             | Some fp when not (String.equal fp (Lamport.fingerprint pk)) ->
-                Error "signing key does not match the expected fingerprint"
+                Error Wrong_key
             | _ -> Ok ())
-      | _ -> Error "receipt has a key without a signature (or vice versa)"
+      | _ -> Error (Malformed "receipt has a key without a signature (or vice versa)")
     in
     match check_digest () with
     | Error _ as e -> e
@@ -95,6 +190,7 @@ let to_json r =
              ("user", Sjson.String e.user);
              ("table_roots", Types.table_roots_to_json e.table_roots);
            ] );
+       ("leaf", Sjson.String (Hex.encode r.leaf));
        ("proof", Merkle.Proof.to_json r.proof);
        ( "block",
          Sjson.Obj
@@ -146,6 +242,13 @@ let of_json json =
         table_roots;
       }
     in
+    (* Receipts predating the leaf field carry the entry hash implicitly:
+       recompute it, exactly as [generate] would have. *)
+    let leaf =
+      match Sjson.member "leaf" json with
+      | Sjson.String s -> Hex.decode s
+      | _ -> Database_ledger.entry_hash entry
+    in
     let proof =
       match Merkle.Proof.of_json (Sjson.member "proof" json) with
       | Some p -> p
@@ -181,9 +284,59 @@ let of_json json =
           | None -> failwith "malformed signature")
       | _ -> None
     in
-    Ok { entry; proof; block; public_key; signature }
+    Ok { entry; leaf; proof; block; public_key; signature }
   with
   | Failure e | Invalid_argument e -> Error ("malformed receipt: " ^ e)
+
+(* Batched wire amortization (§5.1 at production rate). The public key
+   and signature are by far a receipt's largest fields (a Lamport key is
+   16 KiB before hex), and every receipt from one block carries the same
+   pair — so a batch response ships them once per block: receipts
+   travel stripped, next to a per-block key-material table, and the
+   client re-attaches the fields to recover the self-contained
+   single-receipt format byte for byte. *)
+
+let strip_keys r = { r with public_key = None; signature = None }
+
+let key_material r =
+  match (r.public_key, r.signature) with
+  | Some pk, Some s ->
+      Some
+        ( r.block.block_id,
+          Sjson.Obj
+            [
+              ("block_id", Sjson.Int r.block.block_id);
+              ( "public_key",
+                Sjson.String (Hex.encode (Lamport.public_key_to_string pk)) );
+              ( "signature",
+                Sjson.String (Hex.encode (Lamport.signature_to_string s)) );
+            ] )
+  | _ -> None
+
+let inflate_batch ~block_keys receipts =
+  let keys = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+      match (Sjson.member "block_id" k, Sjson.member "public_key" k,
+             Sjson.member "signature" k)
+      with
+      | Sjson.Int b, (Sjson.String _ as pk), (Sjson.String _ as s) ->
+          Hashtbl.replace keys b (pk, s)
+      | _ -> ())
+    block_keys;
+  List.map
+    (fun rj ->
+      match rj with
+      | Sjson.Obj fields when not (List.mem_assoc "public_key" fields) -> (
+          match Sjson.member "block_id" (Sjson.member "block" rj) with
+          | Sjson.Int b -> (
+              match Hashtbl.find_opt keys b with
+              | Some (pk, s) ->
+                  Sjson.Obj (fields @ [ ("public_key", pk); ("signature", s) ])
+              | None -> rj)
+          | _ -> rj)
+      | _ -> rj)
+    receipts
 
 let to_string r = Sjson.to_string ~pretty:true (to_json r)
 

@@ -2,13 +2,16 @@
 
     A receipt proves that a transaction is part of the ledger even if the
     ledger is later tampered with or destroyed: it carries the transaction
-    entry, the Merkle proof connecting the entry's hash to the block's
-    transaction-tree root, the block header, and a signature over the block
-    hash under the block's one-time key. One signing operation per block
-    covers receipts for every transaction in it. *)
+    entry, its ledger hash (the Merkle leaf), the Merkle proof connecting
+    that leaf to the block's transaction-tree root, the block header, and a
+    signature over the block hash under the block's one-time key. One
+    signing operation per block covers receipts for every transaction in
+    it. *)
 
 type t = {
   entry : Types.txn_entry;
+  leaf : string;
+      (** the entry's ledger hash — what the proof connects to the root *)
   proof : Merkle.Proof.t;
   block : Types.block;
   public_key : Ledger_crypto.Lamport.public_key option;
@@ -16,21 +19,75 @@ type t = {
 }
 
 val generate : Database.t -> txn_id:int -> (t, string) result
-(** The transaction must already be in a closed block (generate a digest
-    first to close the current block). Includes a signature when the
-    database was created with a signing seed. *)
+(** Uncached reference path: rebuilds the block's Merkle tree and re-signs
+    on every call. The transaction must already be in a closed block
+    (generate a digest first to close the current block). Includes a
+    signature when the database was created with a signing seed. *)
+
+type issue_error =
+  | Unknown_txn  (** no such transaction in the ledger *)
+  | Open_block
+      (** committed but still in the open block: retry after a block
+          close (a digest, or the block filling up) *)
+  | Inconsistent of string
+      (** the ledger itself fails its root check; run verification *)
+
+val issue_error_to_string : txn_id:int -> issue_error -> string
+
+val generate_cached : Database.t -> txn_id:int -> (t, issue_error) result
+(** Production path: serves the receipt from the ledger's per-block
+    receipt cache (materialized Merkle tree, txn index, amortized block
+    signature), so N receipts from one block share the common subtree
+    hashes and a single signing operation. Byte-identical output to
+    {!generate}. *)
+
+val txn_pending : Database.t -> txn_id:int -> bool
+(** True when the transaction is committed but still in the open block —
+    a receipt for it becomes available at the next block close. *)
+
+(** Typed offline-verification failures, ordered by what they implicate:
+    the row payload, the proof path, the pinned trust anchor, or the
+    receipt document itself. *)
+type failure =
+  | Tampered_row  (** the entry does not hash to the receipt's leaf *)
+  | Bad_path  (** the proof does not connect the leaf to the block root *)
+  | Wrong_root  (** the pinned digest's hash differs from the block's *)
+  | Stale_digest  (** the pinned digest covers a different block *)
+  | Block_mismatch  (** entry and block header disagree on the block id *)
+  | Bad_signature  (** the Lamport signature fails over the block hash *)
+  | Wrong_key  (** the signing key differs from the expected fingerprint *)
+  | Malformed of string  (** structurally invalid receipt *)
+
+val failure_to_string : failure -> string
 
 val verify :
   ?digest:Digest.t ->
   ?expected_fingerprint:string ->
   t ->
-  (unit, string) result
+  (unit, failure) result
 (** Standalone verification, requiring no database: recomputes the entry
-    hash, replays the Merkle proof against the block's transaction root, and
-    recomputes the block hash. When present, the signature is checked
-    against the included public key; [expected_fingerprint] additionally
-    pins that key. [digest] anchors the block hash to an externally stored
-    digest of the same block. *)
+    hash against the leaf, replays the Merkle proof against the block's
+    transaction root, and recomputes the block hash. When present, the
+    signature is checked against the included public key;
+    [expected_fingerprint] additionally pins that key. [digest] anchors
+    the block hash to an externally stored digest of the same block. *)
+
+val strip_keys : t -> t
+(** The receipt without its key material — what a batched response sends
+    per receipt, next to one {!key_material} entry per block. *)
+
+val key_material : t -> (int * Sjson.t) option
+(** [(block_id, {block_id; public_key; signature})] for a signed receipt:
+    the per-block fields a batched response carries once instead of per
+    receipt (a Lamport public key dwarfs the rest of the receipt).
+    [None] for unsigned receipts. *)
+
+val inflate_batch : block_keys:Sjson.t list -> Sjson.t list -> Sjson.t list
+(** Re-attach batched-away key material: each stripped receipt JSON whose
+    block appears in [block_keys] gains that block's public_key and
+    signature fields again, restoring the self-contained single-receipt
+    format byte for byte. Receipts that already carry keys, or whose
+    block has no entry, pass through unchanged. *)
 
 val to_json : t -> Sjson.t
 val of_json : Sjson.t -> (t, string) result

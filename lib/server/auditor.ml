@@ -1,0 +1,208 @@
+(* The incremental audit daemon: a replication client that verifies each
+   newly closed block as it streams in, against the last trusted
+   high-water mark.
+
+   The daemon is a read-only follower built from the same parts as a
+   replica node — {!Repl.Client} materialises the primary's state in a
+   local directory — but instead of serving reads it audits. After every
+   applied batch it runs {!Sql_ledger.Incremental_audit.scan} from its
+   persisted mark: only blocks closed since the mark are re-hashed, the
+   mark block itself is re-anchored (O(1) tamper evidence for the
+   verified prefix), and the advanced mark is written atomically to
+   [audit.json] in the daemon's directory. A SIGKILL therefore costs
+   nothing: the restarted daemon resumes from the persisted mark instead
+   of rescanning history.
+
+   The one-time bootstrap — the first run, before any mark exists — is a
+   full {!Sql_ledger.Verifier.verify}: invariants the incremental path
+   delegates to it (table/history state against the entries, indexes)
+   are checked once, then the mark takes over.
+
+   A violation is terminal. The daemon stops streaming, keeps the
+   verdict (violations plus the pinned block), and {!run} returns it; it
+   never advances the mark past a bad block, so a restart re-detects the
+   same tampering. *)
+
+open Sql_ledger
+module Audit_mark = Trusted_store.Audit_mark
+
+let mark_file = "audit.json"
+let mark_path ~dir = Filename.concat dir mark_file
+
+type verdict = {
+  v_violations : Verifier.violation list;
+  v_pinned_block : int option;
+}
+
+type t = {
+  client : Repl.Client.t;
+  path : string;  (* persisted mark *)
+  log : string -> unit;
+  mu : Mutex.t;
+  mutable mark : Incremental_audit.mark option;
+  mutable bootstrapped : bool;
+  mutable blocks_checked : int;  (* freshly verified blocks, this process *)
+  mutable scans : int;
+  mutable verdict : verdict option;
+}
+
+let client t = t.client
+let verdict t = Mutex.protect t.mu (fun () -> t.verdict)
+let mark t = Mutex.protect t.mu (fun () -> t.mark)
+let blocks_checked t = Mutex.protect t.mu (fun () -> t.blocks_checked)
+let stop t = Repl.Client.stop t.client
+
+let metric_lines t =
+  Mutex.protect t.mu (fun () ->
+      [
+        Printf.sprintf "sqlledger_audit_mark_block %d"
+          (match t.mark with Some m -> m.Incremental_audit.m_block_id | None -> -1);
+        Printf.sprintf "sqlledger_audit_blocks_checked_total %d" t.blocks_checked;
+        Printf.sprintf "sqlledger_audit_scans_total %d" t.scans;
+        Printf.sprintf "sqlledger_audit_tampered %d"
+          (match t.verdict with Some _ -> 1 | None -> 0);
+      ]
+      @ Repl.Client.metric_lines t.client)
+
+let create ?(log = fun _ -> ()) ?(bootstrap = false) ~primary_host
+    ~primary_port ~dir () =
+  match Repl.Client.open_dir ~primary_host ~primary_port ~dir () with
+  | Error e -> Error e
+  | Ok client -> (
+      let path = mark_path ~dir in
+      let persisted =
+        if bootstrap then Ok None else Audit_mark.load ~path
+      in
+      match persisted with
+      | Error e ->
+          Repl.Client.close client;
+          Error e
+      | Ok persisted ->
+          let mark =
+            Option.map (fun (m : Audit_mark.t) -> m.Audit_mark.mark) persisted
+          in
+          (match mark with
+          | Some m ->
+              log
+                (Printf.sprintf
+                   "audit: resuming from persisted mark (block %d); skipping \
+                    the verified prefix"
+                   m.Incremental_audit.m_block_id)
+          | None -> log "audit: no persisted mark; full bootstrap verify ahead");
+          Ok
+            {
+              client;
+              path;
+              log;
+              mu = Mutex.create ();
+              mark;
+              (* A persisted mark proves a past bootstrap completed. *)
+              bootstrapped = mark <> None;
+              blocks_checked = 0;
+              scans = 0;
+              verdict = None;
+            })
+
+let record_violations t (violations : Verifier.violation list) ~pinned =
+  List.iter
+    (fun v -> t.log ("audit: " ^ Verifier.violation_to_string v))
+    violations;
+  (match pinned with
+  | Some b -> t.log (Printf.sprintf "audit: TAMPERING DETECTED at block %d" b)
+  | None -> t.log "audit: TAMPERING DETECTED");
+  t.verdict <- Some { v_violations = violations; v_pinned_block = pinned }
+
+(* One audit pass over the materialised database. Caller holds [t.mu].
+   Returns [`Stop] when a violation ends the stream. *)
+let audit_locked t =
+  match Repl.Client.database t.client with
+  | None -> `Continue  (* nothing materialised yet *)
+  | Some db ->
+      if t.verdict <> None then `Stop
+      else begin
+        let bootstrap_ok =
+          if t.bootstrapped then true
+          else begin
+            let report = Verifier.verify db ~digests:[] in
+            t.blocks_checked <- t.blocks_checked + report.Verifier.blocks_checked;
+            if Verifier.ok report then begin
+              t.log
+                (Printf.sprintf
+                   "audit: bootstrap verify OK (%d blocks, %d transactions, \
+                    %d row versions)"
+                   report.Verifier.blocks_checked
+                   report.Verifier.transactions_checked
+                   report.Verifier.versions_checked);
+              t.bootstrapped <- true;
+              true
+            end
+            else begin
+              record_violations t report.Verifier.violations
+                ~pinned:
+                  (Incremental_audit.pinned_block
+                     {
+                       Incremental_audit.o_mark = None;
+                       o_violations = report.Verifier.violations;
+                       o_blocks_checked = report.Verifier.blocks_checked;
+                     });
+              false
+            end
+          end
+        in
+        if not bootstrap_ok then `Stop
+        else begin
+          let outcome = Incremental_audit.scan db ~from:t.mark in
+          t.scans <- t.scans + 1;
+          t.blocks_checked <-
+            t.blocks_checked + outcome.Incremental_audit.o_blocks_checked;
+          if not (Incremental_audit.ok outcome) then begin
+            (* The mark stops at the last clean block; persist that, not
+               the bad one, so a restart re-detects the tampering. *)
+            record_violations t outcome.Incremental_audit.o_violations
+              ~pinned:(Incremental_audit.pinned_block outcome);
+            `Stop
+          end
+          else begin
+            (match outcome.Incremental_audit.o_mark with
+            | Some m
+              when Some m.Incremental_audit.m_block_id
+                   <> Option.map
+                        (fun (x : Incremental_audit.mark) -> x.m_block_id)
+                        t.mark ->
+                t.mark <- Some m;
+                Audit_mark.save ~path:t.path m;
+                t.log
+                  (Printf.sprintf
+                     "audit: verified %d new block(s); mark -> block %d"
+                     outcome.Incremental_audit.o_blocks_checked
+                     m.Incremental_audit.m_block_id)
+            | _ -> ());
+            `Continue
+          end
+        end
+      end
+
+(* Stream from the primary, auditing after every applied batch. Blocks
+   until the client stops: operator request ({!stop}), a fatal
+   replication error, or a violation. Returns the verdict ([None] =
+   everything seen so far verified clean). *)
+let run t =
+  let with_write f =
+    Mutex.protect t.mu (fun () ->
+        let r = f () in
+        (match audit_locked t with
+        | `Continue -> ()
+        | `Stop -> Repl.Client.stop t.client);
+        r)
+  in
+  (* Audit what the directory already holds before the first batch (a
+     restarted daemon may be killed again before the primary sends
+     anything new). *)
+  Mutex.protect t.mu (fun () ->
+      match audit_locked t with
+      | `Continue -> ()
+      | `Stop -> Repl.Client.stop t.client);
+  Repl.Client.run t.client ~with_write;
+  verdict t
+
+let close t = Repl.Client.close t.client

@@ -340,9 +340,12 @@ let rows_of_rel rel =
       rows = List.map Relation.Row.to_list rel.Sqlexec.Rel.rows;
     }
 
-let result_to_response = function
+(* [txn_id] is the autocommitted statement's transaction id when the
+   group-commit path staged one — returned so the client can fetch the
+   transaction's receipt later without a lookup query. *)
+let result_to_response ?txn_id = function
   | Dml.Rows rel -> rows_of_rel rel
-  | Dml.Affected n -> Protocol.Affected_r n
+  | Dml.Affected n -> Protocol.Affected_r { rows = n; txn_id }
 
 (* Engine exceptions -> typed wire errors. Fault-injection exceptions
    must keep propagating: the session loop owns crash semantics. *)
@@ -403,9 +406,10 @@ let exec_sql t s sql =
                   let ticket =
                     Option.map
                       (fun (st : Dml.staged) ->
-                        Commit_queue.enqueue q ~entry:st.staged_entry
-                          ~records:st.staged_records
-                          ~snapshot:(Database.snapshot (db t)))
+                        ( Commit_queue.enqueue q ~entry:st.staged_entry
+                            ~records:st.staged_records
+                            ~snapshot:(Database.snapshot (db t)),
+                          st.staged_entry.Types.txn_id ))
                       staged
                   in
                   Ok (result, ticket)
@@ -415,8 +419,10 @@ let exec_sql t s sql =
               (match outcome with
               | Error e -> raise e
               | Ok (result, ticket) ->
-                  Option.iter (Commit_queue.await q) ticket;
-                  result_to_response result)))
+                  Option.iter (fun (ticket, _) -> Commit_queue.await q ticket)
+                    ticket;
+                  let txn_id = Option.map snd ticket in
+                  result_to_response ?txn_id result)))
 
 let query_sql t s sql =
   guard t (fun () ->
@@ -504,9 +510,61 @@ let generate_digest t s =
 let generate_receipt t s ~txn_id =
   guard t (fun () ->
       with_read t s (fun view ->
-          match Receipt.generate view ~txn_id with
+          match Receipt.generate_cached view ~txn_id with
           | Ok r -> Protocol.Receipt_r (Receipt.to_json r)
-          | Error e -> err Protocol.Exec_error "%s" e))
+          | Error e ->
+              err Protocol.Exec_error "%s"
+                (Receipt.issue_error_to_string ~txn_id e)))
+
+(* Batching bounds the response frame and keeps one slow request from
+   monopolizing a read slot; a client with more ids splits the batch. *)
+let max_receipt_batch = 256
+
+let generate_receipts t s ~txn_ids =
+  if List.length txn_ids > max_receipt_batch then
+    err Protocol.Bad_request "receipts batch exceeds %d transactions"
+      max_receipt_batch
+  else
+    guard t (fun () ->
+        with_read t s (fun view ->
+            (* One pass over the batch against a single frozen view: ids
+               from the same block hit the cached tree and amortized
+               signature; open-block ids are reported as pending, not
+               errors, so a client can retry them after the next close.
+               Receipts travel key-stripped, with each block's public
+               key and signature carried once in [block_keys] — the key
+               pair dwarfs the rest of the receipt, so a batch from one
+               block costs one copy of it, not one per transaction. *)
+            let seen_blocks = Hashtbl.create 8 in
+            let rec go receipts pending keys = function
+              | [] ->
+                  Protocol.Receipts_r
+                    {
+                      receipts = List.rev receipts;
+                      pending = List.rev pending;
+                      block_keys = List.rev keys;
+                    }
+              | txn_id :: rest -> (
+                  match Receipt.generate_cached view ~txn_id with
+                  | Ok r ->
+                      let keys =
+                        match Receipt.key_material r with
+                        | Some (block_id, km)
+                          when not (Hashtbl.mem seen_blocks block_id) ->
+                            Hashtbl.replace seen_blocks block_id ();
+                            km :: keys
+                        | _ -> keys
+                      in
+                      go
+                        (Receipt.to_json (Receipt.strip_keys r) :: receipts)
+                        pending keys rest
+                  | Error Receipt.Open_block ->
+                      go receipts (txn_id :: pending) keys rest
+                  | Error e ->
+                      err Protocol.Exec_error "%s"
+                        (Receipt.issue_error_to_string ~txn_id e))
+            in
+            go [] [] [] txn_ids))
 
 let run_verify t s ~tables ~digest_jsons =
   let rec parse acc = function
@@ -820,6 +878,7 @@ let dispatch t s req =
   | Protocol.Rollback -> (end_txn t s ~commit:false, `Keep)
   | Protocol.Digest -> (generate_digest t s, `Keep)
   | Protocol.Receipt { txn_id } -> (generate_receipt t s ~txn_id, `Keep)
+  | Protocol.Receipts { txn_ids } -> (generate_receipts t s ~txn_ids, `Keep)
   | Protocol.Verify { tables; digests } ->
       (run_verify t s ~tables ~digest_jsons:digests, `Keep)
   | Protocol.Create_table { name; columns; key } ->

@@ -58,6 +58,14 @@ type config = {
   max_queue_depth : int;
       (** cap on staged commits waiting for the group-commit leader;
           same shedding behaviour. 0 = unlimited *)
+  block_size : int option;
+      (** ledger block capacity passed to {!Durable.open_dir} when the
+          server creates the database; [None] = the library default.
+          Small blocks close often, which is what receipt issuance and
+          the audit daemon feed on *)
+  signing_seed : string option;
+      (** deterministic Lamport key-chain seed for block signatures;
+          [None] = unsigned blocks *)
 }
 
 let default_config =
@@ -74,6 +82,8 @@ let default_config =
     heartbeat_interval = 1.0;
     max_inflight = 0;
     max_queue_depth = 0;
+    block_size = None;
+    signing_seed = None;
   }
 
 type t = {
@@ -146,7 +156,11 @@ let start ?(config = default_config) () =
              before serving it as a primary"
             config.dir config.dir))
   else
-    match Durable.open_dir ~dir:config.dir ~name:config.db_name () with
+    match
+      Durable.open_dir ?block_size:config.block_size
+        ?signing_seed:config.signing_seed ~dir:config.dir
+        ~name:config.db_name ()
+    with
     | Error e -> Error (Startup e)
     | Ok durable -> (
         match bind_listen config with

@@ -830,9 +830,12 @@ let ensure_begun t s parts i =
     | Error m -> Error m
 
 let affected_of = function
-  | Protocol.Affected_r n -> Some n
+  | Protocol.Affected_r { rows; _ } -> Some rows
   | Protocol.Rows_r _ | Protocol.Ok_r -> Some 0
   | _ -> None
+
+(* Cross-shard totals have no single transaction id to report. *)
+let affected_r total = Protocol.Affected_r { rows = total; txn_id = None }
 
 (* Run [stmts] (one per shard) transactionally across their shards:
    inside an explicit txn just fold them into it; in auto-commit wrap
@@ -864,14 +867,14 @@ let exec_transactional t s stmts =
       match run parts with
       | Ok (parts, total) ->
           s.txn <- Some parts;
-          Protocol.Affected_r total
+          affected_r total
       | Error m ->
           (* The statement failed mid-transaction; the client decides
              whether to roll back, exactly as on a single node. *)
           err Protocol.Exec_error "%s" m)
   | None -> (
       match run [] with
-      | Ok ([], total) -> Protocol.Affected_r total
+      | Ok ([], total) -> affected_r total
       | Ok (parts, total) -> (
           if List.length parts = 1 then (
             (* One shard after all: plain commit, no 2PC. *)
@@ -879,14 +882,14 @@ let exec_transactional t s stmts =
             match scall t s i Protocol.Commit with
             | Ok (Protocol.Txn_r _) ->
                 bump t (fun c -> c.c_1pc <- c.c_1pc + 1);
-                Protocol.Affected_r total
+                affected_r total
             | Ok (Protocol.Error_r { message; _ }) ->
                 err Protocol.Exec_error "shard %d: %s" i message
             | Ok _ -> err Protocol.Internal "shard %d: unexpected reply" i
             | Error m -> err Protocol.Internal "%s" m)
           else
             match two_phase_commit t s parts with
-            | Ok () -> Protocol.Affected_r total
+            | Ok () -> affected_r total
             | Error m ->
                 err Protocol.Exec_error "transaction aborted: %s" m)
       | Error m ->
@@ -1292,7 +1295,7 @@ let handle t s ~map_epoch req =
       in
       (go (all_shards t), `Keep)
   | Protocol.Stats -> (Protocol.Stats_r (stats_lines t), `Keep)
-  | Protocol.Receipt _ ->
+  | Protocol.Receipt _ | Protocol.Receipts _ ->
       ( err Protocol.Bad_request
           "receipts are per shard (transaction ids are shard-local); fetch \
            the shard map and ask the owning shard",

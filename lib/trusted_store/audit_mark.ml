@@ -1,0 +1,56 @@
+(* Persisted auditor high-water mark.
+
+   The audit daemon's only durable state: the newest block it verified
+   clean, as (block id, block hash) plus the wall-clock time it advanced.
+   Restarting the daemon resumes from this mark instead of re-walking the
+   chain — a full verify stays a one-time bootstrap. Written atomically
+   (tmp + rename) like the WORM mirror: a crash mid-save must not leave a
+   torn mark that silently resets the auditor to genesis. *)
+
+module Incremental_audit = Sql_ledger.Incremental_audit
+
+let points = "audit.mark"
+let () = Fault.Fsutil.register_atomic_points points
+
+type t = { mark : Incremental_audit.mark; updated : float }
+
+let to_json t =
+  Sjson.Obj
+    [
+      ("mark", Incremental_audit.mark_to_json t.mark);
+      ("updated", Sjson.Float t.updated);
+    ]
+
+let of_json json =
+  match Incremental_audit.mark_of_json (Sjson.member "mark" json) with
+  | Error _ as e -> e
+  | Ok mark ->
+      let updated =
+        match Sjson.member "updated" json with
+        | Sjson.Float f -> f
+        | Sjson.Int i -> float_of_int i
+        | _ -> 0.
+      in
+      Ok { mark; updated }
+
+let save ?(clock = Unix.gettimeofday) ~path mark =
+  Fault.Fsutil.atomic_write ~point_prefix:points ~path
+    (Sjson.to_string (to_json { mark; updated = clock () }))
+
+(* [Ok None] = no mark yet (first run): bootstrap. A present-but-broken
+   mark is an error, not a silent bootstrap — resetting to genesis on
+   corruption would let an attacker force rescans (or worse, hide a
+   tampered prefix behind a fresh mark of their choosing). *)
+let load ~path =
+  if not (Sys.file_exists path) then Ok None
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error e -> Error e
+    | contents -> (
+        match Sjson.of_string contents with
+        | exception Sjson.Parse_error e ->
+            Error (Printf.sprintf "audit mark %s is not JSON: %s" path e)
+        | json -> (
+            match of_json json with
+            | Ok t -> Ok (Some t)
+            | Error e -> Error e))

@@ -1,0 +1,20 @@
+(** Persisted auditor high-water mark: the newest block the audit daemon
+    verified clean, written atomically so restarts resume instead of
+    rescanning (full verify stays a one-time bootstrap). *)
+
+type t = { mark : Sql_ledger.Incremental_audit.mark; updated : float }
+
+val to_json : t -> Sjson.t
+val of_json : Sjson.t -> (t, string) result
+
+val save :
+  ?clock:(unit -> float) ->
+  path:string ->
+  Sql_ledger.Incremental_audit.mark ->
+  unit
+(** Atomic write (tmp + rename). *)
+
+val load : path:string -> (t option, string) result
+(** [Ok None] when no mark exists yet (first run → bootstrap). A
+    present-but-unreadable mark is an [Error], never a silent reset to
+    genesis. *)

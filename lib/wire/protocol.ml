@@ -94,6 +94,13 @@ type request =
   | Rollback
   | Digest  (** close the open block and return a signed digest *)
   | Receipt of { txn_id : int }
+  | Receipts of { txn_ids : int list }
+      (** batch receipt fetch: one round trip for many transactions.
+          Served from the per-block receipt cache, so receipts from the
+          same block share subtree hashes and one block signature.
+          Transactions still in the open block come back in the
+          response's [pending] list — retry them after the next block
+          close — rather than failing the batch. *)
   | Verify of { tables : string list; digests : Sjson.t list }
   | Create_table of {
       name : string;
@@ -132,6 +139,7 @@ let request_kind = function
   | Rollback -> "rollback"
   | Digest -> "digest"
   | Receipt _ -> "receipt"
+  | Receipts _ -> "receipts"
   | Verify _ -> "verify"
   | Create_table _ -> "create_table"
   | Checkpoint -> "checkpoint"
@@ -147,6 +155,8 @@ let request_fields = function
       [ ("version", Sjson.Int version); ("client", Sjson.String client) ]
   | Exec { sql } | Query { sql } -> [ ("sql", Sjson.String sql) ]
   | Receipt { txn_id } -> [ ("txn_id", Sjson.Int txn_id) ]
+  | Receipts { txn_ids } ->
+      [ ("txn_ids", Sjson.List (List.map (fun i -> Sjson.Int i) txn_ids)) ]
   | Subscribe { from_lsn; replica_id } ->
       [
         ("from_lsn", Sjson.Int from_lsn);
@@ -193,9 +203,22 @@ type response =
   | Ok_r  (** generic success (create_table, checkpoint) *)
   | Txn_r of { txn_id : int option }  (** begin/commit/rollback outcome *)
   | Rows_r of { columns : string list; rows : Value.t list list }
-  | Affected_r of int
+  | Affected_r of { rows : int; txn_id : int option }
+      (** [txn_id] is the autocommitted statement's transaction id (when
+          the server runs group commit), so a client can later fetch the
+          transaction's receipt without a separate query *)
   | Digest_r of Sjson.t  (** canonical digest document *)
   | Receipt_r of Sjson.t  (** canonical receipt document *)
+  | Receipts_r of {
+      receipts : Sjson.t list;
+          (* key-stripped when [block_keys] is non-empty: a batch from
+             one block shares its public key and signature *)
+      pending : int list;
+      block_keys : Sjson.t list;
+          (* per-block {block_id; public_key; signature}, carried once *)
+    }
+      (** receipts for the closed-block transactions of a [Receipts]
+          batch; [pending] lists the ids still in the open block *)
   | Verify_r of verify_summary
   | Stats_r of string list  (** one plain-text metric per line *)
   | Subscribed of { last_lsn : int }
@@ -230,6 +253,7 @@ let response_kind = function
   | Affected_r _ -> "affected"
   | Digest_r _ -> "digest"
   | Receipt_r _ -> "receipt"
+  | Receipts_r _ -> "receipts"
   | Verify_r _ -> "verify"
   | Stats_r _ -> "stats"
   | Subscribed _ -> "subscribed"
@@ -256,9 +280,20 @@ let response_fields = function
                (fun row -> Sjson.List (List.map Value.to_tagged_json row))
                rows) );
       ]
-  | Affected_r n -> [ ("affected", Sjson.Int n) ]
+  | Affected_r { rows; txn_id } -> (
+      ("affected", Sjson.Int rows)
+      ::
+      (match txn_id with
+      | Some i -> [ ("txn_id", Sjson.Int i) ]
+      | None -> []))
   | Digest_r j -> [ ("digest", j) ]
   | Receipt_r j -> [ ("receipt", j) ]
+  | Receipts_r { receipts; pending; block_keys } ->
+      [
+        ("receipts", Sjson.List receipts);
+        ("pending", Sjson.List (List.map (fun i -> Sjson.Int i) pending));
+        ("block_keys", Sjson.List block_keys);
+      ]
   | Verify_r v ->
       [
         ("ok", Sjson.Bool v.vs_ok);
@@ -407,6 +442,19 @@ let decode_request payload =
         | "receipt" ->
             let* txn_id = int_field "txn_id" obj in
             Ok (Receipt { txn_id })
+        | "receipts" ->
+            let* txn_ids =
+              match Sjson.member "txn_ids" obj with
+              | Sjson.List items ->
+                  let rec go acc = function
+                    | [] -> Ok (List.rev acc)
+                    | Sjson.Int i :: rest -> go (i :: acc) rest
+                    | _ -> Error "field \"txn_ids\" must be a list of ints"
+                  in
+                  go [] items
+              | _ -> Error "missing field \"txn_ids\""
+            in
+            Ok (Receipts { txn_ids })
         | "verify" ->
             let* tables = string_list "tables" obj in
             let digests =
@@ -506,9 +554,38 @@ let decode_response payload =
             Ok (Rows_r { columns; rows })
         | "affected" ->
             let* n = int_field "affected" obj in
-            Ok (Affected_r n)
+            let txn_id =
+              match Sjson.member "txn_id" obj with
+              | Sjson.Int i -> Some i
+              | _ -> None
+            in
+            Ok (Affected_r { rows = n; txn_id })
         | "digest" -> Ok (Digest_r (Sjson.member "digest" obj))
         | "receipt" -> Ok (Receipt_r (Sjson.member "receipt" obj))
+        | "receipts" ->
+            let receipts =
+              match Sjson.member "receipts" obj with
+              | Sjson.List items -> items
+              | _ -> []
+            in
+            let* pending =
+              match Sjson.member "pending" obj with
+              | Sjson.Null -> Ok []
+              | Sjson.List items ->
+                  let rec go acc = function
+                    | [] -> Ok (List.rev acc)
+                    | Sjson.Int i :: rest -> go (i :: acc) rest
+                    | _ -> Error "field \"pending\" must be a list of ints"
+                  in
+                  go [] items
+              | _ -> Error "field \"pending\" must be a list"
+            in
+            let block_keys =
+              match Sjson.member "block_keys" obj with
+              | Sjson.List items -> items
+              | _ -> []
+            in
+            Ok (Receipts_r { receipts; pending; block_keys })
         | "verify" ->
             let* blocks = int_field "blocks" obj in
             let* transactions = int_field "transactions" obj in

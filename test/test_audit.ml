@@ -1,0 +1,305 @@
+(* Incremental audit, proven differentially against the full verifier:
+   on seeded mixed workloads the incremental auditor must reach the same
+   verdict (and the same trusted anchor) as a from-scratch
+   [Verifier.verify], and when a historical block is tampered with, both
+   must pin the same block.
+
+   Seeded: set AUDIT_SEED / AUDIT_TRIALS to reproduce or widen a run. *)
+
+open Sql_ledger
+open Testkit
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some i -> i | None -> default)
+  | None -> default
+
+(* ------------------------------------------------------------------ *)
+(* Seeded mixed workload over a fresh ledger database. *)
+
+type world = {
+  db : Database.t;
+  accounts : Ledger_table.t;
+  mutable live : string list;  (* keys currently present *)
+  mutable next_key : int;
+}
+
+let make_world rng trial =
+  let block_size = 1 + Random.State.int rng 8 in
+  let db =
+    if Random.State.bool rng then
+      make_db ~block_size
+        ~signing_seed:(Printf.sprintf "audit-seed-%d" trial)
+        (Printf.sprintf "audit-%d" trial)
+    else make_db ~block_size (Printf.sprintf "audit-%d" trial)
+  in
+  let accounts = make_accounts db in
+  { db; accounts; live = []; next_key = 0 }
+
+let step rng w =
+  let roll = Random.State.int rng 100 in
+  if roll < 60 || w.live = [] then begin
+    w.next_key <- w.next_key + 1;
+    let key = Printf.sprintf "k%04d" w.next_key in
+    ignore (insert_account w.db w.accounts key (Random.State.int rng 1000));
+    w.live <- key :: w.live
+  end
+  else
+    let victim = List.nth w.live (Random.State.int rng (List.length w.live)) in
+    if roll < 85 then
+      ignore (update_account w.db w.accounts victim (Random.State.int rng 1000))
+    else begin
+      ignore (delete_account w.db w.accounts victim);
+      w.live <- List.filter (fun k -> k <> victim) w.live
+    end
+
+(* The differential harness: interleave workload steps, digest
+   generation and incremental scans; at the end the incremental verdict,
+   the advanced mark and the full verifier must all agree. *)
+let run_clean_trial rng trial =
+  let w = make_world rng trial in
+  let steps = 15 + Random.State.int rng 25 in
+  let digests = ref [] in
+  let mark = ref None in
+  let checked = ref 0 in
+  let ctx = Printf.sprintf "trial %d" trial in
+  for _ = 1 to steps do
+    step rng w;
+    if Random.State.int rng 100 < 25 then
+      Option.iter (fun d -> digests := d :: !digests)
+        (Database.generate_digest w.db);
+    if Random.State.int rng 100 < 30 then begin
+      let o = Incremental_audit.scan ~digests:!digests w.db ~from:!mark in
+      if not (Incremental_audit.ok o) then
+        Alcotest.failf "%s: incremental violation on a clean ledger: %s" ctx
+          (String.concat "; "
+             (List.map Verifier.violation_to_string
+                o.Incremental_audit.o_violations));
+      checked := !checked + o.Incremental_audit.o_blocks_checked;
+      mark := o.Incremental_audit.o_mark
+    end
+  done;
+  (* Close the tail so the final anchors are comparable. *)
+  let final_digest =
+    match Database.generate_digest w.db with
+    | Some d ->
+        digests := d :: !digests;
+        d
+    | None -> Alcotest.failf "%s: no final digest" ctx
+  in
+  let o = Incremental_audit.scan ~digests:!digests w.db ~from:!mark in
+  Alcotest.(check bool) (ctx ^ ": final incremental ok") true
+    (Incremental_audit.ok o);
+  checked := !checked + o.Incremental_audit.o_blocks_checked;
+  let final_mark =
+    match o.Incremental_audit.o_mark with
+    | Some m -> m
+    | None -> Alcotest.failf "%s: no mark after a digest closed a block" ctx
+  in
+  (* Differential: the full verifier agrees the ledger is clean... *)
+  let report = Verifier.verify w.db ~digests:!digests in
+  Alcotest.(check bool) (ctx ^ ": full verify ok") true (Verifier.ok report);
+  (* ...the incremental pass covered every block exactly once... *)
+  Alcotest.(check int) (ctx ^ ": blocks checked once each")
+    report.Verifier.blocks_checked !checked;
+  (* ...and both trust the same final anchor: the incremental mark IS the
+     digest the full verifier anchored to. *)
+  Alcotest.(check int) (ctx ^ ": mark block")
+    final_digest.Digest.block_id final_mark.Incremental_audit.m_block_id;
+  Alcotest.(check string) (ctx ^ ": mark hash")
+    (Ledger_crypto.Hex.encode final_digest.Digest.block_hash)
+    (Ledger_crypto.Hex.encode final_mark.Incremental_audit.m_block_hash)
+
+let test_differential_clean () =
+  let seed = env_int "AUDIT_SEED" 0xA0D17 in
+  let trials = env_int "AUDIT_TRIALS" 10 in
+  let rng = Random.State.make [| seed |] in
+  for trial = 1 to trials do
+    run_clean_trial rng trial
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Tampering: both auditors pin the same historical block. *)
+
+let pinned_of_report (report : Verifier.report) =
+  Incremental_audit.pinned_block
+    {
+      Incremental_audit.o_mark = None;
+      o_violations = report.Verifier.violations;
+      o_blocks_checked = report.Verifier.blocks_checked;
+    }
+
+let run_tamper_trial rng trial =
+  let w = make_world rng trial in
+  let digests = ref [] in
+  for _ = 1 to 25 do
+    step rng w;
+    if Random.State.int rng 100 < 25 then
+      Option.iter (fun d -> digests := d :: !digests)
+        (Database.generate_digest w.db)
+  done;
+  Option.iter (fun d -> digests := d :: !digests)
+    (Database.generate_digest w.db);
+  (* Flush queued entries into the system table so the attack below can
+     overwrite them in storage. *)
+  Database.checkpoint w.db;
+  let ctx = Printf.sprintf "tamper trial %d" trial in
+  (* A clean incremental pass first: its mark is the pre-attack trust
+     anchor a restarted auditor would resume from. *)
+  let clean = Incremental_audit.scan ~digests:!digests w.db ~from:None in
+  Alcotest.(check bool) (ctx ^ ": clean before attack") true
+    (Incremental_audit.ok clean);
+  let mark = clean.Incremental_audit.o_mark in
+  let blocks = Database_ledger.blocks (Database.ledger w.db) in
+  let victim =
+    let b = List.nth blocks (Random.State.int rng (List.length blocks)) in
+    b.Types.block_id
+  in
+  let attack =
+    if Random.State.bool rng then Tamper.Fork_chain { block_id = victim }
+    else begin
+      (* Falsify who ran a transaction inside the victim block; the
+         entry hash changes, so the block root no longer matches. *)
+      let entries =
+        Database_ledger.entries_of_block (Database.ledger w.db)
+          ~block_id:victim
+      in
+      let e = List.nth entries (Random.State.int rng (List.length entries)) in
+      Tamper.Rewrite_transaction_user
+        { txn_id = e.Types.txn_id; user = "mallory" }
+    end
+  in
+  (match Tamper.apply w.db attack with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: attack failed: %s" ctx e);
+  (* Bootstrap-mode incremental scan and full verify pin the same block. *)
+  let o = Incremental_audit.scan ~digests:!digests w.db ~from:None in
+  Alcotest.(check bool) (ctx ^ ": incremental detects") false
+    (Incremental_audit.ok o);
+  let report = Verifier.verify w.db ~digests:!digests in
+  Alcotest.(check bool) (ctx ^ ": full verify detects") false
+    (Verifier.ok report);
+  (match (Incremental_audit.pinned_block o, pinned_of_report report) with
+  | Some a, Some b ->
+      Alcotest.(check int) (ctx ^ ": same pinned block") b a;
+      Alcotest.(check int) (ctx ^ ": pinned the victim") victim a
+  | _ -> Alcotest.failf "%s: a detector produced no pinned block" ctx);
+  (* The incremental mark never advances past the damage: it stops at
+     the last block before the victim. *)
+  (match o.Incremental_audit.o_mark with
+  | Some m ->
+      Alcotest.(check bool) (ctx ^ ": mark stops before the bad block") true
+        (m.Incremental_audit.m_block_id < victim)
+  | None -> Alcotest.(check int) (ctx ^ ": nothing trusted") 0 victim);
+  (* Resume-mode behaviour is split by where the damage lies relative to
+     the persisted mark: at or before it, the re-anchoring of the mark
+     block catches a tampered mark block itself (and only that — the
+     skipped prefix is bootstrap's job); the differential guarantee for
+     resumes is that a mark block forgery can never slip through. *)
+  match mark with
+  | Some m when victim = m.Incremental_audit.m_block_id ->
+      let resumed = Incremental_audit.scan ~digests:[] w.db ~from:mark in
+      Alcotest.(check bool) (ctx ^ ": tampered mark block detected on resume")
+        false
+        (Incremental_audit.ok resumed)
+  | _ -> ()
+
+let test_differential_tampered () =
+  let seed = env_int "AUDIT_SEED" 0xA0D17 in
+  let trials = env_int "AUDIT_TRIALS" 10 in
+  let rng = Random.State.make [| seed + 1 |] in
+  for trial = 1 to trials do
+    run_tamper_trial rng trial
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Resume semantics: a scan from the mark touches only new blocks. *)
+
+let test_resume_counts_only_new_blocks () =
+  let db = make_db ~block_size:3 "resume" in
+  let accounts = make_accounts db in
+  for i = 1 to 9 do
+    ignore (insert_account db accounts (Printf.sprintf "a%d" i) i)
+  done;
+  ignore (fresh_digest db);
+  let first = Incremental_audit.scan db ~from:None in
+  Alcotest.(check bool) "first ok" true (Incremental_audit.ok first);
+  let mark = first.Incremental_audit.o_mark in
+  Alcotest.(check bool) "have mark" true (mark <> None);
+  (* Nothing new: zero work. *)
+  let idle = Incremental_audit.scan db ~from:mark in
+  Alcotest.(check int) "idle rescan is free" 0
+    idle.Incremental_audit.o_blocks_checked;
+  Alcotest.(check bool) "idle keeps the mark" true
+    (idle.Incremental_audit.o_mark = mark);
+  (* Six more transactions = two new blocks; the resume checks exactly
+     those. *)
+  for i = 10 to 15 do
+    ignore (insert_account db accounts (Printf.sprintf "a%d" i) i)
+  done;
+  ignore (fresh_digest db);
+  let resumed = Incremental_audit.scan db ~from:mark in
+  Alcotest.(check bool) "resume ok" true (Incremental_audit.ok resumed);
+  Alcotest.(check int) "resume checks only new blocks" 2
+    resumed.Incremental_audit.o_blocks_checked
+
+(* ------------------------------------------------------------------ *)
+(* Mark persistence: atomic save, exact load, loud corruption. *)
+
+let with_tmp f =
+  let path = Filename.temp_file "audit-mark" ".json" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_mark_persistence () =
+  with_tmp (fun path ->
+      (match Trusted_store.Audit_mark.load ~path with
+      | Ok None -> ()
+      | Ok (Some _) -> Alcotest.fail "mark from nowhere"
+      | Error e -> Alcotest.fail e);
+      let mark =
+        {
+          Incremental_audit.m_block_id = 7;
+          m_block_hash = String.init 32 Char.chr;
+        }
+      in
+      Trusted_store.Audit_mark.save ~path mark;
+      (match Trusted_store.Audit_mark.load ~path with
+      | Ok (Some saved) ->
+          Alcotest.(check int) "block id" 7
+            saved.Trusted_store.Audit_mark.mark.Incremental_audit.m_block_id;
+          Alcotest.(check string) "hash"
+            (Ledger_crypto.Hex.encode mark.Incremental_audit.m_block_hash)
+            (Ledger_crypto.Hex.encode
+               saved.Trusted_store.Audit_mark.mark
+                 .Incremental_audit.m_block_hash)
+      | Ok None -> Alcotest.fail "saved mark not found"
+      | Error e -> Alcotest.fail e);
+      (* A corrupt mark must be an error — never a silent reset to
+         genesis (which would quietly re-trust a rewritten history). *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "{ not json");
+      match Trusted_store.Audit_mark.load ~path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "corrupt mark loaded silently")
+
+let () =
+  Alcotest.run "audit"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "clean workloads match full verify" `Quick
+            test_differential_clean;
+          Alcotest.test_case "tampered block pinned identically" `Quick
+            test_differential_tampered;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "scan from mark touches only new blocks" `Quick
+            test_resume_counts_only_new_blocks;
+        ] );
+      ( "mark",
+        [ Alcotest.test_case "persistence roundtrip" `Quick test_mark_persistence ] );
+    ]

@@ -107,7 +107,7 @@ let test_full_audit_cycle () =
   | Ok receipt -> (
       match Receipt.verify receipt with
       | Ok () -> ()
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Receipt.failure_to_string e))
   | Error e -> Alcotest.fail e);
   (* Ledger view as audit evidence. *)
   let ops =

@@ -83,7 +83,7 @@ let test_loaded_database_remains_usable () =
   | Ok r -> (
       match Receipt.verify r with
       | Ok () -> ()
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Receipt.failure_to_string e))
   | Error e -> Alcotest.fail e
 
 let test_file_roundtrip () =

@@ -135,6 +135,8 @@ let all_requests =
     Protocol.Rollback;
     Protocol.Digest;
     Protocol.Receipt { txn_id = 42 };
+    Protocol.Receipts { txn_ids = [ 42; 43; 44 ] };
+    Protocol.Receipts { txn_ids = [] };
     Protocol.Verify { tables = [ "a"; "b" ]; digests = [ sample_digest ] };
     Protocol.Verify { tables = []; digests = [] };
     Protocol.Create_table
@@ -177,9 +179,24 @@ let all_responses =
           ];
       };
     Protocol.Rows_r { columns = []; rows = [] };
-    Protocol.Affected_r 3;
+    Protocol.Affected_r { rows = 3; txn_id = Some 17 };
     Protocol.Digest_r sample_digest;
     Protocol.Receipt_r sample_digest;
+    Protocol.Receipts_r
+      {
+        receipts = [ sample_digest; sample_digest ];
+        pending = [ 7; 9 ];
+        block_keys =
+          [
+            Sjson.Obj
+              [
+                ("block_id", Sjson.Int 4);
+                ("public_key", Sjson.String "ab");
+                ("signature", Sjson.String "cd");
+              ];
+          ];
+      };
+    Protocol.Receipts_r { receipts = []; pending = []; block_keys = [] };
     Protocol.Verify_r
       {
         vs_ok = false;
