@@ -540,6 +540,7 @@ let hashpath () =
 
 let serve_clients = ref 8
 let serve_duration = ref 0.0 (* seconds; 0 = fixed op count per client *)
+let serve_migrate = ref false (* add the online-migration interference phase *)
 let serve_warmup = ref (-1.0) (* seconds; negative = experiment default *)
 
 (* Group-commit coalescing window in ms; negative = server default.
@@ -599,7 +600,7 @@ let serve_bench () =
           {
             name = "bench";
             columns = [ ("id", "int"); ("payload", "varchar(64)") ];
-            key = [ "id" ];
+            key = [ "id" ]; ledger = true
           }));
   Wire.Client.close setup;
   (* Closed loop: each client thread owns its own id range and keeps a
@@ -824,7 +825,7 @@ let serve_bench () =
           {
             name = "bench";
             columns = [ ("id", "int"); ("payload", "varchar(64)") ];
-            key = [ "id" ];
+            key = [ "id" ]; ledger = true
           }));
   Wire.Client.close rc_setup;
   let rc_clients = 4 and rc_ops = 300 in
@@ -1021,7 +1022,7 @@ let serve_bench () =
           {
             name = "bench";
             columns = [ ("id", "int"); ("payload", "varchar(64)") ];
-            key = [ "id" ];
+            key = [ "id" ]; ledger = true
           }));
   let oprng = Workload.Prng.create 4242 in
   for id = 1 to 200 do
@@ -1157,6 +1158,169 @@ let serve_bench () =
     (if shed_only_errors then "yes" else "NO");
   Printf.printf "%-26s %12s\n" "read p99 bounded"
     (if reads_bounded then "yes" else "NO");
+  (* --- migration phase (opt-in via --migrate): OLTP latency beside an
+     online copy --- A dedicated server hosts a ledger table taking OLTP
+     inserts and a seeded plain staging table. The same closed-loop
+     insert workload runs twice: alone, then with `sqlledger migrate`'s
+     driver copying staging into a ledger table concurrently, batch by
+     committed batch. The comparison isolates what an online migration
+     costs foreground commits. *)
+  let mg_fields =
+    if not !serve_migrate then []
+    else begin
+      print_endline "\n--- migration: OLTP latency beside an online copy ---";
+      let mg_dir = Filename.temp_dir "sqlledger-bench" "-migrate" in
+      let mg_config =
+        {
+          Ledger_server.Server.default_config with
+          port = 0;
+          dir = mg_dir;
+          db_name = "bench";
+          max_connections = 16;
+        }
+      in
+      let mg_srv =
+        match Ledger_server.Server.start ~config:mg_config () with
+        | Ok s -> s
+        | Error e -> failwith (Ledger_server.Server.start_error_to_string e)
+      in
+      let mg_th = Ledger_server.Server.run_async mg_srv in
+      let mg_port = Ledger_server.Server.port mg_srv in
+      let mg_connect () =
+        match Wire.Client.connect ~host:"127.0.0.1" ~port:mg_port () with
+        | Ok c -> c
+        | Error e -> failwith (Wire.Client.connect_error_to_string e)
+      in
+      let mg_setup = mg_connect () in
+      let mg_create name ledger =
+        expect_ok ("create " ^ name)
+          (Wire.Client.call mg_setup
+             (Wire.Protocol.Create_table
+                {
+                  name;
+                  columns = [ ("id", "int"); ("payload", "varchar(64)") ];
+                  key = [ "id" ]; ledger
+                }))
+      in
+      mg_create "bench" true;
+      mg_create "staging" false;
+      mg_create "tgt" true;
+      (* Seed the staging table in multi-row chunks: the copy must run
+         long enough to overlap the whole measured workload. *)
+      let mg_rows = 10_000 and mg_chunk = 100 in
+      let mg_prng = Workload.Prng.create (!bench_seed + 77) in
+      let id = ref 0 in
+      while !id < mg_rows do
+        let tuples =
+          List.init mg_chunk (fun k ->
+              Printf.sprintf "(%d, '%s')" (!id + k + 1)
+                (Workload.Prng.alnum_string mg_prng 64))
+        in
+        id := !id + mg_chunk;
+        expect_ok "seed staging"
+          (Wire.Client.call mg_setup
+             (Wire.Protocol.Exec
+                {
+                  sql =
+                    "INSERT INTO staging VALUES " ^ String.concat ", " tuples;
+                }))
+      done;
+      Wire.Client.close mg_setup;
+      let mg_clients = 4 and mg_ops = 250 in
+      let mg_oltp ~phase_idx =
+        let lats = Array.make mg_clients [] in
+        let worker c_idx =
+          let client = mg_connect () in
+          let prng =
+            Workload.Prng.create
+              ((!bench_seed * 500) + (phase_idx * 10) + c_idx)
+          in
+          let base = ((phase_idx * mg_clients) + c_idx + 1) * 1_000_000 in
+          for i = 1 to mg_ops do
+            let sql =
+              Printf.sprintf "INSERT INTO bench VALUES (%d, '%s')" (base + i)
+                (Workload.Prng.alnum_string prng 64)
+            in
+            let t0 = Unix.gettimeofday () in
+            (match Wire.Client.call client (Wire.Protocol.Exec { sql }) with
+            | Ok r when not (Wire.Protocol.response_is_error r) -> ()
+            | Ok r ->
+                failwith ("migrate oltp: " ^ Wire.Protocol.response_kind r)
+            | Error e -> failwith ("migrate oltp: " ^ e));
+            lats.(c_idx) <-
+              ((Unix.gettimeofday () -. t0) *. 1e6) :: lats.(c_idx)
+          done;
+          Wire.Client.close client
+        in
+        let threads =
+          List.init mg_clients (fun i -> Thread.create worker i)
+        in
+        List.iter Thread.join threads;
+        let all = List.concat (Array.to_list lats) in
+        fun p -> sorted_pct all p
+      in
+      let mg_base_pct = mg_oltp ~phase_idx:0 in
+      let mg_summary = ref None in
+      let migrator =
+        Thread.create
+          (fun () ->
+            let client = mg_connect () in
+            (match
+               Migrate.Driver.run ~batch:64 ~client ~source:"staging"
+                 ~target:"tgt" ()
+             with
+            | Ok s -> mg_summary := Some s
+            | Error e -> failwith ("migration failed: " ^ e));
+            Wire.Client.close client)
+          ()
+      in
+      let mg_with_pct = mg_oltp ~phase_idx:1 in
+      let mg_oltp_done = Unix.gettimeofday () in
+      Thread.join migrator;
+      let mg_migration_done = Unix.gettimeofday () in
+      let summary =
+        match !mg_summary with
+        | Some s -> s
+        | None -> failwith "migration produced no summary"
+      in
+      Ledger_server.Server.shutdown mg_srv mg_th;
+      if not summary.Migrate.Driver.verified then
+        failwith "migration differential check failed under load";
+      if summary.Migrate.Driver.rows_copied <> mg_rows then
+        failwith
+          (Printf.sprintf "migration copied %d of %d rows"
+             summary.Migrate.Driver.rows_copied mg_rows);
+      let mg_ratio =
+        if mg_base_pct 95.0 <= 0.0 then 1.0
+        else mg_with_pct 95.0 /. mg_base_pct 95.0
+      in
+      (* Overlap sanity: if the copy outlived the measured workload the
+         comparison really did run beside an active migration. *)
+      let mg_overlapped = mg_migration_done >= mg_oltp_done in
+      Printf.printf "%-26s %12.0f us (p95 %.0f)\n" "oltp p50 (no migration)"
+        (mg_base_pct 50.0) (mg_base_pct 95.0);
+      Printf.printf "%-26s %12.0f us (p95 %.0f)\n" "oltp p50 (migration)"
+        (mg_with_pct 50.0) (mg_with_pct 95.0);
+      Printf.printf "%-26s %12.3f\n" "migration p95 ratio" mg_ratio;
+      Printf.printf "%-26s %12d rows in %d batches (differential %s)\n"
+        "migrated" summary.Migrate.Driver.rows_copied
+        summary.Migrate.Driver.batches
+        (if summary.Migrate.Driver.verified then "OK" else "FAILED");
+      Printf.printf "%-26s %12s\n" "copy outlived workload"
+        (if mg_overlapped then "yes" else "no");
+      [
+        ("migrate_rows", Sjson.Int mg_rows);
+        ("migrate_batches", Sjson.Int summary.Migrate.Driver.batches);
+        ("migrate_verified", Sjson.Bool summary.Migrate.Driver.verified);
+        ("migrate_baseline_oltp_p50_us", Sjson.Float (mg_base_pct 50.0));
+        ("migrate_baseline_oltp_p95_us", Sjson.Float (mg_base_pct 95.0));
+        ("migrate_oltp_p50_us", Sjson.Float (mg_with_pct 50.0));
+        ("migrate_oltp_p95_us", Sjson.Float (mg_with_pct 95.0));
+        ("migrate_oltp_p95_ratio", Sjson.Float mg_ratio);
+        ("migrate_overlapped", Sjson.Bool mg_overlapped);
+      ]
+    end
+  in
   if !json_out then begin
     let fnum v = Sjson.Float (if Float.is_nan v then 0.0 else v) in
     let fields =
@@ -1211,6 +1375,7 @@ let serve_bench () =
           ("receipts_verified", Sjson.Int (Atomic.get rc_verified));
           ("receipt_digest_anchored", Sjson.Bool rc_anchored_ok);
         ]
+      @ mg_fields
     in
     write_json ~file:"BENCH_serve.json" fields
   end
@@ -1272,7 +1437,7 @@ let replica_bench () =
           {
             name = "bench";
             columns = [ ("id", "int"); ("payload", "varchar(64)") ];
-            key = [ "id" ];
+            key = [ "id" ]; ledger = true
           }));
   let prng = Workload.Prng.create !bench_seed in
   for id = 1 to rows do
@@ -1660,7 +1825,7 @@ let serve_sharded () =
             {
               name = "bench";
               columns = [ ("id", "int"); ("payload", "varchar(64)") ];
-              key = [ "id" ];
+              key = [ "id" ]; ledger = true
             }));
     let epoch, map_shards =
       match Wire.Client.call setup Wire.Protocol.Shard_map with
@@ -2012,7 +2177,8 @@ let experiments =
 let usage () =
   Printf.eprintf
     "usage: bench [--json] [--clients N] [--duration S] [--warmup S] \
-     [--window MS] [--shards N] [--xshard PCT] [--seed N] [experiment ...]\n";
+     [--window MS] [--shards N] [--xshard PCT] [--seed N] [--migrate] \
+     [experiment ...]\n";
   exit 1
 
 let () =
@@ -2063,6 +2229,9 @@ let () =
             bench_seed := v;
             parse acc rest
         | _ -> usage ())
+    | "--migrate" :: rest ->
+        serve_migrate := true;
+        parse acc rest
     | ("--clients" | "--duration" | "--warmup" | "--window" | "--shards"
       | "--xshard" | "--seed")
       :: [] ->

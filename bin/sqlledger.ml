@@ -261,14 +261,32 @@ let run_recover failpoints wal snapshot verify_flag =
 (* ------------------------------------------------------------------ *)
 (* serve *)
 
+(* Load the deployment's shared principal-auth secret. The wire carries
+   HMAC tags keyed by these file contents (trimmed, so a trailing
+   newline from `echo` doesn't silently change the key). *)
+let load_auth_secret = function
+  | None -> Ok None
+  | Some path -> (
+      match In_channel.with_open_bin path In_channel.input_all with
+      | exception Sys_error e -> Error e
+      | contents -> (
+          match String.trim contents with
+          | "" -> Error (path ^ " is empty")
+          | secret -> Ok (Some secret)))
+
 (* Exit codes (documented in README.md):
      0  clean shutdown (SIGTERM/SIGINT drained)
      1  startup failure other than the port (e.g. recovery failed)
      2  port already in use, or an injected fault crashed the server *)
 let run_serve dir port host name max_conns max_frame idle_timeout
     request_timeout group_commit_window_ms max_inflight queue_depth
-    block_size signing_seed failpoints =
+    block_size signing_seed auth_secret_file failpoints =
   List.iter (fun (n, m) -> Fault.set n m) failpoints;
+  match load_auth_secret auth_secret_file with
+  | Error e ->
+      Printf.eprintf "sqlledger serve: --auth-secret: %s\n" e;
+      1
+  | Ok auth_secret -> (
   let config =
     {
       Ledger_server.Server.default_config with
@@ -285,6 +303,7 @@ let run_serve dir port host name max_conns max_frame idle_timeout
       max_queue_depth = queue_depth;
       block_size = (if block_size > 0 then Some block_size else None);
       signing_seed = (if signing_seed = "" then None else Some signing_seed);
+      auth_secret;
     }
   in
   match Ledger_server.Server.start ~config () with
@@ -308,15 +327,21 @@ let run_serve dir port host name max_conns max_frame idle_timeout
       | () -> 0
       | exception (Fault.Injected_crash e | Fault.Injected_error e) ->
           Printf.eprintf "fault injected: %s\n" e;
-          2)
+          2))
 
 (* ------------------------------------------------------------------ *)
 (* replica / promote *)
 
 (* Exit codes match serve: 0 clean shutdown, 1 startup failure, 2 port
    in use or injected fault. *)
-let run_replica dir port host primary idle_timeout request_timeout failpoints =
+let run_replica dir port host primary idle_timeout request_timeout
+    auth_secret_file failpoints =
   List.iter (fun (n, m) -> Fault.set n m) failpoints;
+  match load_auth_secret auth_secret_file with
+  | Error e ->
+      Printf.eprintf "sqlledger replica: --auth-secret: %s\n" e;
+      1
+  | Ok auth_secret -> (
   match String.rindex_opt primary ':' with
   | None ->
       Printf.eprintf "sqlledger replica: --primary expects HOST:PORT, got %s\n"
@@ -342,6 +367,7 @@ let run_replica dir port host primary idle_timeout request_timeout failpoints =
               dir;
               idle_timeout;
               request_timeout;
+              auth_secret;
             }
           in
           match
@@ -372,7 +398,7 @@ let run_replica dir port host primary idle_timeout request_timeout failpoints =
               | () -> 0
               | exception (Fault.Injected_crash e | Fault.Injected_error e) ->
                   Printf.eprintf "fault injected: %s\n" e;
-                  2)))
+                  2))))
 
 (* ------------------------------------------------------------------ *)
 (* coord *)
@@ -380,8 +406,13 @@ let run_replica dir port host primary idle_timeout request_timeout failpoints =
 (* Exit codes match serve: 0 clean shutdown, 1 startup failure, 2 port
    in use or injected fault. *)
 let run_coord dir port host name shards idle_timeout request_timeout
-    failpoints =
+    auth_secret_file failpoints =
   List.iter (fun (n, m) -> Fault.set n m) failpoints;
+  match load_auth_secret auth_secret_file with
+  | Error e ->
+      Printf.eprintf "sqlledger coord: --auth-secret: %s\n" e;
+      1
+  | Ok auth_secret -> (
   let parse_addr a =
     match String.rindex_opt a ':' with
     | None -> Error a
@@ -409,6 +440,7 @@ let run_coord dir port host name shards idle_timeout request_timeout
           name;
           idle_timeout;
           request_timeout;
+          auth_secret;
         }
       in
       match
@@ -437,7 +469,7 @@ let run_coord dir port host name shards idle_timeout request_timeout
           | () -> 0
           | exception (Fault.Injected_crash e | Fault.Injected_error e) ->
               Printf.eprintf "fault injected: %s\n" e;
-              2))
+              2)))
 
 let run_promote dir =
   match Repl.Client.promote_dir ~dir () with
@@ -745,6 +777,15 @@ let print_response = function
         (fun i (host, port) -> Printf.printf "  shard %d: %s:%d\n" i host port)
         shards;
       0
+  | Protocol.Migrate_r { copied; last_key; finished } ->
+      Printf.printf "migrated %d row(s)%s%s\n" copied
+        (match last_key with
+        | [] -> ""
+        | key ->
+            Printf.sprintf " (cursor at %s)"
+              (String.concat "," (List.map Value.to_string key)))
+        (if finished then "; source exhausted" else "");
+      0
   | Protocol.Bye ->
       print_endline "bye";
       0
@@ -783,6 +824,47 @@ let split_commas s =
   String.split_on_char ',' s |> List.map String.trim
   |> List.filter (fun w -> w <> "")
 
+(* Edit distance for "did you mean" suggestions on unknown commands. *)
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let curr = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    curr.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      curr.(j) <-
+        min (min (prev.(j) + 1) (curr.(j - 1) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit curr 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+(* "; did you mean X?" when some known command is plausibly what the
+   user typed — within a third of its length in edits (minimum 1, so
+   one-letter typos always match), else nothing. *)
+let suggest known w =
+  let w = String.lowercase_ascii w in
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        let d = levenshtein w cand in
+        match acc with
+        | Some (_, bd) when bd <= d -> acc
+        | _ -> Some (cand, d))
+      None known
+  in
+  match best with
+  | Some (cand, d) when d <= max 1 (String.length cand / 3) ->
+      Printf.sprintf "; did you mean %s?" cand
+  | _ -> ""
+
+let one_shot_commands =
+  [
+    "ping"; "exec"; "query"; "digest"; "receipt"; "receipts"; "verify";
+    "create"; "create-plain"; "migrate"; "checkpoint"; "stats"; "shard-map";
+  ]
+
 (* Map the one-shot positional arguments to a request. *)
 let client_request args digest_files =
   let load_digests () =
@@ -812,7 +894,8 @@ let client_request args digest_files =
       match load_digests () with
       | Ok digests -> Ok (Protocol.Verify { tables; digests })
       | Error e -> Error ("cannot read digest: " ^ e))
-  | [ "create"; name; colspec ] | [ "create"; name; colspec; _ ] -> (
+  | [ ("create" | "create-plain"); name; colspec ]
+  | [ ("create" | "create-plain"); name; colspec; _ ] -> (
       match parse_colspec colspec with
       | Error part -> Error ("bad column spec: " ^ part)
       | Ok columns ->
@@ -822,7 +905,8 @@ let client_request args digest_files =
             | _ -> (
                 match columns with (n, _) :: _ -> [ n ] | [] -> [])
           in
-          Ok (Protocol.Create_table { name; columns; key }))
+          let ledger = List.hd args = "create" in
+          Ok (Protocol.Create_table { name; columns; key; ledger }))
   | "receipts" :: ids -> (
       let parsed = List.map int_of_string_opt ids in
       if ids = [] then Error "receipts expects transaction ids"
@@ -831,7 +915,15 @@ let client_request args digest_files =
       else Ok (Protocol.Receipts { txn_ids = List.map Option.get parsed }))
   | [ "checkpoint" ] -> Ok Protocol.Checkpoint
   | [ "stats" ] -> Ok Protocol.Stats
-  | cmd :: _ -> Error ("unknown client command " ^ cmd)
+  | [ "shard-map" ] -> Ok Protocol.Shard_map
+  | "migrate" :: _ ->
+      Error
+        "use the dedicated `sqlledger migrate` command (durable cursor, \
+         resume, differential check)"
+  | cmd :: _ ->
+      Error
+        (Printf.sprintf "unknown client command %s%s" cmd
+           (suggest one_shot_commands cmd))
   | [] -> Error "no command"
 
 let client_repl_help =
@@ -841,9 +933,22 @@ let client_repl_help =
   \  .receipt <txn_id>                 fetch a transaction receipt\n\
   \  .receipts <txn_id> ...            fetch a batch of receipts\n\
   \  .verify [table ...]               server-side ledger verification\n\
-  \  .create <table> <col type, ...> [key,cols]\n\
+  \  .create <table> <col type, ...> [| key,cols]   create a ledger table\n\
+  \  .create-plain <table> <col type, ...> [| key,cols]\n\
+  \                                    create a plain (migratable) table\n\
+  \  .migrate <source> <target> [batch]\n\
+  \                                    copy one batch into a ledger table\n\
+  \  .checkpoint                       force a durable checkpoint\n\
+  \  .shard-map                        coordinator shard map (sharded mode)\n\
   \  .stats                            server metrics\n\
   \  .ping / .help / .quit"
+
+let repl_commands =
+  [
+    ".quit"; ".exit"; ".help"; ".ping"; ".begin"; ".commit"; ".rollback";
+    ".digest"; ".receipt"; ".receipts"; ".verify"; ".create"; ".create-plain";
+    ".migrate"; ".checkpoint"; ".shard-map"; ".stats";
+  ]
 
 let run_repl cl =
   Printf.printf "connected to %s (database %s)\n"
@@ -894,7 +999,20 @@ let run_repl cl =
         | ".verify" :: tables ->
             send (Protocol.Verify { tables; digests = [] })
         | [ ".stats" ] -> send Protocol.Stats
-        | ".create" :: name :: rest -> (
+        | [ ".checkpoint" ] -> send Protocol.Checkpoint
+        | [ ".shard-map" ] -> send Protocol.Shard_map
+        | ".migrate" :: source :: target :: rest -> (
+            match
+              match rest with
+              | [] -> Some 512
+              | [ b ] -> int_of_string_opt b
+              | _ -> None
+            with
+            | None -> print_endline "usage: .migrate <source> <target> [batch]"
+            | Some limit ->
+                send
+                  (Protocol.Migrate { source; target; after_key = []; limit }))
+        | ((".create" | ".create-plain") as cmd) :: name :: rest -> (
             let spec = String.concat " " rest in
             let spec, key =
               (* `.create t name varchar(40), balance int | name` — the
@@ -913,21 +1031,31 @@ let run_repl cl =
                   if key <> [] then key
                   else match columns with (n, _) :: _ -> [ n ] | [] -> []
                 in
-                send (Protocol.Create_table { name; columns; key }))
+                send
+                  (Protocol.Create_table
+                     { name; columns; key; ledger = cmd = ".create" }))
         | w :: _ when String.length w > 0 && w.[0] = '.' ->
-            print_endline "unknown command; try .help"
+            Printf.printf "unknown command %s%s; try .help\n" w
+              (suggest repl_commands w)
         | _ -> send (Protocol.Exec { sql = line }))
   done;
   0
 
 (* Exit codes (documented in README.md):
      0  success        1  the server answered with an error (or verify failed)
-     2  cannot connect 3  protocol-version mismatch *)
-let run_client host port deadline retries args digest_files =
+     2  cannot connect 3  protocol-version mismatch
+     5  principal authentication refused *)
+let run_client host port deadline retries principal secret_file args
+    digest_files =
   let deadline_s = if deadline > 0.0 then Some deadline else None in
+  match load_auth_secret secret_file with
+  | Error e ->
+      Printf.eprintf "sqlledger client: --secret-file: %s\n" e;
+      1
+  | Ok secret -> (
   match
-    Wire.Client.connect_retry ~max_attempts:(retries + 1) ?deadline_s ~host
-      ~port ()
+    Wire.Client.connect_retry ~max_attempts:(retries + 1) ?deadline_s
+      ?principal ?secret ~host ~port ()
   with
   | Error (Wire.Client.Refused msg) ->
       Printf.eprintf "sqlledger client: %s\n" msg;
@@ -935,6 +1063,9 @@ let run_client host port deadline retries args digest_files =
   | Error (Wire.Client.Mismatch msg) ->
       Printf.eprintf "sqlledger client: %s\n" msg;
       3
+  | Error (Wire.Client.Auth msg) ->
+      Printf.eprintf "sqlledger client: %s\n" msg;
+      5
   | Error (Wire.Client.Handshake msg) ->
       Printf.eprintf "sqlledger client: %s\n" msg;
       2
@@ -959,7 +1090,62 @@ let run_client host port deadline retries args digest_files =
                   2)
       in
       Wire.Client.close cl;
-      code
+      code)
+
+(* ------------------------------------------------------------------ *)
+(* migrate *)
+
+(* Exit codes: 0 migrated and differential check green, 1 migration or
+   check failed, 2 cannot connect, 3 version mismatch, 5 auth refused. *)
+let run_migrate host port principal secret_file source target batch cursor
+    retries =
+  match load_auth_secret secret_file with
+  | Error e ->
+      Printf.eprintf "sqlledger migrate: --secret-file: %s\n" e;
+      1
+  | Ok secret -> (
+      match
+        Wire.Client.connect_retry ~max_attempts:(retries + 1) ?principal
+          ?secret ~host ~port ()
+      with
+      | Error (Wire.Client.Refused msg | Wire.Client.Handshake msg) ->
+          Printf.eprintf "sqlledger migrate: %s\n" msg;
+          2
+      | Error (Wire.Client.Mismatch msg) ->
+          Printf.eprintf "sqlledger migrate: %s\n" msg;
+          3
+      | Error (Wire.Client.Auth msg) ->
+          Printf.eprintf "sqlledger migrate: %s\n" msg;
+          5
+      | Ok cl ->
+          let log line = Printf.printf "migrate: %s\n%!" line in
+          let code =
+            match
+              Migrate.Driver.run ~batch ?cursor_path:cursor ~log ~client:cl
+                ~source ~target ()
+            with
+            | Error e ->
+                Printf.eprintf "sqlledger migrate: %s\n" e;
+                1
+            | Ok s ->
+                Printf.printf
+                  "migrate: OK — %d row(s) copied in %d batch(es)%s; target \
+                   %s holds %d row(s), differential check green\n"
+                  s.Migrate.Driver.rows_copied s.Migrate.Driver.batches
+                  (if s.Migrate.Driver.resumed_at > 0 then
+                     Printf.sprintf " (resumed past %d already copied)"
+                       s.Migrate.Driver.resumed_at
+                   else "")
+                  target s.Migrate.Driver.rows_total;
+                (match s.Migrate.Driver.digest with
+                | Some json ->
+                    Printf.printf "migrate: anchoring digest:\n%s\n"
+                      (Sjson.to_string ~pretty:true json)
+                | None -> ());
+                0
+          in
+          Wire.Client.close cl;
+          code)
 
 (* ------------------------------------------------------------------ *)
 (* chaos-proxy *)
@@ -1135,6 +1321,18 @@ let host_arg =
     value & opt string "127.0.0.1"
     & info [ "host" ] ~docv:"ADDR" ~doc:"Address to listen on / connect to")
 
+let auth_secret_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "auth-secret" ] ~docv:"FILE"
+        ~doc:
+          "Shared-secret file for principal authentication. Clients that \
+           claim a $(b,--principal) must present an HMAC tag keyed by these \
+           contents; claims that don't verify are refused with the typed \
+           $(b,auth_failed) error. Without this flag, principal claims are \
+           refused and sessions stay anonymous.")
+
 let port_arg ~doc =
   Arg.(value & opt int 7878 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
 
@@ -1240,7 +1438,7 @@ let serve_cmd =
       $ port_arg ~doc:"TCP port to listen on"
       $ host_arg $ db_name $ max_conns $ max_frame $ idle_timeout
       $ request_timeout $ group_commit_window $ max_inflight $ queue_depth
-      $ block_size $ signing_seed $ failpoint_arg)
+      $ block_size $ signing_seed $ auth_secret_arg $ failpoint_arg)
 
 let replica_cmd =
   let dir =
@@ -1282,7 +1480,8 @@ let replica_cmd =
     Term.(
       const run_replica $ dir
       $ port_arg ~doc:"TCP port to serve read-only clients on"
-      $ host_arg $ primary $ idle_timeout $ request_timeout $ failpoint_arg)
+      $ host_arg $ primary $ idle_timeout $ request_timeout $ auth_secret_arg
+      $ failpoint_arg)
 
 let coord_cmd =
   let dir =
@@ -1331,7 +1530,7 @@ let coord_cmd =
       const run_coord $ dir
       $ port_arg ~doc:"TCP port to listen on"
       $ host_arg $ name_arg $ shards $ idle_timeout $ request_timeout
-      $ failpoint_arg)
+      $ auth_secret_arg $ failpoint_arg)
 
 let promote_cmd =
   let dir =
@@ -1349,6 +1548,25 @@ let promote_cmd =
           old primary's unshipped tail is the documented loss window)")
     Term.(const run_promote $ dir)
 
+let principal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "principal" ] ~docv:"NAME"
+        ~doc:
+          "Authenticated identity for this session; recorded as the ledger's \
+           transaction username on every commit (and provable from \
+           receipts). Requires $(b,--secret-file).")
+
+let secret_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "secret-file" ] ~docv:"FILE"
+        ~doc:
+          "Shared-secret file (same contents the server was started with); \
+           keys the HMAC tag that proves the $(b,--principal) claim.")
+
 let client_cmd =
   let args =
     Arg.(
@@ -1356,9 +1574,10 @@ let client_cmd =
       & info [] ~docv:"CMD"
           ~doc:
             "One-shot command: ping | exec SQL | query SQL | digest | \
-             receipt TXN_ID | verify [TABLE...] | create TABLE 'col type, \
-             ...' [key,cols] | checkpoint | stats. With no command, starts \
-             an interactive REPL.")
+             receipt TXN_ID | receipts TXN_ID... | verify [TABLE...] | \
+             create TABLE 'col type, ...' [key,cols] | create-plain TABLE \
+             'col type, ...' [key,cols] | checkpoint | stats | shard-map. \
+             With no command, starts an interactive REPL.")
   in
   let digest_files =
     Arg.(
@@ -1396,7 +1615,62 @@ let client_cmd =
     Term.(
       const run_client $ host_arg
       $ port_arg ~doc:"Server TCP port"
-      $ deadline $ retries $ args $ digest_files)
+      $ deadline $ retries $ principal_arg $ secret_file_arg $ args
+      $ digest_files)
+
+let migrate_cmd =
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOURCE" ~doc:"Plain (regular) table to copy from.")
+  in
+  let target =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"TARGET" ~doc:"Ledger table to copy into.")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt int Migrate.Driver.default_batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Rows per batch: each batch commits server-side as one ledger \
+             transaction (one group commit), so this bounds how long the \
+             copy holds the write path per round trip.")
+  in
+  let cursor =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cursor" ] ~docv:"FILE"
+          ~doc:
+            "Durable cursor file, written atomically after every acked \
+             batch. A migrator killed mid-copy re-run with the same \
+             $(docv) resumes where it stopped instead of rescanning.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Per-request retry budget (the Migrate request is idempotent: \
+             already-copied keys are skipped server-side).")
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "Online migration: copy a plain table into a ledger table in \
+          group-commit-sized batches while OLTP, receipts and the audit \
+          stream stay live; crash-resumable via a durable cursor; finishes \
+          with a differential equivalence check and an anchoring digest.")
+    Term.(
+      const run_migrate $ host_arg
+      $ port_arg ~doc:"Server TCP port"
+      $ principal_arg $ secret_file_arg $ source $ target $ batch $ cursor
+      $ retries)
 
 let chaos_proxy_cmd =
   let upstream =
@@ -1565,7 +1839,8 @@ let main =
     [
       demo_cmd; shell_cmd; fabric_cmd; verify_cmd; recover_cmd;
       failpoints_cmd; serve_cmd; replica_cmd; coord_cmd; promote_cmd;
-      client_cmd; chaos_proxy_cmd; audit_cmd; receipt_cmd; tamper_cmd;
+      client_cmd; migrate_cmd; chaos_proxy_cmd; audit_cmd; receipt_cmd;
+      tamper_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

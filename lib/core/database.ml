@@ -510,7 +510,120 @@ let ledger_view_rel lt =
   in
   (names, rows)
 
+(* --- provenance (_ledger) views and temporal (AS OF) resolution --- *)
+
+(* Provenance column names for the [<table>_ledger] view. A user column
+   with the same name wins the bare spelling; the provenance column then
+   grows a [ledger_] prefix (repeatedly, until unique), so the view
+   always exposes both without shadowing. *)
+let provenance_names user_names =
+  let taken = List.map String.lowercase_ascii user_names in
+  List.map
+    (fun base ->
+      let rec fresh n =
+        if List.mem (String.lowercase_ascii n) taken then fresh ("ledger_" ^ n)
+        else n
+      in
+      fresh base)
+    [ "commit_time"; "principal_name"; "operation"; "txn_id"; "seq" ]
+
+(* One row per row version, in commit order, each joined to its
+   transaction entry: who wrote it (the authenticated principal), when
+   it committed, and what the operation was. [?as_of] keeps only
+   versions whose transaction committed at or before the timestamp.
+   Versions of the open (uncommitted-to-an-entry) transaction set have
+   no entry yet and are visible only to the current view, never to a
+   temporal one. *)
+let provenance_rel t ?as_of lt =
+  let schema = Ledger_table.schema lt in
+  let vis = visible_ordinals schema in
+  let user_names = visible_names schema in
+  let names = user_names @ provenance_names user_names in
+  let versions =
+    List.sort
+      (fun (a : Types.version) b ->
+        compare (a.v_txn_id, a.v_seq) (b.v_txn_id, b.v_seq))
+      (Ledger_table.versions lt)
+  in
+  let rows =
+    List.filter_map
+      (fun (v : Types.version) ->
+        match Database_ledger.find_entry t.dbl ~txn_id:v.v_txn_id with
+        | None -> None
+        | Some e -> (
+            match as_of with
+            | Some ts when e.Types.commit_ts > ts -> None
+            | _ ->
+                Some
+                  (Array.append (Row.project v.v_row vis)
+                     [|
+                       Value.Datetime e.Types.commit_ts;
+                       Value.String e.Types.user;
+                       Value.String (Types.operation_to_string v.v_op);
+                       Value.Int v.v_txn_id;
+                       Value.Int v.v_seq;
+                     |])))
+      versions
+  in
+  (names, rows)
+
+(* The table's user rows as they stood at commit timestamp [ts]: current
+   rows whose creating transaction had committed by then, plus history
+   rows created by then and not yet superseded by then (paper §3.1's
+   MVCC visibility, replayed against the commit timestamps recorded in
+   the transactions system table). *)
+let as_of_rel t lt ~ts =
+  let admissible = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Types.txn_entry) ->
+      if e.commit_ts <= ts then Hashtbl.replace admissible e.txn_id ())
+    (Database_ledger.entries t.dbl);
+  let schema = Ledger_table.schema lt in
+  let vis = visible_ordinals schema in
+  let s_txn, _, e_txn, _ = System_columns.ordinals schema in
+  let txn_at row o =
+    match row.(o) with Value.Int i -> Some i | _ -> None
+  in
+  let committed row o =
+    match txn_at row o with
+    | Some txn -> Hashtbl.mem admissible txn
+    | None -> false
+  in
+  let current =
+    List.filter
+      (fun row -> committed row s_txn)
+      (Ledger_table.current_rows lt)
+  in
+  let history =
+    List.filter
+      (fun row -> committed row s_txn && not (committed row e_txn))
+      (Ledger_table.history_rows lt)
+  in
+  ( visible_names schema,
+    List.map (fun row -> Row.project row vis) (current @ history) )
+
 let catalog t : Sqlexec.Executor.catalog =
+  let strip_of key suffix =
+    if
+      String.length key > String.length suffix
+      && String.sub key
+           (String.length key - String.length suffix)
+           (String.length suffix)
+         = suffix
+    then Some (String.sub key 0 (String.length key - String.length suffix))
+    else None
+  in
+  let lookup_table_as_of name ~as_of =
+    let key = norm name in
+    match strip_of key "_ledger" with
+    | Some base when find_ledger_table t base <> None ->
+        let lt = Option.get (find_ledger_table t base) in
+        Some (provenance_rel t ~as_of lt)
+    | _ -> (
+        match find_ledger_table t key with
+        | Some lt -> Some (as_of_rel t lt ~ts:as_of)
+        | None -> None)
+  in
   let lookup_table name =
     let key = norm name in
     let strip suffix =
@@ -562,6 +675,20 @@ let catalog t : Sqlexec.Executor.catalog =
                             (Ledger_table.history_rows lt) )
                   | None -> None)
               | None -> (
+                  let provenance =
+                    (* [<table>_ledger]: the first-class provenance view.
+                       A real table whose own name ends in _ledger still
+                       wins below when no base table shadows it. *)
+                    match strip "_ledger" with
+                    | Some base -> (
+                        match find_ledger_table t base with
+                        | Some lt -> Some (provenance_rel t lt)
+                        | None -> None)
+                    | None -> None
+                  in
+                  match provenance with
+                  | Some rel -> Some rel
+                  | None -> (
                   match find_entry t name with
                   | Some (L lt) ->
                       let schema = Ledger_table.schema lt in
@@ -578,9 +705,9 @@ let catalog t : Sqlexec.Executor.catalog =
                             (fun (c : Column.t) -> c.name)
                             (Schema.columns schema),
                           Table_store.scan store )
-                  | None -> None)))
+                  | None -> None))))
   in
-  { Sqlexec.Executor.lookup_table; functions = [] }
+  { Sqlexec.Executor.lookup_table; lookup_table_as_of; functions = [] }
 
 let query t text = Sqlexec.Executor.query (catalog t) text
 

@@ -19,12 +19,15 @@ let eval_against db ~table_name ~columns ~row expr =
           if String.equal (String.lowercase_ascii name) "__dml_probe" then
             Some (columns, [ row ])
           else catalog.Executor.lookup_table name);
+      lookup_table_as_of = catalog.Executor.lookup_table_as_of;
       functions = catalog.Executor.functions;
     }
   in
   let probe =
     Ast.select
-      ~from:(Ast.Table { name = "__dml_probe"; alias = Some table_name })
+      ~from:
+        (Ast.Table
+           { name = "__dml_probe"; alias = Some table_name; as_of = None })
       [ Ast.Expr (expr, Some "v") ]
   in
   match (Executor.execute probe_catalog probe).Sqlexec.Rel.rows with
@@ -162,14 +165,14 @@ let catalog_special name =
   in
   k = "database_ledger_transactions"
   || k = "database_ledger_blocks"
-  || List.exists suffixed [ "__versions"; "__ledger_view"; "__history" ]
+  || List.exists suffixed [ "__versions"; "__ledger_view"; "__history"; "_ledger" ]
 
 let select_point_lookup db (q : Ast.select) =
   match q with
   | {
    distinct = false;
    projections = [ Ast.Star ];
-   from = Some (Ast.Table { name; alias });
+   from = Some (Ast.Table { name; alias; as_of = None });
    where = Some _;
    group_by = [];
    having = None;

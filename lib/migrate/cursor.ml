@@ -1,0 +1,73 @@
+(* Durable migration cursor.
+
+   The migration driver's only persistent state: the primary key of the
+   last source row the server acknowledged copying, plus a running row
+   count. Written atomically (tmp + rename, same idiom as the audit
+   mark) after every acked batch, so a migrator killed mid-copy resumes
+   from the last durable key instead of rescanning — and because the
+   server-side [Migrate] request skips keys already present in the
+   target, even a cursor that is one batch stale only re-sends work the
+   server will recognise and skip. *)
+
+let points = "migrate.cursor"
+let () = Fault.Fsutil.register_atomic_points points
+
+type t = {
+  source : string;  (** plain table being copied from *)
+  target : string;  (** ledger table being copied into *)
+  last_key : Relation.Value.t list;
+      (** primary key of the last row acked durable in the target;
+          [[]] = nothing copied yet *)
+  copied : int;  (** rows copied across all batches so far *)
+}
+
+let start ~source ~target = { source; target; last_key = []; copied = 0 }
+
+let to_json t =
+  Sjson.Obj
+    [
+      ("source", Sjson.String t.source);
+      ("target", Sjson.String t.target);
+      ( "last_key",
+        Sjson.List (List.map Relation.Value.to_tagged_json t.last_key) );
+      ("copied", Sjson.Int t.copied);
+    ]
+
+let of_json json =
+  match (Sjson.member "source" json, Sjson.member "target" json) with
+  | Sjson.String source, Sjson.String target -> (
+      let copied =
+        match Sjson.member "copied" json with Sjson.Int i -> i | _ -> 0
+      in
+      match Sjson.member "last_key" json with
+      | Sjson.List vs -> (
+          let parsed = List.map Relation.Value.of_tagged_json vs in
+          if List.mem None parsed then Error "cursor last_key has a bad value"
+          else
+            match List.map Option.get parsed with
+            | last_key -> Ok { source; target; last_key; copied })
+      | _ -> Error "cursor is missing last_key"
+      )
+  | _ -> Error "cursor is missing source/target"
+
+let save ~path t =
+  Fault.Fsutil.atomic_write ~point_prefix:points ~path
+    (Sjson.to_string (to_json t))
+
+(* [Ok None] = no cursor yet: a fresh migration. A present-but-broken
+   cursor is an error, not a silent restart — restarting from the
+   beginning is harmless for correctness (copies are idempotent) but
+   would hide the corruption from the operator. *)
+let load ~path =
+  if not (Sys.file_exists path) then Ok None
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error e -> Error e
+    | contents -> (
+        match Sjson.of_string contents with
+        | exception Sjson.Parse_error e ->
+            Error (Printf.sprintf "migration cursor %s is not JSON: %s" path e)
+        | json -> (
+            match of_json json with
+            | Ok t -> Ok (Some t)
+            | Error e -> Error e))

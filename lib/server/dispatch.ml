@@ -75,6 +75,9 @@ type t = {
   lock : Rwlock.t;
   metrics : Metrics.t;
   server_name : string;
+  auth_secret : string option;
+      (* shared-secret contents backing principal authentication; [None]
+         means the node cannot verify principal claims and refuses them *)
   snap : published option Atomic.t;
       (* latest published snapshot; [None] only on a replica that has
          not applied anything yet *)
@@ -119,7 +122,8 @@ let register_snapshot_age ~metrics ~snap ~batch_seq =
           ])
 
 let create ?(group_commit_window = 0.0) ?(max_inflight = 0)
-    ?(max_queue_depth = 0) ?repl ?digests ~durable ~metrics ~server_name () =
+    ?(max_queue_depth = 0) ?auth_secret ?repl ?digests ~durable ~metrics
+    ~server_name () =
   let snap = Atomic.make None in
   let batch_seq = Atomic.make 0 in
   let queue =
@@ -148,6 +152,7 @@ let create ?(group_commit_window = 0.0) ?(max_inflight = 0)
       lock = Rwlock.create ();
       metrics;
       server_name;
+      auth_secret;
       snap;
       batch_seq;
       max_inflight;
@@ -179,7 +184,8 @@ let create ?(group_commit_window = 0.0) ?(max_inflight = 0)
    around each batch. Readers here serve published snapshots; until the
    first batch is applied there is nothing published and they share the
    lock with the apply path. *)
-let create_replica ~lock ~get_db ~primary ~metrics ~server_name () =
+let create_replica ?auth_secret ~lock ~get_db ~primary ~metrics ~server_name
+    () =
   let snap = Atomic.make None in
   let batch_seq = Atomic.make 0 in
   register_snapshot_age ~metrics ~snap ~batch_seq;
@@ -188,6 +194,7 @@ let create_replica ~lock ~get_db ~primary ~metrics ~server_name () =
     lock;
     metrics;
     server_name;
+    auth_secret;
     snap;
     batch_seq;
     max_inflight = 0;
@@ -369,9 +376,28 @@ let guard t f =
   | Failure e -> err Protocol.Exec_error "%s" e
   | (Fault.Injected_crash _ | Fault.Injected_error _) as e -> raise e
 
+(* Temporal reads (FOR SYSTEM_TIME AS OF anywhere in the FROM tree) get
+   their own counter next to the per-kind histograms, so an operator can
+   see how much of the read path is time travel. *)
+let rec from_has_as_of = function
+  | Sqlexec.Ast.Table { as_of; _ } -> as_of <> None
+  | Sqlexec.Ast.Subquery { query; _ } -> select_has_as_of query
+  | Sqlexec.Ast.Openjson _ -> false
+  | Sqlexec.Ast.Join { left; right; _ } ->
+      from_has_as_of left || from_has_as_of right
+
+and select_has_as_of (q : Sqlexec.Ast.select) =
+  match q.from with Some f -> from_has_as_of f | None -> false
+
+let note_temporal t = function
+  | Sqlexec.Ast.Select q when select_has_as_of q ->
+      Metrics.bump t.metrics "query.temporal"
+  | _ -> ()
+
 let exec_sql t s sql =
   guard t (fun () ->
       let statement = Sqlexec.Parser.parse_statement sql in
+      note_temporal t statement;
       let run () =
         result_to_response
           (Dml.execute_statement ?txn:s.s_txn (db t) ~user:s.s_user statement)
@@ -428,6 +454,7 @@ let query_sql t s sql =
   guard t (fun () ->
       match Sqlexec.Parser.parse_statement sql with
       | Sqlexec.Ast.Select _ as statement ->
+          note_temporal t statement;
           with_read t s (fun view ->
               result_to_response
                 (Dml.execute_statement ?txn:s.s_txn view ~user:s.s_user
@@ -603,7 +630,7 @@ let run_verify t s ~tables ~digest_jsons =
                           report.Verifier.violations;
                     }))
 
-let create_table t s ~name ~columns ~key =
+let create_table t s ~name ~columns ~key ~ledger =
   let rec build acc = function
     | [] -> Ok (List.rev acc)
     | (cname, ty) :: rest -> (
@@ -616,10 +643,112 @@ let create_table t s ~name ~columns ~key =
   | Ok cols ->
       guard t (fun () ->
           with_write t s (fun () ->
-              ignore
-                (Database.create_ledger_table (db t) ~name ~columns:cols ~key
-                   () : Ledger_table.t);
+              if ledger then
+                ignore
+                  (Database.create_ledger_table (db t) ~name ~columns:cols ~key
+                     () : Ledger_table.t)
+              else
+                ignore
+                  (Database.create_regular_table (db t) ~name ~columns:cols
+                     ~key () : Storage.Table_store.t);
               Protocol.Ok_r))
+
+(* ------------------------------------------------------------------ *)
+(* Online migration, server side (one batch per request).
+
+   Copies up to [limit] rows of a plain table — in primary-key order,
+   strictly after the caller's cursor — into a ledger table as one
+   committed transaction under the session's principal. Rows whose key
+   already exists in the target are skipped, which is what makes a batch
+   replayable: a crashed migrator resumes from its persisted cursor and
+   any batch whose ack was lost re-inserts nothing. Runs under the
+   writer lock like any other write; between batches OLTP traffic,
+   receipts and the audit daemon proceed normally. *)
+
+let max_migrate_batch = 4096
+
+let migrate_batch t s ~source ~target ~after_key ~limit =
+  if limit <= 0 || limit > max_migrate_batch then
+    err Protocol.Bad_request "migrate limit must be in 1..%d" max_migrate_batch
+  else if s.s_txn <> None then
+    err Protocol.Txn_state
+      "migrate runs its own transactions; close the open one first"
+  else
+    guard t (fun () ->
+        with_write t s (fun () ->
+            let dbv = db t in
+            let store = Database.regular_table dbv source in
+            let lt = Database.ledger_table dbv target in
+            let src_schema = Storage.Table_store.schema store in
+            let tgt_schema = Ledger_table.schema lt in
+            let tgt_user_cols =
+              List.map
+                (Relation.Schema.column tgt_schema)
+                (Ledger_table.user_ordinals lt)
+            in
+            if
+              not
+                (List.equal Relation.Column.equal
+                   (Relation.Schema.columns src_schema)
+                   tgt_user_cols)
+            then
+              err Protocol.Exec_error
+                "migrate %s -> %s: user schemas differ" source target
+            else begin
+              let key_arity =
+                List.length (Storage.Table_store.key_ordinals store)
+              in
+              let after =
+                match after_key with
+                | [] -> None
+                | l when List.length l = key_arity ->
+                    Some (Relation.Row.of_list l)
+                | _ ->
+                    Types.errorf
+                      "migrate cursor has %d values; the key of %s has %d"
+                      (List.length after_key) source key_arity
+              in
+              let past pk =
+                match after with
+                | None -> true
+                | Some a -> Relation.Row.compare pk a > 0
+              in
+              (* [scan] walks the clustered tree, so rows arrive in key
+                 order and the cursor advances monotonically. *)
+              let txn = Database.begin_txn dbv ~user:s.s_user in
+              let copied = ref 0 in
+              let last_key = ref after_key in
+              let finished = ref true in
+              (try
+                 List.iter
+                   (fun row ->
+                     let pk = Storage.Table_store.primary_key store row in
+                     if past pk then
+                       if !copied >= limit then begin
+                         (* More source rows remain past this batch. *)
+                         finished := false;
+                         raise Exit
+                       end
+                       else begin
+                         last_key := Relation.Row.to_list pk;
+                         (match Ledger_table.find lt ~key:pk with
+                         | Some _ -> ()  (* already copied: idempotent *)
+                         | None ->
+                             Txn.insert txn lt row;
+                             incr copied)
+                       end)
+                   (Storage.Table_store.scan store)
+               with Exit -> ());
+              if !copied > 0 then ignore (Txn.commit txn : Types.txn_entry)
+              else Txn.rollback txn;
+              Metrics.bump ~n:!copied t.metrics "migrate.rows_copied";
+              Protocol.Migrate_r
+                {
+                  copied = !copied;
+                  last_key = !last_key;
+                  finished = !finished;
+                }
+            end))
 
 let checkpoint t s =
   guard t (fun () ->
@@ -792,7 +921,7 @@ let cleanup t s =
 let is_write_shaped = function
   | Protocol.Exec _ | Protocol.Begin | Protocol.Commit | Protocol.Rollback
   | Protocol.Create_table _ | Protocol.Checkpoint | Protocol.Digest
-  | Protocol.Prepare _ | Protocol.Decide _ ->
+  | Protocol.Prepare _ | Protocol.Decide _ | Protocol.Migrate _ ->
       true
   | _ -> false
 
@@ -804,7 +933,7 @@ let is_write_shaped = function
    the point of admission control is to keep them fast. *)
 let sheds_under_overload s = function
   | Protocol.Exec _ | Protocol.Begin | Protocol.Create_table _
-  | Protocol.Checkpoint | Protocol.Digest ->
+  | Protocol.Checkpoint | Protocol.Digest | Protocol.Migrate _ ->
       s.s_txn = None
   | _ -> false
 
@@ -833,26 +962,68 @@ let retry_after_ms t =
 
 let dispatch t s req =
   match req with
-  | Protocol.Hello { version; client } ->
+  | Protocol.Hello { version; client; principal; auth } ->
       if version <> Protocol.version then
         ( err Protocol.Version_mismatch
             "protocol version mismatch: client %d, server %d" version
             Protocol.version,
           `Close )
       else begin
-        s.s_hello <- true;
-        if client <> "" then s.s_user <- Printf.sprintf "%s-%d" client s.s_id;
-        let database =
-          match t.backend with
-          | Primary _ -> Database.name (db t)
-          | Replica_view { get_db; _ } -> (
-              match get_db () with
-              | Some d -> Database.name d
-              | None -> "(replica syncing)")
+        (* A claimed principal MUST verify; an absent claim keeps the
+           legacy anonymous "client-N" identity, so unauthenticated
+           peers (replication daemons, old clients) still work. The
+           authenticated name is stored bare — it is what the
+           transactions system table, receipts, replicas and 2PC
+           participants all record as the row version's author. *)
+        let auth_result =
+          match principal with
+          | None -> Ok None
+          | Some "" -> Error "principal name must not be empty"
+          | Some p -> (
+              match (t.auth_secret, auth) with
+              | None, _ ->
+                  Error
+                    (Printf.sprintf
+                       "principal %S refused: this server holds no shared \
+                        secret (start it with --auth-secret)"
+                       p)
+              | Some _, None ->
+                  Error
+                    (Printf.sprintf
+                       "principal %S claimed without an auth tag" p)
+              | Some secret, Some tag ->
+                  if Protocol.principal_tag_ok ~secret ~name:p ~tag then
+                    Ok (Some p)
+                  else
+                    Error (Printf.sprintf "invalid auth tag for principal %S" p)
+              )
         in
-        ( Protocol.Welcome
-            { version = Protocol.version; server = t.server_name; database },
-          `Keep )
+        match auth_result with
+        | Error message ->
+            Metrics.bump t.metrics "auth.failed";
+            (err Protocol.Auth_failed "%s" message, `Close)
+        | Ok verified ->
+            s.s_hello <- true;
+            (match verified with
+            | Some p -> s.s_user <- p
+            | None ->
+                if client <> "" then
+                  s.s_user <- Printf.sprintf "%s-%d" client s.s_id);
+            let database =
+              match t.backend with
+              | Primary _ -> Database.name (db t)
+              | Replica_view { get_db; _ } -> (
+                  match get_db () with
+                  | Some d -> Database.name d
+                  | None -> "(replica syncing)")
+            in
+            ( Protocol.Welcome
+                {
+                  version = Protocol.version;
+                  server = t.server_name;
+                  database;
+                },
+              `Keep )
       end
   | _ when not s.s_hello ->
       (err Protocol.Bad_request "first request must be hello", `Close)
@@ -881,8 +1052,8 @@ let dispatch t s req =
   | Protocol.Receipts { txn_ids } -> (generate_receipts t s ~txn_ids, `Keep)
   | Protocol.Verify { tables; digests } ->
       (run_verify t s ~tables ~digest_jsons:digests, `Keep)
-  | Protocol.Create_table { name; columns; key } ->
-      (create_table t s ~name ~columns ~key, `Keep)
+  | Protocol.Create_table { name; columns; key; ledger } ->
+      (create_table t s ~name ~columns ~key ~ledger, `Keep)
   | Protocol.Checkpoint -> (checkpoint t s, `Keep)
   | Protocol.Subscribe { from_lsn; replica_id } ->
       subscribe t s ~from_lsn ~replica_id
@@ -893,6 +1064,8 @@ let dispatch t s req =
       (err Protocol.Bad_request "this server is not a coordinator", `Keep)
   | Protocol.Prepare { gid } -> (prepare_txn t s ~gid, `Keep)
   | Protocol.Decide { gid; commit } -> (decide_txn t ~gid ~commit, `Keep)
+  | Protocol.Migrate { source; target; after_key; limit } ->
+      (migrate_batch t s ~source ~target ~after_key ~limit, `Keep)
   | Protocol.Quit -> (Protocol.Bye, `Close)
 
 (* [handle] returns the response plus what the server should do with the

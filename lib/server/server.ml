@@ -66,6 +66,9 @@ type config = {
   signing_seed : string option;
       (** deterministic Lamport key-chain seed for block signatures;
           [None] = unsigned blocks *)
+  auth_secret : string option;
+      (** shared-secret contents for principal authentication; [None]
+          refuses every principal claim (anonymous sessions still work) *)
 }
 
 let default_config =
@@ -84,6 +87,7 @@ let default_config =
     max_queue_depth = 0;
     block_size = None;
     signing_seed = None;
+    auth_secret = None;
   }
 
 type t = {
@@ -205,8 +209,8 @@ let start ?(config = default_config) () =
                     ~group_commit_window:config.group_commit_window
                     ~max_inflight:config.max_inflight
                     ~max_queue_depth:config.max_queue_depth
-                    ~repl:repl_mgr ~digests ~durable ~metrics
-                    ~server_name:"sqlledger/1.0" ();
+                    ?auth_secret:config.auth_secret ~repl:repl_mgr ~digests
+                    ~durable ~metrics ~server_name:"sqlledger/1.0" ();
                 metrics;
                 stop = Atomic.make false;
                 stats_requested = Atomic.make false;
@@ -233,8 +237,9 @@ let start_replica ?(config = default_config) ~primary ~get_db ~lock () =
           durable = None;
           repl_mgr = None;
           disp =
-            Dispatch.create_replica ~lock ~get_db ~primary ~metrics
-              ~server_name:"sqlledger-replica/1.0" ();
+            Dispatch.create_replica ?auth_secret:config.auth_secret ~lock
+              ~get_db ~primary ~metrics ~server_name:"sqlledger-replica/1.0"
+              ();
           metrics;
           stop = Atomic.make false;
           stats_requested = Atomic.make false;

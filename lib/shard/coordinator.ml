@@ -52,6 +52,11 @@ type config = {
   max_connections : int;
   idle_timeout : float;
   request_timeout : float;
+  auth_secret : string option;
+      (** shared-secret contents (the same file every shard holds):
+          verifies client principal claims and re-authenticates them on
+          the coordinator's own shard connections, so the principal a
+          client proved here is the one every 2PC participant records *)
 }
 
 let default_config =
@@ -63,6 +68,7 @@ let default_config =
     max_connections = 64;
     idle_timeout = 60.0;
     request_timeout = 30.0;
+    auth_secret = None;
   }
 
 type schema = { sc_columns : (string * string) list; sc_key : string list }
@@ -424,6 +430,10 @@ let resolve_pending t =
 type session = {
   sid : int;
   mutable greeted : bool;
+  mutable principal : string option;
+      (* the identity this session authenticated at hello; forwarded on
+         every shard connection the session opens, so the shards' ledgers
+         record the end client, not the coordinator *)
   conns : (int, Client.t) Hashtbl.t;  (* shard -> dedicated connection *)
   mutable txn : int list option;  (* shards holding an open BEGIN *)
 }
@@ -446,7 +456,8 @@ let session_conn t s i =
       match
         Client.connect_retry
           ~client:(Printf.sprintf "%s/s%d" t.cfg.name s.sid)
-          ~max_attempts:4 ~backoff_min:0.02 ~backoff_max:0.3 ~host ~port ()
+          ?principal:s.principal ?secret:t.cfg.auth_secret ~max_attempts:4
+          ~backoff_min:0.02 ~backoff_max:0.3 ~host ~port ()
       with
       | Ok c ->
           Hashtbl.replace s.conns i c;
@@ -670,7 +681,7 @@ let route_statement t stmt =
   match stmt with
   | Ast.Select q -> (
       match q.from with
-      | Some (Ast.Table { name; alias }) -> (
+      | Some (Ast.Table { name; alias; as_of = _ }) -> (
           let label = Option.value alias ~default:name in
           match find_schema t name with
           | Some { sc_key = [ key_col ]; _ } -> (
@@ -1136,12 +1147,14 @@ let coordinator_verify t ~tables ~digest_jsons =
 (* ------------------------------------------------------------------ *)
 (* DDL and admin *)
 
-let create_table t s ~name ~columns ~key =
+let create_table t s ~name ~columns ~key ~ledger =
   let apply () =
     let rec go = function
       | [] -> Ok ()
       | i :: rest -> (
-          match scall t s i (Protocol.Create_table { name; columns; key }) with
+          match
+            scall t s i (Protocol.Create_table { name; columns; key; ledger })
+          with
           | Ok Protocol.Ok_r -> go rest
           | Ok (Protocol.Error_r { message; _ }) ->
               Error (Printf.sprintf "shard %d: %s" i message)
@@ -1191,22 +1204,53 @@ let stats_lines t =
 
 let handle t s ~map_epoch req =
   match req with
-  | Protocol.Hello { version; _ } ->
+  | Protocol.Hello { version; principal; auth; _ } ->
       if version <> Protocol.version then
         ( err Protocol.Version_mismatch
             "protocol version mismatch: client %d, server %d" version
             Protocol.version,
           `Close )
       else begin
-        s.greeted <- true;
-        ( Protocol.Welcome
-            {
-              version = Protocol.version;
-              server = "sqlledger-coord/1.0";
-              database =
-                Printf.sprintf "sharded/%d" (Shard_map.count (map t));
-            },
-          `Keep )
+        (* Same policy as a single node: a claimed principal must verify
+           against the deployment's shared secret; an absent claim stays
+           anonymous. The verified name is replayed on every shard
+           handshake this session makes. *)
+        let auth_result =
+          match principal with
+          | None -> Ok None
+          | Some "" -> Error "principal name must not be empty"
+          | Some p -> (
+              match (t.cfg.auth_secret, auth) with
+              | None, _ ->
+                  Error
+                    (Printf.sprintf
+                       "principal %S refused: this coordinator holds no \
+                        shared secret (start it with --auth-secret)"
+                       p)
+              | Some _, None ->
+                  Error
+                    (Printf.sprintf "principal %S claimed without an auth tag"
+                       p)
+              | Some secret, Some tag ->
+                  if Protocol.principal_tag_ok ~secret ~name:p ~tag then
+                    Ok (Some p)
+                  else
+                    Error
+                      (Printf.sprintf "invalid auth tag for principal %S" p))
+        in
+        match auth_result with
+        | Error message -> (err Protocol.Auth_failed "%s" message, `Close)
+        | Ok verified ->
+            s.greeted <- true;
+            s.principal <- verified;
+            ( Protocol.Welcome
+                {
+                  version = Protocol.version;
+                  server = "sqlledger-coord/1.0";
+                  database =
+                    Printf.sprintf "sharded/%d" (Shard_map.count (map t));
+                },
+              `Keep )
       end
   | _ when not s.greeted ->
       (err Protocol.Bad_request "the first request must be hello", `Close)
@@ -1280,8 +1324,8 @@ let handle t s ~map_epoch req =
   | Protocol.Digest -> (coordinator_digest t s, `Keep)
   | Protocol.Verify { tables; digests } ->
       (coordinator_verify t ~tables ~digest_jsons:digests, `Keep)
-  | Protocol.Create_table { name; columns; key } ->
-      (create_table t s ~name ~columns ~key, `Keep)
+  | Protocol.Create_table { name; columns; key; ledger } ->
+      (create_table t s ~name ~columns ~key ~ledger, `Keep)
   | Protocol.Checkpoint ->
       let rec go = function
         | [] -> Protocol.Ok_r
@@ -1309,6 +1353,12 @@ let handle t s ~map_epoch req =
       ( err Protocol.Bad_request
           "2PC verbs are coordinator-to-shard only; this endpoint is the \
            coordinator",
+        `Keep )
+  | Protocol.Migrate _ ->
+      ( err Protocol.Bad_request
+          "migration is shard-local (tables and cursors live on one \
+           primary); fetch the shard map and run `sqlledger migrate` \
+           against the owning shard",
         `Keep )
 
 (* ------------------------------------------------------------------ *)
@@ -1349,7 +1399,15 @@ let session_loop t sid fd =
     if t.cfg.request_timeout > 0.0 then Some t.cfg.request_timeout else None
   in
   let conn = Frame.of_fd fd in
-  let s = { sid; greeted = false; conns = Hashtbl.create 4; txn = None } in
+  let s =
+    {
+      sid;
+      greeted = false;
+      principal = None;
+      conns = Hashtbl.create 4;
+      txn = None;
+    }
+  in
   let idle = ref 0.0 in
   let slice = 0.2 in
   let closing = ref false in

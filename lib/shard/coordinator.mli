@@ -11,6 +11,10 @@ type config = {
   max_connections : int;
   idle_timeout : float;
   request_timeout : float;
+  auth_secret : string option;
+      (** shared-secret contents (same file as every shard): verifies
+          client principal claims at hello and re-authenticates the
+          verified name on the coordinator's own shard connections *)
 }
 
 val default_config : config

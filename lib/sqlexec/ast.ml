@@ -78,7 +78,14 @@ and select = {
 and projection = Star | Expr of expr * string option
 
 and from =
-  | Table of { name : string; alias : string option }
+  | Table of {
+      name : string;
+      alias : string option;
+      as_of : expr option;
+          (** temporal clause: [FOR SYSTEM_TIME AS OF <ts>] resolves a
+              ledger table (or its [_ledger] provenance view) to its
+              state at that commit timestamp. [None] = current state. *)
+    }
   | Subquery of { query : select; alias : string }
   | Openjson of { arg : expr; alias : string }
   | Join of { left : from; kind : join_kind; right : from; on : expr }

@@ -7,6 +7,7 @@ let err fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
 
 type catalog = {
   lookup_table : string -> (string list * Row.t list) option;
+  lookup_table_as_of : string -> as_of:float -> (string list * Row.t list) option;
   functions : (string * (Value.t list -> Value.t)) list;
 }
 
@@ -17,6 +18,7 @@ let catalog_of_tables tables =
   {
     lookup_table =
       (fun name -> List.assoc_opt (String.lowercase_ascii name) tables);
+    lookup_table_as_of = (fun _ ~as_of:_ -> None);
     functions = [];
   }
 
@@ -368,11 +370,43 @@ let compute_windows ctx rows windows =
 (* --------------------------------------------------------------- *)
 (* FROM evaluation *)
 
+(* The AS OF timestamp is a constant expression evaluated before any row
+   context exists. Accept the natural spellings — a numeric literal, a
+   DATETIME value, or a numeric string — and refuse everything else with
+   a typed error rather than silently reading the wrong state. *)
+let as_of_timestamp catalog expr =
+  match eval (null_ctx catalog) expr with
+  | Value.Float f -> f
+  | Value.Int i -> float_of_int i
+  | Value.Datetime f -> f
+  | Value.String s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some f -> f
+      | None ->
+          err
+            "FOR SYSTEM_TIME AS OF: malformed timestamp '%s' (expected a \
+             unix timestamp)"
+            s)
+  | Value.Null -> err "FOR SYSTEM_TIME AS OF: timestamp is NULL"
+  | v ->
+      err "FOR SYSTEM_TIME AS OF: expected a timestamp, got %s"
+        (Value.to_string v)
+
 let rec eval_from catalog from =
   match from with
-  | Table { name; alias } -> (
-      match catalog.lookup_table name with
-      | None -> err "unknown table %s" name
+  | Table { name; alias; as_of } -> (
+      let resolved =
+        match as_of with
+        | None -> catalog.lookup_table name
+        | Some expr ->
+            let ts = as_of_timestamp catalog expr in
+            catalog.lookup_table_as_of name ~as_of:ts
+      in
+      match resolved with
+      | None when as_of = None -> err "unknown table %s" name
+      | None ->
+          err "table %s has no FOR SYSTEM_TIME view (not a ledger table?)"
+            name
       | Some (names, rows) ->
           let alias = Option.value alias ~default:name in
           Rel.make ~alias names rows)

@@ -11,6 +11,11 @@ type catalog = {
   lookup_table : string -> (string list * Relation.Row.t list) option;
       (** Column names and rows for a table name (case handling is the
           provider's business; the engine passes the name through). *)
+  lookup_table_as_of :
+    string -> as_of:float -> (string list * Relation.Row.t list) option;
+      (** The same relation as it stood at commit timestamp [as_of]
+          ([FOR SYSTEM_TIME AS OF]). [None] = the name has no temporal
+          view; providers without history return [None] for every name. *)
   functions : (string * (Relation.Value.t list -> Relation.Value.t)) list;
       (** Scalar functions by uppercase name; consulted after
           {!Builtins.default}. *)

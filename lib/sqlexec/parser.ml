@@ -60,7 +60,7 @@ let reserved =
     "INNER"; "LEFT"; "RIGHT"; "FULL"; "OUTER"; "ON"; "AS"; "AND"; "OR";
     "NOT"; "NULL"; "TRUE"; "FALSE"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END";
     "IS"; "IN"; "BY"; "ASC"; "DESC"; "OVER"; "UNION"; "LIKE"; "BETWEEN";
-    "DISTINCT"; "INTO"; "VALUES"; "SET"; "EXISTS";
+    "DISTINCT"; "INTO"; "VALUES"; "SET"; "EXISTS"; "FOR";
   ]
 
 let is_reserved tok =
@@ -210,7 +210,11 @@ and parse_from_atom st =
   end
   else begin
     let name = ident st in
-    let alias =
+    (* T-SQL puts the temporal clause before the alias:
+       FROM t FOR SYSTEM_TIME AS OF <ts> [AS] a. Accept the alias on
+       either side so the natural `FROM t a FOR SYSTEM_TIME ...` also
+       parses. *)
+    let parse_alias () =
       if try_kw st "AS" then Some (ident st)
       else
         match peek st with
@@ -219,7 +223,19 @@ and parse_from_atom st =
             Some (ident st)
         | _ -> None
     in
-    Table { name; alias }
+    let parse_as_of () =
+      if try_kw st "FOR" then begin
+        eat_kw st "SYSTEM_TIME";
+        eat_kw st "AS";
+        eat_kw st "OF";
+        Some (parse_additive st)
+      end
+      else None
+    in
+    let alias = parse_alias () in
+    let as_of = parse_as_of () in
+    let alias = match alias with Some _ -> alias | None -> parse_alias () in
+    Table { name; alias; as_of }
   end
 
 and parse_expr_st st = parse_or st

@@ -30,6 +30,8 @@ type t = {
   host : string;
   port : int;
   client_name : string;
+  principal : string option;  (* authenticated identity for the session *)
+  secret : string option;  (* shared-secret contents backing the claim *)
   mutable retries : int;  (* attempts beyond the first, all reasons *)
   rng : int64 ref;  (* splitmix64 state for retry jitter *)
 }
@@ -37,10 +39,11 @@ type t = {
 type connect_error =
   | Refused of string  (** nothing listening / unreachable *)
   | Mismatch of string  (** server speaks another protocol version *)
+  | Auth of string  (** server rejected the principal claim *)
   | Handshake of string  (** rejected hello (busy, junk reply, ...) *)
 
 let connect_error_to_string = function
-  | Refused m | Mismatch m | Handshake m -> m
+  | Refused m | Mismatch m | Auth m | Handshake m -> m
 
 let server t = t.server
 let database t = t.database
@@ -171,9 +174,25 @@ let handshake ?(deadline_s = default_hello_timeout) t =
     Frame.close t.conn;
     Error e
   in
+  let auth =
+    match (t.principal, t.secret) with
+    | Some p, Some s -> Some (Protocol.principal_tag ~secret:s p)
+    | Some p, None ->
+        (* No secret: send the bare claim anyway; the server's reject
+           names the real problem instead of a silent anonymous session. *)
+        ignore p;
+        None
+    | None, _ -> None
+  in
   match
     call ~deadline_s t
-      (Protocol.Hello { version = Protocol.version; client = t.client_name })
+      (Protocol.Hello
+         {
+           version = Protocol.version;
+           client = t.client_name;
+           principal = t.principal;
+           auth;
+         })
   with
   | Error e -> fail (Handshake ("handshake failed: " ^ e))
   | Ok (Protocol.Welcome { version; server; database }) ->
@@ -189,11 +208,13 @@ let handshake ?(deadline_s = default_hello_timeout) t =
       end
   | Ok (Protocol.Error_r { code = Protocol.Version_mismatch; message; _ }) ->
       fail (Mismatch message)
+  | Ok (Protocol.Error_r { code = Protocol.Auth_failed; message; _ }) ->
+      fail (Auth message)
   | Ok (Protocol.Error_r { message; _ }) ->
       fail (Handshake ("server rejected connection: " ^ message))
   | Ok _ -> fail (Handshake "unexpected reply to hello")
 
-let connect ?(client = "sqlledger") ?seed
+let connect ?(client = "sqlledger") ?principal ?secret ?seed
     ?(hello_timeout_s = default_hello_timeout) ~host ~port () =
   match dial ~host ~port with
   | Error e -> Error e
@@ -207,6 +228,8 @@ let connect ?(client = "sqlledger") ?seed
           host;
           port;
           client_name = client;
+          principal;
+          secret;
           retries = 0;
           rng =
             ref
@@ -215,11 +238,13 @@ let connect ?(client = "sqlledger") ?seed
         }
 
 (* Jittered capped-exponential retry around connection establishment.
-   [Mismatch] is never retried (the peer will not change protocols);
-   refusals and busy/overloaded handshakes are, until the attempts or
-   the deadline budget run out. *)
-let connect_retry ?(client = "sqlledger") ?seed ?(max_attempts = 5)
-    ?(backoff_min = 0.05) ?(backoff_max = 2.0) ?deadline_s ~host ~port () =
+   [Mismatch] is never retried (the peer will not change protocols), nor
+   is [Auth] (the credentials will not improve on their own); refusals
+   and busy/overloaded handshakes are, until the attempts or the
+   deadline budget run out. *)
+let connect_retry ?(client = "sqlledger") ?principal ?secret ?seed
+    ?(max_attempts = 5) ?(backoff_min = 0.05) ?(backoff_max = 2.0) ?deadline_s
+    ~host ~port () =
   let deadline_at = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s in
   let rng =
     (* One jitter stream across the whole attempt sequence; the connected
@@ -239,12 +264,13 @@ let connect_retry ?(client = "sqlledger") ?seed ?(max_attempts = 5)
             (Float.max 0.05 (at -. Unix.gettimeofday ()))
     in
     match
-      connect ~client ~seed:(Int64.to_int !rng) ~hello_timeout_s ~host ~port ()
+      connect ~client ?principal ?secret ~seed:(Int64.to_int !rng)
+        ~hello_timeout_s ~host ~port ()
     with
     | Ok t ->
         t.rng := !rng;
         Ok t
-    | Error (Mismatch _ as e) -> Error e
+    | Error ((Mismatch _ | Auth _) as e) -> Error e
     | Error e ->
         let out_of_budget =
           match deadline_at with
@@ -271,7 +297,10 @@ let connect_retry ?(client = "sqlledger") ?seed ?(max_attempts = 5)
    those are retried for every request kind.) *)
 let is_idempotent = function
   | Protocol.Hello _ | Protocol.Ping | Protocol.Query _ | Protocol.Receipt _
-  | Protocol.Verify _ | Protocol.Stats ->
+  | Protocol.Verify _ | Protocol.Stats
+  (* A migrate batch skips target keys that already exist, so replaying
+     a batch whose reply was lost re-inserts nothing. *)
+  | Protocol.Migrate _ ->
       true
   | _ -> false
 

@@ -19,6 +19,30 @@ open Relation
 let version = 1
 
 (* ------------------------------------------------------------------ *)
+(* Principal authentication *)
+
+(* The handshake's principal claim is authenticated with an HMAC-SHA256
+   tag over a fixed-context message, keyed by a shared secret every node
+   of the deployment holds (a file passed to `serve --auth-secret`). The
+   context prefix stops the tag from being reusable as a MAC over any
+   other protocol string. Tags travel hex-encoded. *)
+
+let principal_context = "SLW1-principal:"
+
+let principal_tag ~secret name =
+  Ledger_crypto.Hex.encode
+    (Ledger_crypto.Hmac.mac ~key:secret (principal_context ^ name))
+
+(* Constant-time on the tag comparison; malformed hex is a plain reject. *)
+let principal_tag_ok ~secret ~name ~tag =
+  match Ledger_crypto.Hex.decode tag with
+  | exception Invalid_argument _ -> false
+  | raw ->
+      Ledger_crypto.Hmac.verify ~key:secret
+        ~msg:(principal_context ^ name)
+        ~tag:raw
+
+(* ------------------------------------------------------------------ *)
 (* Typed error codes *)
 
 type error_code =
@@ -44,6 +68,11 @@ type error_code =
           [map_epoch] is the server's current epoch — refetch the map
           ([Shard_map]) and retry. Refused before any work, so always
           retry-safe. *)
+  | Auth_failed
+      (** the hello claimed a principal the server could not authenticate
+          (bad HMAC tag, or the server holds no shared secret); the
+          connection is closed — retrying with the same credentials is
+          pointless *)
   | Internal  (** unexpected server-side failure *)
 
 let error_code_to_string = function
@@ -61,6 +90,7 @@ let error_code_to_string = function
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
   | Wrong_shard -> "wrong_shard"
+  | Auth_failed -> "auth_failed"
   | Internal -> "internal"
 
 let error_code_of_string = function
@@ -78,6 +108,7 @@ let error_code_of_string = function
   | "overloaded" -> Some Overloaded
   | "deadline_exceeded" -> Some Deadline_exceeded
   | "wrong_shard" -> Some Wrong_shard
+  | "auth_failed" -> Some Auth_failed
   | "internal" -> Some Internal
   | _ -> None
 
@@ -85,7 +116,19 @@ let error_code_of_string = function
 (* Requests *)
 
 type request =
-  | Hello of { version : int; client : string }
+  | Hello of {
+      version : int;
+      client : string;
+      principal : string option;
+          (** authenticated identity claimed for this session; recorded
+              as the transactions system table's [username] on every
+              commit the session makes. [None] keeps the legacy
+              anonymous "client-N" identity. *)
+      auth : string option;
+          (** hex HMAC-SHA256 tag over ["SLW1-principal:" ^ principal]
+              keyed by the deployment's shared secret; mandatory when
+              [principal] is claimed *)
+    }
   | Ping
   | Exec of { sql : string }  (** any statement; writes serialize *)
   | Query of { sql : string }  (** SELECT only; runs on the read path *)
@@ -106,6 +149,10 @@ type request =
       name : string;
       columns : (string * string) list;  (** (name, datatype string) *)
       key : string list;
+      ledger : bool;
+          (** [true] (the default) creates a ledger table; [false]
+              creates a plain updatable table — the starting point of an
+              online migration *)
     }
   | Checkpoint
   | Stats
@@ -127,6 +174,19 @@ type request =
       (** 2PC phase two: commit or abort the transaction prepared under
           [gid]. Idempotent — deciding an unknown gid answers [Ok_r] so a
           recovering coordinator can re-send decisions. *)
+  | Migrate of {
+      source : string;  (** plain (regular) table to copy from *)
+      target : string;  (** ledger table to copy into *)
+      after_key : Value.t list;
+          (** resume cursor: copy only rows whose primary key sorts
+              strictly after this one; [[]] starts from the beginning *)
+      limit : int;  (** max rows copied in this one batch/commit *)
+    }
+      (** copy one group-commit-sized chunk of [source] into [target] as
+          a single committed transaction under the session's principal.
+          Rows whose key already exists in [target] are skipped, so
+          re-sending a batch after a crash or torn reply is harmless —
+          the request is idempotent and retry-safe. *)
   | Quit
 
 let request_kind = function
@@ -148,11 +208,18 @@ let request_kind = function
   | Shard_map -> "shard_map"
   | Prepare _ -> "prepare"
   | Decide _ -> "decide"
+  | Migrate _ -> "migrate"
   | Quit -> "quit"
 
 let request_fields = function
-  | Hello { version; client } ->
+  | Hello { version; client; principal; auth } ->
       [ ("version", Sjson.Int version); ("client", Sjson.String client) ]
+      @ (match principal with
+        | Some p -> [ ("principal", Sjson.String p) ]
+        | None -> [])
+      @ (match auth with
+        | Some a -> [ ("auth", Sjson.String a) ]
+        | None -> [])
   | Exec { sql } | Query { sql } -> [ ("sql", Sjson.String sql) ]
   | Receipt { txn_id } -> [ ("txn_id", Sjson.Int txn_id) ]
   | Receipts { txn_ids } ->
@@ -167,7 +234,7 @@ let request_fields = function
         ("tables", Sjson.List (List.map (fun t -> Sjson.String t) tables));
         ("digests", Sjson.List digests);
       ]
-  | Create_table { name; columns; key } ->
+  | Create_table { name; columns; key; ledger } ->
       [
         ("name", Sjson.String name);
         ( "columns",
@@ -178,10 +245,19 @@ let request_fields = function
                    [ ("name", Sjson.String n); ("type", Sjson.String ty) ])
                columns) );
         ("key", Sjson.List (List.map (fun k -> Sjson.String k) key));
+        ("ledger", Sjson.Bool ledger);
       ]
   | Prepare { gid } -> [ ("gid", Sjson.String gid) ]
   | Decide { gid; commit } ->
       [ ("gid", Sjson.String gid); ("commit", Sjson.Bool commit) ]
+  | Migrate { source; target; after_key; limit } ->
+      [
+        ("source", Sjson.String source);
+        ("target", Sjson.String target);
+        ( "after_key",
+          Sjson.List (List.map Value.to_tagged_json after_key) );
+        ("limit", Sjson.Int limit);
+      ]
   | Ping | Begin | Commit | Rollback | Digest | Checkpoint | Stats | Shard_map
   | Quit ->
       []
@@ -232,6 +308,14 @@ type response =
       (** the coordinator's partition map: [shards.(i)] is the (host,
           port) of the primary owning hash bucket [i]; [epoch] increments
           on every topology change and gates [wrong_shard] refusals *)
+  | Migrate_r of {
+      copied : int;  (** rows actually inserted by this batch *)
+      last_key : Value.t list;
+          (** primary key of the last source row examined — the resume
+              cursor for the next batch; [[]] when the source was empty
+              past the requested cursor *)
+      finished : bool;  (** no source rows remain past [last_key] *)
+    }
   | Bye
   | Error_r of {
       code : error_code;
@@ -259,6 +343,7 @@ let response_kind = function
   | Subscribed _ -> "subscribed"
   | Snapshot_r _ -> "snapshot"
   | Shard_map_r _ -> "shard_map"
+  | Migrate_r _ -> "migrate"
   | Bye -> "bye"
   | Error_r _ -> "error"
 
@@ -318,6 +403,12 @@ let response_fields = function
                  Sjson.Obj
                    [ ("host", Sjson.String host); ("port", Sjson.Int port) ])
                shards) );
+      ]
+  | Migrate_r { copied; last_key; finished } ->
+      [
+        ("copied", Sjson.Int copied);
+        ("last_key", Sjson.List (List.map Value.to_tagged_json last_key));
+        ("finished", Sjson.Bool finished);
       ]
   | Error_r { code; message; retry_after_ms; map_epoch } ->
       ("code", Sjson.String (error_code_to_string code))
@@ -404,6 +495,25 @@ let string_list name obj =
       go [] items
   | _ -> Error (Printf.sprintf "field %S must be a list" name)
 
+let value_of_tagged json =
+  match Value.of_tagged_json json with
+  | Some v -> Ok v
+  | None -> Error "row cell is not a tagged value"
+
+(* A row key as a list of tagged values; absent means []. *)
+let value_list name obj =
+  match Sjson.member name obj with
+  | Sjson.Null -> Ok []
+  | Sjson.List items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest ->
+            let* v = value_of_tagged item in
+            go (v :: acc) rest
+      in
+      go [] items
+  | _ -> Error (Printf.sprintf "field %S must be a list of tagged values" name)
+
 let decode_request payload =
   let* obj = decode payload in
   let id = req_id obj in
@@ -427,7 +537,17 @@ let decode_request payload =
             let client =
               match str_field "client" obj with Ok c -> c | Error _ -> "?"
             in
-            Ok (Hello { version; client })
+            let opt_str name =
+              match str_field name obj with Ok s -> Some s | Error _ -> None
+            in
+            Ok
+              (Hello
+                 {
+                   version;
+                   client;
+                   principal = opt_str "principal";
+                   auth = opt_str "auth";
+                 })
         | "ping" -> Ok Ping
         | "exec" ->
             let* sql = str_field "sql" obj in
@@ -480,7 +600,12 @@ let decode_request payload =
                   go [] items
               | _ -> Error "missing field \"columns\""
             in
-            Ok (Create_table { name; columns; key })
+            let ledger =
+              match Sjson.member "ledger" obj with
+              | Sjson.Bool b -> b
+              | _ -> true
+            in
+            Ok (Create_table { name; columns; key; ledger })
         | "checkpoint" -> Ok Checkpoint
         | "stats" -> Ok Stats
         | "subscribe" ->
@@ -499,14 +624,15 @@ let decode_request payload =
               | _ -> Error "missing bool field \"commit\""
             in
             Ok (Decide { gid; commit })
+        | "migrate" ->
+            let* source = str_field "source" obj in
+            let* target = str_field "target" obj in
+            let* after_key = value_list "after_key" obj in
+            let* limit = int_field "limit" obj in
+            Ok (Migrate { source; target; after_key; limit })
         | "quit" -> Ok Quit
         | other -> Error ("unknown request " ^ other))
   | _ -> Error "missing request discriminator \"req\""
-
-let value_of_tagged json =
-  match Value.of_tagged_json json with
-  | Some v -> Ok v
-  | None -> Error "row cell is not a tagged value"
 
 let decode_response payload =
   let* obj = decode payload in
@@ -631,6 +757,15 @@ let decode_response payload =
               | _ -> Error "missing field \"shards\""
             in
             Ok (Shard_map_r { epoch; shards })
+        | "migrate" ->
+            let* copied = int_field "copied" obj in
+            let* last_key = value_list "last_key" obj in
+            let finished =
+              match Sjson.member "finished" obj with
+              | Sjson.Bool b -> b
+              | _ -> false
+            in
+            Ok (Migrate_r { copied; last_key; finished })
         | "bye" -> Ok Bye
         | "error" ->
             let* code_s = str_field "code" obj in

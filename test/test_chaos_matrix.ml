@@ -189,7 +189,7 @@ let run_trial trial =
           {
             name = "accounts";
             columns = [ ("name", "varchar(40)"); ("balance", "int") ];
-            key = [ "name" ];
+            key = [ "name" ]; ledger = true
           }));
   (* Seeded fault schedule over the proxy, applied concurrently with the
      workload below. *)
@@ -405,7 +405,7 @@ let test_failover_promotion () =
           {
             name = "accounts";
             columns = [ ("name", "varchar(40)"); ("balance", "int") ];
-            key = [ "name" ];
+            key = [ "name" ]; ledger = true
           }));
   (* Write through a flapping link: dribble, heal, drop, heal. *)
   let sched_th =

@@ -143,7 +143,7 @@ let run_trial trial =
           {
             name = "gc";
             columns = [ ("id", "int"); ("v", "varchar(32)") ];
-            key = [ "id" ];
+            key = [ "id" ]; ledger = true
           })
    with
   | Ok r when not (Protocol.response_is_error r) -> ()

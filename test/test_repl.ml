@@ -249,7 +249,7 @@ let create_accounts client =
           {
             name = "accounts";
             columns = [ ("name", "varchar(40)"); ("balance", "int") ];
-            key = [ "name" ];
+            key = [ "name" ]; ledger = true
           }))
 
 let insert client name balance =

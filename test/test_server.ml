@@ -79,7 +79,7 @@ let create_accounts client =
           {
             name = "accounts";
             columns = [ ("name", "varchar(40)"); ("balance", "int") ];
-            key = [ "name" ];
+            key = [ "name" ]; ledger = true
           }))
 
 let insert client name balance =
@@ -312,7 +312,7 @@ let test_version_mismatch () =
   with_server (fun ~dir:_ ~port _srv ->
       let conn = raw_connect port in
       (match
-         raw_call conn (Protocol.Hello { version = 999; client = "future" })
+         raw_call conn (Protocol.Hello { version = 999; client = "future"; principal = None; auth = None })
        with
       | Protocol.Error_r { code = Protocol.Version_mismatch; _ } -> ()
       | r ->
@@ -487,7 +487,7 @@ let test_deadline_refusal () =
          300ms later — the server must refuse it *after* acquiring the
          lock, with the typed code and without touching the ledger. *)
       let b = raw_connect port in
-      (match raw_call b (Protocol.Hello { version = Protocol.version; client = "late" })
+      (match raw_call b (Protocol.Hello { version = Protocol.version; client = "late"; principal = None; auth = None })
        with
       | Protocol.Welcome _ -> ()
       | r -> Alcotest.fail ("hello returned " ^ Protocol.response_kind r));
@@ -547,7 +547,7 @@ let test_mid_frame_stall () =
       let conn = Frame.of_fd fd in
       (match
          raw_call conn
-           (Protocol.Hello { version = Protocol.version; client = "staller" })
+           (Protocol.Hello { version = Protocol.version; client = "staller"; principal = None; auth = None })
        with
       | Protocol.Welcome _ -> ()
       | r -> Alcotest.fail ("hello returned " ^ Protocol.response_kind r));
@@ -573,7 +573,7 @@ let test_dribbled_request_tolerated () =
       let conn = Frame.of_fd fd in
       let payload =
         Protocol.encode_request ~id:1
-          (Protocol.Hello { version = Protocol.version; client = "dribbler" })
+          (Protocol.Hello { version = Protocol.version; client = "dribbler"; principal = None; auth = None })
       in
       let frame = Frame.header_bytes (String.length payload) ^ payload in
       (* Two bytes every 10ms: hostile pacing, but within the frame
@@ -594,6 +594,237 @@ let test_dribbled_request_tolerated () =
           | Error e -> Alcotest.fail ("malformed response: " ^ e))
       | _ -> Alcotest.fail "server must answer a slow-but-live client");
       Frame.close conn)
+
+(* --- authenticated principals --- *)
+
+let with_auth_server f =
+  with_server
+    ~tweak:(fun c -> { c with Server.auth_secret = Some "server-shared-secret" })
+    f
+
+let connect_as port principal =
+  match
+    Client.connect ~host:"127.0.0.1" ~port ~principal
+      ~secret:"server-shared-secret" ()
+  with
+  | Ok c -> c
+  | Error e -> Alcotest.fail (Client.connect_error_to_string e)
+
+let test_auth_principals_recorded () =
+  with_auth_server (fun ~dir:_ ~port _srv ->
+      let alice = connect_as port "alice" in
+      let bob = connect_as port "bob" in
+      create_accounts alice;
+      expect_ok "alice insert" (insert alice "Nick" 50);
+      expect_ok "bob insert" (insert bob "Mary" 200);
+      expect_ok "alice again" (insert alice "John" 500);
+      (* The transactions system table must attribute each commit to the
+         authenticated wire principal, not a shared service account. *)
+      (match
+         call alice
+           (Protocol.Query
+              {
+                sql =
+                  "SELECT username FROM database_ledger_transactions \
+                   ORDER BY txn_id";
+              })
+       with
+      | Protocol.Rows_r { rows; _ } ->
+          let users =
+            List.filter_map
+              (function
+                | [ Relation.Value.String u ] when u <> "server" -> Some u
+                | _ -> None)
+              rows
+          in
+          Alcotest.(check (list string)) "per-commit principals"
+            [ "alice"; "bob"; "alice" ]
+            (List.filter (fun u -> u = "alice" || u = "bob") users)
+      | resp -> Alcotest.fail ("query returned " ^ Protocol.response_kind resp));
+      (* The provenance view sees the same principals per row version. *)
+      (match
+         call bob
+           (Protocol.Query
+              {
+                sql =
+                  "SELECT principal_name FROM accounts_ledger \
+                   WHERE operation = 'INSERT' ORDER BY txn_id";
+              })
+       with
+      | Protocol.Rows_r { rows; _ } ->
+          Alcotest.(check (list string)) "view principals"
+            [ "alice"; "bob"; "alice" ]
+            (List.map
+               (function
+                 | [ Relation.Value.String u ] -> u
+                 | _ -> Alcotest.fail "principal_name")
+               rows)
+      | resp -> Alcotest.fail ("view query returned " ^ Protocol.response_kind resp));
+      Client.close alice;
+      Client.close bob)
+
+let test_auth_rejections () =
+  with_auth_server (fun ~dir:_ ~port _srv ->
+      (* Wrong secret: typed Auth error, not a generic handshake failure. *)
+      (match
+         Client.connect ~host:"127.0.0.1" ~port ~principal:"mallory"
+           ~secret:"wrong-secret" ()
+       with
+      | Error (Client.Auth _) -> ()
+      | Error e ->
+          Alcotest.fail
+            ("expected Auth, got " ^ Client.connect_error_to_string e)
+      | Ok _ -> Alcotest.fail "server accepted a forged principal tag");
+      (* Principal claimed with no tag at all: also refused. *)
+      (match
+         Client.connect ~host:"127.0.0.1" ~port ~principal:"mallory" ()
+       with
+      | Error (Client.Auth _) -> ()
+      | Error e ->
+          Alcotest.fail
+            ("expected Auth, got " ^ Client.connect_error_to_string e)
+      | Ok _ -> Alcotest.fail "server accepted an untagged principal");
+      (* Anonymous connections still work when auth is enabled: they just
+         get no principal identity. *)
+      let anon = connect port in
+      (match call anon Protocol.Ping with
+      | Protocol.Pong -> ()
+      | resp -> Alcotest.fail ("ping returned " ^ Protocol.response_kind resp));
+      Client.close anon)
+
+(* --- online migration --- *)
+
+let create_plain client name =
+  expect_ok "create-plain"
+    (call client
+       (Protocol.Create_table
+          {
+            name;
+            columns = [ ("k", "int"); ("v", "varchar(40)") ];
+            key = [ "k" ]; ledger = false
+          }))
+
+let test_migrate_resume () =
+  with_server (fun ~dir ~port _srv ->
+      let c = connect port in
+      create_plain c "staging";
+      expect_ok "create target"
+        (call c
+           (Protocol.Create_table
+              {
+                name = "tgt";
+                columns = [ ("k", "int"); ("v", "varchar(40)") ];
+                key = [ "k" ]; ledger = true
+              }));
+      for i = 1 to 23 do
+        expect_ok "seed"
+          (call c
+             (Protocol.Exec
+                {
+                  sql =
+                    Printf.sprintf "INSERT INTO staging VALUES (%d, 'row%d')" i i;
+                }))
+      done;
+      let cursor_path = Filename.concat dir "migrate.cursor.json" in
+      (* First run dies after 2 batches — simulated by driving the wire
+         request directly and persisting the cursor like the driver does. *)
+      let cur = ref (Migrate.Cursor.start ~source:"staging" ~target:"tgt") in
+      for _ = 1 to 2 do
+        match
+          call c
+            (Protocol.Migrate
+               {
+                 source = "staging";
+                 target = "tgt";
+                 after_key = !cur.Migrate.Cursor.last_key;
+                 limit = 5;
+               })
+        with
+        | Protocol.Migrate_r { copied; last_key; finished = _ } ->
+            cur :=
+              {
+                !cur with
+                Migrate.Cursor.last_key;
+                copied = !cur.Migrate.Cursor.copied + copied;
+              };
+            Migrate.Cursor.save ~path:cursor_path !cur
+        | resp ->
+            Alcotest.fail ("migrate returned " ^ Protocol.response_kind resp)
+      done;
+      Alcotest.(check int) "partial copy persisted" 10
+        !cur.Migrate.Cursor.copied;
+      (* OLTP on other ledger tables keeps running mid-migration. *)
+      create_accounts c;
+      expect_ok "live OLTP write" (insert c "Nick" 50);
+      (* Resume from the cursor file with a fresh driver run. *)
+      (match
+         Migrate.Driver.run ~batch:5 ~cursor_path ~client:c ~source:"staging"
+           ~target:"tgt" ()
+       with
+      | Error e -> Alcotest.fail ("resume failed: " ^ e)
+      | Ok s ->
+          Alcotest.(check int) "resumed, not restarted" 10
+            s.Migrate.Driver.resumed_at;
+          Alcotest.(check int) "copied the remainder" 13
+            s.Migrate.Driver.rows_copied;
+          Alcotest.(check int) "target complete" 23 s.Migrate.Driver.rows_total;
+          Alcotest.(check bool) "differential passed" true
+            s.Migrate.Driver.verified;
+          Alcotest.(check bool) "digest anchored" true
+            (s.Migrate.Driver.digest <> None));
+      (* All 23 staged rows made it, exactly once. *)
+      (match call c (Protocol.Query { sql = "SELECT * FROM tgt" }) with
+      | Protocol.Rows_r { rows; _ } ->
+          Alcotest.(check int) "target rows" 23 (List.length rows)
+      | resp -> Alcotest.fail ("count returned " ^ Protocol.response_kind resp));
+      (* Re-running the whole migration is a no-op: every key exists. *)
+      (match
+         Migrate.Driver.run ~batch:7 ~client:c ~source:"staging" ~target:"tgt" ()
+       with
+      | Error e -> Alcotest.fail ("idempotent rerun failed: " ^ e)
+      | Ok s ->
+          Alcotest.(check int) "no duplicate copies" 0
+            s.Migrate.Driver.rows_copied);
+      (* A target row with no source counterpart must fail the
+         differential check loudly, not be rubber-stamped. *)
+      expect_ok "divergent write"
+        (call c (Protocol.Exec { sql = "INSERT INTO tgt VALUES (99, 'stray')" }));
+      (match
+         Migrate.Driver.run ~batch:7 ~client:c ~source:"staging" ~target:"tgt" ()
+       with
+      | Error e ->
+          Alcotest.(check bool) "names the differential check" true
+            (let needle = "differential" and msg = e in
+             let nl = String.length needle and ml = String.length msg in
+             let rec at i =
+               i + nl <= ml && (String.sub msg i nl = needle || at (i + 1))
+             in
+             at 0)
+      | Ok _ -> Alcotest.fail "divergent target passed the differential check");
+      Client.close c)
+
+let test_migrate_refuses_bad_tables () =
+  with_server (fun ~dir:_ ~port _srv ->
+      let c = connect port in
+      create_plain c "staging";
+      create_accounts c;
+      (* Source must be plain, target must be a ledger table. *)
+      expect_error Protocol.Exec_error "ledger source"
+        (call c
+           (Protocol.Migrate
+              { source = "accounts"; target = "accounts"; after_key = [];
+                limit = 10 }));
+      expect_error Protocol.Exec_error "plain target"
+        (call c
+           (Protocol.Migrate
+              { source = "staging"; target = "staging"; after_key = [];
+                limit = 10 }));
+      expect_error Protocol.Exec_error "unknown source"
+        (call c
+           (Protocol.Migrate
+              { source = "nope"; target = "accounts"; after_key = [];
+                limit = 10 }));
+      Client.close c)
 
 let () =
   Alcotest.run "server"
@@ -632,5 +863,18 @@ let () =
           Alcotest.test_case "mid-frame stall torn" `Quick test_mid_frame_stall;
           Alcotest.test_case "dribbled request tolerated" `Quick
             test_dribbled_request_tolerated;
+        ] );
+      ( "principals",
+        [
+          Alcotest.test_case "recorded per commit" `Quick
+            test_auth_principals_recorded;
+          Alcotest.test_case "rejections" `Quick test_auth_rejections;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "crash-resume from cursor" `Quick
+            test_migrate_resume;
+          Alcotest.test_case "refuses bad tables" `Quick
+            test_migrate_refuses_bad_tables;
         ] );
     ]

@@ -121,7 +121,7 @@ let with_cluster ?(shards = 2) f =
               {
                 name = "bench";
                 columns = [ ("id", "int"); ("payload", "varchar(64)") ];
-                key = [ "id" ];
+                key = [ "id" ]; ledger = true
               }));
       Client.close setup;
       f ~cdir ~cport ~coord ~cth ~nodes ~restart_shards)
@@ -650,7 +650,7 @@ let test_participant_crash () =
           {
             name = "bench";
             columns = [ ("id", "int"); ("payload", "varchar(64)") ];
-            key = [ "id" ];
+            key = [ "id" ]; ledger = true
           }));
   expect_ok "baseline"
     (call c (Protocol.Exec { sql = "INSERT INTO bench VALUES (1, 'base')" }));

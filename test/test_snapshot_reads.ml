@@ -226,7 +226,7 @@ let test_server_storm () =
           {
             name = "snap";
             columns = [ ("id", "int"); ("v", "varchar(32)") ];
-            key = [ "id" ];
+            key = [ "id" ]; ledger = true
           })
    with
   | Ok r when not (Protocol.response_is_error r) -> ()

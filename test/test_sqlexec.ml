@@ -321,6 +321,82 @@ let test_order_by_input_column () =
   Alcotest.(check (list string)) "by salary" [ "dan"; "bob"; "carol"; "alice" ]
     (List.map (fun row -> Value.to_string row.(0)) r.Sqlexec.Rel.rows)
 
+(* --- temporal (FOR SYSTEM_TIME AS OF) --- *)
+
+let test_as_of_parses () =
+  (match (Sqlexec.Parser.parse "SELECT * FROM emp FOR SYSTEM_TIME AS OF 5").Sqlexec.Ast.from with
+  | Some (Sqlexec.Ast.Table { name = "emp"; alias = None; as_of = Some (Sqlexec.Ast.Lit (Value.Int 5)) }) -> ()
+  | _ -> Alcotest.fail "expected Table with as_of = Some (Lit 5)");
+  (* The alias can sit on either side of the temporal clause. *)
+  (match (Sqlexec.Parser.parse "SELECT e.name FROM emp e FOR SYSTEM_TIME AS OF 1000.5").Sqlexec.Ast.from with
+  | Some (Sqlexec.Ast.Table { alias = Some "e"; as_of = Some _; _ }) -> ()
+  | _ -> Alcotest.fail "alias-before-clause");
+  match (Sqlexec.Parser.parse "SELECT e.name FROM emp FOR SYSTEM_TIME AS OF 1000.5 e").Sqlexec.Ast.from with
+  | Some (Sqlexec.Ast.Table { alias = Some "e"; as_of = Some _; _ }) -> ()
+  | _ -> Alcotest.fail "alias-after-clause"
+
+let test_as_of_parser_rejects () =
+  List.iter
+    (fun input ->
+      match Sqlexec.Parser.parse input with
+      | exception Sqlexec.Parser.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %s" input)
+    [
+      "SELECT * FROM emp FOR SYSTEM_TIME 5";
+      "SELECT * FROM emp FOR SYSTEM_TIME AS 5";
+      "SELECT * FROM emp FOR SYSTEM_TIME AS OF";
+      "SELECT * FROM emp FOR 5";
+    ]
+
+let exec_error_containing text needle =
+  match q text with
+  | exception Sqlexec.Executor.Exec_error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error for %s mentions %s" text needle)
+        true
+        (let nl = String.length needle and ml = String.length msg in
+         let rec at i =
+           i + nl <= ml && (String.sub msg i nl = needle || at (i + 1))
+         in
+         at 0)
+  | _ -> Alcotest.failf "accepted %s" text
+
+let test_as_of_malformed_timestamps () =
+  (* Strings that don't look like unix timestamps, and NULL, are typed
+     executor errors — not silent empty results. *)
+  exec_error_containing "SELECT * FROM emp FOR SYSTEM_TIME AS OF 'yesterday'"
+    "malformed timestamp";
+  exec_error_containing "SELECT * FROM emp FOR SYSTEM_TIME AS OF ''"
+    "malformed timestamp";
+  exec_error_containing "SELECT * FROM emp FOR SYSTEM_TIME AS OF NULL"
+    "NULL";
+  (* This catalog has no temporal views at all: a well-formed timestamp
+     against a plain table is also a typed error. *)
+  exec_error_containing "SELECT * FROM emp FOR SYSTEM_TIME AS OF 5"
+    "no FOR SYSTEM_TIME view";
+  (* Numeric strings are accepted as timestamps, so this one gets past
+     the timestamp check and fails on the missing view instead. *)
+  exec_error_containing "SELECT * FROM emp FOR SYSTEM_TIME AS OF ' 1000.5 '"
+    "no FOR SYSTEM_TIME view"
+
+let test_quoted_identifier_roundtrips () =
+  (* Bracket-quoted identifiers behave exactly like their bare spellings
+     through parse -> execute, including alongside a temporal clause. *)
+  let r = q "SELECT [name] FROM [emp] WHERE [salary] >= 90 ORDER BY [name]" in
+  Alcotest.(check (list string)) "quoted = bare" [ "alice"; "carol" ]
+    (List.map (fun row -> Value.to_string row.(0)) r.Sqlexec.Rel.rows);
+  (match (Sqlexec.Parser.parse "SELECT [name] FROM [emp] FOR SYSTEM_TIME AS OF 5").Sqlexec.Ast.from with
+  | Some (Sqlexec.Ast.Table { name = "emp"; as_of = Some _; _ }) -> ()
+  | _ -> Alcotest.fail "quoted table with as_of");
+  (* A quoted alias round-trips too, and qualifies columns. *)
+  let r2 = q "SELECT [e].[dept] FROM [emp] [e] WHERE [e].[id] = 1" in
+  Alcotest.(check (list string)) "quoted alias" [ "eng" ]
+    (List.map (fun row -> Value.to_string row.(0)) r2.Sqlexec.Rel.rows);
+  (* [FOR] quoting escapes the keyword: this must read as an alias. *)
+  match (Sqlexec.Parser.parse "SELECT * FROM emp [FOR]").Sqlexec.Ast.from with
+  | Some (Sqlexec.Ast.Table { alias = Some "FOR"; as_of = None; _ }) -> ()
+  | _ -> Alcotest.fail "[FOR] as alias"
+
 let () =
   Alcotest.run "sqlexec"
     [
@@ -361,5 +437,14 @@ let () =
           Alcotest.test_case "LAG" `Quick test_lag;
           Alcotest.test_case "LEDGERHASH + MERKLETREEAGG" `Quick test_ledgerhash_and_merkleagg;
           Alcotest.test_case "scalar functions" `Quick test_scalar_functions;
+        ] );
+      ( "temporal",
+        [
+          Alcotest.test_case "AS OF parses" `Quick test_as_of_parses;
+          Alcotest.test_case "parser rejects" `Quick test_as_of_parser_rejects;
+          Alcotest.test_case "malformed timestamps" `Quick
+            test_as_of_malformed_timestamps;
+          Alcotest.test_case "quoted identifiers" `Quick
+            test_quoted_identifier_roundtrips;
         ] );
     ]

@@ -1,0 +1,269 @@
+(* Temporal queries (FOR SYSTEM_TIME AS OF) and the <table>_ledger
+   provenance view, differentially tested against a serial replay
+   oracle: the test replays the same seeded multi-principal workload
+   into a plain assoc-list model, snapshotting it after every commit,
+   then checks that every AS OF query reproduces the snapshot taken at
+   that commit timestamp — and that each row version in the provenance
+   view names the principal that actually wrote it. *)
+
+open Relation
+open Sql_ledger
+open Testkit
+
+let sorted rows = List.sort Row.compare rows
+
+let query db sql = Database.query db sql
+
+let col_names rel =
+  Array.to_list rel.Sqlexec.Rel.cols
+  |> List.map (fun (c : Sqlexec.Rel.col) -> c.col_name)
+
+(* --- seeded differential oracle --- *)
+
+let principals = [| "alice"; "bob"; "carol" |]
+
+type op_log = {
+  mutable commits : (float * (string * int) list) list;
+      (** (commit_ts, model state after the commit), newest first *)
+  mutable writers : (int * string) list;  (** txn_id -> principal *)
+  mutable versions : int;  (** row versions written (1 or 2 per op) *)
+}
+
+let run_workload db accounts ~ops ~seed =
+  let rng = Random.State.make [| seed |] in
+  let model = ref [] in
+  let log = { commits = []; writers = []; versions = 0 } in
+  for i = 0 to ops - 1 do
+    let user = principals.(Random.State.int rng (Array.length principals)) in
+    let existing = List.map fst !model in
+    let entry, versions =
+      match (List.length existing, Random.State.int rng 3) with
+      | 0, _ | _, 0 ->
+          (* insert a fresh key *)
+          let name = Printf.sprintf "acct%02d" i in
+          let balance = Random.State.int rng 1000 in
+          model := (name, balance) :: !model;
+          ( commit_one db user (fun txn ->
+                Txn.insert txn accounts [| vs name; vi balance |]),
+            1 )
+      | n, 1 ->
+          (* update an existing key: DELETE + INSERT versions *)
+          let name = List.nth existing (Random.State.int rng n) in
+          let balance = Random.State.int rng 1000 in
+          model :=
+            (name, balance) :: List.remove_assoc name !model;
+          ( commit_one db user (fun txn ->
+                Txn.update txn accounts ~key:[| vs name |]
+                  [| vs name; vi balance |]),
+            2 )
+      | n, _ ->
+          (* delete an existing key *)
+          let name = List.nth existing (Random.State.int rng n) in
+          model := List.remove_assoc name !model;
+          ( commit_one db user (fun txn ->
+                Txn.delete txn accounts ~key:[| vs name |]),
+            1 )
+    in
+    log.commits <-
+      (entry.Types.commit_ts, List.sort compare !model) :: log.commits;
+    log.writers <- (entry.Types.txn_id, user) :: log.writers;
+    log.versions <- log.versions + versions
+  done;
+  log
+
+let rows_of_model state =
+  sorted (List.map (fun (name, balance) -> [| vs name; vi balance |]) state)
+
+let test_as_of_differential () =
+  let db = make_db "temporal" in
+  let accounts = make_accounts db in
+  let log = run_workload db accounts ~ops:40 ~seed:0xA50F in
+  Alcotest.(check int) "40 commits recorded" 40 (List.length log.commits);
+  (* Every recorded snapshot must be reproducible, both exactly at its
+     commit timestamp and just before the next tick (the deterministic
+     clock advances 1s per call, so +0.25s never crosses a commit). *)
+  List.iter
+    (fun (ts, state) ->
+      List.iter
+        (fun ts ->
+          let rel =
+            query db
+              (Printf.sprintf
+                 "SELECT * FROM accounts FOR SYSTEM_TIME AS OF %f" ts)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "state at %f" ts)
+            true
+            (List.for_all2 Row.equal (rows_of_model state)
+               (sorted rel.Sqlexec.Rel.rows)
+             && List.length rel.Sqlexec.Rel.rows = List.length state))
+        [ ts; ts +. 0.25 ])
+    log.commits;
+  (* Before the first commit: nothing. *)
+  let first_ts = fst (List.hd (List.rev log.commits)) in
+  Alcotest.(check int) "empty before genesis" 0
+    (List.length
+       (query db
+          (Printf.sprintf "SELECT * FROM accounts FOR SYSTEM_TIME AS OF %f"
+             (first_ts -. 0.5)))
+         .Sqlexec.Rel.rows);
+  (* At (or after) the newest commit, AS OF equals the current table. *)
+  let newest_ts = fst (List.hd log.commits) in
+  let current = sorted (query db "SELECT * FROM accounts").Sqlexec.Rel.rows in
+  let at_newest =
+    sorted
+      (query db
+         (Printf.sprintf "SELECT * FROM accounts FOR SYSTEM_TIME AS OF %f"
+            newest_ts))
+        .Sqlexec.Rel.rows
+  in
+  Alcotest.(check bool) "as-of newest = current" true
+    (List.length current = List.length at_newest
+    && List.for_all2 Row.equal current at_newest)
+
+let test_provenance_principals () =
+  let db = make_db "provenance" in
+  let accounts = make_accounts db in
+  let log = run_workload db accounts ~ops:25 ~seed:0x9E0B in
+  let rel = query db "SELECT * FROM accounts_ledger" in
+  Alcotest.(check (list string)) "view columns"
+    [ "name"; "balance"; "commit_time"; "principal_name"; "operation";
+      "txn_id"; "seq" ]
+    (col_names rel);
+  Alcotest.(check int) "one row per version" log.versions
+    (List.length rel.Sqlexec.Rel.rows);
+  List.iter
+    (fun row ->
+      let txn_id =
+        match row.(5) with Value.Int i -> i | _ -> Alcotest.fail "txn_id"
+      in
+      let principal =
+        match row.(3) with Value.String s -> s | _ -> Alcotest.fail "principal"
+      in
+      match List.assoc_opt txn_id log.writers with
+      | Some expected ->
+          Alcotest.(check string)
+            (Printf.sprintf "principal of txn %d" txn_id)
+            expected principal
+      | None -> Alcotest.failf "version from unknown txn %d" txn_id)
+    rel.Sqlexec.Rel.rows;
+  (* AS OF on the view keeps only versions committed by then. *)
+  let mid_ts, _ = List.nth log.commits (List.length log.commits / 2) in
+  let rel_asof =
+    query db
+      (Printf.sprintf
+         "SELECT * FROM accounts_ledger FOR SYSTEM_TIME AS OF %f" mid_ts)
+  in
+  Alcotest.(check bool) "temporal view is a strict prefix" true
+    (List.length rel_asof.Sqlexec.Rel.rows < List.length rel.Sqlexec.Rel.rows
+    && rel_asof.Sqlexec.Rel.rows <> []);
+  List.iter
+    (fun row ->
+      match row.(2) with
+      | Value.Datetime ts ->
+          Alcotest.(check bool) "committed before the cut" true (ts <= mid_ts)
+      | _ -> Alcotest.fail "commit_time")
+    rel_asof.Sqlexec.Rel.rows
+
+let test_receipt_names_principal () =
+  let db = make_db "receipt-principal" in
+  let accounts = make_accounts db in
+  let log = run_workload db accounts ~ops:12 ~seed:0x5EED in
+  ignore (fresh_digest db);
+  (* close the open block *)
+  List.iter
+    (fun (txn_id, principal) ->
+      match Receipt.generate db ~txn_id with
+      | Error e -> Alcotest.failf "receipt for txn %d: %s" txn_id e
+      | Ok r ->
+          Alcotest.(check string) "receipt proves the principal" principal
+            r.Receipt.entry.Types.user;
+          (match Receipt.verify r with
+          | Ok () -> ()
+          | Error f ->
+              Alcotest.failf "receipt verify: %s" (Receipt.failure_to_string f));
+          (* A forged principal must break offline verification. *)
+          let forged =
+            { r with Receipt.entry = { r.Receipt.entry with Types.user = "eve" } }
+          in
+          Alcotest.(check bool) "forged principal detected" true
+            (Receipt.verify forged <> Ok ()))
+    log.writers
+
+let test_ledger_view_collisions () =
+  let db = make_db "collisions" in
+  let _ =
+    Database.create_ledger_table db ~name:"evt"
+      ~columns:
+        [
+          Column.make "operation" (Datatype.Varchar 20);
+          Column.make "txn_id" Datatype.Int;
+        ]
+      ~key:[ "operation" ] ()
+  in
+  ignore (Dml.execute db ~user:"alice" "INSERT INTO evt VALUES ('boot', 7)");
+  let rel = query db "SELECT * FROM evt_ledger" in
+  (* User columns keep their bare names; the colliding provenance
+     columns grow a ledger_ prefix. *)
+  Alcotest.(check (list string)) "collision-prefixed columns"
+    [ "operation"; "txn_id"; "commit_time"; "principal_name";
+      "ledger_operation"; "ledger_txn_id"; "seq" ]
+    (col_names rel);
+  match rel.Sqlexec.Rel.rows with
+  | [ row ] ->
+      Alcotest.(check string) "user column value" "boot"
+        (match row.(0) with Value.String s -> s | _ -> "?");
+      Alcotest.(check string) "provenance operation" "INSERT"
+        (match row.(4) with Value.String s -> s | _ -> "?");
+      Alcotest.(check string) "principal" "alice"
+        (match row.(3) with Value.String s -> s | _ -> "?")
+  | rows -> Alcotest.failf "expected 1 version, got %d" (List.length rows)
+
+let test_snapshot_survives_as_of () =
+  (* AS OF resolution must work against a database rebuilt from its
+     serialized form (history + entries round-trip the snapshot). *)
+  let db = make_db "roundtrip" in
+  let accounts = make_accounts db in
+  let log = run_workload db accounts ~ops:10 ~seed:0xD15C in
+  let json = Snapshot.save db in
+  match Snapshot.load json with
+  | Error e -> Alcotest.failf "snapshot load: %s" e
+  | Ok db2 ->
+      List.iter
+        (fun (ts, state) ->
+          let rel =
+            query db2
+              (Printf.sprintf
+                 "SELECT * FROM accounts FOR SYSTEM_TIME AS OF %f" ts)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "reloaded state at %f" ts)
+            true
+            (List.length rel.Sqlexec.Rel.rows = List.length state
+            && List.for_all2 Row.equal (rows_of_model state)
+                 (sorted rel.Sqlexec.Rel.rows)))
+        log.commits
+
+let () =
+  Alcotest.run "temporal"
+    [
+      ( "as of",
+        [
+          Alcotest.test_case "seeded differential vs oracle" `Quick
+            test_as_of_differential;
+          Alcotest.test_case "snapshot round-trip" `Quick
+            test_snapshot_survives_as_of;
+        ] );
+      ( "provenance view",
+        [
+          Alcotest.test_case "principals per version" `Quick
+            test_provenance_principals;
+          Alcotest.test_case "column collisions" `Quick
+            test_ledger_view_collisions;
+        ] );
+      ( "receipts",
+        [
+          Alcotest.test_case "receipt proves principal" `Quick
+            test_receipt_names_principal;
+        ] );
+    ]

@@ -126,7 +126,14 @@ let sample_digest =
 
 let all_requests =
   [
-    Protocol.Hello { version = Protocol.version; client = "test" };
+    Protocol.Hello { version = Protocol.version; client = "test"; principal = None; auth = None };
+    Protocol.Hello
+      {
+        version = Protocol.version;
+        client = "test";
+        principal = Some "alice";
+        auth = Some (Protocol.principal_tag ~secret:"s3cret" "alice");
+      };
     Protocol.Ping;
     Protocol.Exec { sql = "INSERT INTO t VALUES (1, 'x')" };
     Protocol.Query { sql = "SELECT * FROM t" };
@@ -143,8 +150,19 @@ let all_requests =
       {
         name = "accounts";
         columns = [ ("name", "varchar(40)"); ("balance", "int") ];
-        key = [ "name" ];
+        key = [ "name" ]; ledger = true
       };
+    Protocol.Create_table
+      { name = "staging"; columns = [ ("k", "int") ]; key = [ "k" ];
+        ledger = false };
+    Protocol.Migrate
+      {
+        source = "staging";
+        target = "accounts";
+        after_key = [ Value.String "Nick"; Value.Int 3 ];
+        limit = 512;
+      };
+    Protocol.Migrate { source = "s"; target = "t"; after_key = []; limit = 1 };
     Protocol.Checkpoint;
     Protocol.Stats;
     Protocol.Shard_map;
@@ -206,6 +224,9 @@ let all_responses =
         vs_violations = [ "block 1: hash chain broken" ];
       };
     Protocol.Stats_r [ "a 1"; "b 2" ];
+    Protocol.Migrate_r
+      { copied = 17; last_key = [ Value.String "Nick" ]; finished = false };
+    Protocol.Migrate_r { copied = 0; last_key = []; finished = true };
     Protocol.Shard_map_r
       { epoch = 3; shards = [ ("127.0.0.1", 7001); ("10.0.0.2", 7002) ] };
     Protocol.Bye;
@@ -220,6 +241,9 @@ let all_responses =
         retry_after_ms = Some 40; map_epoch = None };
     Protocol.Error_r
       { code = Protocol.Deadline_exceeded; message = "budget spent";
+        retry_after_ms = None; map_epoch = None };
+    Protocol.Error_r
+      { code = Protocol.Auth_failed; message = "bad principal tag";
         retry_after_ms = None; map_epoch = None };
   ]
 
@@ -304,10 +328,34 @@ let test_error_codes () =
       Protocol.Txn_state; Protocol.Version_mismatch; Protocol.Too_large;
       Protocol.Busy; Protocol.Shutting_down; Protocol.Internal;
       Protocol.Overloaded; Protocol.Deadline_exceeded; Protocol.Wrong_shard;
+      Protocol.Auth_failed;
     ];
   Alcotest.(check bool)
     "unknown code rejected" true
     (Protocol.error_code_of_string "no_such_code" = None)
+
+(* The principal tag is a keyed MAC: it must verify for the exact
+   (secret, name) pair that produced it and nothing else, and malformed
+   hex must be a plain reject rather than an exception. *)
+let test_principal_tags () =
+  let secret = "wire-test-secret" in
+  let tag = Protocol.principal_tag ~secret "alice" in
+  Alcotest.(check bool) "tag verifies" true
+    (Protocol.principal_tag_ok ~secret ~name:"alice" ~tag);
+  Alcotest.(check bool) "wrong name" false
+    (Protocol.principal_tag_ok ~secret ~name:"bob" ~tag);
+  Alcotest.(check bool) "wrong secret" false
+    (Protocol.principal_tag_ok ~secret:"other" ~name:"alice" ~tag);
+  Alcotest.(check bool) "truncated tag" false
+    (Protocol.principal_tag_ok ~secret ~name:"alice"
+       ~tag:(String.sub tag 0 (String.length tag - 2)));
+  Alcotest.(check bool) "non-hex tag" false
+    (Protocol.principal_tag_ok ~secret ~name:"alice" ~tag:"zz not hex");
+  Alcotest.(check bool) "empty tag" false
+    (Protocol.principal_tag_ok ~secret ~name:"alice" ~tag:"");
+  (* Tags are domain-separated per name: distinct names, distinct tags. *)
+  Alcotest.(check bool) "tags differ by name" true
+    (tag <> Protocol.principal_tag ~secret "alice2")
 
 let test_malformed_payloads () =
   let bad payload =
@@ -367,6 +415,7 @@ let () =
           Alcotest.test_case "response catalogue" `Quick
             test_response_roundtrip;
           Alcotest.test_case "error codes" `Quick test_error_codes;
+          Alcotest.test_case "principal tags" `Quick test_principal_tags;
           Alcotest.test_case "malformed payloads" `Quick
             test_malformed_payloads;
           Alcotest.test_case "huge request end-to-end" `Quick
